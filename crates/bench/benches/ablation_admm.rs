@@ -1,0 +1,49 @@
+//! A2 — ablation of the PSL solver's knobs (DESIGN.md).
+//!
+//! Compares linear vs squared hinge potentials and sweeps the ADMM
+//! penalty ρ. Expected shape: squared potentials converge in fewer
+//! iterations but each costs the same, and extreme ρ slows convergence
+//! in both directions (classic ADMM behaviour).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tecore_bench::harness;
+use tecore_core::pipeline::Backend;
+use tecore_datagen::standard::football_program;
+use tecore_psl::{AdmmConfig, PslConfig};
+
+fn bench_ablation_admm(c: &mut Criterion) {
+    let program = football_program();
+    let generated = harness::football(8_000);
+    let mut group = c.benchmark_group("a2_ablation_admm");
+    group.sample_size(10);
+    for squared in [false, true] {
+        for rho in [0.1f64, 1.0, 10.0] {
+            let backend = Backend::PslAdmm {
+                psl: PslConfig { squared },
+                admm: AdmmConfig {
+                    rho,
+                    ..AdmmConfig::default()
+                },
+            };
+            let label = format!(
+                "{}-rho{rho}",
+                if squared { "squared" } else { "linear" }
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &generated,
+                |b, generated| {
+                    b.iter(|| {
+                        black_box(harness::resolve(generated, &program, backend.clone()))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_admm);
+criterion_main!(benches);

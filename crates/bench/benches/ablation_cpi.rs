@@ -1,0 +1,45 @@
+//! A1 — ablation of cutting-plane inference (DESIGN.md).
+//!
+//! RockIt's design bet is that lazily grounding only *violated*
+//! constraint instances beats eager grounding. Our eager grounder is
+//! already violation-only at grounding time (consequents are decidable
+//! on evidence), so the measured difference isolates (a) the deferred
+//! constraint-join work and (b) the re-solve loop, against (c) one
+//! bigger solve. Expected shape: CPI wins when conflicts are sparse and
+//! the gap narrows as conflict density rises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tecore_bench::harness;
+use tecore_core::pipeline::Backend;
+use tecore_datagen::standard::football_program;
+use tecore_mln::WalkSatConfig;
+
+fn bench_ablation_cpi(c: &mut Criterion) {
+    let program = football_program();
+    let mut group = c.benchmark_group("a1_ablation_cpi");
+    group.sample_size(10);
+    for noise in [0.05f64, 0.5] {
+        let generated = harness::football_noisy(8_000, noise);
+        for (label, backend) in [
+            ("cpi", Backend::default()),
+            ("eager", Backend::MlnWalkSat(WalkSatConfig::default())),
+        ] {
+            let id = format!("{label}@noise{noise}");
+            group.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &generated,
+                |b, generated| {
+                    b.iter(|| {
+                        black_box(harness::resolve(generated, &program, backend.clone()))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_cpi);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 — §1's noise stress test: "as many erroneous temporal facts as
+//! the correct ones" (noise ratio 1.0).
+//!
+//! Measures the debugging run across noise ratios at a fixed size; the
+//! companion repair-quality numbers (precision/recall per ratio) are
+//! produced by `examples/noisy_repair.rs` and the experiments binary.
+//! Expected shape: runtime grows with the number of conflicts (the
+//! cutting-plane active set and the WalkSAT workload both scale with
+//! noise), while PSL degrades more gently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tecore_bench::harness;
+use tecore_core::pipeline::Backend;
+use tecore_datagen::standard::football_program;
+
+fn bench_noise_sweep(c: &mut Criterion) {
+    let program = football_program();
+    let mut group = c.benchmark_group("e4_noise_sweep");
+    group.sample_size(10);
+    for noise in [0.1f64, 0.5, 1.0] {
+        let generated = harness::football_noisy(6_000, noise);
+        for backend in [Backend::default(), Backend::default_psl()] {
+            let label = format!("{}@{noise}", backend.name());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &generated,
+                |b, generated| {
+                    b.iter(|| {
+                        black_box(harness::resolve(generated, &program, backend.clone()))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise_sweep);
+criterion_main!(benches);

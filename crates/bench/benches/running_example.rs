@@ -1,0 +1,47 @@
+//! E1 — the paper's running example (Figures 1, 4, 6 → Figure 7).
+//!
+//! Benchmarks the full pipeline (translate → ground → MAP → interpret)
+//! on the 5-fact Claudio Ranieri uTKG for every backend, and asserts the
+//! paper's expected outcome (fact (5) removed) on each measured run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_datagen::standard::{paper_program, ranieri_utkg};
+use tecore_mln::{CpiConfig, WalkSatConfig};
+
+fn bench_running_example(c: &mut Criterion) {
+    let graph = ranieri_utkg();
+    let program = paper_program();
+    let mut group = c.benchmark_group("e1_running_example");
+    for backend in [
+        Backend::MlnExact,
+        Backend::MlnWalkSat(WalkSatConfig::default()),
+        Backend::MlnCuttingPlane(CpiConfig::default()),
+        Backend::default_psl(),
+    ] {
+        let name = backend.name();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = TecoreConfig {
+                    backend: backend.clone(),
+                    ..TecoreConfig::default()
+                };
+                let r = Tecore::with_config(
+                    black_box(graph.clone()),
+                    black_box(program.clone()),
+                    config,
+                )
+                .resolve()
+                .expect("resolves");
+                assert_eq!(r.stats.conflicting_facts, 1, "Figure 7: Napoli removed");
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_running_example);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E6 — §4: scalability on the Wikidata temporal slice.
+//!
+//! The demo motivates PSL with scale ("we extracted over 6.3 million
+//! temporal facts"). This bench sweeps generated Wikidata workloads and
+//! measures the full debugging run per backend; expected shape: both
+//! grow roughly linearly in facts (grounding dominates), PSL's solver
+//! cost grows with problem *size* while the MLN's grows with conflict
+//! count. The full 6.3M-fact point is reachable via
+//! `cargo run --release --example wikidata_scale 6300000`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tecore_bench::harness;
+use tecore_core::pipeline::Backend;
+use tecore_datagen::standard::wikidata_program;
+
+fn bench_wikidata_scaling(c: &mut Criterion) {
+    let program = wikidata_program();
+    let mut group = c.benchmark_group("e6_wikidata_scaling");
+    group.sample_size(10);
+    for size in [10_000usize, 40_000, 160_000] {
+        let generated = harness::wikidata(size);
+        group.throughput(Throughput::Elements(generated.graph.len() as u64));
+        for backend in [Backend::default(), Backend::default_psl()] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), size),
+                &generated,
+                |b, generated| {
+                    b.iter(|| {
+                        black_box(harness::resolve(generated, &program, backend.clone()))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wikidata_scaling);
+criterion_main!(benches);

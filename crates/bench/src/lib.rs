@@ -1,0 +1,8 @@
+//! # tecore-bench
+//!
+//! Benchmark harness for the TeCoRe reproduction. Each Criterion bench
+//! under `benches/` regenerates one figure or reported number from the
+//! paper (see `DESIGN.md` §3 for the experiment index); shared workload
+//! construction lives in [`harness`].
+
+pub mod harness;

@@ -1,0 +1,73 @@
+//! TeCoRe pipeline errors.
+
+use std::fmt;
+
+use tecore_kg::KgError;
+use tecore_logic::LogicError;
+
+/// Errors of the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TecoreError {
+    /// Rule/constraint language error (parse or validation).
+    Logic(LogicError),
+    /// Graph/data error.
+    Kg(KgError),
+    /// A session-level misuse (unknown dataset, no program, ...).
+    Session(String),
+}
+
+impl fmt::Display for TecoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TecoreError::Logic(e) => write!(f, "logic error: {e}"),
+            TecoreError::Kg(e) => write!(f, "knowledge-graph error: {e}"),
+            TecoreError::Session(msg) => write!(f, "session error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TecoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TecoreError::Logic(e) => Some(e),
+            TecoreError::Kg(e) => Some(e),
+            TecoreError::Session(_) => None,
+        }
+    }
+}
+
+impl From<LogicError> for TecoreError {
+    fn from(e: LogicError) -> Self {
+        TecoreError::Logic(e)
+    }
+}
+
+impl From<KgError> for TecoreError {
+    fn from(e: KgError) -> Self {
+        TecoreError::Kg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e: TecoreError = LogicError::Validation {
+            formula: Some("c1".into()),
+            message: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("logic error"));
+        assert!(e.source().is_some());
+
+        let e: TecoreError = KgError::InvalidConfidence(2.0).into();
+        assert!(e.to_string().contains("knowledge-graph"));
+
+        let e = TecoreError::Session("no dataset selected".into());
+        assert!(e.to_string().contains("no dataset"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! # tecore-core
+//!
+//! TeCoRe proper: temporal conflict resolution in uncertain temporal
+//! knowledge graphs (VLDB 2017).
+//!
+//! Given a uTKG `G`, temporal inference rules `F` and temporal
+//! constraints `C`, TeCoRe computes `map(θ(G), F ∪ C)` — the **most
+//! probable, expanded and conflict-free temporal KG** (paper §2/§3):
+//!
+//! 1. the [`translate`] module implements θ: it validates the program
+//!    against the chosen backend's expressivity and grounds everything
+//!    into a weighted clause program (`tecore-ground`);
+//! 2. a backend solves MAP: MLN (exact / MaxWalkSAT / cutting-plane —
+//!    `tecore-mln`) or PSL (consensus ADMM — `tecore-psl`);
+//! 3. the [`pipeline`] interprets the MAP world: evidence atoms kept →
+//!    the consistent subgraph, evidence atoms rejected → **conflicting
+//!    facts**, hidden atoms accepted → **inferred facts** (graded by
+//!    marginal confidence and filtered by the user's threshold);
+//! 4. [`stats::DebugStats`] is the Figure-8 statistics screen.
+//!
+//! The [`session`] module reproduces the demo's Web-UI flow headlessly:
+//! select a dataset, add rules/constraints with auto-completion, run
+//! either reasoner, browse consistent and conflicting statements.
+//!
+//! ```
+//! use tecore_core::prelude::*;
+//! use tecore_kg::parser::parse_graph;
+//! use tecore_logic::LogicProgram;
+//!
+//! let graph = parse_graph(
+//!     "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+//!      (CR, coach, Napoli, [2001,2003]) 0.6\n",
+//! ).unwrap();
+//! let program = LogicProgram::parse(
+//!     "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+//! ).unwrap();
+//! let resolution = Tecore::new(graph, program).resolve().unwrap();
+//! assert_eq!(resolution.stats.conflicting_facts, 1); // Napoli removed
+//! ```
+
+pub mod advisor;
+pub mod error;
+pub mod explain;
+pub mod pipeline;
+pub mod resolution;
+pub mod session;
+pub mod stats;
+pub mod threshold;
+pub mod translate;
+
+pub use advisor::{suggest_constraints, AdvisorConfig, SuggestedConstraint};
+pub use error::TecoreError;
+pub use explain::ConflictExplanation;
+pub use pipeline::{Backend, ConfidenceMode, Tecore, TecoreConfig};
+pub use resolution::{InferredFact, RemovedFact, Resolution};
+pub use session::Session;
+pub use stats::DebugStats;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::error::TecoreError;
+    pub use crate::pipeline::{Backend, ConfidenceMode, Tecore, TecoreConfig};
+    pub use crate::resolution::Resolution;
+    pub use crate::session::Session;
+    pub use crate::stats::DebugStats;
+}

@@ -1,0 +1,408 @@
+//! The end-to-end conflict-resolution pipeline.
+
+use std::time::Instant;
+
+use tecore_ground::{AtomKind, GroundConfig, Grounding};
+use tecore_kg::UtkGraph;
+use tecore_logic::LogicProgram;
+use tecore_mln::marginal::{gibbs_marginals, GibbsConfig};
+use tecore_mln::{BranchAndBound, CpiConfig, CpiSolver, MaxWalkSat, SatProblem, WalkSatConfig};
+use tecore_psl::{AdmmConfig, PslConfig};
+
+use crate::error::TecoreError;
+use crate::resolution::{InferredFact, RemovedFact, Resolution};
+use crate::stats::DebugStats;
+use crate::threshold;
+use crate::translate::translate;
+
+/// Which reasoner computes the MAP state (paper §2.1: nRockIt vs PSL).
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// MLN with the exact branch & bound solver.
+    MlnExact,
+    /// MLN with MaxWalkSAT over the eager grounding.
+    MlnWalkSat(WalkSatConfig),
+    /// MLN with cutting-plane inference (lazy constraint grounding) —
+    /// the nRockIt configuration.
+    MlnCuttingPlane(CpiConfig),
+    /// PSL solved by consensus ADMM — the nPSL configuration.
+    PslAdmm {
+        /// HL-MRF construction options.
+        psl: PslConfig,
+        /// ADMM parameters.
+        admm: AdmmConfig,
+    },
+}
+
+impl Backend {
+    /// Short identifier used in statistics output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::MlnExact => "mln-exact",
+            Backend::MlnWalkSat(_) => "mln-walksat",
+            Backend::MlnCuttingPlane(_) => "mln-cpi",
+            Backend::PslAdmm { .. } => "psl-admm",
+        }
+    }
+
+    /// The default PSL backend.
+    pub fn default_psl() -> Backend {
+        Backend::PslAdmm {
+            psl: PslConfig::default(),
+            admm: AdmmConfig::default(),
+        }
+    }
+}
+
+impl Default for Backend {
+    /// The paper's default reasoner is the MLN one; cutting-plane
+    /// inference is its scalable configuration.
+    fn default() -> Self {
+        Backend::MlnCuttingPlane(CpiConfig::default())
+    }
+}
+
+/// How inferred facts are graded with a confidence value.
+#[derive(Debug, Clone, Default)]
+pub enum ConfidenceMode {
+    /// Report `1.0` for every accepted derived fact (no extra cost).
+    #[default]
+    Constant,
+    /// Estimate marginals with a Gibbs sampler (MLN backends; the PSL
+    /// backend always uses its soft truth values instead).
+    Gibbs(GibbsConfig),
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TecoreConfig {
+    /// The reasoner.
+    pub backend: Backend,
+    /// Grounding options (`ground_constraints` is overridden per
+    /// backend by the translator).
+    pub ground: GroundConfig,
+    /// Confidence threshold for derived facts ("remove derived facts
+    /// below that" — paper §1). `0.0` keeps everything.
+    pub threshold: f64,
+    /// Confidence grading for derived facts.
+    pub confidence: ConfidenceMode,
+}
+
+/// The TeCoRe system: a uTKG plus rules and constraints, ready to
+/// compute the most probable conflict-free KG.
+#[derive(Debug, Clone)]
+pub struct Tecore {
+    graph: UtkGraph,
+    program: LogicProgram,
+    config: TecoreConfig,
+}
+
+impl Tecore {
+    /// Creates a pipeline with default configuration.
+    pub fn new(graph: UtkGraph, program: LogicProgram) -> Self {
+        Tecore {
+            graph,
+            program,
+            config: TecoreConfig::default(),
+        }
+    }
+
+    /// Creates a pipeline with an explicit configuration.
+    pub fn with_config(graph: UtkGraph, program: LogicProgram, config: TecoreConfig) -> Self {
+        Tecore {
+            graph,
+            program,
+            config,
+        }
+    }
+
+    /// The input graph.
+    pub fn graph(&self) -> &UtkGraph {
+        &self.graph
+    }
+
+    /// The logic program.
+    pub fn program(&self) -> &LogicProgram {
+        &self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TecoreConfig {
+        &self.config
+    }
+
+    /// Runs `map(θ(G), F ∪ C)` and interprets the result.
+    pub fn resolve(&self) -> Result<Resolution, TecoreError> {
+        let grounding = translate(
+            &self.graph,
+            &self.program,
+            &self.config.backend,
+            &self.config.ground,
+        )?;
+
+        let solve_start = Instant::now();
+        let (assignment, cost, feasible, active_clauses, soft_values) =
+            self.run_backend(&grounding);
+        let solve_time = solve_start.elapsed();
+
+        // Detected conflicts: constraint groundings violated by the
+        // "keep everything" world, with full provenance.
+        let conflicts = crate::explain::explain_conflicts(&grounding);
+        let mut per_constraint: Vec<(String, usize)> = Vec::new();
+        for c in &conflicts {
+            match per_constraint.iter_mut().find(|(n, _)| *n == c.constraint) {
+                Some((_, count)) => *count += 1,
+                None => per_constraint.push((c.constraint.clone(), 1)),
+            }
+        }
+
+        // Partition evidence by the MAP world.
+        let mut removed = Vec::new();
+        let consistent = self.graph.filtered(|id, fact| {
+            let atom = grounding.fact_atoms[&id];
+            let keep = assignment[atom.index()];
+            if !keep {
+                removed.push(RemovedFact { id, fact: *fact });
+            }
+            keep
+        });
+
+        // Collect accepted derived facts.
+        let marginals: Option<Vec<f64>> = match (&self.config.confidence, &self.config.backend) {
+            (_, Backend::PslAdmm { .. }) => soft_values,
+            (ConfidenceMode::Gibbs(cfg), _) => {
+                let problem = SatProblem::from_grounding(&grounding);
+                Some(gibbs_marginals(&problem, Some(&assignment), cfg))
+            }
+            (ConfidenceMode::Constant, _) => None,
+        };
+        let mut inferred = Vec::new();
+        for (id, atom) in grounding.store.iter() {
+            if matches!(atom.kind, AtomKind::Hidden) && assignment[id.index()] {
+                let confidence = marginals
+                    .as_ref()
+                    .map_or(1.0, |m| m[id.index()].clamp(0.0, 1.0));
+                inferred.push(InferredFact {
+                    subject: grounding.dict.resolve(atom.subject).to_string(),
+                    predicate: grounding.dict.resolve(atom.predicate).to_string(),
+                    object: grounding.dict.resolve(atom.object).to_string(),
+                    interval: atom.interval,
+                    confidence,
+                });
+            }
+        }
+        let (inferred, thresholded) = threshold::apply(inferred, self.config.threshold);
+
+        let stats = DebugStats {
+            total_facts: self.graph.len(),
+            conflicting_facts: removed.len(),
+            inferred_facts: inferred.len(),
+            thresholded_facts: thresholded,
+            atoms: grounding.num_atoms(),
+            clauses: active_clauses,
+            per_constraint,
+            backend: self.config.backend.name(),
+            feasible,
+            cost,
+            grounding_time: grounding.stats.elapsed,
+            solve_time,
+        };
+        Ok(Resolution {
+            consistent,
+            removed,
+            inferred,
+            conflicts,
+            stats,
+        })
+    }
+
+    /// Dispatches to the configured solver. Returns
+    /// `(assignment, discrete cost, feasible, active clauses, PSL values)`.
+    fn run_backend(
+        &self,
+        grounding: &Grounding,
+    ) -> (Vec<bool>, f64, bool, usize, Option<Vec<f64>>) {
+        match &self.config.backend {
+            Backend::MlnExact => {
+                let problem = SatProblem::from_grounding(grounding);
+                let r = BranchAndBound::new().solve(&problem);
+                (
+                    r.assignment,
+                    r.cost,
+                    r.feasible,
+                    r.stats.active_clauses,
+                    None,
+                )
+            }
+            Backend::MlnWalkSat(cfg) => {
+                let problem = SatProblem::from_grounding(grounding);
+                let r = MaxWalkSat::new(cfg.clone()).solve(&problem);
+                (
+                    r.assignment,
+                    r.cost,
+                    r.feasible,
+                    r.stats.active_clauses,
+                    None,
+                )
+            }
+            Backend::MlnCuttingPlane(cfg) => {
+                let r = CpiSolver::new(cfg.clone()).solve_lazy(grounding);
+                (
+                    r.assignment,
+                    r.cost,
+                    r.feasible,
+                    r.stats.active_clauses,
+                    None,
+                )
+            }
+            Backend::PslAdmm { psl, admm } => {
+                let r = tecore_psl::solve(grounding, psl, admm);
+                // Discrete cost of the rounded world, for comparability
+                // with the MLN backends. Hard-clause satisfaction of the
+                // rounded world defines feasibility.
+                let problem = SatProblem::from_grounding(grounding);
+                let (cost, hard_violations) = problem.evaluate(&r.assignment);
+                (
+                    r.assignment,
+                    cost,
+                    hard_violations == 0,
+                    grounding.clauses.len(),
+                    Some(r.values),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecore_kg::parser::parse_graph;
+
+    const RANIERI: &str = "\
+        (CR, coach, Chelsea, [2000,2004]) 0.9\n\
+        (CR, coach, Leicester, [2015,2017]) 0.7\n\
+        (CR, playsFor, Palermo, [1984,1986]) 0.5\n\
+        (CR, birthDate, 1951, [1951,2017]) 1.0\n\
+        (CR, coach, Napoli, [2001,2003]) 0.6\n";
+
+    const PAPER_PROGRAM: &str = "\
+        f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+        f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlap(t, t') \
+            -> quad(x, livesIn, z, t ∩ t') w = 1.6\n\
+        f3: quad(x, playsFor, y, t) ^ quad(x, birthDate, z, t') ^ t - t' < 20 \
+            -> quad(x, type, TeenPlayer) w = 2.9\n\
+        c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf\n\
+        c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n\
+        c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf\n";
+
+    fn run(backend: Backend) -> Resolution {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend,
+            ..TecoreConfig::default()
+        };
+        Tecore::with_config(graph, program, config).resolve().unwrap()
+    }
+
+    /// The paper's running example, Figure 7: fact (5) (Napoli) removed,
+    /// facts (1)–(4) kept, on every backend.
+    #[test]
+    fn running_example_all_backends() {
+        for backend in [
+            Backend::MlnExact,
+            Backend::MlnWalkSat(WalkSatConfig::default()),
+            Backend::MlnCuttingPlane(CpiConfig::default()),
+            Backend::default_psl(),
+        ] {
+            let name = backend.name();
+            let r = run(backend);
+            assert!(r.stats.feasible, "{name}: must be feasible");
+            assert_eq!(
+                r.stats.conflicting_facts, 1,
+                "{name}: exactly the Napoli fact removed"
+            );
+            assert_eq!(r.consistent.len(), 4, "{name}");
+            let removed = &r.removed[0];
+            assert_eq!(
+                r.consistent.dict().resolve(removed.fact.object),
+                "Napoli",
+                "{name}"
+            );
+            // f1 derives worksFor(CR, Palermo, [1984,1986]).
+            assert_eq!(r.inferred.len(), 1, "{name}: {:?}", r.inferred);
+            assert_eq!(r.inferred[0].predicate, "worksFor", "{name}");
+            // c2 detected exactly one conflict.
+            assert_eq!(
+                r.stats.per_constraint,
+                vec![("c2".to_string(), 1)],
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn expanded_graph_contains_inferred() {
+        let r = run(Backend::MlnExact);
+        let expanded = r.expanded_graph();
+        assert_eq!(expanded.len(), 5); // 4 kept + 1 inferred
+        let works_for = expanded.dict().lookup("worksFor").unwrap();
+        assert_eq!(expanded.facts_with_predicate(works_for).count(), 1);
+    }
+
+    #[test]
+    fn gibbs_confidence_grades_inferred() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: Backend::MlnExact,
+            confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
+            ..TecoreConfig::default()
+        };
+        let r = Tecore::with_config(graph, program, config).resolve().unwrap();
+        assert_eq!(r.inferred.len(), 1);
+        let c = r.inferred[0].confidence;
+        assert!((0.0..=1.0).contains(&c));
+        // The worksFor derivation is supported by a w=2.5 rule from a
+        // 0.5-confidence fact; its marginal should be clearly above 0.5.
+        assert!(c > 0.5, "confidence {c}");
+    }
+
+    #[test]
+    fn threshold_drops_inferred() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: Backend::MlnExact,
+            threshold: 2.0, // impossible bar: drops everything
+            ..TecoreConfig::default()
+        };
+        let r = Tecore::with_config(graph, program, config).resolve().unwrap();
+        assert_eq!(r.inferred.len(), 0);
+        assert_eq!(r.stats.thresholded_facts, 1);
+    }
+
+    #[test]
+    fn psl_confidences_are_soft_values() {
+        let r = run(Backend::default_psl());
+        assert_eq!(r.inferred.len(), 1);
+        let c = r.inferred[0].confidence;
+        assert!((0.0..=1.0).contains(&c));
+        assert!(c > 0.5, "supported derivation should have high value, got {c}");
+    }
+
+    #[test]
+    fn conflict_free_graph_untouched() {
+        let graph = parse_graph(
+            "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+             (CR, coach, Leicester, [2015,2017]) 0.7\n",
+        )
+        .unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let r = Tecore::new(graph, program).resolve().unwrap();
+        assert_eq!(r.stats.conflicting_facts, 0);
+        assert_eq!(r.consistent.len(), 2);
+        assert!(r.stats.per_constraint.is_empty());
+    }
+}

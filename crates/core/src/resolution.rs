@@ -1,0 +1,93 @@
+//! The outcome of conflict resolution.
+
+use tecore_kg::{FactId, TemporalFact, UtkGraph};
+use tecore_temporal::Interval;
+
+use crate::explain::ConflictExplanation;
+use crate::stats::DebugStats;
+
+/// An evidence fact rejected by MAP inference — a **conflicting fact**
+/// in the paper's terminology (Figure 8 counts these).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovedFact {
+    /// Original fact id in the input graph.
+    pub id: FactId,
+    /// The fact itself.
+    pub fact: TemporalFact,
+}
+
+/// A derived fact accepted by MAP inference (made explicit by the
+/// inference rules), graded by confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredFact {
+    /// Subject term (resolved).
+    pub subject: String,
+    /// Predicate term (resolved).
+    pub predicate: String,
+    /// Object term (resolved).
+    pub object: String,
+    /// Validity interval.
+    pub interval: Interval,
+    /// Confidence: PSL soft truth value or MLN Gibbs marginal
+    /// (`1.0` when marginal estimation is disabled).
+    pub confidence: f64,
+}
+
+impl std::fmt::Display for InferredFact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}, {}) {:.3}",
+            self.subject, self.predicate, self.object, self.interval, self.confidence
+        )
+    }
+}
+
+/// The most probable conflict-free temporal KG plus the debugging
+/// by-products the demo UI displays.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// The maximal consistent subgraph (evidence kept by MAP).
+    pub consistent: UtkGraph,
+    /// Evidence facts removed (the conflicting statements).
+    pub removed: Vec<RemovedFact>,
+    /// Derived facts accepted by MAP, above the configured threshold.
+    pub inferred: Vec<InferredFact>,
+    /// Why each conflict was detected: the violated constraint and its
+    /// participating facts (independent of which side was removed).
+    pub conflicts: Vec<ConflictExplanation>,
+    /// Statistics (Figure 8).
+    pub stats: DebugStats,
+}
+
+impl Resolution {
+    /// The expanded KG: consistent evidence plus inferred facts
+    /// materialised as graph facts (confidence = inferred confidence,
+    /// floored at a minimum positive value).
+    pub fn expanded_graph(&self) -> UtkGraph {
+        let mut g = self.consistent.clone();
+        for inf in &self.inferred {
+            let conf = inf.confidence.clamp(0.001, 1.0);
+            g.insert(&inf.subject, &inf.predicate, &inf.object, inf.interval, conf)
+                .expect("clamped confidence is valid");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inferred_fact_display() {
+        let f = InferredFact {
+            subject: "CR".into(),
+            predicate: "worksFor".into(),
+            object: "Palermo".into(),
+            interval: Interval::new(1984, 1986).unwrap(),
+            confidence: 0.912,
+        };
+        assert_eq!(f.to_string(), "(CR, worksFor, Palermo, [1984,1986]) 0.912");
+    }
+}

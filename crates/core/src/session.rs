@@ -1,0 +1,276 @@
+//! Headless session: the demo's Web-UI flow as a library API.
+//!
+//! The paper's demonstration walks through: select a uTKG → pick/edit
+//! inference rules and constraints (with predicate auto-completion,
+//! Figure 5) → run a reasoner → browse the consistent and conflicting
+//! statements and the statistics screen (Figure 8). [`Session`] models
+//! exactly that flow; `examples/constraint_editor.rs` drives it from a
+//! CLI.
+
+use tecore_kg::{GraphStats, UtkGraph};
+use tecore_logic::pretty::format_formula;
+use tecore_logic::suggest::{CompletionEngine, Suggestion};
+use tecore_logic::validate::check_formula;
+use tecore_logic::LogicProgram;
+
+use crate::error::TecoreError;
+use crate::pipeline::{Backend, Tecore, TecoreConfig};
+use crate::resolution::Resolution;
+
+/// An interactive TeCoRe session.
+#[derive(Debug, Default)]
+pub struct Session {
+    datasets: Vec<(String, UtkGraph)>,
+    selected: Option<usize>,
+    program: LogicProgram,
+    config: TecoreConfig,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Registers a dataset under a display name.
+    pub fn add_dataset(&mut self, name: impl Into<String>, graph: UtkGraph) {
+        self.datasets.push((name.into(), graph));
+        if self.selected.is_none() {
+            self.selected = Some(self.datasets.len() - 1);
+        }
+    }
+
+    /// Lists registered dataset names.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.datasets.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Selects a dataset by name.
+    pub fn select(&mut self, name: &str) -> Result<(), TecoreError> {
+        match self.datasets.iter().position(|(n, _)| n == name) {
+            Some(i) => {
+                self.selected = Some(i);
+                Ok(())
+            }
+            None => Err(TecoreError::Session(format!("unknown dataset `{name}`"))),
+        }
+    }
+
+    /// The currently selected graph.
+    pub fn graph(&self) -> Result<&UtkGraph, TecoreError> {
+        self.selected
+            .and_then(|i| self.datasets.get(i))
+            .map(|(_, g)| g)
+            .ok_or_else(|| TecoreError::Session("no dataset selected".into()))
+    }
+
+    /// Statistics of the selected graph.
+    pub fn graph_stats(&self) -> Result<GraphStats, TecoreError> {
+        Ok(GraphStats::compute(self.graph()?))
+    }
+
+    /// The auto-completion engine for the selected graph (predicates +
+    /// Allen relations + language keywords).
+    pub fn completion(&self) -> Result<CompletionEngine, TecoreError> {
+        let graph = self.graph()?;
+        let preds = graph
+            .predicates()
+            .into_iter()
+            .map(|p| graph.dict().resolve(p).to_string());
+        Ok(CompletionEngine::with_predicates(preds))
+    }
+
+    /// Completion shortcut: ranked suggestion list for a partial token.
+    pub fn complete(&self, partial: &str, limit: usize) -> Result<Vec<Suggestion>, TecoreError> {
+        Ok(self.completion()?.complete(partial, limit))
+    }
+
+    /// Parses, validates and adds one rule/constraint; returns its
+    /// pretty-printed canonical form (what the editor displays).
+    pub fn add_formula(&mut self, source: &str) -> Result<String, TecoreError> {
+        let formula = tecore_logic::parser::parse_formula(source)?;
+        check_formula(&formula)?;
+        let rendered = format_formula(&formula);
+        self.program.push(formula);
+        Ok(rendered)
+    }
+
+    /// Adds a whole program text (multiple statements).
+    pub fn add_program(&mut self, source: &str) -> Result<usize, TecoreError> {
+        let program = LogicProgram::parse(source)?;
+        program.validate()?;
+        let added = program.len();
+        self.program.extend(program);
+        Ok(added)
+    }
+
+    /// Removes a formula by name; `true` if something was removed.
+    pub fn remove_formula(&mut self, name: &str) -> bool {
+        let before = self.program.len();
+        self.program = self
+            .program
+            .formulas()
+            .iter()
+            .filter(|f| f.name.as_deref() != Some(name))
+            .cloned()
+            .collect();
+        self.program.len() < before
+    }
+
+    /// The current program.
+    pub fn program(&self) -> &LogicProgram {
+        &self.program
+    }
+
+    /// Clears all rules and constraints.
+    pub fn clear_program(&mut self) {
+        self.program = LogicProgram::new();
+    }
+
+    /// Sets the reasoner.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.config.backend = backend;
+    }
+
+    /// Sets the derived-fact confidence threshold.
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.config.threshold = threshold;
+    }
+
+    /// Mutable access to the full configuration.
+    pub fn config_mut(&mut self) -> &mut TecoreConfig {
+        &mut self.config
+    }
+
+    /// Runs conflict resolution on the selected dataset.
+    pub fn run(&self) -> Result<Resolution, TecoreError> {
+        let graph = self.graph()?.clone();
+        if self.program.is_empty() {
+            return Err(TecoreError::Session(
+                "no rules or constraints registered".into(),
+            ));
+        }
+        Tecore::with_config(graph, self.program.clone(), self.config.clone()).resolve()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecore_kg::parser::parse_graph;
+
+    fn ranieri() -> UtkGraph {
+        parse_graph(
+            "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+             (CR, coach, Leicester, [2015,2017]) 0.7\n\
+             (CR, coach, Napoli, [2001,2003]) 0.6\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_demo_flow() {
+        let mut session = Session::new();
+        session.add_dataset("ranieri", ranieri());
+        assert_eq!(session.dataset_names(), vec!["ranieri"]);
+        session.select("ranieri").unwrap();
+
+        // Auto-completion sees the graph's predicates.
+        let suggestions = session.complete("co", 5).unwrap();
+        assert_eq!(suggestions[0].text, "coach");
+
+        // Build c2 in the editor.
+        let rendered = session
+            .add_formula(
+                "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z \
+                 -> disjoint(t, t') w = inf",
+            )
+            .unwrap();
+        assert!(rendered.contains("disjoint"));
+
+        let resolution = session.run().unwrap();
+        assert_eq!(resolution.stats.conflicting_facts, 1);
+        assert_eq!(
+            resolution
+                .consistent
+                .dict()
+                .resolve(resolution.removed[0].fact.object),
+            "Napoli"
+        );
+    }
+
+    #[test]
+    fn errors_without_dataset_or_program() {
+        let session = Session::new();
+        assert!(session.graph().is_err());
+        assert!(session.run().is_err());
+
+        let mut session = Session::new();
+        session.add_dataset("d", ranieri());
+        // No program registered.
+        assert!(matches!(
+            session.run().unwrap_err(),
+            TecoreError::Session(_)
+        ));
+    }
+
+    #[test]
+    fn select_unknown_dataset() {
+        let mut session = Session::new();
+        session.add_dataset("a", ranieri());
+        assert!(session.select("b").is_err());
+        assert!(session.select("a").is_ok());
+    }
+
+    #[test]
+    fn invalid_formula_rejected_by_editor() {
+        let mut session = Session::new();
+        session.add_dataset("d", ranieri());
+        // Unsafe head variable.
+        let err = session
+            .add_formula("quad(x, coach, y, t) -> quad(x, coach, z2, t) w = 1.0")
+            .unwrap_err();
+        assert!(err.to_string().contains("unsafe"));
+        assert!(session.program().is_empty());
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut session = Session::new();
+        session.add_dataset("d", ranieri());
+        session
+            .add_formula("c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf")
+            .unwrap();
+        session
+            .add_formula("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5")
+            .unwrap();
+        assert_eq!(session.program().len(), 2);
+        assert!(session.remove_formula("f1"));
+        assert!(!session.remove_formula("f1"));
+        assert_eq!(session.program().len(), 1);
+        session.clear_program();
+        assert!(session.program().is_empty());
+    }
+
+    #[test]
+    fn add_program_bulk() {
+        let mut session = Session::new();
+        session.add_dataset("d", ranieri());
+        let added = session
+            .add_program(
+                "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+                 c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n",
+            )
+            .unwrap();
+        assert_eq!(added, 2);
+        assert_eq!(session.program().len(), 2);
+    }
+
+    #[test]
+    fn graph_stats_available() {
+        let mut session = Session::new();
+        session.add_dataset("d", ranieri());
+        let stats = session.graph_stats().unwrap();
+        assert_eq!(stats.fact_count, 3);
+    }
+}

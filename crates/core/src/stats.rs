@@ -1,0 +1,123 @@
+//! Debugging statistics — the Figure 8 "result statistics" screen.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Statistics of one conflict-resolution run.
+///
+/// The demo displays "the maximal consistent subset of the utkg, and
+/// statistics (e.g., number of noisy facts removed) about the debugging
+/// process"; Figure 8 shows total facts and the number of conflicting
+/// facts (19,734 out of 243,157 on the FootballDB uTKG).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DebugStats {
+    /// Facts in the input uTKG.
+    pub total_facts: usize,
+    /// Evidence facts rejected by MAP inference (conflicting facts).
+    pub conflicting_facts: usize,
+    /// Derived facts accepted (after thresholding).
+    pub inferred_facts: usize,
+    /// Derived facts dropped by the confidence threshold.
+    pub thresholded_facts: usize,
+    /// Ground atoms (solver variables).
+    pub atoms: usize,
+    /// Ground clauses handed to the solver (final active set for CPI).
+    pub clauses: usize,
+    /// Violated-constraint groundings observed per constraint name.
+    pub per_constraint: Vec<(String, usize)>,
+    /// Backend identifier (`"mln-exact"`, `"mln-cpi"`, `"psl-admm"`, ...).
+    pub backend: &'static str,
+    /// Did the solver satisfy all hard constraints?
+    pub feasible: bool,
+    /// Final MAP cost (violated soft weight).
+    pub cost: f64,
+    /// Grounding wall-clock time.
+    pub grounding_time: Duration,
+    /// Solver wall-clock time.
+    pub solve_time: Duration,
+}
+
+impl DebugStats {
+    /// Fraction of facts flagged as conflicting.
+    pub fn conflict_ratio(&self) -> f64 {
+        if self.total_facts == 0 {
+            0.0
+        } else {
+            self.conflicting_facts as f64 / self.total_facts as f64
+        }
+    }
+
+    /// Total wall-clock time (grounding + solving) — the quantity the
+    /// paper reports for the nRockIt/nPSL comparison.
+    pub fn total_time(&self) -> Duration {
+        self.grounding_time + self.solve_time
+    }
+}
+
+impl fmt::Display for DebugStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== TeCoRe result statistics ==")?;
+        writeln!(f, "backend            : {}", self.backend)?;
+        writeln!(f, "temporal facts     : {}", self.total_facts)?;
+        writeln!(
+            f,
+            "conflicting facts  : {} ({:.2}%)",
+            self.conflicting_facts,
+            self.conflict_ratio() * 100.0
+        )?;
+        writeln!(f, "inferred facts     : {}", self.inferred_facts)?;
+        if self.thresholded_facts > 0 {
+            writeln!(f, "below threshold    : {}", self.thresholded_facts)?;
+        }
+        writeln!(f, "ground atoms       : {}", self.atoms)?;
+        writeln!(f, "ground clauses     : {}", self.clauses)?;
+        writeln!(f, "feasible           : {}", self.feasible)?;
+        writeln!(f, "map cost           : {:.4}", self.cost)?;
+        writeln!(f, "grounding time     : {:?}", self.grounding_time)?;
+        writeln!(f, "solve time         : {:?}", self.solve_time)?;
+        if !self.per_constraint.is_empty() {
+            writeln!(f, "violations by constraint:")?;
+            for (name, count) in &self.per_constraint {
+                writeln!(f, "  {name:<16} {count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_total_time() {
+        let s = DebugStats {
+            total_facts: 243_157,
+            conflicting_facts: 19_734,
+            grounding_time: Duration::from_millis(100),
+            solve_time: Duration::from_millis(150),
+            ..DebugStats::default()
+        };
+        assert!((s.conflict_ratio() - 0.08115).abs() < 1e-4);
+        assert_eq!(s.total_time(), Duration::from_millis(250));
+        assert_eq!(DebugStats::default().conflict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_rows() {
+        let s = DebugStats {
+            total_facts: 5,
+            conflicting_facts: 1,
+            inferred_facts: 1,
+            backend: "mln-exact",
+            feasible: true,
+            per_constraint: vec![("c2".into(), 1)],
+            ..DebugStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("temporal facts     : 5"));
+        assert!(text.contains("conflicting facts  : 1"));
+        assert!(text.contains("c2"));
+        assert!(text.contains("mln-exact"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Thresholding of derived facts.
+//!
+//! "TeCoRe allows to set a threshold value and remove derived facts
+//! below that" (paper §1). The threshold applies to *derived* facts
+//! only — evidence facts are governed by MAP inference itself.
+
+use crate::resolution::InferredFact;
+
+/// Retains inferred facts with `confidence >= threshold`; returns the
+/// kept facts and the number dropped.
+pub fn apply(inferred: Vec<InferredFact>, threshold: f64) -> (Vec<InferredFact>, usize) {
+    if threshold <= 0.0 {
+        return (inferred, 0);
+    }
+    let before = inferred.len();
+    let kept: Vec<InferredFact> = inferred
+        .into_iter()
+        .filter(|f| f.confidence >= threshold)
+        .collect();
+    let dropped = before - kept.len();
+    (kept, dropped)
+}
+
+/// Sweeps a set of thresholds and reports `(threshold, kept)` pairs —
+/// the curve behind experiment E5.
+pub fn sweep(inferred: &[InferredFact], thresholds: &[f64]) -> Vec<(f64, usize)> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let kept = inferred.iter().filter(|f| f.confidence >= t).count();
+            (t, kept)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecore_temporal::Interval;
+
+    fn fact(conf: f64) -> InferredFact {
+        InferredFact {
+            subject: "s".into(),
+            predicate: "p".into(),
+            object: "o".into(),
+            interval: Interval::new(1, 2).unwrap(),
+            confidence: conf,
+        }
+    }
+
+    #[test]
+    fn zero_threshold_keeps_all() {
+        let (kept, dropped) = apply(vec![fact(0.1), fact(0.9)], 0.0);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn filters_below() {
+        let (kept, dropped) = apply(vec![fact(0.1), fact(0.5), fact(0.9)], 0.5);
+        assert_eq!(kept.len(), 2); // 0.5 inclusive
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn sweep_monotone_decreasing() {
+        let facts = vec![fact(0.2), fact(0.4), fact(0.6), fact(0.8)];
+        let curve = sweep(&facts, &[0.0, 0.3, 0.5, 0.7, 0.9]);
+        assert_eq!(
+            curve,
+            vec![(0.0, 4), (0.3, 3), (0.5, 2), (0.7, 1), (0.9, 0)]
+        );
+        for w in curve.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

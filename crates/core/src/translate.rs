@@ -1,0 +1,84 @@
+//! The TeCoRe translator θ.
+//!
+//! "The translator parses data, inference rules, and temporal
+//! constraints, and transforms those into the specific syntax of the
+//! chosen solver. Special care is taken to verify that the input adheres
+//! to the expressivity of the solver." (paper §2.1)
+//!
+//! Concretely: validate every formula against the backend's
+//! expressivity, then ground (`tecore-ground`). The MLN backend with
+//! cutting-plane inference defers constraint grounding; everything else
+//! grounds eagerly.
+
+use tecore_ground::{ground, GroundConfig, Grounding};
+use tecore_kg::UtkGraph;
+use tecore_logic::validate::{check_expressivity, Expressivity};
+use tecore_logic::LogicProgram;
+
+use crate::error::TecoreError;
+use crate::pipeline::Backend;
+
+/// Translates a (graph, program) pair for the given backend.
+pub fn translate(
+    graph: &UtkGraph,
+    program: &LogicProgram,
+    backend: &Backend,
+    base: &GroundConfig,
+) -> Result<Grounding, TecoreError> {
+    let expressivity = match backend {
+        Backend::PslAdmm { .. } => Expressivity::Psl,
+        _ => Expressivity::Mln,
+    };
+    for f in program.formulas() {
+        check_expressivity(f, expressivity)?;
+    }
+    let mut config = base.clone();
+    config.ground_constraints = !matches!(backend, Backend::MlnCuttingPlane(_));
+    Ok(ground(graph, program, &config)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Backend;
+    use tecore_kg::parser::parse_graph;
+
+    #[test]
+    fn psl_expressivity_enforced() {
+        let graph = parse_graph("(a, rel, b, [1,2]) 0.9\n").unwrap();
+        // Numeric consequent: fine for MLN, rejected for PSL.
+        let program = LogicProgram::parse("quad(x, rel, y, t) -> t - t < 1").unwrap();
+        assert!(translate(&graph, &program, &Backend::MlnExact, &GroundConfig::default()).is_ok());
+        let err = translate(
+            &graph,
+            &program,
+            &Backend::default_psl(),
+            &GroundConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("PSL"));
+    }
+
+    #[test]
+    fn cpi_defers_constraints() {
+        let graph = parse_graph(
+            "(a, coach, b, [1,5]) 0.9\n(a, coach, c, [2,4]) 0.5\n",
+        )
+        .unwrap();
+        let program = LogicProgram::parse(
+            "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+        )
+        .unwrap();
+        let eager = translate(&graph, &program, &Backend::MlnExact, &GroundConfig::default())
+            .unwrap();
+        let lazy = translate(
+            &graph,
+            &program,
+            &Backend::MlnCuttingPlane(Default::default()),
+            &GroundConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(eager.stats.formula_clauses, 1);
+        assert_eq!(lazy.stats.formula_clauses, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Generator configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the FootballDB-like generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FootballConfig {
+    /// Number of players.
+    pub players: usize,
+    /// Fraction of players who also have `coach` spells.
+    pub coach_fraction: f64,
+    /// Erroneous facts per correct fact (`1.0` = the paper's "as many
+    /// erroneous facts as the correct ones").
+    pub noise_ratio: f64,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Last observed year (`birthDate` intervals end here, careers are
+    /// clipped to it). The paper's data ends in 2017.
+    pub observation_end: i64,
+}
+
+impl Default for FootballConfig {
+    fn default() -> Self {
+        FootballConfig {
+            players: 2_000,
+            coach_fraction: 0.12,
+            noise_ratio: 0.25,
+            seed: 0xF007_BA11,
+            observation_end: 2017,
+        }
+    }
+}
+
+impl FootballConfig {
+    /// Average facts per player produced by the generator (one birth
+    /// date, ~3 playing spells, coach spells for a fraction of
+    /// players). Used to size configs from a target fact count.
+    pub const FACTS_PER_PLAYER: f64 = 4.02;
+
+    /// Sizes the generator to approximately `total_facts` facts
+    /// (correct + noisy) at the given noise ratio.
+    pub fn with_target_facts(total_facts: usize, noise_ratio: f64, seed: u64) -> Self {
+        let correct = total_facts as f64 / (1.0 + noise_ratio);
+        let players = (correct / Self::FACTS_PER_PLAYER).round().max(1.0) as usize;
+        FootballConfig {
+            players,
+            noise_ratio,
+            seed,
+            ..FootballConfig::default()
+        }
+    }
+
+    /// The configuration calibrated to the paper's Figure 8 screen:
+    /// a uTKG of ≈243,157 temporal facts with ≈8.1% conflicting facts
+    /// (19,734 reported).
+    pub fn paper_scale() -> Self {
+        // conflicting/total = 19734/243157 ≈ 0.08115
+        // noise/(correct+noise) = 0.08115 → ratio ≈ 0.0883.
+        FootballConfig::with_target_facts(243_157, 0.0883, 0x7ec0_2017)
+    }
+}
+
+/// Configuration of the Wikidata-like generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WikidataConfig {
+    /// Total number of temporal facts to generate (correct + noisy).
+    pub total_facts: usize,
+    /// Erroneous facts per correct fact.
+    pub noise_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WikidataConfig {
+    fn default() -> Self {
+        WikidataConfig {
+            total_facts: 100_000,
+            noise_ratio: 0.1,
+            seed: 0x1D47A_u64,
+        }
+    }
+}
+
+impl WikidataConfig {
+    /// The full-scale slice of the paper (6.3M facts). Heavy: intended
+    /// for the scaling example, not for unit tests.
+    pub fn paper_scale() -> Self {
+        WikidataConfig {
+            total_facts: 6_300_000,
+            ..WikidataConfig::default()
+        }
+    }
+
+    /// Relation mix of the paper (§4), normalised to fractions of the
+    /// total: `playsFor` dominates with >4M of 6.3M facts; the listed
+    /// long-tail relations keep their relative sizes; the remainder is
+    /// spread over generic relations.
+    pub const RELATION_MIX: [(&'static str, f64); 5] = [
+        ("playsFor", 0.635),   // > 4M
+        ("memberOf", 0.00365), // > 23K
+        ("spouse", 0.00317),   // > 20K
+        ("educatedAt", 0.00095), // > 6K
+        ("occupation", 0.00071), // > 4.5K
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_sizing() {
+        let cfg = FootballConfig::with_target_facts(10_000, 0.25, 1);
+        let correct = cfg.players as f64 * FootballConfig::FACTS_PER_PLAYER;
+        let total = correct * 1.25;
+        assert!((total - 10_000.0).abs() / 10_000.0 < 0.05, "total ≈ {total}");
+    }
+
+    #[test]
+    fn paper_scale_ratio() {
+        let cfg = FootballConfig::paper_scale();
+        let share = cfg.noise_ratio / (1.0 + cfg.noise_ratio);
+        assert!((share - 0.08115).abs() < 0.001, "share {share}");
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let f = FootballConfig::default();
+        assert!(f.players > 0 && f.noise_ratio >= 0.0);
+        let w = WikidataConfig::default();
+        assert!(w.total_facts > 0);
+    }
+
+    #[test]
+    fn wikidata_mix_sums_below_one() {
+        let s: f64 = WikidataConfig::RELATION_MIX.iter().map(|(_, f)| f).sum();
+        assert!(s < 1.0);
+        assert!(s > 0.6);
+    }
+}

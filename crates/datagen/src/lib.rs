@@ -1,0 +1,36 @@
+//! # tecore-datagen
+//!
+//! Seeded synthetic workload generators reproducing the datasets of the
+//! TeCoRe demonstration (paper §4):
+//!
+//! * **FootballDB** — temporal facts about football players
+//!   (`playsFor`, `birthDate`, plus `coach` spells), scraped from
+//!   footballdb.com in the paper. The original scrape is not available,
+//!   so [`football`] generates a structurally equivalent uTKG: players
+//!   with non-overlapping career spells and unique birth dates, then
+//!   **injects labelled erroneous facts** (overlapping spells, duplicate
+//!   birth dates, death-before-birth) at a configurable noise ratio —
+//!   including the paper's "as many erroneous temporal facts as the
+//!   correct ones" stress setting.
+//! * **Wikidata** — the 6.3M-fact temporal slice with the paper's
+//!   relation mix (`playsFor` > 4M, `memberOf` > 23K, `spouse` > 20K,
+//!   `educatedAt` > 6K, `occupation` > 4.5K), scaled by a single knob
+//!   ([`wikidata`]).
+//!
+//! Ground-truth labels make repair quality measurable: [`noise`]
+//! computes precision/recall of conflict resolution against the
+//! injected noise.
+//!
+//! [`standard`] holds the paper's literal fixtures: the Claudio Ranieri
+//! uTKG of Figure 1 and the rule/constraint sets of Figures 4 and 6.
+
+pub mod config;
+pub mod football;
+pub mod noise;
+pub mod standard;
+pub mod wikidata;
+
+pub use config::{FootballConfig, WikidataConfig};
+pub use football::generate_football;
+pub use noise::{repair_metrics, GeneratedKg, RepairMetrics};
+pub use wikidata::generate_wikidata;

@@ -1,0 +1,173 @@
+//! Noise labels and repair-quality metrics.
+
+use tecore_kg::{FactId, UtkGraph};
+
+/// A generated uTKG with ground-truth noise labels.
+#[derive(Debug, Clone)]
+pub struct GeneratedKg {
+    /// The graph (correct + injected noisy facts).
+    pub graph: UtkGraph,
+    /// `labels[fact.index()] == true` iff the fact was injected noise.
+    pub labels: Vec<bool>,
+    /// Number of correct facts.
+    pub correct_facts: usize,
+    /// Number of injected noisy facts.
+    pub noisy_facts: usize,
+}
+
+impl GeneratedKg {
+    /// Is a fact injected noise?
+    pub fn is_noise(&self, id: FactId) -> bool {
+        self.labels.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Total number of facts.
+    pub fn total_facts(&self) -> usize {
+        self.correct_facts + self.noisy_facts
+    }
+
+    /// Share of noisy facts.
+    pub fn noise_share(&self) -> f64 {
+        if self.total_facts() == 0 {
+            0.0
+        } else {
+            self.noisy_facts as f64 / self.total_facts() as f64
+        }
+    }
+}
+
+/// Repair quality of a conflict-resolution run against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RepairMetrics {
+    /// Noisy facts removed (good removals).
+    pub true_positives: usize,
+    /// Correct facts removed (collateral damage).
+    pub false_positives: usize,
+    /// Noisy facts kept (missed noise).
+    pub false_negatives: usize,
+    /// Correct facts kept.
+    pub true_negatives: usize,
+}
+
+impl RepairMetrics {
+    /// Precision of removals.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall of removals.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl std::fmt::Display for RepairMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "precision {:.3}, recall {:.3}, f1 {:.3} (tp {}, fp {}, fn {}, tn {})",
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives,
+            self.true_negatives
+        )
+    }
+}
+
+/// Scores a set of removed facts against the ground-truth labels.
+pub fn repair_metrics(generated: &GeneratedKg, removed: &[FactId]) -> RepairMetrics {
+    let removed_set: std::collections::HashSet<FactId> = removed.iter().copied().collect();
+    let mut m = RepairMetrics::default();
+    for (i, &is_noise) in generated.labels.iter().enumerate() {
+        let id = FactId(i as u32);
+        let was_removed = removed_set.contains(&id);
+        match (is_noise, was_removed) {
+            (true, true) => m.true_positives += 1,
+            (false, true) => m.false_positives += 1,
+            (true, false) => m.false_negatives += 1,
+            (false, false) => m.true_negatives += 1,
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generated(labels: Vec<bool>) -> GeneratedKg {
+        let noisy = labels.iter().filter(|&&b| b).count();
+        GeneratedKg {
+            graph: UtkGraph::new(),
+            correct_facts: labels.len() - noisy,
+            noisy_facts: noisy,
+            labels,
+        }
+    }
+
+    #[test]
+    fn metrics_quadrants() {
+        // facts: [correct, noise, noise, correct]; removed: 1 (tp), 3 (fp)
+        let g = generated(vec![false, true, true, false]);
+        let m = repair_metrics(&g, &[FactId(1), FactId(3)]);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        assert!((m.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_repair() {
+        let g = generated(vec![false, true, false]);
+        let m = repair_metrics(&g, &[FactId(1)]);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn no_removals_edge_cases() {
+        let g = generated(vec![false, false]);
+        let m = repair_metrics(&g, &[]);
+        assert_eq!(m.precision(), 1.0); // vacuous
+        assert_eq!(m.recall(), 1.0); // no noise to find
+        let g = generated(vec![true, false]);
+        let m = repair_metrics(&g, &[]);
+        assert_eq!(m.recall(), 0.0);
+    }
+
+    #[test]
+    fn noise_share() {
+        let g = generated(vec![true, false, false, false]);
+        assert!((g.noise_share() - 0.25).abs() < 1e-12);
+        assert!(g.is_noise(FactId(0)));
+        assert!(!g.is_noise(FactId(1)));
+        assert!(!g.is_noise(FactId(99)));
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's literal fixtures: Figure 1 (the Claudio Ranieri uTKG),
+//! Figure 4 (inference rules f1–f3) and Figure 6 (constraints c1–c3),
+//! plus the standard constraint sets used on the generated datasets.
+
+use tecore_kg::parser::parse_graph;
+use tecore_kg::UtkGraph;
+use tecore_logic::LogicProgram;
+
+/// Figure 1: the uTKG `G` about coach Claudio Ranieri (CR).
+pub fn ranieri_utkg() -> UtkGraph {
+    parse_graph(
+        "# Figure 1: a utkg G about coach Claudio Raineri (CR)\n\
+         (CR, coach, Chelsea, [2000,2004]) 0.9\n\
+         (CR, coach, Leicester, [2015,2017]) 0.7\n\
+         (CR, playsFor, Palermo, [1984,1986]) 0.5\n\
+         (CR, birthDate, 1951, [1951,2017]) 1.0\n\
+         (CR, coach, Napoli, [2001,2003]) 0.6\n",
+    )
+    .expect("static fixture parses")
+}
+
+/// Figure 4: temporal inference rules F.
+///
+/// f2's `overalps` [sic] condition means "the intervals share time": the
+/// derived `livesIn` interval is their (non-empty) intersection, so the
+/// faithful encoding uses the disjunctive `overlap` predicate, not the
+/// strict basic Allen relation `overlaps`.
+pub fn paper_rules() -> LogicProgram {
+    LogicProgram::parse(
+        "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+         f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlap(t, t') \
+             -> quad(x, livesIn, z, t ∩ t') w = 1.6\n\
+         f3: quad(x, playsFor, y, t) ^ quad(x, birthDate, z, t') ^ t - t' < 20 \
+             -> quad(x, type, TeenPlayer) w = 2.9\n",
+    )
+    .expect("static fixture parses")
+}
+
+/// Figure 6: temporal constraints C.
+pub fn paper_constraints() -> LogicProgram {
+    LogicProgram::parse(
+        "c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf\n\
+         c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n\
+         c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf\n",
+    )
+    .expect("static fixture parses")
+}
+
+/// Rules F ∪ constraints C — the full running-example program.
+pub fn paper_program() -> LogicProgram {
+    let mut p = paper_rules();
+    p.extend(paper_constraints());
+    p
+}
+
+/// The constraint set for the FootballDB workload: career-spell
+/// disjointness for `playsFor` and `coach`, birth-date uniqueness, and
+/// birth-before-death. Exactly the constraint classes of §2 instantiated
+/// for the two relations the paper highlights (§4).
+///
+/// `cLife` follows the paper's c1 convention: `birthDate` intervals run
+/// from the birth year to the observation horizon (Figure 1, fact (4)),
+/// so a *valid* death lies inside that interval and only a death before
+/// birth makes `before(t', t)` (death strictly before the birth
+/// interval) true — which the denial body detects.
+pub fn football_program() -> LogicProgram {
+    LogicProgram::parse(
+        "cSpell: quad(x, playsFor, y, t) ^ quad(x, playsFor, z, t') ^ y != z \
+             -> disjoint(t, t') w = inf\n\
+         cCoach: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z \
+             -> disjoint(t, t') w = inf\n\
+         cBirth: quad(x, birthDate, y, t) ^ quad(x, birthDate, z, t') ^ overlap(t, t') \
+             -> y = z w = inf\n\
+         cLife: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') ^ before(t', t) \
+             -> false w = inf\n",
+    )
+    .expect("static fixture parses")
+}
+
+/// The constraint set for the Wikidata workload: spouse-interval
+/// monogamy, membership disjointness per organisation pair, and
+/// education-after-birth.
+pub fn wikidata_program() -> LogicProgram {
+    LogicProgram::parse(
+        "wSpouse: quad(x, spouse, y, t) ^ quad(x, spouse, z, t') ^ y != z \
+             -> disjoint(t, t') w = inf\n\
+         wPlays: quad(x, playsFor, y, t) ^ quad(x, playsFor, z, t') ^ y != z \
+             -> disjoint(t, t') w = inf\n\
+         wBirth: quad(x, birthDate, y, t) ^ quad(x, birthDate, z, t') ^ overlap(t, t') \
+             -> y = z w = inf\n",
+    )
+    .expect("static fixture parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_has_five_facts() {
+        let g = ranieri_utkg();
+        assert_eq!(g.len(), 5);
+        let coach = g.dict().lookup("coach").unwrap();
+        assert_eq!(g.facts_with_predicate(coach).count(), 3);
+    }
+
+    #[test]
+    fn rule_and_constraint_counts() {
+        assert_eq!(paper_rules().len(), 3);
+        assert_eq!(paper_constraints().len(), 3);
+        let full = paper_program();
+        assert_eq!(full.len(), 6);
+        assert_eq!(full.rules().count(), 3);
+        assert_eq!(full.constraints().count(), 3);
+    }
+
+    #[test]
+    fn all_fixtures_validate() {
+        paper_program().validate().unwrap();
+        football_program().validate().unwrap();
+        wikidata_program().validate().unwrap();
+    }
+
+    #[test]
+    fn football_program_names() {
+        let p = football_program();
+        for name in ["cSpell", "cCoach", "cBirth", "cLife"] {
+            assert!(p.by_name(name).is_some(), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Ground atoms and the interning atom store.
+
+use std::collections::HashMap;
+
+use tecore_kg::{FactId, Symbol};
+use tecore_temporal::Interval;
+
+/// Identifier of a ground atom within one [`AtomStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// Index into the store's atom table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How an atom is justified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomKind {
+    /// Backed by one or more evidence facts of the uTKG. `log_odds` is
+    /// the combined evidence weight (independent evidence adds in
+    /// log-odds space); `facts` are the contributing fact ids.
+    Evidence {
+        /// Combined evidence weight.
+        log_odds: f64,
+        /// Contributing facts (usually one).
+        facts: Vec<FactId>,
+    },
+    /// Introduced by a rule/inclusion-dependency head: a *hidden* atom
+    /// whose truth the solver decides.
+    Hidden,
+}
+
+impl AtomKind {
+    /// Is this an evidence atom?
+    pub fn is_evidence(&self) -> bool {
+        matches!(self, AtomKind::Evidence { .. })
+    }
+}
+
+/// A ground quad atom `quad(s, p, o, [t_b, t_e])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundAtom {
+    /// Subject symbol.
+    pub subject: Symbol,
+    /// Predicate symbol.
+    pub predicate: Symbol,
+    /// Object symbol.
+    pub object: Symbol,
+    /// Validity interval.
+    pub interval: Interval,
+    /// Evidence or hidden.
+    pub kind: AtomKind,
+}
+
+/// Interning store of ground atoms with the secondary indexes the join
+/// engine needs (by predicate, by subject+predicate, by
+/// predicate+object). Indexes are maintained incrementally on insert.
+#[derive(Debug, Default, Clone)]
+pub struct AtomStore {
+    atoms: Vec<GroundAtom>,
+    interned: HashMap<(Symbol, Symbol, Symbol, Interval), AtomId>,
+    by_pred: HashMap<Symbol, Vec<AtomId>>,
+    by_sp: HashMap<(Symbol, Symbol), Vec<AtomId>>,
+    by_po: HashMap<(Symbol, Symbol), Vec<AtomId>>,
+}
+
+impl AtomStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        AtomStore::default()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The atom for an id.
+    pub fn atom(&self, id: AtomId) -> &GroundAtom {
+        &self.atoms[id.index()]
+    }
+
+    /// Looks up an atom by its ground key.
+    pub fn lookup(
+        &self,
+        s: Symbol,
+        p: Symbol,
+        o: Symbol,
+        interval: Interval,
+    ) -> Option<AtomId> {
+        self.interned.get(&(s, p, o, interval)).copied()
+    }
+
+    /// Interns an evidence atom, merging confidence if the same ground
+    /// statement was asserted more than once (independent evidence adds
+    /// in log-odds space).
+    pub fn intern_evidence(
+        &mut self,
+        s: Symbol,
+        p: Symbol,
+        o: Symbol,
+        interval: Interval,
+        log_odds: f64,
+        fact: FactId,
+    ) -> AtomId {
+        if let Some(&id) = self.interned.get(&(s, p, o, interval)) {
+            match &mut self.atoms[id.index()].kind {
+                AtomKind::Evidence {
+                    log_odds: w,
+                    facts,
+                } => {
+                    *w += log_odds;
+                    facts.push(fact);
+                }
+                kind @ AtomKind::Hidden => {
+                    // A derived atom later confirmed by evidence is
+                    // upgraded to evidence.
+                    *kind = AtomKind::Evidence {
+                        log_odds,
+                        facts: vec![fact],
+                    };
+                }
+            }
+            return id;
+        }
+        self.insert(GroundAtom {
+            subject: s,
+            predicate: p,
+            object: o,
+            interval,
+            kind: AtomKind::Evidence {
+                log_odds,
+                facts: vec![fact],
+            },
+        })
+    }
+
+    /// Interns a hidden (derived) atom; returns `(id, was_new)`.
+    pub fn intern_hidden(
+        &mut self,
+        s: Symbol,
+        p: Symbol,
+        o: Symbol,
+        interval: Interval,
+    ) -> (AtomId, bool) {
+        if let Some(&id) = self.interned.get(&(s, p, o, interval)) {
+            return (id, false);
+        }
+        let id = self.insert(GroundAtom {
+            subject: s,
+            predicate: p,
+            object: o,
+            interval,
+            kind: AtomKind::Hidden,
+        });
+        (id, true)
+    }
+
+    fn insert(&mut self, atom: GroundAtom) -> AtomId {
+        let id = AtomId(u32::try_from(self.atoms.len()).expect("atom store overflow"));
+        self.interned.insert(
+            (atom.subject, atom.predicate, atom.object, atom.interval),
+            id,
+        );
+        self.by_pred.entry(atom.predicate).or_default().push(id);
+        self.by_sp
+            .entry((atom.subject, atom.predicate))
+            .or_default()
+            .push(id);
+        self.by_po
+            .entry((atom.predicate, atom.object))
+            .or_default()
+            .push(id);
+        self.atoms.push(atom);
+        id
+    }
+
+    /// Iterates over all atoms.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AtomId(i as u32), a))
+    }
+
+    /// Atoms with the given predicate.
+    pub fn with_predicate(&self, p: Symbol) -> &[AtomId] {
+        self.by_pred.get(&p).map_or(&[], Vec::as_slice)
+    }
+
+    /// Atoms with the given subject and predicate.
+    pub fn with_subject_predicate(&self, s: Symbol, p: Symbol) -> &[AtomId] {
+        self.by_sp.get(&(s, p)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Atoms with the given predicate and object.
+    pub fn with_predicate_object(&self, p: Symbol, o: Symbol) -> &[AtomId] {
+        self.by_po.get(&(p, o)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of evidence atoms.
+    pub fn evidence_count(&self) -> usize {
+        self.atoms.iter().filter(|a| a.kind.is_evidence()).count()
+    }
+
+    /// Number of hidden atoms.
+    pub fn hidden_count(&self) -> usize {
+        self.len() - self.evidence_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn intern_evidence_merges_duplicates() {
+        let mut store = AtomStore::new();
+        let (s, p, o) = (Symbol(0), Symbol(1), Symbol(2));
+        let a = store.intern_evidence(s, p, o, iv(1, 2), 1.0, FactId(0));
+        let b = store.intern_evidence(s, p, o, iv(1, 2), 0.5, FactId(1));
+        assert_eq!(a, b);
+        assert_eq!(store.len(), 1);
+        match &store.atom(a).kind {
+            AtomKind::Evidence { log_odds, facts } => {
+                assert!((log_odds - 1.5).abs() < 1e-12);
+                assert_eq!(facts.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hidden_then_evidence_upgrade() {
+        let mut store = AtomStore::new();
+        let (s, p, o) = (Symbol(0), Symbol(1), Symbol(2));
+        let (h, new) = store.intern_hidden(s, p, o, iv(1, 2));
+        assert!(new);
+        let (h2, new2) = store.intern_hidden(s, p, o, iv(1, 2));
+        assert_eq!(h, h2);
+        assert!(!new2);
+        let e = store.intern_evidence(s, p, o, iv(1, 2), 2.0, FactId(7));
+        assert_eq!(e, h);
+        assert!(store.atom(e).kind.is_evidence());
+        assert_eq!(store.evidence_count(), 1);
+        assert_eq!(store.hidden_count(), 0);
+    }
+
+    #[test]
+    fn distinct_intervals_distinct_atoms() {
+        let mut store = AtomStore::new();
+        let (s, p, o) = (Symbol(0), Symbol(1), Symbol(2));
+        let a = store.intern_evidence(s, p, o, iv(1, 2), 1.0, FactId(0));
+        let b = store.intern_evidence(s, p, o, iv(1, 3), 1.0, FactId(1));
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn indexes() {
+        let mut store = AtomStore::new();
+        let (s1, s2, p, o1, o2) = (Symbol(0), Symbol(1), Symbol(2), Symbol(3), Symbol(4));
+        store.intern_evidence(s1, p, o1, iv(1, 2), 1.0, FactId(0));
+        store.intern_evidence(s1, p, o2, iv(3, 4), 1.0, FactId(1));
+        store.intern_evidence(s2, p, o1, iv(5, 6), 1.0, FactId(2));
+        assert_eq!(store.with_predicate(p).len(), 3);
+        assert_eq!(store.with_subject_predicate(s1, p).len(), 2);
+        assert_eq!(store.with_predicate_object(p, o1).len(), 2);
+        assert!(store.with_predicate(Symbol(99)).is_empty());
+        assert_eq!(store.lookup(s1, p, o1, iv(1, 2)), Some(AtomId(0)));
+        assert_eq!(store.lookup(s1, p, o1, iv(9, 9)), None);
+    }
+}

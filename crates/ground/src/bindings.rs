@@ -1,0 +1,134 @@
+//! Variable bindings used during body matching.
+
+use tecore_kg::Symbol;
+use tecore_temporal::Interval;
+
+use tecore_logic::VarId;
+
+/// A partial substitution for one formula's variables.
+///
+/// Entity and time variables live in separate slots (a variable has
+/// exactly one sort after validation, so one of the two slots is always
+/// unused for a given id — wasting one `Option` per variable is cheaper
+/// than a tagged map at this scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bindings {
+    entities: Vec<Option<Symbol>>,
+    intervals: Vec<Option<Interval>>,
+}
+
+impl Bindings {
+    /// Fresh bindings for a formula with `n_vars` variables.
+    pub fn new(n_vars: usize) -> Self {
+        Bindings {
+            entities: vec![None; n_vars],
+            intervals: vec![None; n_vars],
+        }
+    }
+
+    /// The entity bound to `v`, if any.
+    #[inline]
+    pub fn entity(&self, v: VarId) -> Option<Symbol> {
+        self.entities[v.index()]
+    }
+
+    /// The interval bound to `v`, if any.
+    #[inline]
+    pub fn interval(&self, v: VarId) -> Option<Interval> {
+        self.intervals[v.index()]
+    }
+
+    /// Binds an entity variable; `false` if already bound to a different
+    /// symbol (unification failure).
+    #[inline]
+    pub fn bind_entity(&mut self, v: VarId, sym: Symbol) -> bool {
+        match self.entities[v.index()] {
+            Some(existing) => existing == sym,
+            None => {
+                self.entities[v.index()] = Some(sym);
+                true
+            }
+        }
+    }
+
+    /// Binds an interval variable; `false` on mismatch.
+    #[inline]
+    pub fn bind_interval(&mut self, v: VarId, iv: Interval) -> bool {
+        match self.intervals[v.index()] {
+            Some(existing) => existing == iv,
+            None => {
+                self.intervals[v.index()] = Some(iv);
+                true
+            }
+        }
+    }
+
+    /// Clears an entity binding (backtracking).
+    #[inline]
+    pub fn unbind_entity(&mut self, v: VarId) {
+        self.entities[v.index()] = None;
+    }
+
+    /// Clears an interval binding (backtracking).
+    #[inline]
+    pub fn unbind_interval(&mut self, v: VarId) {
+        self.intervals[v.index()] = None;
+    }
+
+    /// Snapshot for backtracking: the caller restores with
+    /// [`Bindings::restore`].
+    pub fn snapshot(&self) -> (Vec<Option<Symbol>>, Vec<Option<Interval>>) {
+        (self.entities.clone(), self.intervals.clone())
+    }
+
+    /// Restores a snapshot.
+    pub fn restore(&mut self, snap: (Vec<Option<Symbol>>, Vec<Option<Interval>>)) {
+        self.entities = snap.0;
+        self.intervals = snap.1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn bind_and_unify() {
+        let mut b = Bindings::new(3);
+        assert!(b.bind_entity(VarId(0), Symbol(7)));
+        assert!(b.bind_entity(VarId(0), Symbol(7)), "same symbol re-binds");
+        assert!(!b.bind_entity(VarId(0), Symbol(8)), "different symbol fails");
+        assert_eq!(b.entity(VarId(0)), Some(Symbol(7)));
+        assert_eq!(b.entity(VarId(1)), None);
+
+        assert!(b.bind_interval(VarId(1), iv(1, 2)));
+        assert!(!b.bind_interval(VarId(1), iv(1, 3)));
+        assert_eq!(b.interval(VarId(1)), Some(iv(1, 2)));
+    }
+
+    #[test]
+    fn unbind() {
+        let mut b = Bindings::new(2);
+        b.bind_entity(VarId(0), Symbol(1));
+        b.unbind_entity(VarId(0));
+        assert_eq!(b.entity(VarId(0)), None);
+        b.bind_interval(VarId(1), iv(1, 2));
+        b.unbind_interval(VarId(1));
+        assert_eq!(b.interval(VarId(1)), None);
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut b = Bindings::new(2);
+        b.bind_entity(VarId(0), Symbol(1));
+        let snap = b.snapshot();
+        b.bind_entity(VarId(1), Symbol(2));
+        b.restore(snap);
+        assert_eq!(b.entity(VarId(0)), Some(Symbol(1)));
+        assert_eq!(b.entity(VarId(1)), None);
+    }
+}

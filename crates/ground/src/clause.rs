@@ -1,0 +1,226 @@
+//! Ground clauses: the weighted CNF both backends optimise over.
+
+use std::fmt;
+
+use crate::atoms::AtomId;
+
+/// A literal: an atom or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// The atom.
+    pub atom: AtomId,
+    /// `true` for the atom itself, `false` for its negation.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal.
+    pub const fn pos(atom: AtomId) -> Lit {
+        Lit {
+            atom,
+            positive: true,
+        }
+    }
+
+    /// Negative literal.
+    pub const fn neg(atom: AtomId) -> Lit {
+        Lit {
+            atom,
+            positive: false,
+        }
+    }
+
+    /// The opposite literal.
+    #[must_use]
+    pub const fn negated(self) -> Lit {
+        Lit {
+            atom: self.atom,
+            positive: !self.positive,
+        }
+    }
+
+    /// Truth value under an assignment.
+    #[inline]
+    pub fn satisfied_by(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "¬")?;
+        }
+        write!(f, "a{}", self.atom.0)
+    }
+}
+
+/// Clause weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClauseWeight {
+    /// Must be satisfied in every model.
+    Hard,
+    /// May be violated at this (positive, finite) cost.
+    Soft(f64),
+}
+
+impl ClauseWeight {
+    /// Is this a hard clause?
+    pub fn is_hard(self) -> bool {
+        matches!(self, ClauseWeight::Hard)
+    }
+
+    /// The soft cost, if any.
+    pub fn soft(self) -> Option<f64> {
+        match self {
+            ClauseWeight::Hard => None,
+            ClauseWeight::Soft(w) => Some(w),
+        }
+    }
+}
+
+/// Where a ground clause came from, for reporting and for the conflict
+/// statistics of the demo's results screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClauseOrigin {
+    /// Grounding of the program formula with this index.
+    Formula(usize),
+    /// Evidence unit clause for a uTKG fact.
+    Evidence,
+    /// Closed-world prior on a hidden atom.
+    Prior,
+}
+
+/// A weighted ground clause (disjunction of literals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundClause {
+    /// The disjuncts. Invariant: sorted, duplicate-free (see
+    /// [`GroundClause::new`]).
+    pub lits: Vec<Lit>,
+    /// Hard or soft weight.
+    pub weight: ClauseWeight,
+    /// Provenance.
+    pub origin: ClauseOrigin,
+}
+
+impl GroundClause {
+    /// Builds a clause, normalising literal order and dropping duplicate
+    /// literals. Returns `None` for tautologies (`a ∨ ¬a`).
+    pub fn new(mut lits: Vec<Lit>, weight: ClauseWeight, origin: ClauseOrigin) -> Option<Self> {
+        lits.sort_unstable();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].atom == w[1].atom {
+                return None; // contains both a and ¬a
+            }
+        }
+        Some(GroundClause {
+            lits,
+            weight,
+            origin,
+        })
+    }
+
+    /// Is the clause satisfied by `assignment` (indexed by atom id)?
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.lits
+            .iter()
+            .any(|l| l.satisfied_by(assignment[l.atom.index()]))
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Is the clause empty (unsatisfiable)?
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Signature for deduplication: the sorted literals.
+    pub fn signature(&self) -> &[Lit] {
+        &self.lits
+    }
+}
+
+impl fmt::Display for GroundClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        match self.weight {
+            ClauseWeight::Hard => write!(f, " [hard]"),
+            ClauseWeight::Soft(w) => write!(f, " [{w}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_and_tautology() {
+        let c = GroundClause::new(
+            vec![Lit::neg(AtomId(3)), Lit::pos(AtomId(1)), Lit::pos(AtomId(1))],
+            ClauseWeight::Hard,
+            ClauseOrigin::Formula(0),
+        )
+        .unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lits[0], Lit::pos(AtomId(1)));
+        let taut = GroundClause::new(
+            vec![Lit::pos(AtomId(1)), Lit::neg(AtomId(1))],
+            ClauseWeight::Hard,
+            ClauseOrigin::Formula(0),
+        );
+        assert!(taut.is_none());
+    }
+
+    #[test]
+    fn satisfaction() {
+        let c = GroundClause::new(
+            vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))],
+            ClauseWeight::Soft(1.0),
+            ClauseOrigin::Formula(0),
+        )
+        .unwrap();
+        assert!(c.satisfied_by(&[false, false]));
+        assert!(c.satisfied_by(&[true, true]));
+        assert!(!c.satisfied_by(&[true, false]));
+    }
+
+    #[test]
+    fn lit_ops() {
+        let l = Lit::pos(AtomId(5));
+        assert_eq!(l.negated(), Lit::neg(AtomId(5)));
+        assert_eq!(l.negated().negated(), l);
+        assert!(l.satisfied_by(true));
+        assert!(!l.satisfied_by(false));
+        assert!(Lit::neg(AtomId(5)).satisfied_by(false));
+        assert_eq!(l.to_string(), "a5");
+        assert_eq!(l.negated().to_string(), "¬a5");
+    }
+
+    #[test]
+    fn weights() {
+        assert!(ClauseWeight::Hard.is_hard());
+        assert_eq!(ClauseWeight::Hard.soft(), None);
+        assert_eq!(ClauseWeight::Soft(2.5).soft(), Some(2.5));
+    }
+
+    #[test]
+    fn display() {
+        let c = GroundClause::new(
+            vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))],
+            ClauseWeight::Soft(1.5),
+            ClauseOrigin::Formula(0),
+        )
+        .unwrap();
+        assert_eq!(c.to_string(), "¬a0 ∨ a1 [1.5]");
+    }
+}

@@ -1,0 +1,817 @@
+//! Full (semi-naive) grounding of a program against a uTKG.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use tecore_kg::{Dictionary, FactId, Symbol, UtkGraph};
+use tecore_logic::atom::CmpOp;
+use tecore_logic::formula::Weight;
+use tecore_logic::term::{TimeTerm, VarId};
+use tecore_logic::{LogicError, LogicProgram};
+use tecore_temporal::Interval;
+
+use crate::atoms::{AtomId, AtomStore};
+use crate::bindings::Bindings;
+use crate::clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
+use crate::compile::{
+    CCondition, CConsequent, CPattern, CTerm, CTime, CompiledFormula, CompiledProgram,
+};
+
+/// Grounding configuration.
+#[derive(Debug, Clone)]
+pub struct GroundConfig {
+    /// Pin confidence-1 facts as hard evidence (default: `false`, so a
+    /// conflict between two "certain" facts stays resolvable).
+    pub pin_certain: bool,
+    /// Closed-world prior weight on hidden atoms (soft unit clause
+    /// `¬h`). Keeps unsupported derivations false in the MAP state.
+    pub hidden_prior: f64,
+    /// Safety valve on semi-naive rounds (rule-chain depth).
+    pub max_rounds: usize,
+    /// Emit per-evidence-atom soft unit clauses (default `true`).
+    pub emit_evidence_units: bool,
+    /// Ground constraint formulas eagerly (default `true`; cutting-plane
+    /// inference sets this to `false` and grounds violations lazily).
+    pub ground_constraints: bool,
+}
+
+impl Default for GroundConfig {
+    fn default() -> Self {
+        GroundConfig {
+            pin_certain: false,
+            hidden_prior: 0.05,
+            max_rounds: 16,
+            emit_evidence_units: true,
+            ground_constraints: true,
+        }
+    }
+}
+
+/// Statistics of one grounding run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundingStats {
+    /// Semi-naive rounds executed.
+    pub rounds: usize,
+    /// Total body matches found (before consequent evaluation).
+    pub body_matches: usize,
+    /// Ground clauses emitted (excluding evidence units and priors).
+    pub formula_clauses: usize,
+    /// Evidence atoms created.
+    pub evidence_atoms: usize,
+    /// Hidden atoms created.
+    pub hidden_atoms: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for GroundingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grounding: {} rounds, {} matches, {} formula clauses, \
+             {} evidence atoms, {} hidden atoms, {:?}",
+            self.rounds,
+            self.body_matches,
+            self.formula_clauses,
+            self.evidence_atoms,
+            self.hidden_atoms,
+            self.elapsed
+        )
+    }
+}
+
+/// The result of grounding: the ground weighted program both backends
+/// consume.
+#[derive(Debug, Clone)]
+pub struct Grounding {
+    /// All ground atoms.
+    pub store: AtomStore,
+    /// All ground clauses (formula groundings + evidence units + priors).
+    pub clauses: Vec<GroundClause>,
+    /// Dictionary covering the graph *and* head constants.
+    pub dict: Dictionary,
+    /// The compiled program (used again by cutting-plane inference).
+    pub program: CompiledProgram,
+    /// Evidence fact → atom mapping.
+    pub fact_atoms: HashMap<FactId, AtomId>,
+    /// Run statistics.
+    pub stats: GroundingStats,
+}
+
+impl Grounding {
+    /// Number of ground atoms (solver variables).
+    pub fn num_atoms(&self) -> usize {
+        self.store.len()
+    }
+}
+
+/// Grounds `program` against `graph`.
+pub fn ground(
+    graph: &UtkGraph,
+    program: &LogicProgram,
+    config: &GroundConfig,
+) -> Result<Grounding, LogicError> {
+    let start = Instant::now();
+    let mut dict = graph.dict().clone();
+    let compiled = CompiledProgram::compile(program, &mut dict)?;
+
+    let mut store = AtomStore::new();
+    let mut fact_atoms = HashMap::with_capacity(graph.len());
+    for (fid, fact) in graph.iter() {
+        let id = store.intern_evidence(
+            fact.subject,
+            fact.predicate,
+            fact.object,
+            fact.interval,
+            fact.confidence.log_odds(),
+            fid,
+        );
+        fact_atoms.insert(fid, id);
+    }
+    let evidence_atoms = store.len();
+
+    let mut clauses: Vec<GroundClause> = Vec::new();
+    let mut seen: HashSet<(usize, Vec<Lit>)> = HashSet::new();
+    let mut stats = GroundingStats {
+        evidence_atoms,
+        ..GroundingStats::default()
+    };
+
+    // Semi-naive fixpoint over the formulas.
+    let mut delta_start = 0usize;
+    loop {
+        stats.rounds += 1;
+        if stats.rounds > config.max_rounds {
+            break;
+        }
+        let horizon = store.len();
+        if delta_start >= horizon {
+            break;
+        }
+        // Buffered matches: (formula idx, body atoms, head key).
+        let mut pending: Vec<(usize, Vec<AtomId>, Option<HeadKey>)> = Vec::new();
+        for cf in &compiled.formulas {
+            if !cf.consequent.derives() && !config.ground_constraints {
+                continue;
+            }
+            for delta_pos in 0..cf.body.len() {
+                enumerate_matches(
+                    &store,
+                    cf,
+                    horizon,
+                    Some((delta_start, delta_pos)),
+                    None,
+                    &mut |chosen, bindings| {
+                        stats.body_matches += 1;
+                        collect_match(cf, chosen, bindings, &store, &mut pending);
+                    },
+                );
+            }
+        }
+        // Apply buffered matches: intern head atoms, emit clauses.
+        for (fidx, body_atoms, head) in pending {
+            let cf = &compiled.formulas[fidx];
+            let mut lits: Vec<Lit> = body_atoms.iter().map(|&a| Lit::neg(a)).collect();
+            if let Some(key) = head {
+                let (head_id, _new) =
+                    store.intern_hidden(key.subject, key.predicate, key.object, key.interval);
+                lits.push(Lit::pos(head_id));
+            }
+            let weight = match cf.weight {
+                Weight::Hard => ClauseWeight::Hard,
+                Weight::Soft(w) => ClauseWeight::Soft(w),
+            };
+            if let Some(clause) = GroundClause::new(lits, weight, ClauseOrigin::Formula(fidx)) {
+                if seen.insert((fidx, clause.lits.clone())) {
+                    stats.formula_clauses += 1;
+                    clauses.push(clause);
+                }
+            }
+        }
+        if store.len() == horizon {
+            break; // no new atoms: no new matches possible next round
+        }
+        delta_start = horizon;
+    }
+
+    // Evidence unit clauses.
+    if config.emit_evidence_units {
+        for (id, atom) in store.iter() {
+            if let crate::atoms::AtomKind::Evidence { log_odds, .. } = &atom.kind {
+                let w = *log_odds;
+                if config.pin_certain && w >= 20.0 {
+                    clauses.push(
+                        GroundClause::new(
+                            vec![Lit::pos(id)],
+                            ClauseWeight::Hard,
+                            ClauseOrigin::Evidence,
+                        )
+                        .expect("unit clause"),
+                    );
+                } else {
+                    // A confidence of exactly 0.5 has log-odds 0; keep a
+                    // positive bias strictly larger than the hidden-atom
+                    // prior so the MAP state never deletes an
+                    // uninformative fact gratuitously (removed facts are
+                    // reported as conflicts, and "keep the fact plus its
+                    // rule derivations" must beat "silently drop it").
+                    let (lit, weight) = if w.abs() <= 1e-9 {
+                        (Lit::pos(id), (4.0 * config.hidden_prior).max(0.2))
+                    } else if w > 0.0 {
+                        (Lit::pos(id), w)
+                    } else {
+                        (Lit::neg(id), -w)
+                    };
+                    clauses.push(
+                        GroundClause::new(
+                            vec![lit],
+                            ClauseWeight::Soft(weight),
+                            ClauseOrigin::Evidence,
+                        )
+                        .expect("unit clause"),
+                    );
+                }
+            }
+        }
+    }
+    // Closed-world priors on hidden atoms.
+    if config.hidden_prior > 0.0 {
+        for (id, atom) in store.iter() {
+            if !atom.kind.is_evidence() {
+                clauses.push(
+                    GroundClause::new(
+                        vec![Lit::neg(id)],
+                        ClauseWeight::Soft(config.hidden_prior),
+                        ClauseOrigin::Prior,
+                    )
+                    .expect("unit clause"),
+                );
+            }
+        }
+    }
+
+    stats.hidden_atoms = store.hidden_count();
+    stats.elapsed = start.elapsed();
+    Ok(Grounding {
+        store,
+        clauses,
+        dict,
+        program: compiled,
+        fact_atoms,
+        stats,
+    })
+}
+
+/// Ground key of a pending head atom.
+struct HeadKey {
+    subject: Symbol,
+    predicate: Symbol,
+    object: Symbol,
+    interval: Interval,
+}
+
+/// Evaluates the consequent for a completed body match and records the
+/// resulting pending clause (if any).
+fn collect_match(
+    cf: &CompiledFormula,
+    chosen: &[AtomId],
+    bindings: &Bindings,
+    store: &AtomStore,
+    pending: &mut Vec<(usize, Vec<AtomId>, Option<HeadKey>)>,
+) {
+    match &cf.consequent {
+        CConsequent::Quad {
+            subject,
+            predicate,
+            object,
+            time,
+        } => {
+            let s = resolve_entity(subject, bindings);
+            let p = resolve_entity(predicate, bindings);
+            let o = resolve_entity(object, bindings);
+            let (Some(s), Some(p), Some(o)) = (s, p, o) else {
+                return;
+            };
+            let interval = match head_time(time.as_ref(), bindings, chosen, store) {
+                Some(iv) => iv,
+                None => return, // empty intersection: no derivation
+            };
+            pending.push((
+                cf.index,
+                chosen.to_vec(),
+                Some(HeadKey {
+                    subject: s,
+                    predicate: p,
+                    object: o,
+                    interval,
+                }),
+            ));
+        }
+        other => {
+            if !consequent_holds(other, bindings) {
+                pending.push((cf.index, chosen.to_vec(), None));
+            }
+        }
+    }
+}
+
+/// Default head-time policy: explicit expression if present, otherwise
+/// the intersection of the body intervals, otherwise their hull.
+fn head_time(
+    time: Option<&TimeTerm>,
+    bindings: &Bindings,
+    chosen: &[AtomId],
+    store: &AtomStore,
+) -> Option<Interval> {
+    if let Some(t) = time {
+        return t.eval(&|v: VarId| bindings.interval(v));
+    }
+    let mut iter = chosen.iter().map(|&a| store.atom(a).interval);
+    let first = iter.next()?;
+    let mut inter = Some(first);
+    let mut hull = first;
+    for iv in iter {
+        inter = inter.and_then(|i| i.intersection(iv));
+        hull = hull.hull(iv);
+    }
+    Some(inter.unwrap_or(hull))
+}
+
+/// Evaluates a non-deriving consequent under complete bindings.
+pub(crate) fn consequent_holds(c: &CConsequent, bindings: &Bindings) -> bool {
+    match c {
+        CConsequent::Quad { .. } => unreachable!("deriving consequent"),
+        CConsequent::Temporal(tc) => tc.eval(&|v| bindings.interval(v)).unwrap_or(false),
+        CConsequent::Numeric(cmp) => cmp.eval(&|v| bindings.interval(v)).unwrap_or(false),
+        CConsequent::EntityCmp { left, op, right } => {
+            match (resolve_entity(left, bindings), resolve_entity(right, bindings)) {
+                (Some(l), Some(r)) => match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                    _ => false,
+                },
+                _ => false,
+            }
+        }
+        CConsequent::False => false,
+    }
+}
+
+#[inline]
+pub(crate) fn resolve_entity(t: &CTerm, bindings: &Bindings) -> Option<Symbol> {
+    match t {
+        CTerm::Sym(s) => Some(*s),
+        CTerm::Var(v) => bindings.entity(*v),
+    }
+}
+
+/// Evaluates one scheduled condition.
+pub(crate) fn eval_condition(c: &CCondition, bindings: &Bindings) -> bool {
+    match c {
+        CCondition::Temporal(tc) => tc.eval(&|v| bindings.interval(v)).unwrap_or(false),
+        CCondition::Numeric(cmp) => cmp.eval(&|v| bindings.interval(v)).unwrap_or(false),
+        CCondition::EntityCmp { left, op, right } => {
+            match (resolve_entity(left, bindings), resolve_entity(right, bindings)) {
+                (Some(l), Some(r)) => match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                    _ => false,
+                },
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Enumerates all body matches of `cf` against `store`.
+///
+/// * `horizon` — only atoms with `id < horizon` participate (atoms
+///   created during the current round are next round's delta);
+/// * `delta` — `Some((delta_start, delta_pos))` restricts matches to
+///   those whose atom at body position `delta_pos` has
+///   `id >= delta_start`, while positions *before* `delta_pos` (in body
+///   order) must use `id < delta_start`. This is the standard semi-naive
+///   dedup so each new match is produced exactly once across delta
+///   positions. `None` enumerates everything once.
+/// * `filter` — optional per-atom admission test (used by cutting-plane
+///   violation search with "atom is true in the current world").
+pub(crate) fn enumerate_matches(
+    store: &AtomStore,
+    cf: &CompiledFormula,
+    horizon: usize,
+    delta: Option<(usize, usize)>,
+    filter: Option<&dyn Fn(AtomId) -> bool>,
+    on_match: &mut dyn FnMut(&[AtomId], &Bindings),
+) {
+    let mut bindings = Bindings::new(cf.n_vars);
+    let mut chosen: Vec<AtomId> = vec![AtomId(0); cf.body.len()];
+    descend(
+        store,
+        cf,
+        horizon,
+        delta,
+        filter,
+        0,
+        &mut bindings,
+        &mut chosen,
+        on_match,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    store: &AtomStore,
+    cf: &CompiledFormula,
+    horizon: usize,
+    delta: Option<(usize, usize)>,
+    filter: Option<&dyn Fn(AtomId) -> bool>,
+    step: usize,
+    bindings: &mut Bindings,
+    chosen: &mut Vec<AtomId>,
+    on_match: &mut dyn FnMut(&[AtomId], &Bindings),
+) {
+    if step == cf.body.len() {
+        // `chosen` is indexed by body position (not join order).
+        on_match(chosen, bindings);
+        return;
+    }
+    let pat_idx = cf.join_order[step];
+    let pattern = &cf.body[pat_idx];
+
+    // Candidate list via the most selective available index.
+    let s = resolve_entity(&pattern.subject, bindings);
+    let p = resolve_entity(&pattern.predicate, bindings);
+    let o = resolve_entity(&pattern.object, bindings);
+    let candidates: Candidates = match (s, p, o) {
+        (Some(s), Some(p), _) => Candidates::Slice(store.with_subject_predicate(s, p)),
+        (_, Some(p), Some(o)) => Candidates::Slice(store.with_predicate_object(p, o)),
+        (_, Some(p), None) => Candidates::Slice(store.with_predicate(p)),
+        _ => Candidates::Range(0..store.len() as u32),
+    };
+
+    let admit = |id: AtomId| -> bool {
+        if id.index() >= horizon {
+            return false;
+        }
+        if let Some((delta_start, delta_pos)) = delta {
+            if pat_idx == delta_pos && id.index() < delta_start {
+                return false;
+            }
+            if pat_idx < delta_pos && id.index() >= delta_start {
+                return false;
+            }
+        }
+        if let Some(f) = filter {
+            if !f(id) {
+                return false;
+            }
+        }
+        true
+    };
+
+    let visit = |id: AtomId,
+                     bindings: &mut Bindings,
+                     chosen: &mut Vec<AtomId>,
+                     on_match: &mut dyn FnMut(&[AtomId], &Bindings)| {
+        if !admit(id) {
+            return;
+        }
+        let atom = store.atom(id);
+        let Some(undo) = try_match(pattern, atom, bindings) else {
+            return;
+        };
+        // Scheduled conditions for this step.
+        let ok = cf.schedule[step]
+            .iter()
+            .all(|&ci| eval_condition(&cf.conditions[ci], bindings));
+        if ok {
+            chosen[pat_idx] = id;
+            descend(
+                store, cf, horizon, delta, filter, step + 1, bindings, chosen, on_match,
+            );
+        }
+        undo_bindings(bindings, &undo);
+    };
+
+    match candidates {
+        Candidates::Slice(ids) => {
+            for &id in ids {
+                visit(id, bindings, chosen, on_match);
+            }
+        }
+        Candidates::Range(r) => {
+            for raw in r {
+                visit(AtomId(raw), bindings, chosen, on_match);
+            }
+        }
+    }
+}
+
+enum Candidates<'a> {
+    Slice(&'a [AtomId]),
+    Range(std::ops::Range<u32>),
+}
+
+/// Binding undo log: `(var, was_entity)` entries for fresh bindings.
+type Undo = Vec<(VarId, bool)>;
+
+fn try_match(
+    pattern: &CPattern,
+    atom: &crate::atoms::GroundAtom,
+    bindings: &mut Bindings,
+) -> Option<Undo> {
+    let mut undo: Undo = Vec::with_capacity(4);
+    let bind_entity = |term: &CTerm, value: Symbol, b: &mut Bindings, undo: &mut Undo| -> bool {
+        match term {
+            CTerm::Sym(s) => *s == value,
+            CTerm::Var(v) => {
+                if b.entity(*v).is_none() {
+                    undo.push((*v, true));
+                }
+                b.bind_entity(*v, value)
+            }
+        }
+    };
+    let ok = bind_entity(&pattern.subject, atom.subject, bindings, &mut undo)
+        && bind_entity(&pattern.predicate, atom.predicate, bindings, &mut undo)
+        && bind_entity(&pattern.object, atom.object, bindings, &mut undo)
+        && match &pattern.time {
+            None => true,
+            Some(CTime::Lit(iv)) => *iv == atom.interval,
+            Some(CTime::Var(v)) => {
+                if bindings.interval(*v).is_none() {
+                    undo.push((*v, false));
+                }
+                bindings.bind_interval(*v, atom.interval)
+            }
+        };
+    if ok {
+        Some(undo)
+    } else {
+        undo_bindings(bindings, &undo);
+        None
+    }
+}
+
+fn undo_bindings(bindings: &mut Bindings, undo: &Undo) {
+    for &(v, is_entity) in undo {
+        if is_entity {
+            bindings.unbind_entity(v);
+        } else {
+            bindings.unbind_interval(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecore_kg::parser::parse_graph;
+
+    const RANIERI: &str = "\
+        (CR, coach, Chelsea, [2000,2004]) 0.9\n\
+        (CR, coach, Leicester, [2015,2017]) 0.7\n\
+        (CR, playsFor, Palermo, [1984,1986]) 0.5\n\
+        (CR, birthDate, 1951, [1951,2017]) 1.0\n\
+        (CR, coach, Napoli, [2001,2003]) 0.6\n";
+
+    const PAPER_PROGRAM: &str = "\
+        f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+        f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlaps(t, t') \
+            -> quad(x, livesIn, z, t ∩ t') w = 1.6\n\
+        f3: quad(x, playsFor, y, t) ^ quad(x, birthDate, z, t') ^ t - t' < 20 \
+            -> quad(x, type, TeenPlayer) w = 2.9\n\
+        c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf\n\
+        c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n\
+        c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf\n";
+
+    fn ground_paper() -> Grounding {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        ground(&graph, &program, &GroundConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn running_example_atoms() {
+        let g = ground_paper();
+        // 5 evidence atoms + 1 derived worksFor(CR, Palermo, [1984,1986]).
+        assert_eq!(g.stats.evidence_atoms, 5);
+        assert_eq!(g.stats.hidden_atoms, 1);
+        let works_for = g.dict.lookup("worksFor").unwrap();
+        let derived: Vec<_> = g
+            .store
+            .iter()
+            .filter(|(_, a)| a.predicate == works_for)
+            .collect();
+        assert_eq!(derived.len(), 1);
+        assert_eq!(
+            derived[0].1.interval,
+            Interval::new(1984, 1986).unwrap()
+        );
+    }
+
+    #[test]
+    fn running_example_clauses() {
+        let g = ground_paper();
+        // Formula clauses: 1 from f1 (rule grounding), 1 from c2 (the
+        // Chelsea/Napoli clash). f2, f3, c1, c3 fire nothing.
+        assert_eq!(g.stats.formula_clauses, 2);
+        let c2_clauses: Vec<_> = g
+            .clauses
+            .iter()
+            .filter(|c| c.origin == ClauseOrigin::Formula(4))
+            .collect();
+        assert_eq!(c2_clauses.len(), 1);
+        let clash = c2_clauses[0];
+        assert!(clash.weight.is_hard());
+        assert_eq!(clash.len(), 2);
+        // The clause names the Chelsea and Napoli atoms negatively.
+        let chelsea = g.dict.lookup("Chelsea").unwrap();
+        let napoli = g.dict.lookup("Napoli").unwrap();
+        let objs: Vec<Symbol> = clash
+            .lits
+            .iter()
+            .map(|l| {
+                assert!(!l.positive);
+                g.store.atom(l.atom).object
+            })
+            .collect();
+        assert!(objs.contains(&chelsea));
+        assert!(objs.contains(&napoli));
+    }
+
+    #[test]
+    fn evidence_units_and_priors() {
+        let g = ground_paper();
+        let units = g
+            .clauses
+            .iter()
+            .filter(|c| c.origin == ClauseOrigin::Evidence)
+            .count();
+        assert_eq!(units, 5);
+        let priors = g
+            .clauses
+            .iter()
+            .filter(|c| c.origin == ClauseOrigin::Prior)
+            .count();
+        assert_eq!(priors, 1);
+        // Total: 2 formula + 5 evidence + 1 prior.
+        assert_eq!(g.clauses.len(), 8);
+    }
+
+    #[test]
+    fn pin_certain_makes_birthdate_hard() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = GroundConfig {
+            pin_certain: true,
+            ..GroundConfig::default()
+        };
+        let g = ground(&graph, &program, &config).unwrap();
+        let hard_units = g
+            .clauses
+            .iter()
+            .filter(|c| c.origin == ClauseOrigin::Evidence && c.weight.is_hard())
+            .count();
+        assert_eq!(hard_units, 1); // only the birthDate fact has conf 1.0
+    }
+
+    #[test]
+    fn rule_chain_fixpoint() {
+        // f1 derives worksFor; f2 then derives livesIn from the derived
+        // atom — requires the second semi-naive round.
+        let graph = parse_graph(
+            "(CR, playsFor, Palermo, [1984,1986]) 0.5\n\
+             (Palermo, locatedIn, Sicily, [1900,2020]) 0.9\n",
+        )
+        .unwrap();
+        let program = LogicProgram::parse(
+            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+             f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlap(t, t') \
+                 -> quad(x, livesIn, z, t ∩ t') w = 1.6\n",
+        )
+        .unwrap();
+        let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+        let lives_in = g.dict.lookup("livesIn").unwrap();
+        let derived: Vec<_> = g
+            .store
+            .iter()
+            .filter(|(_, a)| a.predicate == lives_in)
+            .collect();
+        assert_eq!(derived.len(), 1, "livesIn derived through the chain");
+        assert_eq!(derived[0].1.interval, Interval::new(1984, 1986).unwrap());
+        assert!(g.stats.rounds >= 2);
+        // worksFor + livesIn hidden.
+        assert_eq!(g.stats.hidden_atoms, 2);
+    }
+
+    #[test]
+    fn no_duplicate_clauses_across_rounds() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+        let mut sigs: Vec<(usize, Vec<Lit>)> = g
+            .clauses
+            .iter()
+            .filter_map(|c| match c.origin {
+                ClauseOrigin::Formula(i) => Some((i, c.lits.clone())),
+                _ => None,
+            })
+            .collect();
+        let before = sigs.len();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), before);
+    }
+
+    #[test]
+    fn symmetric_constraint_grounding_deduped() {
+        // c2 matches (Chelsea, Napoli) and (Napoli, Chelsea); both yield
+        // the same clause which must appear once.
+        let g = ground_paper();
+        let c2: Vec<_> = g
+            .clauses
+            .iter()
+            .filter(|c| c.origin == ClauseOrigin::Formula(4))
+            .collect();
+        assert_eq!(c2.len(), 1);
+    }
+
+    #[test]
+    fn timeless_head_defaults_to_body_intersection() {
+        let graph = parse_graph(
+            "(a, relA, b, [10,20]) 0.9\n\
+             (a, relB, c, [15,30]) 0.9\n",
+        )
+        .unwrap();
+        let program = LogicProgram::parse(
+            "quad(x, relA, y, t) ^ quad(x, relB, z, t') -> quad(x, both, z) w = 1.0",
+        )
+        .unwrap();
+        let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+        let both = g.dict.lookup("both").unwrap();
+        let (_, atom) = g.store.iter().find(|(_, a)| a.predicate == both).unwrap();
+        assert_eq!(atom.interval, Interval::new(15, 20).unwrap());
+    }
+
+    #[test]
+    fn timeless_head_falls_back_to_hull() {
+        let graph = parse_graph(
+            "(a, relA, b, [10,12]) 0.9\n\
+             (a, relB, c, [20,22]) 0.9\n",
+        )
+        .unwrap();
+        let program = LogicProgram::parse(
+            "quad(x, relA, y, t) ^ quad(x, relB, z, t') -> quad(x, both, z) w = 1.0",
+        )
+        .unwrap();
+        let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+        let both = g.dict.lookup("both").unwrap();
+        let (_, atom) = g.store.iter().find(|(_, a)| a.predicate == both).unwrap();
+        assert_eq!(atom.interval, Interval::new(10, 22).unwrap());
+    }
+
+    #[test]
+    fn skip_constraints_config() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = GroundConfig {
+            ground_constraints: false,
+            ..GroundConfig::default()
+        };
+        let g = ground(&graph, &program, &config).unwrap();
+        // Only the f1 rule clause remains; c2's clash is deferred.
+        assert_eq!(g.stats.formula_clauses, 1);
+    }
+
+    #[test]
+    fn negative_evidence_weight_for_low_confidence() {
+        let graph = parse_graph("(a, p, b, [1,2]) 0.2\n").unwrap();
+        let program = LogicProgram::new();
+        let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+        let unit = g
+            .clauses
+            .iter()
+            .find(|c| c.origin == ClauseOrigin::Evidence)
+            .unwrap();
+        // conf 0.2 → negative log-odds → unit clause prefers ¬a.
+        assert!(!unit.lits[0].positive);
+    }
+
+    #[test]
+    fn literal_interval_in_body_matches_exactly() {
+        let graph = parse_graph(
+            "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+             (CR, coach, Chelsea, [2000,2005]) 0.9\n",
+        )
+        .unwrap();
+        let program = LogicProgram::parse(
+            "quad(x, coach, y, [2000,2004]) -> quad(x, type, Coach2004) w = 1.0",
+        )
+        .unwrap();
+        let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+        assert_eq!(g.stats.formula_clauses, 1);
+    }
+}

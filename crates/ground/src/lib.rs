@@ -1,0 +1,42 @@
+//! # tecore-ground
+//!
+//! The grounding engine of TeCoRe: turns a uTKG plus a logic program
+//! into a **ground weighted program** — the common input of both the MLN
+//! backend (`tecore-mln`) and the PSL backend (`tecore-psl`).
+//!
+//! In the paper's terms this implements the translation
+//! `map(θ(G), F ∪ C)` up to the point where a solver takes over: every
+//! temporal fact becomes a ground **quad atom** (§2, "Temporal
+//! Inference"), inference rules and constraints are grounded against the
+//! evidence (and against derived atoms, to fixpoint), and every grounding
+//! becomes a weighted **ground clause**:
+//!
+//! * rule `b₁ ∧ … ∧ bₙ ∧ cond → h, w` with satisfied condition becomes
+//!   the clause `¬b₁ ∨ … ∨ ¬bₙ ∨ h` with weight `w`;
+//! * a *violated* constraint grounding becomes `¬b₁ ∨ … ∨ ¬bₙ`
+//!   (hard or soft) — "you cannot keep all of these facts";
+//! * evidence atom `a` with confidence `p` becomes a soft unit clause
+//!   `(a)` with weight `ln(p/(1−p))`;
+//! * every derived (hidden) atom gets a small closed-world prior `(¬a)`.
+//!
+//! Grounding is **semi-naive**: each round only considers body matches
+//! that use at least one atom derived in the previous round, so rule
+//! chains (`playsFor → worksFor → livesIn`) terminate in as many rounds
+//! as the dependency depth.
+//!
+//! The module [`violation`] implements the *lazy* grounding used by
+//! cutting-plane inference (RockIt's key trick): given a candidate
+//! world, produce only the constraint groundings that world violates.
+
+pub mod atoms;
+pub mod bindings;
+pub mod clause;
+pub mod compile;
+pub mod grounder;
+pub mod violation;
+
+pub use atoms::{AtomId, AtomKind, AtomStore, GroundAtom};
+pub use bindings::Bindings;
+pub use clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
+pub use compile::{CompiledFormula, CompiledProgram};
+pub use grounder::{ground, GroundConfig, Grounding, GroundingStats};

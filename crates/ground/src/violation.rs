@@ -1,0 +1,256 @@
+//! Lazy (cutting-plane) grounding of constraint violations.
+//!
+//! RockIt's core scalability trick — and hence nRockIt's — is **cutting
+//! plane inference** (CPI): instead of grounding every constraint
+//! eagerly, solve a relaxed problem, then ground only the constraint
+//! instances the current solution *violates*, add them, and repeat.
+//!
+//! This module provides the "find violated groundings" primitive: given
+//! a world (truth assignment over the atom store), enumerate the
+//! constraint groundings whose clause is violated, i.e. all body atoms
+//! true, conditions satisfied, and
+//!
+//! * deriving consequent: head atom false (or missing),
+//! * checking consequent: check fails.
+//!
+//! Only body atoms that are **true in the world** are joined, which makes
+//! each CPI round proportional to the *conflicting* part of the KG, not
+//! to the whole cross product.
+
+use tecore_logic::formula::Weight;
+
+use crate::atoms::{AtomId, AtomStore};
+use crate::clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
+use crate::compile::{CConsequent, CompiledProgram};
+use crate::grounder::{consequent_holds, enumerate_matches, resolve_entity};
+
+/// Finds all constraint groundings violated by `world`.
+///
+/// `world[atom.index()]` is the current truth value. Only formulas with
+/// non-deriving consequents and *deriving hard formulas* (inclusion
+/// dependencies) are considered — inference-rule clauses are assumed to
+/// be grounded eagerly (they create the hidden atoms).
+pub fn violated_clauses(
+    store: &AtomStore,
+    program: &CompiledProgram,
+    world: &[bool],
+) -> Vec<GroundClause> {
+    let mut out = Vec::new();
+    let horizon = store.len();
+    let truthy = |id: AtomId| world[id.index()];
+    for cf in &program.formulas {
+        let is_constraint = !cf.consequent.derives() || matches!(cf.weight, Weight::Hard);
+        if !is_constraint {
+            continue;
+        }
+        enumerate_matches(store, cf, horizon, None, Some(&truthy), &mut |chosen,
+                                                                         bindings| {
+            let violated = match &cf.consequent {
+                CConsequent::Quad {
+                    subject,
+                    predicate,
+                    object,
+                    time,
+                } => {
+                    // Head must exist and be true; anything else violates.
+                    let s = resolve_entity(subject, bindings);
+                    let p = resolve_entity(predicate, bindings);
+                    let o = resolve_entity(object, bindings);
+                    match (s, p, o) {
+                        (Some(s), Some(p), Some(o)) => {
+                            let iv = match time {
+                                Some(t) => {
+                                    t.eval(&|v| bindings.interval(v))
+                                }
+                                None => {
+                                    // Same default policy as the eager
+                                    // grounder: intersection else hull.
+                                    let mut iter =
+                                        chosen.iter().map(|&a| store.atom(a).interval);
+                                    iter.next().map(|first| {
+                                        let (inter, hull) = iter.fold(
+                                            (Some(first), first),
+                                            |(i, h), iv| {
+                                                (i.and_then(|x| x.intersection(iv)), h.hull(iv))
+                                            },
+                                        );
+                                        inter.unwrap_or(hull)
+                                    })
+                                }
+                            };
+                            match iv {
+                                Some(iv) => match store.lookup(s, p, o, iv) {
+                                    Some(head) => !world[head.index()],
+                                    None => true,
+                                },
+                                None => false, // empty intersection: nothing required
+                            }
+                        }
+                        _ => false,
+                    }
+                }
+                other => !consequent_holds(other, bindings),
+            };
+            if violated {
+                let mut lits: Vec<Lit> = chosen.iter().map(|&a| Lit::neg(a)).collect();
+                if let CConsequent::Quad {
+                    subject,
+                    predicate,
+                    object,
+                    time,
+                } = &cf.consequent
+                {
+                    // Re-resolve the head atom to add the positive lit if
+                    // it exists (it always does after eager rule
+                    // grounding).
+                    if let (Some(s), Some(p), Some(o)) = (
+                        resolve_entity(subject, bindings),
+                        resolve_entity(predicate, bindings),
+                        resolve_entity(object, bindings),
+                    ) {
+                        let iv = match time {
+                            Some(t) => t.eval(&|v| bindings.interval(v)),
+                            None => {
+                                let mut iter = chosen.iter().map(|&a| store.atom(a).interval);
+                                iter.next().map(|first| {
+                                    let (inter, hull) =
+                                        iter.fold((Some(first), first), |(i, h), iv| {
+                                            (i.and_then(|x| x.intersection(iv)), h.hull(iv))
+                                        });
+                                    inter.unwrap_or(hull)
+                                })
+                            }
+                        };
+                        if let Some(head) = iv.and_then(|iv| store.lookup(s, p, o, iv)) {
+                            lits.push(Lit::pos(head));
+                        }
+                    }
+                }
+                let weight = match cf.weight {
+                    Weight::Hard => ClauseWeight::Hard,
+                    Weight::Soft(w) => ClauseWeight::Soft(w),
+                };
+                if let Some(clause) =
+                    GroundClause::new(lits, weight, ClauseOrigin::Formula(cf.index))
+                {
+                    out.push(clause);
+                }
+            }
+        });
+    }
+    // The same violation can be found through symmetric matches; dedup.
+    out.sort_by(|a, b| {
+        (origin_key(a.origin), &a.lits).cmp(&(origin_key(b.origin), &b.lits))
+    });
+    out.dedup_by(|a, b| a.origin == b.origin && a.lits == b.lits);
+    out
+}
+
+fn origin_key(o: ClauseOrigin) -> usize {
+    match o {
+        ClauseOrigin::Formula(i) => i,
+        ClauseOrigin::Evidence => usize::MAX - 1,
+        ClauseOrigin::Prior => usize::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounder::{ground, GroundConfig};
+    use tecore_kg::parser::parse_graph;
+    use tecore_logic::LogicProgram;
+
+    const RANIERI: &str = "\
+        (CR, coach, Chelsea, [2000,2004]) 0.9\n\
+        (CR, coach, Leicester, [2015,2017]) 0.7\n\
+        (CR, playsFor, Palermo, [1984,1986]) 0.5\n\
+        (CR, birthDate, 1951, [1951,2017]) 1.0\n\
+        (CR, coach, Napoli, [2001,2003]) 0.6\n";
+
+    const PROGRAM: &str = "\
+        f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+        c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n";
+
+    #[test]
+    fn finds_chelsea_napoli_clash() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PROGRAM).unwrap();
+        let config = GroundConfig {
+            ground_constraints: false,
+            ..GroundConfig::default()
+        };
+        let g = ground(&graph, &program, &config).unwrap();
+        // World: everything true.
+        let world = vec![true; g.store.len()];
+        let violated = violated_clauses(&g.store, &g.program, &world);
+        // c2 violated once (Chelsea/Napoli, deduped across symmetry);
+        // f1's clause is satisfied because the hidden head is true.
+        assert_eq!(violated.len(), 1);
+        assert_eq!(violated[0].origin, ClauseOrigin::Formula(1));
+        assert!(violated[0].weight.is_hard());
+    }
+
+    #[test]
+    fn no_violations_after_removing_napoli() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PROGRAM).unwrap();
+        let config = GroundConfig {
+            ground_constraints: false,
+            ..GroundConfig::default()
+        };
+        let g = ground(&graph, &program, &config).unwrap();
+        let napoli = g.dict.lookup("Napoli").unwrap();
+        let mut world = vec![true; g.store.len()];
+        for (id, atom) in g.store.iter() {
+            if atom.object == napoli {
+                world[id.index()] = false;
+            }
+        }
+        let violated = violated_clauses(&g.store, &g.program, &world);
+        assert!(violated.is_empty());
+    }
+
+    #[test]
+    fn rule_head_false_counts_for_hard_inclusion() {
+        // An inclusion dependency (hard, quad head): violated when the
+        // body is true but the head atom is false.
+        let graph = parse_graph("(a, rel, b, [1,2]) 0.9\n").unwrap();
+        let program =
+            LogicProgram::parse("quad(x, rel, y, t) -> quad(x, drv, y, t) w = inf").unwrap();
+        let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+        // Hidden head exists after eager grounding. World: body true,
+        // head false.
+        let q = g.dict.lookup("drv").unwrap();
+        let mut world = vec![true; g.store.len()];
+        for (id, atom) in g.store.iter() {
+            if atom.predicate == q {
+                world[id.index()] = false;
+            }
+        }
+        let violated = violated_clauses(&g.store, &g.program, &world);
+        assert_eq!(violated.len(), 1);
+        // The clause offers the positive head literal as a repair.
+        assert!(violated[0].lits.iter().any(|l| l.positive));
+        // Satisfied world → nothing.
+        let world = vec![true; g.store.len()];
+        assert!(violated_clauses(&g.store, &g.program, &world).is_empty());
+    }
+
+    #[test]
+    fn body_atoms_false_in_world_do_not_fire() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PROGRAM).unwrap();
+        let g = ground(
+            &graph,
+            &program,
+            &GroundConfig {
+                ground_constraints: false,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap();
+        let world = vec![false; g.store.len()];
+        assert!(violated_clauses(&g.store, &g.program, &world).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! String interning for graph terms.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for an interned term (IRI, literal or predicate
+/// name). Symbols are only meaningful relative to the [`Dictionary`] that
+/// produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Index into the dictionary's term table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional string ↔ [`Symbol`] mapping.
+///
+/// Every subject, predicate and object of a uTKG is interned once;
+/// the grounding engine and the solvers only ever see `u32` symbols.
+/// Lookup is O(1) in both directions.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Box<str>>,
+    index: HashMap<Box<str>, Symbol>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Creates a dictionary with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Dictionary {
+            terms: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Interns `term`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(term) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.terms.len()).expect("dictionary overflow (>4G terms)"));
+        let boxed: Box<str> = term.into();
+        self.terms.push(boxed.clone());
+        self.index.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up an already-interned term.
+    pub fn lookup(&self, term: &str) -> Option<Symbol> {
+        self.index.get(term).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol does not belong to this dictionary.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.terms[sym.index()]
+    }
+
+    /// Resolves a symbol, returning `None` for foreign symbols.
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&str> {
+        self.terms.get(sym.index()).map(|s| s.as_ref())
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Symbol(i as u32), t.as_ref()))
+    }
+
+    /// Terms starting with `prefix`, for the constraint editor's
+    /// auto-completion (Figure 5 of the paper).
+    pub fn complete(&self, prefix: &str) -> Vec<&str> {
+        let mut hits: Vec<&str> = self
+            .terms
+            .iter()
+            .map(|t| t.as_ref())
+            .filter(|t| t.starts_with(prefix))
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("coach");
+        let b = d.intern("coach");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_distinct_symbols() {
+        let mut d = Dictionary::new();
+        let a = d.intern("coach");
+        let b = d.intern("playsFor");
+        assert_ne!(a, b);
+        assert_eq!(d.resolve(a), "coach");
+        assert_eq!(d.resolve(b), "playsFor");
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut d = Dictionary::new();
+        d.intern("coach");
+        assert!(d.lookup("coach").is_some());
+        assert!(d.lookup("playsFor").is_none());
+        assert_eq!(d.try_resolve(Symbol(99)), None);
+    }
+
+    #[test]
+    fn completion_sorted() {
+        let mut d = Dictionary::new();
+        for t in ["playsFor", "coach", "player", "plays", "birthDate"] {
+            d.intern(t);
+        }
+        assert_eq!(d.complete("play"), vec!["player", "plays", "playsFor"]);
+        assert_eq!(d.complete("zz"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut d = Dictionary::new();
+        d.intern("a");
+        d.intern("b");
+        let pairs: Vec<_> = d.iter().map(|(s, t)| (s.0, t.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    proptest! {
+        /// Round trip: resolve(intern(t)) == t, and re-interning never
+        /// grows the table.
+        #[test]
+        fn roundtrip(terms in prop::collection::vec("[a-zA-Z0-9_:/#.]{1,20}", 1..50)) {
+            let mut d = Dictionary::new();
+            let syms: Vec<Symbol> = terms.iter().map(|t| d.intern(t)).collect();
+            for (t, s) in terms.iter().zip(&syms) {
+                prop_assert_eq!(d.resolve(*s), t.as_str());
+            }
+            let before = d.len();
+            for t in &terms {
+                d.intern(t);
+            }
+            prop_assert_eq!(d.len(), before);
+            let distinct: std::collections::HashSet<_> = terms.iter().collect();
+            prop_assert_eq!(before, distinct.len());
+        }
+    }
+}

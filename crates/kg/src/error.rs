@@ -1,0 +1,80 @@
+//! Error type for the uTKG data model.
+
+use std::fmt;
+
+use tecore_temporal::TemporalError;
+
+/// Errors raised by fact construction, graph operations and the text
+/// format parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KgError {
+    /// Confidence outside `(0, 1]`.
+    InvalidConfidence(f64),
+    /// Temporal component invalid (empty interval, out of domain, ...).
+    Temporal(TemporalError),
+    /// A fact id that is not (or no longer) present in the graph.
+    UnknownFact(u32),
+    /// Text format syntax error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::InvalidConfidence(c) => {
+                write!(f, "confidence {c} outside (0, 1]")
+            }
+            KgError::Temporal(e) => write!(f, "temporal error: {e}"),
+            KgError::UnknownFact(id) => write!(f, "unknown fact id {id}"),
+            KgError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgError::Temporal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TemporalError> for KgError {
+    fn from(e: TemporalError) -> Self {
+        KgError::Temporal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = KgError::InvalidConfidence(1.5);
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.source().is_none());
+
+        let e: KgError = TemporalError::EmptyInterval {
+            start: 5.into(),
+            end: 3.into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+
+        let e = KgError::Parse {
+            line: 7,
+            message: "bad interval".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,376 @@
+//! The uTKG store.
+
+use std::collections::HashMap;
+
+use tecore_temporal::{Interval, TimeDomain};
+
+use crate::dict::{Dictionary, Symbol};
+use crate::error::KgError;
+use crate::fact::{Confidence, FactId, TemporalFact};
+
+/// An uncertain temporal knowledge graph.
+///
+/// Facts live in an append-only arena addressed by [`FactId`]; deletion
+/// (conflict resolution removes noisy facts) tombstones the slot so ids
+/// stay stable. Three secondary indexes accelerate the access paths the
+/// grounding engine needs:
+///
+/// * predicate → facts (the primary scan for rule bodies),
+/// * (subject, predicate) → facts (join on a bound subject),
+/// * (predicate, object) → facts (join on a bound object).
+///
+/// Per-predicate fact lists are kept in insertion order; the grounder
+/// sorts/filters as its join plan requires.
+#[derive(Debug, Default, Clone)]
+pub struct UtkGraph {
+    dict: Dictionary,
+    facts: Vec<TemporalFact>,
+    alive: Vec<bool>,
+    live_count: usize,
+    by_predicate: HashMap<Symbol, Vec<FactId>>,
+    by_subject_predicate: HashMap<(Symbol, Symbol), Vec<FactId>>,
+    by_predicate_object: HashMap<(Symbol, Symbol), Vec<FactId>>,
+}
+
+impl UtkGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        UtkGraph::default()
+    }
+
+    /// Creates a graph with pre-allocated fact capacity.
+    pub fn with_capacity(facts: usize) -> Self {
+        UtkGraph {
+            facts: Vec::with_capacity(facts),
+            alive: Vec::with_capacity(facts),
+            ..UtkGraph::default()
+        }
+    }
+
+    /// The term dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (for pre-interning).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Number of live facts.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Total arena size including tombstones (== next fresh id).
+    pub fn arena_len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Inserts a fact built from strings, interning as needed.
+    pub fn insert(
+        &mut self,
+        subject: &str,
+        predicate: &str,
+        object: &str,
+        interval: Interval,
+        confidence: f64,
+    ) -> Result<FactId, KgError> {
+        let confidence = Confidence::new(confidence)?;
+        let s = self.dict.intern(subject);
+        let p = self.dict.intern(predicate);
+        let o = self.dict.intern(object);
+        Ok(self.insert_fact(TemporalFact::new(s, p, o, interval, confidence)))
+    }
+
+    /// Inserts a pre-built fact (symbols must come from this graph's
+    /// dictionary).
+    pub fn insert_fact(&mut self, fact: TemporalFact) -> FactId {
+        let id = FactId(self.facts.len() as u32);
+        self.by_predicate.entry(fact.predicate).or_default().push(id);
+        self.by_subject_predicate
+            .entry((fact.subject, fact.predicate))
+            .or_default()
+            .push(id);
+        self.by_predicate_object
+            .entry((fact.predicate, fact.object))
+            .or_default()
+            .push(id);
+        self.facts.push(fact);
+        self.alive.push(true);
+        self.live_count += 1;
+        id
+    }
+
+    /// Fetches a live fact.
+    pub fn fact(&self, id: FactId) -> Option<&TemporalFact> {
+        if *self.alive.get(id.index())? {
+            self.facts.get(id.index())
+        } else {
+            None
+        }
+    }
+
+    /// Is the fact still present?
+    pub fn is_alive(&self, id: FactId) -> bool {
+        self.alive.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Tombstones a fact (used by conflict resolution).
+    pub fn remove(&mut self, id: FactId) -> Result<TemporalFact, KgError> {
+        match self.alive.get_mut(id.index()) {
+            Some(slot) if *slot => {
+                *slot = false;
+                self.live_count -= 1;
+                Ok(self.facts[id.index()])
+            }
+            _ => Err(KgError::UnknownFact(id.0)),
+        }
+    }
+
+    /// Iterates over `(FactId, &TemporalFact)` for all live facts.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &TemporalFact)> {
+        self.facts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.alive[*i])
+            .map(|(i, f)| (FactId(i as u32), f))
+    }
+
+    /// Live facts with the given predicate.
+    pub fn facts_with_predicate(&self, p: Symbol) -> impl Iterator<Item = (FactId, &TemporalFact)> {
+        self.index_iter(self.by_predicate.get(&p))
+    }
+
+    /// Live facts with the given subject and predicate.
+    pub fn facts_with_subject_predicate(
+        &self,
+        s: Symbol,
+        p: Symbol,
+    ) -> impl Iterator<Item = (FactId, &TemporalFact)> {
+        self.index_iter(self.by_subject_predicate.get(&(s, p)))
+    }
+
+    /// Live facts with the given predicate and object.
+    pub fn facts_with_predicate_object(
+        &self,
+        p: Symbol,
+        o: Symbol,
+    ) -> impl Iterator<Item = (FactId, &TemporalFact)> {
+        self.index_iter(self.by_predicate_object.get(&(p, o)))
+    }
+
+    fn index_iter<'a>(
+        &'a self,
+        ids: Option<&'a Vec<FactId>>,
+    ) -> impl Iterator<Item = (FactId, &'a TemporalFact)> {
+        ids.into_iter()
+            .flatten()
+            .filter(|id| self.alive[id.index()])
+            .map(|id| (*id, &self.facts[id.index()]))
+    }
+
+    /// Live facts with predicate `p` whose interval intersects `window`.
+    pub fn facts_overlapping(
+        &self,
+        p: Symbol,
+        window: Interval,
+    ) -> impl Iterator<Item = (FactId, &TemporalFact)> {
+        self.facts_with_predicate(p)
+            .filter(move |(_, f)| f.interval.intersects(window))
+    }
+
+    /// All distinct predicates with at least one live fact, sorted by
+    /// name (for deterministic reporting and auto-completion).
+    pub fn predicates(&self) -> Vec<Symbol> {
+        let mut preds: Vec<Symbol> = self
+            .by_predicate
+            .iter()
+            .filter(|(_, ids)| ids.iter().any(|id| self.alive[id.index()]))
+            .map(|(p, _)| *p)
+            .collect();
+        preds.sort_unstable_by(|a, b| self.dict.resolve(*a).cmp(self.dict.resolve(*b)));
+        preds
+    }
+
+    /// The smallest [`TimeDomain`] covering every live fact, with the
+    /// given granularity retained from `base`.
+    pub fn spanning_domain(&self, base: &TimeDomain) -> TimeDomain {
+        let mut domain = base.clone();
+        for (_, f) in self.iter() {
+            domain = domain.extended_to(f.interval);
+        }
+        domain
+    }
+
+    /// Duplicates the graph, retaining only facts for which `keep` holds.
+    /// Symbols remain valid (the dictionary is shared by clone).
+    pub fn filtered(&self, mut keep: impl FnMut(FactId, &TemporalFact) -> bool) -> UtkGraph {
+        let mut out = UtkGraph {
+            dict: self.dict.clone(),
+            ..UtkGraph::default()
+        };
+        for (id, f) in self.iter() {
+            if keep(id, f) {
+                out.insert_fact(*f);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    fn ranieri() -> UtkGraph {
+        let mut g = UtkGraph::new();
+        g.insert("CR", "coach", "Chelsea", iv(2000, 2004), 0.9).unwrap();
+        g.insert("CR", "coach", "Leicester", iv(2015, 2017), 0.7).unwrap();
+        g.insert("CR", "playsFor", "Palermo", iv(1984, 1986), 0.5).unwrap();
+        g.insert("CR", "birthDate", "1951", iv(1951, 2017), 1.0).unwrap();
+        g.insert("CR", "coach", "Napoli", iv(2001, 2003), 0.6).unwrap();
+        g
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let g = ranieri();
+        assert_eq!(g.len(), 5);
+        let coach = g.dict().lookup("coach").unwrap();
+        assert_eq!(g.facts_with_predicate(coach).count(), 3);
+        let cr = g.dict().lookup("CR").unwrap();
+        assert_eq!(g.facts_with_subject_predicate(cr, coach).count(), 3);
+        let chelsea = g.dict().lookup("Chelsea").unwrap();
+        assert_eq!(g.facts_with_predicate_object(coach, chelsea).count(), 1);
+    }
+
+    #[test]
+    fn overlap_query_finds_napoli_clash() {
+        let g = ranieri();
+        let coach = g.dict().lookup("coach").unwrap();
+        // Chelsea spell [2000,2004]: overlapping coach facts are Chelsea
+        // itself and Napoli [2001,2003] — the paper's c2 clash.
+        let hits: Vec<String> = g
+            .facts_overlapping(coach, iv(2000, 2004))
+            .map(|(_, f)| g.dict().resolve(f.object).to_string())
+            .collect();
+        assert_eq!(hits, vec!["Chelsea", "Napoli"]);
+    }
+
+    #[test]
+    fn remove_tombstones() {
+        let mut g = ranieri();
+        let coach = g.dict().lookup("coach").unwrap();
+        let napoli_id = g
+            .facts_with_predicate(coach)
+            .find(|(_, f)| g.dict().resolve(f.object) == "Napoli")
+            .map(|(id, _)| id)
+            .unwrap();
+        let removed = g.remove(napoli_id).unwrap();
+        assert_eq!(g.dict().resolve(removed.object), "Napoli");
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_alive(napoli_id));
+        assert!(g.fact(napoli_id).is_none());
+        assert_eq!(g.facts_with_predicate(coach).count(), 2);
+        // Double-remove is an error.
+        assert!(g.remove(napoli_id).is_err());
+        // Ids stay stable.
+        assert_eq!(g.arena_len(), 5);
+    }
+
+    #[test]
+    fn predicates_sorted() {
+        let g = ranieri();
+        let names: Vec<&str> = g.predicates().iter().map(|p| g.dict().resolve(*p)).collect();
+        assert_eq!(names, vec!["birthDate", "coach", "playsFor"]);
+    }
+
+    #[test]
+    fn spanning_domain_covers_all() {
+        let g = ranieri();
+        let d = g.spanning_domain(&TimeDomain::years(2000, 2000).unwrap());
+        assert!(d.contains(iv(1951, 2017)));
+    }
+
+    #[test]
+    fn filtered_keeps_subset() {
+        let g = ranieri();
+        let coach = g.dict().lookup("coach").unwrap();
+        let only_coach = g.filtered(|_, f| f.predicate == coach);
+        assert_eq!(only_coach.len(), 3);
+        // Dictionary shared: symbol still resolves.
+        assert_eq!(only_coach.dict().resolve(coach), "coach");
+    }
+
+    #[test]
+    fn rejects_bad_confidence() {
+        let mut g = UtkGraph::new();
+        assert!(g.insert("a", "b", "c", iv(1, 2), 0.0).is_err());
+        assert!(g.insert("a", "b", "c", iv(1, 2), 2.0).is_err());
+    }
+
+    proptest! {
+        /// Index consistency: every fact reachable by full scan is
+        /// reachable through each index, and vice versa.
+        #[test]
+        fn index_consistency(
+            facts in prop::collection::vec(
+                (0u8..6, 0u8..4, 0u8..6, -20i64..20, 0i64..10, 1u8..=10),
+                1..60
+            ),
+            removals in prop::collection::vec(0usize..60, 0..20),
+        ) {
+            let mut g = UtkGraph::new();
+            let mut ids = Vec::new();
+            for (s, p, o, start, len, conf) in &facts {
+                let id = g.insert(
+                    &format!("s{s}"),
+                    &format!("p{p}"),
+                    &format!("o{o}"),
+                    iv(*start, *start + *len),
+                    f64::from(*conf) / 10.0,
+                ).unwrap();
+                ids.push(id);
+            }
+            for r in removals {
+                if r < ids.len() {
+                    let _ = g.remove(ids[r]);
+                }
+            }
+            let scan: std::collections::HashSet<FactId> =
+                g.iter().map(|(id, _)| id).collect();
+            prop_assert_eq!(scan.len(), g.len());
+            let mut via_pred = std::collections::HashSet::new();
+            for p in g.predicates() {
+                for (id, f) in g.facts_with_predicate(p) {
+                    prop_assert_eq!(f.predicate, p);
+                    via_pred.insert(id);
+                }
+            }
+            prop_assert_eq!(&via_pred, &scan);
+            // subject-predicate index agrees
+            for &id in &scan {
+                let f = *g.fact(id).unwrap();
+                prop_assert!(
+                    g.facts_with_subject_predicate(f.subject, f.predicate)
+                        .any(|(i, _)| i == id)
+                );
+                prop_assert!(
+                    g.facts_with_predicate_object(f.predicate, f.object)
+                        .any(|(i, _)| i == id)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # tecore-kg
+//!
+//! The **uncertain temporal knowledge graph (uTKG)** data model of TeCoRe
+//! (VLDB 2017, §2 "Data Model").
+//!
+//! A uTKG is a set of RDF-style triples, each labelled with
+//!
+//! * a **temporal element** — a closed interval `[t_b, t_e]` over the
+//!   discrete time domain, the fact's valid time, and
+//! * a **confidence value** in `(0, 1]` — how likely the fact is to hold.
+//!
+//! ```text
+//! (CR, coach, Chelsea, [2000,2004])  0.9
+//! (CR, coach, Leicester, [2015,2017]) 0.7
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`Dictionary`] — string interning for IRIs/literals, so the rest of
+//!   the system works with dense `u32` symbols;
+//! * [`TemporalFact`] — the quad + confidence record;
+//! * [`UtkGraph`] — the fact store with secondary indexes (by predicate,
+//!   by subject+predicate, by predicate+object) and interval-overlap
+//!   queries, supporting tombstone deletion (conflict resolution removes
+//!   facts);
+//! * a line-oriented **text format** ([`parser`], [`writer`]) used by the
+//!   examples and test corpora;
+//! * [`stats::GraphStats`] — the summary statistics displayed by the demo
+//!   UI (Figure 8 of the paper).
+
+pub mod dict;
+pub mod error;
+pub mod fact;
+pub mod graph;
+pub mod parser;
+pub mod stats;
+pub mod tindex;
+pub mod writer;
+
+pub use dict::{Dictionary, Symbol};
+pub use error::KgError;
+pub use fact::{Confidence, FactId, TemporalFact};
+pub use graph::UtkGraph;
+pub use tindex::IntervalIndex;
+pub use stats::GraphStats;

@@ -1,0 +1,264 @@
+//! Line-oriented text format for uTKGs.
+//!
+//! One fact per line, in the paper's notation (parentheses and commas
+//! optional, so both spellings below parse to the same fact):
+//!
+//! ```text
+//! # Claudio Ranieri's career (Figure 1 of the paper)
+//! (CR, coach, Chelsea, [2000,2004]) 0.9
+//! CR coach Leicester [2015,2017] 0.7
+//! ```
+//!
+//! * `#` starts a comment (whole line or trailing);
+//! * terms are bare tokens or double-quoted strings (quotes allow spaces
+//!   and commas inside terms);
+//! * the interval is `[start,end]` with integer bounds;
+//! * the trailing confidence is optional and defaults to `1.0`.
+
+use tecore_temporal::Interval;
+
+use crate::error::KgError;
+use crate::graph::UtkGraph;
+
+/// Parses a whole uTKG document.
+pub fn parse_graph(input: &str) -> Result<UtkGraph, KgError> {
+    let mut graph = UtkGraph::new();
+    parse_into(input, &mut graph)?;
+    Ok(graph)
+}
+
+/// Parses a document into an existing graph (shared dictionary).
+pub fn parse_into(input: &str, graph: &mut UtkGraph) -> Result<usize, KgError> {
+    let mut added = 0;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fact = parse_fact_line(line, lineno + 1)?;
+        graph.insert(&fact.0, &fact.1, &fact.2, fact.3, fact.4)?;
+        added += 1;
+    }
+    Ok(added)
+}
+
+/// A parsed fact line before interning:
+/// `(subject, predicate, object, interval, confidence)`.
+pub type RawFact = (String, String, String, Interval, f64);
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside quotes is part of the term.
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one fact line (without comments) into its raw components.
+pub fn parse_fact_line(line: &str, lineno: usize) -> Result<RawFact, KgError> {
+    let err = |message: String| KgError::Parse { line: lineno, message };
+    let mut tokens = tokenize(line, lineno)?;
+    // Expect: term term term interval [confidence]
+    if tokens.len() < 4 || tokens.len() > 5 {
+        return Err(err(format!(
+            "expected `s p o [start,end] conf?`, found {} token(s)",
+            tokens.len()
+        )));
+    }
+    let confidence = if tokens.len() == 5 {
+        let t = tokens.pop().expect("len checked");
+        match t {
+            Token::Term(c) => c
+                .parse::<f64>()
+                .map_err(|_| err(format!("invalid confidence `{c}`")))?,
+            Token::Interval(_) => {
+                return Err(err("confidence must follow the interval".into()))
+            }
+        }
+    } else {
+        1.0
+    };
+    let interval = match tokens.pop().expect("len checked") {
+        Token::Interval(iv) => iv,
+        Token::Term(t) => return Err(err(format!("expected interval `[a,b]`, found `{t}`"))),
+    };
+    let mut terms = Vec::with_capacity(3);
+    for t in tokens {
+        match t {
+            Token::Term(s) => terms.push(s),
+            Token::Interval(_) => return Err(err("interval must come after s p o".into())),
+        }
+    }
+    let [s, p, o]: [String; 3] = terms
+        .try_into()
+        .map_err(|_| err("expected subject, predicate and object".into()))?;
+    Ok((s, p, o, interval, confidence))
+}
+
+enum Token {
+    Term(String),
+    Interval(Interval),
+}
+
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, KgError> {
+    let err = |message: String| KgError::Parse { line: lineno, message };
+    let mut tokens = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() || c == ',' || c == '(' || c == ')' => {
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut term = String::new();
+                let mut closed = false;
+                for (_, c) in chars.by_ref() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    term.push(c);
+                }
+                if !closed {
+                    return Err(err("unterminated quoted term".into()));
+                }
+                tokens.push(Token::Term(term));
+            }
+            '[' => {
+                let rest = &line[i..];
+                let close = rest
+                    .find(']')
+                    .ok_or_else(|| err("unterminated interval".into()))?;
+                let inner = &rest[1..close];
+                let (a, b) = inner
+                    .split_once(',')
+                    .ok_or_else(|| err(format!("interval `[{inner}]` needs two bounds")))?;
+                let a: i64 = a
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid interval bound `{a}`")))?;
+                let b: i64 = b
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid interval bound `{b}`")))?;
+                let iv = Interval::new(a, b).map_err(KgError::from)?;
+                tokens.push(Token::Interval(iv));
+                // advance past `]`
+                for _ in 0..=close {
+                    chars.next();
+                }
+            }
+            _ => {
+                let mut term = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_whitespace() || matches!(c, ',' | '(' | ')' | '[' | ']' | '"') {
+                        break;
+                    }
+                    term.push(c);
+                    chars.next();
+                }
+                tokens.push(Token::Term(term));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure_1() {
+        let input = r#"
+            # Figure 1: a utkg G about coach Claudio Raineri (CR)
+            (CR, coach, Chelsea, [2000,2004]) 0.9
+            (CR, coach, Leicester, [2015,2017]) 0.7
+            (CR, playsFor, Palermo, [1984,1986]) 0.5
+            (CR, birthDate, 1951, [1951,2017]) 1.0
+            (CR, coach, Napoli, [2001,2003]) 0.6
+        "#;
+        let g = parse_graph(input).unwrap();
+        assert_eq!(g.len(), 5);
+        let coach = g.dict().lookup("coach").unwrap();
+        assert_eq!(g.facts_with_predicate(coach).count(), 3);
+        let (_, napoli) = g
+            .facts_with_predicate(coach)
+            .find(|(_, f)| g.dict().resolve(f.object) == "Napoli")
+            .unwrap();
+        assert_eq!(napoli.interval, Interval::new(2001, 2003).unwrap());
+        assert!((napoli.confidence.value() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bare_and_quoted_tokens() {
+        let g = parse_graph(
+            "\"Claudio Ranieri\" coach \"Leicester City\" [2015,2017] 0.7\n",
+        )
+        .unwrap();
+        assert!(g.dict().lookup("Claudio Ranieri").is_some());
+        assert!(g.dict().lookup("Leicester City").is_some());
+    }
+
+    #[test]
+    fn default_confidence_is_one() {
+        let g = parse_graph("a b c [1,2]\n").unwrap();
+        let (_, f) = g.iter().next().unwrap();
+        assert!(f.confidence.is_certain());
+    }
+
+    #[test]
+    fn trailing_comment() {
+        let g = parse_graph("a b c [1,2] 0.5 # noisy extraction\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn hash_inside_quotes_kept() {
+        let g = parse_graph("\"a#1\" b c [1,2] 0.5\n").unwrap();
+        assert!(g.dict().lookup("a#1").is_some());
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        let bad = "a b c [1,2] 0.9\n\na b [1,2] 0.9\n";
+        let e = parse_graph(bad).unwrap_err();
+        match e {
+            KgError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_intervals() {
+        assert!(parse_graph("a b c [1 2] 0.9").is_err());
+        assert!(parse_graph("a b c [x,2] 0.9").is_err());
+        assert!(parse_graph("a b c [5,2] 0.9").is_err());
+        assert!(parse_graph("a b c [1,2 0.9").is_err());
+    }
+
+    #[test]
+    fn rejects_misplaced_parts() {
+        assert!(parse_graph("a b [1,2] c 0.9").is_err());
+        assert!(parse_graph("a b c d [1,2] 0.9").is_err());
+        assert!(parse_graph("a b c [1,2] [3,4]").is_err());
+        assert!(parse_graph("a b c [1,2] not_a_number").is_err());
+        assert!(parse_graph("\"unterminated b c [1,2]").is_err());
+    }
+
+    #[test]
+    fn parse_into_shares_dictionary() {
+        let mut g = parse_graph("a b c [1,2] 0.5\n").unwrap();
+        let added = parse_into("a b d [3,4] 0.6\n", &mut g).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(g.len(), 2);
+        // `a` and `b` were not re-interned.
+        assert_eq!(g.dict().iter().count(), 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Static interval index for overlap queries.
+//!
+//! The grounder's joins are hash-based (subject/predicate/object), but
+//! analytics — conflict pre-screening, the constraint advisor, graph
+//! statistics — need *temporal* access paths: "which facts of predicate
+//! p intersect this window?". [`IntervalIndex`] answers that in
+//! `O(log n + answers)` using the classic sorted-by-start layout with a
+//! running maximum of end points (a flattened static interval tree).
+
+use tecore_temporal::{Interval, TimePoint};
+
+use crate::fact::FactId;
+
+/// A static index over `(FactId, Interval)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalIndex {
+    /// Entries sorted by interval start.
+    entries: Vec<(FactId, Interval)>,
+    /// `max_end[i]` = max end point among `entries[..=i]`.
+    max_end: Vec<TimePoint>,
+}
+
+impl IntervalIndex {
+    /// Builds an index from arbitrary (id, interval) pairs.
+    pub fn build<I: IntoIterator<Item = (FactId, Interval)>>(items: I) -> Self {
+        let mut entries: Vec<(FactId, Interval)> = items.into_iter().collect();
+        entries.sort_unstable_by_key(|(_, iv)| (iv.start(), iv.end()));
+        let mut max_end = Vec::with_capacity(entries.len());
+        let mut running = TimePoint::MIN;
+        for (_, iv) in &entries {
+            running = running.max(iv.end());
+            max_end.push(running);
+        }
+        IntervalIndex { entries, max_end }
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All facts whose interval intersects `window`, in start order.
+    pub fn overlapping(&self, window: Interval) -> Vec<FactId> {
+        let mut out = Vec::new();
+        self.for_each_overlapping(window, |id| out.push(id));
+        out
+    }
+
+    /// Visits facts intersecting `window` without allocating.
+    pub fn for_each_overlapping(&self, window: Interval, mut visit: impl FnMut(FactId)) {
+        if self.entries.is_empty() {
+            return;
+        }
+        // Entries with start > window.end can never intersect: binary
+        // search the upper bound.
+        let hi = self
+            .entries
+            .partition_point(|(_, iv)| iv.start() <= window.end());
+        // Among entries[..hi], those with end >= window.start intersect.
+        // Walk backwards; the max_end prefix lets us stop as soon as no
+        // earlier entry can still reach the window.
+        for i in (0..hi).rev() {
+            if self.max_end[i] < window.start() {
+                break;
+            }
+            let (id, iv) = self.entries[i];
+            if iv.end() >= window.start() {
+                visit(id);
+            }
+        }
+    }
+
+    /// Facts whose interval contains the time point.
+    pub fn stabbing(&self, t: TimePoint) -> Vec<FactId> {
+        self.overlapping(Interval::new(t, t).expect("point interval"))
+    }
+
+    /// Counts pairwise-intersecting pairs among the indexed intervals —
+    /// the quantity behind conflict-density estimates. `O(n log n + k)`.
+    pub fn count_overlapping_pairs(&self) -> usize {
+        // Sweep by start; active = intervals whose end >= current start.
+        let mut count = 0usize;
+        let mut active: Vec<TimePoint> = Vec::new(); // min-heap substitute
+        for (_, iv) in &self.entries {
+            active.retain(|&end| end >= iv.start());
+            count += active.len();
+            active.push(iv.end());
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    fn index(items: &[(u32, (i64, i64))]) -> IntervalIndex {
+        IntervalIndex::build(
+            items
+                .iter()
+                .map(|&(id, (a, b))| (FactId(id), iv(a, b))),
+        )
+    }
+
+    #[test]
+    fn overlap_queries() {
+        let idx = index(&[
+            (0, (2000, 2004)),
+            (1, (2015, 2017)),
+            (2, (2001, 2003)),
+            (3, (1984, 1986)),
+        ]);
+        let mut hits = idx.overlapping(iv(2000, 2004));
+        hits.sort();
+        assert_eq!(hits, vec![FactId(0), FactId(2)]);
+        assert_eq!(idx.overlapping(iv(1990, 1999)), Vec::<FactId>::new());
+        let mut all = idx.overlapping(iv(1900, 2100));
+        all.sort();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn stabbing_query() {
+        let idx = index(&[(0, (2000, 2004)), (1, (2003, 2010))]);
+        let mut hits = idx.stabbing(TimePoint(2003));
+        hits.sort();
+        assert_eq!(hits, vec![FactId(0), FactId(1)]);
+        assert_eq!(idx.stabbing(TimePoint(2011)), Vec::<FactId>::new());
+    }
+
+    #[test]
+    fn pair_counting() {
+        // (0,2) overlap; (0,1) don't; (1,2) don't.
+        let idx = index(&[(0, (2000, 2004)), (1, (2015, 2017)), (2, (2001, 2003))]);
+        assert_eq!(idx.count_overlapping_pairs(), 1);
+        let none = index(&[(0, (1, 2)), (1, (4, 5)), (2, (7, 8))]);
+        assert_eq!(none.count_overlapping_pairs(), 0);
+        let all = index(&[(0, (1, 10)), (1, (2, 9)), (2, (3, 8))]);
+        assert_eq!(all.count_overlapping_pairs(), 3);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IntervalIndex::build(std::iter::empty());
+        assert!(idx.is_empty());
+        assert!(idx.overlapping(iv(0, 10)).is_empty());
+        assert_eq!(idx.count_overlapping_pairs(), 0);
+    }
+
+    fn arb_items() -> impl Strategy<Value = Vec<(u32, (i64, i64))>> {
+        prop::collection::vec((0u32..1000, (-50i64..50, 0i64..20)), 0..60).prop_map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, (_, (s, l)))| (i as u32, (s, s + l)))
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The index agrees with the naive scan on every window.
+        #[test]
+        fn matches_naive_scan(items in arb_items(), ws in -60i64..60, wl in 0i64..30) {
+            let window = iv(ws, ws + wl);
+            let idx = index(&items);
+            let mut fast = idx.overlapping(window);
+            fast.sort();
+            let mut naive: Vec<FactId> = items
+                .iter()
+                .filter(|&&(_, (a, b))| iv(a, b).intersects(window))
+                .map(|&(id, _)| FactId(id))
+                .collect();
+            naive.sort();
+            prop_assert_eq!(fast, naive);
+        }
+
+        /// Pair counting agrees with the quadratic reference.
+        #[test]
+        fn pair_count_matches_naive(items in arb_items()) {
+            let idx = index(&items);
+            let mut naive = 0usize;
+            for i in 0..items.len() {
+                for j in (i + 1)..items.len() {
+                    let (a, b) = (items[i].1, items[j].1);
+                    if iv(a.0, a.1).intersects(iv(b.0, b.1)) {
+                        naive += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(idx.count_overlapping_pairs(), naive);
+        }
+    }
+}

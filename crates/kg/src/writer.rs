@@ -1,0 +1,115 @@
+//! Serialisation of uTKGs back into the text format.
+
+use std::fmt::Write as _;
+
+use crate::graph::UtkGraph;
+
+/// Serialises the live facts of a graph in the canonical text format,
+/// one fact per line, quoting terms only when necessary.
+///
+/// The output round-trips through [`crate::parser::parse_graph`].
+pub fn write_graph(graph: &UtkGraph) -> String {
+    let mut out = String::with_capacity(graph.len() * 48);
+    for (_, fact) in graph.iter() {
+        let d = graph.dict();
+        write_term(&mut out, d.resolve(fact.subject));
+        out.push(' ');
+        write_term(&mut out, d.resolve(fact.predicate));
+        out.push(' ');
+        write_term(&mut out, d.resolve(fact.object));
+        let _ = write!(
+            out,
+            " [{},{}] {}",
+            fact.interval.start(),
+            fact.interval.end(),
+            fact.confidence.value()
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn needs_quoting(term: &str) -> bool {
+    term.is_empty()
+        || term
+            .chars()
+            .any(|c| c.is_whitespace() || matches!(c, ',' | '(' | ')' | '[' | ']' | '"' | '#'))
+}
+
+fn write_term(out: &mut String, term: &str) {
+    if needs_quoting(term) {
+        out.push('"');
+        out.push_str(term);
+        out.push('"');
+    } else {
+        out.push_str(term);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_graph;
+    use proptest::prelude::*;
+    use tecore_temporal::Interval;
+
+    #[test]
+    fn roundtrip_simple() {
+        let input = "(CR, coach, Chelsea, [2000,2004]) 0.9\nCR coach Napoli [2001,2003] 0.6\n";
+        let g = parse_graph(input).unwrap();
+        let text = write_graph(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert_eq!(g2.len(), g.len());
+        let facts1: Vec<String> = g.iter().map(|(_, f)| f.display(g.dict()).to_string()).collect();
+        let facts2: Vec<String> = g2.iter().map(|(_, f)| f.display(g2.dict()).to_string()).collect();
+        assert_eq!(facts1, facts2);
+    }
+
+    #[test]
+    fn quotes_terms_with_spaces() {
+        let mut g = UtkGraph::new();
+        g.insert(
+            "Claudio Ranieri",
+            "coach",
+            "Leicester City",
+            Interval::new(2015, 2017).unwrap(),
+            0.7,
+        )
+        .unwrap();
+        let text = write_graph(&g);
+        assert!(text.contains("\"Claudio Ranieri\""));
+        let g2 = parse_graph(&text).unwrap();
+        assert!(g2.dict().lookup("Claudio Ranieri").is_some());
+    }
+
+    proptest! {
+        /// write ∘ parse is the identity on fact multisets.
+        #[test]
+        fn roundtrip_property(
+            facts in prop::collection::vec(
+                ("[a-zA-Z0-9 _.:]{1,12}", "[a-z]{1,8}", "[a-zA-Z0-9 ]{1,12}",
+                 -100i64..100, 0i64..50, 1u32..=100),
+                1..40,
+            )
+        ) {
+            let mut g = UtkGraph::new();
+            for (s, p, o, start, len, conf) in &facts {
+                g.insert(
+                    s, p, o,
+                    Interval::new(*start, *start + *len).unwrap(),
+                    f64::from(*conf) / 100.0,
+                ).unwrap();
+            }
+            let text = write_graph(&g);
+            let g2 = parse_graph(&text).unwrap();
+            prop_assert_eq!(g2.len(), g.len());
+            let mut a: Vec<String> =
+                g.iter().map(|(_, f)| f.display(g.dict()).to_string()).collect();
+            let mut b: Vec<String> =
+                g2.iter().map(|(_, f)| f.display(g2.dict()).to_string()).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

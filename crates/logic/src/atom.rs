@@ -1,0 +1,354 @@
+//! Atoms and conditions of the rule/constraint language.
+
+use tecore_temporal::{AllenSet, Interval};
+
+use crate::term::{Term, TimeTerm, VarId};
+
+/// A quad atom `quad(s, p, o, t)` — the only kind of atom that refers to
+/// the knowledge graph. The temporal argument is optional in heads
+/// (Figure 4's f3 derives the timeless `quad(x, type, TeenPlayer)`); a
+/// missing body time argument matches any interval without binding one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadAtom {
+    /// Subject position.
+    pub subject: Term,
+    /// Predicate position (almost always a constant in practice).
+    pub predicate: Term,
+    /// Object position.
+    pub object: Term,
+    /// Temporal argument.
+    pub time: Option<TimeTerm>,
+}
+
+impl QuadAtom {
+    /// All entity variables in s/p/o positions, in order of appearance.
+    pub fn entity_vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for term in [&self.subject, &self.predicate, &self.object] {
+            if let Term::Var(v) = term {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// All time variables in the temporal argument.
+    pub fn time_vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        if let Some(t) = &self.time {
+            t.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// All variables (entity then time), deduplicated.
+    pub fn all_vars(&self) -> Vec<VarId> {
+        let mut out = self.entity_vars();
+        for v in self.time_vars() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Comparison operators for numerical conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to two integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Negation: the operator holding exactly when `self` does not.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// An integer-valued expression over interval endpoints.
+///
+/// The paper's rule f3 writes `t' − t < 20`; bare interval variables in
+/// numerical context denote their **start point** (so `t' − t` is the
+/// difference of start points — for `birthDate` intervals the start is
+/// the birth year). `start(t)`, `end(t)` and `duration(t)` are available
+/// for explicit control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumExpr {
+    /// Integer literal.
+    Lit(i64),
+    /// `start(t)` — also the meaning of a bare `t` in numeric context.
+    Start(TimeTerm),
+    /// `end(t)`.
+    End(TimeTerm),
+    /// `duration(t)` — number of covered time points.
+    Duration(TimeTerm),
+    /// Addition.
+    Add(Box<NumExpr>, Box<NumExpr>),
+    /// Subtraction.
+    Sub(Box<NumExpr>, Box<NumExpr>),
+}
+
+impl NumExpr {
+    /// Evaluates under an interval-variable binding; `None` if any
+    /// referenced variable is unbound or an intersection is empty.
+    pub fn eval(&self, lookup: &impl Fn(VarId) -> Option<Interval>) -> Option<i64> {
+        match self {
+            NumExpr::Lit(n) => Some(*n),
+            NumExpr::Start(t) => t.eval(lookup).map(|iv| iv.start().value()),
+            NumExpr::End(t) => t.eval(lookup).map(|iv| iv.end().value()),
+            NumExpr::Duration(t) => t.eval(lookup).map(|iv| iv.duration()),
+            NumExpr::Add(a, b) => Some(a.eval(lookup)? + b.eval(lookup)?),
+            NumExpr::Sub(a, b) => Some(a.eval(lookup)? - b.eval(lookup)?),
+        }
+    }
+
+    /// Collects interval variables.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            NumExpr::Lit(_) => {}
+            NumExpr::Start(t) | NumExpr::End(t) | NumExpr::Duration(t) => t.collect_vars(out),
+            NumExpr::Add(a, b) | NumExpr::Sub(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// A temporal condition `rel(t, t')` where `rel` is a (possibly
+/// disjunctive) Allen relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalCond {
+    /// The relation set (e.g. `before`, `disjoint`).
+    pub relation: AllenSet,
+    /// Left interval term.
+    pub left: TimeTerm,
+    /// Right interval term.
+    pub right: TimeTerm,
+}
+
+impl TemporalCond {
+    /// Evaluates the condition under a binding.
+    pub fn eval(&self, lookup: &impl Fn(VarId) -> Option<Interval>) -> Option<bool> {
+        let l = self.left.eval(lookup)?;
+        let r = self.right.eval(lookup)?;
+        Some(self.relation.holds(l, r))
+    }
+}
+
+/// A numerical comparison `e1 op e2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Left expression.
+    pub left: NumExpr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right expression.
+    pub right: NumExpr,
+}
+
+impl Comparison {
+    /// Evaluates under a binding.
+    pub fn eval(&self, lookup: &impl Fn(VarId) -> Option<Interval>) -> Option<bool> {
+        Some(self.op.eval(self.left.eval(lookup)?, self.right.eval(lookup)?))
+    }
+}
+
+/// A body-side condition: filters groundings of the body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Allen relation between interval terms (`overlaps(t, t')`).
+    Temporal(TemporalCond),
+    /// Arithmetic comparison (`t' - t < 20`).
+    Numeric(Comparison),
+    /// (In)equality between entity terms (`y != z`).
+    EntityCmp {
+        /// Left entity term.
+        left: Term,
+        /// `=` or `!=` (only these are meaningful on entities).
+        op: CmpOp,
+        /// Right entity term.
+        right: Term,
+    },
+}
+
+impl Condition {
+    /// Variables referenced by this condition (entity and time alike).
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Condition::Temporal(tc) => {
+                tc.left.collect_vars(out);
+                tc.right.collect_vars(out);
+            }
+            Condition::Numeric(c) => {
+                c.left.collect_vars(out);
+                c.right.collect_vars(out);
+            }
+            Condition::EntityCmp { left, right, .. } => {
+                for t in [left, right] {
+                    if let Term::Var(v) = t {
+                        if !out.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecore_temporal::AllenRelation;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn cmp_op_eval_and_negate() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                assert_eq!(op.negate().eval(a, b), !op.eval(a, b));
+            }
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn num_expr_paper_f3() {
+        // f3 condition: t' - t < 20 with t = playsFor time, t' = birth.
+        // Age at career start = start(t) - start(t'): 1984 - 1951 = 33.
+        let binding = |v: VarId| -> Option<Interval> {
+            match v.0 {
+                0 => Some(iv(1984, 1986)), // t (playsFor)
+                1 => Some(iv(1951, 2017)), // t' (birthDate)
+                _ => None,
+            }
+        };
+        let age = NumExpr::Sub(
+            Box::new(NumExpr::Start(TimeTerm::Var(VarId(0)))),
+            Box::new(NumExpr::Start(TimeTerm::Var(VarId(1)))),
+        );
+        assert_eq!(age.eval(&binding), Some(33));
+        let cmp = Comparison {
+            left: age,
+            op: CmpOp::Lt,
+            right: NumExpr::Lit(20),
+        };
+        // Ranieri was 33 when playing for Palermo: not a teen player.
+        assert_eq!(cmp.eval(&binding), Some(false));
+    }
+
+    #[test]
+    fn num_expr_variants() {
+        let bind = |v: VarId| (v.0 == 0).then(|| iv(10, 14));
+        assert_eq!(NumExpr::Start(TimeTerm::Var(VarId(0))).eval(&bind), Some(10));
+        assert_eq!(NumExpr::End(TimeTerm::Var(VarId(0))).eval(&bind), Some(14));
+        assert_eq!(NumExpr::Duration(TimeTerm::Var(VarId(0))).eval(&bind), Some(5));
+        let e = NumExpr::Add(Box::new(NumExpr::Lit(1)), Box::new(NumExpr::Lit(2)));
+        assert_eq!(e.eval(&bind), Some(3));
+        assert_eq!(NumExpr::Start(TimeTerm::Var(VarId(9))).eval(&bind), None);
+    }
+
+    #[test]
+    fn temporal_cond_c2() {
+        // c2 consequent: disjoint(t, t') — Chelsea vs Napoli violates it.
+        let bind = |v: VarId| -> Option<Interval> {
+            match v.0 {
+                0 => Some(iv(2000, 2004)),
+                1 => Some(iv(2001, 2003)),
+                _ => None,
+            }
+        };
+        let cond = TemporalCond {
+            relation: AllenSet::DISJOINT,
+            left: TimeTerm::Var(VarId(0)),
+            right: TimeTerm::Var(VarId(1)),
+        };
+        assert_eq!(cond.eval(&bind), Some(false));
+        let before = TemporalCond {
+            relation: AllenSet::from_relation(AllenRelation::Before),
+            left: TimeTerm::Lit(iv(1951, 1951)),
+            right: TimeTerm::Lit(iv(2017, 2017)),
+        };
+        assert_eq!(before.eval(&bind), Some(true));
+    }
+
+    #[test]
+    fn quad_atom_vars() {
+        let atom = QuadAtom {
+            subject: Term::Var(VarId(0)),
+            predicate: Term::Const("coach".into()),
+            object: Term::Var(VarId(1)),
+            time: Some(TimeTerm::Var(VarId(2))),
+        };
+        assert_eq!(atom.entity_vars(), vec![VarId(0), VarId(1)]);
+        assert_eq!(atom.time_vars(), vec![VarId(2)]);
+        assert_eq!(atom.all_vars(), vec![VarId(0), VarId(1), VarId(2)]);
+        let timeless = QuadAtom { time: None, ..atom };
+        assert!(timeless.time_vars().is_empty());
+    }
+
+    #[test]
+    fn condition_collect_vars() {
+        let cond = Condition::EntityCmp {
+            left: Term::Var(VarId(1)),
+            op: CmpOp::Ne,
+            right: Term::Var(VarId(2)),
+        };
+        let mut vars = Vec::new();
+        cond.collect_vars(&mut vars);
+        assert_eq!(vars, vec![VarId(1), VarId(2)]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Programmatic construction of the three constraint classes.
+//!
+//! The demo's constraints editor (Figure 5) builds constraints from
+//! *selections*, not text: the user picks one or two predicates and an
+//! Allen relation ("if a user selects the relations birthDate and
+//! worksFor, and specifies the Allen relation before, because a person
+//! must be born before she works for a company" — §2.1). This module is
+//! that click-path as an API: each function assembles the corresponding
+//! [`Formula`] AST directly, producing exactly what the parser would for
+//! the equivalent text.
+
+use tecore_temporal::AllenSet;
+
+use crate::atom::{CmpOp, Condition, QuadAtom, TemporalCond};
+use crate::formula::{Consequent, Formula, Weight};
+use crate::term::{Term, TimeTerm, VarTable};
+
+fn quad(vars: &mut VarTable, subject: &str, predicate: &str, object: &str, time: &str) -> QuadAtom {
+    QuadAtom {
+        subject: Term::Var(vars.intern(subject)),
+        predicate: Term::Const(predicate.to_string()),
+        object: Term::Var(vars.intern(object)),
+        time: Some(TimeTerm::Var(vars.intern(time))),
+    }
+}
+
+/// `name: quad(x, p, y, t) ∧ quad(x, p, z, t') ∧ y != z → disjoint(t, t')`
+///
+/// The paper's c2 ("a person cannot coach two clubs at the same time")
+/// for an arbitrary fluent `p`.
+pub fn disjointness(name: &str, predicate: &str) -> Formula {
+    let mut vars = VarTable::new();
+    let body = vec![
+        quad(&mut vars, "x", predicate, "y", "t"),
+        quad(&mut vars, "x", predicate, "z", "t'"),
+    ];
+    let (y, z) = (vars.lookup("y").unwrap(), vars.lookup("z").unwrap());
+    let (t, tp) = (vars.lookup("t").unwrap(), vars.lookup("t'").unwrap());
+    Formula {
+        name: Some(name.to_string()),
+        vars,
+        body,
+        conditions: vec![Condition::EntityCmp {
+            left: Term::Var(y),
+            op: CmpOp::Ne,
+            right: Term::Var(z),
+        }],
+        consequent: Consequent::Temporal(TemporalCond {
+            relation: AllenSet::DISJOINT,
+            left: TimeTerm::Var(t),
+            right: TimeTerm::Var(tp),
+        }),
+        weight: Weight::Hard,
+    }
+}
+
+/// `name: quad(x, pa, y, t) ∧ quad(x, pb, z, t') → rel(t, t')`
+///
+/// The paper's c1 shape: "a person must be born before she dies" is
+/// `temporal_order("c1", "birthDate", "deathDate", before)`.
+pub fn temporal_order(name: &str, pred_a: &str, pred_b: &str, relation: AllenSet) -> Formula {
+    let mut vars = VarTable::new();
+    let body = vec![
+        quad(&mut vars, "x", pred_a, "y", "t"),
+        quad(&mut vars, "x", pred_b, "z", "t'"),
+    ];
+    let (t, tp) = (vars.lookup("t").unwrap(), vars.lookup("t'").unwrap());
+    Formula {
+        name: Some(name.to_string()),
+        vars,
+        body,
+        conditions: vec![],
+        consequent: Consequent::Temporal(TemporalCond {
+            relation,
+            left: TimeTerm::Var(t),
+            right: TimeTerm::Var(tp),
+        }),
+        weight: Weight::Hard,
+    }
+}
+
+/// `name: quad(x, p, y, t) ∧ quad(x, p, z, t') ∧ overlap(t, t') → y = z`
+///
+/// The paper's c3 shape (equality-generating dependency): a time-unique
+/// attribute such as `bornIn` cannot take two values at once.
+pub fn functional(name: &str, predicate: &str) -> Formula {
+    let mut vars = VarTable::new();
+    let body = vec![
+        quad(&mut vars, "x", predicate, "y", "t"),
+        quad(&mut vars, "x", predicate, "z", "t'"),
+    ];
+    let (y, z) = (vars.lookup("y").unwrap(), vars.lookup("z").unwrap());
+    let (t, tp) = (vars.lookup("t").unwrap(), vars.lookup("t'").unwrap());
+    Formula {
+        name: Some(name.to_string()),
+        vars,
+        body,
+        conditions: vec![Condition::Temporal(TemporalCond {
+            relation: AllenSet::INTERSECTS,
+            left: TimeTerm::Var(t),
+            right: TimeTerm::Var(tp),
+        })],
+        consequent: Consequent::EntityCmp {
+            left: Term::Var(y),
+            op: CmpOp::Eq,
+            right: Term::Var(z),
+        },
+        weight: Weight::Hard,
+    }
+}
+
+/// `name: quad(x, pa, y, t) → quad(x, pb, y, t), w`
+///
+/// The paper's f1 shape: predicate subsumption over the same interval
+/// (`playsFor ⊑ worksFor`). A hard weight makes it an inclusion
+/// dependency, a soft one an inference rule.
+pub fn inclusion(name: &str, pred_a: &str, pred_b: &str, weight: Weight) -> Formula {
+    let mut vars = VarTable::new();
+    let body = vec![quad(&mut vars, "x", pred_a, "y", "t")];
+    let head = QuadAtom {
+        subject: Term::Var(vars.lookup("x").unwrap()),
+        predicate: Term::Const(pred_b.to_string()),
+        object: Term::Var(vars.lookup("y").unwrap()),
+        time: Some(TimeTerm::Var(vars.lookup("t").unwrap())),
+    };
+    Formula {
+        name: Some(name.to_string()),
+        vars,
+        body,
+        conditions: vec![],
+        consequent: Consequent::Quad(head),
+        weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use crate::pretty::format_formula;
+    use crate::validate::check_formula;
+    use tecore_temporal::AllenRelation;
+
+    #[test]
+    fn disjointness_equals_parsed_c2() {
+        let built = disjointness("c2", "coach");
+        let parsed = parse_formula(
+            "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn temporal_order_equals_parsed_c1() {
+        let built = temporal_order(
+            "c1",
+            "birthDate",
+            "deathDate",
+            AllenSet::from_relation(AllenRelation::Before),
+        );
+        let parsed = parse_formula(
+            "c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn functional_equals_parsed_c3() {
+        let built = functional("c3", "bornIn");
+        let parsed = parse_formula(
+            "c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn inclusion_equals_parsed_f1() {
+        let built = inclusion("f1", "playsFor", "worksFor", Weight::Soft(2.5));
+        let parsed = parse_formula(
+            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn all_builders_validate_and_roundtrip() {
+        let formulas = [
+            disjointness("d", "coach"),
+            temporal_order("o", "startRel", "endRel", AllenSet::DISJOINT),
+            functional("f", "bornIn"),
+            inclusion("i", "p1x", "p2x", Weight::Hard),
+        ];
+        for f in formulas {
+            check_formula(&f).unwrap();
+            let printed = format_formula(&f);
+            let reparsed = parse_formula(&printed).unwrap();
+            assert_eq!(f, reparsed, "builder output must round-trip: {printed}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Errors of the logic layer.
+
+use std::fmt;
+
+/// Errors raised while parsing or validating rules and constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicError {
+    /// Lexical or syntactic error in the concrete syntax.
+    Syntax {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// Description.
+        message: String,
+    },
+    /// A semantic validation failure (safety, sorts, expressivity).
+    Validation {
+        /// Name of the offending formula if known.
+        formula: Option<String>,
+        /// Description.
+        message: String,
+    },
+}
+
+impl LogicError {
+    pub(crate) fn syntax(line: usize, column: usize, message: impl Into<String>) -> Self {
+        LogicError::Syntax {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn validation(formula: Option<&str>, message: impl Into<String>) -> Self {
+        LogicError::Validation {
+            formula: formula.map(str::to_string),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Syntax { line, column, message } => {
+                write!(f, "syntax error at {line}:{column}: {message}")
+            }
+            LogicError::Validation { formula, message } => match formula {
+                Some(name) => write!(f, "invalid formula `{name}`: {message}"),
+                None => write!(f, "invalid formula: {message}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LogicError::syntax(3, 7, "unexpected `)`");
+        assert_eq!(e.to_string(), "syntax error at 3:7: unexpected `)`");
+        let e = LogicError::validation(Some("c2"), "unsafe variable z");
+        assert!(e.to_string().contains("c2"));
+        let e = LogicError::validation(None, "boom");
+        assert!(e.to_string().contains("invalid formula"));
+    }
+}

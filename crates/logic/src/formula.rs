@@ -1,0 +1,300 @@
+//! Weighted formulas: the common shape of rules and constraints.
+
+use crate::atom::{Comparison, Condition, QuadAtom, TemporalCond};
+use crate::term::{Term, VarId, VarTable};
+
+/// The weight of a formula.
+///
+/// Hard formulas (`w = ∞` in Figure 6) must hold in every model; soft
+/// formulas may be violated at a cost of `w` per violated grounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Weight {
+    /// `w = ∞`: a deterministic constraint.
+    Hard,
+    /// A finite positive weight.
+    Soft(f64),
+}
+
+impl Weight {
+    /// The finite value, if soft.
+    pub fn soft_value(self) -> Option<f64> {
+        match self {
+            Weight::Hard => None,
+            Weight::Soft(w) => Some(w),
+        }
+    }
+
+    /// Is this a hard weight?
+    pub fn is_hard(self) -> bool {
+        matches!(self, Weight::Hard)
+    }
+}
+
+/// The consequent (head) of a formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Consequent {
+    /// Derive a new quad — inference rules (f1–f3) and inclusion
+    /// dependencies.
+    Quad(QuadAtom),
+    /// Require a temporal relation between bound intervals — disjointness
+    /// constraints (c1, c2).
+    Temporal(TemporalCond),
+    /// Require an entity (in)equality — (in)equality-generating
+    /// dependencies (c3).
+    EntityCmp {
+        /// Left entity term.
+        left: Term,
+        /// `=` or `!=`.
+        op: crate::atom::CmpOp,
+        /// Right entity term.
+        right: Term,
+    },
+    /// Require a numerical comparison to hold.
+    Numeric(Comparison),
+    /// Denial constraint: the body must not have a satisfying grounding.
+    False,
+}
+
+/// Kind of a formula, per the paper's terminology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormulaKind {
+    /// `Body ∧ [Condition] → quad(...)` with a soft weight: a temporal
+    /// inference rule (Figure 4).
+    InferenceRule,
+    /// Hard/soft `Body → quad(...)`: an inclusion dependency.
+    InclusionDependency,
+    /// `Body → (x = y | x != y | e1 op e2)`: an (in)equality-generating
+    /// dependency.
+    EqualityGenerating,
+    /// `Body → rel(t, t')` or `Body → false`: a disjointness / temporal
+    /// constraint.
+    Disjointness,
+}
+
+/// A weighted formula `Body ∧ [Condition] → Consequent, w`.
+///
+/// Bodies are conjunctions of [`QuadAtom`]s; conditions are the optional
+/// `[Condition]` part of the paper's rule shape (Allen relations and
+/// arithmetic predicates). This single shape covers both the inference
+/// rules of Figure 4 and all three constraint classes of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Formula {
+    /// Optional name (`f1`, `c2`, ...) for reporting.
+    pub name: Option<String>,
+    /// Variable name table.
+    pub vars: VarTable,
+    /// Conjunctive body of quad atoms.
+    pub body: Vec<QuadAtom>,
+    /// Side conditions over body variables.
+    pub conditions: Vec<Condition>,
+    /// The consequent.
+    pub consequent: Consequent,
+    /// The weight.
+    pub weight: Weight,
+}
+
+impl Formula {
+    /// Classifies the formula per the paper's taxonomy.
+    pub fn kind(&self) -> FormulaKind {
+        match (&self.consequent, self.weight) {
+            (Consequent::Quad(_), Weight::Soft(_)) => FormulaKind::InferenceRule,
+            (Consequent::Quad(_), Weight::Hard) => FormulaKind::InclusionDependency,
+            (Consequent::EntityCmp { .. }, _) | (Consequent::Numeric(_), _) => {
+                FormulaKind::EqualityGenerating
+            }
+            (Consequent::Temporal(_), _) | (Consequent::False, _) => FormulaKind::Disjointness,
+        }
+    }
+
+    /// Is this a constraint (anything but an inference rule)?
+    pub fn is_constraint(&self) -> bool {
+        self.kind() != FormulaKind::InferenceRule
+    }
+
+    /// Variables bound by (appearing in) the body's quad atoms.
+    pub fn body_vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for atom in &self.body {
+            for v in atom.all_vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Variables appearing in the consequent.
+    pub fn consequent_vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        match &self.consequent {
+            Consequent::Quad(q) => out = q.all_vars(),
+            Consequent::Temporal(tc) => {
+                tc.left.collect_vars(&mut out);
+                tc.right.collect_vars(&mut out);
+            }
+            Consequent::EntityCmp { left, right, .. } => {
+                for t in [left, right] {
+                    if let Term::Var(v) = t {
+                        if !out.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+            }
+            Consequent::Numeric(c) => {
+                c.left.collect_vars(&mut out);
+                c.right.collect_vars(&mut out);
+            }
+            Consequent::False => {}
+        }
+        out
+    }
+
+    /// Variables appearing in conditions.
+    pub fn condition_vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for c in &self.conditions {
+            c.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// Predicate constants mentioned anywhere in the formula (for
+    /// auto-completion and evidence-relevance analysis).
+    pub fn predicates(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for atom in &self.body {
+            if let Term::Const(p) = &atom.predicate {
+                if !out.contains(&p.as_str()) {
+                    out.push(p);
+                }
+            }
+        }
+        if let Consequent::Quad(q) = &self.consequent {
+            if let Term::Const(p) = &q.predicate {
+                if !out.contains(&p.as_str()) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::CmpOp;
+    use crate::term::TimeTerm;
+    use tecore_temporal::AllenSet;
+
+    fn quad(vars: &mut VarTable, s: &str, p: &str, o: &str, t: &str) -> QuadAtom {
+        let term = |vt: &mut VarTable, tok: &str| {
+            if VarTable::is_variable_name(tok) {
+                Term::Var(vt.intern(tok))
+            } else {
+                Term::Const(tok.to_string())
+            }
+        };
+        QuadAtom {
+            subject: term(vars, s),
+            predicate: term(vars, p),
+            object: term(vars, o),
+            time: Some(TimeTerm::Var(vars.intern(t))),
+        }
+    }
+
+    /// Builds the paper's f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5
+    fn f1() -> Formula {
+        let mut vars = VarTable::new();
+        let body = vec![quad(&mut vars, "x", "playsFor", "y", "t")];
+        let head = quad(&mut vars, "x", "worksFor", "y", "t");
+        Formula {
+            name: Some("f1".into()),
+            vars,
+            body,
+            conditions: vec![],
+            consequent: Consequent::Quad(head),
+            weight: Weight::Soft(2.5),
+        }
+    }
+
+    /// Builds the paper's c2.
+    fn c2() -> Formula {
+        let mut vars = VarTable::new();
+        let body = vec![
+            quad(&mut vars, "x", "coach", "y", "t"),
+            quad(&mut vars, "x", "coach", "z", "t'"),
+        ];
+        let y = vars.lookup("y").unwrap();
+        let z = vars.lookup("z").unwrap();
+        let t = vars.lookup("t").unwrap();
+        let tp = vars.lookup("t'").unwrap();
+        Formula {
+            name: Some("c2".into()),
+            vars,
+            body,
+            conditions: vec![Condition::EntityCmp {
+                left: Term::Var(y),
+                op: CmpOp::Ne,
+                right: Term::Var(z),
+            }],
+            consequent: Consequent::Temporal(TemporalCond {
+                relation: AllenSet::DISJOINT,
+                left: TimeTerm::Var(t),
+                right: TimeTerm::Var(tp),
+            }),
+            weight: Weight::Hard,
+        }
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(f1().kind(), FormulaKind::InferenceRule);
+        assert!(!f1().is_constraint());
+        assert_eq!(c2().kind(), FormulaKind::Disjointness);
+        assert!(c2().is_constraint());
+
+        let mut incl = f1();
+        incl.weight = Weight::Hard;
+        assert_eq!(incl.kind(), FormulaKind::InclusionDependency);
+
+        let mut egd = c2();
+        egd.consequent = Consequent::EntityCmp {
+            left: Term::Var(VarId(1)),
+            op: CmpOp::Eq,
+            right: Term::Var(VarId(2)),
+        };
+        assert_eq!(egd.kind(), FormulaKind::EqualityGenerating);
+
+        let mut denial = c2();
+        denial.consequent = Consequent::False;
+        assert_eq!(denial.kind(), FormulaKind::Disjointness);
+    }
+
+    #[test]
+    fn weight_accessors() {
+        assert!(Weight::Hard.is_hard());
+        assert_eq!(Weight::Hard.soft_value(), None);
+        assert_eq!(Weight::Soft(2.5).soft_value(), Some(2.5));
+    }
+
+    #[test]
+    fn variable_analysis() {
+        let f = c2();
+        // body binds x, y, t, z, t'
+        assert_eq!(f.body_vars().len(), 5);
+        // consequent uses t, t'
+        let cvars = f.consequent_vars();
+        assert_eq!(cvars.len(), 2);
+        // conditions use y, z
+        assert_eq!(f.condition_vars().len(), 2);
+    }
+
+    #[test]
+    fn predicates_collected() {
+        assert_eq!(f1().predicates(), vec!["playsFor", "worksFor"]);
+        assert_eq!(c2().predicates(), vec!["coach"]);
+    }
+}

@@ -1,0 +1,450 @@
+//! Tokenizer for the rule/constraint language.
+
+use crate::error::LogicError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Token kinds of the concrete syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (`quad`, `x`, `playsFor`, `t'` — primes included).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal (weights).
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `∧`, `^`, `&&`, `&`
+    And,
+    /// `->`, `→`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `!=`, `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`, `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`, `≥`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `∩`, `cap`
+    Intersect,
+    /// `∞`, `inf`
+    Infinity,
+    /// `.` statement terminator (optional)
+    Dot,
+    /// `:` (name prefix `f1: ...`)
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Float(x) => format!("number `{x}`"),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::And => "`^`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Intersect => "`∩`".into(),
+            TokenKind::Infinity => "`inf`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenizes a whole source text. `//` and `#` start line comments.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LogicError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = source.chars().peekable();
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                column,
+            });
+            column += $len;
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    return Err(LogicError::syntax(line, column, "unexpected `/`"));
+                }
+            }
+            '(' => {
+                chars.next();
+                push!(TokenKind::LParen, 1);
+            }
+            ')' => {
+                chars.next();
+                push!(TokenKind::RParen, 1);
+            }
+            '[' => {
+                chars.next();
+                push!(TokenKind::LBracket, 1);
+            }
+            ']' => {
+                chars.next();
+                push!(TokenKind::RBracket, 1);
+            }
+            ',' => {
+                chars.next();
+                push!(TokenKind::Comma, 1);
+            }
+            '.' => {
+                chars.next();
+                push!(TokenKind::Dot, 1);
+            }
+            ':' => {
+                chars.next();
+                push!(TokenKind::Colon, 1);
+            }
+            '∧' => {
+                chars.next();
+                push!(TokenKind::And, 1);
+            }
+            '^' => {
+                chars.next();
+                push!(TokenKind::And, 1);
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    push!(TokenKind::And, 2);
+                } else {
+                    push!(TokenKind::And, 1);
+                }
+            }
+            '∩' => {
+                chars.next();
+                push!(TokenKind::Intersect, 1);
+            }
+            '∞' => {
+                chars.next();
+                push!(TokenKind::Infinity, 1);
+            }
+            '→' => {
+                chars.next();
+                push!(TokenKind::Arrow, 1);
+            }
+            '+' => {
+                chars.next();
+                push!(TokenKind::Plus, 1);
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    push!(TokenKind::Arrow, 2);
+                } else {
+                    push!(TokenKind::Minus, 1);
+                }
+            }
+            '=' => {
+                chars.next();
+                push!(TokenKind::Eq, 1);
+            }
+            '≠' => {
+                chars.next();
+                push!(TokenKind::Ne, 1);
+            }
+            '≤' => {
+                chars.next();
+                push!(TokenKind::Le, 1);
+            }
+            '≥' => {
+                chars.next();
+                push!(TokenKind::Ge, 1);
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Ne, 2);
+                } else {
+                    return Err(LogicError::syntax(line, column, "expected `!=`"));
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Le, 2);
+                } else {
+                    push!(TokenKind::Lt, 1);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Ge, 2);
+                } else {
+                    push!(TokenKind::Gt, 1);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                    } else if c == '.' {
+                        // Lookahead: `1.` followed by a digit is a float;
+                        // otherwise the dot is a statement terminator.
+                        let mut clone = chars.clone();
+                        clone.next();
+                        if clone.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                            text.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let len = text.len();
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| {
+                        LogicError::syntax(line, column, format!("invalid number `{text}`"))
+                    })?;
+                    push!(TokenKind::Float(v), len);
+                } else {
+                    let v: i64 = text.parse().map_err(|_| {
+                        LogicError::syntax(line, column, format!("invalid integer `{text}`"))
+                    })?;
+                    push!(TokenKind::Int(v), len);
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '?' => {
+                let mut text = String::new();
+                if c == '?' {
+                    text.push('?');
+                    chars.next();
+                }
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '\'' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if text.is_empty() || text == "?" {
+                    return Err(LogicError::syntax(line, column, "expected identifier"));
+                }
+                let len = text.chars().count();
+                let kind = match text.as_str() {
+                    "inf" | "infinity" | "INF" => TokenKind::Infinity,
+                    "cap" => TokenKind::Intersect,
+                    _ => TokenKind::Ident(text),
+                };
+                push!(kind, len);
+            }
+            other => {
+                return Err(LogicError::syntax(
+                    line,
+                    column,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn paper_rule_f1() {
+        let toks = kinds("quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5");
+        assert!(toks.contains(&TokenKind::Arrow));
+        assert!(toks.contains(&TokenKind::Float(2.5)));
+        assert!(toks.contains(&TokenKind::Ident("playsFor".into())));
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        let toks = kinds("t' t''");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("t'".into()),
+                TokenKind::Ident("t''".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_operators() {
+        let toks = kinds("a ∧ b → c ≠ d ∩ ∞ ≤ ≥");
+        assert!(toks.contains(&TokenKind::And));
+        assert!(toks.contains(&TokenKind::Arrow));
+        assert!(toks.contains(&TokenKind::Ne));
+        assert!(toks.contains(&TokenKind::Intersect));
+        assert!(toks.contains(&TokenKind::Infinity));
+        assert!(toks.contains(&TokenKind::Le));
+        assert!(toks.contains(&TokenKind::Ge));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 2.5 -7"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(2.5),
+                TokenKind::Minus,
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_integer_is_terminator() {
+        assert_eq!(
+            kinds("w = 3."),
+            vec![
+                TokenKind::Ident("w".into()),
+                TokenKind::Eq,
+                TokenKind::Int(3),
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments() {
+        assert_eq!(kinds("# whole line\nx // rest\n"), vec![
+            TokenKind::Ident("x".into()),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn inf_keyword() {
+        assert_eq!(kinds("w = inf")[2], TokenKind::Infinity);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a % b").is_err());
+        assert!(tokenize("a / b").is_err());
+    }
+}

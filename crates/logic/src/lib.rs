@@ -1,0 +1,58 @@
+//! # tecore-logic
+//!
+//! The rule and constraint language of TeCoRe (VLDB 2017, §2).
+//!
+//! Users express two kinds of knowledge over a uTKG:
+//!
+//! * **Temporal inference rules** `Body ∧ [Condition] → Head, w` — derive
+//!   implicit facts (Figure 4 of the paper), e.g.
+//!
+//!   ```text
+//!   quad(x, playsFor, y, t) -> quad(x, worksFor, y, t)  w = 2.5
+//!   ```
+//!
+//! * **Temporal constraints** — detect conflicts (Figure 6), hard
+//!   (`w = inf`) or soft, in the three classes of §2: inclusion
+//!   dependencies with inequalities, (in)equality-generating
+//!   dependencies, and disjointness constraints, e.g.
+//!
+//!   ```text
+//!   quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t')  w = inf
+//!   ```
+//!
+//! Both are instances of one [`formula::Formula`] shape: a conjunctive
+//! body of quad atoms, a set of numerical/temporal conditions (Allen
+//! relations, interval arithmetic, (in)equalities) and a consequent.
+//! A [`program::LogicProgram`] collects formulas and classifies them.
+//!
+//! The crate also ships the Datalog-style **parser** for the concrete
+//! syntax above ([`parser`]), a **validator** ([`validate`]) enforcing
+//! safety and per-backend expressivity, a **pretty-printer** matching the
+//! paper's notation, and the **auto-completion engine** behind the demo's
+//! constraints editor ([`suggest`], Figure 5).
+//!
+//! ## Variable convention
+//!
+//! Following the paper's notation, an identifier in an argument position
+//! is a *variable* iff it is a single lowercase letter optionally
+//! followed by digits and/or primes (`x`, `y2`, `t`, `t'`, `t''`).
+//! Everything else (`Chelsea`, `playsFor`, `1951`) is a constant. An
+//! explicit `?name` prefix also introduces a variable.
+
+pub mod atom;
+pub mod builder;
+pub mod error;
+pub mod formula;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod program;
+pub mod suggest;
+pub mod term;
+pub mod validate;
+
+pub use atom::{Comparison, CmpOp, Condition, NumExpr, QuadAtom, TemporalCond};
+pub use error::LogicError;
+pub use formula::{Consequent, Formula, FormulaKind, Weight};
+pub use program::LogicProgram;
+pub use term::{Term, TimeTerm, VarId, VarTable};

@@ -1,0 +1,711 @@
+//! Recursive-descent parser for the rule/constraint language.
+//!
+//! Grammar (statements are `.`-terminated or separated by layout):
+//!
+//! ```text
+//! program    := statement*
+//! statement  := [name ':'] body '->' consequent [ 'w' '=' weight ] ['.']
+//! body       := element ( ('∧'|'^'|'&&') element )*
+//! element    := quadAtom | allenAtom | comparison
+//! quadAtom   := 'quad' '(' term ',' term ',' term [',' timeArg] ')'
+//! timeArg    := [var '='] timeExpr            // `t'' = t ∩ t'` sugar
+//! timeExpr   := timePrim ( '∩' timePrim )*
+//! timePrim   := var | '[' int ',' int ']'
+//! allenAtom  := ALLEN_NAME '(' timeExpr ',' timeExpr ')'
+//! consequent := quadAtom | allenAtom | comparison | 'false'
+//! comparison := numExpr CMP numExpr           // CMP: = != < <= > >=
+//! numExpr    := numTerm ( ('+'|'-') numTerm )*
+//! numTerm    := int | ('start'|'end'|'duration') '(' timeExpr ')'
+//!             | var | '(' numExpr ')'
+//! weight     := float | int | 'inf' | '∞'
+//! ```
+//!
+//! A comparison whose operator is `=`/`!=` and whose operands are bare
+//! identifiers (no arithmetic) is parsed as an **entity** comparison
+//! (`y != z` in c2); everything else is numeric over interval endpoints
+//! (`t' - t < 20` in f3, bare `t` meaning `start(t)`).
+
+use tecore_temporal::{AllenSet, Interval};
+
+use crate::atom::{CmpOp, Comparison, Condition, NumExpr, QuadAtom, TemporalCond};
+use crate::error::LogicError;
+use crate::formula::{Consequent, Formula, Weight};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::program::LogicProgram;
+use crate::term::{Term, TimeTerm, VarTable};
+
+/// Parses a full program (zero or more formulas).
+pub fn parse_program(source: &str) -> Result<LogicProgram, LogicError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser::new(tokens);
+    let mut program = LogicProgram::new();
+    while !p.at_eof() {
+        program.push(p.statement()?);
+    }
+    Ok(program)
+}
+
+/// Parses a single formula.
+pub fn parse_formula(source: &str) -> Result<Formula, LogicError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser::new(tokens);
+    let f = p.statement()?;
+    if !p.at_eof() {
+        let t = p.peek();
+        return Err(LogicError::syntax(
+            t.line,
+            t.column,
+            format!("trailing input after formula: {}", t.kind.describe()),
+        ));
+    }
+    Ok(f)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    vars: VarTable,
+}
+
+/// Body element or consequent candidate, before classification.
+enum Element {
+    Quad(QuadAtom),
+    Temporal(TemporalCond),
+    NumericCmp(Comparison),
+    EntityCmp { left: Term, op: CmpOp, right: Term },
+    False,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            vars: VarTable::new(),
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LogicError {
+        let t = self.peek();
+        LogicError::syntax(t.line, t.column, message)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), LogicError> {
+        if &self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn statement(&mut self) -> Result<Formula, LogicError> {
+        self.vars = VarTable::new();
+        // Optional `name :` prefix.
+        let mut name = None;
+        if let TokenKind::Ident(id) = &self.peek().kind {
+            if matches!(self.peek2().kind, TokenKind::Colon) {
+                name = Some(id.clone());
+                self.next();
+                self.next();
+            }
+        }
+        // Body conjunction.
+        let mut body = Vec::new();
+        let mut conditions = Vec::new();
+        loop {
+            match self.element()? {
+                Element::Quad(q) => body.push(q),
+                Element::Temporal(tc) => conditions.push(Condition::Temporal(tc)),
+                Element::NumericCmp(c) => conditions.push(Condition::Numeric(c)),
+                Element::EntityCmp { left, op, right } => {
+                    conditions.push(Condition::EntityCmp { left, op, right })
+                }
+                Element::False => {
+                    return Err(self.error("`false` is only allowed as a consequent"))
+                }
+            }
+            if !self.eat(&TokenKind::And) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Arrow)?;
+        let consequent = match self.element()? {
+            Element::Quad(q) => Consequent::Quad(q),
+            Element::Temporal(tc) => Consequent::Temporal(tc),
+            Element::NumericCmp(c) => Consequent::Numeric(c),
+            Element::EntityCmp { left, op, right } => Consequent::EntityCmp { left, op, right },
+            Element::False => Consequent::False,
+        };
+        // Optional weight annotation: `w = 2.5` / `w = inf`.
+        let mut weight = Weight::Hard;
+        if let TokenKind::Ident(id) = &self.peek().kind {
+            if id == "w" && matches!(self.peek2().kind, TokenKind::Eq) {
+                self.next();
+                self.next();
+                weight = match self.next().kind {
+                    TokenKind::Float(v) => Weight::Soft(v),
+                    TokenKind::Int(v) => Weight::Soft(v as f64),
+                    TokenKind::Infinity => Weight::Hard,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a number or `inf` after `w =`, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+            }
+        }
+        self.eat(&TokenKind::Dot);
+        Ok(Formula {
+            name,
+            vars: std::mem::take(&mut self.vars),
+            body,
+            conditions,
+            consequent,
+            weight,
+        })
+    }
+
+    /// Parses one body element / consequent.
+    fn element(&mut self) -> Result<Element, LogicError> {
+        if let TokenKind::Ident(id) = &self.peek().kind {
+            let id = id.clone();
+            if id == "false" {
+                self.next();
+                return Ok(Element::False);
+            }
+            if matches!(self.peek2().kind, TokenKind::LParen) {
+                if id == "quad" {
+                    return Ok(Element::Quad(self.quad_atom()?));
+                }
+                if let Some(relation) = AllenSet::parse(&id) {
+                    return self.allen_atom(relation);
+                }
+                if !matches!(id.as_str(), "start" | "end" | "duration") {
+                    return Err(self.error(format!(
+                        "unknown predicate `{id}` — expected `quad`, an Allen relation \
+                         ({}), or a numeric function (`start`, `end`, `duration`)",
+                        AllenSet::known_names().join(", ")
+                    )));
+                }
+            }
+        }
+        // Otherwise: a comparison.
+        self.comparison()
+    }
+
+    fn quad_atom(&mut self) -> Result<QuadAtom, LogicError> {
+        self.next(); // `quad`
+        self.expect(&TokenKind::LParen)?;
+        let subject = self.entity_term()?;
+        self.expect(&TokenKind::Comma)?;
+        let predicate = self.entity_term()?;
+        self.expect(&TokenKind::Comma)?;
+        let object = self.entity_term()?;
+        let time = if self.eat(&TokenKind::Comma) {
+            Some(self.time_arg()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(QuadAtom {
+            subject,
+            predicate,
+            object,
+            time,
+        })
+    }
+
+    fn allen_atom(&mut self, relation: AllenSet) -> Result<Element, LogicError> {
+        self.next(); // relation name
+        self.expect(&TokenKind::LParen)?;
+        let left = self.time_expr()?;
+        self.expect(&TokenKind::Comma)?;
+        let right = self.time_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(Element::Temporal(TemporalCond {
+            relation,
+            left,
+            right,
+        }))
+    }
+
+    fn entity_term(&mut self) -> Result<Term, LogicError> {
+        match self.next().kind {
+            TokenKind::Ident(id) => {
+                if let Some(stripped) = id.strip_prefix('?') {
+                    Ok(Term::Var(self.vars.intern(stripped)))
+                } else if VarTable::is_variable_name(&id) {
+                    Ok(Term::Var(self.vars.intern(&id)))
+                } else {
+                    Ok(Term::Const(id))
+                }
+            }
+            TokenKind::Int(n) => Ok(Term::Const(n.to_string())),
+            other => Err(LogicError::syntax(
+                self.tokens[self.pos.saturating_sub(1)].line,
+                self.tokens[self.pos.saturating_sub(1)].column,
+                format!("expected a term, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// Time argument of a quad atom, with the `t'' = expr` binding sugar.
+    fn time_arg(&mut self) -> Result<TimeTerm, LogicError> {
+        if let TokenKind::Ident(_) = &self.peek().kind {
+            if matches!(self.peek2().kind, TokenKind::Eq) {
+                // `t'' = t ∩ t'` — the fresh name is documentation only;
+                // the head's time is the right-hand expression.
+                self.next();
+                self.next();
+            }
+        }
+        self.time_expr()
+    }
+
+    fn time_expr(&mut self) -> Result<TimeTerm, LogicError> {
+        let mut lhs = self.time_primary()?;
+        while self.eat(&TokenKind::Intersect) {
+            let rhs = self.time_primary()?;
+            lhs = TimeTerm::Intersect(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn time_primary(&mut self) -> Result<TimeTerm, LogicError> {
+        match &self.peek().kind {
+            TokenKind::Ident(id) => {
+                let id = id.clone();
+                let name = id.strip_prefix('?').unwrap_or(&id);
+                if id.starts_with('?') || VarTable::is_variable_name(&id) {
+                    self.next();
+                    Ok(TimeTerm::Var(self.vars.intern(name)))
+                } else {
+                    Err(self.error(format!(
+                        "`{id}` is not a valid interval variable (use `t`, `t'`, `t1`, ...)"
+                    )))
+                }
+            }
+            TokenKind::LBracket => {
+                self.next();
+                let a = self.signed_int()?;
+                self.expect(&TokenKind::Comma)?;
+                let b = self.signed_int()?;
+                self.expect(&TokenKind::RBracket)?;
+                let iv = Interval::new(a, b).map_err(|e| self.error(e.to_string()))?;
+                Ok(TimeTerm::Lit(iv))
+            }
+            other => Err(self.error(format!(
+                "expected an interval variable or `[a,b]`, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn signed_int(&mut self) -> Result<i64, LogicError> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.next().kind {
+            TokenKind::Int(n) => Ok(if neg { -n } else { n }),
+            other => Err(self.error(format!("expected an integer, found {}", other.describe()))),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Element, LogicError> {
+        let left = self.num_expr()?;
+        let op = match self.next().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(self.error(format!(
+                    "expected a comparison operator, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let right = self.num_expr()?;
+        // `y != z` / `y = Chelsea` with bare operands and =/!= is an
+        // entity comparison.
+        if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+            if let (Some(l), Some(r)) = (left.as_entity_term(), right.as_entity_term()) {
+                return Ok(Element::EntityCmp { left: l, op, right: r });
+            }
+        }
+        Ok(Element::NumericCmp(Comparison {
+            left: left.into_num_expr(),
+            op,
+            right: right.into_num_expr(),
+        }))
+    }
+
+    fn num_expr(&mut self) -> Result<PendingExpr, LogicError> {
+        let mut lhs = self.num_term()?;
+        loop {
+            let op_plus = match self.peek().kind {
+                TokenKind::Plus => true,
+                TokenKind::Minus => false,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.num_term()?;
+            let l = Box::new(lhs.into_num_expr());
+            let r = Box::new(rhs.into_num_expr());
+            lhs = PendingExpr::Num(if op_plus {
+                NumExpr::Add(l, r)
+            } else {
+                NumExpr::Sub(l, r)
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn num_term(&mut self) -> Result<PendingExpr, LogicError> {
+        match &self.peek().kind {
+            TokenKind::Int(n) => {
+                let n = *n;
+                self.next();
+                Ok(PendingExpr::Num(NumExpr::Lit(n)))
+            }
+            TokenKind::Minus => {
+                self.next();
+                match self.next().kind {
+                    TokenKind::Int(n) => Ok(PendingExpr::Num(NumExpr::Lit(-n))),
+                    other => {
+                        Err(self.error(format!("expected integer, found {}", other.describe())))
+                    }
+                }
+            }
+            TokenKind::LParen => {
+                self.next();
+                let e = self.num_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(PendingExpr::Num(e.into_num_expr()))
+            }
+            TokenKind::Ident(id) => {
+                let id = id.clone();
+                if matches!(id.as_str(), "start" | "end" | "duration")
+                    && matches!(self.peek2().kind, TokenKind::LParen)
+                {
+                    self.next();
+                    self.next();
+                    let t = self.time_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let e = match id.as_str() {
+                        "start" => NumExpr::Start(t),
+                        "end" => NumExpr::End(t),
+                        _ => NumExpr::Duration(t),
+                    };
+                    return Ok(PendingExpr::Num(e));
+                }
+                let name = id.strip_prefix('?').unwrap_or(&id);
+                if id.starts_with('?') || VarTable::is_variable_name(&id) {
+                    self.next();
+                    Ok(PendingExpr::Var(self.vars.intern(name)))
+                } else {
+                    self.next();
+                    Ok(PendingExpr::Const(id))
+                }
+            }
+            other => Err(self.error(format!(
+                "expected a numeric term, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+/// An operand whose sort (entity vs time) is not yet known: `y` in
+/// `y != z` is an entity, `t` in `t' - t < 20` is an interval.
+enum PendingExpr {
+    Var(crate::term::VarId),
+    Const(String),
+    Num(NumExpr),
+}
+
+impl PendingExpr {
+    /// Interprets the operand as an entity term if it is bare.
+    fn as_entity_term(&self) -> Option<Term> {
+        match self {
+            PendingExpr::Var(v) => Some(Term::Var(*v)),
+            PendingExpr::Const(c) => Some(Term::Const(c.clone())),
+            PendingExpr::Num(NumExpr::Lit(n)) => Some(Term::Const(n.to_string())),
+            PendingExpr::Num(_) => None,
+        }
+    }
+
+    /// Interprets the operand numerically: bare variables mean
+    /// `start(t)`; constants are rejected later by validation (they have
+    /// no numeric value).
+    fn into_num_expr(self) -> NumExpr {
+        match self {
+            PendingExpr::Var(v) => NumExpr::Start(TimeTerm::Var(v)),
+            // A non-numeric constant in numeric context cannot be
+            // evaluated; map to a literal if it parses, else 0 and let
+            // validation flag it (validate::check_formula).
+            PendingExpr::Const(c) => NumExpr::Lit(c.parse().unwrap_or(0)),
+            PendingExpr::Num(e) => e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::FormulaKind;
+    use tecore_temporal::AllenRelation;
+
+    #[test]
+    fn parses_paper_rule_f1() {
+        let f =
+            parse_formula("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5")
+                .unwrap();
+        assert_eq!(f.name.as_deref(), Some("f1"));
+        assert_eq!(f.kind(), FormulaKind::InferenceRule);
+        assert_eq!(f.body.len(), 1);
+        assert_eq!(f.weight, Weight::Soft(2.5));
+        let head = match &f.consequent {
+            Consequent::Quad(q) => q,
+            other => panic!("unexpected consequent {other:?}"),
+        };
+        assert_eq!(head.predicate, Term::Const("worksFor".into()));
+        // x and t shared between body and head.
+        assert_eq!(f.vars.len(), 3);
+    }
+
+    #[test]
+    fn parses_paper_rule_f2_with_intersection() {
+        let f = parse_formula(
+            "f2: quad(x, worksFor, y, t) ∧ quad(y, locatedIn, z, t') ∧ overlaps(t, t') \
+             → quad(x, livesIn, z, t'' = t ∩ t') w = 1.6",
+        )
+        .unwrap();
+        assert_eq!(f.body.len(), 2);
+        assert_eq!(f.conditions.len(), 1);
+        let head = match &f.consequent {
+            Consequent::Quad(q) => q,
+            other => panic!("unexpected consequent {other:?}"),
+        };
+        match head.time.as_ref().unwrap() {
+            TimeTerm::Intersect(a, b) => {
+                assert!(matches!(**a, TimeTerm::Var(_)));
+                assert!(matches!(**b, TimeTerm::Var(_)));
+            }
+            other => panic!("expected intersection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_rule_f3_numeric() {
+        let f = parse_formula(
+            "f3: quad(x, playsFor, y, t) ∧ quad(x, birthDate, z, t') ∧ t - t' < 20 \
+             → quad(x, type, TeenPlayer) w = 2.9",
+        )
+        .unwrap();
+        assert_eq!(f.conditions.len(), 1);
+        match &f.conditions[0] {
+            Condition::Numeric(c) => {
+                assert_eq!(c.op, CmpOp::Lt);
+                assert!(matches!(c.right, NumExpr::Lit(20)));
+            }
+            other => panic!("expected numeric condition, got {other:?}"),
+        }
+        // Timeless head.
+        let head = match &f.consequent {
+            Consequent::Quad(q) => q,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(head.time.is_none());
+        assert_eq!(head.object, Term::Const("TeenPlayer".into()));
+    }
+
+    #[test]
+    fn parses_paper_constraint_c1() {
+        let f = parse_formula(
+            "c1: quad(x, birthDate, y, t) ∧ quad(x, deathDate, z, t') → before(t, t') w = inf",
+        )
+        .unwrap();
+        assert_eq!(f.kind(), FormulaKind::Disjointness);
+        assert_eq!(f.weight, Weight::Hard);
+        match &f.consequent {
+            Consequent::Temporal(tc) => {
+                assert_eq!(tc.relation, AllenSet::from_relation(AllenRelation::Before));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_constraint_c2() {
+        let f = parse_formula(
+            "c2: quad(x, coach, y, t) ∧ quad(x, coach, z, t') ∧ y != z → disjoint(t, t') w = inf",
+        )
+        .unwrap();
+        assert_eq!(f.body.len(), 2);
+        match &f.conditions[0] {
+            Condition::EntityCmp { op, .. } => assert_eq!(*op, CmpOp::Ne),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &f.consequent {
+            Consequent::Temporal(tc) => assert_eq!(tc.relation, AllenSet::DISJOINT),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_constraint_c3() {
+        let f = parse_formula(
+            "c3: quad(x, bornIn, y, t) ∧ quad(x, bornIn, z, t') ∧ overlap(t, t') → y = z w = inf",
+        )
+        .unwrap();
+        assert_eq!(f.kind(), FormulaKind::EqualityGenerating);
+        match &f.conditions[0] {
+            Condition::Temporal(tc) => assert_eq!(tc.relation, AllenSet::INTERSECTS),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &f.consequent {
+            Consequent::EntityCmp { op, .. } => assert_eq!(*op, CmpOp::Eq),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn denial_constraint() {
+        let f = parse_formula("quad(x, spouse, y, t) ^ quad(y, spouse, x, t') -> false").unwrap();
+        assert_eq!(f.consequent, Consequent::False);
+        assert_eq!(f.weight, Weight::Hard);
+    }
+
+    #[test]
+    fn program_with_multiple_statements() {
+        let p = parse_program(
+            "# the paper's rule set\n\
+             f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5.\n\
+             c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf.\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.rules().count(), 1);
+        assert_eq!(p.constraints().count(), 1);
+    }
+
+    #[test]
+    fn literal_intervals_and_constants() {
+        let f = parse_formula(
+            "quad(CR, coach, Chelsea, [2000,2004]) -> quad(CR, type, Coach) w = 1.0",
+        )
+        .unwrap();
+        assert_eq!(f.body[0].subject, Term::Const("CR".into()));
+        assert_eq!(
+            f.body[0].time,
+            Some(TimeTerm::Lit(Interval::new(2000, 2004).unwrap()))
+        );
+    }
+
+    #[test]
+    fn explicit_question_mark_variables() {
+        let f = parse_formula("quad(?person, coach, ?club, t) -> disjoint(t, t)").unwrap();
+        assert_eq!(f.vars.len(), 3);
+        assert!(f.vars.lookup("person").is_some());
+        assert!(f.vars.lookup("club").is_some());
+    }
+
+    #[test]
+    fn numeric_functions() {
+        let f = parse_formula(
+            "quad(x, playsFor, y, t) ^ duration(t) >= 10 -> quad(x, type, Veteran) w = 1.2",
+        )
+        .unwrap();
+        match &f.conditions[0] {
+            Condition::Numeric(c) => {
+                assert!(matches!(c.left, NumExpr::Duration(_)));
+                assert_eq!(c.op, CmpOp::Ge);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let f2 = parse_formula(
+            "quad(x, p, y, t) ^ end(t) - start(t) > 5 -> quad(x, q, y, t) w = 1.0",
+        )
+        .unwrap();
+        assert_eq!(f2.conditions.len(), 1);
+    }
+
+    #[test]
+    fn negative_interval_bounds() {
+        let f = parse_formula("quad(x, era, y, [-44, 14]) -> quad(x, type, Ancient) w = 1.0")
+            .unwrap();
+        assert_eq!(
+            f.body[0].time,
+            Some(TimeTerm::Lit(Interval::new(-44, 14).unwrap()))
+        );
+    }
+
+    #[test]
+    fn error_unknown_predicate() {
+        let e = parse_formula("foo(t, t') -> false").unwrap_err();
+        assert!(e.to_string().contains("unknown predicate `foo`"));
+    }
+
+    #[test]
+    fn error_missing_arrow() {
+        assert!(parse_formula("quad(x, p, y, t) w = 1.0").is_err());
+    }
+
+    #[test]
+    fn error_false_in_body() {
+        let e = parse_formula("false -> quad(x, p, y, t)").unwrap_err();
+        assert!(e.to_string().contains("only allowed as a consequent"));
+    }
+
+    #[test]
+    fn error_bad_interval() {
+        assert!(parse_formula("quad(x, p, y, [5,2]) -> false").is_err());
+    }
+
+    #[test]
+    fn error_trailing_tokens() {
+        assert!(parse_formula("quad(x, p, y, t) -> false extra").is_err());
+    }
+
+    #[test]
+    fn weight_from_integer() {
+        let f = parse_formula("quad(x, p, y, t) -> quad(x, q, y, t) w = 3").unwrap();
+        assert_eq!(f.weight, Weight::Soft(3.0));
+    }
+}

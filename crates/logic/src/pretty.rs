@@ -1,0 +1,187 @@
+//! Pretty-printing of formulas in the paper's notation.
+
+use std::fmt;
+
+use crate::atom::{Comparison, Condition, NumExpr, QuadAtom};
+use crate::formula::{Consequent, Formula, Weight};
+use crate::term::{Term, TimeTerm, VarTable};
+
+/// Renders a formula, e.g.
+/// `quad(x, coach, y, t) ∧ quad(x, coach, z, t') ∧ y != z -> disjoint(t, t') w = inf`.
+pub fn format_formula(f: &Formula) -> String {
+    let mut out = String::new();
+    if let Some(name) = &f.name {
+        out.push_str(name);
+        out.push_str(": ");
+    }
+    let mut first = true;
+    for atom in &f.body {
+        if !first {
+            out.push_str(" ∧ ");
+        }
+        first = false;
+        out.push_str(&format_quad(atom, &f.vars));
+    }
+    for cond in &f.conditions {
+        out.push_str(" ∧ ");
+        out.push_str(&format_condition(cond, &f.vars));
+    }
+    out.push_str(" -> ");
+    match &f.consequent {
+        Consequent::Quad(q) => out.push_str(&format_quad(q, &f.vars)),
+        Consequent::Temporal(tc) => {
+            out.push_str(&format!(
+                "{}({}, {})",
+                tc.relation,
+                format_time(&tc.left, &f.vars),
+                format_time(&tc.right, &f.vars)
+            ));
+        }
+        Consequent::EntityCmp { left, op, right } => {
+            out.push_str(&format!(
+                "{} {} {}",
+                format_term(left, &f.vars),
+                op.symbol(),
+                format_term(right, &f.vars)
+            ));
+        }
+        Consequent::Numeric(c) => out.push_str(&format_comparison(c, &f.vars)),
+        Consequent::False => out.push_str("false"),
+    }
+    match f.weight {
+        Weight::Hard => out.push_str(" w = inf"),
+        Weight::Soft(w) => {
+            use fmt::Write;
+            let _ = write!(out, " w = {w}");
+        }
+    }
+    out
+}
+
+/// Renders a quad atom.
+pub fn format_quad(q: &QuadAtom, vars: &VarTable) -> String {
+    let mut out = format!(
+        "quad({}, {}, {}",
+        format_term(&q.subject, vars),
+        format_term(&q.predicate, vars),
+        format_term(&q.object, vars)
+    );
+    if let Some(t) = &q.time {
+        out.push_str(", ");
+        out.push_str(&format_time(t, vars));
+    }
+    out.push(')');
+    out
+}
+
+/// Renders a body condition.
+pub fn format_condition(c: &Condition, vars: &VarTable) -> String {
+    match c {
+        Condition::Temporal(tc) => format!(
+            "{}({}, {})",
+            tc.relation,
+            format_time(&tc.left, vars),
+            format_time(&tc.right, vars)
+        ),
+        Condition::Numeric(cmp) => format_comparison(cmp, vars),
+        Condition::EntityCmp { left, op, right } => format!(
+            "{} {} {}",
+            format_term(left, vars),
+            op.symbol(),
+            format_term(right, vars)
+        ),
+    }
+}
+
+fn format_comparison(c: &Comparison, vars: &VarTable) -> String {
+    format!(
+        "{} {} {}",
+        format_num(&c.left, vars),
+        c.op.symbol(),
+        format_num(&c.right, vars)
+    )
+}
+
+fn format_num(e: &NumExpr, vars: &VarTable) -> String {
+    match e {
+        NumExpr::Lit(n) => n.to_string(),
+        // A bare Start(t) prints as the bare variable, matching the
+        // paper's `t' - t < 20` notation.
+        NumExpr::Start(TimeTerm::Var(v)) => vars.name(*v).to_string(),
+        NumExpr::Start(t) => format!("start({})", format_time(t, vars)),
+        NumExpr::End(t) => format!("end({})", format_time(t, vars)),
+        NumExpr::Duration(t) => format!("duration({})", format_time(t, vars)),
+        NumExpr::Add(a, b) => format!("{} + {}", format_num(a, vars), format_num(b, vars)),
+        NumExpr::Sub(a, b) => format!("{} - {}", format_num(a, vars), format_num(b, vars)),
+    }
+}
+
+/// Renders a time term.
+pub fn format_time(t: &TimeTerm, vars: &VarTable) -> String {
+    match t {
+        TimeTerm::Var(v) => vars.name(*v).to_string(),
+        TimeTerm::Lit(iv) => iv.to_string(),
+        TimeTerm::Intersect(a, b) => {
+            format!("{} ∩ {}", format_time(a, vars), format_time(b, vars))
+        }
+        TimeTerm::Hull(a, b) => {
+            format!("hull({}, {})", format_time(a, vars), format_time(b, vars))
+        }
+    }
+}
+
+fn format_term(t: &Term, vars: &VarTable) -> String {
+    match t {
+        Term::Var(v) => vars.name(*v).to_string(),
+        Term::Const(c) => c.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    /// Pretty-printed output parses back to the same AST (names and
+    /// variable tables included).
+    #[test]
+    fn roundtrip_paper_formulas() {
+        for src in [
+            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5",
+            "f2: quad(x, worksFor, y, t) ∧ quad(y, locatedIn, z, t') ∧ overlaps(t, t') \
+             -> quad(x, livesIn, z, t ∩ t') w = 1.6",
+            "f3: quad(x, playsFor, y, t) ∧ quad(x, birthDate, z, t') ∧ t - t' < 20 \
+             -> quad(x, type, TeenPlayer) w = 2.9",
+            "c1: quad(x, birthDate, y, t) ∧ quad(x, deathDate, z, t') -> before(t, t') w = inf",
+            "c2: quad(x, coach, y, t) ∧ quad(x, coach, z, t') ∧ y != z -> disjoint(t, t') w = inf",
+            "c3: quad(x, bornIn, y, t) ∧ quad(x, bornIn, z, t') ∧ overlap(t, t') -> y = z w = inf",
+            "quad(x, p, y, t) ∧ duration(t) >= 10 -> quad(x, type, Veteran) w = 1.2",
+            "quad(x, era, y, [-44,14]) -> false w = inf",
+        ] {
+            let f1 = parse_formula(src).unwrap();
+            let printed = format_formula(&f1);
+            let f2 = parse_formula(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(f1, f2, "roundtrip mismatch for `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn bare_time_var_in_numeric_context() {
+        let f = parse_formula("quad(x, p, y, t) ^ t - 5 < 0 -> false").unwrap();
+        let printed = format_formula(&f);
+        assert!(printed.contains("t - 5 < 0"), "{printed}");
+    }
+
+    #[test]
+    fn hull_rendering() {
+        use crate::term::{TimeTerm, VarTable};
+        let mut vars = VarTable::new();
+        let t = vars.intern("t");
+        let h = TimeTerm::Hull(
+            Box::new(TimeTerm::Var(t)),
+            Box::new(TimeTerm::Lit(tecore_temporal::Interval::new(1, 2).unwrap())),
+        );
+        assert_eq!(format_time(&h, &vars), "hull(t, [1,2])");
+    }
+}

@@ -1,0 +1,155 @@
+//! Collections of formulas.
+
+use crate::error::LogicError;
+use crate::formula::{Formula, FormulaKind};
+
+/// A logic program: the rules and constraints a TeCoRe session works
+/// with. Preserves declaration order (relevant for reporting).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogicProgram {
+    formulas: Vec<Formula>,
+}
+
+impl LogicProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        LogicProgram::default()
+    }
+
+    /// Parses a program from the concrete syntax (see [`crate::parser`]).
+    pub fn parse(source: &str) -> Result<Self, LogicError> {
+        crate::parser::parse_program(source)
+    }
+
+    /// Appends a formula.
+    pub fn push(&mut self, formula: Formula) {
+        self.formulas.push(formula);
+    }
+
+    /// All formulas in declaration order.
+    pub fn formulas(&self) -> &[Formula] {
+        &self.formulas
+    }
+
+    /// Number of formulas.
+    pub fn len(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// Is the program empty?
+    pub fn is_empty(&self) -> bool {
+        self.formulas.is_empty()
+    }
+
+    /// The inference rules (soft quad-headed formulas).
+    pub fn rules(&self) -> impl Iterator<Item = &Formula> {
+        self.formulas
+            .iter()
+            .filter(|f| f.kind() == FormulaKind::InferenceRule)
+    }
+
+    /// The constraints (everything else).
+    pub fn constraints(&self) -> impl Iterator<Item = &Formula> {
+        self.formulas.iter().filter(|f| f.is_constraint())
+    }
+
+    /// Looks a formula up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Formula> {
+        self.formulas
+            .iter()
+            .find(|f| f.name.as_deref() == Some(name))
+    }
+
+    /// Merges another program into this one.
+    pub fn extend(&mut self, other: LogicProgram) {
+        self.formulas.extend(other.formulas);
+    }
+
+    /// All predicate constants mentioned by any formula, deduplicated in
+    /// first-mention order.
+    pub fn predicates(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for f in &self.formulas {
+            for p in f.predicates() {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates every formula; returns the first error.
+    pub fn validate(&self) -> Result<(), LogicError> {
+        for f in &self.formulas {
+            crate::validate::check_formula(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Formula> for LogicProgram {
+    fn from_iter<T: IntoIterator<Item = Formula>>(iter: T) -> Self {
+        LogicProgram {
+            formulas: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_PROGRAM: &str = "\
+        f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+        f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlaps(t, t') \
+            -> quad(x, livesIn, z, t ∩ t') w = 1.6\n\
+        c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf\n\
+        c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n\
+        c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf\n";
+
+    #[test]
+    fn parse_and_partition() {
+        let p = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.rules().count(), 2);
+        assert_eq!(p.constraints().count(), 3);
+        assert!(p.by_name("c2").is_some());
+        assert!(p.by_name("zzz").is_none());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn predicates_deduplicated() {
+        let p = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let preds = p.predicates();
+        assert!(preds.contains(&"playsFor"));
+        assert!(preds.contains(&"coach"));
+        assert_eq!(
+            preds.iter().filter(|p| **p == "coach").count(),
+            1,
+            "coach appears once"
+        );
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = LogicProgram::parse("quad(x, p, y, t) -> false").unwrap();
+        let b = LogicProgram::parse("quad(x, q, y, t) -> false").unwrap();
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn validate_paper_program() {
+        let p = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let p2: LogicProgram = p.formulas().iter().cloned().collect();
+        assert_eq!(p2.len(), 5);
+    }
+}

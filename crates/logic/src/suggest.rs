@@ -1,0 +1,199 @@
+//! Auto-completion engine for the constraints editor.
+//!
+//! The demo's Web UI offers "predicate auto-completion" while building
+//! constraints (Figure 5 of the paper). This module is the headless
+//! equivalent: given the partial token under the cursor and the KG's
+//! predicate inventory, it proposes ranked completions for predicates,
+//! Allen relations, keywords and numeric functions.
+
+use tecore_temporal::AllenSet;
+
+/// What kind of completion a suggestion is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuggestionKind {
+    /// A predicate occurring in the selected uTKG.
+    Predicate,
+    /// An Allen relation or derived temporal predicate.
+    AllenRelation,
+    /// A language keyword (`quad`, `false`, `w`, ...).
+    Keyword,
+    /// A numeric function (`start`, `end`, `duration`).
+    Function,
+}
+
+/// One ranked completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// The completed text.
+    pub text: String,
+    /// Its kind.
+    pub kind: SuggestionKind,
+    /// Match score: lower sorts first (exact < prefix < substring).
+    pub score: u8,
+}
+
+/// Completion engine seeded with the predicate inventory of a uTKG.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionEngine {
+    predicates: Vec<String>,
+}
+
+const KEYWORDS: [&str; 4] = ["quad", "false", "w", "inf"];
+const FUNCTIONS: [&str; 3] = ["start", "end", "duration"];
+
+impl CompletionEngine {
+    /// Creates an engine with no predicate inventory (language-only
+    /// completions).
+    pub fn new() -> Self {
+        CompletionEngine::default()
+    }
+
+    /// Seeds the engine with the predicates of a graph (sorted,
+    /// deduplicated).
+    pub fn with_predicates<I, S>(predicates: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut preds: Vec<String> = predicates.into_iter().map(Into::into).collect();
+        preds.sort_unstable();
+        preds.dedup();
+        CompletionEngine { predicates: preds }
+    }
+
+    /// The known predicate inventory.
+    pub fn predicates(&self) -> &[String] {
+        &self.predicates
+    }
+
+    /// Ranked completions for a partial token. Case-insensitive; exact
+    /// matches first, then prefix matches, then substring matches,
+    /// alphabetical within each band. `limit` bounds the result.
+    pub fn complete(&self, partial: &str, limit: usize) -> Vec<Suggestion> {
+        let needle = partial.to_ascii_lowercase();
+        let mut out: Vec<Suggestion> = Vec::new();
+        let mut consider = |text: &str, kind: SuggestionKind| {
+            let hay = text.to_ascii_lowercase();
+            let score = if hay == needle {
+                0
+            } else if hay.starts_with(&needle) {
+                1
+            } else if !needle.is_empty() && hay.contains(&needle) {
+                2
+            } else if needle.is_empty() {
+                1
+            } else {
+                return;
+            };
+            out.push(Suggestion {
+                text: text.to_string(),
+                kind,
+                score,
+            });
+        };
+        for p in &self.predicates {
+            consider(p, SuggestionKind::Predicate);
+        }
+        for name in AllenSet::known_names() {
+            consider(name, SuggestionKind::AllenRelation);
+        }
+        for kw in KEYWORDS {
+            consider(kw, SuggestionKind::Keyword);
+        }
+        for f in FUNCTIONS {
+            consider(f, SuggestionKind::Function);
+        }
+        out.sort_by(|a, b| a.score.cmp(&b.score).then_with(|| a.text.cmp(&b.text)));
+        out.truncate(limit);
+        out
+    }
+
+    /// Convenience: completion texts only.
+    pub fn complete_texts(&self, partial: &str, limit: usize) -> Vec<String> {
+        self.complete(partial, limit)
+            .into_iter()
+            .map(|s| s.text)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> CompletionEngine {
+        CompletionEngine::with_predicates([
+            "playsFor",
+            "coach",
+            "birthDate",
+            "deathDate",
+            "bornIn",
+            "worksFor",
+        ])
+    }
+
+    #[test]
+    fn prefix_match_predicates() {
+        let hits = engine().complete_texts("b", 10);
+        assert!(hits.contains(&"birthDate".to_string()));
+        assert!(hits.contains(&"bornIn".to_string()));
+        // `before` the Allen relation also starts with b.
+        assert!(hits.contains(&"before".to_string()));
+    }
+
+    #[test]
+    fn exact_match_ranks_first() {
+        let hits = engine().complete("coach", 10);
+        assert_eq!(hits[0].text, "coach");
+        assert_eq!(hits[0].score, 0);
+        assert_eq!(hits[0].kind, SuggestionKind::Predicate);
+    }
+
+    #[test]
+    fn substring_matches_rank_last() {
+        let hits = engine().complete("or", 20);
+        // prefix matches of "or" don't exist; substring hits like
+        // playsFor/worksFor/bornIn appear with score 2.
+        assert!(hits.iter().all(|s| s.score == 2));
+        assert!(hits.iter().any(|s| s.text == "playsFor"));
+        assert!(hits.iter().any(|s| s.text == "before")); // bef-or-e
+    }
+
+    #[test]
+    fn allen_relations_and_functions() {
+        let hits = engine().complete("dis", 5);
+        assert_eq!(hits[0].text, "disjoint");
+        assert_eq!(hits[0].kind, SuggestionKind::AllenRelation);
+        let hits = engine().complete("dur", 5);
+        assert_eq!(hits[0].text, "duration");
+        assert_eq!(hits[0].kind, SuggestionKind::Function);
+        let hits = engine().complete("qu", 5);
+        assert_eq!(hits[0].text, "quad");
+        assert_eq!(hits[0].kind, SuggestionKind::Keyword);
+    }
+
+    #[test]
+    fn empty_prefix_lists_everything_up_to_limit() {
+        let hits = engine().complete("", 100);
+        assert!(hits.len() >= 6 + 13 + 4 + 3);
+        let limited = engine().complete("", 5);
+        assert_eq!(limited.len(), 5);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let hits = engine().complete_texts("COACH", 5);
+        assert_eq!(hits[0], "coach");
+    }
+
+    #[test]
+    fn dedup_predicates() {
+        let e = CompletionEngine::with_predicates(["coach", "coach"]);
+        assert_eq!(e.predicates().len(), 1);
+    }
+
+    #[test]
+    fn no_matches() {
+        assert!(engine().complete("zzz", 10).is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! Semantic validation: safety, sort consistency and per-backend
+//! expressivity ("Special care is taken to verify that the input adheres
+//! to the expressivity of the solver" — paper §2.1, TeCoRe Translator).
+
+use std::collections::HashMap;
+
+use crate::atom::{Condition, NumExpr, QuadAtom};
+use crate::error::LogicError;
+use crate::formula::{Consequent, Formula, Weight};
+use crate::term::{Term, VarId};
+
+/// Inferred sort of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarSort {
+    /// Bound to graph terms (s/p/o positions).
+    Entity,
+    /// Bound to validity intervals.
+    Time,
+}
+
+/// Target backend for expressivity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expressivity {
+    /// MLNs with numerical constraints (nRockIt): everything this
+    /// language can express is allowed.
+    Mln,
+    /// PSL (nPSL): conjunctive bodies (always true here), **positive
+    /// finite weights** on rules, and no numeric *consequents*.
+    Psl,
+}
+
+/// Validates one formula's intrinsic well-formedness.
+///
+/// Checks performed:
+/// 1. non-empty body;
+/// 2. **safety**: every consequent variable appears in a body quad atom;
+/// 3. condition variables are bound by the body;
+/// 4. **sort consistency**: no variable is used both as an entity and as
+///    an interval;
+/// 5. soft weights are positive and finite;
+/// 6. entity comparisons compare entity-sorted terms.
+pub fn check_formula(f: &Formula) -> Result<(), LogicError> {
+    let name = f.name.as_deref();
+    if f.body.is_empty() {
+        return Err(LogicError::validation(name, "formula has an empty body"));
+    }
+    if let Weight::Soft(w) = f.weight {
+        if !w.is_finite() || w <= 0.0 {
+            return Err(LogicError::validation(
+                name,
+                format!("soft weight must be positive and finite, got {w}"),
+            ));
+        }
+    }
+
+    let body_vars = f.body_vars();
+    for v in f.consequent_vars() {
+        if !body_vars.contains(&v) {
+            return Err(LogicError::validation(
+                name,
+                format!(
+                    "unsafe variable `{}`: appears in the consequent but not in the body",
+                    f.vars.name(v)
+                ),
+            ));
+        }
+    }
+    for v in f.condition_vars() {
+        if !body_vars.contains(&v) {
+            return Err(LogicError::validation(
+                name,
+                format!(
+                    "unbound variable `{}` in condition (conditions only filter body matches)",
+                    f.vars.name(v)
+                ),
+            ));
+        }
+    }
+
+    let sorts = infer_sorts(f)?;
+
+    // Entity comparisons must involve entity-sorted operands.
+    let check_entity_cmp = |left: &Term, right: &Term| -> Result<(), LogicError> {
+        for t in [left, right] {
+            if let Term::Var(v) = t {
+                if sorts.get(v) == Some(&VarSort::Time) {
+                    return Err(LogicError::validation(
+                        name,
+                        format!(
+                            "`{}` is an interval variable; use an Allen relation such as \
+                             equals(t, t') instead of =/!= on intervals",
+                            f.vars.name(*v)
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+    for c in &f.conditions {
+        if let Condition::EntityCmp { left, right, .. } = c {
+            check_entity_cmp(left, right)?;
+        }
+    }
+    if let Consequent::EntityCmp { left, right, .. } = &f.consequent {
+        check_entity_cmp(left, right)?;
+    }
+
+    // Numeric expressions over non-numeric constants are meaningless.
+    let check_num = |e: &NumExpr| -> Result<(), LogicError> {
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        for v in vars {
+            if sorts.get(&v) == Some(&VarSort::Entity) {
+                return Err(LogicError::validation(
+                    name,
+                    format!(
+                        "`{}` is an entity variable and cannot be used in arithmetic",
+                        f.vars.name(v)
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    };
+    for c in &f.conditions {
+        if let Condition::Numeric(cmp) = c {
+            check_num(&cmp.left)?;
+            check_num(&cmp.right)?;
+        }
+    }
+    if let Consequent::Numeric(cmp) = &f.consequent {
+        check_num(&cmp.left)?;
+        check_num(&cmp.right)?;
+    }
+    Ok(())
+}
+
+/// Validates a formula against a backend's expressivity.
+pub fn check_expressivity(f: &Formula, target: Expressivity) -> Result<(), LogicError> {
+    check_formula(f)?;
+    let name = f.name.as_deref();
+    match target {
+        Expressivity::Mln => Ok(()),
+        Expressivity::Psl => {
+            if let Consequent::Numeric(_) = &f.consequent {
+                return Err(LogicError::validation(
+                    name,
+                    "PSL cannot express numeric consequents; use the MLN backend",
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Infers the sort of every variable from its use sites; errors if a
+/// variable is used at both sorts.
+pub fn infer_sorts(f: &Formula) -> Result<HashMap<VarId, VarSort>, LogicError> {
+    let name = f.name.as_deref();
+    let mut sorts: HashMap<VarId, VarSort> = HashMap::new();
+    let mut assign = |v: VarId, sort: VarSort, vars: &crate::term::VarTable| {
+        match sorts.insert(v, sort) {
+            Some(prev) if prev != sort => Err(LogicError::validation(
+                name,
+                format!(
+                    "variable `{}` is used both as an entity and as an interval",
+                    vars.name(v)
+                ),
+            )),
+            _ => Ok(()),
+        }
+    };
+
+    let visit_quad = |q: &QuadAtom, vars: &crate::term::VarTable,
+                          assign: &mut dyn FnMut(VarId, VarSort, &crate::term::VarTable) -> Result<(), LogicError>|
+     -> Result<(), LogicError> {
+        for term in [&q.subject, &q.predicate, &q.object] {
+            if let Term::Var(v) = term {
+                assign(*v, VarSort::Entity, vars)?;
+            }
+        }
+        for v in q.time_vars() {
+            assign(v, VarSort::Time, vars)?;
+        }
+        Ok(())
+    };
+
+    for q in &f.body {
+        visit_quad(q, &f.vars, &mut assign)?;
+    }
+    if let Consequent::Quad(q) = &f.consequent {
+        visit_quad(q, &f.vars, &mut assign)?;
+    }
+    // Conditions: temporal/numeric sides are time-sorted.
+    for c in &f.conditions {
+        match c {
+            Condition::Temporal(tc) => {
+                let mut vs = Vec::new();
+                tc.left.collect_vars(&mut vs);
+                tc.right.collect_vars(&mut vs);
+                for v in vs {
+                    assign(v, VarSort::Time, &f.vars)?;
+                }
+            }
+            Condition::Numeric(_) | Condition::EntityCmp { .. } => {
+                // Operand sorts are determined by body occurrences; the
+                // arithmetic/entity checks in check_formula report
+                // mismatches with a more helpful message than a generic
+                // sort clash would.
+            }
+        }
+    }
+    if let Consequent::Temporal(tc) = &f.consequent {
+        let mut vs = Vec::new();
+        tc.left.collect_vars(&mut vs);
+        tc.right.collect_vars(&mut vs);
+        for v in vs {
+            assign(v, VarSort::Time, &f.vars)?;
+        }
+    }
+    Ok(sorts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn paper_formulas_pass() {
+        for src in [
+            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5",
+            "f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlaps(t, t') \
+             -> quad(x, livesIn, z, t ∩ t') w = 1.6",
+            "f3: quad(x, playsFor, y, t) ^ quad(x, birthDate, z, t') ^ t - t' < 20 \
+             -> quad(x, type, TeenPlayer) w = 2.9",
+            "c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf",
+            "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+            "c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf",
+        ] {
+            let f = parse_formula(src).unwrap();
+            check_formula(&f).unwrap_or_else(|e| panic!("{src}: {e}"));
+            check_expressivity(&f, Expressivity::Mln).unwrap();
+            check_expressivity(&f, Expressivity::Psl).unwrap();
+        }
+    }
+
+    #[test]
+    fn unsafe_head_variable_rejected() {
+        let f = parse_formula("quad(x, playsFor, y, t) -> quad(x, worksFor, z, t) w = 1.0")
+            .unwrap();
+        let e = check_formula(&f).unwrap_err();
+        assert!(e.to_string().contains("unsafe variable `z`"), "{e}");
+    }
+
+    #[test]
+    fn unbound_condition_variable_rejected() {
+        let f = parse_formula("quad(x, p, y, t) ^ overlaps(t, t') -> false").unwrap();
+        let e = check_formula(&f).unwrap_err();
+        assert!(e.to_string().contains("unbound variable `t'`"), "{e}");
+    }
+
+    #[test]
+    fn sort_clash_rejected() {
+        // `t` used as object (entity) and as interval.
+        let f = parse_formula("quad(x, p, t, t) -> false").unwrap();
+        let e = check_formula(&f).unwrap_err();
+        assert!(e.to_string().contains("both as an entity and as an interval"), "{e}");
+    }
+
+    #[test]
+    fn interval_equality_hint() {
+        let f = parse_formula("quad(x, p, y, t) ^ quad(x, p, z, t') ^ t = t' -> false").unwrap();
+        let e = check_formula(&f).unwrap_err();
+        assert!(e.to_string().contains("equals(t, t')"), "{e}");
+    }
+
+    #[test]
+    fn nonpositive_weight_rejected() {
+        for w in ["0.0", "-1.5"] {
+            let f = parse_formula(&format!("quad(x, p, y, t) -> quad(x, q, y, t) w = {w}"));
+            let f = match f {
+                Ok(f) => f,
+                Err(_) => continue, // `-1.5` may fail at parse; fine either way
+            };
+            assert!(check_formula(&f).is_err());
+        }
+    }
+
+    #[test]
+    fn entity_arithmetic_rejected() {
+        let f = parse_formula("quad(x, p, y, t) ^ y + 1 < 5 -> false").unwrap();
+        let e = check_formula(&f).unwrap_err();
+        assert!(e.to_string().contains("cannot be used in arithmetic"), "{e}");
+    }
+
+    #[test]
+    fn psl_rejects_numeric_consequent() {
+        let f = parse_formula("quad(x, p, y, t) -> t - t < 1").unwrap();
+        check_expressivity(&f, Expressivity::Mln).unwrap();
+        let e = check_expressivity(&f, Expressivity::Psl).unwrap_err();
+        assert!(e.to_string().contains("PSL"), "{e}");
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        use crate::formula::{Consequent, Formula, Weight};
+        use crate::term::VarTable;
+        let f = Formula {
+            name: None,
+            vars: VarTable::new(),
+            body: vec![],
+            conditions: vec![],
+            consequent: Consequent::False,
+            weight: Weight::Hard,
+        };
+        assert!(check_formula(&f).is_err());
+    }
+
+    #[test]
+    fn sort_inference() {
+        let f = parse_formula(
+            "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+        )
+        .unwrap();
+        let sorts = infer_sorts(&f).unwrap();
+        let get = |n: &str| sorts[&f.vars.lookup(n).unwrap()];
+        assert_eq!(get("x"), VarSort::Entity);
+        assert_eq!(get("y"), VarSort::Entity);
+        assert_eq!(get("z"), VarSort::Entity);
+        assert_eq!(get("t"), VarSort::Time);
+        assert_eq!(get("t'"), VarSort::Time);
+    }
+}

@@ -1,0 +1,320 @@
+//! Preprocessing of weighted partial MaxSAT instances.
+//!
+//! Two standard, solution-preserving simplifications run before search:
+//!
+//! * **hard unit propagation** — a hard unit clause fixes its variable;
+//!   fixing cascades through the hard clause set (satisfied clauses are
+//!   dropped, falsified literals are removed, emptied hard clauses mean
+//!   the instance is infeasible);
+//! * **pure literal fixing** — a variable appearing with only one
+//!   polarity across *all* remaining clauses can be fixed to that
+//!   polarity without increasing cost.
+//!
+//! On TeCoRe groundings the evidence/prior unit structure leaves little
+//! for search after preprocessing on conflict-sparse graphs: with
+//! `pin_certain` enabled, whole connected components collapse. The
+//! propty tests cross-check against brute force that the optimal cost
+//! is preserved exactly.
+
+use tecore_ground::Lit;
+
+use crate::problem::{MapResult, SatClause, SatProblem};
+
+/// The outcome of preprocessing.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// The reduced instance (over the same variable ids; fixed
+    /// variables simply no longer occur).
+    pub problem: SatProblem,
+    /// Fixed assignments, `fixed[v] = Some(value)`.
+    pub fixed: Vec<Option<bool>>,
+    /// `false` if hard unit propagation derived a contradiction.
+    pub feasible: bool,
+    /// Soft cost already incurred by the fixing (violated soft clauses).
+    pub base_cost: f64,
+}
+
+impl Preprocessed {
+    /// Completes a solution of the reduced problem into a full
+    /// assignment of the original problem.
+    pub fn complete(&self, reduced: &[bool]) -> Vec<bool> {
+        self.fixed
+            .iter()
+            .enumerate()
+            .map(|(v, f)| f.unwrap_or(reduced[v]))
+            .collect()
+    }
+
+    /// Lifts a [`MapResult`] of the reduced problem to the original.
+    pub fn lift(&self, mut result: MapResult) -> MapResult {
+        result.assignment = self.complete(&result.assignment);
+        result.cost += self.base_cost;
+        result.feasible = result.feasible && self.feasible;
+        result
+    }
+}
+
+/// Runs hard unit propagation followed by pure-literal fixing to a
+/// joint fixpoint.
+pub fn preprocess(problem: &SatProblem) -> Preprocessed {
+    let n = problem.n_vars;
+    let mut fixed: Vec<Option<bool>> = vec![None; n];
+    let mut feasible = true;
+    let mut base_cost = 0.0;
+    // Working clause set: (lits, weight, alive).
+    let mut clauses: Vec<(Vec<Lit>, f64, bool)> = problem
+        .clauses
+        .iter()
+        .map(|c| (c.lits.to_vec(), c.weight, true))
+        .collect();
+
+    loop {
+        let mut changed = false;
+
+        // --- hard unit propagation ------------------------------------
+        loop {
+            let mut unit: Option<Lit> = None;
+            for (lits, w, alive) in clauses.iter() {
+                if *alive && w.is_infinite() && lits.len() == 1 {
+                    unit = Some(lits[0]);
+                    break;
+                }
+            }
+            let Some(l) = unit else { break };
+            if let Some(prev) = fixed[l.atom.index()] {
+                if prev != l.positive {
+                    feasible = false;
+                }
+            }
+            fixed[l.atom.index()] = Some(l.positive);
+            changed = true;
+            apply_fix(&mut clauses, l.atom.index(), l.positive, &mut base_cost, &mut feasible);
+        }
+
+        // --- pure literals ---------------------------------------------
+        let mut polarity: Vec<(bool, bool)> = vec![(false, false); n]; // (pos, neg)
+        for (lits, _, alive) in clauses.iter() {
+            if !*alive {
+                continue;
+            }
+            for l in lits {
+                let p = &mut polarity[l.atom.index()];
+                if l.positive {
+                    p.0 = true;
+                } else {
+                    p.1 = true;
+                }
+            }
+        }
+        for v in 0..n {
+            if fixed[v].is_some() {
+                continue;
+            }
+            let value = match polarity[v] {
+                (true, false) => Some(true),
+                (false, true) => Some(false),
+                _ => None,
+            };
+            if let Some(value) = value {
+                fixed[v] = Some(value);
+                changed = true;
+                apply_fix(&mut clauses, v, value, &mut base_cost, &mut feasible);
+            }
+        }
+
+        if !changed || !feasible {
+            break;
+        }
+    }
+
+    let remaining: Vec<SatClause> = clauses
+        .into_iter()
+        .filter(|(_, _, alive)| *alive)
+        .map(|(lits, weight, _)| SatClause {
+            lits: lits.into_boxed_slice(),
+            weight,
+        })
+        .collect();
+    Preprocessed {
+        problem: SatProblem {
+            n_vars: n,
+            clauses: remaining,
+        },
+        fixed,
+        feasible,
+        base_cost,
+    }
+}
+
+/// Applies a variable fix to the working clause set: satisfied clauses
+/// die, falsified literals disappear, emptied clauses either add cost
+/// (soft) or poison feasibility (hard).
+fn apply_fix(
+    clauses: &mut [(Vec<Lit>, f64, bool)],
+    var: usize,
+    value: bool,
+    base_cost: &mut f64,
+    feasible: &mut bool,
+) {
+    for (lits, w, alive) in clauses.iter_mut() {
+        if !*alive {
+            continue;
+        }
+        let mut satisfied = false;
+        lits.retain(|l| {
+            if l.atom.index() != var {
+                return true;
+            }
+            if l.satisfied_by(value) {
+                satisfied = true;
+            }
+            false
+        });
+        if satisfied {
+            *alive = false;
+        } else if lits.is_empty() {
+            *alive = false;
+            if w.is_infinite() {
+                *feasible = false;
+            } else {
+                *base_cost += *w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::bnb::{brute_force, BranchAndBound};
+    use proptest::prelude::*;
+    use tecore_ground::{AtomId, ClauseOrigin, ClauseWeight, GroundClause};
+
+    fn soft(lits: Vec<Lit>, w: f64) -> GroundClause {
+        GroundClause::new(lits, ClauseWeight::Soft(w), ClauseOrigin::Evidence).unwrap()
+    }
+
+    fn hard(lits: Vec<Lit>) -> GroundClause {
+        GroundClause::new(lits, ClauseWeight::Hard, ClauseOrigin::Formula(0)).unwrap()
+    }
+
+    #[test]
+    fn hard_unit_chain_collapses() {
+        // (a), a→b, b→c all hard: everything fixed true, nothing left.
+        let clauses = vec![
+            hard(vec![Lit::pos(AtomId(0))]),
+            hard(vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))]),
+            hard(vec![Lit::neg(AtomId(1)), Lit::pos(AtomId(2))]),
+            soft(vec![Lit::neg(AtomId(2))], 1.5),
+        ];
+        let p = SatProblem::from_clauses(3, &clauses);
+        let pre = preprocess(&p);
+        assert!(pre.feasible);
+        assert_eq!(pre.fixed, vec![Some(true), Some(true), Some(true)]);
+        assert!(pre.problem.clauses.is_empty());
+        assert!((pre.base_cost - 1.5).abs() < 1e-12, "violated soft counted");
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let clauses = vec![
+            hard(vec![Lit::pos(AtomId(0))]),
+            hard(vec![Lit::neg(AtomId(0))]),
+        ];
+        let p = SatProblem::from_clauses(1, &clauses);
+        let pre = preprocess(&p);
+        assert!(!pre.feasible);
+    }
+
+    #[test]
+    fn pure_literal_fixed() {
+        // b occurs only positively → fixed true, satisfying both.
+        let clauses = vec![
+            soft(vec![Lit::pos(AtomId(0)), Lit::pos(AtomId(1))], 1.0),
+            soft(vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))], 2.0),
+        ];
+        let p = SatProblem::from_clauses(2, &clauses);
+        let pre = preprocess(&p);
+        assert_eq!(pre.fixed[1], Some(true));
+        assert!(pre.problem.clauses.is_empty());
+        assert_eq!(pre.base_cost, 0.0);
+    }
+
+    #[test]
+    fn lift_completes_assignment() {
+        let clauses = vec![
+            hard(vec![Lit::pos(AtomId(0))]),
+            soft(vec![Lit::pos(AtomId(1)), Lit::neg(AtomId(2))], 1.0),
+            soft(vec![Lit::neg(AtomId(1)), Lit::pos(AtomId(2))], 1.0),
+        ];
+        let p = SatProblem::from_clauses(3, &clauses);
+        let pre = preprocess(&p);
+        assert!(pre.feasible);
+        let inner = BranchAndBound::new().solve(&pre.problem);
+        let full = pre.lift(inner);
+        assert!(full.feasible);
+        assert!(full.assignment[0], "fixed var present in lifted result");
+        let (cost, hardv) = p.evaluate(&full.assignment);
+        assert_eq!(hardv, 0);
+        assert!((cost - full.cost).abs() < 1e-9);
+    }
+
+    fn arb_problem() -> impl Strategy<Value = SatProblem> {
+        let lit = (0u32..7, prop::bool::ANY).prop_map(|(a, pos)| Lit {
+            atom: AtomId(a),
+            positive: pos,
+        });
+        let clause = (
+            prop::collection::vec(lit, 1..4),
+            prop::option::of(1u32..100),
+        );
+        prop::collection::vec(clause, 1..14).prop_map(|cs| {
+            let ground: Vec<GroundClause> = cs
+                .into_iter()
+                .filter_map(|(lits, soft_w)| {
+                    let w = match soft_w {
+                        Some(w) => ClauseWeight::Soft(f64::from(w) / 10.0),
+                        None => ClauseWeight::Hard,
+                    };
+                    GroundClause::new(lits, w, ClauseOrigin::Evidence)
+                })
+                .collect();
+            SatProblem::from_clauses(7, &ground)
+        })
+    }
+
+    proptest! {
+        /// Preprocessing preserves the optimum exactly: solving the
+        /// reduced problem and lifting equals solving the original.
+        #[test]
+        fn preserves_optimum(p in arb_problem()) {
+            let direct = brute_force(&p);
+            let pre = preprocess(&p);
+            if !pre.feasible {
+                prop_assert!(!direct.feasible,
+                    "preprocessing claimed infeasible on a feasible instance");
+                return Ok(());
+            }
+            let inner = brute_force(&pre.problem);
+            let lifted = pre.lift(inner);
+            prop_assert_eq!(lifted.feasible, direct.feasible);
+            if direct.feasible {
+                prop_assert!((lifted.cost - direct.cost).abs() < 1e-9,
+                    "lifted {} vs direct {}", lifted.cost, direct.cost);
+                let (cost, hardv) = p.evaluate(&lifted.assignment);
+                prop_assert_eq!(hardv, 0);
+                prop_assert!((cost - lifted.cost).abs() < 1e-9);
+            }
+        }
+
+        /// Preprocessing never grows the instance.
+        #[test]
+        fn never_grows(p in arb_problem()) {
+            let pre = preprocess(&p);
+            prop_assert!(pre.problem.clauses.len() <= p.clauses.len());
+            let before: usize = p.clauses.iter().map(|c| c.lits.len()).sum();
+            let after: usize = pre.problem.clauses.iter().map(|c| c.lits.len()).sum();
+            prop_assert!(after <= before);
+        }
+    }
+}

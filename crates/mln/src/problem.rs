@@ -1,0 +1,189 @@
+//! The weighted partial MaxSAT problem and its solutions.
+
+use std::fmt;
+use std::time::Duration;
+
+use tecore_ground::{ClauseWeight, GroundClause, Grounding, Lit};
+
+/// A clause of the SAT problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatClause {
+    /// Literals (sorted, duplicate-free — inherited from
+    /// [`GroundClause`]).
+    pub lits: Box<[Lit]>,
+    /// Violation cost; `f64::INFINITY` marks a hard clause.
+    pub weight: f64,
+}
+
+impl SatClause {
+    /// Is this a hard clause?
+    #[inline]
+    pub fn is_hard(&self) -> bool {
+        self.weight.is_infinite()
+    }
+
+    /// Is the clause satisfied under `assignment`?
+    #[inline]
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.lits
+            .iter()
+            .any(|l| l.satisfied_by(assignment[l.atom.index()]))
+    }
+}
+
+/// A weighted partial MaxSAT instance: minimise the total weight of
+/// violated soft clauses subject to all hard clauses holding.
+#[derive(Debug, Clone, Default)]
+pub struct SatProblem {
+    /// Number of boolean variables (ground atoms).
+    pub n_vars: usize,
+    /// All clauses (hard and soft).
+    pub clauses: Vec<SatClause>,
+}
+
+impl SatProblem {
+    /// Builds the problem from a grounding.
+    pub fn from_grounding(grounding: &Grounding) -> SatProblem {
+        SatProblem::from_clauses(grounding.num_atoms(), &grounding.clauses)
+    }
+
+    /// Builds the problem from raw ground clauses.
+    pub fn from_clauses(n_vars: usize, clauses: &[GroundClause]) -> SatProblem {
+        let clauses = clauses
+            .iter()
+            .map(|c| SatClause {
+                lits: c.lits.clone().into_boxed_slice(),
+                weight: match c.weight {
+                    ClauseWeight::Hard => f64::INFINITY,
+                    ClauseWeight::Soft(w) => w,
+                },
+            })
+            .collect();
+        SatProblem { n_vars, clauses }
+    }
+
+    /// Total weight of violated soft clauses, and the number of violated
+    /// hard clauses, under `assignment`.
+    pub fn evaluate(&self, assignment: &[bool]) -> (f64, usize) {
+        let mut cost = 0.0;
+        let mut hard_violations = 0;
+        for c in &self.clauses {
+            if !c.satisfied_by(assignment) {
+                if c.is_hard() {
+                    hard_violations += 1;
+                } else {
+                    cost += c.weight;
+                }
+            }
+        }
+        (cost, hard_violations)
+    }
+
+    /// Number of hard clauses.
+    pub fn hard_count(&self) -> usize {
+        self.clauses.iter().filter(|c| c.is_hard()).count()
+    }
+
+    /// Number of soft clauses.
+    pub fn soft_count(&self) -> usize {
+        self.clauses.len() - self.hard_count()
+    }
+
+    /// Sum of all soft weights (an upper bound on any solution cost).
+    pub fn total_soft_weight(&self) -> f64 {
+        self.clauses
+            .iter()
+            .filter(|c| !c.is_hard())
+            .map(|c| c.weight)
+            .sum()
+    }
+}
+
+/// Statistics of one MAP solve.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Search steps (flips for local search, nodes for B&B).
+    pub steps: u64,
+    /// Restarts (local search) or CPI rounds.
+    pub rounds: u32,
+    /// Clauses in the final active set (== problem size unless CPI).
+    pub active_clauses: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The result of MAP inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapResult {
+    /// Truth value per atom (indexed by `AtomId::index()`).
+    pub assignment: Vec<bool>,
+    /// Total violated soft weight (lower is better).
+    pub cost: f64,
+    /// All hard clauses satisfied?
+    pub feasible: bool,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+impl fmt::Display for MapResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MAP: cost {:.4}, {}, {} steps, {:?}",
+            self.cost,
+            if self.feasible { "feasible" } else { "INFEASIBLE" },
+            self.stats.steps,
+            self.stats.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecore_ground::{AtomId, ClauseOrigin};
+
+    fn clause(lits: Vec<Lit>, weight: ClauseWeight) -> GroundClause {
+        GroundClause::new(lits, weight, ClauseOrigin::Evidence).unwrap()
+    }
+
+    #[test]
+    fn from_clauses_and_evaluate() {
+        let clauses = vec![
+            clause(vec![Lit::pos(AtomId(0))], ClauseWeight::Soft(2.0)),
+            clause(vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))], ClauseWeight::Hard),
+            clause(vec![Lit::neg(AtomId(1))], ClauseWeight::Soft(0.5)),
+        ];
+        let p = SatProblem::from_clauses(2, &clauses);
+        assert_eq!(p.n_vars, 2);
+        assert_eq!(p.hard_count(), 1);
+        assert_eq!(p.soft_count(), 2);
+        assert!((p.total_soft_weight() - 2.5).abs() < 1e-12);
+
+        // x0=true forces x1=true (hard), violating the ¬x1 soft clause.
+        let (cost, hard) = p.evaluate(&[true, true]);
+        assert!((cost - 0.5).abs() < 1e-12);
+        assert_eq!(hard, 0);
+        // x0=true, x1=false violates the hard clause.
+        let (_, hard) = p.evaluate(&[true, false]);
+        assert_eq!(hard, 1);
+        // x0=false violates the first soft clause only.
+        let (cost, hard) = p.evaluate(&[false, false]);
+        assert!((cost - 2.0).abs() < 1e-12);
+        assert_eq!(hard, 0);
+    }
+
+    #[test]
+    fn hard_marker() {
+        let c = SatClause {
+            lits: vec![Lit::pos(AtomId(0))].into_boxed_slice(),
+            weight: f64::INFINITY,
+        };
+        assert!(c.is_hard());
+        let s = SatClause {
+            lits: vec![Lit::pos(AtomId(0))].into_boxed_slice(),
+            weight: 1.0,
+        };
+        assert!(!s.is_hard());
+    }
+}

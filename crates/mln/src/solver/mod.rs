@@ -1,0 +1,5 @@
+//! MAP solvers for weighted partial MaxSAT.
+
+pub mod bnb;
+pub mod cpi;
+pub mod walksat;

@@ -1,0 +1,438 @@
+//! MaxWalkSAT: stochastic local search for weighted partial MaxSAT
+//! (Kautz, Selman & Jiang 1996 — the solver classically paired with
+//! MLN MAP inference).
+//!
+//! The implementation keeps per-clause satisfied-literal counts and
+//! per-variable occurrence lists so a flip is O(occurrences); hard
+//! clauses are prioritised (a random unsatisfied hard clause is repaired
+//! before soft cost is optimised), and the best *feasible* assignment
+//! seen across restarts is returned.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+
+use crate::problem::{MapResult, SatProblem, SolveStats};
+
+/// MaxWalkSAT configuration.
+#[derive(Debug, Clone)]
+pub struct WalkSatConfig {
+    /// Maximum flips per restart.
+    pub max_flips: u64,
+    /// Number of restarts.
+    pub restarts: u32,
+    /// Probability of a random (noise) move instead of a greedy one.
+    pub noise: f64,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for WalkSatConfig {
+    fn default() -> Self {
+        WalkSatConfig {
+            max_flips: 100_000,
+            restarts: 4,
+            noise: 0.2,
+            seed: 0x7EC0_4E5E,
+        }
+    }
+}
+
+/// The MaxWalkSAT solver.
+#[derive(Debug, Clone, Default)]
+pub struct MaxWalkSat {
+    config: WalkSatConfig,
+}
+
+impl MaxWalkSat {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: WalkSatConfig) -> Self {
+        MaxWalkSat { config }
+    }
+
+    /// Runs the search.
+    pub fn solve(&self, problem: &SatProblem) -> MapResult {
+        let start = Instant::now();
+        let n = problem.n_vars;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        if n == 0 {
+            return MapResult {
+                assignment: Vec::new(),
+                cost: 0.0,
+                feasible: true,
+                stats: SolveStats {
+                    active_clauses: problem.clauses.len(),
+                    elapsed: start.elapsed(),
+                    ..SolveStats::default()
+                },
+            };
+        }
+
+        // Occurrence lists.
+        let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (ci, c) in problem.clauses.iter().enumerate() {
+            for l in c.lits.iter() {
+                occurrences[l.atom.index()].push(ci as u32);
+            }
+        }
+        // Evidence phase for initialisation.
+        let mut phase = vec![false; n];
+        let mut phase_w = vec![0.0f64; n];
+        for c in &problem.clauses {
+            if c.lits.len() == 1 && !c.is_hard() && c.weight > phase_w[c.lits[0].atom.index()] {
+                phase_w[c.lits[0].atom.index()] = c.weight;
+                phase[c.lits[0].atom.index()] = c.lits[0].positive;
+            }
+        }
+
+        let mut best_cost = f64::INFINITY;
+        let mut best_feasible = false;
+        let mut best: Vec<bool> = phase.clone();
+        let mut best_infeasible_key = (usize::MAX, f64::INFINITY);
+        let mut total_flips: u64 = 0;
+
+        for restart in 0..self.config.restarts.max(1) {
+            // First restart from the evidence phase, later ones perturbed.
+            let mut state = State::init(problem, &occurrences, {
+                let mut a = phase.clone();
+                if restart > 0 {
+                    for v in a.iter_mut() {
+                        if rng.random_bool(0.12) {
+                            *v = !*v;
+                        }
+                    }
+                }
+                a
+            });
+            if state.is_feasible() && state.soft_cost < best_cost {
+                best_cost = state.soft_cost;
+                best_feasible = true;
+                best = state.assignment.clone();
+            }
+            for _ in 0..self.config.max_flips {
+                if state.unsat_hard.is_empty() && state.unsat_soft.is_empty() {
+                    break; // perfect assignment
+                }
+                total_flips += 1;
+                // Pick an unsatisfied clause: hard first.
+                let ci = if !state.unsat_hard.is_empty() {
+                    state.unsat_hard[rng.random_range(0..state.unsat_hard.len())]
+                } else {
+                    state.unsat_soft[rng.random_range(0..state.unsat_soft.len())]
+                };
+                let clause = &problem.clauses[ci as usize];
+                let var = if rng.random_bool(self.config.noise) {
+                    clause.lits[rng.random_range(0..clause.lits.len())].atom.index()
+                } else {
+                    // Greedy: flip the literal with the best cost delta.
+                    let mut best_var = clause.lits[0].atom.index();
+                    let mut best_delta = f64::INFINITY;
+                    for l in clause.lits.iter() {
+                        let d = state.flip_delta(problem, &occurrences, l.atom.index());
+                        if d < best_delta {
+                            best_delta = d;
+                            best_var = l.atom.index();
+                        }
+                    }
+                    best_var
+                };
+                state.flip(problem, &occurrences, var);
+                if state.is_feasible() && state.soft_cost < best_cost {
+                    best_cost = state.soft_cost;
+                    best_feasible = true;
+                    best = state.assignment.clone();
+                    if best_cost <= 0.0 {
+                        break;
+                    }
+                }
+            }
+            // Keep the least-bad infeasible state if nothing feasible yet
+            // (fewest violated hard clauses, then soft cost).
+            if !best_feasible {
+                let key = (state.unsat_hard.len(), state.soft_cost);
+                if key < best_infeasible_key {
+                    best_infeasible_key = key;
+                    best = state.assignment.clone();
+                    best_cost = state.soft_cost;
+                }
+            }
+        }
+
+        MapResult {
+            assignment: best,
+            cost: best_cost,
+            feasible: best_feasible,
+            stats: SolveStats {
+                steps: total_flips,
+                rounds: self.config.restarts,
+                active_clauses: problem.clauses.len(),
+                elapsed: start.elapsed(),
+            },
+        }
+    }
+}
+
+/// Incremental search state.
+struct State {
+    assignment: Vec<bool>,
+    /// Satisfied-literal count per clause.
+    sat_count: Vec<u32>,
+    /// Unsatisfied hard clause ids (dense, with position map).
+    unsat_hard: Vec<u32>,
+    hard_pos: Vec<u32>,
+    /// Unsatisfied soft clause ids.
+    unsat_soft: Vec<u32>,
+    soft_pos: Vec<u32>,
+    soft_cost: f64,
+}
+
+const NOT_PRESENT: u32 = u32::MAX;
+
+impl State {
+    fn init(problem: &SatProblem, _occ: &[Vec<u32>], assignment: Vec<bool>) -> State {
+        let m = problem.clauses.len();
+        let mut state = State {
+            assignment,
+            sat_count: vec![0; m],
+            unsat_hard: Vec::new(),
+            hard_pos: vec![NOT_PRESENT; m],
+            unsat_soft: Vec::new(),
+            soft_pos: vec![NOT_PRESENT; m],
+            soft_cost: 0.0,
+        };
+        for (ci, c) in problem.clauses.iter().enumerate() {
+            let sat = c
+                .lits
+                .iter()
+                .filter(|l| l.satisfied_by(state.assignment[l.atom.index()]))
+                .count() as u32;
+            state.sat_count[ci] = sat;
+            if sat == 0 {
+                state.mark_unsat(problem, ci as u32);
+            }
+        }
+        state
+    }
+
+    fn is_feasible(&self) -> bool {
+        self.unsat_hard.is_empty()
+    }
+
+    fn mark_unsat(&mut self, problem: &SatProblem, ci: u32) {
+        let c = &problem.clauses[ci as usize];
+        if c.is_hard() {
+            self.hard_pos[ci as usize] = self.unsat_hard.len() as u32;
+            self.unsat_hard.push(ci);
+        } else {
+            self.soft_pos[ci as usize] = self.unsat_soft.len() as u32;
+            self.unsat_soft.push(ci);
+            self.soft_cost += c.weight;
+        }
+    }
+
+    fn mark_sat(&mut self, problem: &SatProblem, ci: u32) {
+        let c = &problem.clauses[ci as usize];
+        if c.is_hard() {
+            let pos = self.hard_pos[ci as usize];
+            let last = *self.unsat_hard.last().expect("non-empty on mark_sat");
+            self.unsat_hard.swap_remove(pos as usize);
+            if last != ci {
+                self.hard_pos[last as usize] = pos;
+            }
+            self.hard_pos[ci as usize] = NOT_PRESENT;
+        } else {
+            let pos = self.soft_pos[ci as usize];
+            let last = *self.unsat_soft.last().expect("non-empty on mark_sat");
+            self.unsat_soft.swap_remove(pos as usize);
+            if last != ci {
+                self.soft_pos[last as usize] = pos;
+            }
+            self.soft_pos[ci as usize] = NOT_PRESENT;
+            self.soft_cost -= c.weight;
+        }
+    }
+
+    /// Soft-cost delta of flipping `var`, with hard clauses weighted at a
+    /// large constant so greedy moves repair hard violations first.
+    fn flip_delta(&self, problem: &SatProblem, occ: &[Vec<u32>], var: usize) -> f64 {
+        const HARD_W: f64 = 1e7;
+        let new_value = !self.assignment[var];
+        let mut delta = 0.0;
+        for &ci in &occ[var] {
+            let c = &problem.clauses[ci as usize];
+            let w = if c.is_hard() { HARD_W } else { c.weight };
+            // The literal(s) of `var` in this clause.
+            for l in c.lits.iter().filter(|l| l.atom.index() == var) {
+                if l.satisfied_by(new_value) {
+                    // Was it previously unsatisfied overall?
+                    if self.sat_count[ci as usize] == 0 {
+                        delta -= w;
+                    }
+                } else if self.sat_count[ci as usize] == 1 {
+                    // var's literal was the only satisfying one.
+                    delta += w;
+                }
+            }
+        }
+        delta
+    }
+
+    fn flip(&mut self, problem: &SatProblem, occ: &[Vec<u32>], var: usize) {
+        let new_value = !self.assignment[var];
+        self.assignment[var] = new_value;
+        // Iterate by index: `flip` needs `&mut self` while `occ` is a
+        // separate borrow, so a slice iterator is fine here.
+        for &ci in &occ[var] {
+            let c = &problem.clauses[ci as usize];
+            for l in c.lits.iter().filter(|l| l.atom.index() == var) {
+                if l.satisfied_by(new_value) {
+                    self.sat_count[ci as usize] += 1;
+                    if self.sat_count[ci as usize] == 1 {
+                        self.mark_sat(problem, ci);
+                    }
+                } else {
+                    self.sat_count[ci as usize] -= 1;
+                    if self.sat_count[ci as usize] == 0 {
+                        self.mark_unsat(problem, ci);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::bnb::{brute_force, BranchAndBound};
+    use proptest::prelude::*;
+    use tecore_ground::{AtomId, ClauseOrigin, ClauseWeight, GroundClause, Lit};
+
+    fn soft(lits: Vec<Lit>, w: f64) -> GroundClause {
+        GroundClause::new(lits, ClauseWeight::Soft(w), ClauseOrigin::Evidence).unwrap()
+    }
+
+    fn hard(lits: Vec<Lit>) -> GroundClause {
+        GroundClause::new(lits, ClauseWeight::Hard, ClauseOrigin::Formula(0)).unwrap()
+    }
+
+    #[test]
+    fn solves_paper_conflict() {
+        let clauses = vec![
+            soft(vec![Lit::pos(AtomId(0))], 2.197),
+            soft(vec![Lit::pos(AtomId(1))], 0.405),
+            hard(vec![Lit::neg(AtomId(0)), Lit::neg(AtomId(1))]),
+        ];
+        let p = SatProblem::from_clauses(2, &clauses);
+        let r = MaxWalkSat::new(WalkSatConfig::default()).solve(&p);
+        assert!(r.feasible);
+        assert!(r.assignment[0]);
+        assert!(!r.assignment[1]);
+        assert!((r.cost - 0.405).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let clauses = vec![
+            soft(vec![Lit::pos(AtomId(0)), Lit::neg(AtomId(1))], 1.0),
+            soft(vec![Lit::pos(AtomId(1)), Lit::neg(AtomId(2))], 2.0),
+            hard(vec![Lit::neg(AtomId(0)), Lit::neg(AtomId(2))]),
+        ];
+        let p = SatProblem::from_clauses(3, &clauses);
+        let cfg = WalkSatConfig {
+            seed: 42,
+            ..WalkSatConfig::default()
+        };
+        let a = MaxWalkSat::new(cfg.clone()).solve(&p);
+        let b = MaxWalkSat::new(cfg).solve(&p);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = SatProblem::from_clauses(0, &[]);
+        let r = MaxWalkSat::new(WalkSatConfig::default()).solve(&p);
+        assert!(r.feasible);
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn matches_exact_on_moderate_instance() {
+        // A chain of implications with conflicting evidence: 12 vars.
+        let mut clauses = Vec::new();
+        for i in 0..12u32 {
+            clauses.push(soft(
+                vec![Lit::pos(AtomId(i))],
+                1.0 + f64::from(i % 3) * 0.7,
+            ));
+        }
+        for i in 0..11u32 {
+            clauses.push(hard(vec![Lit::neg(AtomId(i)), Lit::neg(AtomId(i + 1))]));
+        }
+        let p = SatProblem::from_clauses(12, &clauses);
+        let exact = BranchAndBound::new().solve(&p);
+        let walk = MaxWalkSat::new(WalkSatConfig::default()).solve(&p);
+        assert!(walk.feasible);
+        assert!(
+            (walk.cost - exact.cost).abs() < 1e-9,
+            "walksat {} vs exact {}",
+            walk.cost,
+            exact.cost
+        );
+    }
+
+    fn arb_problem() -> impl Strategy<Value = SatProblem> {
+        let lit = (0u32..8, prop::bool::ANY).prop_map(|(a, pos)| Lit {
+            atom: AtomId(a),
+            positive: pos,
+        });
+        let clause = (
+            prop::collection::vec(lit, 1..4),
+            prop::option::of(1u32..100),
+        );
+        prop::collection::vec(clause, 1..16).prop_map(|cs| {
+            let ground: Vec<GroundClause> = cs
+                .into_iter()
+                .filter_map(|(lits, soft_w)| {
+                    let w = match soft_w {
+                        Some(w) => ClauseWeight::Soft(f64::from(w) / 10.0),
+                        None => ClauseWeight::Hard,
+                    };
+                    GroundClause::new(lits, w, ClauseOrigin::Evidence)
+                })
+                .collect();
+            SatProblem::from_clauses(8, &ground)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// WalkSAT never reports infeasible when the instance is feasible,
+        /// never reports a cost below the optimum, and its reported cost
+        /// matches its reported assignment.
+        #[test]
+        fn sound_vs_brute_force(p in arb_problem()) {
+            let reference = brute_force(&p);
+            let walk = MaxWalkSat::new(WalkSatConfig {
+                max_flips: 20_000,
+                restarts: 3,
+                ..WalkSatConfig::default()
+            }).solve(&p);
+            let (cost, hardv) = p.evaluate(&walk.assignment);
+            if walk.feasible {
+                prop_assert_eq!(hardv, 0);
+                prop_assert!((cost - walk.cost).abs() < 1e-9);
+            }
+            if reference.feasible {
+                prop_assert!(walk.feasible, "missed a feasible solution");
+                prop_assert!(walk.cost >= reference.cost - 1e-9);
+            } else {
+                prop_assert!(!walk.feasible);
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Consensus ADMM for HL-MRF MAP inference (Bach et al. 2015, §4).
+//!
+//! Every potential and every hard constraint owns local copies of its
+//! variables; a consensus variable vector ties them together:
+//!
+//! 1. **local step** — each potential solves a tiny prox problem in
+//!    closed form (hinge and squared-hinge cases below); each hard
+//!    constraint projects onto its halfspace;
+//! 2. **consensus step** — every global variable becomes the average of
+//!    its local copies (+ duals), clamped to `[0, 1]`;
+//! 3. **dual step** — multipliers accumulate the disagreement.
+//!
+//! Convergence is declared when primal and dual residuals drop below
+//! tolerance (standard Boyd et al. criteria).
+
+use std::time::{Duration, Instant};
+
+use crate::hlmrf::HlMrf;
+
+/// ADMM configuration.
+#[derive(Debug, Clone)]
+pub struct AdmmConfig {
+    /// Penalty parameter ρ.
+    pub rho: f64,
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Residual tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        AdmmConfig {
+            rho: 1.0,
+            max_iterations: 300,
+            tolerance: 1e-3,
+        }
+    }
+}
+
+/// Result of a PSL MAP solve.
+#[derive(Debug, Clone)]
+pub struct PslResult {
+    /// Soft truth values in `[0, 1]`.
+    pub values: Vec<f64>,
+    /// Discrete rounding (filled by [`crate::solve`]).
+    pub assignment: Vec<bool>,
+    /// Final convex objective value.
+    pub objective: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Did the residuals converge before the iteration cap?
+    pub converged: bool,
+    /// Hard clauses satisfied after rounding (filled by [`crate::solve`]).
+    pub feasible: bool,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The consensus-ADMM solver.
+#[derive(Debug, Clone, Default)]
+pub struct AdmmSolver {
+    config: AdmmConfig,
+}
+
+impl AdmmSolver {
+    /// Creates a solver.
+    pub fn new(config: AdmmConfig) -> Self {
+        AdmmSolver { config }
+    }
+
+    /// Minimises the HL-MRF objective over the `[0,1]` box subject to
+    /// the hard constraints.
+    pub fn solve(&self, mrf: &HlMrf) -> PslResult {
+        let start = Instant::now();
+        let n = mrf.n_vars;
+        let rho = self.config.rho;
+        let m = mrf.potentials.len() + mrf.constraints.len();
+        if n == 0 || m == 0 {
+            let values = vec![0.0; n];
+            return PslResult {
+                objective: mrf.objective(&values),
+                values,
+                assignment: Vec::new(),
+                iterations: 0,
+                converged: true,
+                feasible: true,
+                elapsed: start.elapsed(),
+            };
+        }
+
+        // Flattened factor layout: one contiguous slot per (factor,
+        // local variable), CSR-style, so the hot loops are allocation-
+        // free and cache-friendly.
+        let factor_terms = |k: usize| -> &[(u32, f64)] {
+            if k < mrf.potentials.len() {
+                &mrf.potentials[k].terms
+            } else {
+                &mrf.constraints[k - mrf.potentials.len()].terms
+            }
+        };
+        let mut offsets: Vec<u32> = Vec::with_capacity(m + 1);
+        offsets.push(0);
+        for k in 0..m {
+            offsets.push(offsets[k] + factor_terms(k).len() as u32);
+        }
+        let total_slots = offsets[m] as usize;
+        let mut slot_var: Vec<u32> = Vec::with_capacity(total_slots);
+        let mut slot_coeff: Vec<f64> = Vec::with_capacity(total_slots);
+        let mut norm2: Vec<f64> = Vec::with_capacity(m);
+        for k in 0..m {
+            let terms = factor_terms(k);
+            let mut nrm = 0.0;
+            for &(v, c) in terms {
+                slot_var.push(v);
+                slot_coeff.push(c);
+                nrm += c * c;
+            }
+            norm2.push(nrm);
+        }
+        let mut locals = vec![0.5f64; total_slots];
+        let mut duals = vec![0.0f64; total_slots];
+
+        // Consensus vector, and per-variable degree (number of factors).
+        let mut x = vec![0.5f64; n];
+        let mut degree = vec![0.0f64; n];
+        for &v in &slot_var {
+            degree[v as usize] += 1.0;
+        }
+
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut sum = vec![0.0f64; n];
+        for _ in 0..self.config.max_iterations {
+            iterations += 1;
+            // 1. Local prox / projection steps (in place over the slots).
+            for k in 0..m {
+                let (lo, hi) = (offsets[k] as usize, offsets[k + 1] as usize);
+                let vars = &slot_var[lo..hi];
+                let coeffs = &slot_coeff[lo..hi];
+                let local = &mut locals[lo..hi];
+                let dual = &duals[lo..hi];
+                // anchor_i = x[var_i] - dual_i, written into `local`.
+                for i in 0..local.len() {
+                    local[i] = x[vars[i] as usize] - dual[i];
+                }
+                if k < mrf.potentials.len() {
+                    let p = &mrf.potentials[k];
+                    prox_hinge_inplace(
+                        coeffs,
+                        p.constant,
+                        p.weight,
+                        p.squared,
+                        norm2[k],
+                        rho,
+                        local,
+                    );
+                } else {
+                    let c = &mrf.constraints[k - mrf.potentials.len()];
+                    project_halfspace_inplace(coeffs, c.constant, norm2[k], local);
+                }
+            }
+            // 2. Consensus: average local + dual per variable, clamp.
+            sum.iter_mut().for_each(|s| *s = 0.0);
+            for i in 0..total_slots {
+                sum[slot_var[i] as usize] += locals[i] + duals[i];
+            }
+            let mut dual_sq = 0.0;
+            for v in 0..n {
+                if degree[v] > 0.0 {
+                    let new = (sum[v] / degree[v]).clamp(0.0, 1.0);
+                    let d = new - x[v];
+                    dual_sq += d * d;
+                    x[v] = new;
+                }
+            }
+            // 3. Dual update + primal residual.
+            let mut primal_sq = 0.0;
+            for i in 0..total_slots {
+                let r = locals[i] - x[slot_var[i] as usize];
+                duals[i] += r;
+                primal_sq += r * r;
+            }
+            let scale = (m as f64).sqrt().max(1.0);
+            if primal_sq.sqrt() / scale < self.config.tolerance
+                && rho * dual_sq.sqrt() < self.config.tolerance
+            {
+                converged = true;
+                break;
+            }
+        }
+
+        PslResult {
+            objective: mrf.objective(&x),
+            values: x,
+            assignment: Vec::new(),
+            iterations,
+            converged,
+            feasible: false,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Closed-form prox of `w·max(0, c + aᵀy)^(1|2) + (ρ/2)‖y − v‖²`,
+/// operating in place: `y` holds the anchor `v` on entry and the
+/// minimiser on exit.
+#[inline]
+fn prox_hinge_inplace(
+    a: &[f64],
+    constant: f64,
+    weight: f64,
+    squared: bool,
+    a_norm2: f64,
+    rho: f64,
+    y: &mut [f64],
+) {
+    if a_norm2 == 0.0 {
+        return;
+    }
+    let d_v = constant + dot(a, y);
+    if d_v <= 0.0 {
+        return; // anchor already in the flat region
+    }
+    if squared {
+        let scale = 2.0 * weight * d_v / (rho + 2.0 * weight * a_norm2);
+        for (yi, &ai) in y.iter_mut().zip(a) {
+            *yi -= scale * ai;
+        }
+        return;
+    }
+    // Linear hinge: step into the linear region...
+    let step = weight / rho;
+    if d_v - step * a_norm2 >= 0.0 {
+        for (yi, &ai) in y.iter_mut().zip(a) {
+            *yi -= step * ai;
+        }
+        return;
+    }
+    // ...or land on the kink hyperplane c + aᵀy = 0.
+    let shift = d_v / a_norm2;
+    for (yi, &ai) in y.iter_mut().zip(a) {
+        *yi -= shift * ai;
+    }
+}
+
+/// In-place projection onto the halfspace `c + aᵀy ≤ 0`.
+#[inline]
+fn project_halfspace_inplace(a: &[f64], constant: f64, a_norm2: f64, y: &mut [f64]) {
+    if a_norm2 == 0.0 {
+        return;
+    }
+    let viol = constant + dot(a, y);
+    if viol <= 0.0 {
+        return;
+    }
+    let shift = viol / a_norm2;
+    for (yi, &ai) in y.iter_mut().zip(a) {
+        *yi -= shift * ai;
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hlmrf::PslConfig;
+    use tecore_ground::{AtomId, ClauseOrigin, ClauseWeight, GroundClause, Lit};
+
+    fn soft(lits: Vec<Lit>, w: f64) -> GroundClause {
+        GroundClause::new(lits, ClauseWeight::Soft(w), ClauseOrigin::Evidence).unwrap()
+    }
+
+    fn hard(lits: Vec<Lit>) -> GroundClause {
+        GroundClause::new(lits, ClauseWeight::Hard, ClauseOrigin::Formula(0)).unwrap()
+    }
+
+    fn solve(clauses: &[GroundClause], n: usize) -> PslResult {
+        let mrf = HlMrf::from_clauses(n, clauses, &PslConfig::default());
+        AdmmSolver::new(AdmmConfig::default()).solve(&mrf)
+    }
+
+    #[test]
+    fn evidence_pulls_to_one() {
+        let r = solve(&[soft(vec![Lit::pos(AtomId(0))], 3.0)], 1);
+        assert!(r.converged);
+        assert!(r.values[0] > 0.95, "{}", r.values[0]);
+    }
+
+    #[test]
+    fn negative_evidence_pulls_to_zero() {
+        let r = solve(&[soft(vec![Lit::neg(AtomId(0))], 3.0)], 1);
+        assert!(r.values[0] < 0.05, "{}", r.values[0]);
+    }
+
+    #[test]
+    fn paper_conflict_keeps_stronger_fact() {
+        // Chelsea (w 2.197) vs Napoli (w 0.405) under hard ¬a ∨ ¬b.
+        let r = solve(
+            &[
+                soft(vec![Lit::pos(AtomId(0))], 2.197),
+                soft(vec![Lit::pos(AtomId(1))], 0.405),
+                hard(vec![Lit::neg(AtomId(0)), Lit::neg(AtomId(1))]),
+            ],
+            2,
+        );
+        assert!(r.values[0] > 0.8, "chelsea {}", r.values[0]);
+        assert!(r.values[1] < 0.2, "napoli {}", r.values[1]);
+        // The hard constraint holds in the relaxation.
+        assert!(r.values[0] + r.values[1] <= 1.0 + 1e-3);
+    }
+
+    #[test]
+    fn hard_constraint_respected_in_relaxation() {
+        // Equal strong evidence on both sides: LP mass splits around
+        // a + b = 1 (any split is optimal; the constraint must hold).
+        let r = solve(
+            &[
+                soft(vec![Lit::pos(AtomId(0))], 4.0),
+                soft(vec![Lit::pos(AtomId(1))], 4.0),
+                hard(vec![Lit::neg(AtomId(0)), Lit::neg(AtomId(1))]),
+            ],
+            2,
+        );
+        assert!(r.values[0] + r.values[1] <= 1.0 + 1e-2, "{:?}", r.values);
+    }
+
+    #[test]
+    fn implication_propagates() {
+        // Evidence a; hard a → b: b must rise to ≥ a.
+        let r = solve(
+            &[
+                soft(vec![Lit::pos(AtomId(0))], 3.0),
+                hard(vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))]),
+            ],
+            2,
+        );
+        assert!(r.values[0] > 0.9);
+        assert!(r.values[1] >= r.values[0] - 1e-2, "{:?}", r.values);
+    }
+
+    #[test]
+    fn objective_not_worse_than_naive_points() {
+        let clauses = [
+            soft(vec![Lit::pos(AtomId(0))], 1.5),
+            soft(vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))], 2.0),
+            soft(vec![Lit::neg(AtomId(1))], 0.5),
+        ];
+        let mrf = HlMrf::from_clauses(2, &clauses, &PslConfig::default());
+        let r = AdmmSolver::new(AdmmConfig::default()).solve(&mrf);
+        for probe in [
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+        ] {
+            assert!(
+                r.objective <= mrf.objective(&probe) + 1e-3,
+                "ADMM {} worse than probe {:?} = {}",
+                r.objective,
+                probe,
+                mrf.objective(&probe)
+            );
+        }
+    }
+
+    #[test]
+    fn squared_hinges_converge() {
+        let clauses = [
+            soft(vec![Lit::pos(AtomId(0))], 2.0),
+            soft(vec![Lit::neg(AtomId(0))], 2.0),
+        ];
+        let mrf = HlMrf::from_clauses(1, &clauses, &PslConfig { squared: true });
+        let r = AdmmSolver::new(AdmmConfig::default()).solve(&mrf);
+        // Symmetric squared pulls settle in the middle.
+        assert!((r.values[0] - 0.5).abs() < 0.05, "{}", r.values[0]);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let mrf = HlMrf::from_clauses(0, &[], &PslConfig::default());
+        let r = AdmmSolver::new(AdmmConfig::default()).solve(&mrf);
+        assert!(r.converged);
+        assert_eq!(r.values.len(), 0);
+    }
+
+    #[test]
+    fn values_stay_in_box() {
+        let clauses = [
+            soft(vec![Lit::pos(AtomId(0))], 50.0),
+            soft(vec![Lit::neg(AtomId(1))], 50.0),
+            hard(vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(2))]),
+        ];
+        let mrf = HlMrf::from_clauses(3, &clauses, &PslConfig::default());
+        let r = AdmmSolver::new(AdmmConfig::default()).solve(&mrf);
+        for v in &r.values {
+            assert!((-1e-9..=1.0 + 1e-9).contains(v), "{v}");
+        }
+    }
+}

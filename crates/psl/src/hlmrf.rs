@@ -1,0 +1,236 @@
+//! Hinge-loss Markov random fields from ground clauses.
+
+use tecore_ground::{ClauseWeight, GroundClause, Grounding, Lit};
+
+/// PSL construction options.
+#[derive(Debug, Clone, Default)]
+pub struct PslConfig {
+    /// Use squared hinges (`w·max(0, d)²`) instead of linear ones.
+    /// Squared potentials spread the repair across atoms; linear ones
+    /// produce sparser, more MLN-like solutions. The ablation bench
+    /// `ablation_admm` compares both.
+    pub squared: bool,
+}
+
+/// A weighted hinge potential `w · max(0, constant + Σ coeff·x)^(1|2)`.
+///
+/// The Łukasiewicz "distance to satisfaction" of a clause
+/// `l₁ ∨ … ∨ lₖ` is `max(0, 1 − Σ truth(lᵢ))` with `truth(a) = x_a` and
+/// `truth(¬a) = 1 − x_a`; expanding gives `constant = 1 − #negative`
+/// and coefficients `−1` (positive literal) / `+1` (negative literal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HingePotential {
+    /// Sparse linear term: `(variable, coefficient)`.
+    pub terms: Vec<(u32, f64)>,
+    /// Constant offset.
+    pub constant: f64,
+    /// Weight `w > 0`.
+    pub weight: f64,
+    /// Squared hinge?
+    pub squared: bool,
+}
+
+impl HingePotential {
+    /// Builds the potential of a soft clause.
+    pub fn from_clause(lits: &[Lit], weight: f64, squared: bool) -> HingePotential {
+        let (terms, constant) = clause_linear_form(lits);
+        HingePotential {
+            terms,
+            constant,
+            weight,
+            squared,
+        }
+    }
+
+    /// `max(0, constant + Σ coeff·x)` — the distance to satisfaction.
+    pub fn distance(&self, x: &[f64]) -> f64 {
+        let mut d = self.constant;
+        for &(v, c) in &self.terms {
+            d += c * x[v as usize];
+        }
+        d.max(0.0)
+    }
+
+    /// The potential's contribution to the MAP objective.
+    pub fn value(&self, x: &[f64]) -> f64 {
+        let d = self.distance(x);
+        if self.squared {
+            self.weight * d * d
+        } else {
+            self.weight * d
+        }
+    }
+}
+
+/// A hard linear constraint `constant + Σ coeff·x ≤ 0` (from a hard
+/// clause: distance to satisfaction must be zero).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// Sparse linear term.
+    pub terms: Vec<(u32, f64)>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl LinearConstraint {
+    /// Builds the constraint of a hard clause.
+    pub fn from_clause(lits: &[Lit]) -> LinearConstraint {
+        let (terms, constant) = clause_linear_form(lits);
+        LinearConstraint { terms, constant }
+    }
+
+    /// Signed violation `constant + Σ coeff·x` (≤ 0 means satisfied).
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        let mut d = self.constant;
+        for &(v, c) in &self.terms {
+            d += c * x[v as usize];
+        }
+        d
+    }
+
+    /// Is the constraint satisfied (within `tol`)?
+    pub fn satisfied(&self, x: &[f64], tol: f64) -> bool {
+        self.violation(x) <= tol
+    }
+}
+
+fn clause_linear_form(lits: &[Lit]) -> (Vec<(u32, f64)>, f64) {
+    let mut constant = 1.0;
+    let mut terms = Vec::with_capacity(lits.len());
+    for l in lits {
+        if l.positive {
+            terms.push((l.atom.0, -1.0));
+        } else {
+            constant -= 1.0;
+            terms.push((l.atom.0, 1.0));
+        }
+    }
+    (terms, constant)
+}
+
+/// A hinge-loss MRF: the convex program
+/// `min Σ potentials  s.t.  constraints, x ∈ [0,1]ⁿ`.
+#[derive(Debug, Clone, Default)]
+pub struct HlMrf {
+    /// Number of variables (ground atoms).
+    pub n_vars: usize,
+    /// Soft potentials.
+    pub potentials: Vec<HingePotential>,
+    /// Hard constraints.
+    pub constraints: Vec<LinearConstraint>,
+}
+
+impl HlMrf {
+    /// Builds the HL-MRF of a grounding (soft clauses → hinges, hard
+    /// clauses → linear constraints).
+    pub fn from_grounding(grounding: &Grounding, config: &PslConfig) -> HlMrf {
+        HlMrf::from_clauses(grounding.num_atoms(), &grounding.clauses, config)
+    }
+
+    /// Builds from raw clauses.
+    pub fn from_clauses(n_vars: usize, clauses: &[GroundClause], config: &PslConfig) -> HlMrf {
+        let mut mrf = HlMrf {
+            n_vars,
+            potentials: Vec::new(),
+            constraints: Vec::new(),
+        };
+        for c in clauses {
+            match c.weight {
+                ClauseWeight::Hard => mrf.constraints.push(LinearConstraint::from_clause(&c.lits)),
+                ClauseWeight::Soft(w) => {
+                    mrf.potentials
+                        .push(HingePotential::from_clause(&c.lits, w, config.squared))
+                }
+            }
+        }
+        mrf
+    }
+
+    /// Objective value at `x`.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        self.potentials.iter().map(|p| p.value(x)).sum()
+    }
+
+    /// Maximum constraint violation at `x`.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| c.violation(x).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecore_ground::{AtomId, ClauseOrigin};
+
+    fn lit(a: u32, pos: bool) -> Lit {
+        if pos {
+            Lit::pos(AtomId(a))
+        } else {
+            Lit::neg(AtomId(a))
+        }
+    }
+
+    #[test]
+    fn lukasiewicz_of_positive_unit() {
+        // (a) → max(0, 1 − a): distance 1 at a=0, 0 at a=1.
+        let p = HingePotential::from_clause(&[lit(0, true)], 2.0, false);
+        assert!((p.distance(&[0.0]) - 1.0).abs() < 1e-12);
+        assert!((p.distance(&[1.0])).abs() < 1e-12);
+        assert!((p.value(&[0.25]) - 2.0 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lukasiewicz_of_binary_clash() {
+        // (¬a ∨ ¬b) → max(0, a + b − 1).
+        let p = HingePotential::from_clause(&[lit(0, false), lit(1, false)], 1.0, false);
+        assert!((p.distance(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(p.distance(&[0.5, 0.5]).abs() < 1e-12);
+        assert!(p.distance(&[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implication_clause() {
+        // ¬a ∨ b (a → b): distance max(0, a − b).
+        let p = HingePotential::from_clause(&[lit(0, false), lit(1, true)], 1.0, false);
+        assert!((p.distance(&[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(p.distance(&[1.0, 1.0]).abs() < 1e-12);
+        assert!(p.distance(&[0.3, 0.3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_potential() {
+        let p = HingePotential::from_clause(&[lit(0, true)], 2.0, true);
+        assert!((p.value(&[0.5]) - 2.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_clause_to_constraint() {
+        let c = LinearConstraint::from_clause(&[lit(0, false), lit(1, false)]);
+        // a + b − 1 ≤ 0.
+        assert!(c.satisfied(&[0.5, 0.5], 1e-9));
+        assert!(!c.satisfied(&[0.9, 0.9], 1e-9));
+        assert!((c.violation(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_clauses_partitions() {
+        let clauses = vec![
+            GroundClause::new(vec![lit(0, true)], ClauseWeight::Soft(1.0), ClauseOrigin::Evidence)
+                .unwrap(),
+            GroundClause::new(
+                vec![lit(0, false), lit(1, false)],
+                ClauseWeight::Hard,
+                ClauseOrigin::Formula(0),
+            )
+            .unwrap(),
+        ];
+        let mrf = HlMrf::from_clauses(2, &clauses, &PslConfig::default());
+        assert_eq!(mrf.potentials.len(), 1);
+        assert_eq!(mrf.constraints.len(), 1);
+        assert!((mrf.objective(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(mrf.max_violation(&[1.0, 1.0]) > 0.9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Discretisation of the PSL relaxation back to a boolean world.
+//!
+//! PSL's MAP state is continuous; TeCoRe must report a discrete
+//! conflict-free KG. Rounding thresholds at `0.5`, then runs a bounded
+//! greedy repair on any hard clause the rounding broke: within a
+//! violated clause, flip the literal whose soft value sits closest to
+//! the decision boundary (the least-confident commitment). On the
+//! conflict structures TeCoRe produces (pairwise clashes), thresholding
+//! is almost always already feasible; the repair is a safety net.
+
+use crate::hlmrf::HlMrf;
+
+/// Rounds soft values to booleans and repairs hard-clause violations.
+/// Returns `(assignment, feasible)`.
+pub fn round_assignment(mrf: &HlMrf, values: &[f64]) -> (Vec<bool>, bool) {
+    let mut assignment: Vec<bool> = values.iter().map(|&v| v > 0.5).collect();
+    // Bounded repair loop.
+    let max_repairs = mrf.constraints.len() * 4 + 16;
+    for _ in 0..max_repairs {
+        let Some(cidx) = first_violated(mrf, &assignment) else {
+            return (assignment, true);
+        };
+        // Flip the least-confident literal that un-violates the clause.
+        let c = &mrf.constraints[cidx];
+        let mut best: Option<(f64, usize, bool)> = None; // (confidence margin, var, new value)
+        for &(v, coeff) in &c.terms {
+            let v = v as usize;
+            // A positive coefficient means the constraint relaxes when
+            // x_v decreases (and vice versa).
+            let desired = coeff < 0.0;
+            if assignment[v] == desired {
+                continue;
+            }
+            let margin = (values[v] - 0.5).abs();
+            if best.is_none_or(|(m, _, _)| margin < m) {
+                best = Some((margin, v, desired));
+            }
+        }
+        match best {
+            Some((_, v, desired)) => assignment[v] = desired,
+            None => break, // cannot repair this clause
+        }
+    }
+    let feasible = first_violated(mrf, &assignment).is_none();
+    (assignment, feasible)
+}
+
+fn first_violated(mrf: &HlMrf, assignment: &[bool]) -> Option<usize> {
+    let x: Vec<f64> = assignment.iter().map(|&b| f64::from(u8::from(b))).collect();
+    mrf.constraints
+        .iter()
+        .position(|c| !c.satisfied(&x, 1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hlmrf::PslConfig;
+    use tecore_ground::{AtomId, ClauseOrigin, ClauseWeight, GroundClause, Lit};
+
+    fn hard(lits: Vec<Lit>) -> GroundClause {
+        GroundClause::new(lits, ClauseWeight::Hard, ClauseOrigin::Formula(0)).unwrap()
+    }
+
+    #[test]
+    fn clean_threshold() {
+        let mrf = HlMrf::from_clauses(2, &[], &PslConfig::default());
+        let (a, feasible) = round_assignment(&mrf, &[0.9, 0.1]);
+        assert_eq!(a, vec![true, false]);
+        assert!(feasible);
+    }
+
+    #[test]
+    fn repairs_pairwise_clash() {
+        // Both above 0.5 but hard ¬a ∨ ¬b: the one closer to 0.5 flips.
+        let mrf = HlMrf::from_clauses(
+            2,
+            &[hard(vec![Lit::neg(AtomId(0)), Lit::neg(AtomId(1))])],
+            &PslConfig::default(),
+        );
+        let (a, feasible) = round_assignment(&mrf, &[0.9, 0.6]);
+        assert!(feasible);
+        assert_eq!(a, vec![true, false]);
+    }
+
+    #[test]
+    fn repairs_positive_requirement() {
+        // Hard (a ∨ b) with both low: one must be raised to true.
+        let mrf = HlMrf::from_clauses(
+            2,
+            &[hard(vec![Lit::pos(AtomId(0)), Lit::pos(AtomId(1))])],
+            &PslConfig::default(),
+        );
+        let (a, feasible) = round_assignment(&mrf, &[0.2, 0.45]);
+        assert!(feasible);
+        assert!(a[1], "the closer-to-threshold literal flips up");
+        assert!(!a[0]);
+    }
+
+    #[test]
+    fn chain_repair() {
+        // a true, hard a→b, b at 0.4: repair must raise b.
+        let mrf = HlMrf::from_clauses(
+            2,
+            &[hard(vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))])],
+            &PslConfig::default(),
+        );
+        let (a, feasible) = round_assignment(&mrf, &[0.95, 0.4]);
+        assert!(feasible);
+        assert!(a[0] && a[1]);
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        // (a) and (¬a): impossible.
+        let mrf = HlMrf::from_clauses(
+            1,
+            &[
+                hard(vec![Lit::pos(AtomId(0))]),
+                hard(vec![Lit::neg(AtomId(0))]),
+            ],
+            &PslConfig::default(),
+        );
+        let (_, feasible) = round_assignment(&mrf, &[0.5]);
+        assert!(!feasible);
+    }
+}

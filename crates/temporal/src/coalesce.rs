@@ -1,0 +1,302 @@
+//! Temporal elements: coalesced unions of disjoint intervals.
+//!
+//! Temporal-database style *coalescing* merges adjacent and overlapping
+//! intervals into a canonical minimal representation. TeCoRe uses
+//! temporal elements to aggregate the validity of a statement across
+//! multiple facts (e.g. all periods in which someone coached *some* club)
+//! and in the statistics module.
+
+use std::fmt;
+
+use crate::interval::Interval;
+use crate::point::TimePoint;
+
+/// A canonical union of pairwise disjoint, non-adjacent intervals, kept
+/// sorted by start point.
+///
+/// Invariants (maintained by every operation):
+/// 1. intervals are sorted by start;
+/// 2. consecutive intervals neither intersect nor touch (gap ≥ 1 point).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TemporalElement {
+    intervals: Vec<Interval>,
+}
+
+impl TemporalElement {
+    /// The empty temporal element.
+    pub fn empty() -> Self {
+        TemporalElement::default()
+    }
+
+    /// A temporal element from any collection of intervals, coalescing as
+    /// needed.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> Self {
+        let mut v: Vec<Interval> = intervals.into_iter().collect();
+        v.sort_unstable_by_key(|i| (i.start(), i.end()));
+        let mut out: Vec<Interval> = Vec::with_capacity(v.len());
+        for iv in v {
+            match out.last_mut() {
+                Some(last) if iv.start().value() <= last.end().value() + 1 => {
+                    // Overlapping or adjacent: extend in place.
+                    if iv.end() > last.end() {
+                        *last = Interval::new(last.start(), iv.end()).expect("sorted merge");
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        TemporalElement { intervals: out }
+    }
+
+    /// The coalesced intervals, sorted by start.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Number of maximal intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Is the element empty?
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total number of covered time points.
+    pub fn total_duration(&self) -> i64 {
+        self.intervals.iter().map(|i| i.duration()).sum()
+    }
+
+    /// Does the element cover the point?
+    pub fn contains_point(&self, t: impl Into<TimePoint>) -> bool {
+        let t = t.into();
+        // Binary search on start points, then check the candidate.
+        let idx = self.intervals.partition_point(|i| i.start() <= t);
+        idx > 0 && self.intervals[idx - 1].contains_point(t)
+    }
+
+    /// Adds one interval (coalescing).
+    pub fn insert(&mut self, interval: Interval) {
+        // Fast path: append at the end.
+        if let Some(last) = self.intervals.last() {
+            if interval.start().value() > last.end().value() + 1 {
+                self.intervals.push(interval);
+                return;
+            }
+        } else {
+            self.intervals.push(interval);
+            return;
+        }
+        let merged = TemporalElement::from_intervals(
+            self.intervals.iter().copied().chain(std::iter::once(interval)),
+        );
+        *self = merged;
+    }
+
+    /// Union of two elements.
+    #[must_use]
+    pub fn union(&self, other: &TemporalElement) -> TemporalElement {
+        TemporalElement::from_intervals(
+            self.intervals.iter().chain(other.intervals.iter()).copied(),
+        )
+    }
+
+    /// Intersection of two elements (linear merge).
+    #[must_use]
+    pub fn intersection(&self, other: &TemporalElement) -> TemporalElement {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let a = self.intervals[i];
+            let b = other.intervals[j];
+            if let Some(shared) = a.intersection(b) {
+                out.push(shared);
+            }
+            if a.end() <= b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        // Already disjoint and sorted; no re-coalescing needed because
+        // intersections of disjoint families stay disjoint.
+        TemporalElement { intervals: out }
+    }
+
+    /// Points covered by `self` but not `other`.
+    #[must_use]
+    pub fn difference(&self, other: &TemporalElement) -> TemporalElement {
+        let mut out: Vec<Interval> = Vec::new();
+        let mut j = 0;
+        for &a in &self.intervals {
+            let mut cur_start = a.start();
+            let end = a.end();
+            while j < other.intervals.len() && other.intervals[j].end() < cur_start {
+                j += 1;
+            }
+            let mut k = j;
+            let mut exhausted = false;
+            while k < other.intervals.len() && other.intervals[k].start() <= end {
+                let b = other.intervals[k];
+                if b.start() > cur_start {
+                    out.push(
+                        Interval::new(cur_start, b.start().pred()).expect("gap before hole"),
+                    );
+                }
+                if b.end() >= end {
+                    exhausted = true;
+                    break;
+                }
+                cur_start = cur_start.max(b.end().succ());
+                k += 1;
+            }
+            if !exhausted && cur_start <= end {
+                out.push(Interval::new(cur_start, end).expect("tail segment"));
+            }
+        }
+        TemporalElement::from_intervals(out)
+    }
+
+    /// The convex hull, if non-empty.
+    pub fn hull(&self) -> Option<Interval> {
+        match (self.intervals.first(), self.intervals.last()) {
+            (Some(first), Some(last)) => {
+                Some(Interval::new(first.start(), last.end()).expect("sorted"))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl FromIterator<Interval> for TemporalElement {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        TemporalElement::from_intervals(iter)
+    }
+}
+
+impl fmt::Display for TemporalElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn coalesces_overlapping_and_adjacent() {
+        let e = TemporalElement::from_intervals([iv(1, 3), iv(4, 6), iv(10, 12), iv(11, 15)]);
+        assert_eq!(e.intervals(), &[iv(1, 6), iv(10, 15)]);
+        assert_eq!(e.total_duration(), 6 + 6);
+    }
+
+    #[test]
+    fn contains_point_binary_search() {
+        let e = TemporalElement::from_intervals([iv(1, 3), iv(10, 12)]);
+        assert!(e.contains_point(2));
+        assert!(e.contains_point(10));
+        assert!(!e.contains_point(5));
+        assert!(!e.contains_point(0));
+        assert!(!e.contains_point(13));
+    }
+
+    #[test]
+    fn insert_fast_path_and_merge() {
+        let mut e = TemporalElement::empty();
+        e.insert(iv(1, 3));
+        e.insert(iv(10, 12)); // fast append
+        e.insert(iv(4, 5)); // adjacent to first: merge
+        assert_eq!(e.intervals(), &[iv(1, 5), iv(10, 12)]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = TemporalElement::from_intervals([iv(1, 5), iv(10, 15)]);
+        let b = TemporalElement::from_intervals([iv(4, 11)]);
+        assert_eq!(a.union(&b).intervals(), &[iv(1, 15)]);
+        assert_eq!(a.intersection(&b).intervals(), &[iv(4, 5), iv(10, 11)]);
+        assert_eq!(a.difference(&b).intervals(), &[iv(1, 3), iv(12, 15)]);
+        assert_eq!(b.difference(&a).intervals(), &[iv(6, 9)]);
+    }
+
+    #[test]
+    fn difference_hole_in_middle() {
+        let a = TemporalElement::from_intervals([iv(0, 10)]);
+        let b = TemporalElement::from_intervals([iv(3, 4), iv(7, 8)]);
+        assert_eq!(a.difference(&b).intervals(), &[iv(0, 2), iv(5, 6), iv(9, 10)]);
+    }
+
+    #[test]
+    fn hull() {
+        let e = TemporalElement::from_intervals([iv(1, 3), iv(10, 12)]);
+        assert_eq!(e.hull(), Some(iv(1, 12)));
+        assert_eq!(TemporalElement::empty().hull(), None);
+    }
+
+    #[test]
+    fn display() {
+        let e = TemporalElement::from_intervals([iv(1, 3), iv(10, 12)]);
+        assert_eq!(e.to_string(), "{[1,3], [10,12]}");
+    }
+
+    fn arb_elem() -> impl Strategy<Value = TemporalElement> {
+        prop::collection::vec((-40i64..40, 0i64..10), 0..8)
+            .prop_map(|v| v.into_iter().map(|(s, l)| iv(s, s + l)).collect())
+    }
+
+    fn covered(e: &TemporalElement) -> std::collections::BTreeSet<i64> {
+        e.intervals()
+            .iter()
+            .flat_map(|i| i.points().map(|p| p.value()))
+            .collect()
+    }
+
+    proptest! {
+        /// Invariant: output intervals are sorted and separated by gaps.
+        #[test]
+        fn canonical_invariant(e in arb_elem()) {
+            for w in e.intervals().windows(2) {
+                prop_assert!(w[0].end().value() + 1 < w[1].start().value());
+            }
+        }
+
+        /// Point-set semantics of union/intersection/difference.
+        #[test]
+        fn pointwise_semantics(a in arb_elem(), b in arb_elem()) {
+            let (pa, pb) = (covered(&a), covered(&b));
+            let union: std::collections::BTreeSet<_> = pa.union(&pb).copied().collect();
+            let inter: std::collections::BTreeSet<_> = pa.intersection(&pb).copied().collect();
+            let diff: std::collections::BTreeSet<_> = pa.difference(&pb).copied().collect();
+            prop_assert_eq!(covered(&a.union(&b)), union);
+            prop_assert_eq!(covered(&a.intersection(&b)), inter);
+            prop_assert_eq!(covered(&a.difference(&b)), diff);
+        }
+
+        /// Coalescing is idempotent.
+        #[test]
+        fn idempotent(a in arb_elem()) {
+            let again = TemporalElement::from_intervals(a.intervals().iter().copied());
+            prop_assert_eq!(a, again);
+        }
+
+        /// Duration equals the number of covered points.
+        #[test]
+        fn duration_counts(a in arb_elem()) {
+            prop_assert_eq!(a.total_duration() as usize, covered(&a).len());
+        }
+    }
+}

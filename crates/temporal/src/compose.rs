@@ -1,0 +1,289 @@
+//! Composition of Allen relations (Allen 1983, Table 1).
+//!
+//! `compose(r1, r2)` answers: given `r1(a, b)` and `r2(b, c)`, which basic
+//! relations may hold between `a` and `c`? The answer is in general a
+//! *set* of relations, so composition maps into [`AllenSet`].
+//!
+//! Composition powers constraint *propagation*: TeCoRe's validator uses
+//! it to detect constraint networks that are unsatisfiable before any
+//! grounding happens, and the test-suite uses it as an algebraic oracle
+//! for the relation semantics.
+//!
+//! The table below is the classical 13×13 composition table. It was
+//! cross-checked by exhaustive enumeration over a finite discrete domain
+//! (see `derived_table_matches` in the tests), which is sound and
+//! complete for this algebra: every entry is realisable with intervals of
+//! length ≤ 13.
+
+use crate::allen::AllenRelation;
+use crate::set::AllenSet;
+
+use AllenRelation as A;
+
+/// The full set of 13 relations, used for the two "anything possible"
+/// entries (`before ∘ after` and `after ∘ before`).
+const FULL13: &[AllenRelation] = &[
+    A::Before,
+    A::Meets,
+    A::Overlaps,
+    A::Starts,
+    A::During,
+    A::Finishes,
+    A::Equals,
+    A::FinishedBy,
+    A::Contains,
+    A::StartedBy,
+    A::OverlappedBy,
+    A::MetBy,
+    A::After,
+];
+
+#[rustfmt::skip]
+const TABLE: [[&[AllenRelation]; 13]; 13] = [
+    // row: Before
+    [&[A::Before], &[A::Before], &[A::Before], &[A::Before],
+     &[A::Before, A::Meets, A::Overlaps, A::Starts, A::During],
+     &[A::Before, A::Meets, A::Overlaps, A::Starts, A::During],
+     &[A::Before], &[A::Before], &[A::Before], &[A::Before],
+     &[A::Before, A::Meets, A::Overlaps, A::Starts, A::During],
+     &[A::Before, A::Meets, A::Overlaps, A::Starts, A::During],
+     FULL13],
+    // row: Meets
+    [&[A::Before], &[A::Before], &[A::Before], &[A::Meets],
+     &[A::Overlaps, A::Starts, A::During],
+     &[A::Overlaps, A::Starts, A::During],
+     &[A::Meets], &[A::Before], &[A::Before], &[A::Meets],
+     &[A::Overlaps, A::Starts, A::During],
+     &[A::Finishes, A::Equals, A::FinishedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy, A::MetBy, A::After]],
+    // row: Overlaps
+    [&[A::Before], &[A::Before],
+     &[A::Before, A::Meets, A::Overlaps],
+     &[A::Overlaps],
+     &[A::Overlaps, A::Starts, A::During],
+     &[A::Overlaps, A::Starts, A::During],
+     &[A::Overlaps],
+     &[A::Before, A::Meets, A::Overlaps],
+     &[A::Before, A::Meets, A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::Starts, A::During, A::Finishes, A::Equals, A::FinishedBy, A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy, A::MetBy, A::After]],
+    // row: Starts
+    [&[A::Before], &[A::Before],
+     &[A::Before, A::Meets, A::Overlaps],
+     &[A::Starts], &[A::During], &[A::During], &[A::Starts],
+     &[A::Before, A::Meets, A::Overlaps],
+     &[A::Before, A::Meets, A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Starts, A::Equals, A::StartedBy],
+     &[A::During, A::Finishes, A::OverlappedBy],
+     &[A::MetBy], &[A::After]],
+    // row: During
+    [&[A::Before], &[A::Before],
+     &[A::Before, A::Meets, A::Overlaps, A::Starts, A::During],
+     &[A::During], &[A::During], &[A::During], &[A::During],
+     &[A::Before, A::Meets, A::Overlaps, A::Starts, A::During],
+     FULL13,
+     &[A::During, A::Finishes, A::OverlappedBy, A::MetBy, A::After],
+     &[A::During, A::Finishes, A::OverlappedBy, A::MetBy, A::After],
+     &[A::After], &[A::After]],
+    // row: Finishes
+    [&[A::Before], &[A::Meets],
+     &[A::Overlaps, A::Starts, A::During],
+     &[A::During], &[A::During], &[A::Finishes], &[A::Finishes],
+     &[A::Finishes, A::Equals, A::FinishedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy, A::MetBy, A::After],
+     &[A::OverlappedBy, A::MetBy, A::After],
+     &[A::OverlappedBy, A::MetBy, A::After],
+     &[A::After], &[A::After]],
+    // row: Equals (identity)
+    [&[A::Before], &[A::Meets], &[A::Overlaps], &[A::Starts], &[A::During],
+     &[A::Finishes], &[A::Equals], &[A::FinishedBy], &[A::Contains],
+     &[A::StartedBy], &[A::OverlappedBy], &[A::MetBy], &[A::After]],
+    // row: FinishedBy
+    [&[A::Before], &[A::Meets], &[A::Overlaps], &[A::Overlaps],
+     &[A::Overlaps, A::Starts, A::During],
+     &[A::Finishes, A::Equals, A::FinishedBy],
+     &[A::FinishedBy], &[A::FinishedBy], &[A::Contains], &[A::Contains],
+     &[A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy, A::MetBy, A::After]],
+    // row: Contains
+    [&[A::Before, A::Meets, A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::Starts, A::During, A::Finishes, A::Equals, A::FinishedBy, A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains], &[A::Contains], &[A::Contains], &[A::Contains],
+     &[A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy, A::MetBy, A::After]],
+    // row: StartedBy
+    [&[A::Before, A::Meets, A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Starts, A::Equals, A::StartedBy],
+     &[A::During, A::Finishes, A::OverlappedBy],
+     &[A::OverlappedBy], &[A::StartedBy], &[A::Contains], &[A::Contains],
+     &[A::StartedBy], &[A::OverlappedBy], &[A::MetBy], &[A::After]],
+    // row: OverlappedBy
+    [&[A::Before, A::Meets, A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Overlaps, A::Starts, A::During, A::Finishes, A::Equals, A::FinishedBy, A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::During, A::Finishes, A::OverlappedBy],
+     &[A::During, A::Finishes, A::OverlappedBy],
+     &[A::OverlappedBy], &[A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy],
+     &[A::Contains, A::StartedBy, A::OverlappedBy, A::MetBy, A::After],
+     &[A::OverlappedBy, A::MetBy, A::After],
+     &[A::OverlappedBy, A::MetBy, A::After],
+     &[A::After], &[A::After]],
+    // row: MetBy
+    [&[A::Before, A::Meets, A::Overlaps, A::FinishedBy, A::Contains],
+     &[A::Starts, A::Equals, A::StartedBy],
+     &[A::During, A::Finishes, A::OverlappedBy],
+     &[A::During, A::Finishes, A::OverlappedBy],
+     &[A::During, A::Finishes, A::OverlappedBy],
+     &[A::MetBy], &[A::MetBy], &[A::MetBy],
+     &[A::After], &[A::After], &[A::After], &[A::After], &[A::After]],
+    // row: After
+    [FULL13,
+     &[A::During, A::Finishes, A::OverlappedBy, A::MetBy, A::After],
+     &[A::During, A::Finishes, A::OverlappedBy, A::MetBy, A::After],
+     &[A::During, A::Finishes, A::OverlappedBy, A::MetBy, A::After],
+     &[A::During, A::Finishes, A::OverlappedBy, A::MetBy, A::After],
+     &[A::After], &[A::After], &[A::After], &[A::After], &[A::After],
+     &[A::After], &[A::After], &[A::After]],
+];
+
+/// Composes two basic relations: the set of relations that may hold
+/// between `a` and `c` given `r1(a, b)` and `r2(b, c)`.
+pub fn compose(r1: AllenRelation, r2: AllenRelation) -> AllenSet {
+    AllenSet::from_relations(TABLE[r1.index()][r2.index()].iter().copied())
+}
+
+/// Composes two relation sets: the union of pairwise compositions.
+pub fn compose_sets(s1: AllenSet, s2: AllenSet) -> AllenSet {
+    let mut out = AllenSet::EMPTY;
+    for r1 in s1.iter() {
+        for r2 in s2.iter() {
+            out = out.union(compose(r1, r2));
+            if out == AllenSet::FULL {
+                return out; // saturated; nothing more to add
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use proptest::prelude::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    /// Re-derive the composition table by brute force over a finite
+    /// domain and compare with the hard-coded table. Intervals of length
+    /// ≤ 13 over 13 points realise every composition scenario for this
+    /// algebra, so the derived table is exact.
+    #[test]
+    fn derived_table_matches() {
+        const N: i64 = 13;
+        let mut derived = vec![vec![AllenSet::EMPTY; 13]; 13];
+        let ivs: Vec<Interval> = (0..N)
+            .flat_map(|s| (s..N).map(move |e| iv(s, e)))
+            .collect();
+        for &a in &ivs {
+            for &b in &ivs {
+                let r1 = AllenRelation::between(a, b);
+                for &c in &ivs {
+                    let r2 = AllenRelation::between(b, c);
+                    let r3 = AllenRelation::between(a, c);
+                    derived[r1.index()][r2.index()] =
+                        derived[r1.index()][r2.index()].insert(r3);
+                }
+            }
+        }
+        for r1 in AllenRelation::ALL {
+            for r2 in AllenRelation::ALL {
+                assert_eq!(
+                    compose(r1, r2),
+                    derived[r1.index()][r2.index()],
+                    "composition mismatch at ({r1}, {r2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equals_is_identity() {
+        for r in AllenRelation::ALL {
+            assert_eq!(compose(AllenRelation::Equals, r), AllenSet::from_relation(r));
+            assert_eq!(compose(r, AllenRelation::Equals), AllenSet::from_relation(r));
+        }
+    }
+
+    #[test]
+    fn before_after_is_full() {
+        assert_eq!(
+            compose(AllenRelation::Before, AllenRelation::After),
+            AllenSet::FULL
+        );
+        assert_eq!(
+            compose(AllenRelation::After, AllenRelation::Before),
+            AllenSet::FULL
+        );
+    }
+
+    #[test]
+    fn before_before_is_before() {
+        assert_eq!(
+            compose(AllenRelation::Before, AllenRelation::Before),
+            AllenSet::from_relation(AllenRelation::Before)
+        );
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (-20i64..20, 0i64..15).prop_map(|(s, l)| iv(s, s + l))
+    }
+
+    proptest! {
+        /// Soundness: the actual relation between a and c is always a
+        /// member of compose(r(a,b), r(b,c)).
+        #[test]
+        fn composition_sound(a in arb_interval(), b in arb_interval(), c in arb_interval()) {
+            let r1 = AllenRelation::between(a, b);
+            let r2 = AllenRelation::between(b, c);
+            prop_assert!(compose(r1, r2).contains(AllenRelation::between(a, c)));
+        }
+
+        /// Converse anti-distributes over composition:
+        /// (r1 ∘ r2)⁻¹ == r2⁻¹ ∘ r1⁻¹.
+        #[test]
+        fn converse_antidistributes(i in 0usize..13, j in 0usize..13) {
+            let r1 = AllenRelation::from_index(i).unwrap();
+            let r2 = AllenRelation::from_index(j).unwrap();
+            prop_assert_eq!(
+                compose(r1, r2).converse(),
+                compose(r2.converse(), r1.converse())
+            );
+        }
+
+        /// Set composition is monotone in both arguments.
+        #[test]
+        fn set_composition_monotone(b1 in 0u16..(1<<13), b2 in 0u16..(1<<13)) {
+            let s1 = AllenSet::from_bits(b1);
+            let s2 = AllenSet::from_bits(b2);
+            let whole = compose_sets(s1, s2);
+            for r in s1.iter() {
+                let sub = compose_sets(AllenSet::from_relation(r), s2);
+                prop_assert_eq!(sub.union(whole), whole);
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Closed, non-empty intervals over the discrete time domain.
+
+use std::fmt;
+
+use crate::error::TemporalError;
+use crate::point::TimePoint;
+
+/// A closed, non-empty interval `[start, end]` of time points.
+///
+/// This is the "temporal element" attached to every fact of a uTKG in the
+/// paper's data model: `(CR, coach, Chelsea, [2000, 2004])`. Both bounds
+/// are inclusive and `start <= end` is an invariant maintained by
+/// construction, so a single time point is `[t, t]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    start: TimePoint,
+    end: TimePoint,
+}
+
+impl Interval {
+    /// Builds `[start, end]`, rejecting empty intervals.
+    pub fn new(start: impl Into<TimePoint>, end: impl Into<TimePoint>) -> Result<Self, TemporalError> {
+        let (start, end) = (start.into(), end.into());
+        if start > end {
+            return Err(TemporalError::EmptyInterval { start, end });
+        }
+        Ok(Interval { start, end })
+    }
+
+    /// Builds the degenerate interval `[t, t]`.
+    pub fn at(t: impl Into<TimePoint>) -> Self {
+        let t = t.into();
+        Interval { start: t, end: t }
+    }
+
+    /// Inclusive lower bound.
+    #[inline]
+    pub const fn start(self) -> TimePoint {
+        self.start
+    }
+
+    /// Inclusive upper bound.
+    #[inline]
+    pub const fn end(self) -> TimePoint {
+        self.end
+    }
+
+    /// Number of time points covered; always at least 1.
+    #[inline]
+    pub fn duration(self) -> i64 {
+        self.end.value() - self.start.value() + 1
+    }
+
+    /// Does the interval cover the given point?
+    #[inline]
+    pub fn contains_point(self, t: impl Into<TimePoint>) -> bool {
+        let t = t.into();
+        self.start <= t && t <= self.end
+    }
+
+    /// Does `self` fully cover `other` (not necessarily strictly)?
+    #[inline]
+    pub fn covers(self, other: Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Do the two intervals share at least one time point?
+    ///
+    /// Note: under the discrete Allen convention, `meets` intervals are
+    /// adjacent and do *not* intersect.
+    #[inline]
+    pub fn intersects(self, other: Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The shared part of two intervals, if any.
+    ///
+    /// This implements the `t'' = t ∩ t'` interval expression in the
+    /// paper's inference rule f2.
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start <= end {
+            Some(Interval { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval covering both inputs (convex hull).
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Union as a single interval, defined only when the inputs intersect
+    /// or are adjacent (so the union is itself an interval).
+    pub fn union(self, other: Interval) -> Option<Interval> {
+        if self.intersects(other) || self.meets_adjacent(other) || other.meets_adjacent(self) {
+            Some(self.hull(other))
+        } else {
+            None
+        }
+    }
+
+    /// `self.end + 1 == other.start` — the discrete `meets` test.
+    #[inline]
+    pub fn meets_adjacent(self, other: Interval) -> bool {
+        self.end.value() + 1 == other.start.value()
+    }
+
+    /// Translates the interval by `delta` domain units.
+    pub fn shift(self, delta: i64) -> Interval {
+        Interval {
+            start: self.start + delta,
+            end: self.end + delta,
+        }
+    }
+
+    /// Entirely before `other` with a gap or adjacent (no shared point)?
+    #[inline]
+    pub fn precedes(self, other: Interval) -> bool {
+        self.end < other.start
+    }
+
+    /// Iterates over every covered time point, in order.
+    ///
+    /// Intended for small intervals (tests, explanation output); the
+    /// reasoners never enumerate points.
+    pub fn points(self) -> impl Iterator<Item = TimePoint> {
+        (self.start.value()..=self.end.value()).map(TimePoint)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Interval::new(5, 4).is_err());
+        assert!(Interval::new(5, 5).is_ok());
+    }
+
+    #[test]
+    fn duration_counts_points() {
+        assert_eq!(iv(2000, 2004).duration(), 5);
+        assert_eq!(Interval::at(1951).duration(), 1);
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let chelsea = iv(2000, 2004);
+        assert!(chelsea.contains_point(2000));
+        assert!(chelsea.contains_point(2004));
+        assert!(!chelsea.contains_point(2005));
+        assert!(chelsea.covers(iv(2001, 2003)));
+        assert!(chelsea.covers(chelsea));
+        assert!(!iv(2001, 2003).covers(chelsea));
+    }
+
+    #[test]
+    fn intersection_matches_paper_rule_f2() {
+        // f2 derives livesIn over t'' = t ∩ t'.
+        let works = iv(2000, 2004);
+        let located = iv(2002, 2010);
+        assert_eq!(works.intersection(located), Some(iv(2002, 2004)));
+        assert_eq!(works.intersection(iv(2006, 2010)), None);
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_strict() {
+        assert!(iv(1, 5).intersects(iv(5, 9)));
+        assert!(iv(5, 9).intersects(iv(1, 5)));
+        assert!(!iv(1, 5).intersects(iv(6, 9))); // adjacent, not shared
+    }
+
+    #[test]
+    fn union_and_hull() {
+        assert_eq!(iv(1, 5).union(iv(4, 9)), Some(iv(1, 9)));
+        assert_eq!(iv(1, 5).union(iv(6, 9)), Some(iv(1, 9))); // adjacent
+        assert_eq!(iv(1, 5).union(iv(7, 9)), None);
+        assert_eq!(iv(1, 5).hull(iv(7, 9)), iv(1, 9));
+    }
+
+    #[test]
+    fn shift_preserves_duration() {
+        let i = iv(2000, 2004);
+        assert_eq!(i.shift(10), iv(2010, 2014));
+        assert_eq!(i.shift(-2000), iv(0, 4));
+        assert_eq!(i.shift(3).duration(), i.duration());
+    }
+
+    #[test]
+    fn precedes_allows_adjacency() {
+        assert!(iv(1, 5).precedes(iv(6, 9)));
+        assert!(iv(1, 5).precedes(iv(7, 9)));
+        assert!(!iv(1, 5).precedes(iv(5, 9)));
+    }
+
+    #[test]
+    fn points_enumeration() {
+        let pts: Vec<i64> = iv(3, 6).points().map(|p| p.value()).collect();
+        assert_eq!(pts, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(2000, 2004).to_string(), "[2000,2004]");
+    }
+}

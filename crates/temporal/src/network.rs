@@ -1,0 +1,264 @@
+//! Qualitative Allen constraint networks with path-consistency
+//! propagation (Allen 1983).
+//!
+//! A network has one node per interval variable and an [`AllenSet`] edge
+//! between every pair — "the relation between i and j is one of these".
+//! **Path consistency** (the PC-2 / Allen propagation algorithm) tightens
+//! every edge through every intermediate node using the composition
+//! table: `R(i,j) ← R(i,j) ∩ (R(i,k) ∘ R(k,j))` until a fixpoint.
+//!
+//! TeCoRe uses this to vet a *set* of temporal constraints before any
+//! grounding happens: if the user asserts `before(t, t')`,
+//! `before(t', t'')` and `before(t'', t)` in one formula set over shared
+//! variables, the network collapses to an empty relation and the
+//! constraint editor can reject the input immediately — no uTKG needed.
+//! (Path consistency is complete for consistency detection on the
+//! pointisable subalgebra, which covers every relation expressible in
+//! the paper's constraint language.)
+
+use crate::allen::AllenRelation;
+use crate::compose::compose_sets;
+use crate::interval::Interval;
+use crate::set::AllenSet;
+
+/// A qualitative constraint network over interval variables.
+#[derive(Debug, Clone)]
+pub struct AllenNetwork {
+    n: usize,
+    /// Row-major `n × n` relation matrix; `rel[i][j]` constrains
+    /// interval i against interval j. Invariants: `rel[i][i] = {equals}`
+    /// and `rel[j][i] = rel[i][j].converse()`.
+    rel: Vec<AllenSet>,
+}
+
+impl AllenNetwork {
+    /// A fully unconstrained network over `n` interval variables.
+    pub fn new(n: usize) -> Self {
+        let mut rel = vec![AllenSet::FULL; n * n];
+        for i in 0..n {
+            rel[i * n + i] = AllenSet::from_relation(AllenRelation::Equals);
+        }
+        AllenNetwork { n, rel }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the network empty (zero variables)?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The current relation between `i` and `j`.
+    pub fn relation(&self, i: usize, j: usize) -> AllenSet {
+        self.rel[i * self.n + j]
+    }
+
+    /// Constrains `i R j`, intersecting with any existing constraint
+    /// (and `j R⁻¹ i` symmetrically). Returns `false` if the edge
+    /// becomes empty (immediate inconsistency).
+    pub fn constrain(&mut self, i: usize, j: usize, relation: AllenSet) -> bool {
+        let forward = self.rel[i * self.n + j].intersection(relation);
+        self.rel[i * self.n + j] = forward;
+        self.rel[j * self.n + i] = forward.converse();
+        !forward.is_empty()
+    }
+
+    /// Runs path-consistency propagation to a fixpoint. Returns `false`
+    /// iff some edge became empty — the constraints are unsatisfiable.
+    pub fn propagate(&mut self) -> bool {
+        let n = self.n;
+        if n < 2 {
+            return true;
+        }
+        // Worklist of edges to re-check, seeded with all pairs.
+        let mut queue: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .collect();
+        while let Some((i, j)) = queue.pop() {
+            let rij = self.rel[i * n + j];
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                // Tighten (i,k) through j and (k,j) through i.
+                let rik = self.rel[i * n + k];
+                let tightened_ik = rik.intersection(compose_sets(rij, self.rel[j * n + k]));
+                if tightened_ik != rik {
+                    if tightened_ik.is_empty() {
+                        self.rel[i * n + k] = tightened_ik;
+                        return false;
+                    }
+                    self.rel[i * n + k] = tightened_ik;
+                    self.rel[k * n + i] = tightened_ik.converse();
+                    queue.push((i, k));
+                }
+                let rkj = self.rel[k * n + j];
+                let tightened_kj = rkj.intersection(compose_sets(self.rel[k * n + i], rij));
+                if tightened_kj != rkj {
+                    if tightened_kj.is_empty() {
+                        self.rel[k * n + j] = tightened_kj;
+                        return false;
+                    }
+                    self.rel[k * n + j] = tightened_kj;
+                    self.rel[j * n + k] = tightened_kj.converse();
+                    queue.push((k, j));
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks whether concrete intervals satisfy every edge.
+    pub fn satisfied_by(&self, intervals: &[Interval]) -> bool {
+        assert_eq!(intervals.len(), self.n, "one interval per variable");
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && !self.relation(i, j).holds(intervals[i], intervals[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn before() -> AllenSet {
+        AllenSet::from_relation(AllenRelation::Before)
+    }
+
+    #[test]
+    fn before_chain_propagates_transitively() {
+        let mut net = AllenNetwork::new(3);
+        assert!(net.constrain(0, 1, before()));
+        assert!(net.constrain(1, 2, before()));
+        assert!(net.propagate());
+        // 0 before 2 is forced by composition.
+        assert_eq!(net.relation(0, 2), before());
+        assert_eq!(
+            net.relation(2, 0),
+            AllenSet::from_relation(AllenRelation::After)
+        );
+    }
+
+    #[test]
+    fn before_cycle_is_inconsistent() {
+        let mut net = AllenNetwork::new(3);
+        net.constrain(0, 1, before());
+        net.constrain(1, 2, before());
+        net.constrain(2, 0, before());
+        assert!(!net.propagate(), "before-cycle must collapse");
+    }
+
+    #[test]
+    fn during_and_contains_conflict() {
+        let mut net = AllenNetwork::new(2);
+        assert!(net.constrain(0, 1, AllenSet::from_relation(AllenRelation::During)));
+        assert!(
+            !net.constrain(0, 1, AllenSet::from_relation(AllenRelation::Contains)),
+            "contradictory direct edge detected without propagation"
+        );
+    }
+
+    #[test]
+    fn meets_chain() {
+        // 0 meets 1, 1 meets 2 → 0 before 2 (a gap of exactly |1|).
+        let mut net = AllenNetwork::new(3);
+        net.constrain(0, 1, AllenSet::from_relation(AllenRelation::Meets));
+        net.constrain(1, 2, AllenSet::from_relation(AllenRelation::Meets));
+        assert!(net.propagate());
+        assert_eq!(net.relation(0, 2), before());
+    }
+
+    #[test]
+    fn disjoint_triangle_consistent() {
+        let mut net = AllenNetwork::new(3);
+        net.constrain(0, 1, AllenSet::DISJOINT);
+        net.constrain(1, 2, AllenSet::DISJOINT);
+        net.constrain(0, 2, AllenSet::DISJOINT);
+        assert!(net.propagate());
+        // Realisable: three separated intervals.
+        let iv = |a: i64, b: i64| Interval::new(a, b).unwrap();
+        assert!(net.satisfied_by(&[iv(0, 1), iv(10, 11), iv(20, 21)]));
+    }
+
+    #[test]
+    fn satisfied_by_checks_edges() {
+        let mut net = AllenNetwork::new(2);
+        net.constrain(0, 1, before());
+        let iv = |a: i64, b: i64| Interval::new(a, b).unwrap();
+        assert!(net.satisfied_by(&[iv(0, 1), iv(5, 6)]));
+        assert!(!net.satisfied_by(&[iv(5, 6), iv(0, 1)]));
+    }
+
+    #[test]
+    fn empty_and_singleton_networks() {
+        assert!(AllenNetwork::new(0).propagate());
+        assert!(AllenNetwork::new(1).propagate());
+        assert!(AllenNetwork::new(0).is_empty());
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (-30i64..30, 0i64..12).prop_map(|(s, l)| Interval::new(s, s + l).unwrap())
+    }
+
+    proptest! {
+        /// Soundness: propagation never removes a realisable scenario.
+        /// Build a network from the *actual* relations of concrete
+        /// intervals; propagation must keep it consistent and the
+        /// intervals must still satisfy every edge.
+        #[test]
+        fn propagation_preserves_realisable_scenarios(
+            ivs in prop::collection::vec(arb_interval(), 2..6)
+        ) {
+            let n = ivs.len();
+            let mut net = AllenNetwork::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let r = AllenRelation::between(ivs[i], ivs[j]);
+                    prop_assert!(net.constrain(i, j, AllenSet::from_relation(r)));
+                }
+            }
+            prop_assert!(net.propagate(), "network of real intervals must stay consistent");
+            prop_assert!(net.satisfied_by(&ivs));
+        }
+
+        /// Propagation only ever tightens edges (monotonicity).
+        #[test]
+        fn propagation_tightens(
+            ivs in prop::collection::vec(arb_interval(), 2..5),
+            extra_bits in 0u16..(1 << 13),
+        ) {
+            let n = ivs.len();
+            let mut net = AllenNetwork::new(n);
+            // Loose edges: real relation plus arbitrary extra relations.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let real = AllenRelation::between(ivs[i], ivs[j]);
+                    let loose = AllenSet::from_relation(real)
+                        .union(AllenSet::from_bits(extra_bits));
+                    prop_assert!(net.constrain(i, j, loose));
+                }
+            }
+            let before_prop: Vec<AllenSet> =
+                (0..n * n).map(|k| net.rel[k]).collect();
+            prop_assert!(net.propagate());
+            for (k, (&after, &before)) in
+                net.rel.iter().zip(before_prop.iter()).enumerate()
+            {
+                prop_assert_eq!(after.union(before), before,
+                    "edge {} grew during propagation", k);
+            }
+            // The concrete intervals still satisfy the tightened net.
+            prop_assert!(net.satisfied_by(&ivs));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Time points of the discrete time domain.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A single point of the discrete, linearly ordered time domain.
+///
+/// The unit (year, day, millisecond, ...) is chosen by the application;
+/// TeCoRe only relies on the linear order and integer arithmetic. The
+/// paper's running example uses years (`[2000, 2004]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimePoint(pub i64);
+
+impl TimePoint {
+    /// Smallest representable time point.
+    pub const MIN: TimePoint = TimePoint(i64::MIN / 4);
+    /// Largest representable time point.
+    ///
+    /// `MIN`/`MAX` leave ample headroom so that interval arithmetic
+    /// (`end + 1` in the Allen predicates, duration differences in
+    /// numerical rule conditions) can never overflow.
+    pub const MAX: TimePoint = TimePoint(i64::MAX / 4);
+
+    /// Builds a time point from a raw integer.
+    #[inline]
+    pub const fn new(value: i64) -> Self {
+        TimePoint(value)
+    }
+
+    /// The raw integer value.
+    #[inline]
+    pub const fn value(self) -> i64 {
+        self.0
+    }
+
+    /// The immediate successor of this point.
+    #[inline]
+    pub fn succ(self) -> TimePoint {
+        TimePoint(self.0 + 1)
+    }
+
+    /// The immediate predecessor of this point.
+    #[inline]
+    pub fn pred(self) -> TimePoint {
+        TimePoint(self.0 - 1)
+    }
+
+    /// Signed distance `self - other` in domain units.
+    #[inline]
+    pub fn distance(self, other: TimePoint) -> i64 {
+        self.0 - other.0
+    }
+
+    /// Clamps the point into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: TimePoint, hi: TimePoint) -> TimePoint {
+        TimePoint(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl From<i64> for TimePoint {
+    #[inline]
+    fn from(value: i64) -> Self {
+        TimePoint(value)
+    }
+}
+
+impl From<i32> for TimePoint {
+    #[inline]
+    fn from(value: i32) -> Self {
+        TimePoint(value as i64)
+    }
+}
+
+impl From<TimePoint> for i64 {
+    #[inline]
+    fn from(value: TimePoint) -> Self {
+        value.0
+    }
+}
+
+impl Add<i64> for TimePoint {
+    type Output = TimePoint;
+    #[inline]
+    fn add(self, rhs: i64) -> TimePoint {
+        TimePoint(self.0 + rhs)
+    }
+}
+
+impl AddAssign<i64> for TimePoint {
+    #[inline]
+    fn add_assign(&mut self, rhs: i64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<i64> for TimePoint {
+    type Output = TimePoint;
+    #[inline]
+    fn sub(self, rhs: i64) -> TimePoint {
+        TimePoint(self.0 - rhs)
+    }
+}
+
+impl SubAssign<i64> for TimePoint {
+    #[inline]
+    fn sub_assign(&mut self, rhs: i64) {
+        self.0 -= rhs;
+    }
+}
+
+impl Sub<TimePoint> for TimePoint {
+    type Output = i64;
+    #[inline]
+    fn sub(self, rhs: TimePoint) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_integers() {
+        assert!(TimePoint(1) < TimePoint(2));
+        assert!(TimePoint(-5) < TimePoint(0));
+        assert_eq!(TimePoint(7), TimePoint(7));
+    }
+
+    #[test]
+    fn succ_pred_roundtrip() {
+        let p = TimePoint(1984);
+        assert_eq!(p.succ().pred(), p);
+        assert_eq!(p.succ().value(), 1985);
+    }
+
+    #[test]
+    fn distance_is_signed() {
+        assert_eq!(TimePoint(2004).distance(TimePoint(2000)), 4);
+        assert_eq!(TimePoint(2000).distance(TimePoint(2004)), -4);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let p = TimePoint(10);
+        assert_eq!(p + 5, TimePoint(15));
+        assert_eq!(p - 5, TimePoint(5));
+        assert_eq!(TimePoint(15) - TimePoint(10), 5);
+        let mut q = p;
+        q += 1;
+        q -= 3;
+        assert_eq!(q, TimePoint(8));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: TimePoint = 1951i64.into();
+        assert_eq!(i64::from(p), 1951);
+        let q: TimePoint = 1951i32.into();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let lo = TimePoint(0);
+        let hi = TimePoint(10);
+        assert_eq!(TimePoint(-3).clamp(lo, hi), lo);
+        assert_eq!(TimePoint(42).clamp(lo, hi), hi);
+        assert_eq!(TimePoint(5).clamp(lo, hi), TimePoint(5));
+    }
+
+    #[test]
+    fn min_max_headroom_for_succ() {
+        // The Allen predicates compute `end + 1`; this must not overflow
+        // even at the domain extremes.
+        let _ = TimePoint::MAX.succ();
+        let _ = TimePoint::MIN.pred();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimePoint(2017).to_string(), "2017");
+    }
+}

@@ -1,0 +1,349 @@
+//! Sets of Allen relations.
+//!
+//! The constraint language of the paper uses both basic relations
+//! (`before`, `overlaps`) and *disjunctive* temporal predicates — most
+//! prominently `disjoint(t, t')` in constraint c2, which is the union
+//! `{before, meets, metBy, after}`. An [`AllenSet`] is a bitset over the
+//! 13 basic relations and is the semantic domain of every temporal
+//! predicate in TeCoRe.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not, Sub};
+
+use crate::allen::AllenRelation;
+use crate::interval::Interval;
+
+/// A set of basic Allen relations, stored as a 13-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AllenSet(u16);
+
+const MASK: u16 = (1 << 13) - 1;
+
+impl AllenSet {
+    /// The empty relation set (holds for no interval pair).
+    pub const EMPTY: AllenSet = AllenSet(0);
+    /// The full set (holds for every interval pair).
+    pub const FULL: AllenSet = AllenSet(MASK);
+    /// `disjoint` — no shared time point: `{before, meets, metBy, after}`.
+    ///
+    /// This is the predicate of the paper's constraint c2 ("a person
+    /// cannot coach two clubs at the same time").
+    pub const DISJOINT: AllenSet = AllenSet(
+        (1 << AllenRelation::Before as u16)
+            | (1 << AllenRelation::Meets as u16)
+            | (1 << AllenRelation::MetBy as u16)
+            | (1 << AllenRelation::After as u16),
+    );
+    /// `intersects` (a.k.a. `overlap` in constraint c3) — at least one
+    /// shared time point: the complement of [`AllenSet::DISJOINT`].
+    pub const INTERSECTS: AllenSet = AllenSet(MASK ^ AllenSet::DISJOINT.0);
+
+    /// The singleton set of one basic relation.
+    pub const fn from_relation(r: AllenRelation) -> AllenSet {
+        AllenSet(1 << (r as u16))
+    }
+
+    /// Builds a set from an iterator of basic relations.
+    pub fn from_relations<I: IntoIterator<Item = AllenRelation>>(rels: I) -> AllenSet {
+        let mut s = AllenSet::EMPTY;
+        for r in rels {
+            s = s.insert(r);
+        }
+        s
+    }
+
+    /// Raw 13-bit mask.
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Builds from a raw mask, truncating to 13 bits.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> AllenSet {
+        AllenSet(bits & MASK)
+    }
+
+    /// Adds a relation.
+    #[must_use]
+    pub const fn insert(self, r: AllenRelation) -> AllenSet {
+        AllenSet(self.0 | (1 << (r as u16)))
+    }
+
+    /// Removes a relation.
+    #[must_use]
+    pub const fn remove(self, r: AllenRelation) -> AllenSet {
+        AllenSet(self.0 & !(1 << (r as u16)))
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, r: AllenRelation) -> bool {
+        self.0 & (1 << (r as u16)) != 0
+    }
+
+    /// Number of basic relations in the set.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Is this the empty set?
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Does the (disjunctive) relation hold between `a` and `b`?
+    ///
+    /// True iff the unique basic relation between `a` and `b` is a member.
+    #[inline]
+    pub fn holds(self, a: Interval, b: Interval) -> bool {
+        self.contains(AllenRelation::between(a, b))
+    }
+
+    /// The converse set: `s.converse().holds(b, a) == s.holds(a, b)`.
+    pub fn converse(self) -> AllenSet {
+        let mut out = AllenSet::EMPTY;
+        for r in self.iter() {
+            out = out.insert(r.converse());
+        }
+        out
+    }
+
+    /// Iterates over the member relations in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = AllenRelation> {
+        AllenRelation::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: AllenSet) -> AllenSet {
+        AllenSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersection(self, other: AllenSet) -> AllenSet {
+        AllenSet(self.0 & other.0)
+    }
+
+    /// Complement within the 13 relations.
+    #[must_use]
+    pub const fn complement(self) -> AllenSet {
+        AllenSet(!self.0 & MASK)
+    }
+
+    /// Named temporal predicates of the constraint language.
+    ///
+    /// Basic relation names resolve to singletons; the derived predicates
+    /// `disjoint`, `intersects` and `overlap` (the paper uses both
+    /// `overlaps` for the basic relation and `overlap` for "shares time",
+    /// cf. constraints c2/c3) resolve to their disjunctions.
+    pub fn parse(name: &str) -> Option<AllenSet> {
+        if let Some(basic) = AllenRelation::parse(name) {
+            return Some(AllenSet::from_relation(basic));
+        }
+        match name.to_ascii_lowercase().as_str() {
+            "disjoint" => Some(AllenSet::DISJOINT),
+            "intersects" | "overlap" | "coexists" => Some(AllenSet::INTERSECTS),
+            "any" => Some(AllenSet::FULL),
+            _ => None,
+        }
+    }
+
+    /// The canonical name if this set is a named predicate, else `None`.
+    pub fn canonical_name(self) -> Option<&'static str> {
+        if self == AllenSet::DISJOINT {
+            return Some("disjoint");
+        }
+        if self == AllenSet::INTERSECTS {
+            return Some("intersects");
+        }
+        if self == AllenSet::FULL {
+            return Some("any");
+        }
+        if self.len() == 1 {
+            return self.iter().next().map(|r| r.name());
+        }
+        None
+    }
+
+    /// All names understood by [`AllenSet::parse`], for auto-completion.
+    pub fn known_names() -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = AllenRelation::ALL.iter().map(|r| r.name()).collect();
+        names.extend(["disjoint", "intersects", "overlap", "any"]);
+        names
+    }
+}
+
+impl BitOr for AllenSet {
+    type Output = AllenSet;
+    fn bitor(self, rhs: AllenSet) -> AllenSet {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for AllenSet {
+    type Output = AllenSet;
+    fn bitand(self, rhs: AllenSet) -> AllenSet {
+        self.intersection(rhs)
+    }
+}
+
+impl Not for AllenSet {
+    type Output = AllenSet;
+    fn not(self) -> AllenSet {
+        self.complement()
+    }
+}
+
+impl Sub for AllenSet {
+    type Output = AllenSet;
+    fn sub(self, rhs: AllenSet) -> AllenSet {
+        AllenSet(self.0 & !rhs.0)
+    }
+}
+
+impl From<AllenRelation> for AllenSet {
+    fn from(r: AllenRelation) -> AllenSet {
+        AllenSet::from_relation(r)
+    }
+}
+
+impl FromIterator<AllenRelation> for AllenSet {
+    fn from_iter<T: IntoIterator<Item = AllenRelation>>(iter: T) -> AllenSet {
+        AllenSet::from_relations(iter)
+    }
+}
+
+impl fmt::Display for AllenSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = self.canonical_name() {
+            return f.write_str(name);
+        }
+        write!(f, "{{")?;
+        for (i, r) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, "|")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for AllenSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn disjoint_is_complement_of_intersects() {
+        assert_eq!(AllenSet::DISJOINT.complement(), AllenSet::INTERSECTS);
+        assert_eq!(AllenSet::DISJOINT.union(AllenSet::INTERSECTS), AllenSet::FULL);
+        assert!(AllenSet::DISJOINT.intersection(AllenSet::INTERSECTS).is_empty());
+    }
+
+    #[test]
+    fn disjoint_semantics_match_interval_intersects() {
+        let pairs = [
+            (iv(1, 5), iv(7, 9)),
+            (iv(1, 5), iv(6, 9)),
+            (iv(1, 5), iv(5, 9)),
+            (iv(2000, 2004), iv(2001, 2003)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(AllenSet::DISJOINT.holds(a, b), !a.intersects(b), "{a} {b}");
+            assert_eq!(AllenSet::INTERSECTS.holds(a, b), a.intersects(b), "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn named_predicates_parse() {
+        assert_eq!(AllenSet::parse("disjoint"), Some(AllenSet::DISJOINT));
+        assert_eq!(AllenSet::parse("overlap"), Some(AllenSet::INTERSECTS));
+        assert_eq!(
+            AllenSet::parse("before"),
+            Some(AllenSet::from_relation(AllenRelation::Before))
+        );
+        assert_eq!(AllenSet::parse("garbage"), None);
+    }
+
+    #[test]
+    fn canonical_names() {
+        assert_eq!(AllenSet::DISJOINT.canonical_name(), Some("disjoint"));
+        assert_eq!(
+            AllenSet::from_relation(AllenRelation::Meets).canonical_name(),
+            Some("meets")
+        );
+        let odd = AllenSet::from_relations([AllenRelation::Before, AllenRelation::Equals]);
+        assert_eq!(odd.canonical_name(), None);
+        assert_eq!(odd.to_string(), "{before|equals}");
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let s = AllenSet::EMPTY.insert(AllenRelation::During);
+        assert!(s.contains(AllenRelation::During));
+        assert_eq!(s.len(), 1);
+        assert!(!s.remove(AllenRelation::During).contains(AllenRelation::During));
+    }
+
+    #[test]
+    fn operators() {
+        let a = AllenSet::from_relation(AllenRelation::Before);
+        let b = AllenSet::from_relation(AllenRelation::After);
+        assert_eq!((a | b).len(), 2);
+        assert!((a & b).is_empty());
+        assert_eq!((!a).len(), 12);
+        assert_eq!(((a | b) - b), a);
+    }
+
+    fn arb_set() -> impl Strategy<Value = AllenSet> {
+        (0u16..(1 << 13)).prop_map(AllenSet::from_bits)
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (-30i64..30, 0i64..20).prop_map(|(s, l)| iv(s, s + l))
+    }
+
+    proptest! {
+        #[test]
+        fn converse_law(s in arb_set(), a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(s.converse().holds(b, a), s.holds(a, b));
+        }
+
+        #[test]
+        fn converse_involution(s in arb_set()) {
+            prop_assert_eq!(s.converse().converse(), s);
+        }
+
+        #[test]
+        fn holds_iff_member(s in arb_set(), a in arb_interval(), b in arb_interval()) {
+            let basic = AllenRelation::between(a, b);
+            prop_assert_eq!(s.holds(a, b), s.contains(basic));
+        }
+
+        #[test]
+        fn de_morgan(x in arb_set(), y in arb_set()) {
+            prop_assert_eq!(!(x | y), (!x) & (!y));
+            prop_assert_eq!(!(x & y), (!x) | (!y));
+        }
+
+        #[test]
+        fn iter_matches_len(s in arb_set()) {
+            prop_assert_eq!(s.iter().count() as u32, s.len());
+        }
+    }
+}

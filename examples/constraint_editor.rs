@@ -1,0 +1,69 @@
+//! The constraints editor flow (Figures 3 and 5) as a headless session.
+//!
+//! The demo's Web UI lets the audience select a uTKG, build constraints
+//! with predicate auto-completion, and inspect the result statistics.
+//! This example drives the same [`tecore_core::Session`] API the UI
+//! would sit on: it shows completions for partial tokens, rejects an
+//! ill-formed constraint with the editor's error message, then builds
+//! the paper's constraint set and runs the debugger.
+//!
+//! Run with: `cargo run --release --example constraint_editor`
+
+use tecore_core::Session;
+use tecore_datagen::standard::ranieri_utkg;
+
+fn main() {
+    let mut session = Session::new();
+    session.add_dataset("ranieri (Figure 1)", ranieri_utkg());
+    session.select("ranieri (Figure 1)").unwrap();
+
+    println!("== datasets ==");
+    for name in session.dataset_names() {
+        println!("  {name}");
+    }
+    println!("\n== selected graph ==\n{}", session.graph_stats().unwrap());
+
+    // Figure 5: predicate auto-completion while typing a constraint.
+    println!("== auto-completion ==");
+    for partial in ["co", "birth", "dis", "bef"] {
+        let hits = session.complete(partial, 4).unwrap();
+        let texts: Vec<&str> = hits.iter().map(|s| s.text.as_str()).collect();
+        println!("  `{partial}` → {texts:?}");
+    }
+
+    // The editor validates input and explains what is wrong.
+    println!("\n== validation ==");
+    let bad = "quad(x, coach, y, t) -> quad(x, coach, z2, t) w = 1.0";
+    match session.add_formula(bad) {
+        Ok(_) => unreachable!("unsafe formula must be rejected"),
+        Err(e) => println!("  rejected `{bad}`:\n    {e}"),
+    }
+
+    // Build the paper's program interactively.
+    println!("\n== registered formulas ==");
+    for src in [
+        "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5",
+        "c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf",
+        "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+        "c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf",
+    ] {
+        let rendered = session.add_formula(src).unwrap();
+        println!("  + {rendered}");
+    }
+
+    // Run and browse, like the results screen of Figure 8.
+    let resolution = session.run().unwrap();
+    println!("\n{}", resolution.stats);
+    println!("consistent statements:");
+    for (_, fact) in resolution.consistent.iter() {
+        println!("  {}", fact.display(resolution.consistent.dict()));
+    }
+    println!("conflicting statements:");
+    for removed in &resolution.removed {
+        println!("  {}", removed.fact.display(resolution.consistent.dict()));
+    }
+    println!("\nwhy:");
+    for conflict in &resolution.conflicts {
+        print!("{conflict}");
+    }
+}

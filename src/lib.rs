@@ -1,0 +1,47 @@
+//! # tecore
+//!
+//! Facade crate for the TeCoRe system — a from-scratch Rust reproduction
+//! of *"TeCoRe: Temporal Conflict Resolution in Knowledge Graphs"*
+//! (Chekol, Pirrò, Schoenfisch, Stuckenschmidt; VLDB 2017).
+//!
+//! TeCoRe detects and repairs temporal conflicts in **uncertain temporal
+//! knowledge graphs** (uTKGs): RDF-style facts carrying a validity
+//! interval and a confidence score. Users provide weighted temporal
+//! inference rules and temporal constraints over Allen's interval
+//! relations; TeCoRe translates everything into a probabilistic-logic
+//! program and computes the **most probable conflict-free KG** by MAP
+//! inference, using either
+//!
+//! * an **MLN** backend (expressive; exact branch-and-bound /
+//!   MaxWalkSAT / cutting-plane MaxSAT solvers), or
+//! * a **PSL** backend (scalable; hinge-loss MRF solved by consensus
+//!   ADMM).
+//!
+//! This crate re-exports the subsystem crates; most applications only
+//! need [`tecore_core`] (pipeline + session API) and
+//! [`tecore_datagen`] (synthetic workloads).
+//!
+//! ```
+//! use tecore::prelude::*;
+//!
+//! // The paper's running example: see `examples/quickstart.rs`.
+//! let graph = tecore_datagen::standard::ranieri_utkg();
+//! assert_eq!(graph.len(), 5);
+//! ```
+
+pub use tecore_core;
+pub use tecore_datagen;
+pub use tecore_ground;
+pub use tecore_kg;
+pub use tecore_logic;
+pub use tecore_mln;
+pub use tecore_psl;
+pub use tecore_temporal;
+
+/// Convenience re-exports for typical applications.
+pub mod prelude {
+    pub use tecore_core::prelude::*;
+    pub use tecore_kg::{Dictionary, TemporalFact, UtkGraph};
+    pub use tecore_logic::program::LogicProgram;
+    pub use tecore_temporal::{AllenRelation, AllenSet, Interval, TimeDomain, TimePoint};
+}

@@ -1,0 +1,172 @@
+//! End-to-end integration tests: the paper's running example through
+//! the public facade, on every backend.
+
+use tecore::prelude::*;
+use tecore_core::pipeline::{Backend, ConfidenceMode, TecoreConfig};
+use tecore_datagen::standard::{paper_constraints, paper_program, paper_rules, ranieri_utkg};
+use tecore_mln::marginal::GibbsConfig;
+use tecore_mln::{CpiConfig, WalkSatConfig};
+use tecore_temporal::Interval as Iv;
+
+fn all_backends() -> Vec<Backend> {
+    vec![
+        Backend::MlnExact,
+        Backend::MlnWalkSat(WalkSatConfig::default()),
+        Backend::MlnCuttingPlane(CpiConfig::default()),
+        Backend::default_psl(),
+    ]
+}
+
+/// Figure 7: facts (1)-(4) kept, fact (5) removed, worksFor derived.
+#[test]
+fn figure_7_on_every_backend() {
+    for backend in all_backends() {
+        let name = backend.name();
+        let config = TecoreConfig {
+            backend,
+            ..TecoreConfig::default()
+        };
+        let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
+            .resolve()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(r.stats.feasible, "{name}");
+        assert_eq!(r.consistent.len(), 4, "{name}");
+        assert_eq!(r.removed.len(), 1, "{name}");
+        assert_eq!(
+            r.consistent.dict().resolve(r.removed[0].fact.object),
+            "Napoli",
+            "{name}"
+        );
+        assert_eq!(
+            r.removed[0].fact.interval,
+            Iv::new(2001, 2003).unwrap(),
+            "{name}"
+        );
+        // Figure 7 keeps exactly the other four statements.
+        let kept: Vec<String> = r
+            .consistent
+            .iter()
+            .map(|(_, f)| r.consistent.dict().resolve(f.object).to_string())
+            .collect();
+        for obj in ["Chelsea", "Leicester", "Palermo", "1951"] {
+            assert!(kept.contains(&obj.to_string()), "{name}: missing {obj}");
+        }
+        // Inference expanded the KG (f1).
+        assert_eq!(r.inferred.len(), 1, "{name}");
+        assert_eq!(r.inferred[0].predicate, "worksFor", "{name}");
+        assert_eq!(r.inferred[0].interval, Iv::new(1984, 1986).unwrap(), "{name}");
+    }
+}
+
+/// Rules alone derive but never remove; constraints alone remove but
+/// never derive.
+#[test]
+fn rules_and_constraints_separate_roles() {
+    let rules_only = Tecore::new(ranieri_utkg(), paper_rules()).resolve().unwrap();
+    assert_eq!(rules_only.removed.len(), 0);
+    assert_eq!(rules_only.inferred.len(), 1);
+
+    let constraints_only = Tecore::new(ranieri_utkg(), paper_constraints())
+        .resolve()
+        .unwrap();
+    assert_eq!(constraints_only.removed.len(), 1);
+    assert_eq!(constraints_only.inferred.len(), 0);
+}
+
+/// The rule chain f1 → f2 works through the facade with a locatedIn
+/// fact present (deriving livesIn over the intersection).
+#[test]
+fn rule_chain_derives_lives_in() {
+    let mut graph = ranieri_utkg();
+    graph
+        .insert("Palermo", "locatedIn", "Sicily", Iv::new(1900, 2020).unwrap(), 0.95)
+        .unwrap();
+    let r = Tecore::new(graph, paper_program()).resolve().unwrap();
+    let lives_in: Vec<_> = r
+        .inferred
+        .iter()
+        .filter(|f| f.predicate == "livesIn")
+        .collect();
+    assert_eq!(lives_in.len(), 1);
+    assert_eq!(lives_in[0].object, "Sicily");
+    assert_eq!(lives_in[0].interval, Iv::new(1984, 1986).unwrap());
+}
+
+/// f3 fires for a teenager: a player whose playsFor starts less than 20
+/// years after birth becomes a TeenPlayer.
+#[test]
+fn teen_player_rule_fires() {
+    let mut graph = UtkGraph::new();
+    graph
+        .insert("Kid", "playsFor", "Ajax", Iv::new(2010, 2012).unwrap(), 0.8)
+        .unwrap();
+    graph
+        .insert("Kid", "birthDate", "1994", Iv::new(1994, 2017).unwrap(), 0.9)
+        .unwrap();
+    let r = Tecore::new(graph, paper_rules()).resolve().unwrap();
+    assert!(
+        r.inferred.iter().any(|f| f.object == "TeenPlayer"),
+        "16-year-old must be classified: {:?}",
+        r.inferred
+    );
+
+    // Ranieri (33 at Palermo) must NOT be a teen player.
+    let r = Tecore::new(ranieri_utkg(), paper_rules()).resolve().unwrap();
+    assert!(!r.inferred.iter().any(|f| f.object == "TeenPlayer"));
+}
+
+/// Gibbs-graded confidences are consistent across MLN backends and
+/// usable for thresholding.
+#[test]
+fn marginal_confidence_thresholding() {
+    let config = TecoreConfig {
+        backend: Backend::MlnExact,
+        confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
+        threshold: 0.5,
+        ..TecoreConfig::default()
+    };
+    let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
+        .resolve()
+        .unwrap();
+    // The worksFor derivation is well-supported; it survives τ=0.5.
+    assert_eq!(r.inferred.len(), 1);
+    assert!(r.inferred[0].confidence >= 0.5);
+}
+
+/// The expanded graph round-trips through the text format.
+#[test]
+fn expanded_graph_roundtrip() {
+    let r = Tecore::new(ranieri_utkg(), paper_program()).resolve().unwrap();
+    let expanded = r.expanded_graph();
+    assert_eq!(expanded.len(), 5);
+    let text = tecore_kg::writer::write_graph(&expanded);
+    let reparsed = tecore_kg::parser::parse_graph(&text).unwrap();
+    assert_eq!(reparsed.len(), expanded.len());
+}
+
+/// A second conflicting pair (bornIn, constraint c3) resolves in the
+/// same run as the coach clash.
+#[test]
+fn multiple_constraint_classes_in_one_run() {
+    let mut graph = ranieri_utkg();
+    graph
+        .insert("CR", "bornIn", "Rome", Iv::new(1951, 2017).unwrap(), 0.95)
+        .unwrap();
+    graph
+        .insert("CR", "bornIn", "Naples", Iv::new(1951, 2017).unwrap(), 0.4)
+        .unwrap();
+    let r = Tecore::new(graph, paper_program()).resolve().unwrap();
+    assert!(r.stats.feasible);
+    assert_eq!(r.removed.len(), 2, "{:?}", r.removed);
+    let removed_objs: Vec<&str> = r
+        .removed
+        .iter()
+        .map(|f| r.consistent.dict().resolve(f.fact.object))
+        .collect();
+    assert!(removed_objs.contains(&"Napoli"));
+    assert!(removed_objs.contains(&"Naples"), "weaker bornIn loses");
+    // Both constraints show up in the statistics.
+    let names: Vec<&str> = r.stats.per_constraint.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"c2"));
+    assert!(names.contains(&"c3"));
+}
