@@ -27,17 +27,12 @@ fn bench_ablation_admm(c: &mut Criterion) {
                     ..AdmmConfig::default()
                 },
             };
-            let label = format!(
-                "{}-rho{rho}",
-                if squared { "squared" } else { "linear" }
-            );
+            let label = format!("{}-rho{rho}", if squared { "squared" } else { "linear" });
             group.bench_with_input(
                 BenchmarkId::from_parameter(label),
                 &generated,
                 |b, generated| {
-                    b.iter(|| {
-                        black_box(harness::resolve(generated, &program, backend.clone()))
-                    })
+                    b.iter(|| black_box(harness::resolve(generated, &program, backend.clone())))
                 },
             );
         }

@@ -31,9 +31,7 @@ fn bench_ablation_cpi(c: &mut Criterion) {
                 BenchmarkId::from_parameter(id),
                 &generated,
                 |b, generated| {
-                    b.iter(|| {
-                        black_box(harness::resolve(generated, &program, backend.clone()))
-                    })
+                    b.iter(|| black_box(harness::resolve(generated, &program, backend.clone())))
                 },
             );
         }

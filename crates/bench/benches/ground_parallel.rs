@@ -1,0 +1,45 @@
+//! A4 — serial vs parallel clause emission in the grounder on the
+//! Wikidata workload (the `wikidata_scaling` input).
+//!
+//! Run with the feature enabled to see the win:
+//!
+//! ```text
+//! cargo bench --features parallel --bench ground_parallel
+//! ```
+//!
+//! Without `--features parallel` the `parallel` rows degrade to the
+//! serial path (the runtime flag is inert), which makes the no-feature
+//! run a sanity baseline: both rows should then time identically.
+//! The `wikidata_program` grounds several independent formulas per
+//! round, which is exactly the fan-out axis the grounder parallelises
+//! (one worker per formula over the frozen atom-store snapshot).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tecore_bench::harness;
+use tecore_datagen::standard::wikidata_program;
+use tecore_ground::{ground, GroundConfig};
+
+fn bench_ground_parallel(c: &mut Criterion) {
+    let program = wikidata_program();
+    let mut group = c.benchmark_group("a4_ground_parallel");
+    group.sample_size(10);
+    for size in [20_000usize, 80_000] {
+        let generated = harness::wikidata(size);
+        group.throughput(Throughput::Elements(generated.graph.len() as u64));
+        for (label, parallel) in [("serial", false), ("parallel", true)] {
+            let config = GroundConfig {
+                parallel,
+                ..GroundConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, size), &generated, |b, generated| {
+                b.iter(|| black_box(ground(&generated.graph, &program, &config).expect("grounds")))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ground_parallel);
+criterion_main!(benches);

@@ -41,15 +41,9 @@ fn bench_map_footballdb(c: &mut Criterion) {
             ("mln-cpi-quality-matched", quality_matched_mln()),
             ("psl-admm", Backend::default_psl()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, size),
-                &generated,
-                |b, generated| {
-                    b.iter(|| {
-                        black_box(harness::resolve(generated, &program, backend.clone()))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, size), &generated, |b, generated| {
+                b.iter(|| black_box(harness::resolve(generated, &program, backend.clone())))
+            });
         }
     }
     group.finish();

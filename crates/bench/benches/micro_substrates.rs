@@ -20,7 +20,9 @@ fn bench_allen(c: &mut Criterion) {
         })
         .collect();
     let mut group = c.benchmark_group("a3_allen");
-    group.throughput(Throughput::Elements((intervals.len() * intervals.len()) as u64));
+    group.throughput(Throughput::Elements(
+        (intervals.len() * intervals.len()) as u64,
+    ));
     group.bench_function("between_all_pairs", |b| {
         b.iter(|| {
             let mut acc = 0usize;
@@ -70,7 +72,9 @@ fn bench_coalesce(c: &mut Criterion) {
 }
 
 fn bench_dictionary(c: &mut Criterion) {
-    let terms: Vec<String> = (0..10_000).map(|i| format!("entity_{}", i % 4_000)).collect();
+    let terms: Vec<String> = (0..10_000)
+        .map(|i| format!("entity_{}", i % 4_000))
+        .collect();
     c.bench_function("a3_dictionary_intern_10k", |b| {
         b.iter(|| {
             let mut d = Dictionary::new();
@@ -94,8 +98,7 @@ fn bench_parse_and_ground(c: &mut Criterion) {
     group.bench_function("ground_8k_facts", |b| {
         b.iter(|| {
             black_box(
-                ground(&generated.graph, &program, &GroundConfig::default())
-                    .expect("grounds"),
+                ground(&generated.graph, &program, &GroundConfig::default()).expect("grounds"),
             )
         })
     });

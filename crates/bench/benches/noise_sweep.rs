@@ -27,9 +27,7 @@ fn bench_noise_sweep(c: &mut Criterion) {
                 BenchmarkId::from_parameter(label),
                 &generated,
                 |b, generated| {
-                    b.iter(|| {
-                        black_box(harness::resolve(generated, &program, backend.clone()))
-                    })
+                    b.iter(|| black_box(harness::resolve(generated, &program, backend.clone())))
                 },
             );
         }

@@ -48,7 +48,7 @@ fn bench_threshold(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("grade", label), |b| {
             b.iter(|| {
                 let config = TecoreConfig {
-                    backend: Backend::default(),
+                    backend: Backend::default().into(),
                     confidence: confidence.clone(),
                     ..TecoreConfig::default()
                 };
@@ -63,7 +63,7 @@ fn bench_threshold(c: &mut Criterion) {
 
     // The filter sweep itself.
     let config = TecoreConfig {
-        backend: Backend::default(),
+        backend: Backend::default().into(),
         confidence: ConfidenceMode::Gibbs(GibbsConfig {
             burn_in: 20,
             samples: 80,

@@ -12,7 +12,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use tecore_bench::harness;
-use tecore_core::pipeline::Backend;
 use tecore_datagen::standard::wikidata_program;
 
 fn bench_wikidata_scaling(c: &mut Criterion) {
@@ -22,16 +21,12 @@ fn bench_wikidata_scaling(c: &mut Criterion) {
     for size in [10_000usize, 40_000, 160_000] {
         let generated = harness::wikidata(size);
         group.throughput(Throughput::Elements(generated.graph.len() as u64));
-        for backend in [Backend::default(), Backend::default_psl()] {
-            group.bench_with_input(
-                BenchmarkId::new(backend.name(), size),
-                &generated,
-                |b, generated| {
-                    b.iter(|| {
-                        black_box(harness::resolve(generated, &program, backend.clone()))
-                    })
-                },
-            );
+        // Backends resolved by registry name through the harness.
+        for name in ["mln-cpi", "psl-admm"] {
+            let backend = harness::solver(name);
+            group.bench_with_input(BenchmarkId::new(name, size), &generated, |b, generated| {
+                b.iter(|| black_box(harness::resolve(generated, &program, backend.clone())))
+            });
         }
     }
     group.finish();

@@ -45,7 +45,7 @@ fn e1_running_example() {
     ] {
         let name = backend.name();
         let config = TecoreConfig {
-            backend,
+            backend: backend.into(),
             ..TecoreConfig::default()
         };
         let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
@@ -181,7 +181,7 @@ fn e5_threshold() {
             .unwrap();
     }
     let config = TecoreConfig {
-        backend: Backend::default(),
+        backend: Backend::default().into(),
         confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
         ..TecoreConfig::default()
     };

@@ -1,6 +1,7 @@
 //! Shared workload construction for the experiment benches.
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{SolverHandle, Tecore, TecoreConfig};
+use tecore_core::registry::SolverRegistry;
 use tecore_core::resolution::Resolution;
 use tecore_datagen::config::{FootballConfig, WikidataConfig};
 use tecore_datagen::football::generate_football;
@@ -21,8 +22,9 @@ pub fn football(total_facts: usize) -> GeneratedKg {
 /// FootballDB workload at an explicit noise ratio (E4).
 pub fn football_noisy(total_facts: usize, noise_ratio: f64) -> GeneratedKg {
     let correct = total_facts as f64 / (1.0 + noise_ratio);
-    let players =
-        (correct / FootballConfig::FACTS_PER_PLAYER).round().max(1.0) as usize;
+    let players = (correct / FootballConfig::FACTS_PER_PLAYER)
+        .round()
+        .max(1.0) as usize;
     generate_football(&FootballConfig {
         players,
         noise_ratio,
@@ -41,12 +43,29 @@ pub fn wikidata(total_facts: usize) -> GeneratedKg {
 }
 
 /// Runs the full pipeline with a backend over a prepared workload.
-pub fn resolve(generated: &GeneratedKg, program: &LogicProgram, backend: Backend) -> Resolution {
+///
+/// Accepts anything convertible to a [`SolverHandle`]: a
+/// `tecore_core::Backend` spec or a handle resolved from a registry.
+pub fn resolve(
+    generated: &GeneratedKg,
+    program: &LogicProgram,
+    backend: impl Into<SolverHandle>,
+) -> Resolution {
     let config = TecoreConfig {
-        backend,
+        backend: backend.into(),
         ..TecoreConfig::default()
     };
     Tecore::with_config(generated.graph.clone(), program.clone(), config)
         .resolve()
         .expect("benchmark workload resolves")
+}
+
+/// Resolves a backend by registry name (default-configured seed
+/// substrates), so bench matrices can be driven by name lists. Resolve
+/// once outside the measured loop and pass the cheap-to-clone handle
+/// to [`resolve`].
+pub fn solver(name: &str) -> SolverHandle {
+    SolverRegistry::with_default_backends()
+        .resolve(name)
+        .expect("benchmark backend name registered")
 }

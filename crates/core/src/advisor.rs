@@ -88,7 +88,10 @@ fn suggest_disjointness(
     let mut per_subject: HashMap<Symbol, Vec<(tecore_kg::FactId, tecore_temporal::Interval)>> =
         HashMap::new();
     for (id, f) in graph.facts_with_predicate(p) {
-        per_subject.entry(f.subject).or_default().push((id, f.interval));
+        per_subject
+            .entry(f.subject)
+            .or_default()
+            .push((id, f.interval));
     }
     let mut pairs = 0usize;
     let mut overlapping = 0usize;
@@ -127,10 +130,12 @@ fn suggest_functional(
     pname: &str,
     config: &AdvisorConfig,
 ) -> Option<SuggestedConstraint> {
-    let mut per_subject: HashMap<Symbol, Vec<(Symbol, tecore_temporal::Interval)>> =
-        HashMap::new();
+    let mut per_subject: HashMap<Symbol, Vec<(Symbol, tecore_temporal::Interval)>> = HashMap::new();
     for (_, f) in graph.facts_with_predicate(p) {
-        per_subject.entry(f.subject).or_default().push((f.object, f.interval));
+        per_subject
+            .entry(f.subject)
+            .or_default()
+            .push((f.object, f.interval));
     }
     let mut concurrent_pairs = 0usize;
     let mut disagreeing = 0usize;
@@ -322,7 +327,13 @@ mod tests {
     fn insufficient_support_suggests_nothing() {
         let mut graph = UtkGraph::new();
         graph
-            .insert("a", "coach", "b", tecore_temporal::Interval::new(1, 2).unwrap(), 0.9)
+            .insert(
+                "a",
+                "coach",
+                "b",
+                tecore_temporal::Interval::new(1, 2).unwrap(),
+                0.9,
+            )
             .unwrap();
         let suggestions = suggest_constraints(&graph, &AdvisorConfig::default());
         assert!(suggestions.is_empty());

@@ -1,0 +1,158 @@
+//! Backend **specifications** and their construction into live solvers.
+//!
+//! [`Backend`] is the user-facing configuration DSL: a closed set of
+//! named, configured presets matching the paper's two reasoners and
+//! their solver modes. It is *only* a description — the pipeline never
+//! matches on it. Construction into a runnable [`SolverHandle`] happens
+//! here, once, via `From<Backend>`; everything downstream (pipeline,
+//! session, benches) works with the open `dyn MapSolver` interface, so
+//! backends outside this enum (registered via
+//! [`crate::registry::SolverRegistry`]) are first-class citizens.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use tecore_ground::MapSolver;
+use tecore_mln::{BranchAndBound, CpiConfig, CpiSolver, MaxWalkSat, WalkSatConfig};
+use tecore_psl::{AdmmConfig, PslAdmm, PslConfig};
+
+/// Which reasoner computes the MAP state (paper §2.1: nRockIt vs nPSL).
+///
+/// A convenience spec for the four in-tree substrates; convert with
+/// `SolverHandle::from` (or `.into()`) to obtain the runnable solver.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// MLN with the exact branch & bound solver.
+    MlnExact,
+    /// MLN with MaxWalkSAT over the eager grounding.
+    MlnWalkSat(WalkSatConfig),
+    /// MLN with cutting-plane inference (lazy constraint grounding) —
+    /// the nRockIt configuration.
+    MlnCuttingPlane(CpiConfig),
+    /// PSL solved by consensus ADMM — the nPSL configuration.
+    PslAdmm {
+        /// HL-MRF construction options.
+        psl: PslConfig,
+        /// ADMM parameters.
+        admm: AdmmConfig,
+    },
+}
+
+impl Backend {
+    /// Short identifier used in statistics output and registry lookup.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::MlnExact => "mln-exact",
+            Backend::MlnWalkSat(_) => "mln-walksat",
+            Backend::MlnCuttingPlane(_) => "mln-cpi",
+            Backend::PslAdmm { .. } => "psl-admm",
+        }
+    }
+
+    /// The default PSL backend.
+    pub fn default_psl() -> Backend {
+        Backend::PslAdmm {
+            psl: PslConfig::default(),
+            admm: AdmmConfig::default(),
+        }
+    }
+}
+
+impl Default for Backend {
+    /// The paper's default reasoner is the MLN one; cutting-plane
+    /// inference is its scalable configuration.
+    fn default() -> Self {
+        Backend::MlnCuttingPlane(CpiConfig::default())
+    }
+}
+
+/// A shared, cloneable handle to a MAP solver.
+///
+/// This is what [`crate::pipeline::TecoreConfig`] stores and what the
+/// [`crate::registry::SolverRegistry`] hands out. It derefs to
+/// `dyn MapSolver`, so `handle.name()`, `handle.caps()` and
+/// `handle.solve(..)` all work directly.
+#[derive(Debug, Clone)]
+pub struct SolverHandle(Arc<dyn MapSolver>);
+
+impl SolverHandle {
+    /// Wraps a concrete solver.
+    pub fn new(solver: impl MapSolver + 'static) -> Self {
+        SolverHandle(Arc::new(solver))
+    }
+
+    /// Wraps an already-shared solver.
+    pub fn from_arc(solver: Arc<dyn MapSolver>) -> Self {
+        SolverHandle(solver)
+    }
+
+    /// The underlying shared solver.
+    pub fn as_arc(&self) -> &Arc<dyn MapSolver> {
+        &self.0
+    }
+}
+
+impl Deref for SolverHandle {
+    type Target = dyn MapSolver;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl Default for SolverHandle {
+    fn default() -> Self {
+        Backend::default().into()
+    }
+}
+
+impl From<Backend> for SolverHandle {
+    /// The single place where the closed [`Backend`] spec meets the
+    /// open solver interface.
+    fn from(backend: Backend) -> Self {
+        match backend {
+            Backend::MlnExact => SolverHandle::new(BranchAndBound::new()),
+            Backend::MlnWalkSat(config) => SolverHandle::new(MaxWalkSat::new(config)),
+            Backend::MlnCuttingPlane(config) => SolverHandle::new(CpiSolver::new(config)),
+            Backend::PslAdmm { psl, admm } => SolverHandle::new(PslAdmm::new(psl, admm)),
+        }
+    }
+}
+
+impl From<Arc<dyn MapSolver>> for SolverHandle {
+    fn from(solver: Arc<dyn MapSolver>) -> Self {
+        SolverHandle(solver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_names_match_solver_names() {
+        for backend in [
+            Backend::MlnExact,
+            Backend::MlnWalkSat(WalkSatConfig::default()),
+            Backend::MlnCuttingPlane(CpiConfig::default()),
+            Backend::default_psl(),
+        ] {
+            let name = backend.name();
+            let handle = SolverHandle::from(backend);
+            assert_eq!(handle.name(), name);
+        }
+    }
+
+    #[test]
+    fn default_backend_is_cpi() {
+        assert_eq!(SolverHandle::default().name(), "mln-cpi");
+        assert!(SolverHandle::default().caps().lazy_grounding);
+    }
+
+    #[test]
+    fn handle_is_cheaply_cloneable() {
+        let a = SolverHandle::default();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(a.as_arc(), b.as_arc()));
+    }
+}

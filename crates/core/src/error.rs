@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use tecore_ground::SolveError;
 use tecore_kg::KgError;
 use tecore_logic::LogicError;
 
@@ -12,7 +13,10 @@ pub enum TecoreError {
     Logic(LogicError),
     /// Graph/data error.
     Kg(KgError),
-    /// A session-level misuse (unknown dataset, no program, ...).
+    /// A MAP backend failed (see `tecore_ground::SolveError`).
+    Solve(SolveError),
+    /// A session-level misuse (unknown dataset, no program, unknown
+    /// backend name, ...).
     Session(String),
 }
 
@@ -21,6 +25,7 @@ impl fmt::Display for TecoreError {
         match self {
             TecoreError::Logic(e) => write!(f, "logic error: {e}"),
             TecoreError::Kg(e) => write!(f, "knowledge-graph error: {e}"),
+            TecoreError::Solve(e) => write!(f, "solver error: {e}"),
             TecoreError::Session(msg) => write!(f, "session error: {msg}"),
         }
     }
@@ -31,6 +36,7 @@ impl std::error::Error for TecoreError {
         match self {
             TecoreError::Logic(e) => Some(e),
             TecoreError::Kg(e) => Some(e),
+            TecoreError::Solve(e) => Some(e),
             TecoreError::Session(_) => None,
         }
     }
@@ -45,6 +51,12 @@ impl From<LogicError> for TecoreError {
 impl From<KgError> for TecoreError {
     fn from(e: KgError) -> Self {
         TecoreError::Kg(e)
+    }
+}
+
+impl From<SolveError> for TecoreError {
+    fn from(e: SolveError) -> Self {
+        TecoreError::Solve(e)
     }
 }
 

@@ -39,9 +39,11 @@
 //! ```
 
 pub mod advisor;
+pub mod backends;
 pub mod error;
 pub mod explain;
 pub mod pipeline;
+pub mod registry;
 pub mod resolution;
 pub mod session;
 pub mod stats;
@@ -49,18 +51,27 @@ pub mod threshold;
 pub mod translate;
 
 pub use advisor::{suggest_constraints, AdvisorConfig, SuggestedConstraint};
+pub use backends::{Backend, SolverHandle};
 pub use error::TecoreError;
 pub use explain::ConflictExplanation;
-pub use pipeline::{Backend, ConfidenceMode, Tecore, TecoreConfig};
+pub use pipeline::{ConfidenceMode, Tecore, TecoreConfig};
+pub use registry::{BackendSelector, SolverRegistry};
 pub use resolution::{InferredFact, RemovedFact, Resolution};
 pub use session::Session;
 pub use stats::DebugStats;
+// The backend interface itself lives in `tecore-ground` (below the
+// substrate crates); re-exported here because this is where users meet
+// it.
+pub use tecore_ground::{MapSolver, MapState, SolveError, SolveOpts, SolverCaps};
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::backends::{Backend, SolverHandle};
     pub use crate::error::TecoreError;
-    pub use crate::pipeline::{Backend, ConfidenceMode, Tecore, TecoreConfig};
+    pub use crate::pipeline::{ConfidenceMode, Tecore, TecoreConfig};
+    pub use crate::registry::SolverRegistry;
     pub use crate::resolution::Resolution;
     pub use crate::session::Session;
     pub use crate::stats::DebugStats;
+    pub use tecore_ground::{MapSolver, MapState, SolverCaps};
 }

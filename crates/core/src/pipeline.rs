@@ -1,85 +1,51 @@
 //! The end-to-end conflict-resolution pipeline.
+//!
+//! The pipeline is **backend-agnostic**: it translates, asks its
+//! configured [`MapSolver`](tecore_ground::MapSolver) for a
+//! [`MapState`](tecore_ground::MapState), and interprets that state as
+//! a repaired knowledge graph. There is deliberately no per-backend
+//! dispatch anywhere in this module — what a solver can do is read off
+//! its [`SolverCaps`](tecore_ground::SolverCaps), so backends added at
+//! runtime through the [`crate::registry::SolverRegistry`] behave
+//! exactly like the built-in ones.
 
 use std::time::Instant;
 
-use tecore_ground::{AtomKind, GroundConfig, Grounding};
+use tecore_ground::{AtomKind, GroundConfig, SolveOpts};
 use tecore_kg::UtkGraph;
 use tecore_logic::LogicProgram;
 use tecore_mln::marginal::{gibbs_marginals, GibbsConfig};
-use tecore_mln::{BranchAndBound, CpiConfig, CpiSolver, MaxWalkSat, SatProblem, WalkSatConfig};
-use tecore_psl::{AdmmConfig, PslConfig};
+use tecore_mln::SatProblem;
 
+pub use crate::backends::{Backend, SolverHandle};
 use crate::error::TecoreError;
 use crate::resolution::{InferredFact, RemovedFact, Resolution};
 use crate::stats::DebugStats;
 use crate::threshold;
 use crate::translate::translate;
 
-/// Which reasoner computes the MAP state (paper §2.1: nRockIt vs PSL).
-#[derive(Debug, Clone)]
-pub enum Backend {
-    /// MLN with the exact branch & bound solver.
-    MlnExact,
-    /// MLN with MaxWalkSAT over the eager grounding.
-    MlnWalkSat(WalkSatConfig),
-    /// MLN with cutting-plane inference (lazy constraint grounding) —
-    /// the nRockIt configuration.
-    MlnCuttingPlane(CpiConfig),
-    /// PSL solved by consensus ADMM — the nPSL configuration.
-    PslAdmm {
-        /// HL-MRF construction options.
-        psl: PslConfig,
-        /// ADMM parameters.
-        admm: AdmmConfig,
-    },
-}
-
-impl Backend {
-    /// Short identifier used in statistics output.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Backend::MlnExact => "mln-exact",
-            Backend::MlnWalkSat(_) => "mln-walksat",
-            Backend::MlnCuttingPlane(_) => "mln-cpi",
-            Backend::PslAdmm { .. } => "psl-admm",
-        }
-    }
-
-    /// The default PSL backend.
-    pub fn default_psl() -> Backend {
-        Backend::PslAdmm {
-            psl: PslConfig::default(),
-            admm: AdmmConfig::default(),
-        }
-    }
-}
-
-impl Default for Backend {
-    /// The paper's default reasoner is the MLN one; cutting-plane
-    /// inference is its scalable configuration.
-    fn default() -> Self {
-        Backend::MlnCuttingPlane(CpiConfig::default())
-    }
-}
-
 /// How inferred facts are graded with a confidence value.
+///
+/// Backends that produce per-atom soft truth values (see
+/// [`SolverCaps::soft_values`](tecore_ground::SolverCaps)) always use
+/// those; this mode only governs grading when the solver is discrete.
 #[derive(Debug, Clone, Default)]
 pub enum ConfidenceMode {
     /// Report `1.0` for every accepted derived fact (no extra cost).
     #[default]
     Constant,
-    /// Estimate marginals with a Gibbs sampler (MLN backends; the PSL
-    /// backend always uses its soft truth values instead).
+    /// Estimate marginals with a Gibbs sampler over the grounding.
     Gibbs(GibbsConfig),
 }
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Default)]
 pub struct TecoreConfig {
-    /// The reasoner.
-    pub backend: Backend,
+    /// The reasoner. Any [`SolverHandle`] works here; [`Backend`] specs
+    /// convert with `.into()`, registry entries come as-is.
+    pub backend: SolverHandle,
     /// Grounding options (`ground_constraints` is overridden per
-    /// backend by the translator).
+    /// backend by the translator, driven by the solver's caps).
     pub ground: GroundConfig,
     /// Confidence threshold for derived facts ("remove derived facts
     /// below that" — paper §1). `0.0` keeps everything.
@@ -133,17 +99,55 @@ impl Tecore {
 
     /// Runs `map(θ(G), F ∪ C)` and interprets the result.
     pub fn resolve(&self) -> Result<Resolution, TecoreError> {
+        let solver = &self.config.backend;
         let grounding = translate(
             &self.graph,
             &self.program,
-            &self.config.backend,
+            &solver.caps(),
             &self.config.ground,
         )?;
 
         let solve_start = Instant::now();
-        let (assignment, cost, feasible, active_clauses, soft_values) =
-            self.run_backend(&grounding);
+        let mut state = solver.solve(&grounding, &SolveOpts::default())?;
         let solve_time = solve_start.elapsed();
+        // Enforce the MapSolver contract on plugin backends: wrong
+        // vector lengths or a caps/state mismatch must surface as the
+        // documented error, not as an index panic (or silently wrong
+        // confidences) further down.
+        let contract_violation = if state.assignment.len() != grounding.num_atoms() {
+            Some(format!(
+                "returned {} assignments for {} ground atoms",
+                state.assignment.len(),
+                grounding.num_atoms()
+            ))
+        } else if state
+            .soft_values
+            .as_ref()
+            .is_some_and(|v| v.len() != grounding.num_atoms())
+        {
+            Some(format!(
+                "returned {} soft values for {} ground atoms",
+                state.soft_values.as_ref().map_or(0, Vec::len),
+                grounding.num_atoms()
+            ))
+        } else if solver.caps().soft_values != state.soft_values.is_some() {
+            Some(format!(
+                "caps declare soft_values = {} but the solve {} them",
+                solver.caps().soft_values,
+                if state.soft_values.is_some() {
+                    "returned"
+                } else {
+                    "omitted"
+                }
+            ))
+        } else {
+            None
+        };
+        if let Some(violation) = contract_violation {
+            return Err(TecoreError::Solve(tecore_ground::SolveError::Backend(
+                format!("solver `{}` {violation}", solver.name()),
+            )));
+        }
 
         // Detected conflicts: constraint groundings violated by the
         // "keep everything" world, with full provenance.
@@ -160,25 +164,29 @@ impl Tecore {
         let mut removed = Vec::new();
         let consistent = self.graph.filtered(|id, fact| {
             let atom = grounding.fact_atoms[&id];
-            let keep = assignment[atom.index()];
+            let keep = state.assignment[atom.index()];
             if !keep {
                 removed.push(RemovedFact { id, fact: *fact });
             }
             keep
         });
 
-        // Collect accepted derived facts.
-        let marginals: Option<Vec<f64>> = match (&self.config.confidence, &self.config.backend) {
-            (_, Backend::PslAdmm { .. }) => soft_values,
-            (ConfidenceMode::Gibbs(cfg), _) => {
+        // Confidence source for accepted derived facts: the solver's
+        // own soft truth values when it has them (taken, not cloned —
+        // on large groundings this vector is num_atoms wide), else the
+        // configured grading mode over the grounding.
+        let marginals: Option<Vec<f64>> = match (state.soft_values.take(), &self.config.confidence)
+        {
+            (Some(values), _) => Some(values),
+            (None, ConfidenceMode::Gibbs(cfg)) => {
                 let problem = SatProblem::from_grounding(&grounding);
-                Some(gibbs_marginals(&problem, Some(&assignment), cfg))
+                Some(gibbs_marginals(&problem, Some(&state.assignment), cfg))
             }
-            (ConfidenceMode::Constant, _) => None,
+            (None, ConfidenceMode::Constant) => None,
         };
         let mut inferred = Vec::new();
         for (id, atom) in grounding.store.iter() {
-            if matches!(atom.kind, AtomKind::Hidden) && assignment[id.index()] {
+            if matches!(atom.kind, AtomKind::Hidden) && state.assignment[id.index()] {
                 let confidence = marginals
                     .as_ref()
                     .map_or(1.0, |m| m[id.index()].clamp(0.0, 1.0));
@@ -199,11 +207,11 @@ impl Tecore {
             inferred_facts: inferred.len(),
             thresholded_facts: thresholded,
             atoms: grounding.num_atoms(),
-            clauses: active_clauses,
+            clauses: state.active_clauses,
             per_constraint,
-            backend: self.config.backend.name(),
-            feasible,
-            cost,
+            backend: solver.name().to_string(),
+            feasible: state.feasible,
+            cost: state.cost,
             grounding_time: grounding.stats.elapsed,
             solve_time,
         };
@@ -215,69 +223,13 @@ impl Tecore {
             stats,
         })
     }
-
-    /// Dispatches to the configured solver. Returns
-    /// `(assignment, discrete cost, feasible, active clauses, PSL values)`.
-    fn run_backend(
-        &self,
-        grounding: &Grounding,
-    ) -> (Vec<bool>, f64, bool, usize, Option<Vec<f64>>) {
-        match &self.config.backend {
-            Backend::MlnExact => {
-                let problem = SatProblem::from_grounding(grounding);
-                let r = BranchAndBound::new().solve(&problem);
-                (
-                    r.assignment,
-                    r.cost,
-                    r.feasible,
-                    r.stats.active_clauses,
-                    None,
-                )
-            }
-            Backend::MlnWalkSat(cfg) => {
-                let problem = SatProblem::from_grounding(grounding);
-                let r = MaxWalkSat::new(cfg.clone()).solve(&problem);
-                (
-                    r.assignment,
-                    r.cost,
-                    r.feasible,
-                    r.stats.active_clauses,
-                    None,
-                )
-            }
-            Backend::MlnCuttingPlane(cfg) => {
-                let r = CpiSolver::new(cfg.clone()).solve_lazy(grounding);
-                (
-                    r.assignment,
-                    r.cost,
-                    r.feasible,
-                    r.stats.active_clauses,
-                    None,
-                )
-            }
-            Backend::PslAdmm { psl, admm } => {
-                let r = tecore_psl::solve(grounding, psl, admm);
-                // Discrete cost of the rounded world, for comparability
-                // with the MLN backends. Hard-clause satisfaction of the
-                // rounded world defines feasibility.
-                let problem = SatProblem::from_grounding(grounding);
-                let (cost, hard_violations) = problem.evaluate(&r.assignment);
-                (
-                    r.assignment,
-                    cost,
-                    hard_violations == 0,
-                    grounding.clauses.len(),
-                    Some(r.values),
-                )
-            }
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tecore_kg::parser::parse_graph;
+    use tecore_mln::{CpiConfig, WalkSatConfig};
 
     const RANIERI: &str = "\
         (CR, coach, Chelsea, [2000,2004]) 0.9\n\
@@ -296,14 +248,16 @@ mod tests {
         c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n\
         c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf\n";
 
-    fn run(backend: Backend) -> Resolution {
+    fn run(backend: impl Into<SolverHandle>) -> Resolution {
         let graph = parse_graph(RANIERI).unwrap();
         let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
         let config = TecoreConfig {
-            backend,
+            backend: backend.into(),
             ..TecoreConfig::default()
         };
-        Tecore::with_config(graph, program, config).resolve().unwrap()
+        Tecore::with_config(graph, program, config)
+            .resolve()
+            .unwrap()
     }
 
     /// The paper's running example, Figure 7: fact (5) (Napoli) removed,
@@ -356,11 +310,13 @@ mod tests {
         let graph = parse_graph(RANIERI).unwrap();
         let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
         let config = TecoreConfig {
-            backend: Backend::MlnExact,
+            backend: Backend::MlnExact.into(),
             confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
             ..TecoreConfig::default()
         };
-        let r = Tecore::with_config(graph, program, config).resolve().unwrap();
+        let r = Tecore::with_config(graph, program, config)
+            .resolve()
+            .unwrap();
         assert_eq!(r.inferred.len(), 1);
         let c = r.inferred[0].confidence;
         assert!((0.0..=1.0).contains(&c));
@@ -374,11 +330,13 @@ mod tests {
         let graph = parse_graph(RANIERI).unwrap();
         let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
         let config = TecoreConfig {
-            backend: Backend::MlnExact,
+            backend: Backend::MlnExact.into(),
             threshold: 2.0, // impossible bar: drops everything
             ..TecoreConfig::default()
         };
-        let r = Tecore::with_config(graph, program, config).resolve().unwrap();
+        let r = Tecore::with_config(graph, program, config)
+            .resolve()
+            .unwrap();
         assert_eq!(r.inferred.len(), 0);
         assert_eq!(r.stats.thresholded_facts, 1);
     }
@@ -389,7 +347,10 @@ mod tests {
         assert_eq!(r.inferred.len(), 1);
         let c = r.inferred[0].confidence;
         assert!((0.0..=1.0).contains(&c));
-        assert!(c > 0.5, "supported derivation should have high value, got {c}");
+        assert!(
+            c > 0.5,
+            "supported derivation should have high value, got {c}"
+        );
     }
 
     #[test]
@@ -404,5 +365,141 @@ mod tests {
         assert_eq!(r.stats.conflicting_facts, 0);
         assert_eq!(r.consistent.len(), 2);
         assert!(r.stats.per_constraint.is_empty());
+    }
+
+    /// A backend outside the [`Backend`] enum drops straight into the
+    /// config — the acceptance test for the open solver seam.
+    #[test]
+    fn external_solver_plugs_in() {
+        use tecore_ground::{Grounding, MapSolver, MapState, SolveError, SolverCaps};
+
+        /// Trivial "solver": keeps every atom (never repairs anything).
+        #[derive(Debug)]
+        struct KeepAll;
+
+        impl MapSolver for KeepAll {
+            fn name(&self) -> &str {
+                "keep-all"
+            }
+            fn caps(&self) -> SolverCaps {
+                SolverCaps::mln()
+            }
+            fn solve(
+                &self,
+                grounding: &Grounding,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                let (cost, hard) = tecore_ground::evaluate_world(
+                    &grounding.clauses,
+                    &vec![true; grounding.num_atoms()],
+                );
+                Ok(MapState {
+                    assignment: vec![true; grounding.num_atoms()],
+                    cost,
+                    feasible: hard == 0,
+                    active_clauses: grounding.clauses.len(),
+                    soft_values: None,
+                })
+            }
+        }
+
+        let r = run(SolverHandle::new(KeepAll));
+        // Keeping everything keeps the Napoli clash: infeasible, nothing
+        // removed, and the stats carry the external backend's name.
+        assert!(!r.stats.feasible);
+        assert_eq!(r.stats.conflicting_facts, 0);
+        assert_eq!(r.stats.backend, "keep-all");
+    }
+
+    /// A plugin that violates the assignment-length contract must fail
+    /// with the documented solver error, not an index panic.
+    #[test]
+    fn short_assignment_is_a_solve_error() {
+        use tecore_ground::{Grounding, MapSolver, MapState, SolveError, SolverCaps};
+
+        #[derive(Debug)]
+        struct Truncated;
+
+        impl MapSolver for Truncated {
+            fn name(&self) -> &str {
+                "truncated"
+            }
+            fn caps(&self) -> SolverCaps {
+                SolverCaps::mln()
+            }
+            fn solve(
+                &self,
+                _grounding: &Grounding,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                Ok(MapState {
+                    assignment: vec![true], // wrong length
+                    cost: 0.0,
+                    feasible: true,
+                    active_clauses: 0,
+                    soft_values: None,
+                })
+            }
+        }
+
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: SolverHandle::new(Truncated),
+            ..TecoreConfig::default()
+        };
+        let err = Tecore::with_config(graph, program, config)
+            .resolve()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("solver error"), "{message}");
+        assert!(message.contains("truncated"), "{message}");
+        assert!(message.contains("1 assignments"), "{message}");
+    }
+
+    /// Declared caps and the returned state must agree on soft values.
+    #[test]
+    fn caps_state_mismatch_is_a_solve_error() {
+        use tecore_ground::{Grounding, MapSolver, MapState, SolveError, SolverCaps};
+
+        /// Claims to be discrete but returns soft values.
+        #[derive(Debug)]
+        struct TwoFaced;
+
+        impl MapSolver for TwoFaced {
+            fn name(&self) -> &str {
+                "two-faced"
+            }
+            fn caps(&self) -> SolverCaps {
+                SolverCaps::mln() // soft_values: false
+            }
+            fn solve(
+                &self,
+                grounding: &Grounding,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                let n = grounding.num_atoms();
+                Ok(MapState {
+                    assignment: vec![true; n],
+                    cost: 0.0,
+                    feasible: true,
+                    active_clauses: 0,
+                    soft_values: Some(vec![0.5; n]),
+                })
+            }
+        }
+
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: SolverHandle::new(TwoFaced),
+            ..TecoreConfig::default()
+        };
+        let err = Tecore::with_config(graph, program, config)
+            .resolve()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("two-faced"), "{message}");
+        assert!(message.contains("soft_values = false"), "{message}");
     }
 }

@@ -68,8 +68,14 @@ impl Resolution {
         let mut g = self.consistent.clone();
         for inf in &self.inferred {
             let conf = inf.confidence.clamp(0.001, 1.0);
-            g.insert(&inf.subject, &inf.predicate, &inf.object, inf.interval, conf)
-                .expect("clamped confidence is valid");
+            g.insert(
+                &inf.subject,
+                &inf.predicate,
+                &inf.object,
+                inf.interval,
+                conf,
+            )
+            .expect("clamped confidence is valid");
         }
         g
     }

@@ -14,16 +14,26 @@ use tecore_logic::validate::check_formula;
 use tecore_logic::LogicProgram;
 
 use crate::error::TecoreError;
-use crate::pipeline::{Backend, Tecore, TecoreConfig};
+use crate::pipeline::{Tecore, TecoreConfig};
+use crate::registry::{BackendSelector, SolverRegistry};
 use crate::resolution::Resolution;
 
 /// An interactive TeCoRe session.
+///
+/// Each session owns a [`SolverRegistry`] pre-loaded with the four seed
+/// substrates, so backends are selectable **by name** —
+/// `session.set_backend("psl-admm")` — as well as by [`Backend`]
+/// spec or ready-made solver handle; custom backends become selectable
+/// after [`Session::register_backend`].
+///
+/// [`Backend`]: crate::backends::Backend
 #[derive(Debug, Default)]
 pub struct Session {
     datasets: Vec<(String, UtkGraph)>,
     selected: Option<usize>,
     program: LogicProgram,
     config: TecoreConfig,
+    registry: SolverRegistry,
 }
 
 impl Session {
@@ -127,9 +137,37 @@ impl Session {
         self.program = LogicProgram::new();
     }
 
-    /// Sets the reasoner.
-    pub fn set_backend(&mut self, backend: Backend) {
-        self.config.backend = backend;
+    /// Sets the reasoner: by registered name (`"mln-cpi"`,
+    /// `"psl-admm"`, ...), by [`Backend`](crate::backends::Backend)
+    /// spec, or by [`SolverHandle`](crate::backends::SolverHandle).
+    pub fn set_backend(&mut self, backend: impl BackendSelector) -> Result<(), TecoreError> {
+        self.config.backend = backend.select(&self.registry)?;
+        Ok(())
+    }
+
+    /// Registers a custom backend; it becomes selectable by its
+    /// [`MapSolver::name`](tecore_ground::MapSolver::name).
+    pub fn register_backend(
+        &mut self,
+        solver: impl Into<crate::backends::SolverHandle>,
+    ) -> &mut Self {
+        self.registry.register(solver);
+        self
+    }
+
+    /// Names of the backends selectable in this session.
+    pub fn backend_names(&self) -> Vec<&str> {
+        self.registry.names().collect()
+    }
+
+    /// The session's solver registry.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the solver registry.
+    pub fn registry_mut(&mut self) -> &mut SolverRegistry {
+        &mut self.registry
     }
 
     /// Sets the derived-fact confidence threshold.
@@ -272,5 +310,79 @@ mod tests {
         session.add_dataset("d", ranieri());
         let stats = session.graph_stats().unwrap();
         assert_eq!(stats.fact_count, 3);
+    }
+
+    #[test]
+    fn backend_selection_by_name() {
+        let mut session = Session::new();
+        session.add_dataset("ranieri", ranieri());
+        session
+            .add_formula(
+                "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z \
+                 -> disjoint(t, t') w = inf",
+            )
+            .unwrap();
+        // All four seed substrates are selectable by name out of the box.
+        assert_eq!(
+            session.backend_names(),
+            vec!["mln-cpi", "mln-exact", "mln-walksat", "psl-admm"]
+        );
+        for name in ["mln-exact", "mln-walksat", "mln-cpi", "psl-admm"] {
+            session.set_backend(name).unwrap();
+            let r = session.run().unwrap();
+            assert_eq!(r.stats.backend, name);
+            assert_eq!(r.stats.conflicting_facts, 1, "{name}");
+        }
+        // Unknown names error with the available list.
+        let err = session.set_backend("gurobi").unwrap_err();
+        assert!(err.to_string().contains("unknown backend"));
+    }
+
+    #[test]
+    fn custom_backend_registers_and_runs() {
+        use tecore_ground::{Grounding, MapSolver, MapState, SolveError, SolveOpts, SolverCaps};
+
+        /// Rejects every evidence atom (worst possible repair).
+        #[derive(Debug)]
+        struct DropAll;
+
+        impl MapSolver for DropAll {
+            fn name(&self) -> &str {
+                "drop-all"
+            }
+            fn caps(&self) -> SolverCaps {
+                SolverCaps::mln()
+            }
+            fn solve(
+                &self,
+                grounding: &Grounding,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                let world = vec![false; grounding.num_atoms()];
+                let (cost, hard) = tecore_ground::evaluate_world(&grounding.clauses, &world);
+                Ok(MapState {
+                    assignment: world,
+                    cost,
+                    feasible: hard == 0,
+                    active_clauses: grounding.clauses.len(),
+                    soft_values: None,
+                })
+            }
+        }
+
+        let mut session = Session::new();
+        session.add_dataset("ranieri", ranieri());
+        session
+            .add_formula(
+                "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z \
+                 -> disjoint(t, t') w = inf",
+            )
+            .unwrap();
+        session.register_backend(crate::backends::SolverHandle::new(DropAll));
+        assert!(session.backend_names().contains(&"drop-all"));
+        session.set_backend("drop-all").unwrap();
+        let r = session.run().unwrap();
+        assert_eq!(r.stats.backend, "drop-all");
+        assert_eq!(r.stats.conflicting_facts, 3); // everything rejected
     }
 }

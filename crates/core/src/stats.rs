@@ -25,8 +25,10 @@ pub struct DebugStats {
     pub clauses: usize,
     /// Violated-constraint groundings observed per constraint name.
     pub per_constraint: Vec<(String, usize)>,
-    /// Backend identifier (`"mln-exact"`, `"mln-cpi"`, `"psl-admm"`, ...).
-    pub backend: &'static str,
+    /// Backend identifier (`"mln-exact"`, `"mln-cpi"`, `"psl-admm"`,
+    /// ...) — the [`MapSolver::name`](tecore_ground::MapSolver::name)
+    /// of whatever solver ran, including registry-added ones.
+    pub backend: String,
     /// Did the solver satisfy all hard constraints?
     pub feasible: bool,
     /// Final MAP cost (violated soft weight).
@@ -109,7 +111,7 @@ mod tests {
             total_facts: 5,
             conflicting_facts: 1,
             inferred_facts: 1,
-            backend: "mln-exact",
+            backend: "mln-exact".to_string(),
             feasible: true,
             per_constraint: vec![("c2".into(), 1)],
             ..DebugStats::default()

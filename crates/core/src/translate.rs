@@ -5,42 +5,39 @@
 //! chosen solver. Special care is taken to verify that the input adheres
 //! to the expressivity of the solver." (paper §2.1)
 //!
-//! Concretely: validate every formula against the backend's
-//! expressivity, then ground (`tecore-ground`). The MLN backend with
-//! cutting-plane inference defers constraint grounding; everything else
-//! grounds eagerly.
+//! Concretely: validate every formula against the backend's declared
+//! [`SolverCaps`], then ground (`tecore-ground`). A backend that
+//! grounds constraint violations lazily (`caps.lazy_grounding`, e.g.
+//! cutting-plane inference) gets its constraint grounding deferred;
+//! everything else grounds eagerly. The translator never inspects
+//! *which* backend it serves — only what the backend declared it can
+//! do — so new backends steer translation purely through their caps.
 
-use tecore_ground::{ground, GroundConfig, Grounding};
+use tecore_ground::{ground, GroundConfig, Grounding, SolverCaps};
 use tecore_kg::UtkGraph;
-use tecore_logic::validate::{check_expressivity, Expressivity};
+use tecore_logic::validate::check_expressivity;
 use tecore_logic::LogicProgram;
 
 use crate::error::TecoreError;
-use crate::pipeline::Backend;
 
-/// Translates a (graph, program) pair for the given backend.
+/// Translates a (graph, program) pair for a backend with `caps`.
 pub fn translate(
     graph: &UtkGraph,
     program: &LogicProgram,
-    backend: &Backend,
+    caps: &SolverCaps,
     base: &GroundConfig,
 ) -> Result<Grounding, TecoreError> {
-    let expressivity = match backend {
-        Backend::PslAdmm { .. } => Expressivity::Psl,
-        _ => Expressivity::Mln,
-    };
     for f in program.formulas() {
-        check_expressivity(f, expressivity)?;
+        check_expressivity(f, caps.expressivity)?;
     }
     let mut config = base.clone();
-    config.ground_constraints = !matches!(backend, Backend::MlnCuttingPlane(_));
+    config.ground_constraints = !caps.lazy_grounding;
     Ok(ground(graph, program, &config)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::Backend;
     use tecore_kg::parser::parse_graph;
 
     #[test]
@@ -48,11 +45,17 @@ mod tests {
         let graph = parse_graph("(a, rel, b, [1,2]) 0.9\n").unwrap();
         // Numeric consequent: fine for MLN, rejected for PSL.
         let program = LogicProgram::parse("quad(x, rel, y, t) -> t - t < 1").unwrap();
-        assert!(translate(&graph, &program, &Backend::MlnExact, &GroundConfig::default()).is_ok());
+        assert!(translate(
+            &graph,
+            &program,
+            &SolverCaps::mln(),
+            &GroundConfig::default()
+        )
+        .is_ok());
         let err = translate(
             &graph,
             &program,
-            &Backend::default_psl(),
+            &SolverCaps::psl(),
             &GroundConfig::default(),
         )
         .unwrap_err();
@@ -60,24 +63,24 @@ mod tests {
     }
 
     #[test]
-    fn cpi_defers_constraints() {
-        let graph = parse_graph(
-            "(a, coach, b, [1,5]) 0.9\n(a, coach, c, [2,4]) 0.5\n",
-        )
-        .unwrap();
+    fn lazy_caps_defer_constraints() {
+        let graph = parse_graph("(a, coach, b, [1,5]) 0.9\n(a, coach, c, [2,4]) 0.5\n").unwrap();
         let program = LogicProgram::parse(
             "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
         )
         .unwrap();
-        let eager = translate(&graph, &program, &Backend::MlnExact, &GroundConfig::default())
-            .unwrap();
-        let lazy = translate(
+        let eager = translate(
             &graph,
             &program,
-            &Backend::MlnCuttingPlane(Default::default()),
+            &SolverCaps::mln(),
             &GroundConfig::default(),
         )
         .unwrap();
+        let lazy_caps = SolverCaps {
+            lazy_grounding: true,
+            ..SolverCaps::mln()
+        };
+        let lazy = translate(&graph, &program, &lazy_caps, &GroundConfig::default()).unwrap();
         assert_eq!(eager.stats.formula_clauses, 1);
         assert_eq!(lazy.stats.formula_clauses, 0);
     }

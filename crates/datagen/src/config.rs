@@ -1,9 +1,11 @@
 //! Generator configurations.
-
-use serde::{Deserialize, Serialize};
+//!
+//! Configs are plain data; (de)serialization support is intentionally
+//! omitted because the build environment has no registry access for
+//! `serde` (configs round-trip through their `Debug` form in tooling).
 
 /// Configuration of the FootballDB-like generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FootballConfig {
     /// Number of players.
     pub players: usize,
@@ -61,7 +63,7 @@ impl FootballConfig {
 }
 
 /// Configuration of the Wikidata-like generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WikidataConfig {
     /// Total number of temporal facts to generate (correct + noisy).
     pub total_facts: usize,
@@ -96,9 +98,9 @@ impl WikidataConfig {
     /// long-tail relations keep their relative sizes; the remainder is
     /// spread over generic relations.
     pub const RELATION_MIX: [(&'static str, f64); 5] = [
-        ("playsFor", 0.635),   // > 4M
-        ("memberOf", 0.00365), // > 23K
-        ("spouse", 0.00317),   // > 20K
+        ("playsFor", 0.635),     // > 4M
+        ("memberOf", 0.00365),   // > 23K
+        ("spouse", 0.00317),     // > 20K
         ("educatedAt", 0.00095), // > 6K
         ("occupation", 0.00071), // > 4.5K
     ];
@@ -113,7 +115,10 @@ mod tests {
         let cfg = FootballConfig::with_target_facts(10_000, 0.25, 1);
         let correct = cfg.players as f64 * FootballConfig::FACTS_PER_PLAYER;
         let total = correct * 1.25;
-        assert!((total - 10_000.0).abs() / 10_000.0 < 0.05, "total ≈ {total}");
+        assert!(
+            (total - 10_000.0).abs() / 10_000.0 < 0.05,
+            "total ≈ {total}"
+        );
     }
 
     #[test]

@@ -68,10 +68,7 @@ pub fn generate_football(config: &FootballConfig) -> GeneratedKg {
             }
             let len = rng.random_range(1..=6).min(obs_end - year);
             let club = clubs[rng.random_range(0..clubs.len())].clone();
-            spells.push((
-                club,
-                Interval::new(year, year + len).expect("len >= 0"),
-            ));
+            spells.push((club, Interval::new(year, year + len).expect("len >= 0")));
             // Gap of at least one year keeps ground truth disjoint even
             // under the discrete `meets` convention.
             year += len + rng.random_range(1..=3);
@@ -85,10 +82,7 @@ pub fn generate_football(config: &FootballConfig) -> GeneratedKg {
                 }
                 let len = rng.random_range(1..=4).min(obs_end - cyear);
                 let club = clubs[rng.random_range(0..clubs.len())].clone();
-                coach_spells.push((
-                    club,
-                    Interval::new(cyear, cyear + len).expect("len >= 0"),
-                ));
+                coach_spells.push((club, Interval::new(cyear, cyear + len).expect("len >= 0")));
                 cyear += len + rng.random_range(1..=2);
             }
         }
@@ -258,8 +252,16 @@ mod tests {
         let b = generate_football(&small());
         assert_eq!(a.graph.len(), b.graph.len());
         assert_eq!(a.labels, b.labels);
-        let fa: Vec<String> = a.graph.iter().map(|(_, f)| f.display(a.graph.dict()).to_string()).collect();
-        let fb: Vec<String> = b.graph.iter().map(|(_, f)| f.display(b.graph.dict()).to_string()).collect();
+        let fa: Vec<String> = a
+            .graph
+            .iter()
+            .map(|(_, f)| f.display(a.graph.dict()).to_string())
+            .collect();
+        let fb: Vec<String> = b
+            .graph
+            .iter()
+            .map(|(_, f)| f.display(b.graph.dict()).to_string())
+            .collect();
         assert_eq!(fa, fb);
     }
 

@@ -21,8 +21,7 @@ use crate::noise::GeneratedKg;
 /// Generates a labelled Wikidata-like uTKG.
 pub fn generate_wikidata(config: &WikidataConfig) -> GeneratedKg {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let correct_target =
-        (config.total_facts as f64 / (1.0 + config.noise_ratio)).round() as usize;
+    let correct_target = (config.total_facts as f64 / (1.0 + config.noise_ratio)).round() as usize;
 
     // People ≈ correct facts / 3 (each person gets ~3 facts).
     let people = (correct_target / 3).max(1);
@@ -48,13 +47,13 @@ pub fn generate_wikidata(config: &WikidataConfig) -> GeneratedKg {
     }
 
     let emit = |graph: &mut UtkGraph,
-                    labels: &mut Vec<bool>,
-                    correct: &mut usize,
-                    s: String,
-                    p: &str,
-                    o: String,
-                    iv: Interval,
-                    conf: f64| {
+                labels: &mut Vec<bool>,
+                correct: &mut usize,
+                s: String,
+                p: &str,
+                o: String,
+                iv: Interval,
+                conf: f64| {
         graph.insert(&s, p, &o, iv, conf).expect("valid confidence");
         labels.push(false);
         *correct += 1;
@@ -185,13 +184,7 @@ pub fn generate_wikidata(config: &WikidataConfig) -> GeneratedKg {
                 Some((_, iv)) => {
                     let club = rng.random_range(0..clubs);
                     graph
-                        .insert(
-                            &name,
-                            "playsFor",
-                            &format!("RivalTeam{club}"),
-                            iv,
-                            conf,
-                        )
+                        .insert(&name, "playsFor", &format!("RivalTeam{club}"), iv, conf)
                         .expect("valid");
                     true
                 }
@@ -299,7 +292,14 @@ mod tests {
             noise_ratio: 0.05,
             seed: 3,
         });
-        for rel in ["playsFor", "memberOf", "spouse", "educatedAt", "occupation", "birthDate"] {
+        for rel in [
+            "playsFor",
+            "memberOf",
+            "spouse",
+            "educatedAt",
+            "occupation",
+            "birthDate",
+        ] {
             assert!(
                 g.graph.dict().lookup(rel).is_some(),
                 "{rel} missing from generated graph"

@@ -90,13 +90,7 @@ impl AtomStore {
     }
 
     /// Looks up an atom by its ground key.
-    pub fn lookup(
-        &self,
-        s: Symbol,
-        p: Symbol,
-        o: Symbol,
-        interval: Interval,
-    ) -> Option<AtomId> {
+    pub fn lookup(&self, s: Symbol, p: Symbol, o: Symbol, interval: Interval) -> Option<AtomId> {
         self.interned.get(&(s, p, o, interval)).copied()
     }
 
@@ -114,10 +108,7 @@ impl AtomStore {
     ) -> AtomId {
         if let Some(&id) = self.interned.get(&(s, p, o, interval)) {
             match &mut self.atoms[id.index()].kind {
-                AtomKind::Evidence {
-                    log_odds: w,
-                    facts,
-                } => {
+                AtomKind::Evidence { log_odds: w, facts } => {
                     *w += log_odds;
                     facts.push(fact);
                 }

@@ -101,7 +101,10 @@ mod tests {
         let mut b = Bindings::new(3);
         assert!(b.bind_entity(VarId(0), Symbol(7)));
         assert!(b.bind_entity(VarId(0), Symbol(7)), "same symbol re-binds");
-        assert!(!b.bind_entity(VarId(0), Symbol(8)), "different symbol fails");
+        assert!(
+            !b.bind_entity(VarId(0), Symbol(8)),
+            "different symbol fails"
+        );
         assert_eq!(b.entity(VarId(0)), Some(Symbol(7)));
         assert_eq!(b.entity(VarId(1)), None);
 

@@ -166,7 +166,11 @@ mod tests {
     #[test]
     fn normalisation_and_tautology() {
         let c = GroundClause::new(
-            vec![Lit::neg(AtomId(3)), Lit::pos(AtomId(1)), Lit::pos(AtomId(1))],
+            vec![
+                Lit::neg(AtomId(3)),
+                Lit::pos(AtomId(1)),
+                Lit::pos(AtomId(1)),
+            ],
             ClauseWeight::Hard,
             ClauseOrigin::Formula(0),
         )

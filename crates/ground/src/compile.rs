@@ -212,10 +212,7 @@ fn compile_term(t: &Term, dict: &mut Dictionary) -> CTerm {
     }
 }
 
-fn compile_body_time(
-    t: &TimeTerm,
-    f: &Formula,
-) -> Result<CTime, LogicError> {
+fn compile_body_time(t: &TimeTerm, f: &Formula) -> Result<CTime, LogicError> {
     match t {
         TimeTerm::Var(v) => Ok(CTime::Var(*v)),
         TimeTerm::Lit(iv) => Ok(CTime::Lit(*iv)),
@@ -373,7 +370,10 @@ fn schedule_conditions(
             !ready
         });
     }
-    debug_assert!(remaining.is_empty(), "validation guarantees bound conditions");
+    debug_assert!(
+        remaining.is_empty(),
+        "validation guarantees bound conditions"
+    );
     schedule
 }
 
@@ -391,9 +391,8 @@ mod tests {
 
     #[test]
     fn constants_interned_including_head() {
-        let (_, dict) = compile_one(
-            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5",
-        );
+        let (_, dict) =
+            compile_one("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5");
         assert!(dict.lookup("playsFor").is_some());
         assert!(dict.lookup("worksFor").is_some(), "head constant interned");
     }

@@ -35,6 +35,18 @@ pub struct GroundConfig {
     /// Ground constraint formulas eagerly (default `true`; cutting-plane
     /// inference sets this to `false` and grounds violations lazily).
     pub ground_constraints: bool,
+    /// Enumerate each round's body matches with one worker thread per
+    /// formula (default: `true` when the crate is built with the
+    /// `parallel` feature). Output is byte-identical to the serial
+    /// path — per-formula match streams are merged in formula order —
+    /// and small stores fall back to serial to dodge spawn overhead.
+    /// Without the `parallel` feature this flag is ignored.
+    pub parallel: bool,
+    /// Worker-thread count for parallel matching. `None` (the default)
+    /// auto-detects: the `TECORE_GROUND_WORKERS` environment variable
+    /// if set (read once per process), else the machine's available
+    /// parallelism. One worker means serial.
+    pub parallel_workers: Option<usize>,
 }
 
 impl Default for GroundConfig {
@@ -45,6 +57,8 @@ impl Default for GroundConfig {
             max_rounds: 16,
             emit_evidence_units: true,
             ground_constraints: true,
+            parallel: cfg!(feature = "parallel"),
+            parallel_workers: None,
         }
     }
 }
@@ -151,24 +165,42 @@ pub fn ground(
             break;
         }
         // Buffered matches: (formula idx, body atoms, head key).
+        // Formulas are independent given the frozen store snapshot, so
+        // each can be matched by its own worker; merging per-formula
+        // buffers in formula order keeps the output identical to the
+        // serial enumeration.
+        let active: Vec<&CompiledFormula> = compiled
+            .formulas
+            .iter()
+            .filter(|cf| cf.consequent.derives() || config.ground_constraints)
+            .collect();
+        let per_formula = map_formulas(
+            &active,
+            |cf| {
+                let mut local: Vec<(usize, Vec<AtomId>, Option<HeadKey>)> = Vec::new();
+                let mut matches = 0usize;
+                for delta_pos in 0..cf.body.len() {
+                    enumerate_matches(
+                        &store,
+                        cf,
+                        horizon,
+                        Some((delta_start, delta_pos)),
+                        None,
+                        &mut |chosen, bindings| {
+                            matches += 1;
+                            collect_match(cf, chosen, bindings, &store, &mut local);
+                        },
+                    );
+                }
+                (local, matches)
+            },
+            config.parallel && store.len() >= PARALLEL_STORE_THRESHOLD,
+            config.parallel_workers,
+        );
         let mut pending: Vec<(usize, Vec<AtomId>, Option<HeadKey>)> = Vec::new();
-        for cf in &compiled.formulas {
-            if !cf.consequent.derives() && !config.ground_constraints {
-                continue;
-            }
-            for delta_pos in 0..cf.body.len() {
-                enumerate_matches(
-                    &store,
-                    cf,
-                    horizon,
-                    Some((delta_start, delta_pos)),
-                    None,
-                    &mut |chosen, bindings| {
-                        stats.body_matches += 1;
-                        collect_match(cf, chosen, bindings, &store, &mut pending);
-                    },
-                );
-            }
+        for (local, matches) in per_formula {
+            stats.body_matches += matches;
+            pending.extend(local);
         }
         // Apply buffered matches: intern head atoms, emit clauses.
         for (fidx, body_atoms, head) in pending {
@@ -264,6 +296,102 @@ pub fn ground(
     })
 }
 
+/// Stores smaller than this are always matched serially: thread spawn
+/// costs more than the whole enumeration at that size.
+const PARALLEL_STORE_THRESHOLD: usize = 1024;
+
+/// Applies `f` to every formula, fanning out one scoped worker thread
+/// per formula when `parallel` holds (requires the `parallel` feature;
+/// the environment ships no rayon, so this is plain `std::thread::scope`
+/// with the same collect-in-order semantics a `par_iter().map().collect()`
+/// would have). Results come back in formula order either way.
+#[cfg(feature = "parallel")]
+fn map_formulas<'a, R, F>(
+    formulas: &[&'a CompiledFormula],
+    f: F,
+    parallel: bool,
+    workers_override: Option<usize>,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&'a CompiledFormula) -> R + Sync,
+{
+    if !parallel || formulas.len() < 2 {
+        return formulas.iter().map(|&cf| f(cf)).collect();
+    }
+    // Worker count: explicit config override, else `TECORE_GROUND_WORKERS`
+    // (ops knob, read once per process so the serial path never pays
+    // env-var I/O and there is no repeated getenv to race against),
+    // else the machine's parallelism. One core ⇒ serial: spawning
+    // would be pure overhead.
+    static ENV_WORKERS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let cores = workers_override
+        .or_else(|| {
+            *ENV_WORKERS.get_or_init(|| {
+                std::env::var("TECORE_GROUND_WORKERS")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+            })
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let workers = cores.min(formulas.len());
+    if workers < 2 {
+        return formulas.iter().map(|&cf| f(cf)).collect();
+    }
+    let f = &f;
+    // Strided distribution: worker `w` takes formulas w, w+W, w+2W, ...
+    // Results are re-slotted by index, so the caller sees formula order
+    // regardless of completion order.
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None)
+        .take(formulas.len())
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || -> Vec<(usize, R)> {
+                    formulas
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, &cf)| (i, f(cf)))
+                        .collect()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("grounder worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every formula produced a result"))
+        .collect()
+}
+
+/// Serial fallback when the crate is built without the `parallel`
+/// feature (the `parallel` flag and worker count are ignored).
+#[cfg(not(feature = "parallel"))]
+fn map_formulas<'a, R, F>(
+    formulas: &[&'a CompiledFormula],
+    f: F,
+    _parallel: bool,
+    _workers_override: Option<usize>,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&'a CompiledFormula) -> R + Sync,
+{
+    formulas.iter().map(|&cf| f(cf)).collect()
+}
+
 /// Ground key of a pending head atom.
 struct HeadKey {
     subject: Symbol,
@@ -346,7 +474,10 @@ pub(crate) fn consequent_holds(c: &CConsequent, bindings: &Bindings) -> bool {
         CConsequent::Temporal(tc) => tc.eval(&|v| bindings.interval(v)).unwrap_or(false),
         CConsequent::Numeric(cmp) => cmp.eval(&|v| bindings.interval(v)).unwrap_or(false),
         CConsequent::EntityCmp { left, op, right } => {
-            match (resolve_entity(left, bindings), resolve_entity(right, bindings)) {
+            match (
+                resolve_entity(left, bindings),
+                resolve_entity(right, bindings),
+            ) {
                 (Some(l), Some(r)) => match op {
                     CmpOp::Eq => l == r,
                     CmpOp::Ne => l != r,
@@ -373,7 +504,10 @@ pub(crate) fn eval_condition(c: &CCondition, bindings: &Bindings) -> bool {
         CCondition::Temporal(tc) => tc.eval(&|v| bindings.interval(v)).unwrap_or(false),
         CCondition::Numeric(cmp) => cmp.eval(&|v| bindings.interval(v)).unwrap_or(false),
         CCondition::EntityCmp { left, op, right } => {
-            match (resolve_entity(left, bindings), resolve_entity(right, bindings)) {
+            match (
+                resolve_entity(left, bindings),
+                resolve_entity(right, bindings),
+            ) {
                 (Some(l), Some(r)) => match op {
                     CmpOp::Eq => l == r,
                     CmpOp::Ne => l != r,
@@ -472,9 +606,9 @@ fn descend(
     };
 
     let visit = |id: AtomId,
-                     bindings: &mut Bindings,
-                     chosen: &mut Vec<AtomId>,
-                     on_match: &mut dyn FnMut(&[AtomId], &Bindings)| {
+                 bindings: &mut Bindings,
+                 chosen: &mut Vec<AtomId>,
+                 on_match: &mut dyn FnMut(&[AtomId], &Bindings)| {
         if !admit(id) {
             return;
         }
@@ -489,7 +623,15 @@ fn descend(
         if ok {
             chosen[pat_idx] = id;
             descend(
-                store, cf, horizon, delta, filter, step + 1, bindings, chosen, on_match,
+                store,
+                cf,
+                horizon,
+                delta,
+                filter,
+                step + 1,
+                bindings,
+                chosen,
+                on_match,
             );
         }
         undo_bindings(bindings, &undo);
@@ -606,10 +748,7 @@ mod tests {
             .filter(|(_, a)| a.predicate == works_for)
             .collect();
         assert_eq!(derived.len(), 1);
-        assert_eq!(
-            derived[0].1.interval,
-            Interval::new(1984, 1986).unwrap()
-        );
+        assert_eq!(derived[0].1.interval, Interval::new(1984, 1986).unwrap());
     }
 
     #[test]
@@ -798,6 +937,84 @@ mod tests {
             .unwrap();
         // conf 0.2 → negative log-odds → unit clause prefers ¬a.
         assert!(!unit.lits[0].positive);
+    }
+
+    #[test]
+    fn parallel_flag_grounds_identically() {
+        // The parallel path must be byte-identical to the serial one
+        // (per-formula buffers merged in formula order). With the
+        // `parallel` feature off this still checks flag inertness.
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let serial = ground(
+            &graph,
+            &program,
+            &GroundConfig {
+                parallel: false,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap();
+        let parallel = ground(
+            &graph,
+            &program,
+            &GroundConfig {
+                parallel: true,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.clauses, parallel.clauses);
+        assert_eq!(serial.stats.body_matches, parallel.stats.body_matches);
+        assert_eq!(serial.num_atoms(), parallel.num_atoms());
+    }
+
+    /// Same check over a store large enough to cross
+    /// [`PARALLEL_STORE_THRESHOLD`], so the threaded path really runs
+    /// when the `parallel` feature is enabled.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_threads_match_serial_on_large_store() {
+        let mut text = String::new();
+        for i in 0..1500u32 {
+            let player = i % 500;
+            let club = i % 11;
+            let start = 1980 + i64::from(i % 25);
+            text.push_str(&format!(
+                "(p{player}, playsFor, c{club}, [{start},{}]) 0.8\n",
+                start + 3
+            ));
+        }
+        let graph = parse_graph(&text).unwrap();
+        let program = LogicProgram::parse(
+            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+             cSpell: quad(x, playsFor, y, t) ^ quad(x, playsFor, z, t') ^ y != z \
+                 -> disjoint(t, t') w = inf\n",
+        )
+        .unwrap();
+        let serial = ground(
+            &graph,
+            &program,
+            &GroundConfig {
+                parallel: false,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap();
+        let parallel = ground(
+            &graph,
+            &program,
+            &GroundConfig {
+                parallel: true,
+                // Force real fan-out even on single-core CI machines.
+                parallel_workers: Some(4),
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(graph.len() >= PARALLEL_STORE_THRESHOLD);
+        assert_eq!(serial.clauses, parallel.clauses);
+        assert_eq!(serial.stats.body_matches, parallel.stats.body_matches);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! The **MAP-solver backend interface** — the seam between grounding
+//! and inference.
+//!
+//! TeCoRe's central architectural claim (paper §4–§5) is that temporal
+//! conflict resolution is MAP inference over a probabilistic-logic
+//! grounding with *interchangeable* substrates: an expressive MLN stack
+//! or a scalable PSL relaxation. This module makes that seam a real,
+//! object-safe trait: every backend consumes the same [`Grounding`]
+//! (produced here in `tecore-ground`) and returns the same [`MapState`].
+//!
+//! The trait lives in this crate — *below* the substrate crates — so
+//! that `tecore-mln` and `tecore-psl` implement it in their own trees
+//! and `tecore-core` can dispatch through `dyn MapSolver` without a
+//! per-backend `match` anywhere in its pipeline. New substrates (e.g. a
+//! sharded or approximate solver) plug in by implementing [`MapSolver`]
+//! and registering with `tecore_core::registry::SolverRegistry`; no
+//! existing crate needs to change.
+
+use std::fmt;
+
+use tecore_logic::validate::Expressivity;
+
+use crate::grounder::Grounding;
+
+/// What a backend can do — consulted by the translator and pipeline
+/// instead of matching on a backend enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverCaps {
+    /// The logic fragment the backend accepts; the translator validates
+    /// every formula against this before grounding (paper §2.1: "special
+    /// care is taken to verify that the input adheres to the
+    /// expressivity of the solver").
+    pub expressivity: Expressivity,
+    /// `true` if the solver grounds constraint violations lazily
+    /// (cutting-plane style); the translator then defers eager
+    /// constraint grounding.
+    pub lazy_grounding: bool,
+    /// `true` if [`MapState::soft_values`] is populated with per-atom
+    /// soft truth values (PSL); the pipeline uses them as confidences
+    /// for derived facts instead of sampling marginals.
+    pub soft_values: bool,
+    /// `true` if the solver is exact (its cost is the true MAP optimum).
+    pub exact: bool,
+}
+
+impl SolverCaps {
+    /// Caps of a classical eager MLN/MaxSAT solver.
+    pub fn mln() -> Self {
+        SolverCaps {
+            expressivity: Expressivity::Mln,
+            lazy_grounding: false,
+            soft_values: false,
+            exact: false,
+        }
+    }
+
+    /// Caps of a PSL-style convex solver with soft truth values.
+    pub fn psl() -> Self {
+        SolverCaps {
+            expressivity: Expressivity::Psl,
+            lazy_grounding: false,
+            soft_values: true,
+            exact: false,
+        }
+    }
+}
+
+/// Per-solve options passed through [`MapSolver::solve`].
+///
+/// Deliberately open-ended: options that *every* backend must interpret
+/// belong here; backend-specific tuning belongs in the solver value
+/// itself (constructed from its own config types).
+#[derive(Debug, Clone, Default)]
+pub struct SolveOpts {
+    /// Overrides the solver's own seed for stochastic backends; `None`
+    /// keeps the configured seed. Deterministic backends ignore it.
+    pub seed: Option<u64>,
+}
+
+/// The result of MAP inference, backend-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapState {
+    /// Truth value per ground atom, indexed by `AtomId::index()`.
+    pub assignment: Vec<bool>,
+    /// Total violated soft weight of `assignment` (lower is better).
+    pub cost: f64,
+    /// All hard clauses satisfied?
+    pub feasible: bool,
+    /// Clauses in the solver's final active set (== grounding size for
+    /// eager backends; the cutting-plane solver reports its lazily
+    /// activated subset).
+    pub active_clauses: usize,
+    /// Per-atom soft truth values in `[0, 1]`, when the backend computes
+    /// them (see [`SolverCaps::soft_values`]).
+    pub soft_values: Option<Vec<f64>>,
+}
+
+/// A failed MAP solve.
+///
+/// Infeasibility is *not* an error (it is reported in
+/// [`MapState::feasible`]); errors are malformed inputs or solver-side
+/// resource failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The grounding violates an invariant the solver relies on.
+    InvalidGrounding(String),
+    /// The solver gave up (budget exhausted, numerical failure, ...).
+    Backend(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidGrounding(msg) => write!(f, "invalid grounding: {msg}"),
+            SolveError::Backend(msg) => write!(f, "backend failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A MAP inference backend over a ground weighted program.
+///
+/// Object safety is load-bearing: the pipeline holds `dyn MapSolver`
+/// and the registry hands out `Arc<dyn MapSolver>`, so a backend added
+/// by a downstream crate is indistinguishable from a built-in one.
+///
+/// Implementations must be deterministic given their configuration (all
+/// in-tree backends are seeded) and must uphold the state contract the
+/// pipeline enforces: `assignment` (and `soft_values`, when present)
+/// have exactly `grounding.num_atoms()` entries, and `soft_values` is
+/// `Some` iff [`SolverCaps::soft_values`] is declared.
+pub trait MapSolver: fmt::Debug + Send + Sync {
+    /// Stable identifier used for registry lookup and statistics output
+    /// (`"mln-exact"`, `"mln-walksat"`, `"mln-cpi"`, `"psl-admm"`, ...).
+    fn name(&self) -> &str;
+
+    /// The backend's capabilities; drives translator validation and
+    /// pipeline behaviour.
+    fn caps(&self) -> SolverCaps;
+
+    /// Computes the MAP state of `grounding`.
+    fn solve(&self, grounding: &Grounding, opts: &SolveOpts) -> Result<MapState, SolveError>;
+}
+
+/// Total violated soft weight and number of violated hard clauses of
+/// `world` over `clauses`.
+///
+/// Shared by backends that need to grade a discrete world against the
+/// common clause representation (e.g. PSL scoring its rounding) without
+/// depending on another backend's problem types.
+pub fn evaluate_world(clauses: &[crate::clause::GroundClause], world: &[bool]) -> (f64, usize) {
+    let mut cost = 0.0;
+    let mut hard_violations = 0usize;
+    for clause in clauses {
+        if !clause.satisfied_by(world) {
+            match clause.weight {
+                crate::clause::ClauseWeight::Hard => hard_violations += 1,
+                crate::clause::ClauseWeight::Soft(w) => cost += w,
+            }
+        }
+    }
+    (cost, hard_violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::AtomId;
+    use crate::clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
+
+    #[test]
+    fn caps_presets() {
+        assert_eq!(SolverCaps::mln().expressivity, Expressivity::Mln);
+        assert!(!SolverCaps::mln().soft_values);
+        assert_eq!(SolverCaps::psl().expressivity, Expressivity::Psl);
+        assert!(SolverCaps::psl().soft_values);
+    }
+
+    #[test]
+    fn evaluate_world_costs() {
+        let clauses = vec![
+            GroundClause::new(
+                vec![Lit::pos(AtomId(0))],
+                ClauseWeight::Soft(2.0),
+                ClauseOrigin::Evidence,
+            )
+            .unwrap(),
+            GroundClause::new(
+                vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))],
+                ClauseWeight::Hard,
+                ClauseOrigin::Evidence,
+            )
+            .unwrap(),
+        ];
+        // Satisfy both.
+        assert_eq!(evaluate_world(&clauses, &[true, true]), (0.0, 0));
+        // Violate the hard implication.
+        assert_eq!(evaluate_world(&clauses, &[true, false]), (0.0, 1));
+        // Violate the soft unit only.
+        assert_eq!(evaluate_world(&clauses, &[false, false]), (2.0, 0));
+    }
+
+    #[test]
+    fn solve_error_display() {
+        let e = SolveError::InvalidGrounding("bad atom".into());
+        assert!(e.to_string().contains("bad atom"));
+        let e = SolveError::Backend("budget".into());
+        assert!(e.to_string().contains("budget"));
+    }
+}

@@ -43,105 +43,105 @@ pub fn violated_clauses(
         if !is_constraint {
             continue;
         }
-        enumerate_matches(store, cf, horizon, None, Some(&truthy), &mut |chosen,
-                                                                         bindings| {
-            let violated = match &cf.consequent {
-                CConsequent::Quad {
-                    subject,
-                    predicate,
-                    object,
-                    time,
-                } => {
-                    // Head must exist and be true; anything else violates.
-                    let s = resolve_entity(subject, bindings);
-                    let p = resolve_entity(predicate, bindings);
-                    let o = resolve_entity(object, bindings);
-                    match (s, p, o) {
-                        (Some(s), Some(p), Some(o)) => {
-                            let iv = match time {
-                                Some(t) => {
-                                    t.eval(&|v| bindings.interval(v))
+        enumerate_matches(
+            store,
+            cf,
+            horizon,
+            None,
+            Some(&truthy),
+            &mut |chosen, bindings| {
+                let violated = match &cf.consequent {
+                    CConsequent::Quad {
+                        subject,
+                        predicate,
+                        object,
+                        time,
+                    } => {
+                        // Head must exist and be true; anything else violates.
+                        let s = resolve_entity(subject, bindings);
+                        let p = resolve_entity(predicate, bindings);
+                        let o = resolve_entity(object, bindings);
+                        match (s, p, o) {
+                            (Some(s), Some(p), Some(o)) => {
+                                let iv = match time {
+                                    Some(t) => t.eval(&|v| bindings.interval(v)),
+                                    None => {
+                                        // Same default policy as the eager
+                                        // grounder: intersection else hull.
+                                        let mut iter =
+                                            chosen.iter().map(|&a| store.atom(a).interval);
+                                        iter.next().map(|first| {
+                                            let (inter, hull) =
+                                                iter.fold((Some(first), first), |(i, h), iv| {
+                                                    (i.and_then(|x| x.intersection(iv)), h.hull(iv))
+                                                });
+                                            inter.unwrap_or(hull)
+                                        })
+                                    }
+                                };
+                                match iv {
+                                    Some(iv) => match store.lookup(s, p, o, iv) {
+                                        Some(head) => !world[head.index()],
+                                        None => true,
+                                    },
+                                    None => false, // empty intersection: nothing required
                                 }
+                            }
+                            _ => false,
+                        }
+                    }
+                    other => !consequent_holds(other, bindings),
+                };
+                if violated {
+                    let mut lits: Vec<Lit> = chosen.iter().map(|&a| Lit::neg(a)).collect();
+                    if let CConsequent::Quad {
+                        subject,
+                        predicate,
+                        object,
+                        time,
+                    } = &cf.consequent
+                    {
+                        // Re-resolve the head atom to add the positive lit if
+                        // it exists (it always does after eager rule
+                        // grounding).
+                        if let (Some(s), Some(p), Some(o)) = (
+                            resolve_entity(subject, bindings),
+                            resolve_entity(predicate, bindings),
+                            resolve_entity(object, bindings),
+                        ) {
+                            let iv = match time {
+                                Some(t) => t.eval(&|v| bindings.interval(v)),
                                 None => {
-                                    // Same default policy as the eager
-                                    // grounder: intersection else hull.
-                                    let mut iter =
-                                        chosen.iter().map(|&a| store.atom(a).interval);
+                                    let mut iter = chosen.iter().map(|&a| store.atom(a).interval);
                                     iter.next().map(|first| {
-                                        let (inter, hull) = iter.fold(
-                                            (Some(first), first),
-                                            |(i, h), iv| {
+                                        let (inter, hull) =
+                                            iter.fold((Some(first), first), |(i, h), iv| {
                                                 (i.and_then(|x| x.intersection(iv)), h.hull(iv))
-                                            },
-                                        );
+                                            });
                                         inter.unwrap_or(hull)
                                     })
                                 }
                             };
-                            match iv {
-                                Some(iv) => match store.lookup(s, p, o, iv) {
-                                    Some(head) => !world[head.index()],
-                                    None => true,
-                                },
-                                None => false, // empty intersection: nothing required
+                            if let Some(head) = iv.and_then(|iv| store.lookup(s, p, o, iv)) {
+                                lits.push(Lit::pos(head));
                             }
                         }
-                        _ => false,
+                    }
+                    let weight = match cf.weight {
+                        Weight::Hard => ClauseWeight::Hard,
+                        Weight::Soft(w) => ClauseWeight::Soft(w),
+                    };
+                    if let Some(clause) =
+                        GroundClause::new(lits, weight, ClauseOrigin::Formula(cf.index))
+                    {
+                        out.push(clause);
                     }
                 }
-                other => !consequent_holds(other, bindings),
-            };
-            if violated {
-                let mut lits: Vec<Lit> = chosen.iter().map(|&a| Lit::neg(a)).collect();
-                if let CConsequent::Quad {
-                    subject,
-                    predicate,
-                    object,
-                    time,
-                } = &cf.consequent
-                {
-                    // Re-resolve the head atom to add the positive lit if
-                    // it exists (it always does after eager rule
-                    // grounding).
-                    if let (Some(s), Some(p), Some(o)) = (
-                        resolve_entity(subject, bindings),
-                        resolve_entity(predicate, bindings),
-                        resolve_entity(object, bindings),
-                    ) {
-                        let iv = match time {
-                            Some(t) => t.eval(&|v| bindings.interval(v)),
-                            None => {
-                                let mut iter = chosen.iter().map(|&a| store.atom(a).interval);
-                                iter.next().map(|first| {
-                                    let (inter, hull) =
-                                        iter.fold((Some(first), first), |(i, h), iv| {
-                                            (i.and_then(|x| x.intersection(iv)), h.hull(iv))
-                                        });
-                                    inter.unwrap_or(hull)
-                                })
-                            }
-                        };
-                        if let Some(head) = iv.and_then(|iv| store.lookup(s, p, o, iv)) {
-                            lits.push(Lit::pos(head));
-                        }
-                    }
-                }
-                let weight = match cf.weight {
-                    Weight::Hard => ClauseWeight::Hard,
-                    Weight::Soft(w) => ClauseWeight::Soft(w),
-                };
-                if let Some(clause) =
-                    GroundClause::new(lits, weight, ClauseOrigin::Formula(cf.index))
-                {
-                    out.push(clause);
-                }
-            }
-        });
+            },
+        );
     }
     // The same violation can be found through symmetric matches; dedup.
-    out.sort_by(|a, b| {
-        (origin_key(a.origin), &a.lits).cmp(&(origin_key(b.origin), &b.lits))
-    });
+    out.sort_by(|a, b| (origin_key(a.origin), &a.lits).cmp(&(origin_key(b.origin), &b.lits)));
     out.dedup_by(|a, b| a.origin == b.origin && a.lits == b.lits);
     out
 }

@@ -70,7 +70,9 @@ impl Confidence {
         if self.0 >= 1.0 {
             return MAX_WEIGHT;
         }
-        (self.0 / (1.0 - self.0)).ln().clamp(-MAX_WEIGHT, MAX_WEIGHT)
+        (self.0 / (1.0 - self.0))
+            .ln()
+            .clamp(-MAX_WEIGHT, MAX_WEIGHT)
     }
 }
 

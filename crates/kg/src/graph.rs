@@ -92,7 +92,10 @@ impl UtkGraph {
     /// dictionary).
     pub fn insert_fact(&mut self, fact: TemporalFact) -> FactId {
         let id = FactId(self.facts.len() as u32);
-        self.by_predicate.entry(fact.predicate).or_default().push(id);
+        self.by_predicate
+            .entry(fact.predicate)
+            .or_default()
+            .push(id);
         self.by_subject_predicate
             .entry((fact.subject, fact.predicate))
             .or_default()
@@ -235,11 +238,16 @@ mod tests {
 
     fn ranieri() -> UtkGraph {
         let mut g = UtkGraph::new();
-        g.insert("CR", "coach", "Chelsea", iv(2000, 2004), 0.9).unwrap();
-        g.insert("CR", "coach", "Leicester", iv(2015, 2017), 0.7).unwrap();
-        g.insert("CR", "playsFor", "Palermo", iv(1984, 1986), 0.5).unwrap();
-        g.insert("CR", "birthDate", "1951", iv(1951, 2017), 1.0).unwrap();
-        g.insert("CR", "coach", "Napoli", iv(2001, 2003), 0.6).unwrap();
+        g.insert("CR", "coach", "Chelsea", iv(2000, 2004), 0.9)
+            .unwrap();
+        g.insert("CR", "coach", "Leicester", iv(2015, 2017), 0.7)
+            .unwrap();
+        g.insert("CR", "playsFor", "Palermo", iv(1984, 1986), 0.5)
+            .unwrap();
+        g.insert("CR", "birthDate", "1951", iv(1951, 2017), 1.0)
+            .unwrap();
+        g.insert("CR", "coach", "Napoli", iv(2001, 2003), 0.6)
+            .unwrap();
         g
     }
 
@@ -292,7 +300,11 @@ mod tests {
     #[test]
     fn predicates_sorted() {
         let g = ranieri();
-        let names: Vec<&str> = g.predicates().iter().map(|p| g.dict().resolve(*p)).collect();
+        let names: Vec<&str> = g
+            .predicates()
+            .iter()
+            .map(|p| g.dict().resolve(*p))
+            .collect();
         assert_eq!(names, vec!["birthDate", "coach", "playsFor"]);
     }
 

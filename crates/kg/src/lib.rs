@@ -41,5 +41,5 @@ pub use dict::{Dictionary, Symbol};
 pub use error::KgError;
 pub use fact::{Confidence, FactId, TemporalFact};
 pub use graph::UtkGraph;
-pub use tindex::IntervalIndex;
 pub use stats::GraphStats;
+pub use tindex::IntervalIndex;

@@ -61,7 +61,10 @@ fn strip_comment(line: &str) -> &str {
 
 /// Parses one fact line (without comments) into its raw components.
 pub fn parse_fact_line(line: &str, lineno: usize) -> Result<RawFact, KgError> {
-    let err = |message: String| KgError::Parse { line: lineno, message };
+    let err = |message: String| KgError::Parse {
+        line: lineno,
+        message,
+    };
     let mut tokens = tokenize(line, lineno)?;
     // Expect: term term term interval [confidence]
     if tokens.len() < 4 || tokens.len() > 5 {
@@ -76,9 +79,7 @@ pub fn parse_fact_line(line: &str, lineno: usize) -> Result<RawFact, KgError> {
             Token::Term(c) => c
                 .parse::<f64>()
                 .map_err(|_| err(format!("invalid confidence `{c}`")))?,
-            Token::Interval(_) => {
-                return Err(err("confidence must follow the interval".into()))
-            }
+            Token::Interval(_) => return Err(err("confidence must follow the interval".into())),
         }
     } else {
         1.0
@@ -106,7 +107,10 @@ enum Token {
 }
 
 fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, KgError> {
-    let err = |message: String| KgError::Parse { line: lineno, message };
+    let err = |message: String| KgError::Parse {
+        line: lineno,
+        message,
+    };
     let mut tokens = Vec::new();
     let mut chars = line.char_indices().peekable();
     while let Some(&(i, c)) = chars.peek() {
@@ -198,10 +202,8 @@ mod tests {
 
     #[test]
     fn bare_and_quoted_tokens() {
-        let g = parse_graph(
-            "\"Claudio Ranieri\" coach \"Leicester City\" [2015,2017] 0.7\n",
-        )
-        .unwrap();
+        let g =
+            parse_graph("\"Claudio Ranieri\" coach \"Leicester City\" [2015,2017] 0.7\n").unwrap();
         assert!(g.dict().lookup("Claudio Ranieri").is_some());
         assert!(g.dict().lookup("Leicester City").is_some());
     }

@@ -136,7 +136,11 @@ mod tests {
     fn stats_reflect_removal() {
         let mut g = ranieri();
         let coach = g.dict().lookup("coach").unwrap();
-        let id = g.facts_with_predicate(coach).next().map(|(id, _)| id).unwrap();
+        let id = g
+            .facts_with_predicate(coach)
+            .next()
+            .map(|(id, _)| id)
+            .unwrap();
         g.remove(id).unwrap();
         let s = GraphStats::compute(&g);
         assert_eq!(s.fact_count, 4);

@@ -105,11 +105,7 @@ mod tests {
     }
 
     fn index(items: &[(u32, (i64, i64))]) -> IntervalIndex {
-        IntervalIndex::build(
-            items
-                .iter()
-                .map(|&(id, (a, b))| (FactId(id), iv(a, b))),
-        )
+        IntervalIndex::build(items.iter().map(|&(id, (a, b))| (FactId(id), iv(a, b))))
     }
 
     #[test]

@@ -60,8 +60,14 @@ mod tests {
         let text = write_graph(&g);
         let g2 = parse_graph(&text).unwrap();
         assert_eq!(g2.len(), g.len());
-        let facts1: Vec<String> = g.iter().map(|(_, f)| f.display(g.dict()).to_string()).collect();
-        let facts2: Vec<String> = g2.iter().map(|(_, f)| f.display(g2.dict()).to_string()).collect();
+        let facts1: Vec<String> = g
+            .iter()
+            .map(|(_, f)| f.display(g.dict()).to_string())
+            .collect();
+        let facts2: Vec<String> = g2
+            .iter()
+            .map(|(_, f)| f.display(g2.dict()).to_string())
+            .collect();
         assert_eq!(facts1, facts2);
     }
 

@@ -195,7 +195,10 @@ pub struct Comparison {
 impl Comparison {
     /// Evaluates under a binding.
     pub fn eval(&self, lookup: &impl Fn(VarId) -> Option<Interval>) -> Option<bool> {
-        Some(self.op.eval(self.left.eval(lookup)?, self.right.eval(lookup)?))
+        Some(
+            self.op
+                .eval(self.left.eval(lookup)?, self.right.eval(lookup)?),
+        )
     }
 }
 
@@ -257,7 +260,14 @@ mod tests {
         assert!(!CmpOp::Lt.eval(2, 2));
         assert!(CmpOp::Le.eval(2, 2));
         assert!(CmpOp::Ne.eval(1, 2));
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(1, 2), (2, 2), (3, 2)] {
                 assert_eq!(op.negate().eval(a, b), !op.eval(a, b));
             }
@@ -293,9 +303,15 @@ mod tests {
     #[test]
     fn num_expr_variants() {
         let bind = |v: VarId| (v.0 == 0).then(|| iv(10, 14));
-        assert_eq!(NumExpr::Start(TimeTerm::Var(VarId(0))).eval(&bind), Some(10));
+        assert_eq!(
+            NumExpr::Start(TimeTerm::Var(VarId(0))).eval(&bind),
+            Some(10)
+        );
         assert_eq!(NumExpr::End(TimeTerm::Var(VarId(0))).eval(&bind), Some(14));
-        assert_eq!(NumExpr::Duration(TimeTerm::Var(VarId(0))).eval(&bind), Some(5));
+        assert_eq!(
+            NumExpr::Duration(TimeTerm::Var(VarId(0))).eval(&bind),
+            Some(5)
+        );
         let e = NumExpr::Add(Box::new(NumExpr::Lit(1)), Box::new(NumExpr::Lit(2)));
         assert_eq!(e.eval(&bind), Some(3));
         assert_eq!(NumExpr::Start(TimeTerm::Var(VarId(9))).eval(&bind), None);

@@ -179,10 +179,9 @@ mod tests {
     #[test]
     fn inclusion_equals_parsed_f1() {
         let built = inclusion("f1", "playsFor", "worksFor", Weight::Soft(2.5));
-        let parsed = parse_formula(
-            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5",
-        )
-        .unwrap();
+        let parsed =
+            parse_formula("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5")
+                .unwrap();
         assert_eq!(built, parsed);
     }
 

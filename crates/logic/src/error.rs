@@ -43,7 +43,11 @@ impl LogicError {
 impl fmt::Display for LogicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LogicError::Syntax { line, column, message } => {
+            LogicError::Syntax {
+                line,
+                column,
+                message,
+            } => {
                 write!(f, "syntax error at {line}:{column}: {message}")
             }
             LogicError::Validation { formula, message } => match formula {

@@ -423,10 +423,10 @@ mod tests {
 
     #[test]
     fn comments() {
-        assert_eq!(kinds("# whole line\nx // rest\n"), vec![
-            TokenKind::Ident("x".into()),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("# whole line\nx // rest\n"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

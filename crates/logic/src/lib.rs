@@ -51,7 +51,7 @@ pub mod suggest;
 pub mod term;
 pub mod validate;
 
-pub use atom::{Comparison, CmpOp, Condition, NumExpr, QuadAtom, TemporalCond};
+pub use atom::{CmpOp, Comparison, Condition, NumExpr, QuadAtom, TemporalCond};
 pub use error::LogicError;
 pub use formula::{Consequent, Formula, FormulaKind, Weight};
 pub use program::LogicProgram;

@@ -154,9 +154,7 @@ impl Parser {
                 Element::EntityCmp { left, op, right } => {
                     conditions.push(Condition::EntityCmp { left, op, right })
                 }
-                Element::False => {
-                    return Err(self.error("`false` is only allowed as a consequent"))
-                }
+                Element::False => return Err(self.error("`false` is only allowed as a consequent")),
             }
             if !self.eat(&TokenKind::And) {
                 break;
@@ -365,7 +363,11 @@ impl Parser {
         // entity comparison.
         if matches!(op, CmpOp::Eq | CmpOp::Ne) {
             if let (Some(l), Some(r)) = (left.as_entity_term(), right.as_entity_term()) {
-                return Ok(Element::EntityCmp { left: l, op, right: r });
+                return Ok(Element::EntityCmp {
+                    left: l,
+                    op,
+                    right: r,
+                });
             }
         }
         Ok(Element::NumericCmp(Comparison {
@@ -493,9 +495,8 @@ mod tests {
 
     #[test]
     fn parses_paper_rule_f1() {
-        let f =
-            parse_formula("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5")
-                .unwrap();
+        let f = parse_formula("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5")
+            .unwrap();
         assert_eq!(f.name.as_deref(), Some("f1"));
         assert_eq!(f.kind(), FormulaKind::InferenceRule);
         assert_eq!(f.body.len(), 1);
@@ -627,10 +628,9 @@ mod tests {
 
     #[test]
     fn literal_intervals_and_constants() {
-        let f = parse_formula(
-            "quad(CR, coach, Chelsea, [2000,2004]) -> quad(CR, type, Coach) w = 1.0",
-        )
-        .unwrap();
+        let f =
+            parse_formula("quad(CR, coach, Chelsea, [2000,2004]) -> quad(CR, type, Coach) w = 1.0")
+                .unwrap();
         assert_eq!(f.body[0].subject, Term::Const("CR".into()));
         assert_eq!(
             f.body[0].time,
@@ -659,17 +659,16 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        let f2 = parse_formula(
-            "quad(x, p, y, t) ^ end(t) - start(t) > 5 -> quad(x, q, y, t) w = 1.0",
-        )
-        .unwrap();
+        let f2 =
+            parse_formula("quad(x, p, y, t) ^ end(t) - start(t) > 5 -> quad(x, q, y, t) w = 1.0")
+                .unwrap();
         assert_eq!(f2.conditions.len(), 1);
     }
 
     #[test]
     fn negative_interval_bounds() {
-        let f = parse_formula("quad(x, era, y, [-44, 14]) -> quad(x, type, Ancient) w = 1.0")
-            .unwrap();
+        let f =
+            parse_formula("quad(x, era, y, [-44, 14]) -> quad(x, type, Ancient) w = 1.0").unwrap();
         assert_eq!(
             f.body[0].time,
             Some(TimeTerm::Lit(Interval::new(-44, 14).unwrap()))

@@ -1,7 +1,5 @@
 //! Terms and variables of the rule/constraint language.
 
-
-
 use tecore_temporal::Interval;
 
 /// Index of a variable within one formula's [`VarTable`].
@@ -45,7 +43,10 @@ impl VarTable {
 
     /// Looks up an existing variable.
     pub fn lookup(&self, name: &str) -> Option<VarId> {
-        self.names.iter().position(|n| n == name).map(|p| VarId(p as u16))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|p| VarId(p as u16))
     }
 
     /// The variable's name.
@@ -178,7 +179,9 @@ mod tests {
         for v in ["x", "y", "z", "t", "t'", "t''", "t1", "t2'", "a"] {
             assert!(VarTable::is_variable_name(v), "{v} should be a variable");
         }
-        for c in ["Chelsea", "playsFor", "1951", "CR", "xy", "t'a", "", "X", "t''3"] {
+        for c in [
+            "Chelsea", "playsFor", "1951", "CR", "xy", "t'a", "", "X", "t''3",
+        ] {
             assert!(!VarTable::is_variable_name(c), "{c} should be a constant");
         }
     }

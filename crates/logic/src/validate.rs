@@ -159,8 +159,8 @@ pub fn check_expressivity(f: &Formula, target: Expressivity) -> Result<(), Logic
 pub fn infer_sorts(f: &Formula) -> Result<HashMap<VarId, VarSort>, LogicError> {
     let name = f.name.as_deref();
     let mut sorts: HashMap<VarId, VarSort> = HashMap::new();
-    let mut assign = |v: VarId, sort: VarSort, vars: &crate::term::VarTable| {
-        match sorts.insert(v, sort) {
+    let mut assign =
+        |v: VarId, sort: VarSort, vars: &crate::term::VarTable| match sorts.insert(v, sort) {
             Some(prev) if prev != sort => Err(LogicError::validation(
                 name,
                 format!(
@@ -169,11 +169,15 @@ pub fn infer_sorts(f: &Formula) -> Result<HashMap<VarId, VarSort>, LogicError> {
                 ),
             )),
             _ => Ok(()),
-        }
-    };
+        };
 
-    let visit_quad = |q: &QuadAtom, vars: &crate::term::VarTable,
-                          assign: &mut dyn FnMut(VarId, VarSort, &crate::term::VarTable) -> Result<(), LogicError>|
+    let visit_quad = |q: &QuadAtom,
+                      vars: &crate::term::VarTable,
+                      assign: &mut dyn FnMut(
+        VarId,
+        VarSort,
+        &crate::term::VarTable,
+    ) -> Result<(), LogicError>|
      -> Result<(), LogicError> {
         for term in [&q.subject, &q.predicate, &q.object] {
             if let Term::Var(v) = term {
@@ -248,8 +252,8 @@ mod tests {
 
     #[test]
     fn unsafe_head_variable_rejected() {
-        let f = parse_formula("quad(x, playsFor, y, t) -> quad(x, worksFor, z, t) w = 1.0")
-            .unwrap();
+        let f =
+            parse_formula("quad(x, playsFor, y, t) -> quad(x, worksFor, z, t) w = 1.0").unwrap();
         let e = check_formula(&f).unwrap_err();
         assert!(e.to_string().contains("unsafe variable `z`"), "{e}");
     }
@@ -266,7 +270,11 @@ mod tests {
         // `t` used as object (entity) and as interval.
         let f = parse_formula("quad(x, p, t, t) -> false").unwrap();
         let e = check_formula(&f).unwrap_err();
-        assert!(e.to_string().contains("both as an entity and as an interval"), "{e}");
+        assert!(
+            e.to_string()
+                .contains("both as an entity and as an interval"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -292,7 +300,10 @@ mod tests {
     fn entity_arithmetic_rejected() {
         let f = parse_formula("quad(x, p, y, t) ^ y + 1 < 5 -> false").unwrap();
         let e = check_formula(&f).unwrap_err();
-        assert!(e.to_string().contains("cannot be used in arithmetic"), "{e}");
+        assert!(
+            e.to_string().contains("cannot be used in arithmetic"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -123,11 +123,15 @@ mod tests {
         // One unit clause (a) with weight w: P(a) = sigmoid(w).
         for w in [0.5, 1.5, 3.0] {
             let p = SatProblem::from_clauses(1, &[soft(vec![Lit::pos(AtomId(0))], w)]);
-            let m = gibbs_marginals(&p, None, &GibbsConfig {
-                burn_in: 200,
-                samples: 4000,
-                seed: 1,
-            });
+            let m = gibbs_marginals(
+                &p,
+                None,
+                &GibbsConfig {
+                    burn_in: 200,
+                    samples: 4000,
+                    seed: 1,
+                },
+            );
             let expected = 1.0 / (1.0 + (-w).exp());
             assert!(
                 (m[0] - expected).abs() < 0.05,
@@ -160,20 +164,25 @@ mod tests {
             .unwrap(),
         ];
         let p = SatProblem::from_clauses(2, &clauses);
-        let m = gibbs_marginals(&p, None, &GibbsConfig {
-            burn_in: 500,
-            samples: 6000,
-            seed: 7,
-        });
+        let m = gibbs_marginals(
+            &p,
+            None,
+            &GibbsConfig {
+                burn_in: 500,
+                samples: 6000,
+                seed: 7,
+            },
+        );
         assert!(m[0] < 0.9 && m[1] < 0.9, "{m:?}");
         assert!((m[0] + m[1] - 1.0).abs() < 0.15, "{m:?}");
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let p = SatProblem::from_clauses(2, &[
-            soft(vec![Lit::pos(AtomId(0)), Lit::neg(AtomId(1))], 1.0),
-        ]);
+        let p = SatProblem::from_clauses(
+            2,
+            &[soft(vec![Lit::pos(AtomId(0)), Lit::neg(AtomId(1))], 1.0)],
+        );
         let cfg = GibbsConfig::default();
         assert_eq!(
             gibbs_marginals(&p, None, &cfg),

@@ -88,7 +88,13 @@ pub fn preprocess(problem: &SatProblem) -> Preprocessed {
             }
             fixed[l.atom.index()] = Some(l.positive);
             changed = true;
-            apply_fix(&mut clauses, l.atom.index(), l.positive, &mut base_cost, &mut feasible);
+            apply_fix(
+                &mut clauses,
+                l.atom.index(),
+                l.positive,
+                &mut base_cost,
+                &mut feasible,
+            );
         }
 
         // --- pure literals ---------------------------------------------

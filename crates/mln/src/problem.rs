@@ -125,13 +125,31 @@ pub struct MapResult {
     pub stats: SolveStats,
 }
 
+impl MapResult {
+    /// Converts into the backend-agnostic [`MapState`] the `MapSolver`
+    /// interface returns (MLN solvers produce no soft truth values).
+    pub fn into_map_state(self) -> tecore_ground::MapState {
+        tecore_ground::MapState {
+            assignment: self.assignment,
+            cost: self.cost,
+            feasible: self.feasible,
+            active_clauses: self.stats.active_clauses,
+            soft_values: None,
+        }
+    }
+}
+
 impl fmt::Display for MapResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "MAP: cost {:.4}, {}, {} steps, {:?}",
             self.cost,
-            if self.feasible { "feasible" } else { "INFEASIBLE" },
+            if self.feasible {
+                "feasible"
+            } else {
+                "INFEASIBLE"
+            },
             self.stats.steps,
             self.stats.elapsed
         )
@@ -151,7 +169,10 @@ mod tests {
     fn from_clauses_and_evaluate() {
         let clauses = vec![
             clause(vec![Lit::pos(AtomId(0))], ClauseWeight::Soft(2.0)),
-            clause(vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))], ClauseWeight::Hard),
+            clause(
+                vec![Lit::neg(AtomId(0)), Lit::pos(AtomId(1))],
+                ClauseWeight::Hard,
+            ),
             clause(vec![Lit::neg(AtomId(1))], ClauseWeight::Soft(0.5)),
         ];
         let p = SatProblem::from_clauses(2, &clauses);

@@ -281,6 +281,28 @@ pub fn brute_force(problem: &SatProblem) -> MapResult {
     }
 }
 
+impl tecore_ground::MapSolver for BranchAndBound {
+    fn name(&self) -> &str {
+        "mln-exact"
+    }
+
+    fn caps(&self) -> tecore_ground::SolverCaps {
+        tecore_ground::SolverCaps {
+            exact: self.node_budget.is_none(),
+            ..tecore_ground::SolverCaps::mln()
+        }
+    }
+
+    fn solve(
+        &self,
+        grounding: &tecore_ground::Grounding,
+        _opts: &tecore_ground::SolveOpts,
+    ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
+        let problem = SatProblem::from_grounding(grounding);
+        Ok(self.solve(&problem).into_map_state())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,7 +81,8 @@ impl CpiSolver {
             if rounds > self.config.max_rounds {
                 break;
             }
-            let violated = violated_clauses(&grounding.store, &grounding.program, &result.assignment);
+            let violated =
+                violated_clauses(&grounding.store, &grounding.program, &result.assignment);
             let mut added = 0;
             for clause in violated {
                 let key = (origin_idx(&clause), clause.lits.clone());
@@ -115,6 +116,37 @@ impl CpiSolver {
         } else {
             MaxWalkSat::new(self.config.walksat.clone()).solve(&problem)
         }
+    }
+}
+
+impl tecore_ground::MapSolver for CpiSolver {
+    fn name(&self) -> &str {
+        "mln-cpi"
+    }
+
+    fn caps(&self) -> tecore_ground::SolverCaps {
+        tecore_ground::SolverCaps {
+            // Lazy constraint grounding is the whole point of CPI: the
+            // translator defers eager constraint grounding for us.
+            lazy_grounding: true,
+            ..tecore_ground::SolverCaps::mln()
+        }
+    }
+
+    fn solve(
+        &self,
+        grounding: &Grounding,
+        opts: &tecore_ground::SolveOpts,
+    ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
+        let result = match opts.seed {
+            Some(seed) => {
+                let mut config = self.config.clone();
+                config.walksat.seed = seed;
+                CpiSolver::new(config).solve_lazy(grounding)
+            }
+            None => self.solve_lazy(grounding),
+        };
+        Ok(result.into_map_state())
     }
 }
 
@@ -218,7 +250,11 @@ mod tests {
         assert_eq!(r.stats.active_clauses, 32);
         // The lower-confidence clashing fact is removed.
         let other = lazy_g.dict.lookup("other").unwrap();
-        let (other_atom, _) = lazy_g.store.iter().find(|(_, a)| a.object == other).unwrap();
+        let (other_atom, _) = lazy_g
+            .store
+            .iter()
+            .find(|(_, a)| a.object == other)
+            .unwrap();
         assert!(!r.assignment[other_atom.index()]);
     }
 

@@ -13,7 +13,6 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-
 use crate::problem::{MapResult, SatProblem, SolveStats};
 
 /// MaxWalkSAT configuration.
@@ -125,7 +124,9 @@ impl MaxWalkSat {
                 };
                 let clause = &problem.clauses[ci as usize];
                 let var = if rng.random_bool(self.config.noise) {
-                    clause.lits[rng.random_range(0..clause.lits.len())].atom.index()
+                    clause.lits[rng.random_range(0..clause.lits.len())]
+                        .atom
+                        .index()
                 } else {
                     // Greedy: flip the literal with the best cost delta.
                     let mut best_var = clause.lits[0].atom.index();
@@ -301,6 +302,33 @@ impl State {
                 }
             }
         }
+    }
+}
+
+impl tecore_ground::MapSolver for MaxWalkSat {
+    fn name(&self) -> &str {
+        "mln-walksat"
+    }
+
+    fn caps(&self) -> tecore_ground::SolverCaps {
+        tecore_ground::SolverCaps::mln()
+    }
+
+    fn solve(
+        &self,
+        grounding: &tecore_ground::Grounding,
+        opts: &tecore_ground::SolveOpts,
+    ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
+        let problem = SatProblem::from_grounding(grounding);
+        let result = match opts.seed {
+            Some(seed) => MaxWalkSat::new(WalkSatConfig {
+                seed,
+                ..self.config.clone()
+            })
+            .solve(&problem),
+            None => self.solve(&problem),
+        };
+        Ok(result.into_map_state())
     }
 }
 

@@ -147,13 +147,7 @@ impl AdmmSolver {
                 if k < mrf.potentials.len() {
                     let p = &mrf.potentials[k];
                     prox_hinge_inplace(
-                        coeffs,
-                        p.constant,
-                        p.weight,
-                        p.squared,
-                        norm2[k],
-                        rho,
-                        local,
+                        coeffs, p.constant, p.weight, p.squared, norm2[k], rho, local,
                     );
                 } else {
                     let c = &mrf.constraints[k - mrf.potentials.len()];

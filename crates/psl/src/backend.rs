@@ -1,0 +1,65 @@
+//! The PSL substrate as a pluggable [`MapSolver`] backend.
+
+use tecore_ground::{
+    evaluate_world, Grounding, MapSolver, MapState, SolveError, SolveOpts, SolverCaps,
+};
+
+use crate::admm::AdmmConfig;
+use crate::hlmrf::PslConfig;
+
+/// The nPSL backend: HL-MRF construction + consensus ADMM + rounding,
+/// exposed through the backend-agnostic `MapSolver` interface.
+///
+/// The discrete cost reported in the [`MapState`] is the violated soft
+/// weight of the *rounded* world under the common clause semantics, so
+/// it is directly comparable with the MLN backends' costs; the solver's
+/// soft truth values are passed through for confidence grading.
+#[derive(Debug, Clone, Default)]
+pub struct PslAdmm {
+    /// HL-MRF construction options.
+    pub psl: PslConfig,
+    /// ADMM parameters.
+    pub admm: AdmmConfig,
+}
+
+impl PslAdmm {
+    /// A backend with the given configs.
+    pub fn new(psl: PslConfig, admm: AdmmConfig) -> Self {
+        PslAdmm { psl, admm }
+    }
+}
+
+impl MapSolver for PslAdmm {
+    fn name(&self) -> &str {
+        "psl-admm"
+    }
+
+    fn caps(&self) -> SolverCaps {
+        SolverCaps::psl()
+    }
+
+    fn solve(&self, grounding: &Grounding, _opts: &SolveOpts) -> Result<MapState, SolveError> {
+        let result = crate::solve(grounding, &self.psl, &self.admm);
+        let (cost, hard_violations) = evaluate_world(&grounding.clauses, &result.assignment);
+        Ok(MapState {
+            assignment: result.assignment,
+            cost,
+            feasible: hard_violations == 0,
+            active_clauses: grounding.clauses.len(),
+            soft_values: Some(result.values),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_and_name() {
+        let backend = PslAdmm::default();
+        assert_eq!(backend.name(), "psl-admm");
+        assert!(backend.caps().soft_values);
+        assert!(!backend.caps().lazy_grounding);
+    }
+}

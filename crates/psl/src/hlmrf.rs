@@ -218,8 +218,12 @@ mod tests {
     #[test]
     fn from_clauses_partitions() {
         let clauses = vec![
-            GroundClause::new(vec![lit(0, true)], ClauseWeight::Soft(1.0), ClauseOrigin::Evidence)
-                .unwrap(),
+            GroundClause::new(
+                vec![lit(0, true)],
+                ClauseWeight::Soft(1.0),
+                ClauseOrigin::Evidence,
+            )
+            .unwrap(),
             GroundClause::new(
                 vec![lit(0, false), lit(1, false)],
                 ClauseWeight::Hard,

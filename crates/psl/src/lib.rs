@@ -23,10 +23,12 @@
 //! [`rounding`] back to a discrete conflict-free world.
 
 pub mod admm;
+pub mod backend;
 pub mod hlmrf;
 pub mod rounding;
 
 pub use admm::{AdmmConfig, AdmmSolver, PslResult};
+pub use backend::PslAdmm;
 pub use hlmrf::{HingePotential, HlMrf, LinearConstraint, PslConfig};
 pub use rounding::round_assignment;
 

@@ -47,9 +47,7 @@ pub fn round_assignment(mrf: &HlMrf, values: &[f64]) -> (Vec<bool>, bool) {
 
 fn first_violated(mrf: &HlMrf, assignment: &[bool]) -> Option<usize> {
     let x: Vec<f64> = assignment.iter().map(|&b| f64::from(u8::from(b))).collect();
-    mrf.constraints
-        .iter()
-        .position(|c| !c.satisfied(&x, 1e-9))
+    mrf.constraints.iter().position(|c| !c.satisfied(&x, 1e-9))
 }
 
 #[cfg(test)]

@@ -1,0 +1,301 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of the criterion API the workspace's benches use
+//! (`Criterion`, benchmark groups, `BenchmarkId`, `Throughput`, the
+//! `criterion_group!`/`criterion_main!` macros) as a plain wall-clock
+//! runner. Each benchmark is warmed up once, then sampled `sample_size`
+//! times; the mean, min and max per-iteration times are printed, plus a
+//! throughput rate when one was declared.
+//!
+//! There is no statistical analysis, outlier rejection, or HTML report —
+//! numbers print to stdout, which is enough to compare configurations
+//! and track regressions by eye or by script. Benches register with
+//! `harness = false` in their crate manifest, exactly as with the real
+//! criterion.
+//!
+//! A benchmark filter can be passed on the command line (`cargo bench --
+//! <substring>`); non-matching benchmarks are skipped.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Sampled {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--`;
+        // criterion-style flags we don't implement are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        run_one(
+            &name,
+            self.filter.as_deref(),
+            self.default_sample_size,
+            None,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares the work per iteration, enabling a rate column.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            &name,
+            self.criterion.filter.as_deref(),
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the closure under test.
+pub struct Bencher {
+    result: Option<Sampled>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once for warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.result = Some(Sampled {
+            mean: total / self.sample_size as u32,
+            min,
+            max,
+            samples: self.sample_size,
+        });
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        result: None,
+        sample_size,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(s) => {
+            let rate = throughput.map(|t| t.rate(s.mean)).unwrap_or_default();
+            println!(
+                "bench: {name:<56} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples){rate}",
+                s.mean, s.min, s.max, s.samples
+            );
+        }
+        None => println!("bench: {name:<56} (no iterations recorded)"),
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn rate(self, mean: Duration) -> String {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match self {
+            Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / secs),
+            Throughput::Bytes(n) => format!("  {:.0} B/s", n as f64 / secs),
+        }
+    }
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Re-export for benches that take `black_box` from criterion rather
+/// than `std::hint`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_settings_and_ids() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            default_sample_size: 3,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut hits = 0u32;
+        group.bench_with_input(BenchmarkId::new("match-me", 7), &5u64, |b, &x| {
+            b.iter(|| hits += x as u32)
+        });
+        group.bench_function(BenchmarkId::from_parameter("skipped"), |b| {
+            b.iter(|| hits += 1000)
+        });
+        group.finish();
+        // Filtered-in bench: warm-up + 2 samples of +5; the second bench
+        // doesn't match the filter and never runs.
+        assert_eq!(hits, 15);
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access to a
+//! crates registry, so the handful of `rand` 0.9 APIs the workspace uses
+//! (`rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `RngExt`
+//! extension methods `random_bool` / `random_range`) are provided here,
+//! backed by a xoshiro256++ generator seeded through SplitMix64.
+//!
+//! Determinism is the contract that matters: every generator in the
+//! workspace is seeded explicitly, and tests (e.g. WalkSAT's
+//! `deterministic_given_seed`) rely on identical streams for identical
+//! seeds. Statistical quality of xoshiro256++ is far beyond what the
+//! synthetic-workload generators and stochastic solvers need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The extension methods the workspace calls on its generators.
+pub trait RngExt: RngCore {
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    fn random_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_unit_f64() < p
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// Panics on an empty range, like the real `rand`. The sampled type
+    /// is a free parameter (as in `rand` 0.9) so inference can flow
+    /// backwards from the call site into the range literal.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Ranges that can be sampled uniformly for values of type `T`.
+///
+/// Blanket-implemented for `Range<T>` / `RangeInclusive<T>` over every
+/// [`SampleUniform`] type through a *single* generic impl — that is what
+/// lets integer-literal ranges unify with the surrounding expression's
+/// type, exactly as in the real `rand`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Types uniformly sampleable from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[start, end)` (`inclusive = false`) or
+    /// `[start, end]` (`inclusive = true`).
+    fn sample_range<G: RngCore>(rng: &mut G, start: Self, end: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_range(rng, start, end, true)
+    }
+}
+
+/// Uniform `u64` in `[0, n)` via Lemire's multiply-shift with a
+/// rejection step (unbiased).
+fn uniform_below<G: RngCore>(rng: &mut G, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        let lo = m as u64;
+        if lo >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+        // Rejected: retry (vanishingly rare for small n).
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<G: RngCore>(rng: &mut G, start: Self, end: Self, inclusive: bool) -> Self {
+                let span = (end as i128 - start as i128) as u128 + u128::from(inclusive);
+                if span == 0 || span > u64::MAX as u128 {
+                    // Full-width range: any word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_below(rng, span as u64);
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<G: RngCore>(rng: &mut G, start: Self, end: Self, _inclusive: bool) -> Self {
+                let u = rng.random_unit_f64() as $t;
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with SplitMix64, as the xoshiro authors
+            // recommend, so that nearby seeds give unrelated streams.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000u32), b.random_range(0..1000u32));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let stream_a: Vec<u32> = (0..16).map(|_| a.random_range(0..1000)).collect();
+        let stream_c: Vec<u32> = (0..16).map(|_| c.random_range(0..1000)).collect();
+        assert_ne!(stream_a, stream_c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-20i64..20);
+            assert!((-20..20).contains(&v));
+            let v = rng.random_range(1u8..=10);
+            assert!((1..=10).contains(&v));
+            let f = rng.random_range(0.55f64..=0.99);
+            assert!((0.55..=0.99).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let ratio = hits as f64 / 20_000.0;
+        assert!((ratio - 0.25).abs() < 0.02, "ratio {ratio}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn uniform_covers_small_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

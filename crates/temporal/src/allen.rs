@@ -161,7 +161,11 @@ impl AllenRelation {
 
     /// Parses a basic-relation name (case-insensitive, `_` tolerated).
     pub fn parse(name: &str) -> Option<AllenRelation> {
-        let lowered: String = name.chars().filter(|c| *c != '_').collect::<String>().to_ascii_lowercase();
+        let lowered: String = name
+            .chars()
+            .filter(|c| *c != '_')
+            .collect::<String>()
+            .to_ascii_lowercase();
         AllenRelation::ALL
             .iter()
             .copied()

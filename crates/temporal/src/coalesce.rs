@@ -89,7 +89,10 @@ impl TemporalElement {
             return;
         }
         let merged = TemporalElement::from_intervals(
-            self.intervals.iter().copied().chain(std::iter::once(interval)),
+            self.intervals
+                .iter()
+                .copied()
+                .chain(std::iter::once(interval)),
         );
         *self = merged;
     }
@@ -140,9 +143,7 @@ impl TemporalElement {
             while k < other.intervals.len() && other.intervals[k].start() <= end {
                 let b = other.intervals[k];
                 if b.start() > cur_start {
-                    out.push(
-                        Interval::new(cur_start, b.start().pred()).expect("gap before hole"),
-                    );
+                    out.push(Interval::new(cur_start, b.start().pred()).expect("gap before hole"));
                 }
                 if b.end() >= end {
                     exhausted = true;
@@ -237,7 +238,10 @@ mod tests {
     fn difference_hole_in_middle() {
         let a = TemporalElement::from_intervals([iv(0, 10)]);
         let b = TemporalElement::from_intervals([iv(3, 4), iv(7, 8)]);
-        assert_eq!(a.difference(&b).intervals(), &[iv(0, 2), iv(5, 6), iv(9, 10)]);
+        assert_eq!(
+            a.difference(&b).intervals(),
+            &[iv(0, 2), iv(5, 6), iv(9, 10)]
+        );
     }
 
     #[test]

@@ -195,17 +195,14 @@ mod tests {
     fn derived_table_matches() {
         const N: i64 = 13;
         let mut derived = vec![vec![AllenSet::EMPTY; 13]; 13];
-        let ivs: Vec<Interval> = (0..N)
-            .flat_map(|s| (s..N).map(move |e| iv(s, e)))
-            .collect();
+        let ivs: Vec<Interval> = (0..N).flat_map(|s| (s..N).map(move |e| iv(s, e))).collect();
         for &a in &ivs {
             for &b in &ivs {
                 let r1 = AllenRelation::between(a, b);
                 for &c in &ivs {
                     let r2 = AllenRelation::between(b, c);
                     let r3 = AllenRelation::between(a, c);
-                    derived[r1.index()][r2.index()] =
-                        derived[r1.index()][r2.index()].insert(r3);
+                    derived[r1.index()][r2.index()] = derived[r1.index()][r2.index()].insert(r3);
                 }
             }
         }
@@ -223,8 +220,14 @@ mod tests {
     #[test]
     fn equals_is_identity() {
         for r in AllenRelation::ALL {
-            assert_eq!(compose(AllenRelation::Equals, r), AllenSet::from_relation(r));
-            assert_eq!(compose(r, AllenRelation::Equals), AllenSet::from_relation(r));
+            assert_eq!(
+                compose(AllenRelation::Equals, r),
+                AllenSet::from_relation(r)
+            );
+            assert_eq!(
+                compose(r, AllenRelation::Equals),
+                AllenSet::from_relation(r)
+            );
         }
     }
 

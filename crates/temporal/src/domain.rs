@@ -58,7 +58,11 @@ impl TimeDomain {
         if lo > hi {
             return Err(TemporalError::EmptyDomain { lo, hi });
         }
-        Ok(TimeDomain { lo, hi, granularity })
+        Ok(TimeDomain {
+            lo,
+            hi,
+            granularity,
+        })
     }
 
     /// A year-granularity domain covering the given inclusive year range.

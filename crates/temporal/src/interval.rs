@@ -19,7 +19,10 @@ pub struct Interval {
 
 impl Interval {
     /// Builds `[start, end]`, rejecting empty intervals.
-    pub fn new(start: impl Into<TimePoint>, end: impl Into<TimePoint>) -> Result<Self, TemporalError> {
+    pub fn new(
+        start: impl Into<TimePoint>,
+        end: impl Into<TimePoint>,
+    ) -> Result<Self, TemporalError> {
         let (start, end) = (start.into(), end.into());
         if start > end {
             return Err(TemporalError::EmptyInterval { start, end });

@@ -113,7 +113,9 @@ impl AllenSet {
 
     /// Iterates over the member relations in canonical order.
     pub fn iter(self) -> impl Iterator<Item = AllenRelation> {
-        AllenRelation::ALL.into_iter().filter(move |r| self.contains(*r))
+        AllenRelation::ALL
+            .into_iter()
+            .filter(move |r| self.contains(*r))
     }
 
     /// Set union.
@@ -251,8 +253,13 @@ mod tests {
     #[test]
     fn disjoint_is_complement_of_intersects() {
         assert_eq!(AllenSet::DISJOINT.complement(), AllenSet::INTERSECTS);
-        assert_eq!(AllenSet::DISJOINT.union(AllenSet::INTERSECTS), AllenSet::FULL);
-        assert!(AllenSet::DISJOINT.intersection(AllenSet::INTERSECTS).is_empty());
+        assert_eq!(
+            AllenSet::DISJOINT.union(AllenSet::INTERSECTS),
+            AllenSet::FULL
+        );
+        assert!(AllenSet::DISJOINT
+            .intersection(AllenSet::INTERSECTS)
+            .is_empty());
     }
 
     #[test]
@@ -297,7 +304,9 @@ mod tests {
         let s = AllenSet::EMPTY.insert(AllenRelation::During);
         assert!(s.contains(AllenRelation::During));
         assert_eq!(s.len(), 1);
-        assert!(!s.remove(AllenRelation::During).contains(AllenRelation::During));
+        assert!(!s
+            .remove(AllenRelation::During)
+            .contains(AllenRelation::During));
     }
 
     #[test]

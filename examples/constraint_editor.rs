@@ -51,6 +51,14 @@ fn main() {
         println!("  + {rendered}");
     }
 
+    // Pick a reasoner by name from the session's solver registry (the
+    // demo's backend dropdown).
+    println!("\n== available backends ==");
+    for name in session.backend_names() {
+        println!("  {name}");
+    }
+    session.set_backend("mln-exact").unwrap();
+
     // Run and browse, like the results screen of Figure 8.
     let resolution = session.run().unwrap();
     println!("\n{}", resolution.stats);

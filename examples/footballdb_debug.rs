@@ -27,14 +27,18 @@ fn main() {
     let config = match arg.as_deref() {
         Some("--paper-scale") => FootballConfig::paper_scale(),
         Some(n) => FootballConfig::with_target_facts(
-            n.parse().expect("usage: footballdb_debug [total_facts|--paper-scale]"),
+            n.parse()
+                .expect("usage: footballdb_debug [total_facts|--paper-scale]"),
             0.0883,
             0x7ec0_2017,
         ),
         None => FootballConfig::with_target_facts(30_000, 0.0883, 0x7ec0_2017),
     };
 
-    println!("generating FootballDB-like uTKG ({} players)...", config.players);
+    println!(
+        "generating FootballDB-like uTKG ({} players)...",
+        config.players
+    );
     let t = Instant::now();
     let generated = generate_football(&config);
     println!(
@@ -52,7 +56,7 @@ fn main() {
         let name = backend.name();
         println!("== debugging with {name} ==");
         let config = TecoreConfig {
-            backend,
+            backend: backend.into(),
             ..TecoreConfig::default()
         };
         let resolution = Tecore::with_config(generated.graph.clone(), program.clone(), config)

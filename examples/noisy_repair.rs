@@ -32,13 +32,12 @@ fn main() {
         for backend in [Backend::default(), Backend::default_psl()] {
             let name = backend.name();
             let tc = TecoreConfig {
-                backend,
+                backend: backend.into(),
                 ..TecoreConfig::default()
             };
-            let resolution =
-                Tecore::with_config(generated.graph.clone(), program.clone(), tc)
-                    .resolve()
-                    .expect("resolves");
+            let resolution = Tecore::with_config(generated.graph.clone(), program.clone(), tc)
+                .resolve()
+                .expect("resolves");
             let removed: Vec<_> = resolution.removed.iter().map(|r| r.id).collect();
             let m = repair_metrics(&generated, &removed);
             println!(

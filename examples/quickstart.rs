@@ -28,7 +28,7 @@ fn main() {
     for backend in [Backend::default(), Backend::default_psl()] {
         let name = backend.name();
         let config = TecoreConfig {
-            backend,
+            backend: backend.into(),
             confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
             ..TecoreConfig::default()
         };

@@ -23,7 +23,7 @@ fn figure_7_on_every_backend() {
     for backend in all_backends() {
         let name = backend.name();
         let config = TecoreConfig {
-            backend,
+            backend: backend.into(),
             ..TecoreConfig::default()
         };
         let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
@@ -54,7 +54,11 @@ fn figure_7_on_every_backend() {
         // Inference expanded the KG (f1).
         assert_eq!(r.inferred.len(), 1, "{name}");
         assert_eq!(r.inferred[0].predicate, "worksFor", "{name}");
-        assert_eq!(r.inferred[0].interval, Iv::new(1984, 1986).unwrap(), "{name}");
+        assert_eq!(
+            r.inferred[0].interval,
+            Iv::new(1984, 1986).unwrap(),
+            "{name}"
+        );
     }
 }
 
@@ -62,7 +66,9 @@ fn figure_7_on_every_backend() {
 /// never derive.
 #[test]
 fn rules_and_constraints_separate_roles() {
-    let rules_only = Tecore::new(ranieri_utkg(), paper_rules()).resolve().unwrap();
+    let rules_only = Tecore::new(ranieri_utkg(), paper_rules())
+        .resolve()
+        .unwrap();
     assert_eq!(rules_only.removed.len(), 0);
     assert_eq!(rules_only.inferred.len(), 1);
 
@@ -79,7 +85,13 @@ fn rules_and_constraints_separate_roles() {
 fn rule_chain_derives_lives_in() {
     let mut graph = ranieri_utkg();
     graph
-        .insert("Palermo", "locatedIn", "Sicily", Iv::new(1900, 2020).unwrap(), 0.95)
+        .insert(
+            "Palermo",
+            "locatedIn",
+            "Sicily",
+            Iv::new(1900, 2020).unwrap(),
+            0.95,
+        )
         .unwrap();
     let r = Tecore::new(graph, paper_program()).resolve().unwrap();
     let lives_in: Vec<_> = r
@@ -101,7 +113,13 @@ fn teen_player_rule_fires() {
         .insert("Kid", "playsFor", "Ajax", Iv::new(2010, 2012).unwrap(), 0.8)
         .unwrap();
     graph
-        .insert("Kid", "birthDate", "1994", Iv::new(1994, 2017).unwrap(), 0.9)
+        .insert(
+            "Kid",
+            "birthDate",
+            "1994",
+            Iv::new(1994, 2017).unwrap(),
+            0.9,
+        )
         .unwrap();
     let r = Tecore::new(graph, paper_rules()).resolve().unwrap();
     assert!(
@@ -111,7 +129,9 @@ fn teen_player_rule_fires() {
     );
 
     // Ranieri (33 at Palermo) must NOT be a teen player.
-    let r = Tecore::new(ranieri_utkg(), paper_rules()).resolve().unwrap();
+    let r = Tecore::new(ranieri_utkg(), paper_rules())
+        .resolve()
+        .unwrap();
     assert!(!r.inferred.iter().any(|f| f.object == "TeenPlayer"));
 }
 
@@ -120,7 +140,7 @@ fn teen_player_rule_fires() {
 #[test]
 fn marginal_confidence_thresholding() {
     let config = TecoreConfig {
-        backend: Backend::MlnExact,
+        backend: Backend::MlnExact.into(),
         confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
         threshold: 0.5,
         ..TecoreConfig::default()
@@ -136,7 +156,9 @@ fn marginal_confidence_thresholding() {
 /// The expanded graph round-trips through the text format.
 #[test]
 fn expanded_graph_roundtrip() {
-    let r = Tecore::new(ranieri_utkg(), paper_program()).resolve().unwrap();
+    let r = Tecore::new(ranieri_utkg(), paper_program())
+        .resolve()
+        .unwrap();
     let expanded = r.expanded_graph();
     assert_eq!(expanded.len(), 5);
     let text = tecore_kg::writer::write_graph(&expanded);
@@ -166,7 +188,12 @@ fn multiple_constraint_classes_in_one_run() {
     assert!(removed_objs.contains(&"Napoli"));
     assert!(removed_objs.contains(&"Naples"), "weaker bornIn loses");
     // Both constraints show up in the statistics.
-    let names: Vec<&str> = r.stats.per_constraint.iter().map(|(n, _)| n.as_str()).collect();
+    let names: Vec<&str> = r
+        .stats
+        .per_constraint
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
     assert!(names.contains(&"c2"));
     assert!(names.contains(&"c3"));
 }

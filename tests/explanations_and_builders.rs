@@ -12,10 +12,14 @@ use tecore_temporal::{AllenRelation, AllenSet};
 /// c2 and both participating facts — on every backend.
 #[test]
 fn running_example_explained() {
-    for backend in [Backend::MlnExact, Backend::default(), Backend::default_psl()] {
+    for backend in [
+        Backend::MlnExact,
+        Backend::default(),
+        Backend::default_psl(),
+    ] {
         let name = backend.name();
         let config = TecoreConfig {
-            backend,
+            backend: backend.into(),
             ..TecoreConfig::default()
         };
         let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
@@ -38,7 +42,12 @@ fn running_example_explained() {
 #[test]
 fn builder_program_equivalent_to_parsed() {
     let mut built = LogicProgram::new();
-    built.push(builder::inclusion("f1", "playsFor", "worksFor", Weight::Soft(2.5)));
+    built.push(builder::inclusion(
+        "f1",
+        "playsFor",
+        "worksFor",
+        Weight::Soft(2.5),
+    ));
     built.push(builder::temporal_order(
         "c1",
         "birthDate",

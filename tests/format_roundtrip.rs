@@ -25,16 +25,12 @@ fn generated_graph_roundtrips() {
 
     // Conflict resolution is invariant under the round trip.
     let config = TecoreConfig {
-        backend: Backend::default(),
+        backend: Backend::default().into(),
         ..TecoreConfig::default()
     };
-    let original = Tecore::with_config(
-        generated.graph.clone(),
-        football_program(),
-        config.clone(),
-    )
-    .resolve()
-    .unwrap();
+    let original = Tecore::with_config(generated.graph.clone(), football_program(), config.clone())
+        .resolve()
+        .unwrap();
     let roundtripped = Tecore::with_config(reparsed, football_program(), config)
         .resolve()
         .unwrap();

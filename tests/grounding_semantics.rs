@@ -15,8 +15,7 @@ use tecore_temporal::Interval;
 fn inclusion_dependency_forces_derivation() {
     let graph = parse_graph("(a, playsFor, b, [1,5]) 0.9\n").unwrap();
     let program =
-        LogicProgram::parse("quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = inf")
-            .unwrap();
+        LogicProgram::parse("quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = inf").unwrap();
     let r = Tecore::new(graph, program).resolve().unwrap();
     assert!(r.stats.feasible);
     assert_eq!(r.inferred.len(), 1);
@@ -39,7 +38,11 @@ fn head_intersection_expression() {
     )
     .unwrap();
     let r = Tecore::new(graph, program).resolve().unwrap();
-    let lives: Vec<_> = r.inferred.iter().filter(|f| f.predicate == "livesIn").collect();
+    let lives: Vec<_> = r
+        .inferred
+        .iter()
+        .filter(|f| f.predicate == "livesIn")
+        .collect();
     assert_eq!(lives.len(), 1, "only the overlapping pair derives");
     assert_eq!(lives[0].subject, "a");
     assert_eq!(lives[0].interval, Interval::new(2005, 2010).unwrap());
@@ -108,11 +111,13 @@ fn pin_certain_protects_certain_facts() {
     )
     .unwrap();
     let mut config = TecoreConfig {
-        backend: Backend::MlnExact,
+        backend: Backend::MlnExact.into(),
         ..TecoreConfig::default()
     };
     config.ground.pin_certain = true;
-    let r = Tecore::with_config(graph, program, config).resolve().unwrap();
+    let r = Tecore::with_config(graph, program, config)
+        .resolve()
+        .unwrap();
     assert!(r.stats.feasible);
     assert_eq!(r.removed.len(), 1);
     assert_eq!(r.consistent.dict().resolve(r.removed[0].fact.object), "B");

@@ -19,16 +19,12 @@ fn run_repair(noise_ratio: f64, backend: Backend, seed: u64) -> RepairMetrics {
         ..FootballConfig::default()
     });
     let config = TecoreConfig {
-        backend,
+        backend: backend.into(),
         ..TecoreConfig::default()
     };
-    let r = Tecore::with_config(
-        generated.graph.clone(),
-        football_program(),
-        config,
-    )
-    .resolve()
-    .expect("resolves");
+    let r = Tecore::with_config(generated.graph.clone(), football_program(), config)
+        .resolve()
+        .expect("resolves");
     assert!(r.stats.feasible);
     let removed: Vec<_> = r.removed.iter().map(|x| x.id).collect();
     repair_metrics(&generated, &removed)
@@ -68,16 +64,12 @@ fn backends_agree_on_clean_graphs() {
     for backend in [Backend::default(), Backend::default_psl()] {
         let name = backend.name();
         let config = TecoreConfig {
-            backend,
+            backend: backend.into(),
             ..TecoreConfig::default()
         };
-        let r = Tecore::with_config(
-            generated.graph.clone(),
-            football_program(),
-            config,
-        )
-        .resolve()
-        .unwrap();
+        let r = Tecore::with_config(generated.graph.clone(), football_program(), config)
+            .resolve()
+            .unwrap();
         assert_eq!(
             r.removed.len(),
             0,

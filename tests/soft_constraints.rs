@@ -29,10 +29,12 @@ fn soft_c2(weight: f64) -> LogicProgram {
 
 fn resolve(graph: UtkGraph, program: LogicProgram, backend: Backend) -> tecore_core::Resolution {
     let config = TecoreConfig {
-        backend,
+        backend: backend.into(),
         ..TecoreConfig::default()
     };
-    Tecore::with_config(graph, program, config).resolve().unwrap()
+    Tecore::with_config(graph, program, config)
+        .resolve()
+        .unwrap()
 }
 
 /// A weak soft constraint is cheaper to violate than deleting either
@@ -96,7 +98,10 @@ fn psl_soft_constraint_direction() {
     assert!(weak.removed.len() <= strong.removed.len());
     assert_eq!(strong.removed.len(), 1);
     assert_eq!(
-        strong.consistent.dict().resolve(strong.removed[0].fact.object),
+        strong
+            .consistent
+            .dict()
+            .resolve(strong.removed[0].fact.object),
         "Napoli"
     );
 }
@@ -135,5 +140,8 @@ fn mixed_hard_and_soft() {
     assert!(r.stats.feasible);
     // Only the hard constraint forces a removal (the weaker bornIn).
     assert_eq!(r.removed.len(), 1, "{:?}", r.removed);
-    assert_eq!(r.consistent.dict().resolve(r.removed[0].fact.object), "Naples");
+    assert_eq!(
+        r.consistent.dict().resolve(r.removed[0].fact.object),
+        "Naples"
+    );
 }

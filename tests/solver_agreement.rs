@@ -65,16 +65,12 @@ fn arb_graph() -> impl Strategy<Value = UtkGraph> {
 
 fn run(graph: &UtkGraph, backend: Backend) -> tecore_core::Resolution {
     let config = TecoreConfig {
-        backend,
+        backend: backend.into(),
         ..TecoreConfig::default()
     };
-    Tecore::with_config(
-        graph.clone(),
-        LogicProgram::parse(PROGRAM).unwrap(),
-        config,
-    )
-    .resolve()
-    .expect("resolves")
+    Tecore::with_config(graph.clone(), LogicProgram::parse(PROGRAM).unwrap(), config)
+        .resolve()
+        .expect("resolves")
 }
 
 proptest! {
