@@ -40,7 +40,11 @@ impl std::fmt::Display for ConflictExplanation {
 /// (the "keep everything" world) — these are the conflicts TeCoRe
 /// resolves, independent of which side MAP inference later removes.
 pub fn explain_conflicts(grounding: &Grounding) -> Vec<ConflictExplanation> {
-    let all_true = vec![true; grounding.num_atoms()];
+    // "Keep everything" means every *live* atom; atoms retracted by
+    // incremental deltas keep their slot but are not part of the KG.
+    let all_true: Vec<bool> = (0..grounding.num_atoms())
+        .map(|i| grounding.store.is_alive(tecore_ground::AtomId(i as u32)))
+        .collect();
     let mut out = Vec::new();
     for clause in violated_clauses(&grounding.store, &grounding.program, &all_true) {
         let ClauseOrigin::Formula(idx) = clause.origin else {

@@ -9,13 +9,15 @@
 //! runtime through the [`crate::registry::SolverRegistry`] behave
 //! exactly like the built-in ones.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use tecore_ground::{AtomKind, GroundConfig, SolveOpts};
-use tecore_kg::UtkGraph;
+use tecore_ground::incremental::DeltaStats;
+use tecore_ground::{AtomKind, GroundConfig, Grounding, MapState, SolveOpts};
+use tecore_kg::{Delta, FactId, TemporalFact, UtkGraph};
 use tecore_logic::LogicProgram;
 use tecore_mln::marginal::{gibbs_marginals, GibbsConfig};
 use tecore_mln::SatProblem;
+use tecore_temporal::Interval;
 
 pub use crate::backends::{Backend, SolverHandle};
 use crate::error::TecoreError;
@@ -54,23 +56,42 @@ pub struct TecoreConfig {
     pub confidence: ConfidenceMode,
 }
 
+/// The cached state of the incremental engine: the materialised
+/// grounding plus the last MAP state (the warm start for the next
+/// solve).
+#[derive(Debug, Clone)]
+struct EngineState {
+    grounding: Grounding,
+    last_state: Option<MapState>,
+}
+
 /// The TeCoRe system: a uTKG plus rules and constraints, ready to
 /// compute the most probable conflict-free KG.
+///
+/// Two solve paths share one interpretation:
+///
+/// * [`Tecore::resolve`] — the stateless batch path: translate, ground,
+///   solve from scratch (unchanged semantics, `&self`);
+/// * [`Tecore::resolve_incremental`] — the interactive path: the first
+///   call grounds cold and caches the materialisation; afterwards
+///   [`Tecore::insert_fact`]/[`Tecore::remove_fact`] (or any edit
+///   through [`Tecore::graph_mut`]) accumulate a [`Delta`] in the
+///   graph's change log, and the next `resolve_incremental` applies
+///   just that delta to the cached grounding and warm-starts the solver
+///   from the previous MAP state — work proportional to the edit, not
+///   the graph.
 #[derive(Debug, Clone)]
 pub struct Tecore {
     graph: UtkGraph,
     program: LogicProgram,
     config: TecoreConfig,
+    engine: Option<EngineState>,
 }
 
 impl Tecore {
     /// Creates a pipeline with default configuration.
     pub fn new(graph: UtkGraph, program: LogicProgram) -> Self {
-        Tecore {
-            graph,
-            program,
-            config: TecoreConfig::default(),
-        }
+        Tecore::with_config(graph, program, TecoreConfig::default())
     }
 
     /// Creates a pipeline with an explicit configuration.
@@ -79,12 +100,21 @@ impl Tecore {
             graph,
             program,
             config,
+            engine: None,
         }
     }
 
     /// The input graph.
     pub fn graph(&self) -> &UtkGraph {
         &self.graph
+    }
+
+    /// Mutable access to the graph. Edits are picked up by the next
+    /// [`Tecore::resolve_incremental`] through the graph's change log;
+    /// if the log was truncated past the cached epoch the engine falls
+    /// back to a full re-ground.
+    pub fn graph_mut(&mut self) -> &mut UtkGraph {
+        &mut self.graph
     }
 
     /// The logic program.
@@ -97,7 +127,59 @@ impl Tecore {
         &self.config
     }
 
-    /// Runs `map(θ(G), F ∪ C)` and interprets the result.
+    /// Updates the derived-fact confidence threshold without
+    /// invalidating the cached incremental state (thresholding only
+    /// affects result interpretation, never the grounding).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.config.threshold = threshold;
+    }
+
+    /// Inserts a fact (interning as needed); the change feeds the next
+    /// incremental resolve.
+    pub fn insert_fact(
+        &mut self,
+        subject: &str,
+        predicate: &str,
+        object: &str,
+        interval: Interval,
+        confidence: f64,
+    ) -> Result<FactId, TecoreError> {
+        Ok(self
+            .graph
+            .insert(subject, predicate, object, interval, confidence)?)
+    }
+
+    /// Removes (tombstones) a fact; the change feeds the next
+    /// incremental resolve.
+    pub fn remove_fact(&mut self, id: FactId) -> Result<TemporalFact, TecoreError> {
+        Ok(self.graph.remove(id)?)
+    }
+
+    /// The grounding configuration actually used: the backend's caps
+    /// decide whether constraints ground eagerly or lazily, and the
+    /// incremental path must keep applying the same choice.
+    fn effective_ground_config(&self) -> GroundConfig {
+        let mut config = self.config.ground.clone();
+        config.ground_constraints = !self.config.backend.caps().lazy_grounding;
+        config
+    }
+
+    /// Applies a delta to the cached grounding, if one exists and the
+    /// delta starts at its epoch. Returns the delta statistics, or
+    /// `None` when there is no cached materialisation to update (or
+    /// the epochs don't line up — the cache is then invalidated and
+    /// the next resolve re-grounds).
+    pub fn apply_delta(&mut self, delta: &Delta) -> Option<DeltaStats> {
+        let config = self.effective_ground_config();
+        let engine = self.engine.as_mut()?;
+        if engine.grounding.epoch() != delta.from_epoch {
+            self.engine = None;
+            return None;
+        }
+        Some(engine.grounding.apply_delta(&self.graph, delta, &config))
+    }
+
+    /// Runs `map(θ(G), F ∪ C)` from scratch and interprets the result.
     pub fn resolve(&self) -> Result<Resolution, TecoreError> {
         let solver = &self.config.backend;
         let grounding = translate(
@@ -106,122 +188,226 @@ impl Tecore {
             &solver.caps(),
             &self.config.ground,
         )?;
-
         let solve_start = Instant::now();
-        let mut state = solver.solve(&grounding, &SolveOpts::default())?;
+        let state = solver.solve(&grounding, &SolveOpts::default())?;
         let solve_time = solve_start.elapsed();
-        // Enforce the MapSolver contract on plugin backends: wrong
-        // vector lengths or a caps/state mismatch must surface as the
-        // documented error, not as an index panic (or silently wrong
-        // confidences) further down.
-        let contract_violation = if state.assignment.len() != grounding.num_atoms() {
-            Some(format!(
-                "returned {} assignments for {} ground atoms",
-                state.assignment.len(),
-                grounding.num_atoms()
-            ))
-        } else if state
-            .soft_values
-            .as_ref()
-            .is_some_and(|v| v.len() != grounding.num_atoms())
-        {
-            Some(format!(
-                "returned {} soft values for {} ground atoms",
-                state.soft_values.as_ref().map_or(0, Vec::len),
-                grounding.num_atoms()
-            ))
-        } else if solver.caps().soft_values != state.soft_values.is_some() {
-            Some(format!(
-                "caps declare soft_values = {} but the solve {} them",
-                solver.caps().soft_values,
-                if state.soft_values.is_some() {
-                    "returned"
-                } else {
-                    "omitted"
-                }
-            ))
-        } else {
-            None
-        };
-        if let Some(violation) = contract_violation {
-            return Err(TecoreError::Solve(tecore_ground::SolveError::Backend(
-                format!("solver `{}` {violation}", solver.name()),
-            )));
-        }
-
-        // Detected conflicts: constraint groundings violated by the
-        // "keep everything" world, with full provenance.
-        let conflicts = crate::explain::explain_conflicts(&grounding);
-        let mut per_constraint: Vec<(String, usize)> = Vec::new();
-        for c in &conflicts {
-            match per_constraint.iter_mut().find(|(n, _)| *n == c.constraint) {
-                Some((_, count)) => *count += 1,
-                None => per_constraint.push((c.constraint.clone(), 1)),
-            }
-        }
-
-        // Partition evidence by the MAP world.
-        let mut removed = Vec::new();
-        let consistent = self.graph.filtered(|id, fact| {
-            let atom = grounding.fact_atoms[&id];
-            let keep = state.assignment[atom.index()];
-            if !keep {
-                removed.push(RemovedFact { id, fact: *fact });
-            }
-            keep
-        });
-
-        // Confidence source for accepted derived facts: the solver's
-        // own soft truth values when it has them (taken, not cloned —
-        // on large groundings this vector is num_atoms wide), else the
-        // configured grading mode over the grounding.
-        let marginals: Option<Vec<f64>> = match (state.soft_values.take(), &self.config.confidence)
-        {
-            (Some(values), _) => Some(values),
-            (None, ConfidenceMode::Gibbs(cfg)) => {
-                let problem = SatProblem::from_grounding(&grounding);
-                Some(gibbs_marginals(&problem, Some(&state.assignment), cfg))
-            }
-            (None, ConfidenceMode::Constant) => None,
-        };
-        let mut inferred = Vec::new();
-        for (id, atom) in grounding.store.iter() {
-            if matches!(atom.kind, AtomKind::Hidden) && state.assignment[id.index()] {
-                let confidence = marginals
-                    .as_ref()
-                    .map_or(1.0, |m| m[id.index()].clamp(0.0, 1.0));
-                inferred.push(InferredFact {
-                    subject: grounding.dict.resolve(atom.subject).to_string(),
-                    predicate: grounding.dict.resolve(atom.predicate).to_string(),
-                    object: grounding.dict.resolve(atom.object).to_string(),
-                    interval: atom.interval,
-                    confidence,
-                });
-            }
-        }
-        let (inferred, thresholded) = threshold::apply(inferred, self.config.threshold);
-
-        let stats = DebugStats {
-            total_facts: self.graph.len(),
-            conflicting_facts: removed.len(),
-            inferred_facts: inferred.len(),
-            thresholded_facts: thresholded,
-            atoms: grounding.num_atoms(),
-            clauses: state.active_clauses,
-            per_constraint,
-            backend: solver.name().to_string(),
-            feasible: state.feasible,
-            cost: state.cost,
-            grounding_time: grounding.stats.elapsed,
+        check_solver_contract(solver, &grounding, &state)?;
+        Ok(interpret(
+            &self.graph,
+            &grounding,
+            state,
+            &self.config,
+            grounding.stats.elapsed,
             solve_time,
+        ))
+    }
+
+    /// Runs conflict resolution incrementally: syncs the cached
+    /// grounding with the graph's change log (cold-grounding on the
+    /// first call or after log truncation), warm-starts the solver
+    /// from the previous MAP state when its caps allow, and interprets
+    /// the result exactly like [`Tecore::resolve`].
+    pub fn resolve_incremental(&mut self) -> Result<Resolution, TecoreError> {
+        let solver = self.config.backend.clone();
+        let caps = solver.caps();
+
+        // 1. Sync the materialised grounding with the graph. Note that
+        // an empty *net* delta still goes through apply_delta (a no-op
+        // except for advancing the epoch): the epoch must move so the
+        // log truncation below can drop netted churn (insert+remove
+        // pairs) instead of re-netting a growing log every resolve.
+        let mut engine = match self.engine.take() {
+            Some(mut engine) => match self.graph.since(engine.grounding.epoch()) {
+                Some(delta) => {
+                    let config = self.effective_ground_config();
+                    let delta_stats = engine.grounding.apply_delta(&self.graph, &delta, &config);
+                    engine.grounding.stats.elapsed = delta_stats.elapsed;
+                    engine
+                }
+                None => EngineState {
+                    // The change log no longer reaches back to the
+                    // cached epoch: re-ground from scratch.
+                    grounding: translate(&self.graph, &self.program, &caps, &self.config.ground)?,
+                    last_state: None,
+                },
+            },
+            None => EngineState {
+                grounding: translate(&self.graph, &self.program, &caps, &self.config.ground)?,
+                last_state: None,
+            },
         };
-        Ok(Resolution {
-            consistent,
-            removed,
-            inferred,
-            conflicts,
-            stats,
-        })
+        // Long churny sessions accumulate dead atom slots (ids are
+        // never reused so solver vectors stay index-stable); once the
+        // graveyard dominates, a compacting re-ground is cheaper than
+        // dragging it through every solve.
+        let dead = engine.grounding.store.dead_count();
+        if dead > 64 && dead * 2 > engine.grounding.num_atoms() {
+            engine = EngineState {
+                grounding: translate(&self.graph, &self.program, &caps, &self.config.ground)?,
+                last_state: None, // atom ids changed: warm state is void
+            };
+        }
+        // The cache has consumed the history; keep the log bounded.
+        self.graph.truncate_log(engine.grounding.epoch());
+
+        // 2. Warm-started solve.
+        let opts = SolveOpts {
+            seed: None,
+            warm_start: if caps.warm_start {
+                engine.last_state.as_ref()
+            } else {
+                None
+            },
+        };
+        let solve_start = Instant::now();
+        let state = solver.solve(&engine.grounding, &opts)?;
+        let solve_time = solve_start.elapsed();
+        check_solver_contract(&solver, &engine.grounding, &state)?;
+
+        // 3. Interpret, then cache grounding + state for the next round.
+        let resolution = interpret(
+            &self.graph,
+            &engine.grounding,
+            state.clone(),
+            &self.config,
+            engine.grounding.stats.elapsed,
+            solve_time,
+        );
+        engine.last_state = Some(state);
+        self.engine = Some(engine);
+        Ok(resolution)
+    }
+}
+
+/// Enforces the MapSolver contract on plugin backends: wrong vector
+/// lengths or a caps/state mismatch must surface as the documented
+/// error, not as an index panic (or silently wrong confidences)
+/// further down.
+fn check_solver_contract(
+    solver: &SolverHandle,
+    grounding: &Grounding,
+    state: &MapState,
+) -> Result<(), TecoreError> {
+    let contract_violation = if state.assignment.len() != grounding.num_atoms() {
+        Some(format!(
+            "returned {} assignments for {} ground atoms",
+            state.assignment.len(),
+            grounding.num_atoms()
+        ))
+    } else if state
+        .soft_values
+        .as_ref()
+        .is_some_and(|v| v.len() != grounding.num_atoms())
+    {
+        Some(format!(
+            "returned {} soft values for {} ground atoms",
+            state.soft_values.as_ref().map_or(0, Vec::len),
+            grounding.num_atoms()
+        ))
+    } else if solver.caps().soft_values != state.soft_values.is_some() {
+        Some(format!(
+            "caps declare soft_values = {} but the solve {} them",
+            solver.caps().soft_values,
+            if state.soft_values.is_some() {
+                "returned"
+            } else {
+                "omitted"
+            }
+        ))
+    } else {
+        None
+    };
+    match contract_violation {
+        Some(violation) => Err(TecoreError::Solve(tecore_ground::SolveError::Backend(
+            format!("solver `{}` {violation}", solver.name()),
+        ))),
+        None => Ok(()),
+    }
+}
+
+/// Interprets a MAP state as a repaired knowledge graph — shared by the
+/// batch and incremental paths.
+fn interpret(
+    graph: &UtkGraph,
+    grounding: &Grounding,
+    mut state: MapState,
+    config: &TecoreConfig,
+    grounding_time: Duration,
+    solve_time: Duration,
+) -> Resolution {
+    // Detected conflicts: constraint groundings violated by the
+    // "keep everything" world, with full provenance.
+    let conflicts = crate::explain::explain_conflicts(grounding);
+    let mut per_constraint: Vec<(String, usize)> = Vec::new();
+    for c in &conflicts {
+        match per_constraint.iter_mut().find(|(n, _)| *n == c.constraint) {
+            Some((_, count)) => *count += 1,
+            None => per_constraint.push((c.constraint.clone(), 1)),
+        }
+    }
+
+    // Partition evidence by the MAP world.
+    let mut removed = Vec::new();
+    let consistent = graph.filtered(|id, fact| {
+        let atom = grounding.fact_atoms[&id];
+        let keep = state.assignment[atom.index()];
+        if !keep {
+            removed.push(RemovedFact { id, fact: *fact });
+        }
+        keep
+    });
+
+    // Confidence source for accepted derived facts: the solver's
+    // own soft truth values when it has them (taken, not cloned —
+    // on large groundings this vector is num_atoms wide), else the
+    // configured grading mode over the grounding.
+    let marginals: Option<Vec<f64>> = match (state.soft_values.take(), &config.confidence) {
+        (Some(values), _) => Some(values),
+        (None, ConfidenceMode::Gibbs(cfg)) => {
+            let problem = SatProblem::from_grounding(grounding);
+            Some(gibbs_marginals(&problem, Some(&state.assignment), cfg))
+        }
+        (None, ConfidenceMode::Constant) => None,
+    };
+    let mut inferred = Vec::new();
+    // Dead atoms (retracted by deltas) keep their assignment slot but
+    // are not part of the result.
+    for (id, atom) in grounding.store.iter_alive() {
+        if matches!(atom.kind, AtomKind::Hidden) && state.assignment[id.index()] {
+            let confidence = marginals
+                .as_ref()
+                .map_or(1.0, |m| m[id.index()].clamp(0.0, 1.0));
+            inferred.push(InferredFact {
+                subject: grounding.dict.resolve(atom.subject).to_string(),
+                predicate: grounding.dict.resolve(atom.predicate).to_string(),
+                object: grounding.dict.resolve(atom.object).to_string(),
+                interval: atom.interval,
+                confidence,
+            });
+        }
+    }
+    let (inferred, thresholded) = threshold::apply(inferred, config.threshold);
+
+    let stats = DebugStats {
+        total_facts: graph.len(),
+        conflicting_facts: removed.len(),
+        inferred_facts: inferred.len(),
+        thresholded_facts: thresholded,
+        atoms: grounding.num_atoms() - grounding.store.dead_count(),
+        clauses: state.active_clauses,
+        per_constraint,
+        backend: config.backend.name().to_string(),
+        feasible: state.feasible,
+        cost: state.cost,
+        grounding_time,
+        solve_time,
+    };
+    Resolution {
+        consistent,
+        removed,
+        inferred,
+        conflicts,
+        stats,
     }
 }
 
@@ -294,6 +480,173 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    fn iv(a: i64, b: i64) -> tecore_temporal::Interval {
+        tecore_temporal::Interval::new(a, b).unwrap()
+    }
+
+    /// Sorted display strings of a resolution's surviving facts.
+    fn canonical(r: &Resolution) -> (Vec<String>, Vec<String>, Vec<String>) {
+        let mut kept: Vec<String> = r
+            .consistent
+            .iter()
+            .map(|(_, f)| f.display(r.consistent.dict()).to_string())
+            .collect();
+        kept.sort();
+        let mut removed: Vec<String> = r
+            .removed
+            .iter()
+            .map(|rf| rf.fact.display(r.consistent.dict()).to_string())
+            .collect();
+        removed.sort();
+        let mut inferred: Vec<String> = r
+            .inferred
+            .iter()
+            .map(|f| format!("{} {} {} {}", f.subject, f.predicate, f.object, f.interval))
+            .collect();
+        inferred.sort();
+        (kept, removed, inferred)
+    }
+
+    /// A sequence of edits through the incremental engine must land on
+    /// exactly the repair a cold solve of the final graph computes — on
+    /// every backend, warm starts included.
+    #[test]
+    fn incremental_edits_match_cold_resolve_on_all_backends() {
+        for backend in [
+            Backend::MlnExact,
+            Backend::MlnWalkSat(WalkSatConfig::default()),
+            Backend::MlnCuttingPlane(CpiConfig::default()),
+            Backend::default_psl(),
+        ] {
+            let name = backend.name();
+            let graph = parse_graph(RANIERI).unwrap();
+            let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+            let config = TecoreConfig {
+                backend: backend.into(),
+                ..TecoreConfig::default()
+            };
+            let mut engine = Tecore::with_config(graph, program.clone(), config.clone());
+
+            // Prime: identical to the batch result.
+            let first = engine.resolve_incremental().unwrap();
+            assert_eq!(first.stats.conflicting_facts, 1, "{name}");
+
+            // Edit burst: a fresh clash with Leicester, and the Palermo
+            // spell (the worksFor derivation's support) goes away.
+            engine
+                .insert_fact("CR", "coach", "Roma", iv(2016, 2018), 0.95)
+                .unwrap();
+            let plays = engine.graph().dict().lookup("playsFor").unwrap();
+            let palermo_fact = engine
+                .graph()
+                .facts_with_predicate(plays)
+                .next()
+                .map(|(id, _)| id)
+                .unwrap();
+            engine.remove_fact(palermo_fact).unwrap();
+
+            let incremental = engine.resolve_incremental().unwrap();
+            let cold = Tecore::with_config(engine.graph().clone(), program, config)
+                .resolve()
+                .unwrap();
+            assert_eq!(canonical(&incremental), canonical(&cold), "{name}");
+            assert_eq!(incremental.stats.feasible, cold.stats.feasible, "{name}");
+            assert!(
+                (incremental.stats.cost - cold.stats.cost).abs() < 1e-6,
+                "{name}: incremental cost {} vs cold {}",
+                incremental.stats.cost,
+                cold.stats.cost
+            );
+            // The derivation died with its support.
+            assert!(incremental.inferred.is_empty(), "{name}");
+        }
+    }
+
+    /// Re-resolving with no edits reuses the cached grounding and stays
+    /// correct; netted churn (insert+remove pairs) still advances the
+    /// cached epoch so the graph's change log drains instead of being
+    /// re-netted forever.
+    #[test]
+    fn incremental_noop_resolve_reuses_cache() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let mut engine = Tecore::new(graph, program);
+        let first = engine.resolve_incremental().unwrap();
+        let again = engine.resolve_incremental().unwrap();
+        assert_eq!(canonical(&first), canonical(&again));
+
+        // Churn that nets to nothing: the cache must still catch up to
+        // the graph's epoch (otherwise the log accumulates forever).
+        let id = engine
+            .insert_fact("CR", "coach", "Churn", iv(1990, 1991), 0.8)
+            .unwrap();
+        engine.remove_fact(id).unwrap();
+        let after_churn = engine.resolve_incremental().unwrap();
+        assert_eq!(canonical(&first), canonical(&after_churn));
+        assert_eq!(
+            engine.engine.as_ref().unwrap().grounding.epoch(),
+            engine.graph.epoch(),
+            "cached epoch caught up through the net-empty delta"
+        );
+    }
+
+    /// Long churny sessions must not drag an ever-growing graveyard of
+    /// dead atom slots through every solve: once dead slots dominate,
+    /// the engine re-grounds compactly.
+    #[test]
+    fn graveyard_compaction_triggers_reground() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let mut engine = Tecore::new(graph, program);
+        engine.resolve_incremental().unwrap();
+        // Each round materialises a fresh atom, then kills it.
+        for i in 0..70 {
+            let id = engine
+                .insert_fact(
+                    &format!("p{i}"),
+                    "coach",
+                    &format!("c{i}"),
+                    iv(2000, 2001),
+                    0.8,
+                )
+                .unwrap();
+            engine.resolve_incremental().unwrap();
+            engine.remove_fact(id).unwrap();
+        }
+        let r = engine.resolve_incremental().unwrap();
+        assert_eq!(r.stats.conflicting_facts, 1);
+        let atoms = engine.engine.as_ref().unwrap().grounding.num_atoms();
+        assert!(atoms < 20, "graveyard compacted away, got {atoms} atoms");
+    }
+
+    /// Edits through `graph_mut` (bypassing the convenience methods)
+    /// are picked up via the change log; a truncated log falls back to
+    /// a full re-ground instead of returning stale results.
+    #[test]
+    fn graph_mut_edits_and_log_truncation_are_handled() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let mut engine = Tecore::new(graph, program);
+        engine.resolve_incremental().unwrap();
+
+        engine
+            .graph_mut()
+            .insert("CR", "coach", "Roma", iv(2016, 2018), 0.95)
+            .unwrap();
+        let via_log = engine.resolve_incremental().unwrap();
+        assert_eq!(via_log.stats.conflicting_facts, 2);
+
+        // Sever the history: the engine must rebuild, not misbehave.
+        engine
+            .graph_mut()
+            .insert("X", "coach", "A", iv(1, 2), 0.9)
+            .unwrap();
+        let epoch = engine.graph().epoch();
+        engine.graph_mut().truncate_log(epoch);
+        let rebuilt = engine.resolve_incremental().unwrap();
+        assert_eq!(rebuilt.stats.conflicting_facts, 2);
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! exactly that flow; `examples/constraint_editor.rs` drives it from a
 //! CLI.
 
-use tecore_kg::{GraphStats, UtkGraph};
+use tecore_kg::{FactId, GraphStats, TemporalFact, UtkGraph};
 use tecore_logic::pretty::format_formula;
 use tecore_logic::suggest::{CompletionEngine, Suggestion};
 use tecore_logic::validate::check_formula;
 use tecore_logic::LogicProgram;
+use tecore_temporal::Interval;
 
 use crate::error::TecoreError;
 use crate::pipeline::{Tecore, TecoreConfig};
@@ -34,6 +35,13 @@ pub struct Session {
     program: LogicProgram,
     config: TecoreConfig,
     registry: SolverRegistry,
+    /// The incremental engine for the selected dataset, if one has been
+    /// primed by [`Session::resolve_incremental`]. Its graph is a clone
+    /// of the dataset kept in lock-step by
+    /// [`Session::insert_fact`]/[`Session::remove_fact`] (identical
+    /// operation order ⇒ identical fact ids); program/backend edits
+    /// invalidate it.
+    engine: Option<(usize, Tecore)>,
 }
 
 impl Session {
@@ -59,11 +67,21 @@ impl Session {
     pub fn select(&mut self, name: &str) -> Result<(), TecoreError> {
         match self.datasets.iter().position(|(n, _)| n == name) {
             Some(i) => {
+                if self.selected != Some(i) {
+                    self.engine = None;
+                }
                 self.selected = Some(i);
                 Ok(())
             }
             None => Err(TecoreError::Session(format!("unknown dataset `{name}`"))),
         }
+    }
+
+    /// Index of the selected dataset.
+    fn selected_index(&self) -> Result<usize, TecoreError> {
+        self.selected
+            .filter(|&i| i < self.datasets.len())
+            .ok_or_else(|| TecoreError::Session("no dataset selected".into()))
     }
 
     /// The currently selected graph.
@@ -102,6 +120,7 @@ impl Session {
         check_formula(&formula)?;
         let rendered = format_formula(&formula);
         self.program.push(formula);
+        self.engine = None; // program changed: cached grounding is stale
         Ok(rendered)
     }
 
@@ -111,6 +130,7 @@ impl Session {
         program.validate()?;
         let added = program.len();
         self.program.extend(program);
+        self.engine = None;
         Ok(added)
     }
 
@@ -124,7 +144,12 @@ impl Session {
             .filter(|f| f.name.as_deref() != Some(name))
             .cloned()
             .collect();
-        self.program.len() < before
+        if self.program.len() < before {
+            self.engine = None;
+            true
+        } else {
+            false
+        }
     }
 
     /// The current program.
@@ -135,6 +160,7 @@ impl Session {
     /// Clears all rules and constraints.
     pub fn clear_program(&mut self) {
         self.program = LogicProgram::new();
+        self.engine = None;
     }
 
     /// Sets the reasoner: by registered name (`"mln-cpi"`,
@@ -142,6 +168,7 @@ impl Session {
     /// spec, or by [`SolverHandle`](crate::backends::SolverHandle).
     pub fn set_backend(&mut self, backend: impl BackendSelector) -> Result<(), TecoreError> {
         self.config.backend = backend.select(&self.registry)?;
+        self.engine = None; // different solver: grounding caps may differ
         Ok(())
     }
 
@@ -170,25 +197,110 @@ impl Session {
         &mut self.registry
     }
 
-    /// Sets the derived-fact confidence threshold.
+    /// Sets the derived-fact confidence threshold. Thresholding only
+    /// affects result interpretation, so a primed incremental engine
+    /// survives (its config is updated in place).
     pub fn set_threshold(&mut self, threshold: f64) {
         self.config.threshold = threshold;
+        if let Some((_, engine)) = &mut self.engine {
+            engine.set_threshold(threshold);
+        }
     }
 
-    /// Mutable access to the full configuration.
+    /// Mutable access to the full configuration. Conservatively drops
+    /// the incremental engine: the caller may change grounding options.
     pub fn config_mut(&mut self) -> &mut TecoreConfig {
+        self.engine = None;
         &mut self.config
     }
 
-    /// Runs conflict resolution on the selected dataset.
+    /// Runs conflict resolution on the selected dataset (batch path:
+    /// translates, grounds and solves from scratch).
     pub fn run(&self) -> Result<Resolution, TecoreError> {
         let graph = self.graph()?.clone();
+        self.require_program()?;
+        Tecore::with_config(graph, self.program.clone(), self.config.clone()).resolve()
+    }
+
+    fn require_program(&self) -> Result<(), TecoreError> {
         if self.program.is_empty() {
             return Err(TecoreError::Session(
                 "no rules or constraints registered".into(),
             ));
         }
-        Tecore::with_config(graph, self.program.clone(), self.config.clone()).resolve()
+        Ok(())
+    }
+
+    /// Inserts a fact into the selected dataset. The edit is mirrored
+    /// into the primed incremental engine (if any), so the next
+    /// [`Session::resolve_incremental`] re-solves in time proportional
+    /// to the edit.
+    pub fn insert_fact(
+        &mut self,
+        subject: &str,
+        predicate: &str,
+        object: &str,
+        interval: Interval,
+        confidence: f64,
+    ) -> Result<FactId, TecoreError> {
+        let idx = self.selected_index()?;
+        let id = self.datasets[idx]
+            .1
+            .insert(subject, predicate, object, interval, confidence)?;
+        if let Some((engine_idx, engine)) = &mut self.engine {
+            if *engine_idx == idx {
+                let mirrored =
+                    engine.insert_fact(subject, predicate, object, interval, confidence)?;
+                if mirrored != id {
+                    // The engine's copy drifted from the dataset (a
+                    // mutation path that bypassed the mirroring). Drop
+                    // it: the next resolve_incremental re-primes from
+                    // the dataset instead of serving stale results.
+                    debug_assert_eq!(mirrored, id, "engine graph in lock-step with dataset");
+                    self.engine = None;
+                }
+            }
+        }
+        Ok(id)
+    }
+
+    /// Removes a fact from the selected dataset, mirroring the edit
+    /// into the primed incremental engine (if any).
+    pub fn remove_fact(&mut self, id: FactId) -> Result<TemporalFact, TecoreError> {
+        let idx = self.selected_index()?;
+        let removed = self.datasets[idx].1.remove(id)?;
+        if let Some((engine_idx, engine)) = &mut self.engine {
+            if *engine_idx == idx && engine.remove_fact(id).is_err() {
+                // Same drift guard as insert_fact: a fact the dataset
+                // held but the engine copy didn't means the copies
+                // diverged — re-prime rather than go stale.
+                debug_assert!(false, "engine graph in lock-step with dataset");
+                self.engine = None;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Runs conflict resolution incrementally on the selected dataset.
+    ///
+    /// The first call (or the first after a program/backend/dataset
+    /// change) grounds from scratch and primes the engine; subsequent
+    /// calls consume only the [`Session::insert_fact`] /
+    /// [`Session::remove_fact`] edits since the previous call and
+    /// warm-start the solver from the previous MAP state.
+    pub fn resolve_incremental(&mut self) -> Result<Resolution, TecoreError> {
+        let idx = self.selected_index()?;
+        self.require_program()?;
+        let stale = !matches!(&self.engine, Some((engine_idx, _)) if *engine_idx == idx);
+        if stale {
+            let graph = self.datasets[idx].1.clone();
+            self.engine = Some((
+                idx,
+                Tecore::with_config(graph, self.program.clone(), self.config.clone()),
+            ));
+        }
+        let (_, engine) = self.engine.as_mut().expect("engine just primed");
+        engine.resolve_incremental()
     }
 }
 
@@ -336,6 +448,55 @@ mod tests {
         // Unknown names error with the available list.
         let err = session.set_backend("gurobi").unwrap_err();
         assert!(err.to_string().contains("unknown backend"));
+    }
+
+    #[test]
+    fn incremental_session_flow() {
+        let mut session = Session::new();
+        session.add_dataset("ranieri", ranieri());
+        session
+            .add_formula(
+                "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z \
+                 -> disjoint(t, t') w = inf",
+            )
+            .unwrap();
+
+        // Prime the engine: same answer as the batch path.
+        let r1 = session.resolve_incremental().unwrap();
+        assert_eq!(r1.stats.conflicting_facts, 1);
+
+        // Streaming edit: a strong Roma spell clashes with Leicester.
+        let iv = |a, b| tecore_temporal::Interval::new(a, b).unwrap();
+        let roma = session
+            .insert_fact("CR", "coach", "Roma", iv(2016, 2018), 0.95)
+            .unwrap();
+        let r2 = session.resolve_incremental().unwrap();
+        assert_eq!(r2.stats.conflicting_facts, 2, "Napoli + Leicester");
+
+        // Undo: back to the original repair, and in agreement with a
+        // cold batch run over the same (edited) dataset.
+        session.remove_fact(roma).unwrap();
+        let r3 = session.resolve_incremental().unwrap();
+        assert_eq!(r3.stats.conflicting_facts, 1);
+        let batch = session.run().unwrap();
+        assert_eq!(r3.stats.conflicting_facts, batch.stats.conflicting_facts);
+        assert_eq!(r3.consistent.len(), batch.consistent.len());
+
+        // A program edit invalidates the cached engine but the flow
+        // keeps working.
+        session
+            .add_formula("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5")
+            .unwrap();
+        let r4 = session.resolve_incremental().unwrap();
+        assert_eq!(r4.stats.conflicting_facts, 1);
+    }
+
+    #[test]
+    fn incremental_edits_require_selection() {
+        let mut session = Session::new();
+        let iv = tecore_temporal::Interval::new(1, 2).unwrap();
+        assert!(session.insert_fact("a", "p", "b", iv, 0.5).is_err());
+        assert!(session.resolve_incremental().is_err());
     }
 
     #[test]

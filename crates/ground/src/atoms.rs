@@ -59,9 +59,17 @@ pub struct GroundAtom {
 /// Interning store of ground atoms with the secondary indexes the join
 /// engine needs (by predicate, by subject+predicate, by
 /// predicate+object). Indexes are maintained incrementally on insert.
+///
+/// Atom ids are positional (they index solver assignment vectors), so
+/// the incremental grounder never deletes atoms: an atom whose last
+/// justification disappears is marked **dead** and skipped by the
+/// binding search, and *revived* in place if a later delta re-asserts
+/// the same ground statement.
 #[derive(Debug, Default, Clone)]
 pub struct AtomStore {
     atoms: Vec<GroundAtom>,
+    alive: Vec<bool>,
+    dead_count: usize,
     interned: HashMap<(Symbol, Symbol, Symbol, Interval), AtomId>,
     by_pred: HashMap<Symbol, Vec<AtomId>>,
     by_sp: HashMap<(Symbol, Symbol), Vec<AtomId>>,
@@ -107,6 +115,18 @@ impl AtomStore {
         fact: FactId,
     ) -> AtomId {
         if let Some(&id) = self.interned.get(&(s, p, o, interval)) {
+            if !self.is_alive(id) {
+                // A retracted atom re-asserted by new evidence comes
+                // back to life in its old slot.
+                self.revive(
+                    id,
+                    AtomKind::Evidence {
+                        log_odds,
+                        facts: vec![fact],
+                    },
+                );
+                return id;
+            }
             match &mut self.atoms[id.index()].kind {
                 AtomKind::Evidence { log_odds: w, facts } => {
                     *w += log_odds;
@@ -135,7 +155,8 @@ impl AtomStore {
         })
     }
 
-    /// Interns a hidden (derived) atom; returns `(id, was_new)`.
+    /// Interns a hidden (derived) atom; returns `(id, was_new)` —
+    /// `was_new` also covers a dead atom revived in place.
     pub fn intern_hidden(
         &mut self,
         s: Symbol,
@@ -144,6 +165,10 @@ impl AtomStore {
         interval: Interval,
     ) -> (AtomId, bool) {
         if let Some(&id) = self.interned.get(&(s, p, o, interval)) {
+            if !self.is_alive(id) {
+                self.revive(id, AtomKind::Hidden);
+                return (id, true);
+            }
             return (id, false);
         }
         let id = self.insert(GroundAtom {
@@ -172,15 +197,53 @@ impl AtomStore {
             .or_default()
             .push(id);
         self.atoms.push(atom);
+        self.alive.push(true);
         id
     }
 
-    /// Iterates over all atoms.
+    /// Is the atom live (still justified by evidence or a derivation)?
+    #[inline]
+    pub fn is_alive(&self, id: AtomId) -> bool {
+        self.alive.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of dead (retracted) atoms.
+    pub fn dead_count(&self) -> usize {
+        self.dead_count
+    }
+
+    /// Marks an atom dead. The id stays valid (assignment vectors keep
+    /// their width); the binding search skips it.
+    pub(crate) fn kill(&mut self, id: AtomId) {
+        if std::mem::replace(&mut self.alive[id.index()], false) {
+            self.dead_count += 1;
+        }
+    }
+
+    /// Revives a dead atom in place with a fresh justification.
+    pub(crate) fn revive(&mut self, id: AtomId, kind: AtomKind) {
+        if !std::mem::replace(&mut self.alive[id.index()], true) {
+            self.dead_count -= 1;
+        }
+        self.atoms[id.index()].kind = kind;
+    }
+
+    /// Mutable access to an atom's justification (incremental updates).
+    pub(crate) fn kind_mut(&mut self, id: AtomId) -> &mut AtomKind {
+        &mut self.atoms[id.index()].kind
+    }
+
+    /// Iterates over all atoms, dead ones included (ids are dense).
     pub fn iter(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> {
         self.atoms
             .iter()
             .enumerate()
             .map(|(i, a)| (AtomId(i as u32), a))
+    }
+
+    /// Iterates over live atoms only.
+    pub fn iter_alive(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> {
+        self.iter().filter(|(id, _)| self.alive[id.index()])
     }
 
     /// Atoms with the given predicate.
@@ -198,14 +261,16 @@ impl AtomStore {
         self.by_po.get(&(p, o)).map_or(&[], Vec::as_slice)
     }
 
-    /// Number of evidence atoms.
+    /// Number of live evidence atoms.
     pub fn evidence_count(&self) -> usize {
-        self.atoms.iter().filter(|a| a.kind.is_evidence()).count()
+        self.iter_alive()
+            .filter(|(_, a)| a.kind.is_evidence())
+            .count()
     }
 
-    /// Number of hidden atoms.
+    /// Number of live hidden atoms.
     pub fn hidden_count(&self) -> usize {
-        self.len() - self.evidence_count()
+        self.len() - self.dead_count - self.evidence_count()
     }
 }
 

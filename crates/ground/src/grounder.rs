@@ -98,11 +98,19 @@ impl fmt::Display for GroundingStats {
 
 /// The result of grounding: the ground weighted program both backends
 /// consume.
+///
+/// A `Grounding` is a *persistent* structure: besides the clause
+/// program it carries a fact→atom→clause dependency index, so
+/// [`Grounding::apply_delta`](crate::incremental) can consume a
+/// [`tecore_kg::Delta`] and update the materialisation in place —
+/// re-running the binding search only around the changed facts — rather
+/// than re-grounding the whole graph.
 #[derive(Debug, Clone)]
 pub struct Grounding {
     /// All ground atoms.
     pub store: AtomStore,
     /// All ground clauses (formula groundings + evidence units + priors).
+    /// Invariant: every clause references live atoms only.
     pub clauses: Vec<GroundClause>,
     /// Dictionary covering the graph *and* head constants.
     pub dict: Dictionary,
@@ -112,12 +120,28 @@ pub struct Grounding {
     pub fact_atoms: HashMap<FactId, AtomId>,
     /// Run statistics.
     pub stats: GroundingStats,
+    /// Graph epoch this grounding materialises.
+    pub(crate) epoch: u64,
+    /// Formula-clause dedup signatures (kept so deltas never re-emit a
+    /// live clause).
+    pub(crate) seen: HashSet<(usize, Vec<Lit>)>,
+    /// atom id → indices into `clauses` of every clause naming it.
+    pub(crate) atom_clauses: Vec<Vec<u32>>,
+    /// atom id → number of live formula clauses deriving it (positive
+    /// head literal); a hidden atom dies when this reaches zero.
+    pub(crate) support: Vec<u32>,
 }
 
 impl Grounding {
-    /// Number of ground atoms (solver variables).
+    /// Number of ground atoms (solver variables); dead atoms keep their
+    /// slot so assignment vectors stay index-stable across deltas.
     pub fn num_atoms(&self) -> usize {
         self.store.len()
+    }
+
+    /// The graph epoch this grounding reflects.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -184,7 +208,10 @@ pub fn ground(
                         &store,
                         cf,
                         horizon,
-                        Some((delta_start, delta_pos)),
+                        Frontier::Range {
+                            start: delta_start,
+                            pos: delta_pos,
+                        },
                         None,
                         &mut |chosen, bindings| {
                             matches += 1;
@@ -232,39 +259,7 @@ pub fn ground(
     if config.emit_evidence_units {
         for (id, atom) in store.iter() {
             if let crate::atoms::AtomKind::Evidence { log_odds, .. } = &atom.kind {
-                let w = *log_odds;
-                if config.pin_certain && w >= 20.0 {
-                    clauses.push(
-                        GroundClause::new(
-                            vec![Lit::pos(id)],
-                            ClauseWeight::Hard,
-                            ClauseOrigin::Evidence,
-                        )
-                        .expect("unit clause"),
-                    );
-                } else {
-                    // A confidence of exactly 0.5 has log-odds 0; keep a
-                    // positive bias strictly larger than the hidden-atom
-                    // prior so the MAP state never deletes an
-                    // uninformative fact gratuitously (removed facts are
-                    // reported as conflicts, and "keep the fact plus its
-                    // rule derivations" must beat "silently drop it").
-                    let (lit, weight) = if w.abs() <= 1e-9 {
-                        (Lit::pos(id), (4.0 * config.hidden_prior).max(0.2))
-                    } else if w > 0.0 {
-                        (Lit::pos(id), w)
-                    } else {
-                        (Lit::neg(id), -w)
-                    };
-                    clauses.push(
-                        GroundClause::new(
-                            vec![lit],
-                            ClauseWeight::Soft(weight),
-                            ClauseOrigin::Evidence,
-                        )
-                        .expect("unit clause"),
-                    );
-                }
+                clauses.push(evidence_unit_clause(id, *log_odds, config));
             }
         }
     }
@@ -272,14 +267,21 @@ pub fn ground(
     if config.hidden_prior > 0.0 {
         for (id, atom) in store.iter() {
             if !atom.kind.is_evidence() {
-                clauses.push(
-                    GroundClause::new(
-                        vec![Lit::neg(id)],
-                        ClauseWeight::Soft(config.hidden_prior),
-                        ClauseOrigin::Prior,
-                    )
-                    .expect("unit clause"),
-                );
+                clauses.push(prior_clause(id, config));
+            }
+        }
+    }
+
+    // Dependency index: atom → clauses naming it, and per-atom
+    // derivation support. This is what apply_delta walks to retract
+    // exactly the clauses a changed fact touches.
+    let mut atom_clauses: Vec<Vec<u32>> = vec![Vec::new(); store.len()];
+    let mut support = vec![0u32; store.len()];
+    for (ci, clause) in clauses.iter().enumerate() {
+        for lit in &clause.lits {
+            atom_clauses[lit.atom.index()].push(ci as u32);
+            if lit.positive && matches!(clause.origin, ClauseOrigin::Formula(_)) {
+                support[lit.atom.index()] += 1;
             }
         }
     }
@@ -293,7 +295,57 @@ pub fn ground(
         program: compiled,
         fact_atoms,
         stats,
+        epoch: graph.epoch(),
+        seen,
+        atom_clauses,
+        support,
     })
+}
+
+/// The soft (or pinned-hard) unit clause encoding one evidence atom's
+/// combined confidence — shared by the batch grounder and the
+/// incremental delta path.
+pub(crate) fn evidence_unit_clause(
+    id: AtomId,
+    log_odds: f64,
+    config: &GroundConfig,
+) -> GroundClause {
+    if config.pin_certain && log_odds >= 20.0 {
+        return GroundClause::new(
+            vec![Lit::pos(id)],
+            ClauseWeight::Hard,
+            ClauseOrigin::Evidence,
+        )
+        .expect("unit clause");
+    }
+    // A confidence of exactly 0.5 has log-odds 0; keep a positive bias
+    // strictly larger than the hidden-atom prior so the MAP state never
+    // deletes an uninformative fact gratuitously (removed facts are
+    // reported as conflicts, and "keep the fact plus its rule
+    // derivations" must beat "silently drop it").
+    let (lit, weight) = if log_odds.abs() <= 1e-9 {
+        (Lit::pos(id), (4.0 * config.hidden_prior).max(0.2))
+    } else if log_odds > 0.0 {
+        (Lit::pos(id), log_odds)
+    } else {
+        (Lit::neg(id), -log_odds)
+    };
+    GroundClause::new(
+        vec![lit],
+        ClauseWeight::Soft(weight),
+        ClauseOrigin::Evidence,
+    )
+    .expect("unit clause")
+}
+
+/// The closed-world prior unit clause on a hidden atom.
+pub(crate) fn prior_clause(id: AtomId, config: &GroundConfig) -> GroundClause {
+    GroundClause::new(
+        vec![Lit::neg(id)],
+        ClauseWeight::Soft(config.hidden_prior),
+        ClauseOrigin::Prior,
+    )
+    .expect("unit clause")
 }
 
 /// Stores smaller than this are always matched serially: thread spawn
@@ -393,16 +445,16 @@ where
 }
 
 /// Ground key of a pending head atom.
-struct HeadKey {
-    subject: Symbol,
-    predicate: Symbol,
-    object: Symbol,
-    interval: Interval,
+pub(crate) struct HeadKey {
+    pub(crate) subject: Symbol,
+    pub(crate) predicate: Symbol,
+    pub(crate) object: Symbol,
+    pub(crate) interval: Interval,
 }
 
 /// Evaluates the consequent for a completed body match and records the
 /// resulting pending clause (if any).
-fn collect_match(
+pub(crate) fn collect_match(
     cf: &CompiledFormula,
     chosen: &[AtomId],
     bindings: &Bindings,
@@ -519,23 +571,59 @@ pub(crate) fn eval_condition(c: &CCondition, bindings: &Bindings) -> bool {
     }
 }
 
+/// The semi-naive "at least one new atom" discipline for one
+/// enumeration pass.
+///
+/// A match is admitted when body position `pos` binds a *new* atom
+/// while every body position before `pos` binds an *old* one — run once
+/// per body position, this produces each new match exactly once. What
+/// "new" means is the variants' difference: the batch grounder's rounds
+/// append atoms, so newness is an id range; the incremental delta path
+/// revives atoms at arbitrary old ids, so newness is a membership set.
+#[derive(Clone, Copy)]
+pub(crate) enum Frontier<'a> {
+    /// No restriction: enumerate every match once.
+    All,
+    /// New = atoms with `id >= start` (batch semi-naive rounds).
+    Range { start: usize, pos: usize },
+    /// New = atoms flagged in `new` (incremental deltas; the slice may
+    /// be shorter than the store — missing entries are old).
+    Set { new: &'a [bool], pos: usize },
+}
+
+impl Frontier<'_> {
+    /// May `id` occupy body position `pat_idx` under this discipline?
+    #[inline]
+    fn admits(&self, pat_idx: usize, id: AtomId) -> bool {
+        let (is_new, pos) = match *self {
+            Frontier::All => return true,
+            Frontier::Range { start, pos } => (id.index() >= start, pos),
+            Frontier::Set { new, pos } => (new.get(id.index()).copied().unwrap_or(false), pos),
+        };
+        if pat_idx == pos {
+            is_new
+        } else if pat_idx < pos {
+            !is_new
+        } else {
+            true
+        }
+    }
+}
+
 /// Enumerates all body matches of `cf` against `store`.
 ///
 /// * `horizon` — only atoms with `id < horizon` participate (atoms
 ///   created during the current round are next round's delta);
-/// * `delta` — `Some((delta_start, delta_pos))` restricts matches to
-///   those whose atom at body position `delta_pos` has
-///   `id >= delta_start`, while positions *before* `delta_pos` (in body
-///   order) must use `id < delta_start`. This is the standard semi-naive
-///   dedup so each new match is produced exactly once across delta
-///   positions. `None` enumerates everything once.
+/// * `frontier` — the semi-naive newness discipline (see [`Frontier`]);
+///   [`Frontier::All`] enumerates everything once.
 /// * `filter` — optional per-atom admission test (used by cutting-plane
-///   violation search with "atom is true in the current world").
+///   violation search with "atom is true in the current world", and by
+///   the incremental path to skip dead atoms).
 pub(crate) fn enumerate_matches(
     store: &AtomStore,
     cf: &CompiledFormula,
     horizon: usize,
-    delta: Option<(usize, usize)>,
+    frontier: Frontier<'_>,
     filter: Option<&dyn Fn(AtomId) -> bool>,
     on_match: &mut dyn FnMut(&[AtomId], &Bindings),
 ) {
@@ -545,7 +633,7 @@ pub(crate) fn enumerate_matches(
         store,
         cf,
         horizon,
-        delta,
+        frontier,
         filter,
         0,
         &mut bindings,
@@ -559,7 +647,7 @@ fn descend(
     store: &AtomStore,
     cf: &CompiledFormula,
     horizon: usize,
-    delta: Option<(usize, usize)>,
+    frontier: Frontier<'_>,
     filter: Option<&dyn Fn(AtomId) -> bool>,
     step: usize,
     bindings: &mut Bindings,
@@ -589,13 +677,8 @@ fn descend(
         if id.index() >= horizon {
             return false;
         }
-        if let Some((delta_start, delta_pos)) = delta {
-            if pat_idx == delta_pos && id.index() < delta_start {
-                return false;
-            }
-            if pat_idx < delta_pos && id.index() >= delta_start {
-                return false;
-            }
+        if !frontier.admits(pat_idx, id) {
+            return false;
         }
         if let Some(f) = filter {
             if !f(id) {
@@ -626,7 +709,7 @@ fn descend(
                 store,
                 cf,
                 horizon,
-                delta,
+                frontier,
                 filter,
                 step + 1,
                 bindings,

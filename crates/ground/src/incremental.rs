@@ -1,0 +1,627 @@
+//! Incremental maintenance of a [`Grounding`] under uTKG deltas.
+//!
+//! A batch [`crate::ground`] run is a pure function of the graph;
+//! TeCoRe's interactive loop (edit the uTKG, re-run the reasoner) would
+//! pay that full cost for every single-fact edit. This module instead
+//! treats the grounding as a *materialised view* and maintains it under
+//! a [`Delta`]:
+//!
+//! * **removed facts** weaken their evidence atom (or, when the last
+//!   supporting fact goes, demote it to hidden / kill it), and every
+//!   clause touching a killed atom is retracted — cascading through
+//!   derived atoms whose last deriving clause disappears;
+//! * **added facts** merge into an existing atom, revive a dead one, or
+//!   create a fresh one; the semi-naive binding search then re-runs
+//!   restricted to the *set* of new/revived atoms
+//!   ([`crate::grounder::Frontier::Set`]), so only matches that touch
+//!   the delta are enumerated.
+//!
+//! Atom ids are never reused and dead atoms keep their slot, so solver
+//! assignment vectors stay index-stable across deltas — which is what
+//! makes warm-starting (`SolveOpts::warm_start`) possible. A full
+//! re-ground of the final graph remains the semantic oracle: the MAP
+//! state over an incrementally maintained grounding must partition the
+//! facts exactly as the MAP state over a cold grounding does (the
+//! `incremental_conformance` suite asserts this for every backend).
+
+use std::time::{Duration, Instant};
+
+use tecore_kg::{Delta, UtkGraph};
+use tecore_logic::formula::Weight;
+
+use crate::atoms::{AtomId, AtomKind};
+use crate::clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
+use crate::grounder::{
+    collect_match, enumerate_matches, evidence_unit_clause, prior_clause, Frontier, GroundConfig,
+    Grounding, HeadKey,
+};
+
+/// Statistics of one [`Grounding::apply_delta`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaStats {
+    /// Facts added by the delta.
+    pub facts_added: usize,
+    /// Facts removed by the delta.
+    pub facts_removed: usize,
+    /// Clauses retracted (formula groundings, units and priors).
+    pub clauses_retracted: usize,
+    /// Clauses emitted.
+    pub clauses_emitted: usize,
+    /// Atoms created or revived.
+    pub atoms_created: usize,
+    /// Atoms killed (including cascade kills of unsupported
+    /// derivations).
+    pub atoms_killed: usize,
+    /// Semi-naive rounds run over the delta frontier.
+    pub rounds: usize,
+    /// Wall-clock time of the delta application.
+    pub elapsed: Duration,
+}
+
+/// Outcome of detaching one removed fact from its evidence atom.
+enum Detach {
+    /// Other facts still assert the atom; its weight changed.
+    Weakened,
+    /// The last supporting fact went away.
+    Exhausted,
+}
+
+impl Grounding {
+    /// Updates the materialised grounding to reflect `delta`, re-running
+    /// the binding search only around the changed facts.
+    ///
+    /// `graph` must be the graph at `delta.to_epoch` and `config` the
+    /// configuration the grounding was built with (the pipeline passes
+    /// the same caps-adjusted config it grounds with, so lazily-grounded
+    /// constraints stay deferred across deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delta.from_epoch` is not this grounding's epoch —
+    /// applying a delta twice, or one drawn from a different graph
+    /// snapshot, would silently corrupt the materialisation, and the
+    /// epoch field exists precisely to catch that (in release builds
+    /// too).
+    pub fn apply_delta(
+        &mut self,
+        graph: &UtkGraph,
+        delta: &Delta,
+        config: &GroundConfig,
+    ) -> DeltaStats {
+        let start = Instant::now();
+        assert_eq!(
+            self.epoch, delta.from_epoch,
+            "delta must start at the grounding's epoch"
+        );
+        let mut stats = DeltaStats {
+            facts_added: delta.added.len(),
+            facts_removed: delta.removed.len(),
+            ..DeltaStats::default()
+        };
+        let mut kills: Vec<AtomId> = Vec::new();
+        let mut unit_dirty: Vec<AtomId> = Vec::new();
+
+        // --- 1. Removed facts: weaken / demote / kill their atoms. ---
+        for &fid in &delta.removed {
+            let Some(aid) = self.fact_atoms.remove(&fid) else {
+                continue;
+            };
+            let outcome = match self.store.kind_mut(aid) {
+                AtomKind::Evidence { facts, log_odds } => {
+                    facts.retain(|&f| f != fid);
+                    if facts.is_empty() {
+                        Detach::Exhausted
+                    } else {
+                        // Recompute the combined weight from the
+                        // surviving facts (no float drift from repeated
+                        // subtraction).
+                        *log_odds = facts
+                            .iter()
+                            .filter_map(|&f| graph.fact(f))
+                            .map(|f| f.confidence.log_odds())
+                            .sum();
+                        Detach::Weakened
+                    }
+                }
+                AtomKind::Hidden => unreachable!("fact_atoms maps facts to evidence atoms"),
+            };
+            match outcome {
+                Detach::Weakened => unit_dirty.push(aid),
+                Detach::Exhausted => {
+                    if self.support[aid.index()] > 0 {
+                        // Still derived by a live rule grounding: the
+                        // atom survives as hidden (exactly what a cold
+                        // re-ground would produce).
+                        *self.store.kind_mut(aid) = AtomKind::Hidden;
+                        if let Some(j) = self.find_unit(aid, ClauseOrigin::Evidence) {
+                            self.retract_clause(j, &mut kills, &mut stats);
+                        }
+                        if config.hidden_prior > 0.0 {
+                            self.emit_clause(prior_clause(aid, config), &mut stats);
+                        }
+                    } else {
+                        kills.push(aid);
+                    }
+                }
+            }
+        }
+
+        // --- 2. Cascade kills: retract every clause touching a dead
+        // atom; derivations losing their last support die too. ---
+        let mut next_kill = 0;
+        while next_kill < kills.len() {
+            let aid = kills[next_kill];
+            next_kill += 1;
+            if !self.store.is_alive(aid) {
+                continue; // already processed via another path
+            }
+            self.store.kill(aid);
+            stats.atoms_killed += 1;
+            while let Some(&ci) = self.atom_clauses[aid.index()].last() {
+                self.retract_clause(ci as usize, &mut kills, &mut stats);
+            }
+        }
+
+        // --- 3. Added facts: merge / upgrade / revive / create their
+        // evidence atoms. ---
+        let mut frontier: Vec<bool> = vec![false; self.store.len()];
+        let mut frontier_nonempty = false;
+        for &fid in &delta.added {
+            let Some(fact) = graph.fact(fid) else {
+                continue;
+            };
+            // Re-map the fact's terms into the grounding dictionary: the
+            // graph may have interned new terms after grounding appended
+            // its head constants, so raw symbol ids can collide.
+            let s = self.dict.intern(graph.dict().resolve(fact.subject));
+            let p = self.dict.intern(graph.dict().resolve(fact.predicate));
+            let o = self.dict.intern(graph.dict().resolve(fact.object));
+            let log_odds = fact.confidence.log_odds();
+            let existing = self.store.lookup(s, p, o, fact.interval);
+            let was_alive = existing.is_some_and(|id| self.store.is_alive(id));
+            let was_hidden = existing
+                .filter(|&id| self.store.is_alive(id))
+                .is_some_and(|id| !self.store.atom(id).kind.is_evidence());
+            let aid = self
+                .store
+                .intern_evidence(s, p, o, fact.interval, log_odds, fid);
+            if aid.index() >= self.atom_clauses.len() {
+                self.atom_clauses.push(Vec::new());
+                self.support.push(0);
+            }
+            if was_hidden {
+                // Hidden atom upgraded to evidence: its closed-world
+                // prior no longer applies.
+                if let Some(j) = self.find_unit(aid, ClauseOrigin::Prior) {
+                    self.retract_clause(j, &mut kills, &mut stats);
+                }
+            }
+            if !was_alive {
+                // Fresh or revived: its matches must be (re-)enumerated.
+                if aid.index() >= frontier.len() {
+                    frontier.resize(aid.index() + 1, false);
+                }
+                if !frontier[aid.index()] {
+                    frontier[aid.index()] = true;
+                    frontier_nonempty = true;
+                    stats.atoms_created += 1;
+                }
+            }
+            self.fact_atoms.insert(fid, aid);
+            unit_dirty.push(aid);
+        }
+
+        // --- 4. Refresh the evidence unit clauses of weight-changed
+        // atoms. ---
+        if config.emit_evidence_units {
+            unit_dirty.sort_unstable();
+            unit_dirty.dedup();
+            for aid in unit_dirty {
+                if !self.store.is_alive(aid) {
+                    continue;
+                }
+                let AtomKind::Evidence { log_odds, .. } = &self.store.atom(aid).kind else {
+                    continue; // demoted in the same delta
+                };
+                let log_odds = *log_odds;
+                if let Some(j) = self.find_unit(aid, ClauseOrigin::Evidence) {
+                    self.retract_clause(j, &mut kills, &mut stats);
+                }
+                self.emit_clause(evidence_unit_clause(aid, log_odds, config), &mut stats);
+            }
+        }
+        debug_assert!(next_kill == kills.len(), "unit retraction never kills");
+
+        // --- 5. Semi-naive rounds restricted to the frontier set. ---
+        let active: Vec<usize> = self
+            .program
+            .formulas
+            .iter()
+            .enumerate()
+            .filter(|(_, cf)| cf.consequent.derives() || config.ground_constraints)
+            .map(|(i, _)| i)
+            .collect();
+        let mut rounds = 0;
+        while frontier_nonempty && rounds < config.max_rounds {
+            rounds += 1;
+            stats.rounds = rounds;
+            let horizon = self.store.len();
+            let mut pending: Vec<(usize, Vec<AtomId>, Option<HeadKey>)> = Vec::new();
+            {
+                let store = &self.store;
+                let alive = |id: AtomId| store.is_alive(id);
+                for &fi in &active {
+                    let cf = &self.program.formulas[fi];
+                    for pos in 0..cf.body.len() {
+                        enumerate_matches(
+                            store,
+                            cf,
+                            horizon,
+                            Frontier::Set {
+                                new: &frontier,
+                                pos,
+                            },
+                            Some(&alive),
+                            &mut |chosen, bindings| {
+                                collect_match(cf, chosen, bindings, store, &mut pending);
+                            },
+                        );
+                    }
+                }
+            }
+            let mut next: Vec<bool> = Vec::new();
+            frontier_nonempty = false;
+            for (fidx, body, head) in pending {
+                let mut lits: Vec<Lit> = body.iter().map(|&a| Lit::neg(a)).collect();
+                if let Some(key) = head {
+                    let (head_id, newly_live) = self.store.intern_hidden(
+                        key.subject,
+                        key.predicate,
+                        key.object,
+                        key.interval,
+                    );
+                    if head_id.index() >= self.atom_clauses.len() {
+                        self.atom_clauses.push(Vec::new());
+                        self.support.push(0);
+                    }
+                    if newly_live {
+                        stats.atoms_created += 1;
+                        if config.hidden_prior > 0.0 {
+                            self.emit_clause(prior_clause(head_id, config), &mut stats);
+                        }
+                        if head_id.index() >= next.len() {
+                            next.resize(head_id.index() + 1, false);
+                        }
+                        next[head_id.index()] = true;
+                        frontier_nonempty = true;
+                    }
+                    lits.push(Lit::pos(head_id));
+                }
+                let weight = match self.program.formulas[fidx].weight {
+                    Weight::Hard => ClauseWeight::Hard,
+                    Weight::Soft(w) => ClauseWeight::Soft(w),
+                };
+                if let Some(clause) = GroundClause::new(lits, weight, ClauseOrigin::Formula(fidx)) {
+                    if self.seen.insert((fidx, clause.lits.clone())) {
+                        self.emit_clause(clause, &mut stats);
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        self.epoch = delta.to_epoch;
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    /// Index of the single-literal clause of `origin` on `aid`, if any.
+    fn find_unit(&self, aid: AtomId, origin: ClauseOrigin) -> Option<usize> {
+        self.atom_clauses[aid.index()]
+            .iter()
+            .map(|&ci| ci as usize)
+            .find(|&ci| self.clauses[ci].origin == origin && self.clauses[ci].len() == 1)
+    }
+
+    /// Appends a clause, maintaining the atom→clause index and the
+    /// derivation-support counters.
+    fn emit_clause(&mut self, clause: GroundClause, stats: &mut DeltaStats) {
+        let j = self.clauses.len() as u32;
+        for lit in &clause.lits {
+            self.atom_clauses[lit.atom.index()].push(j);
+            if lit.positive && matches!(clause.origin, ClauseOrigin::Formula(_)) {
+                self.support[lit.atom.index()] += 1;
+            }
+        }
+        self.clauses.push(clause);
+        stats.clauses_emitted += 1;
+    }
+
+    /// Removes clause `j` (swap-remove, fixing up the moved clause's
+    /// index entries), reversing its dedup signature and support
+    /// contributions; derivations losing their last support are queued
+    /// on `kills`.
+    fn retract_clause(&mut self, j: usize, kills: &mut Vec<AtomId>, stats: &mut DeltaStats) {
+        let clause = self.clauses.swap_remove(j);
+        stats.clauses_retracted += 1;
+        for lit in &clause.lits {
+            let entries = &mut self.atom_clauses[lit.atom.index()];
+            let pos = entries
+                .iter()
+                .position(|&ci| ci as usize == j)
+                .expect("clause index consistent");
+            entries.swap_remove(pos);
+        }
+        if let ClauseOrigin::Formula(fidx) = clause.origin {
+            self.seen.remove(&(fidx, clause.lits.clone()));
+            for lit in &clause.lits {
+                if lit.positive {
+                    let support = &mut self.support[lit.atom.index()];
+                    *support -= 1;
+                    if *support == 0
+                        && self.store.is_alive(lit.atom)
+                        && !self.store.atom(lit.atom).kind.is_evidence()
+                    {
+                        kills.push(lit.atom);
+                    }
+                }
+            }
+        }
+        // The clause previously at the tail now lives at `j`.
+        if j < self.clauses.len() {
+            let moved_old = self.clauses.len() as u32;
+            for lit in self.clauses[j].lits.clone() {
+                let entries = &mut self.atom_clauses[lit.atom.index()];
+                let pos = entries
+                    .iter()
+                    .position(|&ci| ci == moved_old)
+                    .expect("clause index consistent");
+                entries[pos] = j as u32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounder::ground;
+    use tecore_kg::parser::parse_graph;
+    use tecore_kg::UtkGraph;
+    use tecore_logic::LogicProgram;
+    use tecore_temporal::Interval;
+
+    const PROGRAM: &str = "\
+        f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+        c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n";
+
+    fn program() -> LogicProgram {
+        LogicProgram::parse(PROGRAM).unwrap()
+    }
+
+    /// Canonical live-clause multiset: (origin-ish, rendered lits)
+    /// sorted, with lits rendered through atom keys so two groundings
+    /// with different atom id layouts compare equal.
+    fn canonical_clauses(g: &Grounding) -> Vec<String> {
+        let render_atom = |id: AtomId| {
+            let a = g.store.atom(id);
+            format!(
+                "{}|{}|{}|{}",
+                g.dict.resolve(a.subject),
+                g.dict.resolve(a.predicate),
+                g.dict.resolve(a.object),
+                a.interval
+            )
+        };
+        let mut out: Vec<String> = g
+            .clauses
+            .iter()
+            .map(|c| {
+                let mut lits: Vec<String> = c
+                    .lits
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "{}{}",
+                            if l.positive { "+" } else { "-" },
+                            render_atom(l.atom)
+                        )
+                    })
+                    .collect();
+                lits.sort();
+                let weight = match c.weight {
+                    ClauseWeight::Hard => "hard".to_string(),
+                    ClauseWeight::Soft(w) => format!("{w:.9}"),
+                };
+                let origin = match c.origin {
+                    ClauseOrigin::Formula(i) => format!("f{i}"),
+                    ClauseOrigin::Evidence => "ev".into(),
+                    ClauseOrigin::Prior => "pr".into(),
+                };
+                format!("{origin} {weight} {}", lits.join(" ∨ "))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Applies the pending delta of `graph` to `g` and asserts the
+    /// result is clause-for-clause equivalent to a cold re-ground.
+    fn assert_matches_cold(g: &mut Grounding, graph: &mut UtkGraph, config: &GroundConfig) {
+        let delta = graph.since(g.epoch()).expect("history retained");
+        g.apply_delta(graph, &delta, config);
+        let cold = ground(graph, &program(), config).unwrap();
+        assert_eq!(canonical_clauses(g), canonical_clauses(&cold));
+        // Live-atom population agrees too.
+        assert_eq!(g.store.evidence_count(), cold.store.evidence_count());
+        assert_eq!(g.store.hidden_count(), cold.store.hidden_count());
+    }
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn add_conflicting_fact_emits_constraint_clause() {
+        let mut graph = parse_graph("(CR, coach, Chelsea, [2000,2004]) 0.9\n").unwrap();
+        let config = GroundConfig::default();
+        let mut g = ground(&graph, &program(), &config).unwrap();
+        graph
+            .insert("CR", "coach", "Napoli", iv(2001, 2003), 0.6)
+            .unwrap();
+        let delta = graph.since(g.epoch()).unwrap();
+        let stats = g.apply_delta(&graph, &delta, &config);
+        assert_eq!(stats.facts_added, 1);
+        assert_eq!(stats.atoms_created, 1);
+        // One new clash clause + one new evidence unit.
+        assert!(
+            g.clauses
+                .iter()
+                .any(|c| c.origin == ClauseOrigin::Formula(1) && c.weight.is_hard()),
+            "clash clause emitted"
+        );
+        let cold = ground(&graph, &program(), &config).unwrap();
+        assert_eq!(canonical_clauses(&g), canonical_clauses(&cold));
+    }
+
+    #[test]
+    fn remove_fact_retracts_its_clauses_and_cascades() {
+        let mut graph = parse_graph(
+            "(CR, playsFor, Palermo, [1984,1986]) 0.5\n\
+             (CR, coach, Chelsea, [2000,2004]) 0.9\n\
+             (CR, coach, Napoli, [2001,2003]) 0.6\n",
+        )
+        .unwrap();
+        let config = GroundConfig::default();
+        let mut g = ground(&graph, &program(), &config).unwrap();
+        assert_eq!(g.store.hidden_count(), 1, "worksFor derived");
+
+        // Removing the playsFor fact kills the derived worksFor atom.
+        let plays = graph.dict().lookup("playsFor").unwrap();
+        let fid = graph.facts_with_predicate(plays).next().unwrap().0;
+        graph.remove(fid).unwrap();
+        let delta = graph.since(g.epoch()).unwrap();
+        let stats = g.apply_delta(&graph, &delta, &config);
+        assert_eq!(stats.atoms_killed, 2, "evidence atom + derived atom");
+        assert_eq!(g.store.hidden_count(), 0);
+        let cold = ground(&graph, &program(), &config).unwrap();
+        assert_eq!(canonical_clauses(&g), canonical_clauses(&cold));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_restores_the_grounding() {
+        let mut graph = parse_graph(
+            "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+             (CR, playsFor, Palermo, [1984,1986]) 0.5\n",
+        )
+        .unwrap();
+        let config = GroundConfig::default();
+        let mut g = ground(&graph, &program(), &config).unwrap();
+        let before = canonical_clauses(&g);
+
+        let fid = graph
+            .insert("CR", "coach", "Napoli", iv(2001, 2003), 0.6)
+            .unwrap();
+        assert_matches_cold(&mut g, &mut graph, &config);
+        graph.remove(fid).unwrap();
+        assert_matches_cold(&mut g, &mut graph, &config);
+        assert_eq!(canonical_clauses(&g), before, "round-trip is lossless");
+    }
+
+    #[test]
+    fn duplicate_statement_merges_and_unmerges() {
+        let mut graph = parse_graph("(a, coach, b, [1,5]) 0.8\n").unwrap();
+        let config = GroundConfig::default();
+        let mut g = ground(&graph, &program(), &config).unwrap();
+        // Same statement again: merges into the same atom.
+        let dup = graph.insert("a", "coach", "b", iv(1, 5), 0.7).unwrap();
+        assert_matches_cold(&mut g, &mut graph, &config);
+        assert_eq!(g.store.evidence_count(), 1);
+        graph.remove(dup).unwrap();
+        assert_matches_cold(&mut g, &mut graph, &config);
+    }
+
+    #[test]
+    fn new_terms_after_grounding_do_not_collide_with_head_constants() {
+        // The grounding dict appended `worksFor`; a post-grounding graph
+        // term must not alias it.
+        let mut graph = parse_graph("(CR, playsFor, Palermo, [1984,1986]) 0.5\n").unwrap();
+        let config = GroundConfig::default();
+        let mut g = ground(&graph, &program(), &config).unwrap();
+        graph
+            .insert("Eriksson", "coach", "Lazio", iv(1997, 2001), 0.9)
+            .unwrap();
+        graph
+            .insert("Eriksson", "coach", "England", iv(2001, 2006), 0.8)
+            .unwrap();
+        assert_matches_cold(&mut g, &mut graph, &config);
+    }
+
+    #[test]
+    fn rule_chain_cascades_through_rounds() {
+        let chain = LogicProgram::parse(
+            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+             f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlap(t, t') \
+                 -> quad(x, livesIn, z, t ∩ t') w = 1.6\n",
+        )
+        .unwrap();
+        let mut graph = parse_graph("(Palermo, locatedIn, Sicily, [1900,2020]) 0.9\n").unwrap();
+        let config = GroundConfig::default();
+        let mut g = ground(&graph, &chain, &config).unwrap();
+        assert_eq!(g.store.hidden_count(), 0);
+
+        // One insert triggers two derivation rounds (worksFor, livesIn).
+        graph
+            .insert("CR", "playsFor", "Palermo", iv(1984, 1986), 0.5)
+            .unwrap();
+        let delta = graph.since(g.epoch()).unwrap();
+        let stats = g.apply_delta(&graph, &delta, &config);
+        assert!(stats.rounds >= 2, "chained rounds: {stats:?}");
+        assert_eq!(g.store.hidden_count(), 2);
+        let cold = ground(&graph, &chain, &config).unwrap();
+        assert_eq!(g.store.evidence_count(), cold.store.evidence_count());
+        assert_eq!(g.store.hidden_count(), cold.store.hidden_count());
+
+        // And removing it unwinds the whole chain.
+        let plays = graph.dict().lookup("playsFor").unwrap();
+        let fid = graph.facts_with_predicate(plays).next().unwrap().0;
+        graph.remove(fid).unwrap();
+        let delta = graph.since(g.epoch()).unwrap();
+        g.apply_delta(&graph, &delta, &config);
+        assert_eq!(g.store.hidden_count(), 0);
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let graph = parse_graph("(a, coach, b, [1,5]) 0.8\n").unwrap();
+        let config = GroundConfig::default();
+        let mut g = ground(&graph, &program(), &config).unwrap();
+        let before = canonical_clauses(&g);
+        let delta = graph.since(g.epoch()).unwrap();
+        assert!(delta.is_empty());
+        let stats = g.apply_delta(&graph, &delta, &config);
+        assert_eq!(stats.clauses_emitted + stats.clauses_retracted, 0);
+        assert_eq!(canonical_clauses(&g), before);
+    }
+
+    #[test]
+    fn lazy_constraint_config_stays_deferred_across_deltas() {
+        let mut graph = parse_graph("(CR, coach, Chelsea, [2000,2004]) 0.9\n").unwrap();
+        let config = GroundConfig {
+            ground_constraints: false,
+            ..GroundConfig::default()
+        };
+        let mut g = ground(&graph, &program(), &config).unwrap();
+        graph
+            .insert("CR", "coach", "Napoli", iv(2001, 2003), 0.6)
+            .unwrap();
+        let delta = graph.since(g.epoch()).unwrap();
+        g.apply_delta(&graph, &delta, &config);
+        assert!(
+            !g.clauses
+                .iter()
+                .any(|c| matches!(c.origin, ClauseOrigin::Formula(_))),
+            "constraints stay lazily grounded"
+        );
+    }
+}

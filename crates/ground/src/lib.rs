@@ -33,6 +33,7 @@ pub mod bindings;
 pub mod clause;
 pub mod compile;
 pub mod grounder;
+pub mod incremental;
 pub mod solver;
 pub mod violation;
 
@@ -41,4 +42,5 @@ pub use bindings::Bindings;
 pub use clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
 pub use compile::{CompiledFormula, CompiledProgram};
 pub use grounder::{ground, GroundConfig, Grounding, GroundingStats};
+pub use incremental::DeltaStats;
 pub use solver::{evaluate_world, MapSolver, MapState, SolveError, SolveOpts, SolverCaps};

@@ -41,6 +41,12 @@ pub struct SolverCaps {
     pub soft_values: bool,
     /// `true` if the solver is exact (its cost is the true MAP optimum).
     pub exact: bool,
+    /// `true` if the solver genuinely consumes
+    /// [`SolveOpts::warm_start`] — seeding its search/iteration from
+    /// the previous [`MapState`] instead of a cold initialisation. The
+    /// incremental pipeline only offers a warm start to backends that
+    /// declare it; others receive `None`.
+    pub warm_start: bool,
 }
 
 impl SolverCaps {
@@ -51,6 +57,7 @@ impl SolverCaps {
             lazy_grounding: false,
             soft_values: false,
             exact: false,
+            warm_start: false,
         }
     }
 
@@ -61,6 +68,7 @@ impl SolverCaps {
             lazy_grounding: false,
             soft_values: true,
             exact: false,
+            warm_start: false,
         }
     }
 }
@@ -71,10 +79,17 @@ impl SolverCaps {
 /// belong here; backend-specific tuning belongs in the solver value
 /// itself (constructed from its own config types).
 #[derive(Debug, Clone, Default)]
-pub struct SolveOpts {
+pub struct SolveOpts<'a> {
     /// Overrides the solver's own seed for stochastic backends; `None`
     /// keeps the configured seed. Deterministic backends ignore it.
     pub seed: Option<u64>,
+    /// A previous MAP state of (an earlier epoch of) the same
+    /// grounding, offered as a starting point. Atom ids are stable
+    /// across deltas, so `warm_start.assignment[i]` still describes
+    /// atom `i`; atoms beyond its length are new. Backends whose
+    /// [`SolverCaps::warm_start`] is `false` may ignore it; backends
+    /// declaring the capability must seed from it.
+    pub warm_start: Option<&'a MapState>,
 }
 
 /// The result of MAP inference, backend-agnostic.
@@ -140,7 +155,7 @@ pub trait MapSolver: fmt::Debug + Send + Sync {
     fn caps(&self) -> SolverCaps;
 
     /// Computes the MAP state of `grounding`.
-    fn solve(&self, grounding: &Grounding, opts: &SolveOpts) -> Result<MapState, SolveError>;
+    fn solve(&self, grounding: &Grounding, opts: &SolveOpts<'_>) -> Result<MapState, SolveError>;
 }
 
 /// Total violated soft weight and number of violated hard clauses of

@@ -22,7 +22,7 @@ use tecore_logic::formula::Weight;
 use crate::atoms::{AtomId, AtomStore};
 use crate::clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
 use crate::compile::{CConsequent, CompiledProgram};
-use crate::grounder::{consequent_holds, enumerate_matches, resolve_entity};
+use crate::grounder::{consequent_holds, enumerate_matches, resolve_entity, Frontier};
 
 /// Finds all constraint groundings violated by `world`.
 ///
@@ -37,7 +37,9 @@ pub fn violated_clauses(
 ) -> Vec<GroundClause> {
     let mut out = Vec::new();
     let horizon = store.len();
-    let truthy = |id: AtomId| world[id.index()];
+    // Dead atoms (retracted by an incremental delta) are not part of
+    // the world, whatever their stale assignment bit says.
+    let truthy = |id: AtomId| store.is_alive(id) && world[id.index()];
     for cf in &program.formulas {
         let is_constraint = !cf.consequent.derives() || matches!(cf.weight, Weight::Hard);
         if !is_constraint {
@@ -47,7 +49,7 @@ pub fn violated_clauses(
             store,
             cf,
             horizon,
-            None,
+            Frontier::All,
             Some(&truthy),
             &mut |chosen, bindings| {
                 let violated = match &cf.consequent {
@@ -81,7 +83,7 @@ pub fn violated_clauses(
                                 };
                                 match iv {
                                     Some(iv) => match store.lookup(s, p, o, iv) {
-                                        Some(head) => !world[head.index()],
+                                        Some(head) => !truthy(head),
                                         None => true,
                                     },
                                     None => false, // empty intersection: nothing required
@@ -122,7 +124,10 @@ pub fn violated_clauses(
                                     })
                                 }
                             };
-                            if let Some(head) = iv.and_then(|iv| store.lookup(s, p, o, iv)) {
+                            if let Some(head) = iv
+                                .and_then(|iv| store.lookup(s, p, o, iv))
+                                .filter(|&h| store.is_alive(h))
+                            {
                                 lits.push(Lit::pos(head));
                             }
                         }

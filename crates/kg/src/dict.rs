@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense identifier for an interned term (IRI, literal or predicate
 /// name). Symbols are only meaningful relative to the [`Dictionary`] that
@@ -28,10 +29,19 @@ impl fmt::Display for Symbol {
 /// Every subject, predicate and object of a uTKG is interned once;
 /// the grounding engine and the solvers only ever see `u32` symbols.
 /// Lookup is O(1) in both directions.
+///
+/// # Memory footprint
+///
+/// Each term is stored as a single heap allocation (`Arc<str>`) shared
+/// by the symbol table and the reverse index — interning a term costs
+/// one string allocation plus two refcounted pointers, not two string
+/// copies. Cloning a dictionary (every grounding run clones the graph's
+/// dictionary) therefore copies only pointers and refcounts, never the
+/// term bytes.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    terms: Vec<Box<str>>,
-    index: HashMap<Box<str>, Symbol>,
+    terms: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, Symbol>,
 }
 
 impl Dictionary {
@@ -54,9 +64,11 @@ impl Dictionary {
             return sym;
         }
         let sym = Symbol(u32::try_from(self.terms.len()).expect("dictionary overflow (>4G terms)"));
-        let boxed: Box<str> = term.into();
-        self.terms.push(boxed.clone());
-        self.index.insert(boxed, sym);
+        // One allocation, two owners: the table entry and the index key
+        // share it via the refcount.
+        let shared: Arc<str> = Arc::from(term);
+        self.terms.push(Arc::clone(&shared));
+        self.index.insert(shared, sym);
         sym
     }
 
@@ -132,6 +144,14 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(d.resolve(a), "coach");
         assert_eq!(d.resolve(b), "playsFor");
+    }
+
+    #[test]
+    fn table_and_index_share_one_allocation() {
+        let mut d = Dictionary::new();
+        let s = d.intern("coach");
+        let (key, _) = d.index.get_key_value("coach").unwrap();
+        assert!(Arc::ptr_eq(&d.terms[s.index()], key));
     }
 
     #[test]

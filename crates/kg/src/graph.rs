@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use tecore_temporal::{Interval, TimeDomain};
 
+use crate::delta::{Delta, FactChange};
 use crate::dict::{Dictionary, Symbol};
 use crate::error::KgError;
 use crate::fact::{Confidence, FactId, TemporalFact};
@@ -21,6 +22,12 @@ use crate::fact::{Confidence, FactId, TemporalFact};
 ///
 /// Per-predicate fact lists are kept in insertion order; the grounder
 /// sorts/filters as its join plan requires.
+///
+/// The graph also carries a monotonically increasing **epoch** (bumped
+/// by every insert/remove) and a change log, so incremental consumers
+/// can ask "what changed since epoch e?" ([`UtkGraph::since`]) or drain
+/// the accumulated [`Delta`] ([`UtkGraph::drain_delta`]) instead of
+/// re-reading the whole graph.
 #[derive(Debug, Default, Clone)]
 pub struct UtkGraph {
     dict: Dictionary,
@@ -30,6 +37,13 @@ pub struct UtkGraph {
     by_predicate: HashMap<Symbol, Vec<FactId>>,
     by_subject_predicate: HashMap<(Symbol, Symbol), Vec<FactId>>,
     by_predicate_object: HashMap<(Symbol, Symbol), Vec<FactId>>,
+    /// Bumped on every mutation; `0` for a fresh graph.
+    epoch: u64,
+    /// Retained change log: `(epoch, change)` pairs, ascending.
+    log: Vec<(u64, FactChange)>,
+    /// Epoch the retained log starts after (changes at epochs
+    /// `<= log_start` have been truncated away).
+    log_start: u64,
 }
 
 impl UtkGraph {
@@ -107,7 +121,25 @@ impl UtkGraph {
         self.facts.push(fact);
         self.alive.push(true);
         self.live_count += 1;
+        self.epoch += 1;
+        self.record(FactChange::Added(id));
         id
+    }
+
+    /// Retained-log bound: beyond this many entries the oldest half is
+    /// dropped, so pure batch users (who never drain) pay O(1) memory
+    /// per fact only transiently. Incremental consumers that sync more
+    /// often than every `LOG_CAP / 2` edits never hit the cap; one that
+    /// falls behind sees [`UtkGraph::since`] return `None` and rebuilds.
+    const LOG_CAP: usize = 1 << 16;
+
+    fn record(&mut self, change: FactChange) {
+        self.log.push((self.epoch, change));
+        if self.log.len() > Self::LOG_CAP {
+            let drop = self.log.len() / 2;
+            self.log_start = self.log[drop - 1].0;
+            self.log.drain(..drop);
+        }
     }
 
     /// Fetches a live fact.
@@ -130,10 +162,66 @@ impl UtkGraph {
             Some(slot) if *slot => {
                 *slot = false;
                 self.live_count -= 1;
+                self.epoch += 1;
+                self.record(FactChange::Removed(id));
                 Ok(self.facts[id.index()])
             }
             _ => Err(KgError::UnknownFact(id.0)),
         }
+    }
+
+    /// The fact stored in the arena slot, whether live or tombstoned.
+    ///
+    /// Tombstoning keeps the record, so incremental consumers can still
+    /// read the confidence/interval of a fact named in a
+    /// [`Delta::removed`] entry.
+    pub fn arena_fact(&self, id: FactId) -> Option<&TemporalFact> {
+        self.facts.get(id.index())
+    }
+
+    /// The graph's current epoch (`0` for a fresh graph; bumped by
+    /// every insert and remove).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The net changes since `epoch`, or `None` when that part of the
+    /// history has been truncated (by [`UtkGraph::drain_delta`] or
+    /// [`UtkGraph::truncate_log`]) — the caller must then rebuild from
+    /// the full graph.
+    pub fn since(&self, epoch: u64) -> Option<Delta> {
+        if epoch < self.log_start {
+            return None;
+        }
+        let start = self.log.partition_point(|&(e, _)| e <= epoch);
+        Some(Delta::from_changes(
+            epoch,
+            self.epoch,
+            self.log[start..].iter().map(|&(_, c)| c),
+        ))
+    }
+
+    /// Drains the retained change log: returns the net [`Delta`] since
+    /// the last drain (or graph creation) and truncates the log.
+    pub fn drain_delta(&mut self) -> Delta {
+        let delta = self
+            .since(self.log_start)
+            .expect("log_start is always retained");
+        self.log.clear();
+        self.log_start = self.epoch;
+        delta
+    }
+
+    /// Drops retained changes at epochs `<= epoch` (callers that have
+    /// synced up to `epoch` bound the log's memory this way).
+    pub fn truncate_log(&mut self, epoch: u64) {
+        let epoch = epoch.min(self.epoch);
+        if epoch <= self.log_start {
+            return;
+        }
+        let keep_from = self.log.partition_point(|&(e, _)| e <= epoch);
+        self.log.drain(..keep_from);
+        self.log_start = epoch;
     }
 
     /// Iterates over `(FactId, &TemporalFact)` for all live facts.
@@ -323,6 +411,82 @@ mod tests {
         assert_eq!(only_coach.len(), 3);
         // Dictionary shared: symbol still resolves.
         assert_eq!(only_coach.dict().resolve(coach), "coach");
+    }
+
+    #[test]
+    fn epoch_and_delta_log() {
+        let mut g = ranieri();
+        assert_eq!(g.epoch(), 5);
+        // The full history from epoch 0 is all five inserts.
+        let d = g.since(0).unwrap();
+        assert_eq!(d.added.len(), 5);
+        assert!(d.removed.is_empty());
+        assert_eq!((d.from_epoch, d.to_epoch), (0, 5));
+
+        // Drain, then edit: one remove + one insert.
+        let drained = g.drain_delta();
+        assert_eq!(drained.added.len(), 5);
+        let coach = g.dict().lookup("coach").unwrap();
+        let napoli_id = g
+            .facts_with_predicate(coach)
+            .find(|(_, f)| g.dict().resolve(f.object) == "Napoli")
+            .map(|(id, _)| id)
+            .unwrap();
+        g.remove(napoli_id).unwrap();
+        let new_id = g
+            .insert("CR", "coach", "Roma", iv(2019, 2021), 0.8)
+            .unwrap();
+        let d = g.drain_delta();
+        assert_eq!(d.added, vec![new_id]);
+        assert_eq!(d.removed, vec![napoli_id]);
+        assert_eq!(d.to_epoch, g.epoch());
+
+        // History before the drain is gone.
+        assert!(g.since(0).is_none());
+        assert!(g.since(g.epoch()).unwrap().is_empty());
+        // The tombstoned fact record is still readable.
+        assert_eq!(
+            g.dict().resolve(g.arena_fact(napoli_id).unwrap().object),
+            "Napoli"
+        );
+    }
+
+    #[test]
+    fn delta_nets_add_remove_within_window() {
+        let mut g = UtkGraph::new();
+        let epoch0 = g.epoch();
+        let a = g.insert("a", "p", "b", iv(1, 2), 0.5).unwrap();
+        let b = g.insert("a", "p", "c", iv(1, 2), 0.5).unwrap();
+        g.remove(b).unwrap();
+        let d = g.since(epoch0).unwrap();
+        assert_eq!(d.added, vec![a]);
+        assert!(d.removed.is_empty(), "insert+remove nets out: {d:?}");
+    }
+
+    #[test]
+    fn change_log_memory_is_bounded() {
+        // Batch users who never drain must not accumulate one log entry
+        // per fact forever: past LOG_CAP the oldest half is dropped.
+        let mut g = UtkGraph::new();
+        for i in 0..(UtkGraph::LOG_CAP + 10) {
+            g.insert("s", "p", &format!("o{i}"), iv(1, 2), 0.5).unwrap();
+        }
+        assert!(g.log.len() <= UtkGraph::LOG_CAP);
+        assert!(g.since(0).is_none(), "pre-cap history dropped");
+        // Recent history is still incrementally consumable.
+        let recent = g.since(g.epoch() - 5).unwrap();
+        assert_eq!(recent.added.len(), 5);
+    }
+
+    #[test]
+    fn truncate_log_bounds_history() {
+        let mut g = UtkGraph::new();
+        g.insert("a", "p", "b", iv(1, 2), 0.5).unwrap();
+        let mid = g.epoch();
+        g.insert("a", "p", "c", iv(1, 2), 0.5).unwrap();
+        g.truncate_log(mid);
+        assert!(g.since(0).is_none());
+        assert_eq!(g.since(mid).unwrap().added.len(), 1);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! * [`stats::GraphStats`] — the summary statistics displayed by the demo
 //!   UI (Figure 8 of the paper).
 
+pub mod delta;
 pub mod dict;
 pub mod error;
 pub mod fact;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod tindex;
 pub mod writer;
 
+pub use delta::{Delta, FactChange};
 pub use dict::{Dictionary, Symbol};
 pub use error::KgError;
 pub use fact::{Confidence, FactId, TemporalFact};

@@ -296,7 +296,10 @@ impl tecore_ground::MapSolver for BranchAndBound {
     fn solve(
         &self,
         grounding: &tecore_ground::Grounding,
-        _opts: &tecore_ground::SolveOpts,
+        // Exact search has nothing to gain from a warm start (the
+        // optimum is recomputed either way); caps.warm_start stays
+        // false and the option is ignored.
+        _opts: &tecore_ground::SolveOpts<'_>,
     ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
         let problem = SatProblem::from_grounding(grounding);
         Ok(self.solve(&problem).into_map_state())

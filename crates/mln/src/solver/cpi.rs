@@ -136,7 +136,10 @@ impl tecore_ground::MapSolver for CpiSolver {
     fn solve(
         &self,
         grounding: &Grounding,
-        opts: &tecore_ground::SolveOpts,
+        // CPI re-derives its active set from scratch each solve;
+        // caps.warm_start stays false, so opts.warm_start is never
+        // offered (and would be ignored).
+        opts: &tecore_ground::SolveOpts<'_>,
     ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
         let result = match opts.seed {
             Some(seed) => {

@@ -26,6 +26,20 @@ pub struct WalkSatConfig {
     pub noise: f64,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
+    /// Flips without progress (no new best feasible cost and no
+    /// reduction of the restart's hard-violation floor) before the
+    /// restart gives up early; `None` always runs the full
+    /// [`WalkSatConfig::max_flips`]. On a conflicted KG the optimal
+    /// soft cost is positive, so without a stall cutoff every restart
+    /// burns its whole flip budget churning on soft clauses it can
+    /// never satisfy.
+    ///
+    /// The default (10 000) trades a little search thoroughness for a
+    /// large wall-clock win: a restart stuck on a plateau moves on to
+    /// the next perturbation instead of grinding. Instances that need
+    /// very long non-improving walks to escape hard-violation plateaus
+    /// should set `None` (the pre-cutoff behaviour) or a larger budget.
+    pub max_stall: Option<u64>,
 }
 
 impl Default for WalkSatConfig {
@@ -35,6 +49,7 @@ impl Default for WalkSatConfig {
             restarts: 4,
             noise: 0.2,
             seed: 0x7EC0_4E5E,
+            max_stall: Some(10_000),
         }
     }
 }
@@ -51,8 +66,20 @@ impl MaxWalkSat {
         MaxWalkSat { config }
     }
 
-    /// Runs the search.
+    /// Runs the search from the evidence-phase initialisation.
     pub fn solve(&self, problem: &SatProblem) -> MapResult {
+        self.solve_seeded(problem, None)
+    }
+
+    /// Runs the search, optionally warm-starting from a previous
+    /// assignment: the search begins at `warm` (truncated or padded
+    /// with the evidence phase when the variable count changed) instead
+    /// of the cold evidence phase. A warm start also skips the
+    /// perturbation restarts — their purpose is to escape a bad
+    /// initialisation, and the warm state *is* the good initialisation;
+    /// on a small delta the previous MAP state is near-optimal and the
+    /// single descent converges in a handful of flips.
+    pub fn solve_seeded(&self, problem: &SatProblem, warm: Option<&[bool]>) -> MapResult {
         let start = Instant::now();
         let n = problem.n_vars;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -86,15 +113,29 @@ impl MaxWalkSat {
                 phase[c.lits[0].atom.index()] = c.lits[0].positive;
             }
         }
+        // A warm start overrides the phase where it has an opinion;
+        // variables beyond its horizon keep the evidence phase.
+        if let Some(warm) = warm {
+            for (v, &value) in warm.iter().take(n).enumerate() {
+                phase[v] = value;
+            }
+        }
 
         let mut best_cost = f64::INFINITY;
         let mut best_feasible = false;
         let mut best: Vec<bool> = phase.clone();
         let mut best_infeasible_key = (usize::MAX, f64::INFINITY);
         let mut total_flips: u64 = 0;
+        let restarts = if warm.is_some() {
+            1
+        } else {
+            self.config.restarts.max(1)
+        };
+        let stall_limit = self.config.max_stall.unwrap_or(u64::MAX);
 
-        for restart in 0..self.config.restarts.max(1) {
-            // First restart from the evidence phase, later ones perturbed.
+        for restart in 0..restarts {
+            // First restart from the (warm-overridden) phase, later
+            // ones perturbed.
             let mut state = State::init(problem, &occurrences, {
                 let mut a = phase.clone();
                 if restart > 0 {
@@ -111,10 +152,19 @@ impl MaxWalkSat {
                 best_feasible = true;
                 best = state.assignment.clone();
             }
+            // Progress tracking for the stall cutoff: fewest violated
+            // hard clauses seen this restart, and flips since any
+            // progress (feasibility progress or a new global best).
+            let mut hard_floor = state.unsat_hard.len();
+            let mut stall: u64 = 0;
             for _ in 0..self.config.max_flips {
                 if state.unsat_hard.is_empty() && state.unsat_soft.is_empty() {
                     break; // perfect assignment
                 }
+                if stall >= stall_limit {
+                    break; // no progress in a while: restart or stop
+                }
+                stall += 1;
                 total_flips += 1;
                 // Pick an unsatisfied clause: hard first.
                 let ci = if !state.unsat_hard.is_empty() {
@@ -141,10 +191,15 @@ impl MaxWalkSat {
                     best_var
                 };
                 state.flip(problem, &occurrences, var);
+                if state.unsat_hard.len() < hard_floor {
+                    hard_floor = state.unsat_hard.len();
+                    stall = 0;
+                }
                 if state.is_feasible() && state.soft_cost < best_cost {
                     best_cost = state.soft_cost;
                     best_feasible = true;
                     best = state.assignment.clone();
+                    stall = 0;
                     if best_cost <= 0.0 {
                         break;
                     }
@@ -168,7 +223,7 @@ impl MaxWalkSat {
             feasible: best_feasible,
             stats: SolveStats {
                 steps: total_flips,
-                rounds: self.config.restarts,
+                rounds: restarts,
                 active_clauses: problem.clauses.len(),
                 elapsed: start.elapsed(),
             },
@@ -311,22 +366,26 @@ impl tecore_ground::MapSolver for MaxWalkSat {
     }
 
     fn caps(&self) -> tecore_ground::SolverCaps {
-        tecore_ground::SolverCaps::mln()
+        tecore_ground::SolverCaps {
+            warm_start: true,
+            ..tecore_ground::SolverCaps::mln()
+        }
     }
 
     fn solve(
         &self,
         grounding: &tecore_ground::Grounding,
-        opts: &tecore_ground::SolveOpts,
+        opts: &tecore_ground::SolveOpts<'_>,
     ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
         let problem = SatProblem::from_grounding(grounding);
+        let warm = opts.warm_start.map(|s| s.assignment.as_slice());
         let result = match opts.seed {
             Some(seed) => MaxWalkSat::new(WalkSatConfig {
                 seed,
                 ..self.config.clone()
             })
-            .solve(&problem),
-            None => self.solve(&problem),
+            .solve_seeded(&problem, warm),
+            None => self.solve_seeded(&problem, warm),
         };
         Ok(result.into_map_state())
     }
@@ -386,6 +445,53 @@ mod tests {
         let r = MaxWalkSat::new(WalkSatConfig::default()).solve(&p);
         assert!(r.feasible);
         assert_eq!(r.cost, 0.0);
+    }
+
+    /// With the flip budget zeroed out, only the starting point counts —
+    /// proving the warm start genuinely seeds the search rather than
+    /// being dropped on the floor.
+    #[test]
+    fn warm_start_seeds_the_initial_assignment() {
+        let clauses = vec![
+            soft(vec![Lit::pos(AtomId(0))], 2.197),
+            soft(vec![Lit::pos(AtomId(1))], 0.405),
+            hard(vec![Lit::neg(AtomId(0)), Lit::neg(AtomId(1))]),
+        ];
+        let p = SatProblem::from_clauses(2, &clauses);
+        let frozen = WalkSatConfig {
+            max_flips: 0,
+            restarts: 1,
+            ..WalkSatConfig::default()
+        };
+        // Cold: the evidence phase sets both atoms true → hard clause
+        // violated, nothing can move.
+        let cold = MaxWalkSat::new(frozen.clone()).solve(&p);
+        assert!(!cold.feasible);
+        // Warm from the optimum: immediately feasible at optimal cost.
+        let warm = MaxWalkSat::new(frozen).solve_seeded(&p, Some(&[true, false]));
+        assert!(warm.feasible);
+        assert!((warm.cost - 0.405).abs() < 1e-9);
+        assert_eq!(warm.assignment, vec![true, false]);
+    }
+
+    /// A warm start shorter than the problem (new atoms appended by a
+    /// delta) pads with the evidence phase.
+    #[test]
+    fn short_warm_start_pads_with_phase() {
+        let clauses = vec![
+            soft(vec![Lit::neg(AtomId(0))], 1.0),
+            soft(vec![Lit::pos(AtomId(1))], 1.0),
+        ];
+        let p = SatProblem::from_clauses(2, &clauses);
+        let frozen = WalkSatConfig {
+            max_flips: 0,
+            restarts: 1,
+            ..WalkSatConfig::default()
+        };
+        // Warm only covers atom 0 (kept true against its evidence);
+        // atom 1 falls back to its evidence phase (true).
+        let r = MaxWalkSat::new(frozen).solve_seeded(&p, Some(&[true]));
+        assert_eq!(r.assignment, vec![true, true]);
     }
 
     #[test]

@@ -35,11 +35,32 @@ impl MapSolver for PslAdmm {
     }
 
     fn caps(&self) -> SolverCaps {
-        SolverCaps::psl()
+        SolverCaps {
+            warm_start: true,
+            ..SolverCaps::psl()
+        }
     }
 
-    fn solve(&self, grounding: &Grounding, _opts: &SolveOpts) -> Result<MapState, SolveError> {
-        let result = crate::solve(grounding, &self.psl, &self.admm);
+    fn solve(&self, grounding: &Grounding, opts: &SolveOpts<'_>) -> Result<MapState, SolveError> {
+        // Warm-start ADMM from the previous solve's soft truth values;
+        // a discrete-only previous state still helps (0/1 corners are
+        // valid consensus seeds).
+        let warm_discrete: Vec<f64>;
+        let warm: Option<&[f64]> = match opts.warm_start {
+            Some(state) => match &state.soft_values {
+                Some(values) => Some(values.as_slice()),
+                None => {
+                    warm_discrete = state
+                        .assignment
+                        .iter()
+                        .map(|&b| if b { 1.0 } else { 0.0 })
+                        .collect();
+                    Some(warm_discrete.as_slice())
+                }
+            },
+            None => None,
+        };
+        let result = crate::solve_warm(grounding, &self.psl, &self.admm, warm);
         let (cost, hard_violations) = evaluate_world(&grounding.clauses, &result.assignment);
         Ok(MapState {
             assignment: result.assignment,

@@ -37,8 +37,19 @@ use tecore_ground::Grounding;
 /// End-to-end PSL MAP inference over a grounding: build the HL-MRF, run
 /// ADMM, round to a discrete world (repairing hard-clause violations).
 pub fn solve(grounding: &Grounding, psl: &PslConfig, admm: &AdmmConfig) -> PslResult {
+    solve_warm(grounding, psl, admm, None)
+}
+
+/// [`solve`] with ADMM's consensus vector seeded from a previous
+/// solution's soft truth values (see [`AdmmSolver::solve_warm`]).
+pub fn solve_warm(
+    grounding: &Grounding,
+    psl: &PslConfig,
+    admm: &AdmmConfig,
+    warm: Option<&[f64]>,
+) -> PslResult {
     let mrf = HlMrf::from_grounding(grounding, psl);
-    let mut result = AdmmSolver::new(admm.clone()).solve(&mrf);
+    let mut result = AdmmSolver::new(admm.clone()).solve_warm(&mrf, warm);
     let (assignment, feasible) = round_assignment(&mrf, &result.values);
     result.assignment = assignment;
     result.feasible = feasible;

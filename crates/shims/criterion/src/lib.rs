@@ -5,12 +5,18 @@
 //! (`Criterion`, benchmark groups, `BenchmarkId`, `Throughput`, the
 //! `criterion_group!`/`criterion_main!` macros) as a plain wall-clock
 //! runner. Each benchmark is warmed up once, then sampled `sample_size`
-//! times; the mean, min and max per-iteration times are printed, plus a
-//! throughput rate when one was declared.
+//! times; the **median ± standard deviation** plus min and max
+//! per-iteration times are printed, and a throughput rate when one was
+//! declared.
 //!
-//! There is no statistical analysis, outlier rejection, or HTML report —
-//! numbers print to stdout, which is enough to compare configurations
-//! and track regressions by eye or by script. Benches register with
+//! Besides the human-readable stdout lines, every bench binary writes a
+//! machine-readable report `BENCH_<binary>.json` (into
+//! `TECORE_BENCH_DIR`, or the current directory when unset) with
+//! per-benchmark `median_ns`/`min_ns`/`max_ns`/`stddev_ns`, so the perf
+//! trajectory can be tracked across commits by tooling instead of by
+//! eye.
+//!
+//! There is no outlier rejection or HTML report. Benches register with
 //! `harness = false` in their crate manifest, exactly as with the real
 //! criterion.
 //!
@@ -18,16 +24,28 @@
 //! <substring>`); non-matching benchmarks are skipped.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Per-iteration timing of one benchmark.
 #[derive(Debug, Clone, Copy)]
 struct Sampled {
-    mean: Duration,
+    median: Duration,
+    stddev: Duration,
     min: Duration,
     max: Duration,
     samples: usize,
 }
+
+/// One finished benchmark, queued for the JSON report.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    sampled: Sampled,
+}
+
+/// Results accumulated across every group of the bench binary.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
 /// The benchmark driver.
 pub struct Criterion {
@@ -142,23 +160,45 @@ impl Bencher {
     /// Runs `f` once for warm-up, then `sample_size` timed iterations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         std::hint::black_box(f());
-        let mut total = Duration::ZERO;
-        let mut min = Duration::MAX;
-        let mut max = Duration::ZERO;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let start = Instant::now();
             std::hint::black_box(f());
-            let dt = start.elapsed();
-            total += dt;
-            min = min.min(dt);
-            max = max.max(dt);
+            samples.push(start.elapsed());
         }
-        self.result = Some(Sampled {
-            mean: total / self.sample_size as u32,
-            min,
-            max,
-            samples: self.sample_size,
-        });
+        self.result = Some(summarise(&mut samples));
+    }
+}
+
+/// Median / stddev / min / max over the raw samples.
+fn summarise(samples: &mut [Duration]) -> Sampled {
+    samples.sort_unstable();
+    let n = samples.len();
+    let median = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    };
+    let mean_ns = samples.iter().map(Duration::as_nanos).sum::<u128>() as f64 / n as f64;
+    let stddev_ns = if n > 1 {
+        let var = samples
+            .iter()
+            .map(|s| {
+                let d = s.as_nanos() as f64 - mean_ns;
+                d * d
+            })
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
+    Sampled {
+        median,
+        stddev: Duration::from_nanos(stddev_ns as u64),
+        min: samples[0],
+        max: samples[n - 1],
+        samples: n,
     }
 }
 
@@ -181,14 +221,95 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut bencher);
     match bencher.result {
         Some(s) => {
-            let rate = throughput.map(|t| t.rate(s.mean)).unwrap_or_default();
+            let rate = throughput.map(|t| t.rate(s.median)).unwrap_or_default();
             println!(
-                "bench: {name:<56} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples){rate}",
-                s.mean, s.min, s.max, s.samples
+                "bench: {name:<56} median {:>12?} ± {:>10?}  min {:>12?}  max {:>12?}  ({} samples){rate}",
+                s.median, s.stddev, s.min, s.max, s.samples
             );
+            RECORDS.lock().expect("bench record lock").push(Record {
+                name: name.to_string(),
+                sampled: s,
+            });
         }
         None => println!("bench: {name:<56} (no iterations recorded)"),
     }
+}
+
+/// Writes the accumulated results as `BENCH_<binary>.json` (called by
+/// [`criterion_main!`] after every group has run).
+///
+/// The target directory is `TECORE_BENCH_DIR` when set, else the
+/// current directory. The format is intentionally flat:
+///
+/// ```json
+/// {"bench": "wikidata_scaling", "results": [
+///   {"name": "...", "median_ns": 1, "min_ns": 1, "max_ns": 1,
+///    "stddev_ns": 0, "samples": 20}
+/// ]}
+/// ```
+pub fn write_json_report() {
+    let records = RECORDS.lock().expect("bench record lock");
+    if records.is_empty() {
+        return;
+    }
+    let binary = std::env::args()
+        .next()
+        .map(|arg0| {
+            let stem = std::path::Path::new(&arg0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "bench".to_string());
+            // cargo names bench binaries `<name>-<16-hex-hash>`.
+            match stem.rsplit_once('-') {
+                Some((base, hash))
+                    if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                {
+                    base.to_string()
+                }
+                _ => stem,
+            }
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let dir = std::env::var("TECORE_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{binary}.json"));
+
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\"bench\": \"{}\", \"results\": [\n",
+        escape(&binary)
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let s = r.sampled;
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"stddev_ns\": {}, \"samples\": {}}}",
+            escape(&r.name),
+            s.median.as_nanos(),
+            s.min.as_nanos(),
+            s.max.as_nanos(),
+            s.stddev.as_nanos(),
+            s.samples
+        ));
+    }
+    json.push_str("\n]}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("bench report: {}", path.display()),
+        Err(e) => eprintln!("bench report: failed to write {}: {e}", path.display()),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Work performed per iteration, for rate reporting.
@@ -201,8 +322,8 @@ pub enum Throughput {
 }
 
 impl Throughput {
-    fn rate(self, mean: Duration) -> String {
-        let secs = mean.as_secs_f64().max(1e-12);
+    fn rate(self, median: Duration) -> String {
+        let secs = median.as_secs_f64().max(1e-12);
         match self {
             Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / secs),
             Throughput::Bytes(n) => format!("  {:.0} B/s", n as f64 / secs),
@@ -252,12 +373,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark binary's entry point.
+/// Declares the benchmark binary's entry point; writes the
+/// machine-readable `BENCH_<binary>.json` report once all groups ran.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -297,5 +420,50 @@ mod tests {
         // Filtered-in bench: warm-up + 2 samples of +5; the second bench
         // doesn't match the filter and never runs.
         assert_eq!(hits, 15);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut samples: Vec<Duration> = [40u64, 10, 20, 30]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        let s = summarise(&mut samples);
+        assert_eq!(s.median, Duration::from_nanos(25));
+        assert_eq!(s.min, Duration::from_nanos(10));
+        assert_eq!(s.max, Duration::from_nanos(40));
+        assert_eq!(s.samples, 4);
+        // stddev of {10,20,30,40} (sample) ≈ 12.9 ns.
+        let sd = s.stddev.as_nanos();
+        assert!((12..=13).contains(&sd), "stddev {sd}");
+    }
+
+    #[test]
+    fn json_report_written() {
+        let dir = std::env::temp_dir().join("tecore_bench_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("TECORE_BENCH_DIR", &dir);
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 2,
+        };
+        c.bench_function("json-smoke", |b| b.iter(|| 1 + 1));
+        write_json_report();
+        std::env::remove_var("TECORE_BENCH_DIR");
+        let report = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().starts_with("BENCH_"))
+            .expect("report file written");
+        let text = std::fs::read_to_string(report.path()).unwrap();
+        assert!(text.contains("\"json-smoke\""), "{text}");
+        assert!(text.contains("median_ns"), "{text}");
+        assert!(text.contains("stddev_ns"), "{text}");
+        std::fs::remove_file(report.path()).ok();
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }
