@@ -1,0 +1,43 @@
+//! Solver hot path — cold `resolve` across every backend and scale.
+//!
+//! The resolution cost of a TeCoRe deployment is dominated by the
+//! grounded MAP solve; this bench pins that cost down per backend on
+//! the Wikidata workload at three graph scales, so the flat
+//! `ClauseStore` arena and the solvers' inner loops have a tracked
+//! perf trajectory (`BENCH_solver_hotpath.json`).
+//!
+//! Unlike `streaming_updates` (which measures the *incremental* path),
+//! every iteration here is a full cold pipeline run: translate → ground
+//! → solve from scratch. `mln-exact` is exponential in the worst case
+//! and only enters at the smallest scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tecore_bench::harness;
+use tecore_datagen::standard::wikidata_program;
+
+fn bench_solver_hotpath(c: &mut Criterion) {
+    let program = wikidata_program();
+    let mut group = c.benchmark_group("solver_hotpath");
+    group.sample_size(10);
+    for size in [500usize, 2_000, 8_000] {
+        let generated = harness::wikidata(size);
+        group.throughput(Throughput::Elements(generated.graph.len() as u64));
+        for name in ["mln-exact", "mln-walksat", "mln-cpi", "psl-admm"] {
+            // Exact branch & bound explodes beyond small instances; the
+            // other three substrates run the full scale sweep.
+            if name == "mln-exact" && size > 500 {
+                continue;
+            }
+            let backend = harness::solver(name);
+            group.bench_with_input(BenchmarkId::new(name, size), &generated, |b, generated| {
+                b.iter(|| black_box(harness::resolve(generated, &program, backend.clone())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_hotpath);
+criterion_main!(benches);

@@ -1,7 +1,6 @@
 //! Ground atoms and the interning atom store.
 
-use std::collections::HashMap;
-
+use tecore_kg::fxhash::FxHashMap;
 use tecore_kg::{FactId, Symbol};
 use tecore_temporal::Interval;
 
@@ -70,10 +69,10 @@ pub struct AtomStore {
     atoms: Vec<GroundAtom>,
     alive: Vec<bool>,
     dead_count: usize,
-    interned: HashMap<(Symbol, Symbol, Symbol, Interval), AtomId>,
-    by_pred: HashMap<Symbol, Vec<AtomId>>,
-    by_sp: HashMap<(Symbol, Symbol), Vec<AtomId>>,
-    by_po: HashMap<(Symbol, Symbol), Vec<AtomId>>,
+    interned: FxHashMap<(Symbol, Symbol, Symbol, Interval), AtomId>,
+    by_pred: FxHashMap<Symbol, Vec<AtomId>>,
+    by_sp: FxHashMap<(Symbol, Symbol), Vec<AtomId>>,
+    by_po: FxHashMap<(Symbol, Symbol), Vec<AtomId>>,
 }
 
 impl AtomStore {

@@ -1,10 +1,9 @@
 //! Full (semi-naive) grounding of a program against a uTKG.
 
-use std::collections::HashMap;
-use std::collections::HashSet;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use tecore_kg::fxhash::{FxHashMap, FxHashSet};
 use tecore_kg::{Dictionary, FactId, Symbol, UtkGraph};
 use tecore_logic::atom::CmpOp;
 use tecore_logic::formula::Weight;
@@ -14,7 +13,7 @@ use tecore_temporal::Interval;
 
 use crate::atoms::{AtomId, AtomStore};
 use crate::bindings::Bindings;
-use crate::clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
+use crate::clause::{ClauseOrigin, ClauseStore, ClauseWeight, GroundClause, Lit};
 use crate::compile::{
     CCondition, CConsequent, CPattern, CTerm, CTime, CompiledFormula, CompiledProgram,
 };
@@ -100,7 +99,8 @@ impl fmt::Display for GroundingStats {
 /// consume.
 ///
 /// A `Grounding` is a *persistent* structure: besides the clause
-/// program it carries a fact→atom→clause dependency index, so
+/// program it carries a fact→atom→clause dependency index (materialised
+/// lazily on the first delta — batch resolves never build it), so
 /// [`Grounding::apply_delta`](crate::incremental) can consume a
 /// [`tecore_kg::Delta`] and update the materialisation in place —
 /// re-running the binding search only around the changed facts — rather
@@ -109,27 +109,34 @@ impl fmt::Display for GroundingStats {
 pub struct Grounding {
     /// All ground atoms.
     pub store: AtomStore,
-    /// All ground clauses (formula groundings + evidence units + priors).
-    /// Invariant: every clause references live atoms only.
-    pub clauses: Vec<GroundClause>,
+    /// All ground clauses (formula groundings + evidence units +
+    /// priors), held in one flat CSR arena shared zero-copy with every
+    /// backend. Invariant: every live clause references live atoms
+    /// only.
+    pub clauses: ClauseStore,
     /// Dictionary covering the graph *and* head constants.
     pub dict: Dictionary,
     /// The compiled program (used again by cutting-plane inference).
     pub program: CompiledProgram,
     /// Evidence fact → atom mapping.
-    pub fact_atoms: HashMap<FactId, AtomId>,
+    pub fact_atoms: FxHashMap<FactId, AtomId>,
     /// Run statistics.
     pub stats: GroundingStats,
     /// Graph epoch this grounding materialises.
     pub(crate) epoch: u64,
     /// Formula-clause dedup signatures (kept so deltas never re-emit a
     /// live clause).
-    pub(crate) seen: HashSet<(usize, Vec<Lit>)>,
-    /// atom id → indices into `clauses` of every clause naming it.
+    pub(crate) seen: FxHashSet<(usize, Vec<Lit>)>,
+    /// atom id → clause ids of every clause naming it. Built lazily on
+    /// the first `apply_delta` (see `Grounding::ensure_dep_index`):
+    /// batch resolves never pay for it.
     pub(crate) atom_clauses: Vec<Vec<u32>>,
     /// atom id → number of live formula clauses deriving it (positive
-    /// head literal); a hidden atom dies when this reaches zero.
+    /// head literal); a hidden atom dies when this reaches zero. Built
+    /// together with `atom_clauses`.
     pub(crate) support: Vec<u32>,
+    /// Has the dependency index been materialised yet?
+    pub(crate) dep_built: bool,
 }
 
 impl Grounding {
@@ -156,7 +163,7 @@ pub fn ground(
     let compiled = CompiledProgram::compile(program, &mut dict)?;
 
     let mut store = AtomStore::new();
-    let mut fact_atoms = HashMap::with_capacity(graph.len());
+    let mut fact_atoms = FxHashMap::with_capacity_and_hasher(graph.len(), Default::default());
     for (fid, fact) in graph.iter() {
         let id = store.intern_evidence(
             fact.subject,
@@ -170,8 +177,8 @@ pub fn ground(
     }
     let evidence_atoms = store.len();
 
-    let mut clauses: Vec<GroundClause> = Vec::new();
-    let mut seen: HashSet<(usize, Vec<Lit>)> = HashSet::new();
+    let mut clauses = ClauseStore::with_capacity(graph.len() * 2, graph.len() * 2);
+    let mut seen: FxHashSet<(usize, Vec<Lit>)> = FxHashSet::default();
     let mut stats = GroundingStats {
         evidence_atoms,
         ..GroundingStats::default()
@@ -255,11 +262,13 @@ pub fn ground(
         delta_start = horizon;
     }
 
-    // Evidence unit clauses.
+    // Evidence unit clauses — emitted straight into the arena (no
+    // per-clause `Vec<Lit>` intermediates).
     if config.emit_evidence_units {
         for (id, atom) in store.iter() {
             if let crate::atoms::AtomKind::Evidence { log_odds, .. } = &atom.kind {
-                clauses.push(evidence_unit_clause(id, *log_odds, config));
+                let (lit, weight) = evidence_unit(id, *log_odds, config);
+                clauses.push_lits(&[lit], weight, ClauseOrigin::Evidence);
             }
         }
     }
@@ -267,27 +276,18 @@ pub fn ground(
     if config.hidden_prior > 0.0 {
         for (id, atom) in store.iter() {
             if !atom.kind.is_evidence() {
-                clauses.push(prior_clause(id, config));
-            }
-        }
-    }
-
-    // Dependency index: atom → clauses naming it, and per-atom
-    // derivation support. This is what apply_delta walks to retract
-    // exactly the clauses a changed fact touches.
-    let mut atom_clauses: Vec<Vec<u32>> = vec![Vec::new(); store.len()];
-    let mut support = vec![0u32; store.len()];
-    for (ci, clause) in clauses.iter().enumerate() {
-        for lit in &clause.lits {
-            atom_clauses[lit.atom.index()].push(ci as u32);
-            if lit.positive && matches!(clause.origin, ClauseOrigin::Formula(_)) {
-                support[lit.atom.index()] += 1;
+                let (lit, weight) = prior_unit(id, config);
+                clauses.push_lits(&[lit], weight, ClauseOrigin::Prior);
             }
         }
     }
 
     stats.hidden_atoms = store.hidden_count();
     stats.elapsed = start.elapsed();
+    // The atom→clause dependency index (what apply_delta walks to
+    // retract exactly the clauses a changed fact touches) is *not*
+    // built here: batch resolves never use it, so it materialises
+    // lazily on the first delta (`Grounding::ensure_dep_index`).
     Ok(Grounding {
         store,
         clauses,
@@ -297,55 +297,44 @@ pub fn ground(
         stats,
         epoch: graph.epoch(),
         seen,
-        atom_clauses,
-        support,
+        atom_clauses: Vec::new(),
+        support: Vec::new(),
+        dep_built: false,
     })
 }
 
 /// The soft (or pinned-hard) unit clause encoding one evidence atom's
 /// combined confidence — shared by the batch grounder and the
-/// incremental delta path.
-pub(crate) fn evidence_unit_clause(
+/// incremental delta path. Returned as raw parts so both callers emit
+/// straight into the [`ClauseStore`] arena.
+pub(crate) fn evidence_unit(
     id: AtomId,
     log_odds: f64,
     config: &GroundConfig,
-) -> GroundClause {
+) -> (Lit, ClauseWeight) {
     if config.pin_certain && log_odds >= 20.0 {
-        return GroundClause::new(
-            vec![Lit::pos(id)],
-            ClauseWeight::Hard,
-            ClauseOrigin::Evidence,
-        )
-        .expect("unit clause");
+        return (Lit::pos(id), ClauseWeight::Hard);
     }
     // A confidence of exactly 0.5 has log-odds 0; keep a positive bias
     // strictly larger than the hidden-atom prior so the MAP state never
     // deletes an uninformative fact gratuitously (removed facts are
     // reported as conflicts, and "keep the fact plus its rule
     // derivations" must beat "silently drop it").
-    let (lit, weight) = if log_odds.abs() <= 1e-9 {
-        (Lit::pos(id), (4.0 * config.hidden_prior).max(0.2))
+    if log_odds.abs() <= 1e-9 {
+        (
+            Lit::pos(id),
+            ClauseWeight::Soft((4.0 * config.hidden_prior).max(0.2)),
+        )
     } else if log_odds > 0.0 {
-        (Lit::pos(id), log_odds)
+        (Lit::pos(id), ClauseWeight::Soft(log_odds))
     } else {
-        (Lit::neg(id), -log_odds)
-    };
-    GroundClause::new(
-        vec![lit],
-        ClauseWeight::Soft(weight),
-        ClauseOrigin::Evidence,
-    )
-    .expect("unit clause")
+        (Lit::neg(id), ClauseWeight::Soft(-log_odds))
+    }
 }
 
 /// The closed-world prior unit clause on a hidden atom.
-pub(crate) fn prior_clause(id: AtomId, config: &GroundConfig) -> GroundClause {
-    GroundClause::new(
-        vec![Lit::neg(id)],
-        ClauseWeight::Soft(config.hidden_prior),
-        ClauseOrigin::Prior,
-    )
-    .expect("unit clause")
+pub(crate) fn prior_unit(id: AtomId, config: &GroundConfig) -> (Lit, ClauseWeight) {
+    (Lit::neg(id), ClauseWeight::Soft(config.hidden_prior))
 }
 
 /// Stores smaller than this are always matched serially: thread spawn
@@ -938,7 +927,7 @@ mod tests {
             .clauses
             .iter()
             .filter_map(|c| match c.origin {
-                ClauseOrigin::Formula(i) => Some((i, c.lits.clone())),
+                ClauseOrigin::Formula(i) => Some((i, c.lits.to_vec())),
                 _ => None,
             })
             .collect();

@@ -30,10 +30,10 @@ use tecore_kg::{Delta, UtkGraph};
 use tecore_logic::formula::Weight;
 
 use crate::atoms::{AtomId, AtomKind};
-use crate::clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
+use crate::clause::{ClauseId, ClauseOrigin, ClauseWeight, GroundClause, Lit};
 use crate::grounder::{
-    collect_match, enumerate_matches, evidence_unit_clause, prior_clause, Frontier, GroundConfig,
-    Grounding, HeadKey,
+    collect_match, enumerate_matches, evidence_unit, prior_unit, Frontier, GroundConfig, Grounding,
+    HeadKey,
 };
 
 /// Statistics of one [`Grounding::apply_delta`] run.
@@ -93,6 +93,7 @@ impl Grounding {
             self.epoch, delta.from_epoch,
             "delta must start at the grounding's epoch"
         );
+        self.ensure_dep_index();
         let mut stats = DeltaStats {
             facts_added: delta.added.len(),
             facts_removed: delta.removed.len(),
@@ -137,7 +138,8 @@ impl Grounding {
                             self.retract_clause(j, &mut kills, &mut stats);
                         }
                         if config.hidden_prior > 0.0 {
-                            self.emit_clause(prior_clause(aid, config), &mut stats);
+                            let (lit, weight) = prior_unit(aid, config);
+                            self.emit_unit(lit, weight, ClauseOrigin::Prior, &mut stats);
                         }
                     } else {
                         kills.push(aid);
@@ -158,7 +160,7 @@ impl Grounding {
             self.store.kill(aid);
             stats.atoms_killed += 1;
             while let Some(&ci) = self.atom_clauses[aid.index()].last() {
-                self.retract_clause(ci as usize, &mut kills, &mut stats);
+                self.retract_clause(ci, &mut kills, &mut stats);
             }
         }
 
@@ -227,7 +229,8 @@ impl Grounding {
                 if let Some(j) = self.find_unit(aid, ClauseOrigin::Evidence) {
                     self.retract_clause(j, &mut kills, &mut stats);
                 }
-                self.emit_clause(evidence_unit_clause(aid, log_odds, config), &mut stats);
+                let (lit, weight) = evidence_unit(aid, log_odds, config);
+                self.emit_unit(lit, weight, ClauseOrigin::Evidence, &mut stats);
             }
         }
         debug_assert!(next_kill == kills.len(), "unit retraction never kills");
@@ -287,7 +290,8 @@ impl Grounding {
                     if newly_live {
                         stats.atoms_created += 1;
                         if config.hidden_prior > 0.0 {
-                            self.emit_clause(prior_clause(head_id, config), &mut stats);
+                            let (lit, weight) = prior_unit(head_id, config);
+                            self.emit_unit(lit, weight, ClauseOrigin::Prior, &mut stats);
                         }
                         if head_id.index() >= next.len() {
                             next.resize(head_id.index() + 1, false);
@@ -315,46 +319,85 @@ impl Grounding {
         stats
     }
 
-    /// Index of the single-literal clause of `origin` on `aid`, if any.
-    fn find_unit(&self, aid: AtomId, origin: ClauseOrigin) -> Option<usize> {
-        self.atom_clauses[aid.index()]
-            .iter()
-            .map(|&ci| ci as usize)
-            .find(|&ci| self.clauses[ci].origin == origin && self.clauses[ci].len() == 1)
+    /// Materialises the atom→clause dependency index and the per-atom
+    /// derivation-support counters. Built on the first delta rather
+    /// than at grounding time, so batch resolves never pay for it; the
+    /// incremental emit/retract paths keep it current from then on.
+    fn ensure_dep_index(&mut self) {
+        if self.dep_built {
+            return;
+        }
+        self.atom_clauses = vec![Vec::new(); self.store.len()];
+        self.support = vec![0u32; self.store.len()];
+        for clause in self.clauses.iter() {
+            let is_formula = matches!(clause.origin, ClauseOrigin::Formula(_));
+            for lit in clause.lits {
+                self.atom_clauses[lit.atom.index()].push(clause.id);
+                if lit.positive && is_formula {
+                    self.support[lit.atom.index()] += 1;
+                }
+            }
+        }
+        self.dep_built = true;
     }
 
-    /// Appends a clause, maintaining the atom→clause index and the
-    /// derivation-support counters.
-    fn emit_clause(&mut self, clause: GroundClause, stats: &mut DeltaStats) {
-        let j = self.clauses.len() as u32;
-        for lit in &clause.lits {
-            self.atom_clauses[lit.atom.index()].push(j);
-            if lit.positive && matches!(clause.origin, ClauseOrigin::Formula(_)) {
+    /// Id of the single-literal clause of `origin` on `aid`, if any.
+    fn find_unit(&self, aid: AtomId, origin: ClauseOrigin) -> Option<ClauseId> {
+        self.atom_clauses[aid.index()]
+            .iter()
+            .copied()
+            .find(|&ci| self.clauses.origin(ci) == origin && self.clauses.clause_len(ci) == 1)
+    }
+
+    /// Registers an already-pushed clause with the atom→clause index
+    /// and the derivation-support counters.
+    fn register_clause(&mut self, id: ClauseId, stats: &mut DeltaStats) {
+        let is_formula = matches!(self.clauses.origin(id), ClauseOrigin::Formula(_));
+        for lit in self.clauses.lits(id) {
+            self.atom_clauses[lit.atom.index()].push(id);
+            if lit.positive && is_formula {
                 self.support[lit.atom.index()] += 1;
             }
         }
-        self.clauses.push(clause);
         stats.clauses_emitted += 1;
     }
 
-    /// Removes clause `j` (swap-remove, fixing up the moved clause's
-    /// index entries), reversing its dedup signature and support
-    /// contributions; derivations losing their last support are queued
-    /// on `kills`.
-    fn retract_clause(&mut self, j: usize, kills: &mut Vec<AtomId>, stats: &mut DeltaStats) {
-        let clause = self.clauses.swap_remove(j);
+    /// Appends a clause to the arena (reviving a tombstoned slot when
+    /// one is free), maintaining the dependency index.
+    fn emit_clause(&mut self, clause: GroundClause, stats: &mut DeltaStats) {
+        let id = self.clauses.push(clause);
+        self.register_clause(id, stats);
+    }
+
+    /// Appends a unit clause without building a `GroundClause`.
+    fn emit_unit(
+        &mut self,
+        lit: Lit,
+        weight: ClauseWeight,
+        origin: ClauseOrigin,
+        stats: &mut DeltaStats,
+    ) {
+        let id = self.clauses.push_lits(&[lit], weight, origin);
+        self.register_clause(id, stats);
+    }
+
+    /// Retracts clause `j`: tombstones its arena slot (no other clause
+    /// id moves), reversing its index entries, dedup signature and
+    /// support contributions; derivations losing their last support are
+    /// queued on `kills`.
+    fn retract_clause(&mut self, j: ClauseId, kills: &mut Vec<AtomId>, stats: &mut DeltaStats) {
         stats.clauses_retracted += 1;
-        for lit in &clause.lits {
+        for lit in self.clauses.lits(j) {
             let entries = &mut self.atom_clauses[lit.atom.index()];
             let pos = entries
                 .iter()
-                .position(|&ci| ci as usize == j)
+                .position(|&ci| ci == j)
                 .expect("clause index consistent");
             entries.swap_remove(pos);
         }
-        if let ClauseOrigin::Formula(fidx) = clause.origin {
-            self.seen.remove(&(fidx, clause.lits.clone()));
-            for lit in &clause.lits {
+        if let ClauseOrigin::Formula(fidx) = self.clauses.origin(j) {
+            self.seen.remove(&(fidx, self.clauses.lits(j).to_vec()));
+            for lit in self.clauses.lits(j) {
                 if lit.positive {
                     let support = &mut self.support[lit.atom.index()];
                     *support -= 1;
@@ -367,18 +410,7 @@ impl Grounding {
                 }
             }
         }
-        // The clause previously at the tail now lives at `j`.
-        if j < self.clauses.len() {
-            let moved_old = self.clauses.len() as u32;
-            for lit in self.clauses[j].lits.clone() {
-                let entries = &mut self.atom_clauses[lit.atom.index()];
-                let pos = entries
-                    .iter()
-                    .position(|&ci| ci == moved_old)
-                    .expect("clause index consistent");
-                entries[pos] = j as u32;
-            }
-        }
+        self.clauses.retract(j);
     }
 }
 

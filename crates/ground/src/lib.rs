@@ -39,7 +39,7 @@ pub mod violation;
 
 pub use atoms::{AtomId, AtomKind, AtomStore, GroundAtom};
 pub use bindings::Bindings;
-pub use clause::{ClauseOrigin, ClauseWeight, GroundClause, Lit};
+pub use clause::{ClauseId, ClauseOrigin, ClauseRef, ClauseStore, ClauseWeight, GroundClause, Lit};
 pub use compile::{CompiledFormula, CompiledProgram};
 pub use grounder::{ground, GroundConfig, Grounding, GroundingStats};
 pub use incremental::DeltaStats;

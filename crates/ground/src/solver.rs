@@ -159,15 +159,15 @@ pub trait MapSolver: fmt::Debug + Send + Sync {
 }
 
 /// Total violated soft weight and number of violated hard clauses of
-/// `world` over `clauses`.
+/// `world` over the live clauses of `clauses`.
 ///
 /// Shared by backends that need to grade a discrete world against the
 /// common clause representation (e.g. PSL scoring its rounding) without
 /// depending on another backend's problem types.
-pub fn evaluate_world(clauses: &[crate::clause::GroundClause], world: &[bool]) -> (f64, usize) {
+pub fn evaluate_world(clauses: &crate::clause::ClauseStore, world: &[bool]) -> (f64, usize) {
     let mut cost = 0.0;
     let mut hard_violations = 0usize;
-    for clause in clauses {
+    for clause in clauses.iter() {
         if !clause.satisfied_by(world) {
             match clause.weight {
                 crate::clause::ClauseWeight::Hard => hard_violations += 1,
@@ -194,7 +194,7 @@ mod tests {
 
     #[test]
     fn evaluate_world_costs() {
-        let clauses = vec![
+        let ground_clauses = vec![
             GroundClause::new(
                 vec![Lit::pos(AtomId(0))],
                 ClauseWeight::Soft(2.0),
@@ -208,6 +208,7 @@ mod tests {
             )
             .unwrap(),
         ];
+        let clauses = crate::clause::ClauseStore::from_ground_clauses(&ground_clauses);
         // Satisfy both.
         assert_eq!(evaluate_world(&clauses, &[true, true]), (0.0, 0));
         // Violate the hard implication.

@@ -1,6 +1,6 @@
 //! String interning for graph terms.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -41,7 +41,7 @@ impl fmt::Display for Symbol {
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
     terms: Vec<Arc<str>>,
-    index: HashMap<Arc<str>, Symbol>,
+    index: FxHashMap<Arc<str>, Symbol>,
 }
 
 impl Dictionary {
@@ -54,7 +54,7 @@ impl Dictionary {
     pub fn with_capacity(capacity: usize) -> Self {
         Dictionary {
             terms: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+            index: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
         }
     }
 

@@ -1,6 +1,6 @@
 //! The uTKG store.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use tecore_temporal::{Interval, TimeDomain};
 
@@ -34,9 +34,9 @@ pub struct UtkGraph {
     facts: Vec<TemporalFact>,
     alive: Vec<bool>,
     live_count: usize,
-    by_predicate: HashMap<Symbol, Vec<FactId>>,
-    by_subject_predicate: HashMap<(Symbol, Symbol), Vec<FactId>>,
-    by_predicate_object: HashMap<(Symbol, Symbol), Vec<FactId>>,
+    by_predicate: FxHashMap<Symbol, Vec<FactId>>,
+    by_subject_predicate: FxHashMap<(Symbol, Symbol), Vec<FactId>>,
+    by_predicate_object: FxHashMap<(Symbol, Symbol), Vec<FactId>>,
     /// Bumped on every mutation; `0` for a fresh graph.
     epoch: u64,
     /// Retained change log: `(epoch, change)` pairs, ascending.

@@ -32,6 +32,7 @@ pub mod delta;
 pub mod dict;
 pub mod error;
 pub mod fact;
+pub mod fxhash;
 pub mod graph;
 pub mod parser;
 pub mod stats;
@@ -42,6 +43,7 @@ pub use delta::{Delta, FactChange};
 pub use dict::{Dictionary, Symbol};
 pub use error::KgError;
 pub use fact::{Confidence, FactId, TemporalFact};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graph::UtkGraph;
 pub use stats::GraphStats;
 pub use tindex::IntervalIndex;

@@ -32,7 +32,7 @@ pub mod problem;
 pub mod solver;
 
 pub use preprocess::{preprocess, Preprocessed};
-pub use problem::{MapResult, SatClause, SatProblem, SolveStats};
+pub use problem::{MapResult, SatProblem, SolveStats};
 pub use solver::bnb::BranchAndBound;
 pub use solver::cpi::{CpiConfig, CpiSolver};
 pub use solver::walksat::{MaxWalkSat, WalkSatConfig};

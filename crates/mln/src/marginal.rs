@@ -46,7 +46,7 @@ impl Default for GibbsConfig {
 /// `init` seeds the chain (typically the MAP assignment); pass `None`
 /// for an all-false start.
 pub fn gibbs_marginals(
-    problem: &SatProblem,
+    problem: &SatProblem<'_>,
     init: Option<&[bool]>,
     config: &GibbsConfig,
 ) -> Vec<f64> {
@@ -62,9 +62,9 @@ pub fn gibbs_marginals(
 
     // Occurrence lists once.
     let mut occ: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (ci, c) in problem.clauses.iter().enumerate() {
-        for l in c.lits.iter() {
-            occ[l.atom.index()].push(ci as u32);
+    for c in problem.iter() {
+        for l in c.lits {
+            occ[l.atom.index()].push(c.id);
         }
     }
 
@@ -75,10 +75,11 @@ pub fn gibbs_marginals(
             // clauses containing v.
             let mut delta = 0.0; // log-odds of v = true
             for &ci in &occ[v] {
-                let c = &problem.clauses[ci as usize];
-                let w = if c.is_hard() { HARD_WEIGHT } else { c.weight };
-                let sat_true = sat_with(c, &state, v, true);
-                let sat_false = sat_with(c, &state, v, false);
+                let w = problem.weight(ci);
+                let w = if w.is_infinite() { HARD_WEIGHT } else { w };
+                let lits = problem.lits(ci);
+                let sat_true = sat_with(lits, &state, v, true);
+                let sat_false = sat_with(lits, &state, v, false);
                 delta += w * (f64::from(sat_true as u8) - f64::from(sat_false as u8));
             }
             let p_true = 1.0 / (1.0 + (-delta).exp());
@@ -98,8 +99,8 @@ pub fn gibbs_marginals(
         .collect()
 }
 
-fn sat_with(c: &crate::problem::SatClause, state: &[bool], var: usize, value: bool) -> bool {
-    c.lits.iter().any(|l| {
+fn sat_with(lits: &[tecore_ground::Lit], state: &[bool], var: usize, value: bool) -> bool {
+    lits.iter().any(|l| {
         let v = if l.atom.index() == var {
             value
         } else {

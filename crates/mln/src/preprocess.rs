@@ -16,16 +16,17 @@
 //! propty tests cross-check against brute force that the optimal cost
 //! is preserved exactly.
 
-use tecore_ground::Lit;
+use tecore_ground::{ClauseOrigin, ClauseStore, ClauseWeight, Lit};
 
-use crate::problem::{MapResult, SatClause, SatProblem};
+use crate::problem::{MapResult, SatProblem};
 
 /// The outcome of preprocessing.
 #[derive(Debug, Clone)]
 pub struct Preprocessed {
     /// The reduced instance (over the same variable ids; fixed
-    /// variables simply no longer occur).
-    pub problem: SatProblem,
+    /// variables simply no longer occur). Owned: the reduced clauses
+    /// live in their own arena.
+    pub problem: SatProblem<'static>,
     /// Fixed assignments, `fixed[v] = Some(value)`.
     pub fixed: Vec<Option<bool>>,
     /// `false` if hard unit propagation derived a contradiction.
@@ -56,16 +57,15 @@ impl Preprocessed {
 
 /// Runs hard unit propagation followed by pure-literal fixing to a
 /// joint fixpoint.
-pub fn preprocess(problem: &SatProblem) -> Preprocessed {
+pub fn preprocess(problem: &SatProblem<'_>) -> Preprocessed {
     let n = problem.n_vars;
     let mut fixed: Vec<Option<bool>> = vec![None; n];
     let mut feasible = true;
     let mut base_cost = 0.0;
-    // Working clause set: (lits, weight, alive).
+    // Working clause set: (lits, raw weight, alive).
     let mut clauses: Vec<(Vec<Lit>, f64, bool)> = problem
-        .clauses
         .iter()
-        .map(|c| (c.lits.to_vec(), c.weight, true))
+        .map(|c| (c.lits.to_vec(), problem.weight(c.id), true))
         .collect();
 
     loop {
@@ -133,19 +133,20 @@ pub fn preprocess(problem: &SatProblem) -> Preprocessed {
         }
     }
 
-    let remaining: Vec<SatClause> = clauses
-        .into_iter()
-        .filter(|(_, _, alive)| *alive)
-        .map(|(lits, weight, _)| SatClause {
-            lits: lits.into_boxed_slice(),
-            weight,
-        })
-        .collect();
+    let mut remaining = ClauseStore::new();
+    for (lits, weight, alive) in clauses {
+        if !alive {
+            continue;
+        }
+        let weight = if weight.is_infinite() {
+            ClauseWeight::Hard
+        } else {
+            ClauseWeight::Soft(weight)
+        };
+        remaining.push_lits(&lits, weight, ClauseOrigin::Evidence);
+    }
     Preprocessed {
-        problem: SatProblem {
-            n_vars: n,
-            clauses: remaining,
-        },
+        problem: SatProblem::from_owned_store(n, remaining),
         fixed,
         feasible,
         base_cost,
@@ -217,7 +218,7 @@ mod tests {
         let pre = preprocess(&p);
         assert!(pre.feasible);
         assert_eq!(pre.fixed, vec![Some(true), Some(true), Some(true)]);
-        assert!(pre.problem.clauses.is_empty());
+        assert!(pre.problem.is_empty());
         assert!((pre.base_cost - 1.5).abs() < 1e-12, "violated soft counted");
     }
 
@@ -242,7 +243,7 @@ mod tests {
         let p = SatProblem::from_clauses(2, &clauses);
         let pre = preprocess(&p);
         assert_eq!(pre.fixed[1], Some(true));
-        assert!(pre.problem.clauses.is_empty());
+        assert!(pre.problem.is_empty());
         assert_eq!(pre.base_cost, 0.0);
     }
 
@@ -265,7 +266,7 @@ mod tests {
         assert!((cost - full.cost).abs() < 1e-9);
     }
 
-    fn arb_problem() -> impl Strategy<Value = SatProblem> {
+    fn arb_problem() -> impl Strategy<Value = SatProblem<'static>> {
         let lit = (0u32..7, prop::bool::ANY).prop_map(|(a, pos)| Lit {
             atom: AtomId(a),
             positive: pos,
@@ -317,9 +318,9 @@ mod tests {
         #[test]
         fn never_grows(p in arb_problem()) {
             let pre = preprocess(&p);
-            prop_assert!(pre.problem.clauses.len() <= p.clauses.len());
-            let before: usize = p.clauses.iter().map(|c| c.lits.len()).sum();
-            let after: usize = pre.problem.clauses.iter().map(|c| c.lits.len()).sum();
+            prop_assert!(pre.problem.len() <= p.len());
+            let before: usize = p.iter().map(|c| c.lits.len()).sum();
+            let after: usize = pre.problem.iter().map(|c| c.lits.len()).sum();
             prop_assert!(after <= before);
         }
     }

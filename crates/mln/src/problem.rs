@@ -1,65 +1,102 @@
 //! The weighted partial MaxSAT problem and its solutions.
+//!
+//! A [`SatProblem`] is a *view* over the grounding's flat
+//! [`ClauseStore`] arena: built from a [`Grounding`] it borrows the
+//! arena zero-copy (no per-clause re-boxing of literals), while
+//! preprocessing and tests can hold an owned store through the same
+//! type (`Cow` keeps one API for both). Clause weights come back as raw
+//! `f64` with `f64::INFINITY` marking hard clauses — the exact encoding
+//! the arena stores, so solver hot loops read arrays without
+//! conversion.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::time::Duration;
 
-use tecore_ground::{ClauseWeight, GroundClause, Grounding, Lit};
-
-/// A clause of the SAT problem.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SatClause {
-    /// Literals (sorted, duplicate-free — inherited from
-    /// [`GroundClause`]).
-    pub lits: Box<[Lit]>,
-    /// Violation cost; `f64::INFINITY` marks a hard clause.
-    pub weight: f64,
-}
-
-impl SatClause {
-    /// Is this a hard clause?
-    #[inline]
-    pub fn is_hard(&self) -> bool {
-        self.weight.is_infinite()
-    }
-
-    /// Is the clause satisfied under `assignment`?
-    #[inline]
-    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
-        self.lits
-            .iter()
-            .any(|l| l.satisfied_by(assignment[l.atom.index()]))
-    }
-}
+use tecore_ground::{ClauseRef, ClauseStore, GroundClause, Grounding, Lit};
 
 /// A weighted partial MaxSAT instance: minimise the total weight of
 /// violated soft clauses subject to all hard clauses holding.
-#[derive(Debug, Clone, Default)]
-pub struct SatProblem {
+#[derive(Debug, Clone)]
+pub struct SatProblem<'a> {
     /// Number of boolean variables (ground atoms).
     pub n_vars: usize,
-    /// All clauses (hard and soft).
-    pub clauses: Vec<SatClause>,
+    /// The clause arena (borrowed from a grounding, or owned).
+    clauses: Cow<'a, ClauseStore>,
 }
 
-impl SatProblem {
-    /// Builds the problem from a grounding.
-    pub fn from_grounding(grounding: &Grounding) -> SatProblem {
-        SatProblem::from_clauses(grounding.num_atoms(), &grounding.clauses)
+impl<'a> SatProblem<'a> {
+    /// Builds the problem as a zero-copy view over a grounding's clause
+    /// arena.
+    pub fn from_grounding(grounding: &'a Grounding) -> SatProblem<'a> {
+        SatProblem {
+            n_vars: grounding.num_atoms(),
+            clauses: Cow::Borrowed(&grounding.clauses),
+        }
     }
 
-    /// Builds the problem from raw ground clauses.
-    pub fn from_clauses(n_vars: usize, clauses: &[GroundClause]) -> SatProblem {
-        let clauses = clauses
-            .iter()
-            .map(|c| SatClause {
-                lits: c.lits.clone().into_boxed_slice(),
-                weight: match c.weight {
-                    ClauseWeight::Hard => f64::INFINITY,
-                    ClauseWeight::Soft(w) => w,
-                },
-            })
-            .collect();
-        SatProblem { n_vars, clauses }
+    /// Builds the problem as a view over an arbitrary clause store.
+    pub fn from_store(n_vars: usize, store: &'a ClauseStore) -> SatProblem<'a> {
+        SatProblem {
+            n_vars,
+            clauses: Cow::Borrowed(store),
+        }
+    }
+
+    /// Builds an owned problem from raw ground clauses (tests and small
+    /// call sites; the hot paths borrow).
+    pub fn from_clauses(n_vars: usize, clauses: &[GroundClause]) -> SatProblem<'static> {
+        SatProblem {
+            n_vars,
+            clauses: Cow::Owned(ClauseStore::from_ground_clauses(clauses)),
+        }
+    }
+
+    /// Wraps an owned store (preprocessing output).
+    pub fn from_owned_store(n_vars: usize, store: ClauseStore) -> SatProblem<'static> {
+        SatProblem {
+            n_vars,
+            clauses: Cow::Owned(store),
+        }
+    }
+
+    /// Number of **live** clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Is the instance free of live clauses?
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Number of clause slots (tombstones included) — per-clause solver
+    /// state indexed by clause id must be sized by this.
+    pub fn num_slots(&self) -> usize {
+        self.clauses.num_slots()
+    }
+
+    /// Iterates over the live clauses.
+    pub fn iter(&self) -> impl Iterator<Item = ClauseRef<'_>> {
+        self.clauses.iter()
+    }
+
+    /// The literals of clause `ci`.
+    #[inline]
+    pub fn lits(&self, ci: u32) -> &[Lit] {
+        self.clauses.lits(ci)
+    }
+
+    /// The raw weight of clause `ci` (`f64::INFINITY` = hard).
+    #[inline]
+    pub fn weight(&self, ci: u32) -> f64 {
+        self.clauses.weight_raw(ci)
+    }
+
+    /// Is clause `ci` hard?
+    #[inline]
+    pub fn is_hard(&self, ci: u32) -> bool {
+        self.clauses.is_hard(ci)
     }
 
     /// Total weight of violated soft clauses, and the number of violated
@@ -67,12 +104,11 @@ impl SatProblem {
     pub fn evaluate(&self, assignment: &[bool]) -> (f64, usize) {
         let mut cost = 0.0;
         let mut hard_violations = 0;
-        for c in &self.clauses {
+        for c in self.iter() {
             if !c.satisfied_by(assignment) {
-                if c.is_hard() {
-                    hard_violations += 1;
-                } else {
-                    cost += c.weight;
+                match c.weight {
+                    tecore_ground::ClauseWeight::Hard => hard_violations += 1,
+                    tecore_ground::ClauseWeight::Soft(w) => cost += w,
                 }
             }
         }
@@ -81,21 +117,17 @@ impl SatProblem {
 
     /// Number of hard clauses.
     pub fn hard_count(&self) -> usize {
-        self.clauses.iter().filter(|c| c.is_hard()).count()
+        self.iter().filter(|c| c.weight.is_hard()).count()
     }
 
     /// Number of soft clauses.
     pub fn soft_count(&self) -> usize {
-        self.clauses.len() - self.hard_count()
+        self.len() - self.hard_count()
     }
 
     /// Sum of all soft weights (an upper bound on any solution cost).
     pub fn total_soft_weight(&self) -> f64 {
-        self.clauses
-            .iter()
-            .filter(|c| !c.is_hard())
-            .map(|c| c.weight)
-            .sum()
+        self.iter().filter_map(|c| c.weight.soft()).sum()
     }
 }
 
@@ -159,7 +191,7 @@ impl fmt::Display for MapResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tecore_ground::{AtomId, ClauseOrigin};
+    use tecore_ground::{AtomId, ClauseOrigin, ClauseWeight};
 
     fn clause(lits: Vec<Lit>, weight: ClauseWeight) -> GroundClause {
         GroundClause::new(lits, weight, ClauseOrigin::Evidence).unwrap()
@@ -195,16 +227,18 @@ mod tests {
     }
 
     #[test]
-    fn hard_marker() {
-        let c = SatClause {
-            lits: vec![Lit::pos(AtomId(0))].into_boxed_slice(),
-            weight: f64::INFINITY,
-        };
-        assert!(c.is_hard());
-        let s = SatClause {
-            lits: vec![Lit::pos(AtomId(0))].into_boxed_slice(),
-            weight: 1.0,
-        };
-        assert!(!s.is_hard());
+    fn hard_marker_and_raw_weights() {
+        let p = SatProblem::from_clauses(
+            1,
+            &[
+                clause(vec![Lit::pos(AtomId(0))], ClauseWeight::Hard),
+                clause(vec![Lit::pos(AtomId(0))], ClauseWeight::Soft(1.0)),
+            ],
+        );
+        assert!(p.is_hard(0));
+        assert!(p.weight(0).is_infinite());
+        assert!(!p.is_hard(1));
+        assert_eq!(p.weight(1), 1.0);
+        assert_eq!(p.lits(1), &[Lit::pos(AtomId(0))]);
     }
 }

@@ -42,15 +42,23 @@ impl BranchAndBound {
     }
 
     /// Solves the problem exactly (or best-effort within the budget).
-    pub fn solve(&self, problem: &SatProblem) -> MapResult {
+    pub fn solve(&self, problem: &SatProblem<'_>) -> MapResult {
         let start = Instant::now();
         let n = problem.n_vars;
 
+        // Dense clause snapshot: `bound` and `propagate` run once per
+        // search node, so they iterate a flat (lits, raw weight) table
+        // instead of re-filtering the arena's slot table every time.
+        let clauses: Vec<(&[tecore_ground::Lit], f64)> = problem
+            .iter()
+            .map(|c| (c.lits, problem.weight(c.id)))
+            .collect();
+
         // Static variable order: descending total incident weight.
         let mut incident = vec![0.0f64; n];
-        for c in &problem.clauses {
-            let w = if c.is_hard() { 1e6 } else { c.weight };
-            for l in c.lits.iter() {
+        for &(lits, w) in &clauses {
+            let w = if w.is_infinite() { 1e6 } else { w };
+            for l in lits {
                 incident[l.atom.index()] += w;
             }
         }
@@ -64,19 +72,18 @@ impl BranchAndBound {
         // Preferred phase from unit soft clauses.
         let mut phase = vec![false; n];
         let mut phase_weight = vec![0.0f64; n];
-        for c in &problem.clauses {
-            if c.lits.len() == 1 && !c.is_hard() {
-                let l = c.lits[0];
+        for &(lits, w) in &clauses {
+            if let (&[l], false) = (lits, w.is_infinite()) {
                 let v = l.atom.index();
-                if c.weight > phase_weight[v] {
-                    phase_weight[v] = c.weight;
+                if w > phase_weight[v] {
+                    phase_weight[v] = w;
                     phase[v] = l.positive;
                 }
             }
         }
 
         let mut search = Search {
-            problem,
+            clauses: &clauses,
             order: &order,
             phase: &phase,
             assigned: vec![None; n],
@@ -105,7 +112,7 @@ impl BranchAndBound {
             stats: SolveStats {
                 steps: search.nodes,
                 rounds: u32::from(search.budget.is_some_and(|b| search.nodes >= b)),
-                active_clauses: problem.clauses.len(),
+                active_clauses: problem.len(),
                 elapsed: start.elapsed(),
             },
         }
@@ -113,7 +120,8 @@ impl BranchAndBound {
 }
 
 struct Search<'a> {
-    problem: &'a SatProblem,
+    /// Dense (lits, raw weight) snapshot of the live clauses.
+    clauses: &'a [(&'a [tecore_ground::Lit], f64)],
     order: &'a [u32],
     phase: &'a [bool],
     assigned: Vec<Option<bool>>,
@@ -130,10 +138,10 @@ impl Search<'_> {
     /// falsified under the partial assignment.
     fn bound(&self) -> Option<f64> {
         let mut cost = 0.0;
-        for c in &self.problem.clauses {
+        for &(lits, w) in self.clauses {
             let mut satisfied = false;
             let mut open = false;
-            for l in c.lits.iter() {
+            for l in lits {
                 match self.assigned[l.atom.index()] {
                     Some(v) if l.satisfied_by(v) => {
                         satisfied = true;
@@ -144,10 +152,10 @@ impl Search<'_> {
                 }
             }
             if !satisfied && !open {
-                if c.is_hard() {
+                if w.is_infinite() {
                     return None;
                 }
-                cost += c.weight;
+                cost += w;
             }
         }
         Some(cost)
@@ -159,14 +167,14 @@ impl Search<'_> {
         let mut trail: Vec<u32> = Vec::new();
         loop {
             let mut changed = false;
-            for c in &self.problem.clauses {
-                if !c.is_hard() {
+            for &(lits, w) in self.clauses {
+                if !w.is_infinite() {
                     continue;
                 }
                 let mut satisfied = false;
                 let mut unassigned = None;
                 let mut open_count = 0;
-                for l in c.lits.iter() {
+                for l in lits {
                     match self.assigned[l.atom.index()] {
                         Some(v) if l.satisfied_by(v) => {
                             satisfied = true;
@@ -252,7 +260,7 @@ impl Search<'_> {
 /// Brute-force reference solver (tests only): enumerates all `2^n`
 /// assignments. Public so integration tests and other crates' oracles
 /// can reuse it; panics above 20 variables.
-pub fn brute_force(problem: &SatProblem) -> MapResult {
+pub fn brute_force(problem: &SatProblem<'_>) -> MapResult {
     assert!(problem.n_vars <= 20, "brute force beyond 2^20 is a bug");
     let start = Instant::now();
     let n = problem.n_vars;
@@ -275,7 +283,7 @@ pub fn brute_force(problem: &SatProblem) -> MapResult {
         stats: SolveStats {
             steps: 1 << n,
             rounds: 0,
-            active_clauses: problem.clauses.len(),
+            active_clauses: problem.len(),
             elapsed: start.elapsed(),
         },
     }
@@ -372,7 +380,7 @@ mod tests {
         assert_eq!(r.cost, 0.0);
     }
 
-    fn arb_problem() -> impl Strategy<Value = SatProblem> {
+    fn arb_problem() -> impl Strategy<Value = SatProblem<'static>> {
         let lit = (0u32..6, prop::bool::ANY).prop_map(|(a, pos)| Lit {
             atom: AtomId(a),
             positive: pos,

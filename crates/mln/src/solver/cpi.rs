@@ -16,11 +16,12 @@
 //! the number of *actual* conflicts, not potential ones — the ablation
 //! bench `ablation_cpi` measures exactly this effect.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
+use tecore_kg::fxhash::FxHashSet;
+
 use tecore_ground::violation::violated_clauses;
-use tecore_ground::{GroundClause, Grounding, Lit};
+use tecore_ground::{ClauseStore, Grounding, Lit};
 
 use crate::problem::{MapResult, SatProblem, SolveStats};
 use crate::solver::bnb::BranchAndBound;
@@ -66,10 +67,13 @@ impl CpiSolver {
     pub fn solve_lazy(&self, grounding: &Grounding) -> MapResult {
         let start = Instant::now();
         let n = grounding.num_atoms();
-        let mut active: Vec<GroundClause> = grounding.clauses.clone();
-        let mut seen: HashSet<(usize, Vec<Lit>)> = active
+        // The active set starts as a copy of the grounding's arena
+        // (bulk array clone, no per-clause re-boxing) and grows by the
+        // cutting planes each round discovers.
+        let mut active: ClauseStore = grounding.clauses.clone();
+        let mut seen: FxHashSet<(usize, Vec<Lit>)> = active
             .iter()
-            .map(|c| (origin_idx(c), c.lits.clone()))
+            .map(|c| (origin_key(c.origin), c.lits.to_vec()))
             .collect();
 
         let mut rounds = 0u32;
@@ -85,7 +89,7 @@ impl CpiSolver {
                 violated_clauses(&grounding.store, &grounding.program, &result.assignment);
             let mut added = 0;
             for clause in violated {
-                let key = (origin_idx(&clause), clause.lits.clone());
+                let key = (origin_key(clause.origin), clause.lits.clone());
                 if seen.insert(key) {
                     active.push(clause);
                     added += 1;
@@ -109,8 +113,8 @@ impl CpiSolver {
         }
     }
 
-    fn inner_solve(&self, n_vars: usize, clauses: &[GroundClause]) -> MapResult {
-        let problem = SatProblem::from_clauses(n_vars, clauses);
+    fn inner_solve(&self, n_vars: usize, clauses: &ClauseStore) -> MapResult {
+        let problem = SatProblem::from_store(n_vars, clauses);
         if n_vars <= self.config.exact_below {
             BranchAndBound::new().solve(&problem)
         } else {
@@ -153,8 +157,8 @@ impl tecore_ground::MapSolver for CpiSolver {
     }
 }
 
-fn origin_idx(c: &GroundClause) -> usize {
-    match c.origin {
+fn origin_key(origin: tecore_ground::ClauseOrigin) -> usize {
+    match origin {
         tecore_ground::ClauseOrigin::Formula(i) => i,
         tecore_ground::ClauseOrigin::Evidence => usize::MAX - 1,
         tecore_ground::ClauseOrigin::Prior => usize::MAX,

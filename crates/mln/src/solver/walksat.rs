@@ -2,11 +2,23 @@
 //! (Kautz, Selman & Jiang 1996 — the solver classically paired with
 //! MLN MAP inference).
 //!
-//! The implementation keeps per-clause satisfied-literal counts and
-//! per-variable occurrence lists so a flip is O(occurrences); hard
-//! clauses are prioritised (a random unsatisfied hard clause is repaired
-//! before soft cost is optimised), and the best *feasible* assignment
-//! seen across restarts is returned.
+//! The hot path is O(1)-incremental and allocation-free:
+//!
+//! * a CSR **occurrence index** maps each variable to its clauses with
+//!   the literal's polarity packed into the entry's sign bit, so no
+//!   step ever re-scans a clause's literal list to find the variable;
+//! * per-clause **make/break state** is read off the satisfied-literal
+//!   counts plus a cached *critical literal* (the XOR of satisfied
+//!   literal ids — when `sat_count == 1` it *is* the sole satisfying
+//!   variable), making [`State::flip_delta`] a pure array walk;
+//! * restarts **reuse the search buffers**: [`State::reinit`] perturbs
+//!   the previous assignment in place through the incremental flip
+//!   machinery, touching only the clauses of perturbed variables
+//!   instead of reallocating five vectors and rescanning every clause.
+//!
+//! Hard clauses are prioritised (a random unsatisfied hard clause is
+//! repaired before soft cost is optimised), and the best *feasible*
+//! assignment seen across restarts is returned.
 
 use std::time::Instant;
 
@@ -67,7 +79,7 @@ impl MaxWalkSat {
     }
 
     /// Runs the search from the evidence-phase initialisation.
-    pub fn solve(&self, problem: &SatProblem) -> MapResult {
+    pub fn solve(&self, problem: &SatProblem<'_>) -> MapResult {
         self.solve_seeded(problem, None)
     }
 
@@ -79,7 +91,7 @@ impl MaxWalkSat {
     /// initialisation, and the warm state *is* the good initialisation;
     /// on a small delta the previous MAP state is near-optimal and the
     /// single descent converges in a handful of flips.
-    pub fn solve_seeded(&self, problem: &SatProblem, warm: Option<&[bool]>) -> MapResult {
+    pub fn solve_seeded(&self, problem: &SatProblem<'_>, warm: Option<&[bool]>) -> MapResult {
         let start = Instant::now();
         let n = problem.n_vars;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -90,27 +102,23 @@ impl MaxWalkSat {
                 cost: 0.0,
                 feasible: true,
                 stats: SolveStats {
-                    active_clauses: problem.clauses.len(),
+                    active_clauses: problem.len(),
                     elapsed: start.elapsed(),
                     ..SolveStats::default()
                 },
             };
         }
 
-        // Occurrence lists.
-        let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (ci, c) in problem.clauses.iter().enumerate() {
-            for l in c.lits.iter() {
-                occurrences[l.atom.index()].push(ci as u32);
-            }
-        }
+        let occ = OccIndex::build(n, problem);
         // Evidence phase for initialisation.
         let mut phase = vec![false; n];
         let mut phase_w = vec![0.0f64; n];
-        for c in &problem.clauses {
-            if c.lits.len() == 1 && !c.is_hard() && c.weight > phase_w[c.lits[0].atom.index()] {
-                phase_w[c.lits[0].atom.index()] = c.weight;
-                phase[c.lits[0].atom.index()] = c.lits[0].positive;
+        for c in problem.iter() {
+            if let (&[lit], Some(w)) = (c.lits, c.weight.soft()) {
+                if w > phase_w[lit.atom.index()] {
+                    phase_w[lit.atom.index()] = w;
+                    phase[lit.atom.index()] = lit.positive;
+                }
             }
         }
         // A warm start overrides the phase where it has an opinion;
@@ -133,24 +141,19 @@ impl MaxWalkSat {
         };
         let stall_limit = self.config.max_stall.unwrap_or(u64::MAX);
 
+        // One State for the whole solve: the first restart starts from
+        // the (warm-overridden) phase; later ones rewind to a fresh
+        // perturbation of the phase *in place* (buffers reused, only
+        // the clauses of variables that actually change are rescanned).
+        let mut state = State::init(problem, phase.clone());
         for restart in 0..restarts {
-            // First restart from the (warm-overridden) phase, later
-            // ones perturbed.
-            let mut state = State::init(problem, &occurrences, {
-                let mut a = phase.clone();
-                if restart > 0 {
-                    for v in a.iter_mut() {
-                        if rng.random_bool(0.12) {
-                            *v = !*v;
-                        }
-                    }
-                }
-                a
-            });
+            if restart > 0 {
+                state.reinit(problem, &occ, &mut rng, 0.12, &phase);
+            }
             if state.is_feasible() && state.soft_cost < best_cost {
                 best_cost = state.soft_cost;
                 best_feasible = true;
-                best = state.assignment.clone();
+                best.copy_from_slice(&state.assignment);
             }
             // Progress tracking for the stall cutoff: fewest violated
             // hard clauses seen this restart, and flips since any
@@ -172,17 +175,15 @@ impl MaxWalkSat {
                 } else {
                     state.unsat_soft[rng.random_range(0..state.unsat_soft.len())]
                 };
-                let clause = &problem.clauses[ci as usize];
+                let lits = problem.lits(ci);
                 let var = if rng.random_bool(self.config.noise) {
-                    clause.lits[rng.random_range(0..clause.lits.len())]
-                        .atom
-                        .index()
+                    lits[rng.random_range(0..lits.len())].atom.index()
                 } else {
                     // Greedy: flip the literal with the best cost delta.
-                    let mut best_var = clause.lits[0].atom.index();
+                    let mut best_var = lits[0].atom.index();
                     let mut best_delta = f64::INFINITY;
-                    for l in clause.lits.iter() {
-                        let d = state.flip_delta(problem, &occurrences, l.atom.index());
+                    for l in lits {
+                        let d = state.flip_delta(problem, &occ, l.atom.index());
                         if d < best_delta {
                             best_delta = d;
                             best_var = l.atom.index();
@@ -190,7 +191,7 @@ impl MaxWalkSat {
                     }
                     best_var
                 };
-                state.flip(problem, &occurrences, var);
+                state.flip(problem, &occ, var);
                 if state.unsat_hard.len() < hard_floor {
                     hard_floor = state.unsat_hard.len();
                     stall = 0;
@@ -198,7 +199,7 @@ impl MaxWalkSat {
                 if state.is_feasible() && state.soft_cost < best_cost {
                     best_cost = state.soft_cost;
                     best_feasible = true;
-                    best = state.assignment.clone();
+                    best.copy_from_slice(&state.assignment);
                     stall = 0;
                     if best_cost <= 0.0 {
                         break;
@@ -211,7 +212,7 @@ impl MaxWalkSat {
                 let key = (state.unsat_hard.len(), state.soft_cost);
                 if key < best_infeasible_key {
                     best_infeasible_key = key;
-                    best = state.assignment.clone();
+                    best.copy_from_slice(&state.assignment);
                     best_cost = state.soft_cost;
                 }
             }
@@ -224,18 +225,67 @@ impl MaxWalkSat {
             stats: SolveStats {
                 steps: total_flips,
                 rounds: restarts,
-                active_clauses: problem.clauses.len(),
+                active_clauses: problem.len(),
                 elapsed: start.elapsed(),
             },
         }
     }
 }
 
-/// Incremental search state.
+/// Weight a hard clause contributes to greedy move deltas: large enough
+/// that repairing hard violations always dominates soft cost.
+const HARD_W: f64 = 1e7;
+
+/// CSR occurrence index: `entries[offsets[v]..offsets[v+1]]` are the
+/// clauses containing variable `v`, each entry packing the clause id
+/// with the literal's polarity in the low bit (`(ci << 1) | positive`).
+/// The polarity bit is what lets [`State::flip`] update satisfied
+/// counts without re-scanning the clause's literal list per step.
+struct OccIndex {
+    offsets: Vec<u32>,
+    entries: Vec<u32>,
+}
+
+impl OccIndex {
+    fn build(n: usize, problem: &SatProblem<'_>) -> OccIndex {
+        let mut offsets = vec![0u32; n + 1];
+        for c in problem.iter() {
+            for l in c.lits {
+                offsets[l.atom.index() + 1] += 1;
+            }
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut entries = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for c in problem.iter() {
+            for l in c.lits {
+                let v = l.atom.index();
+                entries[cursor[v] as usize] = (c.id << 1) | u32::from(l.positive);
+                cursor[v] += 1;
+            }
+        }
+        OccIndex { offsets, entries }
+    }
+
+    #[inline]
+    fn of(&self, var: usize) -> &[u32] {
+        &self.entries[self.offsets[var] as usize..self.offsets[var + 1] as usize]
+    }
+}
+
+/// Incremental search state. Per-clause arrays are indexed by clause
+/// *slot* id (sized by [`SatProblem::num_slots`]); tombstoned slots
+/// never enter the occurrence index, so they are never touched.
 struct State {
     assignment: Vec<bool>,
     /// Satisfied-literal count per clause.
     sat_count: Vec<u32>,
+    /// XOR of the variable ids of the clause's satisfied literals —
+    /// when `sat_count == 1` this *is* the critical variable, so break
+    /// detection needs no clause scan.
+    crit: Vec<u32>,
     /// Unsatisfied hard clause ids (dense, with position map).
     unsat_hard: Vec<u32>,
     hard_pos: Vec<u32>,
@@ -248,50 +298,91 @@ struct State {
 const NOT_PRESENT: u32 = u32::MAX;
 
 impl State {
-    fn init(problem: &SatProblem, _occ: &[Vec<u32>], assignment: Vec<bool>) -> State {
-        let m = problem.clauses.len();
+    /// Full initialisation: one scan over every live clause. Runs once
+    /// per solve — restarts go through [`State::reinit`].
+    fn init(problem: &SatProblem<'_>, assignment: Vec<bool>) -> State {
+        let m = problem.num_slots();
         let mut state = State {
             assignment,
             sat_count: vec![0; m],
+            crit: vec![0; m],
             unsat_hard: Vec::new(),
             hard_pos: vec![NOT_PRESENT; m],
             unsat_soft: Vec::new(),
             soft_pos: vec![NOT_PRESENT; m],
             soft_cost: 0.0,
         };
-        for (ci, c) in problem.clauses.iter().enumerate() {
-            let sat = c
-                .lits
-                .iter()
-                .filter(|l| l.satisfied_by(state.assignment[l.atom.index()]))
-                .count() as u32;
-            state.sat_count[ci] = sat;
+        for c in problem.iter() {
+            let mut sat = 0u32;
+            let mut crit = 0u32;
+            for l in c.lits {
+                if l.satisfied_by(state.assignment[l.atom.index()]) {
+                    sat += 1;
+                    crit ^= l.atom.0;
+                }
+            }
+            state.sat_count[c.id as usize] = sat;
+            state.crit[c.id as usize] = crit;
             if sat == 0 {
-                state.mark_unsat(problem, ci as u32);
+                state.mark_unsat(problem, c.id);
             }
         }
         state
+    }
+
+    /// Restart re-initialisation: moves the state to a fresh
+    /// perturbation of `phase` (each variable inverted with probability
+    /// `p`) **in place**, driving the incremental flip machinery for
+    /// exactly the variables whose value changes. Buffers are reused
+    /// and only the clauses of changed variables are rescanned —
+    /// `State::init`'s five allocations and full clause scan happen
+    /// once per solve, not once per restart.
+    fn reinit(
+        &mut self,
+        problem: &SatProblem<'_>,
+        occ: &OccIndex,
+        rng: &mut StdRng,
+        p: f64,
+        phase: &[bool],
+    ) {
+        for (v, &phase_value) in phase.iter().enumerate() {
+            let target = phase_value != rng.random_bool(p);
+            if self.assignment[v] != target {
+                self.flip(problem, occ, v);
+            }
+        }
+        // A full `init` enumerates unsatisfied clauses in clause order;
+        // restore that order here (the carried-over lists are churned
+        // by swap_removes), so the restart's random clause picks walk
+        // the same distribution a fresh initialisation would — and the
+        // search trajectory is identical to a from-scratch restart.
+        self.unsat_hard.sort_unstable();
+        for (i, &ci) in self.unsat_hard.iter().enumerate() {
+            self.hard_pos[ci as usize] = i as u32;
+        }
+        self.unsat_soft.sort_unstable();
+        for (i, &ci) in self.unsat_soft.iter().enumerate() {
+            self.soft_pos[ci as usize] = i as u32;
+        }
     }
 
     fn is_feasible(&self) -> bool {
         self.unsat_hard.is_empty()
     }
 
-    fn mark_unsat(&mut self, problem: &SatProblem, ci: u32) {
-        let c = &problem.clauses[ci as usize];
-        if c.is_hard() {
+    fn mark_unsat(&mut self, problem: &SatProblem<'_>, ci: u32) {
+        if problem.is_hard(ci) {
             self.hard_pos[ci as usize] = self.unsat_hard.len() as u32;
             self.unsat_hard.push(ci);
         } else {
             self.soft_pos[ci as usize] = self.unsat_soft.len() as u32;
             self.unsat_soft.push(ci);
-            self.soft_cost += c.weight;
+            self.soft_cost += problem.weight(ci);
         }
     }
 
-    fn mark_sat(&mut self, problem: &SatProblem, ci: u32) {
-        let c = &problem.clauses[ci as usize];
-        if c.is_hard() {
+    fn mark_sat(&mut self, problem: &SatProblem<'_>, ci: u32) {
+        if problem.is_hard(ci) {
             let pos = self.hard_pos[ci as usize];
             let last = *self.unsat_hard.last().expect("non-empty on mark_sat");
             self.unsat_hard.swap_remove(pos as usize);
@@ -307,53 +398,51 @@ impl State {
                 self.soft_pos[last as usize] = pos;
             }
             self.soft_pos[ci as usize] = NOT_PRESENT;
-            self.soft_cost -= c.weight;
+            self.soft_cost -= problem.weight(ci);
         }
     }
 
-    /// Soft-cost delta of flipping `var`, with hard clauses weighted at a
-    /// large constant so greedy moves repair hard violations first.
-    fn flip_delta(&self, problem: &SatProblem, occ: &[Vec<u32>], var: usize) -> f64 {
-        const HARD_W: f64 = 1e7;
-        let new_value = !self.assignment[var];
+    /// Soft-cost delta of flipping `var`, with hard clauses weighted at
+    /// [`HARD_W`] so greedy moves repair hard violations first.
+    ///
+    /// Pure array walk over the occurrence entries: a clause with
+    /// `sat_count == 0` has every literal false, so the flip *makes* it
+    /// unconditionally; a clause *breaks* iff `var` is its cached
+    /// critical literal. No clause literal list is scanned.
+    fn flip_delta(&self, problem: &SatProblem<'_>, occ: &OccIndex, var: usize) -> f64 {
         let mut delta = 0.0;
-        for &ci in &occ[var] {
-            let c = &problem.clauses[ci as usize];
-            let w = if c.is_hard() { HARD_W } else { c.weight };
-            // The literal(s) of `var` in this clause.
-            for l in c.lits.iter().filter(|l| l.atom.index() == var) {
-                if l.satisfied_by(new_value) {
-                    // Was it previously unsatisfied overall?
-                    if self.sat_count[ci as usize] == 0 {
-                        delta -= w;
-                    }
-                } else if self.sat_count[ci as usize] == 1 {
-                    // var's literal was the only satisfying one.
-                    delta += w;
-                }
+        for &e in occ.of(var) {
+            let ci = (e >> 1) as usize;
+            let sat = self.sat_count[ci];
+            if sat == 0 {
+                let w = problem.weight(ci as u32);
+                delta -= if w.is_infinite() { HARD_W } else { w };
+            } else if sat == 1 && self.crit[ci] == var as u32 {
+                let w = problem.weight(ci as u32);
+                delta += if w.is_infinite() { HARD_W } else { w };
             }
         }
         delta
     }
 
-    fn flip(&mut self, problem: &SatProblem, occ: &[Vec<u32>], var: usize) {
+    fn flip(&mut self, problem: &SatProblem<'_>, occ: &OccIndex, var: usize) {
         let new_value = !self.assignment[var];
         self.assignment[var] = new_value;
-        // Iterate by index: `flip` needs `&mut self` while `occ` is a
-        // separate borrow, so a slice iterator is fine here.
-        for &ci in &occ[var] {
-            let c = &problem.clauses[ci as usize];
-            for l in c.lits.iter().filter(|l| l.atom.index() == var) {
-                if l.satisfied_by(new_value) {
-                    self.sat_count[ci as usize] += 1;
-                    if self.sat_count[ci as usize] == 1 {
-                        self.mark_sat(problem, ci);
-                    }
-                } else {
-                    self.sat_count[ci as usize] -= 1;
-                    if self.sat_count[ci as usize] == 0 {
-                        self.mark_unsat(problem, ci);
-                    }
+        let var_id = var as u32;
+        for &e in occ.of(var) {
+            let ci = e >> 1;
+            let satisfied_now = ((e & 1) != 0) == new_value;
+            let slot = ci as usize;
+            self.crit[slot] ^= var_id;
+            if satisfied_now {
+                self.sat_count[slot] += 1;
+                if self.sat_count[slot] == 1 {
+                    self.mark_sat(problem, ci);
+                }
+            } else {
+                self.sat_count[slot] -= 1;
+                if self.sat_count[slot] == 0 {
+                    self.mark_unsat(problem, ci);
                 }
             }
         }
@@ -519,7 +608,7 @@ mod tests {
         );
     }
 
-    fn arb_problem() -> impl Strategy<Value = SatProblem> {
+    fn arb_problem() -> impl Strategy<Value = SatProblem<'static>> {
         let lit = (0u32..8, prop::bool::ANY).prop_map(|(a, pos)| Lit {
             atom: AtomId(a),
             positive: pos,
@@ -541,6 +630,13 @@ mod tests {
                 .collect();
             SatProblem::from_clauses(8, &ground)
         })
+    }
+
+    /// Hard-capped cost of an assignment (the quantity `flip_delta`
+    /// predicts the change of).
+    fn capped_cost(p: &SatProblem<'_>, a: &[bool]) -> f64 {
+        let (soft, hardv) = p.evaluate(a);
+        soft + HARD_W * hardv as f64
     }
 
     proptest! {
@@ -566,6 +662,33 @@ mod tests {
                 prop_assert!(walk.cost >= reference.cost - 1e-9);
             } else {
                 prop_assert!(!walk.feasible);
+            }
+        }
+
+        /// The O(1) incremental flip path agrees with brute-force cost
+        /// recomputation on random states: `flip_delta` predicts the
+        /// exact hard-capped cost change of every flip, and the
+        /// maintained `soft_cost` / unsat lists stay consistent with a
+        /// full evaluation after it.
+        #[test]
+        fn flip_delta_matches_brute_force(
+            p in arb_problem(),
+            flips in prop::collection::vec(0usize..8, 1..24),
+        ) {
+            let occ = OccIndex::build(p.n_vars, &p);
+            let mut state = State::init(&p, vec![false; p.n_vars]);
+            for v in flips {
+                let predicted = state.flip_delta(&p, &occ, v);
+                let before = capped_cost(&p, &state.assignment);
+                state.flip(&p, &occ, v);
+                let after = capped_cost(&p, &state.assignment);
+                prop_assert!(
+                    (predicted - (after - before)).abs() < 1e-6,
+                    "flip_delta {} vs recomputed {}", predicted, after - before
+                );
+                let (soft, hardv) = p.evaluate(&state.assignment);
+                prop_assert!((state.soft_cost - soft).abs() < 1e-9);
+                prop_assert_eq!(state.unsat_hard.len(), hardv);
             }
         }
     }

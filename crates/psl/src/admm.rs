@@ -86,7 +86,7 @@ impl AdmmSolver {
         let start = Instant::now();
         let n = mrf.n_vars;
         let rho = self.config.rho;
-        let m = mrf.potentials.len() + mrf.constraints.len();
+        let m = mrf.n_factors();
         if n == 0 || m == 0 {
             let values = vec![0.0; n];
             return PslResult {
@@ -100,35 +100,11 @@ impl AdmmSolver {
             };
         }
 
-        // Flattened factor layout: one contiguous slot per (factor,
-        // local variable), CSR-style, so the hot loops are allocation-
-        // free and cache-friendly.
-        let factor_terms = |k: usize| -> &[(u32, f64)] {
-            if k < mrf.potentials.len() {
-                &mrf.potentials[k].terms
-            } else {
-                &mrf.constraints[k - mrf.potentials.len()].terms
-            }
-        };
-        let mut offsets: Vec<u32> = Vec::with_capacity(m + 1);
-        offsets.push(0);
-        for k in 0..m {
-            offsets.push(offsets[k] + factor_terms(k).len() as u32);
-        }
-        let total_slots = offsets[m] as usize;
-        let mut slot_var: Vec<u32> = Vec::with_capacity(total_slots);
-        let mut slot_coeff: Vec<f64> = Vec::with_capacity(total_slots);
-        let mut norm2: Vec<f64> = Vec::with_capacity(m);
-        for k in 0..m {
-            let terms = factor_terms(k);
-            let mut nrm = 0.0;
-            for &(v, c) in terms {
-                slot_var.push(v);
-                slot_coeff.push(c);
-                nrm += c * c;
-            }
-            norm2.push(nrm);
-        }
+        // The factor layout is the MRF's own CSR (one contiguous slot
+        // per (factor, local variable), coefficient norms precomputed)
+        // — built once at construction, consumed in place here.
+        let slot_var = mrf.slot_vars();
+        let total_slots = slot_var.len();
         // Consensus vector, warm-started where a previous solution has
         // an opinion, and per-variable degree (number of factors).
         let mut x = vec![0.5f64; n];
@@ -140,7 +116,7 @@ impl AdmmSolver {
         let mut duals = vec![0.0f64; total_slots];
         let mut locals: Vec<f64> = slot_var.iter().map(|&v| x[v as usize]).collect();
         let mut degree = vec![0.0f64; n];
-        for &v in &slot_var {
+        for &v in slot_var {
             degree[v as usize] += 1.0;
         }
 
@@ -151,23 +127,26 @@ impl AdmmSolver {
             iterations += 1;
             // 1. Local prox / projection steps (in place over the slots).
             for k in 0..m {
-                let (lo, hi) = (offsets[k] as usize, offsets[k + 1] as usize);
-                let vars = &slot_var[lo..hi];
-                let coeffs = &slot_coeff[lo..hi];
+                let (lo, hi) = mrf.slot_range(k);
+                let factor = mrf.factor(k);
                 let local = &mut locals[lo..hi];
                 let dual = &duals[lo..hi];
                 // anchor_i = x[var_i] - dual_i, written into `local`.
                 for i in 0..local.len() {
-                    local[i] = x[vars[i] as usize] - dual[i];
+                    local[i] = x[factor.vars[i] as usize] - dual[i];
                 }
-                if k < mrf.potentials.len() {
-                    let p = &mrf.potentials[k];
+                if mrf.is_potential(k) {
                     prox_hinge_inplace(
-                        coeffs, p.constant, p.weight, p.squared, norm2[k], rho, local,
+                        factor.coeffs,
+                        factor.constant,
+                        mrf.weight(k),
+                        mrf.squared(),
+                        mrf.norm2(k),
+                        rho,
+                        local,
                     );
                 } else {
-                    let c = &mrf.constraints[k - mrf.potentials.len()];
-                    project_halfspace_inplace(coeffs, c.constant, norm2[k], local);
+                    project_halfspace_inplace(factor.coeffs, factor.constant, mrf.norm2(k), local);
                 }
             }
             // 2. Consensus: average local + dual per variable, clamp.

@@ -1,6 +1,15 @@
 //! Hinge-loss Markov random fields from ground clauses.
+//!
+//! The MRF itself is stored **CSR-flat**: all factor terms (variable
+//! ids and coefficients) live in two contiguous buffers with one offset
+//! table over them, potentials first, hard constraints after. The
+//! structure is built in a single pass per factor class straight from
+//! the grounding's [`ClauseStore`] arena — no per-clause `Vec<(var,
+//! coeff)>` intermediates — and ADMM consumes the same arrays in place
+//! (see [`crate::admm`]), so the per-iteration hot loops never chase a
+//! per-factor heap allocation.
 
-use tecore_ground::{ClauseWeight, GroundClause, Grounding, Lit};
+use tecore_ground::{ClauseStore, ClauseWeight, GroundClause, Grounding, Lit};
 
 /// PSL construction options.
 #[derive(Debug, Clone, Default)]
@@ -18,6 +27,9 @@ pub struct PslConfig {
 /// `l₁ ∨ … ∨ lₖ` is `max(0, 1 − Σ truth(lᵢ))` with `truth(a) = x_a` and
 /// `truth(¬a) = 1 − x_a`; expanding gives `constant = 1 − #negative`
 /// and coefficients `−1` (positive literal) / `+1` (negative literal).
+///
+/// Standalone value type (construction, tests, external callers); the
+/// [`HlMrf`] stores the same data flattened.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HingePotential {
     /// Sparse linear term: `(variable, coefficient)`.
@@ -108,54 +120,195 @@ fn clause_linear_form(lits: &[Lit]) -> (Vec<(u32, f64)>, f64) {
     (terms, constant)
 }
 
+/// A borrowed view of one factor's sparse linear form.
+#[derive(Debug, Clone, Copy)]
+pub struct FactorView<'a> {
+    /// Variable ids.
+    pub vars: &'a [u32],
+    /// Matching coefficients.
+    pub coeffs: &'a [f64],
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl FactorView<'_> {
+    /// Signed violation / pre-hinge distance `constant + Σ coeff·x`.
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        let mut d = self.constant;
+        for (&v, &c) in self.vars.iter().zip(self.coeffs) {
+            d += c * x[v as usize];
+        }
+        d
+    }
+}
+
 /// A hinge-loss MRF: the convex program
-/// `min Σ potentials  s.t.  constraints, x ∈ [0,1]ⁿ`.
+/// `min Σ potentials  s.t.  constraints, x ∈ [0,1]ⁿ`, stored CSR-flat.
+///
+/// Factors `0..n_potentials` are weighted hinges, the rest are hard
+/// linear constraints; `offsets` delimits each factor's slice of the
+/// shared `vars`/`coeffs` buffers. `norm2` (the squared coefficient
+/// norm every prox/projection step divides by) is precomputed once at
+/// construction.
 #[derive(Debug, Clone, Default)]
 pub struct HlMrf {
     /// Number of variables (ground atoms).
     pub n_vars: usize,
-    /// Soft potentials.
-    pub potentials: Vec<HingePotential>,
-    /// Hard constraints.
-    pub constraints: Vec<LinearConstraint>,
+    n_potentials: usize,
+    offsets: Vec<u32>,
+    vars: Vec<u32>,
+    coeffs: Vec<f64>,
+    /// Per-factor constant offset.
+    constants: Vec<f64>,
+    /// Per-factor weight (constraints carry `0.0`, unused).
+    weights: Vec<f64>,
+    /// Per-factor squared coefficient norm.
+    norm2: Vec<f64>,
+    squared: bool,
 }
 
 impl HlMrf {
     /// Builds the HL-MRF of a grounding (soft clauses → hinges, hard
-    /// clauses → linear constraints).
+    /// clauses → linear constraints) directly from its clause arena.
     pub fn from_grounding(grounding: &Grounding, config: &PslConfig) -> HlMrf {
-        HlMrf::from_clauses(grounding.num_atoms(), &grounding.clauses, config)
+        HlMrf::from_store(grounding.num_atoms(), &grounding.clauses, config)
     }
 
-    /// Builds from raw clauses.
-    pub fn from_clauses(n_vars: usize, clauses: &[GroundClause], config: &PslConfig) -> HlMrf {
+    /// Builds from a clause store: one pass for the soft clauses, one
+    /// for the hard ones, so potentials precede constraints in the
+    /// factor order without any intermediate factor objects.
+    pub fn from_store(n_vars: usize, store: &ClauseStore, config: &PslConfig) -> HlMrf {
         let mut mrf = HlMrf {
             n_vars,
-            potentials: Vec::new(),
-            constraints: Vec::new(),
+            squared: config.squared,
+            offsets: Vec::with_capacity(store.len() + 1),
+            ..HlMrf::default()
         };
-        for c in clauses {
-            match c.weight {
-                ClauseWeight::Hard => mrf.constraints.push(LinearConstraint::from_clause(&c.lits)),
-                ClauseWeight::Soft(w) => {
-                    mrf.potentials
-                        .push(HingePotential::from_clause(&c.lits, w, config.squared))
-                }
+        mrf.offsets.push(0);
+        for c in store.iter() {
+            if let ClauseWeight::Soft(w) = c.weight {
+                mrf.push_factor(c.lits, w);
+            }
+        }
+        mrf.n_potentials = mrf.constants.len();
+        for c in store.iter() {
+            if c.weight.is_hard() {
+                mrf.push_factor(c.lits, 0.0);
             }
         }
         mrf
     }
 
+    /// Builds from raw clauses (tests and small call sites).
+    pub fn from_clauses(n_vars: usize, clauses: &[GroundClause], config: &PslConfig) -> HlMrf {
+        HlMrf::from_store(n_vars, &ClauseStore::from_ground_clauses(clauses), config)
+    }
+
+    /// Appends one clause's linear form to the CSR buffers.
+    fn push_factor(&mut self, lits: &[Lit], weight: f64) {
+        let mut constant = 1.0;
+        for l in lits {
+            if l.positive {
+                self.vars.push(l.atom.0);
+                self.coeffs.push(-1.0);
+            } else {
+                constant -= 1.0;
+                self.vars.push(l.atom.0);
+                self.coeffs.push(1.0);
+            }
+        }
+        // Clause coefficients are all ±1, so ‖a‖² is the arity.
+        self.norm2.push(lits.len() as f64);
+        self.constants.push(constant);
+        self.weights.push(weight);
+        self.offsets.push(self.vars.len() as u32);
+    }
+
+    /// Total number of factors (potentials + constraints).
+    pub fn n_factors(&self) -> usize {
+        self.constants.len()
+    }
+
+    /// Number of hinge potentials (factors `0..n_potentials`).
+    pub fn n_potentials(&self) -> usize {
+        self.n_potentials
+    }
+
+    /// Number of hard constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constants.len() - self.n_potentials
+    }
+
+    /// Is factor `k` a weighted hinge (vs a hard constraint)?
+    #[inline]
+    pub fn is_potential(&self, k: usize) -> bool {
+        k < self.n_potentials
+    }
+
+    /// Factor `k`'s term range in the shared slot buffers.
+    #[inline]
+    pub fn slot_range(&self, k: usize) -> (usize, usize) {
+        (self.offsets[k] as usize, self.offsets[k + 1] as usize)
+    }
+
+    /// Factor `k`'s sparse linear form.
+    #[inline]
+    pub fn factor(&self, k: usize) -> FactorView<'_> {
+        let (lo, hi) = self.slot_range(k);
+        FactorView {
+            vars: &self.vars[lo..hi],
+            coeffs: &self.coeffs[lo..hi],
+            constant: self.constants[k],
+        }
+    }
+
+    /// The `i`-th hard constraint's linear form.
+    #[inline]
+    pub fn constraint(&self, i: usize) -> FactorView<'_> {
+        self.factor(self.n_potentials + i)
+    }
+
+    /// Factor `k`'s weight (meaningful for potentials only).
+    #[inline]
+    pub fn weight(&self, k: usize) -> f64 {
+        self.weights[k]
+    }
+
+    /// Factor `k`'s squared coefficient norm.
+    #[inline]
+    pub fn norm2(&self, k: usize) -> f64 {
+        self.norm2[k]
+    }
+
+    /// Are the hinges squared?
+    pub fn squared(&self) -> bool {
+        self.squared
+    }
+
+    /// The variable ids of every factor slot, flattened (ADMM sizes
+    /// its local/dual buffers off this).
+    pub fn slot_vars(&self) -> &[u32] {
+        &self.vars
+    }
+
     /// Objective value at `x`.
     pub fn objective(&self, x: &[f64]) -> f64 {
-        self.potentials.iter().map(|p| p.value(x)).sum()
+        let mut total = 0.0;
+        for k in 0..self.n_potentials {
+            let d = self.factor(k).violation(x).max(0.0);
+            total += if self.squared {
+                self.weights[k] * d * d
+            } else {
+                self.weights[k] * d
+            };
+        }
+        total
     }
 
     /// Maximum constraint violation at `x`.
     pub fn max_violation(&self, x: &[f64]) -> f64 {
-        self.constraints
-            .iter()
-            .map(|c| c.violation(x).max(0.0))
+        (self.n_potentials..self.n_factors())
+            .map(|k| self.factor(k).violation(x).max(0.0))
             .fold(0.0, f64::max)
     }
 }
@@ -232,9 +385,38 @@ mod tests {
             .unwrap(),
         ];
         let mrf = HlMrf::from_clauses(2, &clauses, &PslConfig::default());
-        assert_eq!(mrf.potentials.len(), 1);
-        assert_eq!(mrf.constraints.len(), 1);
+        assert_eq!(mrf.n_potentials(), 1);
+        assert_eq!(mrf.n_constraints(), 1);
         assert!((mrf.objective(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
         assert!(mrf.max_violation(&[1.0, 1.0]) > 0.9);
+    }
+
+    #[test]
+    fn csr_matches_value_types() {
+        // The flattened factor forms agree with the standalone
+        // HingePotential / LinearConstraint construction.
+        let clauses = vec![
+            GroundClause::new(
+                vec![lit(0, false), lit(2, true)],
+                ClauseWeight::Soft(1.5),
+                ClauseOrigin::Evidence,
+            )
+            .unwrap(),
+            GroundClause::new(
+                vec![lit(1, false), lit(2, false)],
+                ClauseWeight::Hard,
+                ClauseOrigin::Formula(0),
+            )
+            .unwrap(),
+        ];
+        let mrf = HlMrf::from_clauses(3, &clauses, &PslConfig::default());
+        let x = [0.25, 0.5, 0.75];
+        let hinge = HingePotential::from_clause(&clauses[0].lits, 1.5, false);
+        assert!((mrf.factor(0).violation(&x).max(0.0) - hinge.distance(&x)).abs() < 1e-12);
+        assert!((mrf.objective(&x) - hinge.value(&x)).abs() < 1e-12);
+        let cons = LinearConstraint::from_clause(&clauses[1].lits);
+        assert!((mrf.constraint(0).violation(&x) - cons.violation(&x)).abs() < 1e-12);
+        assert_eq!(mrf.norm2(0), 2.0);
+        assert_eq!(mrf.slot_vars().len(), 4);
     }
 }

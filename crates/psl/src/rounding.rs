@@ -15,15 +15,15 @@ use crate::hlmrf::HlMrf;
 pub fn round_assignment(mrf: &HlMrf, values: &[f64]) -> (Vec<bool>, bool) {
     let mut assignment: Vec<bool> = values.iter().map(|&v| v > 0.5).collect();
     // Bounded repair loop.
-    let max_repairs = mrf.constraints.len() * 4 + 16;
+    let max_repairs = mrf.n_constraints() * 4 + 16;
     for _ in 0..max_repairs {
         let Some(cidx) = first_violated(mrf, &assignment) else {
             return (assignment, true);
         };
         // Flip the least-confident literal that un-violates the clause.
-        let c = &mrf.constraints[cidx];
+        let c = mrf.constraint(cidx);
         let mut best: Option<(f64, usize, bool)> = None; // (confidence margin, var, new value)
-        for &(v, coeff) in &c.terms {
+        for (&v, &coeff) in c.vars.iter().zip(c.coeffs) {
             let v = v as usize;
             // A positive coefficient means the constraint relaxes when
             // x_v decreases (and vice versa).
@@ -47,7 +47,7 @@ pub fn round_assignment(mrf: &HlMrf, values: &[f64]) -> (Vec<bool>, bool) {
 
 fn first_violated(mrf: &HlMrf, assignment: &[bool]) -> Option<usize> {
     let x: Vec<f64> = assignment.iter().map(|&b| f64::from(u8::from(b))).collect();
-    mrf.constraints.iter().position(|c| !c.satisfied(&x, 1e-9))
+    (0..mrf.n_constraints()).find(|&i| mrf.constraint(i).violation(&x) > 1e-9)
 }
 
 #[cfg(test)]

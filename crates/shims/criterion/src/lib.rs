@@ -202,6 +202,17 @@ fn summarise(samples: &mut [Duration]) -> Sampled {
     }
 }
 
+/// Is the CI smoke mode active? `TECORE_BENCH_SMOKE=1` caps every
+/// benchmark at a single timed iteration: the point is to keep bench
+/// code compiling and running (and the `BENCH_*.json` schema stable)
+/// on every commit, not to produce meaningful numbers there.
+fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| {
+        std::env::var("TECORE_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     name: &str,
     filter: Option<&str>,
@@ -214,6 +225,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
             return;
         }
     }
+    let sample_size = if smoke_mode() { 1 } else { sample_size };
     let mut bencher = Bencher {
         result: None,
         sample_size,
