@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use tecore_core::pipeline::{Tecore, TecoreConfig};
+use tecore_core::pipeline::{Engine, TecoreConfig};
 use tecore_core::registry::SolverRegistry;
 use tecore_datagen::standard::{paper_program, ranieri_utkg};
 
@@ -27,7 +27,7 @@ fn bench_running_example(c: &mut Criterion) {
                     backend: backend.clone(),
                     ..TecoreConfig::default()
                 };
-                let r = Tecore::with_config(
+                let r = Engine::with_config(
                     black_box(graph.clone()),
                     black_box(program.clone()),
                     config,

@@ -5,8 +5,8 @@
 //! loop over the Wikidata workload two ways:
 //!
 //! * `from_scratch/*` — the batch path: every edit rebuilds the whole
-//!   pipeline (`Tecore::resolve`: translate → ground → cold solve);
-//! * `incremental/*` — the delta path: `Tecore::insert_fact` /
+//!   pipeline (`Engine::resolve`: translate → ground → cold solve);
+//! * `incremental/*` — the delta path: `Engine::insert_fact` /
 //!   `remove_fact` feed the change log, `resolve_incremental` applies
 //!   just the delta to the cached grounding and warm-starts the solver
 //!   from the previous MAP state.
@@ -22,13 +22,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use tecore_bench::harness;
-use tecore_core::pipeline::{Tecore, TecoreConfig};
+use tecore_core::pipeline::{Engine, TecoreConfig};
 use tecore_datagen::standard::wikidata_program;
 use tecore_temporal::Interval;
 
 /// One "user edit session": insert a clashing spouse fact, resolve,
 /// retract it, resolve again.
-fn edit_cycle_incremental(engine: &mut Tecore, edit: &mut u64) -> usize {
+fn edit_cycle_incremental(engine: &mut Engine, edit: &mut u64) -> usize {
     let year = 1980 + (*edit % 30) as i64;
     *edit += 1;
     let interval = Interval::new(year, year + 4).unwrap();
@@ -42,7 +42,7 @@ fn edit_cycle_incremental(engine: &mut Tecore, edit: &mut u64) -> usize {
 }
 
 /// The same edit session, rebuilding the whole pipeline per resolve.
-fn edit_cycle_from_scratch(pipeline: &mut Tecore, edit: &mut u64) -> usize {
+fn edit_cycle_from_scratch(pipeline: &mut Engine, edit: &mut u64) -> usize {
     let year = 1980 + (*edit % 30) as i64;
     *edit += 1;
     let interval = Interval::new(year, year + 4).unwrap();
@@ -72,14 +72,14 @@ fn bench_streaming_updates(c: &mut Criterion) {
         };
 
         let mut scratch =
-            Tecore::with_config(generated.graph.clone(), program.clone(), config.clone());
+            Engine::with_config(generated.graph.clone(), program.clone(), config.clone());
         let mut scratch_edit = 0u64;
         group.bench_function(BenchmarkId::new("from_scratch", name), |b| {
             b.iter(|| black_box(edit_cycle_from_scratch(&mut scratch, &mut scratch_edit)))
         });
 
         let mut engine =
-            Tecore::with_config(generated.graph.clone(), program.clone(), config.clone());
+            Engine::with_config(generated.graph.clone(), program.clone(), config.clone());
         // Prime the materialised grounding outside the measured loop —
         // interactive sessions pay this once.
         engine.resolve_incremental().expect("prime");

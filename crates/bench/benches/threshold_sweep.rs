@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use tecore_core::pipeline::{Backend, ConfidenceMode, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, ConfidenceMode, Engine, TecoreConfig};
 use tecore_core::threshold;
 use tecore_datagen::standard::{paper_rules, ranieri_utkg};
 use tecore_mln::marginal::GibbsConfig;
@@ -53,7 +53,7 @@ fn bench_threshold(c: &mut Criterion) {
                     ..TecoreConfig::default()
                 };
                 black_box(
-                    Tecore::with_config(graph.clone(), program.clone(), config)
+                    Engine::with_config(graph.clone(), program.clone(), config)
                         .resolve()
                         .expect("resolves"),
                 )
@@ -71,7 +71,7 @@ fn bench_threshold(c: &mut Criterion) {
         }),
         ..TecoreConfig::default()
     };
-    let resolution = Tecore::with_config(graph.clone(), program.clone(), config)
+    let resolution = Engine::with_config(graph.clone(), program.clone(), config)
         .resolve()
         .expect("resolves");
     let thresholds: Vec<f64> = (0..10).map(|i| f64::from(i) / 10.0).collect();

@@ -7,7 +7,7 @@
 use std::time::{Duration, Instant};
 
 use tecore_bench::harness;
-use tecore_core::pipeline::{Backend, ConfidenceMode, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, ConfidenceMode, Engine, TecoreConfig};
 use tecore_core::threshold;
 use tecore_datagen::config::FootballConfig;
 use tecore_datagen::football::generate_football;
@@ -48,7 +48,7 @@ fn e1_running_example() {
             backend: backend.into(),
             ..TecoreConfig::default()
         };
-        let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
+        let r = Engine::with_config(ranieri_utkg(), paper_program(), config)
             .resolve()
             .expect("resolves");
         let removed: Vec<String> = r
@@ -185,7 +185,7 @@ fn e5_threshold() {
         confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
         ..TecoreConfig::default()
     };
-    let r = Tecore::with_config(graph, paper_rules(), config)
+    let r = Engine::with_config(graph, paper_rules(), config)
         .resolve()
         .expect("resolves");
     let thresholds: Vec<f64> = (0..=9).map(|i| f64::from(i) / 10.0).collect();

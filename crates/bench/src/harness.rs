@@ -1,8 +1,10 @@
 //! Shared workload construction for the experiment benches.
 
-use tecore_core::pipeline::{SolverHandle, Tecore, TecoreConfig};
+use std::sync::Arc;
+
+use tecore_core::pipeline::{Engine, SolverHandle, TecoreConfig};
 use tecore_core::registry::SolverRegistry;
-use tecore_core::resolution::Resolution;
+use tecore_core::snapshot::Snapshot;
 use tecore_datagen::config::{FootballConfig, WikidataConfig};
 use tecore_datagen::football::generate_football;
 use tecore_datagen::noise::GeneratedKg;
@@ -42,7 +44,9 @@ pub fn wikidata(total_facts: usize) -> GeneratedKg {
     })
 }
 
-/// Runs the full pipeline with a backend over a prepared workload.
+/// Runs the full pipeline with a backend over a prepared workload,
+/// returning the resolved snapshot (which dereferences to the
+/// resolution).
 ///
 /// Accepts anything convertible to a [`SolverHandle`]: a
 /// `tecore_core::Backend` spec or a handle resolved from a registry.
@@ -50,12 +54,12 @@ pub fn resolve(
     generated: &GeneratedKg,
     program: &LogicProgram,
     backend: impl Into<SolverHandle>,
-) -> Resolution {
+) -> Arc<Snapshot> {
     let config = TecoreConfig {
         backend: backend.into(),
         ..TecoreConfig::default()
     };
-    Tecore::with_config(generated.graph.clone(), program.clone(), config)
+    Engine::with_config(generated.graph.clone(), program.clone(), config)
         .resolve()
         .expect("benchmark workload resolves")
 }

@@ -1,0 +1,778 @@
+//! The versioned resolution engine.
+//!
+//! [`Engine`] is the mutable, writer-side half of the system: a uTKG
+//! plus rules and constraints, ready to compute the most probable
+//! conflict-free KG. Every resolve hands back an immutable, `Arc`-shared
+//! [`Snapshot`] stamped with the graph's epoch — the reader-side half.
+//! The engine keeps mutating and re-resolving; snapshots already handed
+//! out are never touched, so readers on old snapshots see stable
+//! results for as long as they hold the `Arc`.
+//!
+//! Two solve paths share one interpretation:
+//!
+//! * [`Engine::resolve`] — the batch path: translate, ground, solve
+//!   from scratch;
+//! * [`Engine::resolve_incremental`] — the interactive path: the first
+//!   call grounds cold and caches the materialisation; afterwards
+//!   [`Engine::insert_fact`]/[`Engine::remove_fact`] (or any edit
+//!   through [`Engine::graph_mut`]) accumulate a [`Delta`] in the
+//!   graph's change log, and the next `resolve_incremental` applies
+//!   just that delta to the cached grounding and warm-starts the solver
+//!   from the previous MAP state — work proportional to the edit, not
+//!   the graph.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tecore_ground::incremental::DeltaStats;
+use tecore_ground::{GroundConfig, Grounding, MapState, SolveOpts};
+use tecore_kg::{Delta, FactId, TemporalFact, UtkGraph};
+use tecore_logic::LogicProgram;
+use tecore_temporal::Interval;
+
+use crate::error::TecoreError;
+use crate::pipeline::{check_solver_contract, interpret, TecoreConfig};
+use crate::resolution::Resolution;
+use crate::snapshot::Snapshot;
+use crate::translate::translate;
+
+/// The cached state of the incremental engine: the materialised
+/// grounding plus the last MAP state (the warm start for the next
+/// solve).
+#[derive(Debug, Clone)]
+struct EngineState {
+    grounding: Grounding,
+    last_state: Option<MapState>,
+}
+
+/// The TeCoRe system: a versioned uTKG plus rules and constraints,
+/// resolving into immutable [`Snapshot`]s.
+///
+/// ```
+/// use tecore_core::prelude::*;
+/// use tecore_kg::parser::parse_graph;
+/// use tecore_logic::LogicProgram;
+///
+/// let graph = parse_graph(
+///     "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+///      (CR, coach, Napoli, [2001,2003]) 0.6\n",
+/// ).unwrap();
+/// let program = LogicProgram::parse(
+///     "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+/// ).unwrap();
+/// let snapshot = Engine::new(graph, program).resolve().unwrap();
+/// assert_eq!(snapshot.stats.conflicting_facts, 1); // Napoli removed
+/// assert_eq!(snapshot.at(2002).predicate("coach").count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    graph: UtkGraph,
+    program: LogicProgram,
+    config: TecoreConfig,
+    cache: Option<EngineState>,
+    latest: Option<Arc<Snapshot>>,
+}
+
+impl Engine {
+    /// Creates an engine with default configuration.
+    pub fn new(graph: UtkGraph, program: LogicProgram) -> Self {
+        Engine::with_config(graph, program, TecoreConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(graph: UtkGraph, program: LogicProgram, config: TecoreConfig) -> Self {
+        Engine {
+            graph,
+            program,
+            config,
+            cache: None,
+            latest: None,
+        }
+    }
+
+    /// The input graph.
+    pub fn graph(&self) -> &UtkGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the graph. Edits are picked up by the next
+    /// [`Engine::resolve_incremental`] through the graph's change log;
+    /// if the log was truncated past the cached epoch the engine falls
+    /// back to a full re-ground.
+    pub fn graph_mut(&mut self) -> &mut UtkGraph {
+        &mut self.graph
+    }
+
+    /// The logic program.
+    pub fn program(&self) -> &LogicProgram {
+        &self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TecoreConfig {
+        &self.config
+    }
+
+    /// The most recent snapshot this engine produced, if any. Cheap to
+    /// clone and hand to reader threads; later engine mutations never
+    /// affect it.
+    pub fn latest(&self) -> Option<Arc<Snapshot>> {
+        self.latest.clone()
+    }
+
+    /// Updates the derived-fact confidence threshold without
+    /// invalidating the cached incremental state (thresholding only
+    /// affects result interpretation, never the grounding).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.config.threshold = threshold;
+    }
+
+    /// Inserts a fact (interning as needed); the change feeds the next
+    /// incremental resolve.
+    pub fn insert_fact(
+        &mut self,
+        subject: &str,
+        predicate: &str,
+        object: &str,
+        interval: Interval,
+        confidence: f64,
+    ) -> Result<FactId, TecoreError> {
+        Ok(self
+            .graph
+            .insert(subject, predicate, object, interval, confidence)?)
+    }
+
+    /// Removes (tombstones) a fact; the change feeds the next
+    /// incremental resolve.
+    pub fn remove_fact(&mut self, id: FactId) -> Result<TemporalFact, TecoreError> {
+        Ok(self.graph.remove(id)?)
+    }
+
+    /// The grounding configuration actually used: the backend's caps
+    /// decide whether constraints ground eagerly or lazily, and the
+    /// incremental path must keep applying the same choice.
+    fn effective_ground_config(&self) -> GroundConfig {
+        let mut config = self.config.ground.clone();
+        config.ground_constraints = !self.config.backend.caps().lazy_grounding;
+        config
+    }
+
+    /// Applies a delta to the cached grounding, if one exists and the
+    /// delta starts at its epoch. Returns the delta statistics, or
+    /// `None` when there is no cached materialisation to update (or
+    /// the epochs don't line up — the cache is then invalidated and
+    /// the next resolve re-grounds).
+    pub fn apply_delta(&mut self, delta: &Delta) -> Option<DeltaStats> {
+        let config = self.effective_ground_config();
+        let engine = self.cache.as_mut()?;
+        if engine.grounding.epoch() != delta.from_epoch {
+            self.cache = None;
+            return None;
+        }
+        Some(engine.grounding.apply_delta(&self.graph, delta, &config))
+    }
+
+    /// Stamps a resolution with the current graph epoch and publishes
+    /// it as the latest snapshot.
+    fn publish(&mut self, resolution: Resolution) -> Arc<Snapshot> {
+        let snapshot = Arc::new(Snapshot::from_resolution(resolution, self.graph.epoch()));
+        self.latest = Some(Arc::clone(&snapshot));
+        snapshot
+    }
+
+    /// Runs `map(θ(G), F ∪ C)` from scratch and returns the resolved
+    /// [`Snapshot`].
+    pub fn resolve(&mut self) -> Result<Arc<Snapshot>, TecoreError> {
+        let resolution = self.resolve_raw()?;
+        Ok(self.publish(resolution))
+    }
+
+    /// The batch path without snapshot wrapping: translate, ground and
+    /// solve from scratch, returning the bare [`Resolution`]. Prefer
+    /// [`Engine::resolve`]; this exists for callers that only consume
+    /// the resolution once and want to skip the `Arc`.
+    pub fn resolve_raw(&self) -> Result<Resolution, TecoreError> {
+        let solver = &self.config.backend;
+        let grounding = translate(
+            &self.graph,
+            &self.program,
+            &solver.caps(),
+            &self.config.ground,
+        )?;
+        let solve_start = Instant::now();
+        let state = solver.solve(&grounding, &SolveOpts::default())?;
+        let solve_time = solve_start.elapsed();
+        check_solver_contract(solver, &grounding, &state)?;
+        Ok(interpret(
+            &self.graph,
+            &grounding,
+            state,
+            &self.config,
+            grounding.stats.elapsed,
+            solve_time,
+        ))
+    }
+
+    /// Runs conflict resolution incrementally: syncs the cached
+    /// grounding with the graph's change log (cold-grounding on the
+    /// first call or after log truncation), warm-starts the solver
+    /// from the previous MAP state when its caps allow, and returns the
+    /// result as a fresh [`Snapshot`] — exactly like [`Engine::resolve`]
+    /// would on the same graph.
+    pub fn resolve_incremental(&mut self) -> Result<Arc<Snapshot>, TecoreError> {
+        let solver = self.config.backend.clone();
+        let caps = solver.caps();
+
+        // 1. Sync the materialised grounding with the graph. Note that
+        // an empty *net* delta still goes through apply_delta (a no-op
+        // except for advancing the epoch): the epoch must move so the
+        // log truncation below can drop netted churn (insert+remove
+        // pairs) instead of re-netting a growing log every resolve.
+        let mut engine = match self.cache.take() {
+            Some(mut engine) => match self.graph.since(engine.grounding.epoch()) {
+                Some(delta) => {
+                    let config = self.effective_ground_config();
+                    let delta_stats = engine.grounding.apply_delta(&self.graph, &delta, &config);
+                    engine.grounding.stats.elapsed = delta_stats.elapsed;
+                    engine
+                }
+                None => EngineState {
+                    // The change log no longer reaches back to the
+                    // cached epoch: re-ground from scratch.
+                    grounding: translate(&self.graph, &self.program, &caps, &self.config.ground)?,
+                    last_state: None,
+                },
+            },
+            None => EngineState {
+                grounding: translate(&self.graph, &self.program, &caps, &self.config.ground)?,
+                last_state: None,
+            },
+        };
+        // Long churny sessions accumulate dead atom slots (ids are
+        // never reused so solver vectors stay index-stable); once the
+        // graveyard dominates, a compacting re-ground is cheaper than
+        // dragging it through every solve.
+        let dead = engine.grounding.store.dead_count();
+        if dead > 64 && dead * 2 > engine.grounding.num_atoms() {
+            engine = EngineState {
+                grounding: translate(&self.graph, &self.program, &caps, &self.config.ground)?,
+                last_state: None, // atom ids changed: warm state is void
+            };
+        }
+        // The cache has consumed the history; keep the log bounded.
+        self.graph.truncate_log(engine.grounding.epoch());
+
+        // 2. Warm-started solve.
+        let opts = SolveOpts {
+            seed: None,
+            warm_start: if caps.warm_start {
+                engine.last_state.as_ref()
+            } else {
+                None
+            },
+        };
+        let solve_start = Instant::now();
+        let state = solver.solve(&engine.grounding, &opts)?;
+        let solve_time = solve_start.elapsed();
+        check_solver_contract(&solver, &engine.grounding, &state)?;
+
+        // 3. Interpret, then cache grounding + state for the next round.
+        let resolution = interpret(
+            &self.graph,
+            &engine.grounding,
+            state.clone(),
+            &self.config,
+            engine.grounding.stats.elapsed,
+            solve_time,
+        );
+        engine.last_state = Some(state);
+        self.cache = Some(engine);
+        Ok(self.publish(resolution))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Backend, ConfidenceMode, SolverHandle};
+    use tecore_kg::parser::parse_graph;
+    use tecore_mln::marginal::GibbsConfig;
+    use tecore_mln::{CpiConfig, WalkSatConfig};
+
+    const RANIERI: &str = "\
+        (CR, coach, Chelsea, [2000,2004]) 0.9\n\
+        (CR, coach, Leicester, [2015,2017]) 0.7\n\
+        (CR, playsFor, Palermo, [1984,1986]) 0.5\n\
+        (CR, birthDate, 1951, [1951,2017]) 1.0\n\
+        (CR, coach, Napoli, [2001,2003]) 0.6\n";
+
+    const PAPER_PROGRAM: &str = "\
+        f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+        f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlap(t, t') \
+            -> quad(x, livesIn, z, t ∩ t') w = 1.6\n\
+        f3: quad(x, playsFor, y, t) ^ quad(x, birthDate, z, t') ^ t - t' < 20 \
+            -> quad(x, type, TeenPlayer) w = 2.9\n\
+        c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf\n\
+        c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n\
+        c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf\n";
+
+    fn run(backend: impl Into<SolverHandle>) -> Arc<Snapshot> {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: backend.into(),
+            ..TecoreConfig::default()
+        };
+        Engine::with_config(graph, program, config)
+            .resolve()
+            .unwrap()
+    }
+
+    /// The paper's running example, Figure 7: fact (5) (Napoli) removed,
+    /// facts (1)–(4) kept, on every backend.
+    #[test]
+    fn running_example_all_backends() {
+        for backend in [
+            Backend::MlnExact,
+            Backend::MlnWalkSat(WalkSatConfig::default()),
+            Backend::MlnCuttingPlane(CpiConfig::default()),
+            Backend::default_psl(),
+        ] {
+            let name = backend.name();
+            let r = run(backend);
+            assert!(r.stats.feasible, "{name}: must be feasible");
+            assert_eq!(
+                r.stats.conflicting_facts, 1,
+                "{name}: exactly the Napoli fact removed"
+            );
+            assert_eq!(r.consistent.len(), 4, "{name}");
+            let removed = &r.removed[0];
+            assert_eq!(
+                r.consistent.dict().resolve(removed.fact.object),
+                "Napoli",
+                "{name}"
+            );
+            // f1 derives worksFor(CR, Palermo, [1984,1986]).
+            assert_eq!(r.inferred.len(), 1, "{name}: {:?}", r.inferred);
+            assert_eq!(r.inferred[0].predicate, "worksFor", "{name}");
+            // c2 detected exactly one conflict.
+            assert_eq!(
+                r.stats.per_constraint,
+                vec![("c2".to_string(), 1)],
+                "{name}"
+            );
+        }
+    }
+
+    fn iv(a: i64, b: i64) -> tecore_temporal::Interval {
+        tecore_temporal::Interval::new(a, b).unwrap()
+    }
+
+    /// Sorted display strings of a resolution's surviving facts.
+    fn canonical(r: &Resolution) -> (Vec<String>, Vec<String>, Vec<String>) {
+        let mut kept: Vec<String> = r
+            .consistent
+            .iter()
+            .map(|(_, f)| f.display(r.consistent.dict()).to_string())
+            .collect();
+        kept.sort();
+        let mut removed: Vec<String> = r
+            .removed
+            .iter()
+            .map(|rf| rf.fact.display(r.consistent.dict()).to_string())
+            .collect();
+        removed.sort();
+        let mut inferred: Vec<String> = r
+            .inferred
+            .iter()
+            .map(|f| format!("{} {} {} {}", f.subject, f.predicate, f.object, f.interval))
+            .collect();
+        inferred.sort();
+        (kept, removed, inferred)
+    }
+
+    /// A sequence of edits through the incremental engine must land on
+    /// exactly the repair a cold solve of the final graph computes — on
+    /// every backend, warm starts included.
+    #[test]
+    fn incremental_edits_match_cold_resolve_on_all_backends() {
+        for backend in [
+            Backend::MlnExact,
+            Backend::MlnWalkSat(WalkSatConfig::default()),
+            Backend::MlnCuttingPlane(CpiConfig::default()),
+            Backend::default_psl(),
+        ] {
+            let name = backend.name();
+            let graph = parse_graph(RANIERI).unwrap();
+            let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+            let config = TecoreConfig {
+                backend: backend.into(),
+                ..TecoreConfig::default()
+            };
+            let mut engine = Engine::with_config(graph, program.clone(), config.clone());
+
+            // Prime: identical to the batch result.
+            let first = engine.resolve_incremental().unwrap();
+            assert_eq!(first.stats.conflicting_facts, 1, "{name}");
+
+            // Edit burst: a fresh clash with Leicester, and the Palermo
+            // spell (the worksFor derivation's support) goes away.
+            engine
+                .insert_fact("CR", "coach", "Roma", iv(2016, 2018), 0.95)
+                .unwrap();
+            let plays = engine.graph().dict().lookup("playsFor").unwrap();
+            let palermo_fact = engine
+                .graph()
+                .facts_with_predicate(plays)
+                .next()
+                .map(|(id, _)| id)
+                .unwrap();
+            engine.remove_fact(palermo_fact).unwrap();
+
+            let incremental = engine.resolve_incremental().unwrap();
+            let cold = Engine::with_config(engine.graph().clone(), program, config)
+                .resolve()
+                .unwrap();
+            assert_eq!(
+                canonical(incremental.resolution()),
+                canonical(cold.resolution()),
+                "{name}"
+            );
+            assert_eq!(incremental.stats.feasible, cold.stats.feasible, "{name}");
+            assert!(
+                (incremental.stats.cost - cold.stats.cost).abs() < 1e-6,
+                "{name}: incremental cost {} vs cold {}",
+                incremental.stats.cost,
+                cold.stats.cost
+            );
+            // The derivation died with its support.
+            assert!(incremental.inferred.is_empty(), "{name}");
+        }
+    }
+
+    /// Re-resolving with no edits reuses the cached grounding and stays
+    /// correct; netted churn (insert+remove pairs) still advances the
+    /// cached epoch so the graph's change log drains instead of being
+    /// re-netted forever.
+    #[test]
+    fn incremental_noop_resolve_reuses_cache() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let mut engine = Engine::new(graph, program);
+        let first = engine.resolve_incremental().unwrap();
+        let again = engine.resolve_incremental().unwrap();
+        assert_eq!(canonical(first.resolution()), canonical(again.resolution()));
+
+        // Churn that nets to nothing: the cache must still catch up to
+        // the graph's epoch (otherwise the log accumulates forever).
+        let id = engine
+            .insert_fact("CR", "coach", "Churn", iv(1990, 1991), 0.8)
+            .unwrap();
+        engine.remove_fact(id).unwrap();
+        let after_churn = engine.resolve_incremental().unwrap();
+        assert_eq!(
+            canonical(first.resolution()),
+            canonical(after_churn.resolution())
+        );
+        assert_eq!(
+            engine.cache.as_ref().unwrap().grounding.epoch(),
+            engine.graph.epoch(),
+            "cached epoch caught up through the net-empty delta"
+        );
+    }
+
+    /// Snapshots are epoch-stamped and versioned: each resolve captures
+    /// the graph epoch it ran at, `latest()` tracks the newest, and old
+    /// snapshots stay untouched by later edits.
+    #[test]
+    fn snapshots_are_epoch_stamped_and_stable() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let mut engine = Engine::new(graph, program);
+        assert!(engine.latest().is_none());
+
+        let first = engine.resolve_incremental().unwrap();
+        assert_eq!(first.epoch(), 5, "five inserts built the graph");
+        assert_eq!(first.at(2016).predicate("coach").count(), 1);
+
+        engine
+            .insert_fact("CR", "coach", "Roma", iv(2016, 2018), 0.95)
+            .unwrap();
+        let second = engine.resolve_incremental().unwrap();
+        assert!(second.epoch() > first.epoch());
+        assert!(Arc::ptr_eq(&engine.latest().unwrap(), &second));
+
+        // The old snapshot still answers from its frozen world: the
+        // Roma/Leicester clash is invisible to it.
+        assert_eq!(first.stats.conflicting_facts, 1);
+        assert_eq!(first.at(2016).predicate("coach").count(), 1);
+        assert_eq!(second.stats.conflicting_facts, 2);
+    }
+
+    /// Long churny sessions must not drag an ever-growing graveyard of
+    /// dead atom slots through every solve: once dead slots dominate,
+    /// the engine re-grounds compactly.
+    #[test]
+    fn graveyard_compaction_triggers_reground() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let mut engine = Engine::new(graph, program);
+        engine.resolve_incremental().unwrap();
+        // Each round materialises a fresh atom, then kills it.
+        for i in 0..70 {
+            let id = engine
+                .insert_fact(
+                    &format!("p{i}"),
+                    "coach",
+                    &format!("c{i}"),
+                    iv(2000, 2001),
+                    0.8,
+                )
+                .unwrap();
+            engine.resolve_incremental().unwrap();
+            engine.remove_fact(id).unwrap();
+        }
+        let r = engine.resolve_incremental().unwrap();
+        assert_eq!(r.stats.conflicting_facts, 1);
+        let atoms = engine.cache.as_ref().unwrap().grounding.num_atoms();
+        assert!(atoms < 20, "graveyard compacted away, got {atoms} atoms");
+    }
+
+    /// Edits through `graph_mut` (bypassing the convenience methods)
+    /// are picked up via the change log; a truncated log falls back to
+    /// a full re-ground instead of returning stale results.
+    #[test]
+    fn graph_mut_edits_and_log_truncation_are_handled() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let mut engine = Engine::new(graph, program);
+        engine.resolve_incremental().unwrap();
+
+        engine
+            .graph_mut()
+            .insert("CR", "coach", "Roma", iv(2016, 2018), 0.95)
+            .unwrap();
+        let via_log = engine.resolve_incremental().unwrap();
+        assert_eq!(via_log.stats.conflicting_facts, 2);
+
+        // Sever the history: the engine must rebuild, not misbehave.
+        engine
+            .graph_mut()
+            .insert("X", "coach", "A", iv(1, 2), 0.9)
+            .unwrap();
+        let epoch = engine.graph().epoch();
+        engine.graph_mut().truncate_log(epoch);
+        let rebuilt = engine.resolve_incremental().unwrap();
+        assert_eq!(rebuilt.stats.conflicting_facts, 2);
+    }
+
+    #[test]
+    fn expanded_graph_materialised_on_snapshot() {
+        let r = run(Backend::MlnExact);
+        let expanded = r.expanded();
+        assert_eq!(expanded.len(), 5); // 4 kept + 1 inferred
+        let works_for = expanded.dict().lookup("worksFor").unwrap();
+        assert_eq!(expanded.facts_with_predicate(works_for).count(), 1);
+        // Same materialisation every access — the old per-call clone of
+        // `Resolution::expanded_graph` is gone from this path.
+        assert!(std::ptr::eq(expanded, r.expanded()));
+    }
+
+    #[test]
+    fn gibbs_confidence_grades_inferred() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: Backend::MlnExact.into(),
+            confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
+            ..TecoreConfig::default()
+        };
+        let r = Engine::with_config(graph, program, config)
+            .resolve()
+            .unwrap();
+        assert_eq!(r.inferred.len(), 1);
+        let c = r.inferred[0].confidence;
+        assert!((0.0..=1.0).contains(&c));
+        // The worksFor derivation is supported by a w=2.5 rule from a
+        // 0.5-confidence fact; its marginal should be clearly above 0.5.
+        assert!(c > 0.5, "confidence {c}");
+    }
+
+    #[test]
+    fn threshold_drops_inferred() {
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: Backend::MlnExact.into(),
+            threshold: 2.0, // impossible bar: drops everything
+            ..TecoreConfig::default()
+        };
+        let r = Engine::with_config(graph, program, config)
+            .resolve()
+            .unwrap();
+        assert_eq!(r.inferred.len(), 0);
+        assert_eq!(r.stats.thresholded_facts, 1);
+    }
+
+    #[test]
+    fn psl_confidences_are_soft_values() {
+        let r = run(Backend::default_psl());
+        assert_eq!(r.inferred.len(), 1);
+        let c = r.inferred[0].confidence;
+        assert!((0.0..=1.0).contains(&c));
+        assert!(
+            c > 0.5,
+            "supported derivation should have high value, got {c}"
+        );
+    }
+
+    #[test]
+    fn conflict_free_graph_untouched() {
+        let graph = parse_graph(
+            "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+             (CR, coach, Leicester, [2015,2017]) 0.7\n",
+        )
+        .unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let r = Engine::new(graph, program).resolve().unwrap();
+        assert_eq!(r.stats.conflicting_facts, 0);
+        assert_eq!(r.consistent.len(), 2);
+        assert!(r.stats.per_constraint.is_empty());
+    }
+
+    /// A backend outside the [`Backend`] enum drops straight into the
+    /// config — the acceptance test for the open solver seam.
+    #[test]
+    fn external_solver_plugs_in() {
+        use tecore_ground::{MapSolver, SolveError, SolverCaps};
+
+        /// Trivial "solver": keeps every atom (never repairs anything).
+        #[derive(Debug)]
+        struct KeepAll;
+
+        impl MapSolver for KeepAll {
+            fn name(&self) -> &str {
+                "keep-all"
+            }
+            fn caps(&self) -> SolverCaps {
+                SolverCaps::mln()
+            }
+            fn solve(
+                &self,
+                grounding: &Grounding,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                let (cost, hard) = tecore_ground::evaluate_world(
+                    &grounding.clauses,
+                    &vec![true; grounding.num_atoms()],
+                );
+                Ok(MapState {
+                    assignment: vec![true; grounding.num_atoms()],
+                    cost,
+                    feasible: hard == 0,
+                    active_clauses: grounding.clauses.len(),
+                    soft_values: None,
+                })
+            }
+        }
+
+        let r = run(SolverHandle::new(KeepAll));
+        // Keeping everything keeps the Napoli clash: infeasible, nothing
+        // removed, and the stats carry the external backend's name.
+        assert!(!r.stats.feasible);
+        assert_eq!(r.stats.conflicting_facts, 0);
+        assert_eq!(r.stats.backend, "keep-all");
+    }
+
+    /// A plugin that violates the assignment-length contract must fail
+    /// with the documented solver error, not an index panic.
+    #[test]
+    fn short_assignment_is_a_solve_error() {
+        use tecore_ground::{MapSolver, SolveError, SolverCaps};
+
+        #[derive(Debug)]
+        struct Truncated;
+
+        impl MapSolver for Truncated {
+            fn name(&self) -> &str {
+                "truncated"
+            }
+            fn caps(&self) -> SolverCaps {
+                SolverCaps::mln()
+            }
+            fn solve(
+                &self,
+                _grounding: &Grounding,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                Ok(MapState {
+                    assignment: vec![true], // wrong length
+                    cost: 0.0,
+                    feasible: true,
+                    active_clauses: 0,
+                    soft_values: None,
+                })
+            }
+        }
+
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: SolverHandle::new(Truncated),
+            ..TecoreConfig::default()
+        };
+        let err = Engine::with_config(graph, program, config)
+            .resolve()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("solver error"), "{message}");
+        assert!(message.contains("truncated"), "{message}");
+        assert!(message.contains("1 assignments"), "{message}");
+    }
+
+    /// Declared caps and the returned state must agree on soft values.
+    #[test]
+    fn caps_state_mismatch_is_a_solve_error() {
+        use tecore_ground::{MapSolver, SolveError, SolverCaps};
+
+        /// Claims to be discrete but returns soft values.
+        #[derive(Debug)]
+        struct TwoFaced;
+
+        impl MapSolver for TwoFaced {
+            fn name(&self) -> &str {
+                "two-faced"
+            }
+            fn caps(&self) -> SolverCaps {
+                SolverCaps::mln() // soft_values: false
+            }
+            fn solve(
+                &self,
+                grounding: &Grounding,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                let n = grounding.num_atoms();
+                Ok(MapState {
+                    assignment: vec![true; n],
+                    cost: 0.0,
+                    feasible: true,
+                    active_clauses: 0,
+                    soft_values: Some(vec![0.5; n]),
+                })
+            }
+        }
+
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: SolverHandle::new(TwoFaced),
+            ..TecoreConfig::default()
+        };
+        let err = Engine::with_config(graph, program, config)
+            .resolve()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("two-faced"), "{message}");
+        assert!(message.contains("soft_values = false"), "{message}");
+    }
+}

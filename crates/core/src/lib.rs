@@ -18,9 +18,17 @@
 //!    marginal confidence and filtered by the user's threshold);
 //! 4. [`stats::DebugStats`] is the Figure-8 statistics screen.
 //!
-//! The [`session`] module reproduces the demo's Web-UI flow headlessly:
-//! select a dataset, add rules/constraints with auto-completion, run
-//! either reasoner, browse consistent and conflicting statements.
+//! The public API is the versioned **engine → snapshot** model: an
+//! [`engine::Engine`] owns the mutable graph + program and every
+//! resolve returns a cheap `Arc`-shared, epoch-stamped
+//! [`snapshot::Snapshot`] — an immutable view carrying the expanded
+//! graph and temporal indexes, queried through the typed [`query`]
+//! layer while the engine keeps mutating and re-resolving.
+//!
+//! The [`session`] module reproduces the demo's Web-UI flow headlessly
+//! as a thin compatibility wrapper over the engine: select a dataset,
+//! add rules/constraints with auto-completion, run either reasoner,
+//! browse consistent and conflicting statements.
 //!
 //! ```
 //! use tecore_core::prelude::*;
@@ -34,30 +42,37 @@
 //! let program = LogicProgram::parse(
 //!     "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
 //! ).unwrap();
-//! let resolution = Tecore::new(graph, program).resolve().unwrap();
-//! assert_eq!(resolution.stats.conflicting_facts, 1); // Napoli removed
+//! let snapshot = Engine::new(graph, program).resolve().unwrap();
+//! assert_eq!(snapshot.stats.conflicting_facts, 1); // Napoli removed
+//! assert_eq!(snapshot.at(2002).predicate("coach").count(), 1); // Chelsea
 //! ```
 
 pub mod advisor;
 pub mod backends;
+pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod pipeline;
+pub mod query;
 pub mod registry;
 pub mod resolution;
 pub mod session;
+pub mod snapshot;
 pub mod stats;
 pub mod threshold;
 pub mod translate;
 
 pub use advisor::{suggest_constraints, AdvisorConfig, SuggestedConstraint};
 pub use backends::{Backend, SolverHandle};
+pub use engine::Engine;
 pub use error::TecoreError;
 pub use explain::ConflictExplanation;
 pub use pipeline::{ConfidenceMode, Tecore, TecoreConfig};
+pub use query::{QueryIter, TemporalQuery, TimelineEntry};
 pub use registry::{BackendSelector, SolverRegistry};
 pub use resolution::{InferredFact, RemovedFact, Resolution};
 pub use session::Session;
+pub use snapshot::Snapshot;
 pub use stats::DebugStats;
 // The backend interface itself lives in `tecore-ground` (below the
 // substrate crates); re-exported here because this is where users meet
@@ -67,11 +82,14 @@ pub use tecore_ground::{MapSolver, MapState, SolveError, SolveOpts, SolverCaps};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::backends::{Backend, SolverHandle};
+    pub use crate::engine::Engine;
     pub use crate::error::TecoreError;
     pub use crate::pipeline::{ConfidenceMode, Tecore, TecoreConfig};
+    pub use crate::query::{TemporalQuery, TimelineEntry};
     pub use crate::registry::SolverRegistry;
     pub use crate::resolution::Resolution;
     pub use crate::session::Session;
+    pub use crate::snapshot::Snapshot;
     pub use crate::stats::DebugStats;
     pub use tecore_ground::{MapSolver, MapState, SolverCaps};
 }

@@ -61,9 +61,16 @@ pub struct Resolution {
 }
 
 impl Resolution {
-    /// The expanded KG: consistent evidence plus inferred facts
+    /// Builds the expanded KG: consistent evidence plus inferred facts
     /// materialised as graph facts (confidence = inferred confidence,
     /// floored at a minimum positive value).
+    ///
+    /// **This clones the whole consistent graph on every call.** Unless
+    /// you need an owned graph, go through
+    /// [`Snapshot::expanded`](crate::snapshot::Snapshot::expanded),
+    /// which materialises the expansion at most once per resolution and
+    /// hands it out by reference (and carries the temporal indexes the
+    /// query layer needs).
     pub fn expanded_graph(&self) -> UtkGraph {
         let mut g = self.consistent.clone();
         for inf in &self.inferred {

@@ -14,12 +14,21 @@ use tecore_logic::validate::check_formula;
 use tecore_logic::LogicProgram;
 use tecore_temporal::Interval;
 
-use crate::error::TecoreError;
-use crate::pipeline::{Tecore, TecoreConfig};
-use crate::registry::{BackendSelector, SolverRegistry};
-use crate::resolution::Resolution;
+use std::sync::Arc;
 
-/// An interactive TeCoRe session.
+use crate::engine::Engine;
+use crate::error::TecoreError;
+use crate::pipeline::TecoreConfig;
+use crate::registry::{BackendSelector, SolverRegistry};
+use crate::snapshot::Snapshot;
+
+/// An interactive TeCoRe session — a thin compatibility wrapper over
+/// the [`Engine`] → [`Snapshot`] API that adds dataset bookkeeping and
+/// the editor conveniences (completion, validation, registry). Both
+/// [`Session::run`] and [`Session::resolve_incremental`] return
+/// `Arc<Snapshot>`, which dereferences to
+/// [`Resolution`](crate::Resolution) so existing result-consuming code
+/// migrates mechanically.
 ///
 /// Each session owns a [`SolverRegistry`] pre-loaded with the four seed
 /// substrates, so backends are selectable **by name** —
@@ -41,7 +50,7 @@ pub struct Session {
     /// [`Session::insert_fact`]/[`Session::remove_fact`] (identical
     /// operation order ⇒ identical fact ids); program/backend edits
     /// invalidate it.
-    engine: Option<(usize, Tecore)>,
+    engine: Option<(usize, Engine)>,
 }
 
 impl Session {
@@ -215,11 +224,26 @@ impl Session {
     }
 
     /// Runs conflict resolution on the selected dataset (batch path:
-    /// translates, grounds and solves from scratch).
-    pub fn run(&self) -> Result<Resolution, TecoreError> {
+    /// translates, grounds and solves from scratch) and returns the
+    /// resolved [`Snapshot`].
+    ///
+    /// The snapshot dereferences to [`Resolution`](crate::Resolution),
+    /// so pre-snapshot code reading `run()?.stats` / `.consistent` /
+    /// `.removed` keeps compiling unchanged.
+    pub fn run(&self) -> Result<Arc<Snapshot>, TecoreError> {
         let graph = self.graph()?.clone();
         self.require_program()?;
-        Tecore::with_config(graph, self.program.clone(), self.config.clone()).resolve()
+        Engine::with_config(graph, self.program.clone(), self.config.clone()).resolve()
+    }
+
+    /// The most recent snapshot produced by
+    /// [`Session::resolve_incremental`] on the selected dataset, if the
+    /// incremental engine is primed.
+    pub fn snapshot(&self) -> Option<Arc<Snapshot>> {
+        match (&self.engine, self.selected) {
+            (Some((engine_idx, engine)), Some(idx)) if *engine_idx == idx => engine.latest(),
+            _ => None,
+        }
     }
 
     fn require_program(&self) -> Result<(), TecoreError> {
@@ -288,7 +312,7 @@ impl Session {
     /// calls consume only the [`Session::insert_fact`] /
     /// [`Session::remove_fact`] edits since the previous call and
     /// warm-start the solver from the previous MAP state.
-    pub fn resolve_incremental(&mut self) -> Result<Resolution, TecoreError> {
+    pub fn resolve_incremental(&mut self) -> Result<Arc<Snapshot>, TecoreError> {
         let idx = self.selected_index()?;
         self.require_program()?;
         let stale = !matches!(&self.engine, Some((engine_idx, _)) if *engine_idx == idx);
@@ -296,7 +320,7 @@ impl Session {
             let graph = self.datasets[idx].1.clone();
             self.engine = Some((
                 idx,
-                Tecore::with_config(graph, self.program.clone(), self.config.clone()),
+                Engine::with_config(graph, self.program.clone(), self.config.clone()),
             ));
         }
         let (_, engine) = self.engine.as_mut().expect("engine just primed");

@@ -1,0 +1,169 @@
+//! Immutable, shareable views of a resolved KG.
+//!
+//! TeCoRe's deliverable is not a solver trace but a *queryable,
+//! conflict-free temporal KG*. A [`Snapshot`] is the frozen outcome of
+//! one [`Engine`](crate::engine::Engine) resolution: the
+//! [`Resolution`] itself, the **expanded graph** (consistent evidence
+//! plus inferred facts) materialised at most once, and the temporal /
+//! secondary indexes the [query layer](crate::query) scans.
+//!
+//! Snapshots are handed out as `Arc<Snapshot>` and are `Send + Sync`:
+//! any number of reader threads can run point-in-time and window
+//! queries against one snapshot while the engine that produced it keeps
+//! mutating and re-resolving — readers are never invalidated, they
+//! simply observe the epoch they captured.
+
+use std::ops::Deref;
+use std::sync::OnceLock;
+
+use tecore_kg::{GraphTemporalIndex, UtkGraph};
+use tecore_temporal::TimePoint;
+
+use crate::query::TemporalQuery;
+use crate::resolution::Resolution;
+
+/// The frozen result of one resolution, stamped with the graph epoch it
+/// was computed at.
+///
+/// `Snapshot` dereferences to [`Resolution`], so all the familiar
+/// fields (`consistent`, `removed`, `inferred`, `conflicts`, `stats`)
+/// read straight through — migrating from `Resolution`-returning APIs
+/// is mechanical. On top of that it owns:
+///
+/// * [`Snapshot::expanded`] — the expanded KG, built **once** per
+///   snapshot (lazily, on first access) instead of re-cloned per call
+///   like the old `Resolution::expanded_graph`;
+/// * [`Snapshot::index`] — a [`GraphTemporalIndex`] over the expanded
+///   graph (global + per-predicate + per-subject interval indexes);
+/// * [`Snapshot::query`] — the entry point of the typed temporal query
+///   layer.
+///
+/// Lazy members use [`OnceLock`], so concurrent readers racing on the
+/// first access still build each structure exactly once.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    resolution: Resolution,
+    expanded: OnceLock<UtkGraph>,
+    index: OnceLock<GraphTemporalIndex>,
+}
+
+impl Snapshot {
+    /// Wraps a resolution computed at graph epoch `epoch`.
+    ///
+    /// Public so external pipelines (and conformance tests) can put the
+    /// query layer on top of resolutions they produced themselves.
+    pub fn from_resolution(resolution: Resolution, epoch: u64) -> Self {
+        Snapshot {
+            epoch,
+            resolution,
+            expanded: OnceLock::new(),
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The graph epoch this snapshot was resolved at. Monotonically
+    /// increasing across an engine's lifetime: two snapshots from the
+    /// same engine compare by recency through their epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying resolution.
+    pub fn resolution(&self) -> &Resolution {
+        &self.resolution
+    }
+
+    /// Unwraps into the resolution, discarding the indexes.
+    pub fn into_resolution(self) -> Resolution {
+        self.resolution
+    }
+
+    /// The expanded KG — consistent evidence plus inferred facts
+    /// materialised as graph facts — by reference.
+    ///
+    /// Materialised at most once per snapshot; every later call (from
+    /// any thread) returns the same graph.
+    pub fn expanded(&self) -> &UtkGraph {
+        self.expanded
+            .get_or_init(|| self.resolution.expanded_graph())
+    }
+
+    /// The temporal index set over [`Snapshot::expanded`], built at
+    /// most once per snapshot.
+    pub fn index(&self) -> &GraphTemporalIndex {
+        self.index
+            .get_or_init(|| GraphTemporalIndex::build(self.expanded()))
+    }
+
+    /// Starts a temporal query over the expanded graph.
+    pub fn query(&self) -> TemporalQuery<'_> {
+        TemporalQuery::new(self)
+    }
+
+    /// Shortcut: a point-in-time stabbing query (`who/what held at t`).
+    pub fn at(&self, t: impl Into<TimePoint>) -> TemporalQuery<'_> {
+        self.query().at(t)
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = Resolution;
+
+    fn deref(&self) -> &Resolution {
+        &self.resolution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tecore_kg::parser::parse_graph;
+
+    fn snapshot() -> Snapshot {
+        let graph = parse_graph(
+            "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+             (CR, coach, Leicester, [2015,2017]) 0.7\n",
+        )
+        .unwrap();
+        let resolution = Resolution {
+            consistent: graph,
+            removed: Vec::new(),
+            inferred: vec![crate::resolution::InferredFact {
+                subject: "CR".into(),
+                predicate: "worksFor".into(),
+                object: "Chelsea".into(),
+                interval: tecore_temporal::Interval::new(2000, 2004).unwrap(),
+                confidence: 0.8,
+            }],
+            conflicts: Vec::new(),
+            stats: crate::stats::DebugStats::default(),
+        };
+        Snapshot::from_resolution(resolution, 7)
+    }
+
+    #[test]
+    fn snapshot_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<std::sync::Arc<Snapshot>>();
+    }
+
+    #[test]
+    fn expanded_materialised_once_by_reference() {
+        let snap = snapshot();
+        assert_eq!(snap.epoch(), 7);
+        let first = snap.expanded() as *const UtkGraph;
+        let second = snap.expanded() as *const UtkGraph;
+        assert_eq!(first, second, "same materialisation on every access");
+        assert_eq!(snap.expanded().len(), 3, "2 consistent + 1 inferred");
+    }
+
+    #[test]
+    fn deref_reaches_resolution_fields() {
+        let snap = snapshot();
+        assert_eq!(snap.inferred.len(), 1);
+        assert_eq!(snap.stats.conflicting_facts, 0);
+        assert_eq!(snap.resolution().consistent.len(), 2);
+    }
+}

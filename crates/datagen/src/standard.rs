@@ -21,7 +21,7 @@ pub fn ranieri_utkg() -> UtkGraph {
 
 /// Figure 4: temporal inference rules F.
 ///
-/// f2's `overalps` [sic] condition means "the intervals share time": the
+/// f2's `overalps` (sic) condition means "the intervals share time": the
 /// derived `livesIn` interval is their (non-empty) intersection, so the
 /// faithful encoding uses the disjunctive `overlap` predicate, not the
 /// strict basic Allen relation `overlaps`.

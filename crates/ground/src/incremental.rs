@@ -13,7 +13,7 @@
 //! * **added facts** merge into an existing atom, revive a dead one, or
 //!   create a fresh one; the semi-naive binding search then re-runs
 //!   restricted to the *set* of new/revived atoms
-//!   ([`crate::grounder::Frontier::Set`]), so only matches that touch
+//!   (`Frontier::Set` in the grounder), so only matches that touch
 //!   the delta are enumerated.
 //!
 //! Atom ids are never reused and dead atoms keep their slot, so solver

@@ -256,6 +256,22 @@ impl UtkGraph {
         self.index_iter(self.by_predicate_object.get(&(p, o)))
     }
 
+    /// Raw id list of the predicate index (may include tombstoned ids;
+    /// callers filter with [`UtkGraph::is_alive`]). Exposed so query
+    /// planners can iterate an index without boxing the graph's
+    /// `impl Iterator` types.
+    pub fn predicate_ids(&self, p: Symbol) -> &[FactId] {
+        self.by_predicate.get(&p).map_or(&[], Vec::as_slice)
+    }
+
+    /// Raw id list of the (subject, predicate) index (may include
+    /// tombstoned ids).
+    pub fn subject_predicate_ids(&self, s: Symbol, p: Symbol) -> &[FactId] {
+        self.by_subject_predicate
+            .get(&(s, p))
+            .map_or(&[], Vec::as_slice)
+    }
+
     fn index_iter<'a>(
         &'a self,
         ids: Option<&'a Vec<FactId>>,

@@ -46,4 +46,4 @@ pub use fact::{Confidence, FactId, TemporalFact};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graph::UtkGraph;
 pub use stats::GraphStats;
-pub use tindex::IntervalIndex;
+pub use tindex::{GraphTemporalIndex, IntervalIndex, OverlapIter};

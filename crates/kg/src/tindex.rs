@@ -9,7 +9,10 @@
 
 use tecore_temporal::{Interval, TimePoint};
 
+use crate::dict::Symbol;
 use crate::fact::FactId;
+use crate::fxhash::FxHashMap;
+use crate::graph::UtkGraph;
 
 /// A static index over `(FactId, Interval)` pairs.
 #[derive(Debug, Clone, Default)]
@@ -44,40 +47,54 @@ impl IntervalIndex {
         self.entries.is_empty()
     }
 
-    /// All facts whose interval intersects `window`, in start order.
+    /// The indexed `(id, interval)` entries, sorted by interval start.
+    pub fn entries(&self) -> &[(FactId, Interval)] {
+        &self.entries
+    }
+
+    /// All facts whose interval intersects `window` (descending start
+    /// order — sort if you need another order).
     pub fn overlapping(&self, window: Interval) -> Vec<FactId> {
-        let mut out = Vec::new();
-        self.for_each_overlapping(window, |id| out.push(id));
-        out
+        self.iter_overlapping(window).collect()
     }
 
     /// Visits facts intersecting `window` without allocating.
     pub fn for_each_overlapping(&self, window: Interval, mut visit: impl FnMut(FactId)) {
-        if self.entries.is_empty() {
-            return;
-        }
-        // Entries with start > window.end can never intersect: binary
-        // search the upper bound.
-        let hi = self
-            .entries
-            .partition_point(|(_, iv)| iv.start() <= window.end());
-        // Among entries[..hi], those with end >= window.start intersect.
-        // Walk backwards; the max_end prefix lets us stop as soon as no
-        // earlier entry can still reach the window.
-        for i in (0..hi).rev() {
-            if self.max_end[i] < window.start() {
-                break;
-            }
-            let (id, iv) = self.entries[i];
-            if iv.end() >= window.start() {
-                visit(id);
-            }
+        for id in self.iter_overlapping(window) {
+            visit(id);
         }
     }
 
-    /// Facts whose interval contains the time point.
+    /// Zero-allocation iterator over facts intersecting `window`, in
+    /// descending start order.
+    ///
+    /// This is the hot access path of the snapshot query layer: a query
+    /// holds the iterator on its stack and never materialises a
+    /// `Vec<FactId>` of candidates.
+    pub fn iter_overlapping(&self, window: Interval) -> OverlapIter<'_> {
+        // Entries with start > window.end can never intersect: binary
+        // search the upper bound, then walk backwards. The max_end
+        // prefix lets iteration stop as soon as no earlier entry can
+        // still reach the window.
+        let hi = self
+            .entries
+            .partition_point(|(_, iv)| iv.start() <= window.end());
+        OverlapIter {
+            index: self,
+            window_start: window.start(),
+            pos: hi,
+        }
+    }
+
+    /// Facts whose interval contains the time point (descending start
+    /// order).
     pub fn stabbing(&self, t: TimePoint) -> Vec<FactId> {
-        self.overlapping(Interval::new(t, t).expect("point interval"))
+        self.iter_stabbing(t).collect()
+    }
+
+    /// Zero-allocation iterator over facts whose interval contains `t`.
+    pub fn iter_stabbing(&self, t: TimePoint) -> OverlapIter<'_> {
+        self.iter_overlapping(Interval::at(t))
     }
 
     /// Counts pairwise-intersecting pairs among the indexed intervals —
@@ -92,6 +109,107 @@ impl IntervalIndex {
             active.push(iv.end());
         }
         count
+    }
+}
+
+/// Zero-allocation iterator over the facts of an [`IntervalIndex`]
+/// intersecting a window (see [`IntervalIndex::iter_overlapping`]).
+///
+/// Yields in descending start order; terminates early through the
+/// running-maximum-of-ends prefix.
+#[derive(Debug, Clone)]
+pub struct OverlapIter<'a> {
+    index: &'a IntervalIndex,
+    window_start: TimePoint,
+    /// One past the next candidate position (walks downward; 0 = done).
+    pos: usize,
+}
+
+impl Iterator for OverlapIter<'_> {
+    type Item = FactId;
+
+    fn next(&mut self) -> Option<FactId> {
+        while self.pos > 0 {
+            let i = self.pos - 1;
+            if self.index.max_end[i] < self.window_start {
+                // No earlier entry can reach the window either.
+                self.pos = 0;
+                return None;
+            }
+            self.pos -= 1;
+            let (id, iv) = self.index.entries[i];
+            if iv.end() >= self.window_start {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.pos))
+    }
+}
+
+/// Temporal secondary indexes over one graph: a global interval index
+/// plus per-predicate and per-subject sub-indexes.
+///
+/// This is the read-side companion of [`UtkGraph`]'s hash indexes: the
+/// hash indexes answer "facts with predicate p", these answer "facts
+/// with predicate p *valid at time t / intersecting window w*" in
+/// `O(log n + answers)` instead of a full predicate scan. Snapshots of
+/// resolved KGs build one per materialised graph; all lookups are
+/// `&self`, so any number of reader threads can share it.
+#[derive(Debug, Clone, Default)]
+pub struct GraphTemporalIndex {
+    all: IntervalIndex,
+    by_predicate: FxHashMap<Symbol, IntervalIndex>,
+    by_subject: FxHashMap<Symbol, IntervalIndex>,
+}
+
+impl GraphTemporalIndex {
+    /// Builds the index set over every live fact of `graph`.
+    pub fn build(graph: &UtkGraph) -> Self {
+        let mut all = Vec::with_capacity(graph.len());
+        let mut by_predicate: FxHashMap<Symbol, Vec<(FactId, Interval)>> = FxHashMap::default();
+        let mut by_subject: FxHashMap<Symbol, Vec<(FactId, Interval)>> = FxHashMap::default();
+        for (id, fact) in graph.iter() {
+            all.push((id, fact.interval));
+            by_predicate
+                .entry(fact.predicate)
+                .or_default()
+                .push((id, fact.interval));
+            by_subject
+                .entry(fact.subject)
+                .or_default()
+                .push((id, fact.interval));
+        }
+        GraphTemporalIndex {
+            all: IntervalIndex::build(all),
+            by_predicate: by_predicate
+                .into_iter()
+                .map(|(p, items)| (p, IntervalIndex::build(items)))
+                .collect(),
+            by_subject: by_subject
+                .into_iter()
+                .map(|(s, items)| (s, IntervalIndex::build(items)))
+                .collect(),
+        }
+    }
+
+    /// The index over all facts.
+    pub fn all(&self) -> &IntervalIndex {
+        &self.all
+    }
+
+    /// The sub-index over facts with predicate `p` (`None` when no fact
+    /// has that predicate).
+    pub fn predicate(&self, p: Symbol) -> Option<&IntervalIndex> {
+        self.by_predicate.get(&p)
+    }
+
+    /// The sub-index over facts with subject `s`.
+    pub fn subject(&self, s: Symbol) -> Option<&IntervalIndex> {
+        self.by_subject.get(&s)
     }
 }
 
@@ -160,6 +278,55 @@ mod tests {
                 .map(|(i, (_, (s, l)))| (i as u32, (s, s + l)))
                 .collect()
         })
+    }
+
+    #[test]
+    fn iterator_matches_collecting_api() {
+        let idx = index(&[
+            (0, (2000, 2004)),
+            (1, (2015, 2017)),
+            (2, (2001, 2003)),
+            (3, (1984, 1986)),
+        ]);
+        let via_iter: Vec<FactId> = idx.iter_overlapping(iv(2000, 2004)).collect();
+        assert_eq!(via_iter, idx.overlapping(iv(2000, 2004)));
+        let via_stab: Vec<FactId> = idx.iter_stabbing(TimePoint(2016)).collect();
+        assert_eq!(via_stab, vec![FactId(1)]);
+        // Descending start order, early termination included.
+        let all: Vec<FactId> = idx.iter_overlapping(iv(1900, 2100)).collect();
+        assert_eq!(all, vec![FactId(1), FactId(2), FactId(0), FactId(3)]);
+        assert_eq!(idx.iter_overlapping(iv(1990, 1999)).count(), 0);
+    }
+
+    #[test]
+    fn graph_temporal_index_routes_by_predicate_and_subject() {
+        let mut g = UtkGraph::new();
+        g.insert("CR", "coach", "Chelsea", iv(2000, 2004), 0.9)
+            .unwrap();
+        g.insert("CR", "coach", "Leicester", iv(2015, 2017), 0.7)
+            .unwrap();
+        let dead = g
+            .insert("CR", "playsFor", "Palermo", iv(1984, 1986), 0.5)
+            .unwrap();
+        g.insert("JT", "playsFor", "Chelsea", iv(1998, 2014), 0.8)
+            .unwrap();
+        g.remove(dead).unwrap();
+
+        let idx = GraphTemporalIndex::build(&g);
+        assert_eq!(idx.all().len(), 3, "tombstoned fact not indexed");
+        let coach = g.dict().lookup("coach").unwrap();
+        let plays = g.dict().lookup("playsFor").unwrap();
+        let cr = g.dict().lookup("CR").unwrap();
+        assert_eq!(idx.predicate(coach).unwrap().len(), 2);
+        assert_eq!(
+            idx.predicate(plays)
+                .unwrap()
+                .iter_stabbing(TimePoint(2000))
+                .count(),
+            1
+        );
+        assert_eq!(idx.subject(cr).unwrap().len(), 2);
+        assert!(idx.predicate(Symbol(999)).is_none());
     }
 
     proptest! {

@@ -158,7 +158,7 @@ pub struct MapResult {
 }
 
 impl MapResult {
-    /// Converts into the backend-agnostic [`MapState`] the `MapSolver`
+    /// Converts into the backend-agnostic [`MapState`](tecore_ground::MapState) the `MapSolver`
     /// interface returns (MLN solvers produce no soft truth values).
     pub fn into_map_state(self) -> tecore_ground::MapState {
         tecore_ground::MapState {

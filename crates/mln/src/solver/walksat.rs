@@ -10,8 +10,8 @@
 //! * per-clause **make/break state** is read off the satisfied-literal
 //!   counts plus a cached *critical literal* (the XOR of satisfied
 //!   literal ids — when `sat_count == 1` it *is* the sole satisfying
-//!   variable), making [`State::flip_delta`] a pure array walk;
-//! * restarts **reuse the search buffers**: [`State::reinit`] perturbs
+//!   variable), making `State::flip_delta` a pure array walk;
+//! * restarts **reuse the search buffers**: `State::reinit` perturbs
 //!   the previous assignment in place through the incremental flip
 //!   machinery, touching only the clauses of perturbed variables
 //!   instead of reallocating five vectors and rescanning every clause.

@@ -224,7 +224,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// The [`vec`] strategy.
+        /// The [`vec()`] strategy.
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -177,6 +177,57 @@ impl AllenSet {
         names.extend(["disjoint", "intersects", "overlap", "any"]);
         names
     }
+
+    /// The conservative *candidate window* of this set against an
+    /// anchor: every interval `a` with `self.holds(a, anchor)`
+    /// intersects the returned window. `None` when no interval can
+    /// satisfy the set (empty set, or the relation needs room beyond
+    /// the time domain, e.g. `before` an anchor starting at
+    /// [`TimePoint::MIN`](crate::point::TimePoint::MIN)).
+    ///
+    /// This is what lets an interval index answer Allen-relation
+    /// queries sub-linearly: overlap-scan the candidate window, then
+    /// apply [`AllenSet::holds`] exactly per candidate. Single-relation
+    /// sets give tight windows (`before [2000,2004]` ⇒
+    /// `[MIN, 1998]`); unions widen to the hull of their members'
+    /// windows, which stays a correct superset.
+    pub fn candidate_window(self, anchor: Interval) -> Option<Interval> {
+        use crate::point::TimePoint;
+        let mut hull: Option<Interval> = None;
+        let mut widen = |w: Interval| {
+            hull = Some(match hull {
+                Some(h) => h.hull(w),
+                None => w,
+            });
+        };
+        for r in self.iter() {
+            let window = match r {
+                // a ends at least two points before the anchor starts.
+                AllenRelation::Before => (anchor.start().value() >= TimePoint::MIN.value() + 2)
+                    .then(|| {
+                        Interval::new(TimePoint::MIN, anchor.start() + (-2)).expect("ordered")
+                    }),
+                // a ends exactly one point before the anchor starts.
+                AllenRelation::Meets => {
+                    (anchor.start() > TimePoint::MIN).then(|| Interval::at(anchor.start() + (-1)))
+                }
+                // a starts exactly one point after the anchor ends.
+                AllenRelation::MetBy => {
+                    (anchor.end() < TimePoint::MAX).then(|| Interval::at(anchor.end() + 1))
+                }
+                // a starts at least two points after the anchor ends.
+                AllenRelation::After => (anchor.end().value() <= TimePoint::MAX.value() - 2)
+                    .then(|| Interval::new(anchor.end() + 2, TimePoint::MAX).expect("ordered")),
+                // Every other basic relation shares a point with the
+                // anchor.
+                _ => Some(anchor),
+            };
+            if let Some(w) = window {
+                widen(w);
+            }
+        }
+        hull
+    }
 }
 
 impl BitOr for AllenSet {
@@ -354,5 +405,40 @@ mod tests {
         fn iter_matches_len(s in arb_set()) {
             prop_assert_eq!(s.iter().count() as u32, s.len());
         }
+
+        /// Soundness of the index pre-filter: any interval satisfying
+        /// the set intersects the candidate window (so an overlap scan
+        /// of the window misses no answer).
+        #[test]
+        fn candidate_window_is_superset(s in arb_set(), a in arb_interval(), b in arb_interval()) {
+            if s.holds(a, b) {
+                let w = s.candidate_window(b).expect("a satisfies s, so a window exists");
+                prop_assert!(a.intersects(w), "{a} satisfies the set vs {b} but misses {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_window_tightness_and_impossibility() {
+        let anchor = iv(2000, 2004);
+        let before = AllenSet::from_relation(AllenRelation::Before)
+            .candidate_window(anchor)
+            .unwrap();
+        assert_eq!(before.end(), crate::point::TimePoint(1998));
+        assert_eq!(
+            AllenSet::from_relation(AllenRelation::Meets).candidate_window(anchor),
+            Some(Interval::at(1999))
+        );
+        assert_eq!(
+            AllenSet::from_relation(AllenRelation::During).candidate_window(anchor),
+            Some(anchor)
+        );
+        // Impossible at the domain edge; empty set has no window.
+        let at_min = Interval::at(crate::point::TimePoint::MIN);
+        assert_eq!(
+            AllenSet::from_relation(AllenRelation::Before).candidate_window(at_min),
+            None
+        );
+        assert_eq!(AllenSet::EMPTY.candidate_window(anchor), None);
     }
 }

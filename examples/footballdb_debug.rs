@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, Engine, TecoreConfig};
 use tecore_datagen::config::FootballConfig;
 use tecore_datagen::football::generate_football;
 use tecore_datagen::noise::repair_metrics;
@@ -59,7 +59,7 @@ fn main() {
             backend: backend.into(),
             ..TecoreConfig::default()
         };
-        let resolution = Tecore::with_config(generated.graph.clone(), program.clone(), config)
+        let resolution = Engine::with_config(generated.graph.clone(), program.clone(), config)
             .resolve()
             .expect("football program is valid for both backends");
         println!("{}", resolution.stats);

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example noisy_repair`
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, Engine, TecoreConfig};
 use tecore_datagen::config::FootballConfig;
 use tecore_datagen::football::generate_football;
 use tecore_datagen::noise::repair_metrics;
@@ -35,7 +35,7 @@ fn main() {
                 backend: backend.into(),
                 ..TecoreConfig::default()
             };
-            let resolution = Tecore::with_config(generated.graph.clone(), program.clone(), tc)
+            let resolution = Engine::with_config(generated.graph.clone(), program.clone(), tc)
                 .resolve()
                 .expect("resolves");
             let removed: Vec<_> = resolution.removed.iter().map(|r| r.id).collect();

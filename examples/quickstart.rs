@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tecore_core::pipeline::{Backend, ConfidenceMode, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, ConfidenceMode, Engine, TecoreConfig};
 use tecore_datagen::standard::{paper_program, ranieri_utkg};
 use tecore_mln::marginal::GibbsConfig;
 
@@ -32,7 +32,7 @@ fn main() {
             confidence: ConfidenceMode::Gibbs(GibbsConfig::default()),
             ..TecoreConfig::default()
         };
-        let resolution = Tecore::with_config(graph.clone(), program.clone(), config)
+        let resolution = Engine::with_config(graph.clone(), program.clone(), config)
             .resolve()
             .expect("running example resolves");
 

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, Engine, TecoreConfig};
 use tecore_datagen::config::WikidataConfig;
 use tecore_datagen::standard::wikidata_program;
 use tecore_datagen::wikidata::generate_wikidata;
@@ -51,7 +51,7 @@ fn main() {
                 backend: backend.into(),
                 ..TecoreConfig::default()
             };
-            let resolution = Tecore::with_config(generated.graph.clone(), program.clone(), tc)
+            let resolution = Engine::with_config(generated.graph.clone(), program.clone(), tc)
                 .resolve()
                 .expect("resolves");
             println!(

@@ -18,15 +18,21 @@
 //!   ADMM).
 //!
 //! This crate re-exports the subsystem crates; most applications only
-//! need [`tecore_core`] (pipeline + session API) and
+//! need [`tecore_core`] (the versioned `Engine` → `Snapshot` API with
+//! its temporal query layer, plus the demo session) and
 //! [`tecore_datagen`] (synthetic workloads).
 //!
 //! ```
 //! use tecore::prelude::*;
 //!
-//! // The paper's running example: see `examples/quickstart.rs`.
+//! // The paper's running example resolved and queried: who did CR
+//! // coach in 2002? See `examples/quickstart.rs` and
+//! // `examples/temporal_queries.rs`.
 //! let graph = tecore_datagen::standard::ranieri_utkg();
-//! assert_eq!(graph.len(), 5);
+//! let program = tecore_datagen::standard::paper_program();
+//! let snapshot = Engine::new(graph, program).resolve().unwrap();
+//! let coached = snapshot.at(2002).predicate("coach").objects();
+//! assert_eq!(coached.len(), 1); // Chelsea (the Napoli clash is repaired)
 //! ```
 
 pub use tecore_core;

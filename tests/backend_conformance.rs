@@ -12,7 +12,7 @@
 //! * derive exactly `worksFor(CR, Palermo, [1984,1986])`, with a
 //!   confidence within tolerance of 1 for PSL-style soft backends.
 
-use tecore_core::pipeline::{Tecore, TecoreConfig};
+use tecore_core::pipeline::{Engine, TecoreConfig};
 use tecore_core::registry::SolverRegistry;
 use tecore_datagen::standard::{paper_program, ranieri_utkg};
 
@@ -40,7 +40,7 @@ fn all_registered_backends_agree_on_running_example() {
             backend,
             ..TecoreConfig::default()
         };
-        let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
+        let r = Engine::with_config(ranieri_utkg(), paper_program(), config)
             .resolve()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
 

@@ -26,7 +26,7 @@ fn figure_7_on_every_backend() {
             backend: backend.into(),
             ..TecoreConfig::default()
         };
-        let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
+        let r = Engine::with_config(ranieri_utkg(), paper_program(), config)
             .resolve()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(r.stats.feasible, "{name}");
@@ -66,13 +66,13 @@ fn figure_7_on_every_backend() {
 /// never derive.
 #[test]
 fn rules_and_constraints_separate_roles() {
-    let rules_only = Tecore::new(ranieri_utkg(), paper_rules())
+    let rules_only = Engine::new(ranieri_utkg(), paper_rules())
         .resolve()
         .unwrap();
     assert_eq!(rules_only.removed.len(), 0);
     assert_eq!(rules_only.inferred.len(), 1);
 
-    let constraints_only = Tecore::new(ranieri_utkg(), paper_constraints())
+    let constraints_only = Engine::new(ranieri_utkg(), paper_constraints())
         .resolve()
         .unwrap();
     assert_eq!(constraints_only.removed.len(), 1);
@@ -93,7 +93,7 @@ fn rule_chain_derives_lives_in() {
             0.95,
         )
         .unwrap();
-    let r = Tecore::new(graph, paper_program()).resolve().unwrap();
+    let r = Engine::new(graph, paper_program()).resolve().unwrap();
     let lives_in: Vec<_> = r
         .inferred
         .iter()
@@ -121,7 +121,7 @@ fn teen_player_rule_fires() {
             0.9,
         )
         .unwrap();
-    let r = Tecore::new(graph, paper_rules()).resolve().unwrap();
+    let r = Engine::new(graph, paper_rules()).resolve().unwrap();
     assert!(
         r.inferred.iter().any(|f| f.object == "TeenPlayer"),
         "16-year-old must be classified: {:?}",
@@ -129,7 +129,7 @@ fn teen_player_rule_fires() {
     );
 
     // Ranieri (33 at Palermo) must NOT be a teen player.
-    let r = Tecore::new(ranieri_utkg(), paper_rules())
+    let r = Engine::new(ranieri_utkg(), paper_rules())
         .resolve()
         .unwrap();
     assert!(!r.inferred.iter().any(|f| f.object == "TeenPlayer"));
@@ -145,7 +145,7 @@ fn marginal_confidence_thresholding() {
         threshold: 0.5,
         ..TecoreConfig::default()
     };
-    let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
+    let r = Engine::with_config(ranieri_utkg(), paper_program(), config)
         .resolve()
         .unwrap();
     // The worksFor derivation is well-supported; it survives τ=0.5.
@@ -156,12 +156,12 @@ fn marginal_confidence_thresholding() {
 /// The expanded graph round-trips through the text format.
 #[test]
 fn expanded_graph_roundtrip() {
-    let r = Tecore::new(ranieri_utkg(), paper_program())
+    let r = Engine::new(ranieri_utkg(), paper_program())
         .resolve()
         .unwrap();
-    let expanded = r.expanded_graph();
+    let expanded = r.expanded(); // materialised once on the snapshot
     assert_eq!(expanded.len(), 5);
-    let text = tecore_kg::writer::write_graph(&expanded);
+    let text = tecore_kg::writer::write_graph(expanded);
     let reparsed = tecore_kg::parser::parse_graph(&text).unwrap();
     assert_eq!(reparsed.len(), expanded.len());
 }
@@ -177,7 +177,7 @@ fn multiple_constraint_classes_in_one_run() {
     graph
         .insert("CR", "bornIn", "Naples", Iv::new(1951, 2017).unwrap(), 0.4)
         .unwrap();
-    let r = Tecore::new(graph, paper_program()).resolve().unwrap();
+    let r = Engine::new(graph, paper_program()).resolve().unwrap();
     assert!(r.stats.feasible);
     assert_eq!(r.removed.len(), 2, "{:?}", r.removed);
     let removed_objs: Vec<&str> = r

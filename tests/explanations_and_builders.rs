@@ -1,7 +1,7 @@
 //! Integration tests for conflict explanations and the programmatic
 //! constraint builders (the editor's click-path), end to end.
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, Engine, TecoreConfig};
 use tecore_datagen::standard::{paper_program, ranieri_utkg};
 use tecore_logic::builder;
 use tecore_logic::formula::Weight;
@@ -22,7 +22,7 @@ fn running_example_explained() {
             backend: backend.into(),
             ..TecoreConfig::default()
         };
-        let r = Tecore::with_config(ranieri_utkg(), paper_program(), config)
+        let r = Engine::with_config(ranieri_utkg(), paper_program(), config)
             .resolve()
             .unwrap();
         assert_eq!(r.conflicts.len(), 1, "{name}");
@@ -58,7 +58,7 @@ fn builder_program_equivalent_to_parsed() {
     built.push(builder::functional("c3", "bornIn"));
     built.validate().unwrap();
 
-    let r = Tecore::new(ranieri_utkg(), built).resolve().unwrap();
+    let r = Engine::new(ranieri_utkg(), built).resolve().unwrap();
     assert_eq!(r.stats.conflicting_facts, 1);
     assert_eq!(
         r.consistent.dict().resolve(r.removed[0].fact.object),
@@ -86,7 +86,7 @@ fn three_way_clash_fully_enumerated() {
     }
     let mut program = LogicProgram::new();
     program.push(builder::disjointness("c2", "coach"));
-    let r = Tecore::new(graph, program).resolve().unwrap();
+    let r = Engine::new(graph, program).resolve().unwrap();
     // Pairwise violations: AB, AC, BC.
     assert_eq!(r.conflicts.len(), 3);
     // MAP keeps only the strongest spell.

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, Engine, TecoreConfig};
 use tecore_datagen::config::FootballConfig;
 use tecore_datagen::football::generate_football;
 use tecore_datagen::standard::football_program;
@@ -28,10 +28,10 @@ fn generated_graph_roundtrips() {
         backend: Backend::default().into(),
         ..TecoreConfig::default()
     };
-    let original = Tecore::with_config(generated.graph.clone(), football_program(), config.clone())
+    let original = Engine::with_config(generated.graph.clone(), football_program(), config.clone())
         .resolve()
         .unwrap();
-    let roundtripped = Tecore::with_config(reparsed, football_program(), config)
+    let roundtripped = Engine::with_config(reparsed, football_program(), config)
         .resolve()
         .unwrap();
     assert_eq!(

@@ -2,7 +2,7 @@
 //! level: inclusion dependencies, interval expressions in heads,
 //! numerical conditions at their boundaries, and evidence merging.
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, Engine, TecoreConfig};
 use tecore_ground::{ground, GroundConfig};
 use tecore_kg::parser::parse_graph;
 use tecore_logic::LogicProgram;
@@ -16,7 +16,7 @@ fn inclusion_dependency_forces_derivation() {
     let graph = parse_graph("(a, playsFor, b, [1,5]) 0.9\n").unwrap();
     let program =
         LogicProgram::parse("quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = inf").unwrap();
-    let r = Tecore::new(graph, program).resolve().unwrap();
+    let r = Engine::new(graph, program).resolve().unwrap();
     assert!(r.stats.feasible);
     assert_eq!(r.inferred.len(), 1);
     assert_eq!(r.inferred[0].predicate, "worksFor");
@@ -37,7 +37,7 @@ fn head_intersection_expression() {
          -> quad(x, livesIn, z, t ∩ t') w = 2.0",
     )
     .unwrap();
-    let r = Tecore::new(graph, program).resolve().unwrap();
+    let r = Engine::new(graph, program).resolve().unwrap();
     let lives: Vec<_> = r
         .inferred
         .iter()
@@ -65,7 +65,7 @@ fn numeric_condition_strict_boundary() {
          -> quad(x, type, TeenPlayer) w = 2.9",
     )
     .unwrap();
-    let r = Tecore::new(graph, program).resolve().unwrap();
+    let r = Engine::new(graph, program).resolve().unwrap();
     let teens: Vec<&str> = r
         .inferred
         .iter()
@@ -89,7 +89,7 @@ fn duplicate_evidence_accumulates() {
         "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
     )
     .unwrap();
-    let r = Tecore::new(graph, program).resolve().unwrap();
+    let r = Engine::new(graph, program).resolve().unwrap();
     // Combined log-odds for A: 2 × 0.847 = 1.69 > B's 1.386: B loses,
     // and both A facts survive (they are one atom).
     assert_eq!(r.consistent.len(), 2);
@@ -115,7 +115,7 @@ fn pin_certain_protects_certain_facts() {
         ..TecoreConfig::default()
     };
     config.ground.pin_certain = true;
-    let r = Tecore::with_config(graph, program, config)
+    let r = Engine::with_config(graph, program, config)
         .resolve()
         .unwrap();
     assert!(r.stats.feasible);
@@ -132,7 +132,7 @@ fn no_spurious_self_conflicts() {
         "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
     )
     .unwrap();
-    let r = Tecore::new(graph, program).resolve().unwrap();
+    let r = Engine::new(graph, program).resolve().unwrap();
     assert_eq!(r.removed.len(), 0);
     assert_eq!(r.conflicts.len(), 0);
 }

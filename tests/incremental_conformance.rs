@@ -10,7 +10,7 @@
 //! repair, the surviving KG, or the derived facts.
 
 use proptest::prelude::*;
-use tecore_core::pipeline::{Tecore, TecoreConfig};
+use tecore_core::pipeline::{Engine, TecoreConfig};
 use tecore_core::registry::SolverRegistry;
 use tecore_core::resolution::Resolution;
 use tecore_kg::{FactId, UtkGraph};
@@ -86,7 +86,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
 
 /// Applies one op to an engine (tracking inserted ids so removals hit
 /// real facts).
-fn apply_op(engine: &mut Tecore, op: &Op, serial: &mut u32) {
+fn apply_op(engine: &mut Engine, op: &Op, serial: &mut u32) {
     match op {
         Op::Insert {
             subject,
@@ -192,7 +192,7 @@ fn check_sequence(ops: &[Op], checkpoint_every: usize) {
             backend: registry.resolve(name).expect("registered"),
             ..TecoreConfig::default()
         };
-        let mut engine = Tecore::with_config(base_graph(), program(), config.clone());
+        let mut engine = Engine::with_config(base_graph(), program(), config.clone());
         // Prime the incremental cache before the edits start.
         engine.resolve_incremental().expect("prime");
         let mut serial = 0u32;
@@ -203,7 +203,7 @@ fn check_sequence(ops: &[Op], checkpoint_every: usize) {
                 continue;
             }
             let incremental = engine.resolve_incremental().expect("incremental resolve");
-            let cold = Tecore::with_config(engine.graph().clone(), program(), config.clone())
+            let cold = Engine::with_config(engine.graph().clone(), program(), config.clone())
                 .resolve()
                 .expect("cold resolve");
             assert_conformant(name, &incremental, &cold);
@@ -290,7 +290,7 @@ fn drain_the_graph_completely() {
             backend: registry.resolve(name).expect("registered"),
             ..TecoreConfig::default()
         };
-        let mut engine = Tecore::with_config(base_graph(), program(), config);
+        let mut engine = Engine::with_config(base_graph(), program(), config);
         engine.resolve_incremental().expect("prime");
         let ids: Vec<FactId> = engine.graph().iter().map(|(id, _)| id).collect();
         for id in ids {

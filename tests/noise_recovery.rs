@@ -5,7 +5,7 @@
 //! solvers or the translator show up as failures.
 
 use tecore_core::pipeline::Backend;
-use tecore_core::pipeline::{Tecore, TecoreConfig};
+use tecore_core::pipeline::{Engine, TecoreConfig};
 use tecore_datagen::config::FootballConfig;
 use tecore_datagen::football::generate_football;
 use tecore_datagen::noise::{repair_metrics, RepairMetrics};
@@ -22,7 +22,7 @@ fn run_repair(noise_ratio: f64, backend: Backend, seed: u64) -> RepairMetrics {
         backend: backend.into(),
         ..TecoreConfig::default()
     };
-    let r = Tecore::with_config(generated.graph.clone(), football_program(), config)
+    let r = Engine::with_config(generated.graph.clone(), football_program(), config)
         .resolve()
         .expect("resolves");
     assert!(r.stats.feasible);
@@ -67,7 +67,7 @@ fn backends_agree_on_clean_graphs() {
             backend: backend.into(),
             ..TecoreConfig::default()
         };
-        let r = Tecore::with_config(generated.graph.clone(), football_program(), config)
+        let r = Engine::with_config(generated.graph.clone(), football_program(), config)
             .resolve()
             .unwrap();
         assert_eq!(

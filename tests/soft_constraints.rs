@@ -7,7 +7,7 @@
 //! have to delete. These tests pin the crossover behaviour on both
 //! backends.
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, Engine, TecoreConfig};
 use tecore_kg::parser::parse_graph;
 use tecore_kg::UtkGraph;
 use tecore_logic::LogicProgram;
@@ -27,12 +27,16 @@ fn soft_c2(weight: f64) -> LogicProgram {
     .unwrap()
 }
 
-fn resolve(graph: UtkGraph, program: LogicProgram, backend: Backend) -> tecore_core::Resolution {
+fn resolve(
+    graph: UtkGraph,
+    program: LogicProgram,
+    backend: Backend,
+) -> std::sync::Arc<tecore_core::Snapshot> {
     let config = TecoreConfig {
         backend: backend.into(),
         ..TecoreConfig::default()
     };
-    Tecore::with_config(graph, program, config)
+    Engine::with_config(graph, program, config)
         .resolve()
         .unwrap()
 }

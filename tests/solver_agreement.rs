@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 
-use tecore_core::pipeline::{Backend, Tecore, TecoreConfig};
+use tecore_core::pipeline::{Backend, Engine, TecoreConfig};
 use tecore_kg::UtkGraph;
 use tecore_logic::LogicProgram;
 use tecore_mln::{CpiConfig, WalkSatConfig};
@@ -63,12 +63,12 @@ fn arb_graph() -> impl Strategy<Value = UtkGraph> {
     })
 }
 
-fn run(graph: &UtkGraph, backend: Backend) -> tecore_core::Resolution {
+fn run(graph: &UtkGraph, backend: Backend) -> std::sync::Arc<tecore_core::Snapshot> {
     let config = TecoreConfig {
         backend: backend.into(),
         ..TecoreConfig::default()
     };
-    Tecore::with_config(graph.clone(), LogicProgram::parse(PROGRAM).unwrap(), config)
+    Engine::with_config(graph.clone(), LogicProgram::parse(PROGRAM).unwrap(), config)
         .resolve()
         .expect("resolves")
 }
