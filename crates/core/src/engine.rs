@@ -24,14 +24,15 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use tecore_ground::component::{ComponentView, Partition};
 use tecore_ground::incremental::DeltaStats;
-use tecore_ground::{GroundConfig, Grounding, MapState, SolveOpts};
+use tecore_ground::{ComponentMode, GroundConfig, Grounding, MapState, SolveError, SolveOpts};
 use tecore_kg::{Delta, FactId, TemporalFact, UtkGraph};
 use tecore_logic::LogicProgram;
 use tecore_temporal::Interval;
 
 use crate::error::TecoreError;
-use crate::pipeline::{check_solver_contract, interpret, TecoreConfig};
+use crate::pipeline::{check_solver_contract, interpret, SolverHandle, TecoreConfig};
 use crate::resolution::Resolution;
 use crate::snapshot::Snapshot;
 use crate::translate::translate;
@@ -43,6 +44,356 @@ use crate::translate::translate;
 struct EngineState {
     grounding: Grounding,
     last_state: Option<MapState>,
+}
+
+/// One solve dispatch's result: the (possibly merged) global MAP state
+/// plus the component accounting for the stats screen.
+struct SolveOutcome {
+    state: MapState,
+    /// Components the problem was partitioned into (`0` = monolithic).
+    components: usize,
+    /// Components actually solved (the rest were spliced from the
+    /// previous state).
+    components_solved: usize,
+}
+
+/// The **component-wise solve driver** — the seam between the engine
+/// and the configured [`MapSolver`](tecore_ground::MapSolver).
+///
+/// When the backend declares [`SolverCaps::components`] (and does not
+/// ground lazily) and the mode allows it, the ground problem is
+/// partitioned into independent conflict components
+/// (`tecore_ground::component`); each **dirty** component is dispatched
+/// to [`MapSolver::solve_component`](tecore_ground::MapSolver) as a
+/// zero-copy sub-view in its local atom id space — in parallel across
+/// worker threads when the `parallel` feature is on — while **clean**
+/// components splice their slice of the previous MAP state untouched.
+/// The per-component states merge into one global state whose cost and
+/// feasibility are re-derived from the full arena, so the merged state
+/// satisfies exactly the contract a monolithic solve would.
+///
+/// Everything else (unsupported backend, `Monolithic` mode, a single
+/// component under `Auto`, an unpartitionable arena) falls back to one
+/// monolithic [`MapSolver::solve`](tecore_ground::MapSolver).
+fn solve_dispatch(
+    solver: &SolverHandle,
+    grounding: &mut Grounding,
+    opts: &SolveOpts<'_>,
+) -> Result<SolveOutcome, TecoreError> {
+    let caps = solver.caps();
+    // A lazily grounded arena lacks the not-yet-activated constraint
+    // couplings, so a clause-connectivity partition over it would be
+    // unsound — such backends always solve monolithically.
+    let component_capable = caps.components && !caps.lazy_grounding;
+    let use_components = component_capable
+        && match opts.component_mode {
+            ComponentMode::Monolithic => false,
+            ComponentMode::Components => true,
+            // `Auto` partitions where partitioning reliably pays: on
+            // incremental re-solves (a previous state lets clean
+            // components be spliced, so work shrinks to the dirty set)
+            // and for exact backends (whose worst case is exponential
+            // *per component*, so splitting wins even cold). A cold
+            // heuristic solve sees no dirty-set benefit and keeps the
+            // tuned monolithic path; force `Components` to override.
+            ComponentMode::Auto => opts.warm_start.is_some() || caps.exact,
+        };
+    if !use_components {
+        return monolithic_solve(solver, grounding, opts);
+    }
+    // Clean fast path: when the component index is current, nothing is
+    // dirty and the previous state covers every atom, the problem is
+    // byte-identical to the one that state solved — return it without
+    // re-partitioning (a no-op resolve then costs O(1) instead of
+    // O(atoms + clauses)).
+    if let (Some(warm), Some(index)) = (opts.warm_start, grounding.component_index()) {
+        if !index.any_dirty()
+            && index.num_atoms() == grounding.num_atoms()
+            && warm.assignment.len() == grounding.num_atoms()
+            && warm.soft_values.is_some() == caps.soft_values
+        {
+            return Ok(SolveOutcome {
+                state: warm.clone(),
+                components: index.component_count(),
+                components_solved: 0,
+            });
+        }
+    }
+    let partition = grounding.partition_components();
+    if partition.is_unpartitionable()
+        || (matches!(opts.component_mode, ComponentMode::Auto) && partition.len() <= 1)
+    {
+        return monolithic_solve(solver, grounding, opts);
+    }
+
+    // Without a previous state there is nothing to splice: every
+    // component is solved. With one, only dirty components are.
+    let warm = opts.warm_start;
+    let dirty: Vec<usize> = (0..partition.len())
+        .filter(|&i| warm.is_none() || partition.is_dirty(i))
+        .collect();
+    let solved = solve_components(solver, grounding, &partition, &dirty, warm, opts)?;
+
+    // Merge. The base is the previous assignment (which *is* the
+    // spliced value of every clean component, and carries dead or
+    // clause-free atoms across); solved components scatter over it.
+    let n = grounding.num_atoms();
+    let mut assignment: Vec<bool> = match warm {
+        Some(w) => {
+            let mut v = w.assignment.clone();
+            v.resize(n, false);
+            v
+        }
+        None => vec![false; n],
+    };
+    let mut soft: Option<Vec<f64>> = if caps.soft_values {
+        let mut base: Vec<f64> = match warm.and_then(|w| w.soft_values.as_ref()) {
+            Some(values) => values.clone(),
+            None => assignment.iter().map(|&b| f64::from(u8::from(b))).collect(),
+        };
+        base.resize(n, 0.0);
+        Some(base)
+    } else {
+        None
+    };
+    for (&comp, state) in dirty.iter().zip(&solved) {
+        let atoms = partition.atoms(comp);
+        for (local, &atom) in atoms.iter().enumerate() {
+            assignment[atom.index()] = state.assignment[local];
+        }
+        if let Some(soft) = &mut soft {
+            // The merge buffer exists iff caps declare soft values, and
+            // `solve_one_component` rejects any component state whose
+            // soft-value presence disagrees with the caps.
+            let values = state
+                .soft_values
+                .as_ref()
+                .expect("per-component contract enforced by solve_one_component");
+            for (local, &atom) in atoms.iter().enumerate() {
+                soft[atom.index()] = values[local];
+            }
+        }
+    }
+    // Cost and feasibility are re-derived from the full arena rather
+    // than summed per component: one O(live lits) pass that is exact by
+    // construction for spliced and solved components alike.
+    let (cost, hard_violations) = tecore_ground::evaluate_world(&grounding.clauses, &assignment);
+    Ok(SolveOutcome {
+        state: MapState {
+            assignment,
+            cost,
+            feasible: hard_violations == 0,
+            active_clauses: grounding.clauses.len(),
+            soft_values: soft,
+        },
+        components: partition.len(),
+        components_solved: dirty.len(),
+    })
+}
+
+/// The monolithic fallback: one [`MapSolver::solve`](tecore_ground::MapSolver)
+/// over the whole grounding, with the warm start gated on the backend's
+/// declared capability (exactly the pre-component behaviour).
+fn monolithic_solve(
+    solver: &SolverHandle,
+    grounding: &Grounding,
+    opts: &SolveOpts<'_>,
+) -> Result<SolveOutcome, TecoreError> {
+    let mono = SolveOpts {
+        seed: opts.seed,
+        warm_start: if solver.caps().warm_start {
+            opts.warm_start
+        } else {
+            None
+        },
+        component_mode: ComponentMode::Monolithic,
+    };
+    Ok(SolveOutcome {
+        state: solver.solve(grounding, &mono)?,
+        components: 0,
+        components_solved: 0,
+    })
+}
+
+/// Solves one dirty component through the backend's sub-view entry,
+/// offering a remapped warm start when the backend consumes one, and
+/// enforcing the local state contract.
+fn solve_one_component(
+    solver: &SolverHandle,
+    grounding: &Grounding,
+    partition: &Partition,
+    comp: usize,
+    warm: Option<&MapState>,
+    opts: &SolveOpts<'_>,
+) -> Result<MapState, TecoreError> {
+    let view = partition.view(&grounding.clauses, comp);
+    let local_warm_state = match (solver.caps().warm_start, warm) {
+        (true, Some(w)) => local_warm(&view, w),
+        _ => None,
+    };
+    let local_opts = SolveOpts {
+        seed: opts.seed,
+        warm_start: local_warm_state.as_ref(),
+        component_mode: ComponentMode::Monolithic,
+    };
+    let state = solver.solve_component(&view, &local_opts)?;
+    // The per-component state contract mirrors `check_solver_contract`:
+    // local vector lengths must match the view, and soft values must be
+    // present exactly when the caps declare them (otherwise the merge
+    // would silently fabricate 0/1 confidences for the component).
+    let violation = if state.assignment.len() != view.num_atoms() {
+        Some(format!(
+            "returned {} assignments for a {}-atom component",
+            state.assignment.len(),
+            view.num_atoms()
+        ))
+    } else if state
+        .soft_values
+        .as_ref()
+        .is_some_and(|v| v.len() != view.num_atoms())
+    {
+        Some(format!(
+            "returned {} soft values for a {}-atom component",
+            state.soft_values.as_ref().map_or(0, Vec::len),
+            view.num_atoms()
+        ))
+    } else if solver.caps().soft_values != state.soft_values.is_some() {
+        Some(format!(
+            "caps declare soft_values = {} but the component solve {} them",
+            solver.caps().soft_values,
+            if state.soft_values.is_some() {
+                "returned"
+            } else {
+                "omitted"
+            }
+        ))
+    } else {
+        None
+    };
+    if let Some(violation) = violation {
+        return Err(TecoreError::Solve(SolveError::Backend(format!(
+            "solver `{}` {violation}",
+            solver.name()
+        ))));
+    }
+    Ok(state)
+}
+
+/// Projects the global previous MAP state into a component's local atom
+/// id space. Atoms past the previous state's horizon are new; local
+/// ids ascend with global ids, so the unknown suffix is simply
+/// truncated (solvers pad beyond a short warm start themselves).
+/// Returns `None` when the previous state covers *no* member atom — an
+/// all-new component is cold, and offering it an empty "warm" start
+/// would make stochastic solvers skip their cold-start restarts.
+fn local_warm(view: &ComponentView<'_>, warm: &MapState) -> Option<MapState> {
+    let atoms = view.atoms();
+    let known = atoms.partition_point(|a| a.index() < warm.assignment.len());
+    if known == 0 {
+        return None;
+    }
+    Some(MapState {
+        assignment: atoms[..known]
+            .iter()
+            .map(|a| warm.assignment[a.index()])
+            .collect(),
+        cost: 0.0,
+        feasible: true,
+        active_clauses: 0,
+        soft_values: warm
+            .soft_values
+            .as_ref()
+            .map(|values| atoms[..known].iter().map(|a| values[a.index()]).collect()),
+    })
+}
+
+/// Below this many clauses across the dirty components the parallel
+/// driver stays serial: thread spawns cost more than the solves.
+#[cfg(feature = "parallel")]
+const PARALLEL_SOLVE_THRESHOLD: usize = 256;
+
+/// Solves the dirty components, fanning out over scoped worker threads
+/// when the workload warrants it (requires the `parallel` feature; the
+/// environment ships no rayon, so this is plain `std::thread::scope`
+/// with results re-slotted in component order — byte-identical output
+/// to the serial path).
+#[cfg(feature = "parallel")]
+fn solve_components(
+    solver: &SolverHandle,
+    grounding: &Grounding,
+    partition: &Partition,
+    dirty: &[usize],
+    warm: Option<&MapState>,
+    opts: &SolveOpts<'_>,
+) -> Result<Vec<MapState>, TecoreError> {
+    let total_clauses: usize = dirty.iter().map(|&i| partition.clause_ids(i).len()).sum();
+    // Worker count: `TECORE_SOLVE_WORKERS` (ops/test knob — also how
+    // single-core CI exercises the fan-out; read per solve, the lookup
+    // is trivial next to one) else the machine's parallelism.
+    let cores = std::env::var("TECORE_SOLVE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    let workers = cores.min(dirty.len());
+    if workers < 2 || total_clauses < PARALLEL_SOLVE_THRESHOLD {
+        return dirty
+            .iter()
+            .map(|&comp| solve_one_component(solver, grounding, partition, comp, warm, opts))
+            .collect();
+    }
+    let mut slots: Vec<Option<Result<MapState, TecoreError>>> =
+        std::iter::repeat_with(|| None).take(dirty.len()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || -> Vec<(usize, Result<MapState, TecoreError>)> {
+                    dirty
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(slot, &comp)| {
+                            (
+                                slot,
+                                solve_one_component(solver, grounding, partition, comp, warm, opts),
+                            )
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (slot, result) in handle.join().expect("component solver panicked") {
+                slots[slot] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every dirty component produced a result"))
+        .collect()
+}
+
+/// Serial fallback when the crate is built without the `parallel`
+/// feature.
+#[cfg(not(feature = "parallel"))]
+fn solve_components(
+    solver: &SolverHandle,
+    grounding: &Grounding,
+    partition: &Partition,
+    dirty: &[usize],
+    warm: Option<&MapState>,
+    opts: &SolveOpts<'_>,
+) -> Result<Vec<MapState>, TecoreError> {
+    dirty
+        .iter()
+        .map(|&comp| solve_one_component(solver, grounding, partition, comp, warm, opts))
+        .collect()
 }
 
 /// The TeCoRe system: a versioned uTKG plus rules and constraints,
@@ -127,6 +478,13 @@ impl Engine {
         self.config.threshold = threshold;
     }
 
+    /// Updates the conflict-component treatment without invalidating
+    /// the cached incremental state (the mode only affects solve
+    /// dispatch, never the grounding).
+    pub fn set_component_mode(&mut self, mode: ComponentMode) {
+        self.config.component_mode = mode;
+    }
+
     /// Inserts a fact (interning as needed); the change feeds the next
     /// incremental resolve.
     pub fn insert_fact(
@@ -193,24 +551,31 @@ impl Engine {
     /// the resolution once and want to skip the `Arc`.
     pub fn resolve_raw(&self) -> Result<Resolution, TecoreError> {
         let solver = &self.config.backend;
-        let grounding = translate(
+        let mut grounding = translate(
             &self.graph,
             &self.program,
             &solver.caps(),
             &self.config.ground,
         )?;
+        let opts = SolveOpts {
+            component_mode: self.config.component_mode,
+            ..SolveOpts::default()
+        };
         let solve_start = Instant::now();
-        let state = solver.solve(&grounding, &SolveOpts::default())?;
+        let outcome = solve_dispatch(solver, &mut grounding, &opts)?;
         let solve_time = solve_start.elapsed();
-        check_solver_contract(solver, &grounding, &state)?;
-        Ok(interpret(
+        check_solver_contract(solver, &grounding, &outcome.state)?;
+        let mut resolution = interpret(
             &self.graph,
             &grounding,
-            state,
+            outcome.state,
             &self.config,
             grounding.stats.elapsed,
             solve_time,
-        ))
+        );
+        resolution.stats.components = outcome.components;
+        resolution.stats.components_solved = outcome.components_solved;
+        Ok(resolution)
     }
 
     /// Runs conflict resolution incrementally: syncs the cached
@@ -262,22 +627,26 @@ impl Engine {
         // The cache has consumed the history; keep the log bounded.
         self.graph.truncate_log(engine.grounding.epoch());
 
-        // 2. Warm-started solve.
+        // 2. Warm-started solve. The previous MAP state is always
+        // offered to the *driver* — it splices clean components from it
+        // even for backends without warm-start support — and the driver
+        // gates what each backend actually sees on its caps.
         let opts = SolveOpts {
             seed: None,
-            warm_start: if caps.warm_start {
-                engine.last_state.as_ref()
-            } else {
-                None
-            },
+            warm_start: engine.last_state.as_ref(),
+            component_mode: self.config.component_mode,
         };
         let solve_start = Instant::now();
-        let state = solver.solve(&engine.grounding, &opts)?;
+        let outcome = solve_dispatch(&solver, &mut engine.grounding, &opts)?;
         let solve_time = solve_start.elapsed();
+        let state = outcome.state;
         check_solver_contract(&solver, &engine.grounding, &state)?;
+        // The merged state is about to become the cached splice source;
+        // every component's cached slice is now current.
+        engine.grounding.clear_component_dirty();
 
         // 3. Interpret, then cache grounding + state for the next round.
-        let resolution = interpret(
+        let mut resolution = interpret(
             &self.graph,
             &engine.grounding,
             state.clone(),
@@ -285,6 +654,8 @@ impl Engine {
             engine.grounding.stats.elapsed,
             solve_time,
         );
+        resolution.stats.components = outcome.components;
+        resolution.stats.components_solved = outcome.components_solved;
         engine.last_state = Some(state);
         self.cache = Some(engine);
         Ok(self.publish(resolution))
@@ -774,5 +1145,73 @@ mod tests {
         let message = err.to_string();
         assert!(message.contains("two-faced"), "{message}");
         assert!(message.contains("soft_values = false"), "{message}");
+    }
+
+    /// The per-component state contract mirrors the monolithic one: a
+    /// backend declaring soft values that omits them from a component
+    /// solve must fail loudly — the merge must not quietly fabricate
+    /// 0/1 confidences for that component.
+    #[test]
+    fn component_caps_state_mismatch_is_a_solve_error() {
+        use tecore_ground::component::ComponentView;
+        use tecore_ground::{MapSolver, SolveError, SolverCaps};
+
+        /// Declares soft values (+ components) but omits them from the
+        /// per-component state.
+        #[derive(Debug)]
+        struct Forgetful;
+
+        impl MapSolver for Forgetful {
+            fn name(&self) -> &str {
+                "forgetful"
+            }
+            fn caps(&self) -> SolverCaps {
+                SolverCaps {
+                    components: true,
+                    ..SolverCaps::psl() // soft_values: true
+                }
+            }
+            fn solve(
+                &self,
+                grounding: &Grounding,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                let n = grounding.num_atoms();
+                Ok(MapState {
+                    assignment: vec![true; n],
+                    cost: 0.0,
+                    feasible: true,
+                    active_clauses: 0,
+                    soft_values: Some(vec![1.0; n]),
+                })
+            }
+            fn solve_component(
+                &self,
+                view: &ComponentView<'_>,
+                _opts: &SolveOpts,
+            ) -> Result<MapState, SolveError> {
+                Ok(MapState {
+                    assignment: vec![true; view.num_atoms()],
+                    cost: 0.0,
+                    feasible: true,
+                    active_clauses: 0,
+                    soft_values: None, // contract violation
+                })
+            }
+        }
+
+        let graph = parse_graph(RANIERI).unwrap();
+        let program = LogicProgram::parse(PAPER_PROGRAM).unwrap();
+        let config = TecoreConfig {
+            backend: SolverHandle::new(Forgetful),
+            component_mode: ComponentMode::Components,
+            ..TecoreConfig::default()
+        };
+        let err = Engine::with_config(graph, program, config)
+            .resolve()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("forgetful"), "{message}");
+        assert!(message.contains("omitted"), "{message}");
     }
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use tecore_ground::violation::violated_clauses;
-use tecore_ground::{AtomKind, ClauseOrigin, Grounding};
+use tecore_ground::{AtomKind, ClauseOrigin, Grounding, Lit};
 
 /// One violated constraint grounding, rendered for display.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,7 +39,35 @@ impl std::fmt::Display for ConflictExplanation {
 /// Enumerates every constraint grounding violated by the *input* KG
 /// (the "keep everything" world) — these are the conflicts TeCoRe
 /// resolves, independent of which side MAP inference later removes.
+///
+/// Under an eagerly grounded backend this is a read off the clause
+/// arena: a constraint grounding violated by keep-everything is exactly
+/// a live `Formula`-origin clause with no positive literal (rule
+/// clauses carry their positive head, which is alive and hence
+/// satisfied). The incremental path calls this per resolve, so the
+/// O(clauses) scan replacing the full match search matters. Lazily
+/// grounded backends (cutting-plane) keep the search — their arena
+/// deliberately lacks the constraint clauses.
 pub fn explain_conflicts(grounding: &Grounding) -> Vec<ConflictExplanation> {
+    if grounding.constraints_grounded_eagerly() {
+        let mut hits: Vec<(usize, &[Lit])> = grounding
+            .clauses
+            .iter()
+            .filter_map(|c| match c.origin {
+                ClauseOrigin::Formula(idx) if c.lits.iter().all(|l| !l.positive) => {
+                    Some((idx, c.lits))
+                }
+                _ => None,
+            })
+            .collect();
+        // Same presentation order as the search path: by formula, then
+        // by literals. (The arena is already duplicate-free.)
+        hits.sort_unstable();
+        return hits
+            .into_iter()
+            .map(|(idx, lits)| explanation(grounding, idx, lits))
+            .collect();
+    }
     // "Keep everything" means every *live* atom; atoms retracted by
     // incremental deltas keep their slot but are not part of the KG.
     let all_true: Vec<bool> = (0..grounding.num_atoms())
@@ -50,40 +78,44 @@ pub fn explain_conflicts(grounding: &Grounding) -> Vec<ConflictExplanation> {
         let ClauseOrigin::Formula(idx) = clause.origin else {
             continue;
         };
-        let constraint = grounding.program.formulas[idx]
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("formula#{idx}"));
-        let participants: Vec<String> = clause
-            .lits
-            .iter()
-            .filter(|l| !l.positive)
-            .map(|l| {
-                let atom = grounding.store.atom(l.atom);
-                let conf = match &atom.kind {
-                    AtomKind::Evidence { log_odds, .. } => {
-                        // Invert the log-odds mapping for display.
-                        let p = 1.0 / (1.0 + (-log_odds).exp());
-                        format!(" {p:.2}")
-                    }
-                    AtomKind::Hidden => " (derived)".to_string(),
-                };
-                format!(
-                    "({}, {}, {}, {}){}",
-                    grounding.dict.resolve(atom.subject),
-                    grounding.dict.resolve(atom.predicate),
-                    grounding.dict.resolve(atom.object),
-                    atom.interval,
-                    conf
-                )
-            })
-            .collect();
-        out.push(ConflictExplanation {
-            constraint,
-            participants,
-        });
+        out.push(explanation(grounding, idx, &clause.lits));
     }
     out
+}
+
+/// Renders one violated constraint grounding.
+fn explanation(grounding: &Grounding, idx: usize, lits: &[Lit]) -> ConflictExplanation {
+    let constraint = grounding.program.formulas[idx]
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("formula#{idx}"));
+    let participants: Vec<String> = lits
+        .iter()
+        .filter(|l| !l.positive)
+        .map(|l| {
+            let atom = grounding.store.atom(l.atom);
+            let conf = match &atom.kind {
+                AtomKind::Evidence { log_odds, .. } => {
+                    // Invert the log-odds mapping for display.
+                    let p = 1.0 / (1.0 + (-log_odds).exp());
+                    format!(" {p:.2}")
+                }
+                AtomKind::Hidden => " (derived)".to_string(),
+            };
+            format!(
+                "({}, {}, {}, {}){}",
+                grounding.dict.resolve(atom.subject),
+                grounding.dict.resolve(atom.predicate),
+                grounding.dict.resolve(atom.object),
+                atom.interval,
+                conf
+            )
+        })
+        .collect();
+    ConflictExplanation {
+        constraint,
+        participants,
+    }
 }
 
 #[cfg(test)]

@@ -91,5 +91,5 @@ pub mod prelude {
     pub use crate::session::Session;
     pub use crate::snapshot::Snapshot;
     pub use crate::stats::DebugStats;
-    pub use tecore_ground::{MapSolver, MapState, SolverCaps};
+    pub use tecore_ground::{ComponentMode, MapSolver, MapState, SolverCaps};
 }

@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use tecore_ground::{AtomKind, GroundConfig, Grounding, MapState};
+use tecore_ground::{AtomKind, ComponentMode, GroundConfig, Grounding, MapState};
 use tecore_kg::UtkGraph;
 use tecore_mln::marginal::{gibbs_marginals, GibbsConfig};
 use tecore_mln::SatProblem;
@@ -57,6 +57,14 @@ pub struct TecoreConfig {
     pub threshold: f64,
     /// Confidence grading for derived facts.
     pub confidence: ConfidenceMode,
+    /// Conflict-component treatment for the solve step: partition the
+    /// ground problem into independent components and solve them
+    /// separately (default [`ComponentMode::Auto`]), or force one
+    /// monolithic solve. Copied into
+    /// [`SolveOpts::component_mode`](tecore_ground::SolveOpts) by the
+    /// engine; changing it never invalidates the cached incremental
+    /// grounding.
+    pub component_mode: ComponentMode,
 }
 
 /// Enforces the MapSolver contract on plugin backends: wrong vector
@@ -175,6 +183,10 @@ pub(crate) fn interpret(
         thresholded_facts: thresholded,
         atoms: grounding.num_atoms() - grounding.store.dead_count(),
         clauses: state.active_clauses,
+        // Filled in by the engine after interpretation (the solve
+        // driver owns the component accounting).
+        components: 0,
+        components_solved: 0,
         per_constraint,
         backend: config.backend.name().to_string(),
         feasible: state.feasible,

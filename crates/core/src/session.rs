@@ -206,6 +206,17 @@ impl Session {
         &mut self.registry
     }
 
+    /// Sets the conflict-component treatment for the solve step (see
+    /// [`ComponentMode`](tecore_ground::ComponentMode)). The mode only
+    /// affects solve dispatch, never the grounding, so a primed
+    /// incremental engine survives (its config is updated in place).
+    pub fn set_component_mode(&mut self, mode: tecore_ground::ComponentMode) {
+        self.config.component_mode = mode;
+        if let Some((_, engine)) = &mut self.engine {
+            engine.set_component_mode(mode);
+        }
+    }
+
     /// Sets the derived-fact confidence threshold. Thresholding only
     /// affects result interpretation, so a primed incremental engine
     /// survives (its config is updated in place).

@@ -23,6 +23,17 @@ pub struct DebugStats {
     pub atoms: usize,
     /// Ground clauses handed to the solver (final active set for CPI).
     pub clauses: usize,
+    /// Conflict components the solve driver partitioned the ground
+    /// problem into; `0` means the solve ran monolithically (the
+    /// backend doesn't support components, the mode forced it, or the
+    /// problem was one big component under [`ComponentMode::Auto`]).
+    ///
+    /// [`ComponentMode::Auto`]: tecore_ground::ComponentMode::Auto
+    pub components: usize,
+    /// Components actually (re-)solved in this resolve; the remainder
+    /// were clean and their cached per-component states were spliced.
+    /// Equals `components` on a cold solve.
+    pub components_solved: usize,
     /// Violated-constraint groundings observed per constraint name.
     pub per_constraint: Vec<(String, usize)>,
     /// Backend identifier (`"mln-exact"`, `"mln-cpi"`, `"psl-admm"`,
@@ -73,6 +84,15 @@ impl fmt::Display for DebugStats {
         }
         writeln!(f, "ground atoms       : {}", self.atoms)?;
         writeln!(f, "ground clauses     : {}", self.clauses)?;
+        if self.components > 0 {
+            writeln!(
+                f,
+                "components         : {} ({} solved, {} spliced)",
+                self.components,
+                self.components_solved,
+                self.components - self.components_solved
+            )?;
+        }
         writeln!(f, "feasible           : {}", self.feasible)?;
         writeln!(f, "map cost           : {:.4}", self.cost)?;
         writeln!(f, "grounding time     : {:?}", self.grounding_time)?;

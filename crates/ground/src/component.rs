@@ -1,0 +1,644 @@
+//! Conflict components: partitioning the ground problem into
+//! independently solvable sub-problems.
+//!
+//! Ground clauses only interact through shared atoms, so the transitive
+//! closure of "appears in a clause with" partitions the live clauses of
+//! a [`ClauseStore`] into **conflict components**
+//! whose MAP solutions compose exactly: the optimum of the whole
+//! problem is the union of the per-component optima, and the total cost
+//! is their sum. On real uTKGs (where conflicts are local — two coach
+//! spells of one person, not a global tangle) this turns one large MAP
+//! instance into thousands of tiny ones, and — crucially for the
+//! streaming path — lets an incremental resolve re-solve *only the
+//! components a delta touched*, splicing cached solutions for the rest.
+//!
+//! Three pieces live here:
+//!
+//! * [`ComponentIndex`] — a union-find over atom ids, built from the
+//!   clause arena and maintained incrementally by
+//!   [`Grounding::apply_delta`](crate::Grounding) (clause emissions
+//!   union their atoms; retractions mark atoms dirty and are counted so
+//!   the index can rebuild once coarsening accumulates — union-find
+//!   cannot split, so a retraction-heavy history over-merges until the
+//!   next rebuild, which costs accuracy of the partition but never
+//!   correctness);
+//! * [`Partition`] — one concrete partitioning pass: per-component atom
+//!   and clause lists plus the global→local atom id remap table;
+//! * [`ComponentView`] — a zero-copy sub-view of the arena for one
+//!   component, handed to
+//!   [`MapSolver::solve_component`](crate::MapSolver::solve_component);
+//!   literals are remapped to the component's dense local id space on
+//!   the fly (the remap is monotone in atom id, so normalised clauses
+//!   stay normalised).
+
+use tecore_kg::fxhash::FxHashMap;
+
+use crate::atoms::AtomId;
+use crate::clause::{ClauseId, ClauseStore, Lit};
+
+/// Union-find over ground atoms with a per-atom dirty flag.
+///
+/// The flag records "this atom's local problem changed since the last
+/// [`ComponentIndex::clear_dirty`]"; a component is dirty when any of
+/// its member atoms is. Flags are deliberately per-atom rather than
+/// per-root so they survive rebuilds (component identities change, the
+/// set of touched atoms does not).
+#[derive(Debug, Clone, Default)]
+pub struct ComponentIndex {
+    /// Union-find parent per atom id.
+    parent: Vec<u32>,
+    /// Union-by-rank.
+    rank: Vec<u8>,
+    /// Per-atom "local problem changed" flag.
+    dirty: Vec<bool>,
+    /// Clause retractions since the last rebuild (union-find cannot
+    /// split, so retractions coarsen the partition until a rebuild).
+    retracted_since_rebuild: usize,
+    /// Component count of the most recent [`ComponentIndex::partition`]
+    /// pass (`0` before the first) — lets a clean no-dirty resolve
+    /// report its component stats without re-partitioning.
+    last_count: usize,
+}
+
+impl ComponentIndex {
+    /// Builds the index from the live clauses of `clauses`, sized for
+    /// `num_atoms` atoms. Every atom starts **dirty**: a fresh index
+    /// pairs with no cached per-component state, so everything must be
+    /// solved once.
+    pub fn build(clauses: &ClauseStore, num_atoms: usize) -> Self {
+        let mut index = ComponentIndex {
+            parent: (0..num_atoms as u32).collect(),
+            rank: vec![0; num_atoms],
+            dirty: vec![true; num_atoms],
+            retracted_since_rebuild: 0,
+            last_count: 0,
+        };
+        // The arena may name atoms past the caller's count (callers can
+        // under-size; clause literals are the source of truth).
+        let max_named = clauses
+            .iter()
+            .flat_map(|c| c.lits.iter().map(|l| l.atom.index() + 1))
+            .max()
+            .unwrap_or(0);
+        index.ensure_atoms(max_named);
+        index.union_live_clauses(clauses);
+        index
+    }
+
+    /// Number of atoms the index covers.
+    pub fn num_atoms(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Extends the tables for atoms `< n` (fresh atoms are singleton
+    /// components, dirty).
+    pub fn ensure_atoms(&mut self, n: usize) {
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len() as u32);
+            self.rank.push(0);
+            self.dirty.push(true);
+        }
+    }
+
+    /// Root of `a`'s component, with path compression.
+    fn find(&mut self, a: u32) -> u32 {
+        let mut root = a;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Compress the walked path.
+        let mut cur = a;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+    }
+
+    /// Records an emitted clause: unions its atoms into one component
+    /// and marks it dirty.
+    pub fn note_emit(&mut self, lits: &[Lit]) {
+        let Some(first) = lits.first() else {
+            return;
+        };
+        self.ensure_atoms(lits.iter().map(|l| l.atom.index() + 1).max().unwrap_or(0));
+        for l in &lits[1..] {
+            self.union(first.atom.0, l.atom.0);
+        }
+        // One member flag suffices: the whole (now united) component
+        // reads as dirty.
+        self.dirty[first.atom.index()] = true;
+    }
+
+    /// Records a retracted clause: every named atom is marked dirty
+    /// (after a rebuild they may land in *different* components, each
+    /// of which must re-solve), and the coarsening counter advances.
+    pub fn note_retract(&mut self, lits: &[Lit]) {
+        self.ensure_atoms(lits.iter().map(|l| l.atom.index() + 1).max().unwrap_or(0));
+        for l in lits {
+            self.dirty[l.atom.index()] = true;
+        }
+        self.retracted_since_rebuild += 1;
+    }
+
+    /// Marks one atom's component dirty without any structural change —
+    /// used for net-zero churn ([`tecore_kg::Delta::churned`]) where the
+    /// ground problem is untouched but cached per-component solver
+    /// state must be conservatively invalidated.
+    pub fn note_touched(&mut self, atom: AtomId) {
+        self.ensure_atoms(atom.index() + 1);
+        self.dirty[atom.index()] = true;
+    }
+
+    /// Is the atom's flag set? (Component dirtiness is evaluated by
+    /// [`ComponentIndex::partition`]; this exposes the raw flag for
+    /// tests and diagnostics.)
+    pub fn is_atom_dirty(&self, atom: AtomId) -> bool {
+        self.dirty.get(atom.index()).copied().unwrap_or(true)
+    }
+
+    /// Is any atom flagged dirty? (`false` means the clause arena is
+    /// byte-identical to the one the last cleared solve ran over.)
+    pub fn any_dirty(&self) -> bool {
+        self.dirty.iter().any(|&d| d)
+    }
+
+    /// Component count of the most recent [`ComponentIndex::partition`]
+    /// pass (`0` before the first).
+    pub fn component_count(&self) -> usize {
+        self.last_count
+    }
+
+    /// Clears every dirty flag — called by the solve driver once all
+    /// dirty components have been re-solved and their states cached.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Re-derives the union structure from the live clauses when
+    /// retraction-driven coarsening has accumulated. Dirty flags are
+    /// preserved (they describe atoms, not components).
+    fn maybe_rebuild(&mut self, clauses: &ClauseStore) {
+        if self.retracted_since_rebuild <= 32 || self.retracted_since_rebuild * 4 <= clauses.len() {
+            return;
+        }
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.rank.iter_mut().for_each(|r| *r = 0);
+        self.retracted_since_rebuild = 0;
+        self.union_live_clauses(clauses);
+    }
+
+    fn union_live_clauses(&mut self, clauses: &ClauseStore) {
+        for clause in clauses.iter() {
+            if let Some(first) = clause.lits.first() {
+                for l in &clause.lits[1..] {
+                    self.union(first.atom.0, l.atom.0);
+                }
+            }
+        }
+    }
+
+    /// Runs one partitioning pass over the live clauses: groups clauses
+    /// and their atoms by component (rebuilding the union structure
+    /// first if it has coarsened), assigns dense local atom ids in
+    /// ascending global order, and evaluates per-component dirtiness.
+    ///
+    /// The grouped lists are laid out as two flat CSR tables (one
+    /// counting-sort pass each) rather than per-component `Vec`s — the
+    /// streaming path re-partitions after every delta, and thousands of
+    /// tiny allocations per resolve would dominate the dirty-component
+    /// solve itself.
+    ///
+    /// Atoms in no live clause (dead slots, clause-free atoms) belong
+    /// to no component; the solve driver fills their assignment from
+    /// the warm state or a default.
+    pub fn partition(&mut self, clauses: &ClauseStore) -> Partition {
+        // Invariant: every atom named by a clause has been announced
+        // (`build`, `note_emit`, `note_retract` and `ensure_atoms` all
+        // extend the tables) — the hot path must not re-scan every
+        // literal to re-derive the atom count.
+        debug_assert!(
+            clauses
+                .iter()
+                .flat_map(|c| c.lits)
+                .all(|l| l.atom.index() < self.parent.len()),
+            "clause names an unannounced atom"
+        );
+        self.maybe_rebuild(clauses);
+        let n = self.parent.len();
+        // Pass 1: number the components (dense, in order of first
+        // clause appearance), tag every clause and member atom.
+        let mut comp_of: Vec<u32> = vec![u32::MAX; n];
+        let mut root_comp: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut clause_comp: Vec<(ClauseId, u32)> = Vec::with_capacity(clauses.len());
+        let mut clause_counts: Vec<u32> = Vec::new();
+        for clause in clauses.iter() {
+            let Some(first) = clause.lits.first() else {
+                // An empty clause belongs to every and no component;
+                // the driver must fall back to monolithic solving.
+                self.last_count = 0;
+                return Partition::unpartitionable(n);
+            };
+            let root = self.find(first.atom.0);
+            let comp = *root_comp.entry(root).or_insert_with(|| {
+                clause_counts.push(0);
+                (clause_counts.len() - 1) as u32
+            });
+            clause_counts[comp as usize] += 1;
+            clause_comp.push((clause.id, comp));
+            for l in clause.lits {
+                debug_assert_eq!(self.find(l.atom.0), root, "clause spans components");
+                comp_of[l.atom.index()] = comp;
+            }
+        }
+        let count = clause_counts.len();
+        // Counting-sort the clause ids into their CSR rows (clause ids
+        // stay in ascending slot order within each row: the fill pass
+        // runs in arena order).
+        let mut clause_starts: Vec<u32> = Vec::with_capacity(count + 1);
+        let mut running = 0u32;
+        clause_starts.push(0);
+        for &c in &clause_counts {
+            running += c;
+            clause_starts.push(running);
+        }
+        let mut clause_fill: Vec<u32> = clause_starts[..count].to_vec();
+        let mut clause_ids: Vec<ClauseId> = vec![0; running as usize];
+        for (ci, comp) in clause_comp {
+            let slot = &mut clause_fill[comp as usize];
+            clause_ids[*slot as usize] = ci;
+            *slot += 1;
+        }
+        // Pass 2 (counting sort over atoms, ascending): member lists,
+        // dense local ids (ascending with global ids, so the remap is
+        // monotone and normalised clauses stay normalised), and the
+        // per-atom dirty flags folded into per-component dirtiness.
+        let mut atom_counts: Vec<u32> = vec![0; count];
+        for &comp in comp_of.iter() {
+            if comp != u32::MAX {
+                atom_counts[comp as usize] += 1;
+            }
+        }
+        let mut atom_starts: Vec<u32> = Vec::with_capacity(count + 1);
+        let mut running = 0u32;
+        atom_starts.push(0);
+        for &c in &atom_counts {
+            running += c;
+            atom_starts.push(running);
+        }
+        let mut atom_fill: Vec<u32> = atom_starts[..count].to_vec();
+        let mut atoms: Vec<AtomId> = vec![AtomId(0); running as usize];
+        let mut local_id: Vec<u32> = vec![0; n];
+        let mut dirty: Vec<bool> = vec![false; count];
+        for (a, &comp) in comp_of.iter().enumerate() {
+            if comp == u32::MAX {
+                continue;
+            }
+            let slot = &mut atom_fill[comp as usize];
+            local_id[a] = *slot - atom_starts[comp as usize];
+            atoms[*slot as usize] = AtomId(a as u32);
+            *slot += 1;
+            if self.dirty[a] {
+                dirty[comp as usize] = true;
+            }
+        }
+        self.last_count = count;
+        Partition {
+            comp_of,
+            local_id,
+            atoms,
+            atom_starts,
+            clause_ids,
+            clause_starts,
+            dirty,
+            unpartitionable: false,
+        }
+    }
+}
+
+/// One concrete component partitioning of a clause arena — the output
+/// of [`ComponentIndex::partition`], consumed by the solve driver.
+/// Member and clause lists live in flat CSR tables; components are
+/// contiguous rows.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// atom id → component index (`u32::MAX` for atoms in no live
+    /// clause).
+    comp_of: Vec<u32>,
+    /// atom id → dense local id within its component.
+    local_id: Vec<u32>,
+    /// Member atoms, grouped by component, ascending global id within
+    /// each row.
+    atoms: Vec<AtomId>,
+    /// Row offsets into `atoms` (`len() + 1` entries).
+    atom_starts: Vec<u32>,
+    /// Live clause ids, grouped by component, ascending slot order
+    /// within each row.
+    clause_ids: Vec<ClauseId>,
+    /// Row offsets into `clause_ids` (`len() + 1` entries).
+    clause_starts: Vec<u32>,
+    /// Per component: does it contain a dirty atom?
+    dirty: Vec<bool>,
+    /// `true` when the arena contains a clause that cannot be assigned
+    /// to a component (an empty clause); the driver must solve
+    /// monolithically.
+    unpartitionable: bool,
+}
+
+impl Partition {
+    fn unpartitionable(n: usize) -> Partition {
+        Partition {
+            comp_of: vec![u32::MAX; n],
+            local_id: vec![0; n],
+            atoms: Vec::new(),
+            atom_starts: vec![0],
+            clause_ids: Vec::new(),
+            clause_starts: vec![0],
+            dirty: Vec::new(),
+            unpartitionable: true,
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Is the partition empty (no live clauses)?
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Could the clause arena not be partitioned (an empty clause)?
+    pub fn is_unpartitionable(&self) -> bool {
+        self.unpartitionable
+    }
+
+    /// Is component `i` dirty (touched since the last
+    /// [`ComponentIndex::clear_dirty`])?
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i]
+    }
+
+    /// Number of dirty components.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// The component of an atom, if it belongs to one.
+    pub fn component_of(&self, atom: AtomId) -> Option<usize> {
+        match self.comp_of.get(atom.index()) {
+            Some(&c) if c != u32::MAX => Some(c as usize),
+            _ => None,
+        }
+    }
+
+    /// Member atoms of component `i` (ascending global id — the local
+    /// id space).
+    pub fn atoms(&self, i: usize) -> &[AtomId] {
+        &self.atoms[self.atom_starts[i] as usize..self.atom_starts[i + 1] as usize]
+    }
+
+    /// Live clause ids of component `i` (ascending slot order).
+    pub fn clause_ids(&self, i: usize) -> &[ClauseId] {
+        &self.clause_ids[self.clause_starts[i] as usize..self.clause_starts[i + 1] as usize]
+    }
+
+    /// A zero-copy sub-view of `store` for component `i`.
+    pub fn view<'a>(&'a self, store: &'a ClauseStore, i: usize) -> ComponentView<'a> {
+        ComponentView {
+            store,
+            atoms: self.atoms(i),
+            clause_ids: self.clause_ids(i),
+            local_id: &self.local_id,
+        }
+    }
+}
+
+/// A zero-copy view of one conflict component: borrows the parent
+/// arena and the partition's remap tables; nothing is materialised
+/// until a solver asks for a compact sub-store
+/// ([`ComponentView::to_store`]).
+///
+/// Local atom ids are dense (`0..num_atoms()`) and ascend with global
+/// ids, so remapping a normalised clause yields a normalised clause.
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentView<'a> {
+    store: &'a ClauseStore,
+    atoms: &'a [AtomId],
+    clause_ids: &'a [ClauseId],
+    local_id: &'a [u32],
+}
+
+impl<'a> ComponentView<'a> {
+    /// Number of atoms (solver variables) in the component.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of live clauses in the component.
+    pub fn num_clauses(&self) -> usize {
+        self.clause_ids.len()
+    }
+
+    /// Member atoms, ascending global id — index `l` is local atom `l`.
+    pub fn atoms(&self) -> &'a [AtomId] {
+        self.atoms
+    }
+
+    /// The component's clause ids in the parent arena.
+    pub fn clause_ids(&self) -> &'a [ClauseId] {
+        self.clause_ids
+    }
+
+    /// Local id of a member atom.
+    #[inline]
+    pub fn local(&self, atom: AtomId) -> u32 {
+        self.local_id[atom.index()]
+    }
+
+    /// Global atom behind a local id.
+    #[inline]
+    pub fn global(&self, local: u32) -> AtomId {
+        self.atoms[local as usize]
+    }
+
+    /// Materialises the component as a compact [`ClauseStore`] in the
+    /// local atom id space — the input the MaxSAT/HL-MRF builders
+    /// consume. This is the only copying step of the component
+    /// pipeline, done per *dirty* component only, and it copies exactly
+    /// the component's literals once.
+    pub fn to_store(&self) -> ClauseStore {
+        let total_lits: usize = self
+            .clause_ids
+            .iter()
+            .map(|&ci| self.store.clause_len(ci))
+            .sum();
+        let mut out = ClauseStore::with_capacity(self.clause_ids.len(), total_lits);
+        let mut buf: Vec<Lit> = Vec::with_capacity(8);
+        for &ci in self.clause_ids {
+            buf.clear();
+            buf.extend(self.store.lits(ci).iter().map(|l| Lit {
+                atom: AtomId(self.local(l.atom)),
+                positive: l.positive,
+            }));
+            out.push_lits(&buf, self.store.weight(ci), self.store.origin(ci));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::{ClauseOrigin, ClauseWeight, GroundClause};
+
+    fn soft(lits: Vec<Lit>, w: f64) -> GroundClause {
+        GroundClause::new(lits, ClauseWeight::Soft(w), ClauseOrigin::Evidence).unwrap()
+    }
+
+    fn store(clauses: &[GroundClause]) -> ClauseStore {
+        ClauseStore::from_ground_clauses(clauses)
+    }
+
+    #[test]
+    fn two_islands_partition() {
+        // {0,1} and {2,3} are independent islands.
+        let s = store(&[
+            soft(vec![Lit::pos(AtomId(0)), Lit::neg(AtomId(1))], 1.0),
+            soft(vec![Lit::pos(AtomId(1))], 0.5),
+            soft(vec![Lit::pos(AtomId(2)), Lit::pos(AtomId(3))], 2.0),
+        ]);
+        let mut index = ComponentIndex::build(&s, 4);
+        let p = index.partition(&s);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_unpartitionable());
+        assert_eq!(p.component_of(AtomId(0)), p.component_of(AtomId(1)));
+        assert_eq!(p.component_of(AtomId(2)), p.component_of(AtomId(3)));
+        assert_ne!(p.component_of(AtomId(0)), p.component_of(AtomId(2)));
+        // Fresh index: everything dirty.
+        assert_eq!(p.dirty_count(), 2);
+    }
+
+    #[test]
+    fn view_remaps_monotonically_and_materialises() {
+        let s = store(&[
+            soft(vec![Lit::pos(AtomId(5)), Lit::neg(AtomId(9))], 1.0),
+            soft(vec![Lit::neg(AtomId(5))], 0.25),
+        ]);
+        let mut index = ComponentIndex::build(&s, 10);
+        let p = index.partition(&s);
+        assert_eq!(p.len(), 1);
+        let comp = p.component_of(AtomId(5)).unwrap();
+        let view = p.view(&s, comp);
+        assert_eq!(view.num_atoms(), 2);
+        assert_eq!(view.num_clauses(), 2);
+        assert_eq!(view.atoms(), &[AtomId(5), AtomId(9)]);
+        assert_eq!(view.local(AtomId(5)), 0);
+        assert_eq!(view.local(AtomId(9)), 1);
+        assert_eq!(view.global(1), AtomId(9));
+        let sub = view.to_store();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.lits(0), &[Lit::pos(AtomId(0)), Lit::neg(AtomId(1))]);
+        assert_eq!(sub.lits(1), &[Lit::neg(AtomId(0))]);
+        assert_eq!(sub.weight(1), ClauseWeight::Soft(0.25));
+    }
+
+    #[test]
+    fn emission_merges_and_dirties_retraction_dirties_all() {
+        let s = store(&[
+            soft(vec![Lit::pos(AtomId(0))], 1.0),
+            soft(vec![Lit::pos(AtomId(1))], 1.0),
+        ]);
+        let mut index = ComponentIndex::build(&s, 2);
+        index.clear_dirty();
+        assert!(!index.is_atom_dirty(AtomId(0)));
+
+        // Emitting a bridge clause merges the islands and dirties them.
+        let mut s2 = s.clone();
+        let bridge = soft(vec![Lit::neg(AtomId(0)), Lit::neg(AtomId(1))], 2.0);
+        let id = s2.push(bridge.clone());
+        index.note_emit(&bridge.lits);
+        let p = index.partition(&s2);
+        assert_eq!(p.len(), 1);
+        assert!(p.is_dirty(0));
+        assert_eq!(p.clause_ids(0), &[0, 1, id]);
+
+        // Retraction marks every named atom dirty.
+        index.clear_dirty();
+        s2.retract(id);
+        index.note_retract(&bridge.lits);
+        assert!(index.is_atom_dirty(AtomId(0)));
+        assert!(index.is_atom_dirty(AtomId(1)));
+        // The partition stays coarse (union-find cannot split) but both
+        // pseudo-merged atoms read dirty, so nothing stale survives.
+        let p = index.partition(&s2);
+        assert_eq!(p.dirty_count(), p.len());
+    }
+
+    #[test]
+    fn rebuild_splits_after_heavy_retraction() {
+        // A chain of bridges 0-1, 1-2, ..., all retracted again: after
+        // enough churn the index re-derives singleton components.
+        let units: Vec<GroundClause> = (0..40)
+            .map(|i| soft(vec![Lit::pos(AtomId(i))], 1.0))
+            .collect();
+        let mut s = store(&units);
+        let mut index = ComponentIndex::build(&s, 40);
+        let mut bridges = Vec::new();
+        for i in 0..39u32 {
+            let bridge = soft(vec![Lit::neg(AtomId(i)), Lit::pos(AtomId(i + 1))], 1.0);
+            let id = s.push(bridge.clone());
+            index.note_emit(&bridge.lits);
+            bridges.push((id, bridge));
+        }
+        assert_eq!(index.partition(&s).len(), 1);
+        for (id, bridge) in bridges {
+            s.retract(id);
+            index.note_retract(&bridge.lits);
+        }
+        // 39 retractions > 32 and > live/4 (40 units live): rebuild.
+        let p = index.partition(&s);
+        assert_eq!(p.len(), 40, "rebuild recovers the fine partition");
+    }
+
+    #[test]
+    fn empty_clause_is_unpartitionable() {
+        let mut s = ClauseStore::new();
+        s.push_lits(&[], ClauseWeight::Hard, ClauseOrigin::Evidence);
+        let mut index = ComponentIndex::build(&s, 0);
+        let p = index.partition(&s);
+        assert!(p.is_unpartitionable());
+    }
+
+    #[test]
+    fn churn_touch_dirties_without_structure_change() {
+        let s = store(&[soft(vec![Lit::pos(AtomId(0))], 1.0)]);
+        let mut index = ComponentIndex::build(&s, 1);
+        index.clear_dirty();
+        assert_eq!(index.partition(&s).dirty_count(), 0);
+        index.note_touched(AtomId(0));
+        let p = index.partition(&s);
+        assert_eq!(p.dirty_count(), 1);
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -137,6 +137,18 @@ pub struct Grounding {
     pub(crate) support: Vec<u32>,
     /// Has the dependency index been materialised yet?
     pub(crate) dep_built: bool,
+    /// Conflict-component index over the clause arena. Like the
+    /// dependency index it is built lazily — on the first component
+    /// partition — and maintained by the incremental emit/retract paths
+    /// from then on; monolithic solves never pay for it.
+    pub(crate) components: Option<crate::component::ComponentIndex>,
+    /// Were constraint formulas grounded eagerly
+    /// ([`GroundConfig::ground_constraints`])? When `true`, every
+    /// violated constraint grounding of the keep-everything world is
+    /// already a clause in the arena, so consumers (conflict
+    /// explanation) can read it off instead of re-running the match
+    /// search.
+    pub(crate) eager_constraints: bool,
 }
 
 impl Grounding {
@@ -149,6 +161,44 @@ impl Grounding {
     /// The graph epoch this grounding reflects.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Runs one conflict-component partitioning pass over the live
+    /// clauses, building the [`ComponentIndex`](crate::ComponentIndex)
+    /// on first use (everything starts dirty) and updating it
+    /// incrementally afterwards via
+    /// [`apply_delta`](Grounding::apply_delta).
+    pub fn partition_components(&mut self) -> crate::component::Partition {
+        let index = self.components.get_or_insert_with(|| {
+            crate::component::ComponentIndex::build(&self.clauses, self.store.len())
+        });
+        // Deltas may have interned atoms the incremental hooks never
+        // mentioned (e.g. clause-free ones); the store count is the
+        // authoritative width.
+        index.ensure_atoms(self.store.len());
+        index.partition(&self.clauses)
+    }
+
+    /// Marks every component clean — called by the solve driver after
+    /// all dirty components were re-solved and their merged state
+    /// cached. A no-op until the index exists.
+    pub fn clear_component_dirty(&mut self) {
+        if let Some(index) = &mut self.components {
+            index.clear_dirty();
+        }
+    }
+
+    /// The component index, if one has been materialised (tests and
+    /// diagnostics).
+    pub fn component_index(&self) -> Option<&crate::component::ComponentIndex> {
+        self.components.as_ref()
+    }
+
+    /// Were constraint formulas grounded eagerly? (`false` under a
+    /// lazy-grounding backend, where violations are searched per world
+    /// instead of being materialised in the arena.)
+    pub fn constraints_grounded_eagerly(&self) -> bool {
+        self.eager_constraints
     }
 }
 
@@ -300,6 +350,8 @@ pub fn ground(
         atom_clauses: Vec::new(),
         support: Vec::new(),
         dep_built: false,
+        components: None,
+        eager_constraints: config.ground_constraints,
     })
 }
 

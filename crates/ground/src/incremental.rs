@@ -213,6 +213,31 @@ impl Grounding {
             unit_dirty.push(aid);
         }
 
+        // --- 3b. Net-zero churn: a fact inserted *and* removed inside
+        // the delta window leaves the ground problem untouched, but if
+        // its statement revived (aliased) a live atom the component
+        // cache must treat that atom's component as touched —
+        // otherwise a cached per-component warm state can go stale
+        // (see `Delta::churned`). Terms are *looked up*, never
+        // interned: a netted fact must not grow the dictionary. ---
+        if let Some(index) = &mut self.components {
+            for &fid in &delta.churned {
+                let Some(fact) = graph.arena_fact(fid) else {
+                    continue;
+                };
+                let (Some(s), Some(p), Some(o)) = (
+                    self.dict.lookup(graph.dict().resolve(fact.subject)),
+                    self.dict.lookup(graph.dict().resolve(fact.predicate)),
+                    self.dict.lookup(graph.dict().resolve(fact.object)),
+                ) else {
+                    continue;
+                };
+                if let Some(aid) = self.store.lookup(s, p, o, fact.interval) {
+                    index.note_touched(aid);
+                }
+            }
+        }
+
         // --- 4. Refresh the evidence unit clauses of weight-changed
         // atoms. ---
         if config.emit_evidence_units {
@@ -350,7 +375,8 @@ impl Grounding {
     }
 
     /// Registers an already-pushed clause with the atom→clause index
-    /// and the derivation-support counters.
+    /// and the derivation-support counters, keeping the component index
+    /// (when materialised) in step.
     fn register_clause(&mut self, id: ClauseId, stats: &mut DeltaStats) {
         let is_formula = matches!(self.clauses.origin(id), ClauseOrigin::Formula(_));
         for lit in self.clauses.lits(id) {
@@ -358,6 +384,9 @@ impl Grounding {
             if lit.positive && is_formula {
                 self.support[lit.atom.index()] += 1;
             }
+        }
+        if let Some(index) = &mut self.components {
+            index.note_emit(self.clauses.lits(id));
         }
         stats.clauses_emitted += 1;
     }
@@ -387,6 +416,9 @@ impl Grounding {
     /// queued on `kills`.
     fn retract_clause(&mut self, j: ClauseId, kills: &mut Vec<AtomId>, stats: &mut DeltaStats) {
         stats.clauses_retracted += 1;
+        if let Some(index) = &mut self.components {
+            index.note_retract(self.clauses.lits(j));
+        }
         for lit in self.clauses.lits(j) {
             let entries = &mut self.atom_clauses[lit.atom.index()];
             let pos = entries

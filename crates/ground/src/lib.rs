@@ -32,6 +32,7 @@ pub mod atoms;
 pub mod bindings;
 pub mod clause;
 pub mod compile;
+pub mod component;
 pub mod grounder;
 pub mod incremental;
 pub mod solver;
@@ -41,6 +42,9 @@ pub use atoms::{AtomId, AtomKind, AtomStore, GroundAtom};
 pub use bindings::Bindings;
 pub use clause::{ClauseId, ClauseOrigin, ClauseRef, ClauseStore, ClauseWeight, GroundClause, Lit};
 pub use compile::{CompiledFormula, CompiledProgram};
+pub use component::{ComponentIndex, ComponentView, Partition};
 pub use grounder::{ground, GroundConfig, Grounding, GroundingStats};
 pub use incremental::DeltaStats;
-pub use solver::{evaluate_world, MapSolver, MapState, SolveError, SolveOpts, SolverCaps};
+pub use solver::{
+    evaluate_world, ComponentMode, MapSolver, MapState, SolveError, SolveOpts, SolverCaps,
+};

@@ -20,6 +20,7 @@ use std::fmt;
 
 use tecore_logic::validate::Expressivity;
 
+use crate::component::ComponentView;
 use crate::grounder::Grounding;
 
 /// What a backend can do — consulted by the translator and pipeline
@@ -47,6 +48,16 @@ pub struct SolverCaps {
     /// incremental pipeline only offers a warm start to backends that
     /// declare it; others receive `None`.
     pub warm_start: bool,
+    /// `true` if the solver implements
+    /// [`MapSolver::solve_component`] — MAP inference over one
+    /// conflict-component sub-view in its local atom id space. The
+    /// component-wise solve driver only dispatches per component to
+    /// backends that declare it (and that do *not* declare
+    /// [`SolverCaps::lazy_grounding`] — a lazily grounded arena does
+    /// not contain every atom coupling, so its clause-connectivity
+    /// partition would be unsound); everyone else gets the monolithic
+    /// [`MapSolver::solve`].
+    pub components: bool,
 }
 
 impl SolverCaps {
@@ -58,6 +69,7 @@ impl SolverCaps {
             soft_values: false,
             exact: false,
             warm_start: false,
+            components: false,
         }
     }
 
@@ -69,8 +81,29 @@ impl SolverCaps {
             soft_values: true,
             exact: false,
             warm_start: false,
+            components: false,
         }
     }
+}
+
+/// How the solve driver treats conflict components (see
+/// `tecore-ground::component`). Carried on [`SolveOpts`] so one solve
+/// can override the session default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ComponentMode {
+    /// Partition when the backend supports it
+    /// ([`SolverCaps::components`] without
+    /// [`SolverCaps::lazy_grounding`]) and the problem actually splits;
+    /// a single-component problem falls back to one monolithic solve.
+    #[default]
+    Auto,
+    /// Partition whenever the backend supports it, even when the
+    /// partition is a single component (useful for conformance tests
+    /// and benchmarks that want the component path exercised
+    /// unconditionally).
+    Components,
+    /// Never partition: always one monolithic [`MapSolver::solve`].
+    Monolithic,
 }
 
 /// Per-solve options passed through [`MapSolver::solve`].
@@ -89,7 +122,15 @@ pub struct SolveOpts<'a> {
     /// atom `i`; atoms beyond its length are new. Backends whose
     /// [`SolverCaps::warm_start`] is `false` may ignore it; backends
     /// declaring the capability must seed from it.
+    ///
+    /// In a [`MapSolver::solve_component`] call the state is in the
+    /// component's *local* atom id space (the driver remaps it).
     pub warm_start: Option<&'a MapState>,
+    /// Conflict-component treatment. Interpreted by the solve *driver*
+    /// (`tecore-core`), not by individual backends — a backend handed
+    /// these opts through [`MapSolver::solve`] is already on the
+    /// monolithic path and ignores the field.
+    pub component_mode: ComponentMode,
 }
 
 /// The result of MAP inference, backend-agnostic.
@@ -156,6 +197,28 @@ pub trait MapSolver: fmt::Debug + Send + Sync {
 
     /// Computes the MAP state of `grounding`.
     fn solve(&self, grounding: &Grounding, opts: &SolveOpts<'_>) -> Result<MapState, SolveError>;
+
+    /// Computes the MAP state of one conflict-component sub-view, in
+    /// the component's **local** atom id space: the returned
+    /// `assignment` (and `soft_values`, when declared) must have
+    /// exactly [`ComponentView::num_atoms`] entries, and
+    /// `opts.warm_start` — when offered — is already local.
+    ///
+    /// Only called when [`SolverCaps::components`] is declared; the
+    /// default implementation reports the backend as incapable, which
+    /// keeps external solvers source-compatible (they stay on the
+    /// monolithic path unless they opt in through their caps).
+    fn solve_component(
+        &self,
+        view: &ComponentView<'_>,
+        opts: &SolveOpts<'_>,
+    ) -> Result<MapState, SolveError> {
+        let _ = (view, opts);
+        Err(SolveError::Backend(format!(
+            "solver `{}` does not implement component sub-solves",
+            self.name()
+        )))
+    }
 }
 
 /// Total violated soft weight and number of violated hard clauses of

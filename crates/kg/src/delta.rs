@@ -32,9 +32,19 @@ impl FactChange {
 /// The net difference between two epochs of one graph.
 ///
 /// Changes are *netted*: a fact inserted and then removed inside the
-/// window appears in neither list, and a fact that existed before the
-/// window and was removed appears only in `removed`. Ids in `added` are
-/// live at `to_epoch`; ids in `removed` were live at `from_epoch`.
+/// window appears in neither `added` nor `removed`, and a fact that
+/// existed before the window and was removed appears only in `removed`.
+/// Ids in `added` are live at `to_epoch`; ids in `removed` were live at
+/// `from_epoch`.
+///
+/// Netting is lossless for the *materialised grounding* (the net
+/// change describes the problem exactly) but not for *solver-state
+/// bookkeeping*: a fact whose insert+remove pair nets out may have
+/// aliased the ground statement of a live atom — a tombstone revive in
+/// the same batch — and consumers that cache per-component solver
+/// state need to know that statement's neighbourhood was touched even
+/// though the net problem is unchanged. Those ids are reported in
+/// [`Delta::churned`] instead of being silently dropped.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Delta {
     /// Epoch the delta starts from (exclusive).
@@ -46,6 +56,12 @@ pub struct Delta {
     pub added: Vec<FactId>,
     /// Facts live at `from_epoch` and removed in the window.
     pub removed: Vec<FactId>,
+    /// Facts inserted *and* removed inside the window (net-zero churn).
+    /// The grounding itself is unaffected by them, but any live atom
+    /// whose ground statement one of these facts revived must have its
+    /// conflict component marked dirty, or cached per-component warm
+    /// states go stale (see `tecore-ground`'s `ComponentIndex`).
+    pub churned: Vec<FactId>,
 }
 
 impl Delta {
@@ -68,6 +84,7 @@ impl Delta {
     ) -> Delta {
         let mut added: std::collections::HashSet<FactId> = std::collections::HashSet::new();
         let mut removed: Vec<FactId> = Vec::new();
+        let mut churned: Vec<FactId> = Vec::new();
         for change in changes {
             match change {
                 FactChange::Added(id) => {
@@ -75,9 +92,12 @@ impl Delta {
                 }
                 FactChange::Removed(id) => {
                     // Ids are never reused: if the fact was added inside
-                    // this window the pair nets out, otherwise it was
-                    // live at `from_epoch`.
-                    if !added.remove(&id) {
+                    // this window the pair nets out (but is still
+                    // *reported* as churn), otherwise it was live at
+                    // `from_epoch`.
+                    if added.remove(&id) {
+                        churned.push(id);
+                    } else {
                         removed.push(id);
                     }
                 }
@@ -86,11 +106,13 @@ impl Delta {
         let mut added: Vec<FactId> = added.into_iter().collect();
         added.sort_unstable();
         removed.sort_unstable();
+        churned.sort_unstable();
         Delta {
             from_epoch,
             to_epoch,
             added,
             removed,
+            churned,
         }
     }
 }
@@ -116,6 +138,25 @@ mod tests {
         assert_eq!(d.removed, vec![FactId(3)]);
         assert_eq!(d.len(), 2);
         assert!(!d.is_empty());
+        // The netted pair does not vanish from the bookkeeping: it is
+        // reported as churn so component-state caches can be dirtied.
+        assert_eq!(d.churned, vec![FactId(8)]);
+    }
+
+    /// A fact removed and "revived" (its id re-added) within the same
+    /// window nets out of `added`/`removed` but must still be visible:
+    /// a consumer holding cached per-component solver state for the
+    /// statement's atom would otherwise never learn its neighbourhood
+    /// was touched. This was the failing case before `churned` existed.
+    #[test]
+    fn same_batch_revive_is_reported_as_churn() {
+        let d = Delta::from_changes(
+            3,
+            5,
+            [FactChange::Added(FactId(4)), FactChange::Removed(FactId(4))].into_iter(),
+        );
+        assert!(d.is_empty(), "net problem change is empty");
+        assert_eq!(d.churned, vec![FactId(4)], "but the churn is reported");
     }
 
     #[test]

@@ -297,6 +297,11 @@ impl tecore_ground::MapSolver for BranchAndBound {
     fn caps(&self) -> tecore_ground::SolverCaps {
         tecore_ground::SolverCaps {
             exact: self.node_budget.is_none(),
+            // Exact search benefits doubly from components: B&B's
+            // exponential worst case applies per sub-problem, so many
+            // small components are exponentially cheaper than their
+            // union.
+            components: true,
             ..tecore_ground::SolverCaps::mln()
         }
     }
@@ -310,6 +315,15 @@ impl tecore_ground::MapSolver for BranchAndBound {
         _opts: &tecore_ground::SolveOpts<'_>,
     ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
         let problem = SatProblem::from_grounding(grounding);
+        Ok(self.solve(&problem).into_map_state())
+    }
+
+    fn solve_component(
+        &self,
+        view: &tecore_ground::ComponentView<'_>,
+        _opts: &tecore_ground::SolveOpts<'_>,
+    ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
+        let problem = SatProblem::from_owned_store(view.num_atoms(), view.to_store());
         Ok(self.solve(&problem).into_map_state())
     }
 }

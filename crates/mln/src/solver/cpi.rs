@@ -132,6 +132,10 @@ impl tecore_ground::MapSolver for CpiSolver {
         tecore_ground::SolverCaps {
             // Lazy constraint grounding is the whole point of CPI: the
             // translator defers eager constraint grounding for us.
+            // `components` stays false for the same reason: the arena
+            // lacks the not-yet-activated constraint couplings, so a
+            // clause-connectivity partition over it would be unsound —
+            // CPI always solves monolithically.
             lazy_grounding: true,
             ..tecore_ground::SolverCaps::mln()
         }

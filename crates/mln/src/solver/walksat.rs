@@ -457,6 +457,7 @@ impl tecore_ground::MapSolver for MaxWalkSat {
     fn caps(&self) -> tecore_ground::SolverCaps {
         tecore_ground::SolverCaps {
             warm_start: true,
+            components: true,
             ..tecore_ground::SolverCaps::mln()
         }
     }
@@ -467,16 +468,57 @@ impl tecore_ground::MapSolver for MaxWalkSat {
         opts: &tecore_ground::SolveOpts<'_>,
     ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
         let problem = SatProblem::from_grounding(grounding);
+        Ok(self.solve_opts(problem, opts).into_map_state())
+    }
+
+    fn solve_component(
+        &self,
+        view: &tecore_ground::ComponentView<'_>,
+        opts: &tecore_ground::SolveOpts<'_>,
+    ) -> Result<tecore_ground::MapState, tecore_ground::SolveError> {
+        let problem = SatProblem::from_owned_store(view.num_atoms(), view.to_store());
+        // The configured budgets assume whole-KG instances; a conflict
+        // component is usually tens of clauses, and spending the global
+        // stall/flip allowance on each of thousands of sub-problems
+        // would make component solving slower than one monolithic run.
+        // Scale the search effort to the sub-problem (never above the
+        // configured budgets): a few multiples of the instance size is
+        // ample for a local-conflict neighbourhood, and small instances
+        // need fewer perturbation restarts to cover their basin.
+        let size = (view.num_atoms() + view.num_clauses()) as u64;
+        let stall = (4 * size + 32).min(self.config.max_stall.unwrap_or(u64::MAX));
+        let scaled = MaxWalkSat::new(WalkSatConfig {
+            max_flips: self.config.max_flips.min(16 * size + 128),
+            max_stall: Some(stall),
+            restarts: if view.num_clauses() <= 64 {
+                self.config.restarts.min(2)
+            } else {
+                self.config.restarts
+            },
+            ..self.config.clone()
+        });
+        Ok(scaled.solve_opts(problem, opts).into_map_state())
+    }
+}
+
+impl MaxWalkSat {
+    /// Shared [`tecore_ground::MapSolver`] entry: applies the seed
+    /// override and warm start from `opts` — identical semantics for
+    /// the monolithic problem and a component sub-problem.
+    fn solve_opts(
+        &self,
+        problem: SatProblem<'_>,
+        opts: &tecore_ground::SolveOpts<'_>,
+    ) -> MapResult {
         let warm = opts.warm_start.map(|s| s.assignment.as_slice());
-        let result = match opts.seed {
+        match opts.seed {
             Some(seed) => MaxWalkSat::new(WalkSatConfig {
                 seed,
                 ..self.config.clone()
             })
             .solve_seeded(&problem, warm),
             None => self.solve_seeded(&problem, warm),
-        };
-        Ok(result.into_map_state())
+        }
     }
 }
 

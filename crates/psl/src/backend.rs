@@ -1,7 +1,8 @@
 //! The PSL substrate as a pluggable [`MapSolver`] backend.
 
 use tecore_ground::{
-    evaluate_world, Grounding, MapSolver, MapState, SolveError, SolveOpts, SolverCaps,
+    evaluate_world, ComponentView, Grounding, MapSolver, MapState, SolveError, SolveOpts,
+    SolverCaps,
 };
 
 use crate::admm::AdmmConfig;
@@ -37,11 +38,35 @@ impl MapSolver for PslAdmm {
     fn caps(&self) -> SolverCaps {
         SolverCaps {
             warm_start: true,
+            components: true,
             ..SolverCaps::psl()
         }
     }
 
     fn solve(&self, grounding: &Grounding, opts: &SolveOpts<'_>) -> Result<MapState, SolveError> {
+        Ok(self.solve_clauses(grounding.num_atoms(), &grounding.clauses, opts))
+    }
+
+    fn solve_component(
+        &self,
+        view: &ComponentView<'_>,
+        opts: &SolveOpts<'_>,
+    ) -> Result<MapState, SolveError> {
+        let store = view.to_store();
+        Ok(self.solve_clauses(view.num_atoms(), &store, opts))
+    }
+}
+
+impl PslAdmm {
+    /// The shared clause-arena solve: HL-MRF build + warm ADMM +
+    /// rounding + discrete scoring, identical for the whole grounding
+    /// and a component sub-store (whose atom ids are already local).
+    fn solve_clauses(
+        &self,
+        n_vars: usize,
+        clauses: &tecore_ground::ClauseStore,
+        opts: &SolveOpts<'_>,
+    ) -> MapState {
         // Warm-start ADMM from the previous solve's soft truth values;
         // a discrete-only previous state still helps (0/1 corners are
         // valid consensus seeds).
@@ -60,15 +85,15 @@ impl MapSolver for PslAdmm {
             },
             None => None,
         };
-        let result = crate::solve_warm(grounding, &self.psl, &self.admm, warm);
-        let (cost, hard_violations) = evaluate_world(&grounding.clauses, &result.assignment);
-        Ok(MapState {
+        let result = crate::solve_store(n_vars, clauses, &self.psl, &self.admm, warm);
+        let (cost, hard_violations) = evaluate_world(clauses, &result.assignment);
+        MapState {
             assignment: result.assignment,
             cost,
             feasible: hard_violations == 0,
-            active_clauses: grounding.clauses.len(),
+            active_clauses: clauses.len(),
             soft_values: Some(result.values),
-        })
+        }
     }
 }
 

@@ -48,7 +48,21 @@ pub fn solve_warm(
     admm: &AdmmConfig,
     warm: Option<&[f64]>,
 ) -> PslResult {
-    let mrf = HlMrf::from_grounding(grounding, psl);
+    solve_store(grounding.num_atoms(), &grounding.clauses, psl, admm, warm)
+}
+
+/// The store-level solve both entry points share: build the HL-MRF
+/// straight from a clause arena, run ADMM, round. Used by the
+/// monolithic path (the grounding's arena) and by the component-wise
+/// path (a compacted per-component sub-store in local atom ids).
+pub fn solve_store(
+    n_vars: usize,
+    clauses: &tecore_ground::ClauseStore,
+    psl: &PslConfig,
+    admm: &AdmmConfig,
+    warm: Option<&[f64]>,
+) -> PslResult {
+    let mrf = HlMrf::from_store(n_vars, clauses, psl);
     let mut result = AdmmSolver::new(admm.clone()).solve_warm(&mrf, warm);
     let (assignment, feasible) = round_assignment(&mrf, &result.values);
     result.assignment = assignment;

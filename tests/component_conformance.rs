@@ -1,0 +1,558 @@
+//! Component-solving conformance: the conflict-component partition
+//! must be a *true partition* of the live clauses, component-wise MAP
+//! resolution must agree with the monolithic path on **every
+//! registered backend**, and the incremental engine must re-solve only
+//! the components a delta dirtied while still matching the cold
+//! oracle.
+//!
+//! This is the contract that makes the component driver a pure
+//! optimisation: clauses only interact through shared atoms, so
+//! per-component optima compose into the global optimum — never a
+//! different repair, surviving KG, or derived-fact set.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use tecore_core::pipeline::{Engine, TecoreConfig};
+use tecore_core::registry::SolverRegistry;
+use tecore_core::resolution::Resolution;
+use tecore_ground::{ground, ComponentMode, GroundConfig};
+use tecore_kg::{FactId, UtkGraph};
+use tecore_logic::LogicProgram;
+use tecore_temporal::Interval;
+
+/// A rule (hidden-atom derivation) plus a disjointness constraint
+/// (conflict clauses), so components mix evidence units, priors,
+/// derivations and clashes.
+fn program() -> LogicProgram {
+    LogicProgram::parse(
+        "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5\n\
+         c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf\n",
+    )
+    .expect("static program parses")
+}
+
+/// One scripted fact: subject cluster, relation kind, object, interval,
+/// confidence step. Distinct subjects yield distinct conflict
+/// components (the c2 constraint only couples facts sharing a
+/// subject).
+type FactSpec = (u8, bool, u8, i64, i64, u8);
+
+fn arb_facts() -> impl Strategy<Value = Vec<FactSpec>> {
+    prop::collection::vec(
+        (
+            0u8..4,
+            prop::bool::ANY,
+            0u8..4,
+            1990i64..2020,
+            0i64..6,
+            0u8..40,
+        ),
+        1..14,
+    )
+}
+
+fn build_graph(facts: &[FactSpec]) -> UtkGraph {
+    let mut graph = UtkGraph::new();
+    for (serial, (subject, relation, object, start, len, conf_step)) in facts.iter().enumerate() {
+        // Distinct, irregular confidences keep MAP optima unique, so
+        // heuristic and exact backends agree on the repair.
+        let conf = 0.52 + f64::from(*conf_step) * 0.011 + (serial % 7) as f64 * 0.0013;
+        let relation = if *relation { "coach" } else { "playsFor" };
+        graph
+            .insert(
+                &format!("s{subject}"),
+                relation,
+                &format!("o{object}"),
+                Interval::new(*start, *start + *len).expect("len >= 0"),
+                conf,
+            )
+            .expect("valid insert");
+    }
+    graph
+}
+
+/// The comparable essence of a resolution: sorted kept / removed /
+/// inferred facts.
+fn canonical(r: &Resolution) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let dict = r.consistent.dict();
+    let mut kept: Vec<String> = r
+        .consistent
+        .iter()
+        .map(|(_, f)| f.display(dict).to_string())
+        .collect();
+    kept.sort();
+    let mut removed: Vec<String> = r
+        .removed
+        .iter()
+        .map(|rf| rf.fact.display(dict).to_string())
+        .collect();
+    removed.sort();
+    let mut inferred: Vec<String> = r
+        .inferred
+        .iter()
+        .map(|f| {
+            format!(
+                "({}, {}, {}, {})",
+                f.subject, f.predicate, f.object, f.interval
+            )
+        })
+        .collect();
+    inferred.sort();
+    (kept, removed, inferred)
+}
+
+fn config_with_mode(registry: &SolverRegistry, name: &str, mode: ComponentMode) -> TecoreConfig {
+    TecoreConfig {
+        backend: registry.resolve(name).expect("registered backend"),
+        component_mode: mode,
+        ..TecoreConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The partition is a true partition of the live clauses: every
+    /// live clause lands in exactly one component, every literal of a
+    /// component's clause names one of that component's atoms (no
+    /// cross-component sharing), member lists are disjoint, and local
+    /// ids are the dense ascending order of the member atoms.
+    #[test]
+    fn partition_is_a_true_partition(facts in arb_facts()) {
+        let graph = build_graph(&facts);
+        let mut grounding = ground(&graph, &program(), &GroundConfig::default())
+            .expect("grounds");
+        let partition = grounding.partition_components();
+        prop_assert!(!partition.is_unpartitionable());
+
+        let live: HashSet<u32> = grounding.clauses.iter().map(|c| c.id).collect();
+        let mut clause_seen: HashSet<u32> = HashSet::new();
+        let mut atom_seen: HashSet<u32> = HashSet::new();
+        for comp in 0..partition.len() {
+            let members: HashSet<u32> =
+                partition.atoms(comp).iter().map(|a| a.0).collect();
+            prop_assert!(!members.is_empty(), "component without atoms");
+            for &atom in &members {
+                prop_assert!(atom_seen.insert(atom), "atom in two components");
+            }
+            // Local ids are dense and ascend with global ids.
+            let view = partition.view(&grounding.clauses, comp);
+            for (local, &atom) in partition.atoms(comp).iter().enumerate() {
+                prop_assert_eq!(view.local(atom) as usize, local);
+                prop_assert_eq!(view.global(local as u32), atom);
+            }
+            for &ci in partition.clause_ids(comp) {
+                prop_assert!(live.contains(&ci), "dead clause in partition");
+                prop_assert!(clause_seen.insert(ci), "clause in two components");
+                for lit in grounding.clauses.lits(ci) {
+                    prop_assert!(
+                        members.contains(&lit.atom.0),
+                        "clause literal outside its component"
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(
+            clause_seen.len(),
+            live.len(),
+            "every live clause in exactly one component"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Component-wise resolve ≡ monolithic resolve over random KGs, on
+    /// all four backends: same repair, same surviving and derived
+    /// facts, same MAP cost and feasibility. (The cutting-plane backend
+    /// declines components by caps and falls back monolithically — the
+    /// equality is trivially exact there, which is the point: forcing
+    /// the mode is always safe.)
+    #[test]
+    fn component_resolve_matches_monolithic_on_all_backends(facts in arb_facts()) {
+        let registry = SolverRegistry::with_default_backends();
+        let names: Vec<String> = registry.names().map(str::to_string).collect();
+        prop_assert_eq!(names.len(), 4, "all four substrates under test");
+        let graph = build_graph(&facts);
+        for name in &names {
+            let by_components = Engine::with_config(
+                graph.clone(),
+                program(),
+                config_with_mode(&registry, name, ComponentMode::Components),
+            )
+            .resolve()
+            .expect("component resolve");
+            let monolithic = Engine::with_config(
+                graph.clone(),
+                program(),
+                config_with_mode(&registry, name, ComponentMode::Monolithic),
+            )
+            .resolve()
+            .expect("monolithic resolve");
+            prop_assert_eq!(
+                canonical(by_components.resolution()),
+                canonical(monolithic.resolution()),
+                "{}: repairs diverge",
+                name
+            );
+            prop_assert_eq!(
+                by_components.stats.feasible,
+                monolithic.stats.feasible,
+                "{}: feasibility diverges",
+                name
+            );
+            prop_assert!(
+                (by_components.stats.cost - monolithic.stats.cost).abs() < 1e-6,
+                "{}: cost {} vs {}",
+                name,
+                by_components.stats.cost,
+                monolithic.stats.cost
+            );
+            prop_assert_eq!(
+                monolithic.stats.components, 0,
+                "{}: monolithic mode must not partition", name
+            );
+        }
+    }
+}
+
+/// One scripted edit (mirrors the incremental-conformance suite).
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(FactSpec),
+    Remove { index: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (
+        0u8..5,
+        (
+            0u8..4,
+            prop::bool::ANY,
+            0u8..4,
+            1990i64..2020,
+            0i64..6,
+            0u8..40,
+        ),
+        0usize..64,
+    )
+        .prop_map(|(kind, spec, index)| {
+            if kind < 3 {
+                Op::Insert(spec)
+            } else {
+                Op::Remove { index }
+            }
+        })
+}
+
+fn apply_op(engine: &mut Engine, op: &Op, serial: &mut u32) {
+    match op {
+        Op::Insert((subject, relation, object, start, len, conf_step)) => {
+            *serial += 1;
+            let conf = 0.52 + f64::from(*conf_step) * 0.011 + f64::from(*serial % 7) * 0.0013;
+            let relation = if *relation { "coach" } else { "playsFor" };
+            engine
+                .insert_fact(
+                    &format!("s{subject}"),
+                    relation,
+                    &format!("o{object}"),
+                    Interval::new(*start, *start + *len).expect("len >= 0"),
+                    conf,
+                )
+                .expect("valid insert");
+        }
+        Op::Remove { index } => {
+            let live: Vec<FactId> = engine.graph().iter().map(|(id, _)| id).collect();
+            if live.is_empty() {
+                return;
+            }
+            engine
+                .remove_fact(live[index % live.len()])
+                .expect("live fact removes");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random insert/remove sequences through the *component-wise*
+    /// incremental engine: at every checkpoint the result equals a cold
+    /// monolithic resolve of the final graph, and the engine never
+    /// re-solves more components than the partition holds (the dirty
+    /// set bounds the work).
+    #[test]
+    fn incremental_component_sequences_match_cold_resolve(
+        base in arb_facts(),
+        ops in prop::collection::vec(arb_op(), 1..12),
+    ) {
+        let registry = SolverRegistry::with_default_backends();
+        for name in ["mln-exact", "mln-walksat", "psl-admm"] {
+            let graph = build_graph(&base);
+            let mut engine = Engine::with_config(
+                graph,
+                program(),
+                config_with_mode(&registry, name, ComponentMode::Components),
+            );
+            engine.resolve_incremental().expect("prime");
+            let mut serial = 0u32;
+            for (i, op) in ops.iter().enumerate() {
+                apply_op(&mut engine, op, &mut serial);
+                if (i + 1) % 4 != 0 && i + 1 != ops.len() {
+                    continue;
+                }
+                let incremental = engine.resolve_incremental().expect("incremental");
+                prop_assert!(
+                    incremental.stats.components_solved <= incremental.stats.components.max(1),
+                    "{}: solved {} of {} components",
+                    name,
+                    incremental.stats.components_solved,
+                    incremental.stats.components
+                );
+                let cold = Engine::with_config(
+                    engine.graph().clone(),
+                    program(),
+                    config_with_mode(&registry, name, ComponentMode::Monolithic),
+                )
+                .resolve()
+                .expect("cold oracle");
+                prop_assert_eq!(
+                    canonical(incremental.resolution()),
+                    canonical(cold.resolution()),
+                    "{}: incremental component resolve diverges from cold",
+                    name
+                );
+                prop_assert!(
+                    (incremental.stats.cost - cold.stats.cost).abs() < 1e-6,
+                    "{}: cost {} vs cold {}",
+                    name,
+                    incremental.stats.cost,
+                    cold.stats.cost
+                );
+            }
+        }
+    }
+}
+
+/// Six independent subject clusters, each with its own coach clash.
+fn clustered_graph() -> UtkGraph {
+    let mut graph = UtkGraph::new();
+    for s in 0..6 {
+        graph
+            .insert(
+                &format!("p{s}"),
+                "coach",
+                &format!("a{s}"),
+                Interval::new(2000, 2006).unwrap(),
+                0.9 - f64::from(s) * 0.01,
+            )
+            .unwrap();
+        graph
+            .insert(
+                &format!("p{s}"),
+                "coach",
+                &format!("b{s}"),
+                Interval::new(2002, 2004).unwrap(),
+                0.6 + f64::from(s) * 0.01,
+            )
+            .unwrap();
+    }
+    graph
+}
+
+/// After a localised edit, only the touched components are re-solved;
+/// the clean majority is spliced from the cached state — and the
+/// result still matches the cold oracle.
+#[test]
+fn only_dirty_components_are_resolved_on_deltas() {
+    let registry = SolverRegistry::with_default_backends();
+    let mut engine = Engine::with_config(
+        clustered_graph(),
+        program(),
+        config_with_mode(&registry, "mln-walksat", ComponentMode::Components),
+    );
+    let primed = engine.resolve_incremental().expect("prime");
+    assert!(
+        primed.stats.components >= 6,
+        "six clusters partition into at least six components, got {}",
+        primed.stats.components
+    );
+    assert_eq!(
+        primed.stats.components_solved, primed.stats.components,
+        "cold prime solves everything"
+    );
+
+    // A third coach spell for cluster 0 dirties exactly that cluster.
+    engine
+        .insert_fact(
+            "p0",
+            "coach",
+            "c0",
+            Interval::new(2001, 2003).unwrap(),
+            0.71,
+        )
+        .expect("insert");
+    let after_edit = engine.resolve_incremental().expect("incremental");
+    assert!(
+        after_edit.stats.components_solved < after_edit.stats.components,
+        "a local edit must not re-solve every component ({} of {})",
+        after_edit.stats.components_solved,
+        after_edit.stats.components
+    );
+    assert!(
+        after_edit.stats.components_solved >= 1,
+        "the touched component re-solves"
+    );
+    let cold = Engine::with_config(
+        engine.graph().clone(),
+        program(),
+        config_with_mode(&registry, "mln-walksat", ComponentMode::Monolithic),
+    )
+    .resolve()
+    .expect("cold oracle");
+    assert_eq!(
+        canonical(after_edit.resolution()),
+        canonical(cold.resolution())
+    );
+
+    // An empty delta re-solves nothing at all.
+    let noop = engine.resolve_incremental().expect("noop resolve");
+    assert_eq!(noop.stats.components_solved, 0, "clean components splice");
+    assert_eq!(canonical(noop.resolution()), canonical(cold.resolution()));
+}
+
+/// The `Delta::churned` bookkeeping end to end: a fact inserted and
+/// removed again before the next resolve nets out of the delta, but
+/// because its statement aliased a live atom, that atom's component is
+/// conservatively re-solved instead of splicing possibly-stale cached
+/// state. (Before `Delta::churned` existed this resolve spliced every
+/// component — `components_solved` was 0.)
+#[test]
+fn same_batch_churn_dirties_the_aliased_component() {
+    let registry = SolverRegistry::with_default_backends();
+    let mut engine = Engine::with_config(
+        clustered_graph(),
+        program(),
+        config_with_mode(&registry, "mln-walksat", ComponentMode::Components),
+    );
+    let primed = engine.resolve_incremental().expect("prime");
+    let total = primed.stats.components;
+
+    // Re-assert cluster 3's existing statement, then retract it again:
+    // the net delta is empty, but the statement revived a live atom.
+    let id = engine
+        .insert_fact(
+            "p3",
+            "coach",
+            "a3",
+            Interval::new(2000, 2006).unwrap(),
+            0.87,
+        )
+        .expect("insert");
+    engine.remove_fact(id).expect("remove");
+    let after_churn = engine.resolve_incremental().expect("churn resolve");
+    assert_eq!(
+        after_churn.stats.components, total,
+        "structure unchanged by net-zero churn"
+    );
+    assert_eq!(
+        after_churn.stats.components_solved, 1,
+        "exactly the aliased statement's component re-solves"
+    );
+    let cold = Engine::with_config(
+        engine.graph().clone(),
+        program(),
+        config_with_mode(&registry, "mln-walksat", ComponentMode::Monolithic),
+    )
+    .resolve()
+    .expect("cold oracle");
+    assert_eq!(
+        canonical(after_churn.resolution()),
+        canonical(cold.resolution())
+    );
+}
+
+/// The threaded component dispatch must be byte-identical to the
+/// serial one. The workload crosses the driver's clause threshold and
+/// `TECORE_SOLVE_WORKERS` forces real fan-out even on a single-core
+/// machine (the same trick the grounder's parallel test uses).
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_component_dispatch_matches_serial() {
+    let registry = SolverRegistry::with_default_backends();
+    // 150 independent clashes → 450 live clauses, comfortably past the
+    // 256-clause parallel threshold.
+    let mut graph = UtkGraph::new();
+    for s in 0..150 {
+        graph
+            .insert(
+                &format!("p{s}"),
+                "coach",
+                &format!("a{s}"),
+                Interval::new(2000, 2006).unwrap(),
+                0.9 - f64::from(s % 30) * 0.003,
+            )
+            .unwrap();
+        graph
+            .insert(
+                &format!("p{s}"),
+                "coach",
+                &format!("b{s}"),
+                Interval::new(2002, 2004).unwrap(),
+                0.6 + f64::from(s % 30) * 0.003,
+            )
+            .unwrap();
+    }
+    let resolve_with_workers = |workers: &str| {
+        std::env::set_var("TECORE_SOLVE_WORKERS", workers);
+        let snapshot = Engine::with_config(
+            graph.clone(),
+            program(),
+            config_with_mode(&registry, "mln-walksat", ComponentMode::Components),
+        )
+        .resolve()
+        .expect("resolve");
+        std::env::remove_var("TECORE_SOLVE_WORKERS");
+        snapshot
+    };
+    let serial = resolve_with_workers("1");
+    let threaded = resolve_with_workers("4");
+    assert!(serial.stats.components >= 150);
+    assert_eq!(
+        canonical(serial.resolution()),
+        canonical(threaded.resolution()),
+        "threaded dispatch must match the serial path exactly"
+    );
+    assert_eq!(serial.stats.cost, threaded.stats.cost);
+    assert_eq!(serial.stats.feasible, threaded.stats.feasible);
+}
+
+/// `Auto` mode on a single-component problem falls back to one
+/// monolithic solve (and reports it as such).
+#[test]
+fn auto_mode_falls_back_on_single_component() {
+    let registry = SolverRegistry::with_default_backends();
+    let mut graph = UtkGraph::new();
+    graph
+        .insert("x", "coach", "a", Interval::new(2000, 2005).unwrap(), 0.9)
+        .unwrap();
+    graph
+        .insert("x", "coach", "b", Interval::new(2001, 2004).unwrap(), 0.6)
+        .unwrap();
+    let snapshot = Engine::with_config(
+        graph,
+        LogicProgram::parse(
+            "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+        )
+        .unwrap(),
+        config_with_mode(&registry, "mln-walksat", ComponentMode::Auto),
+    )
+    .resolve()
+    .expect("resolve");
+    // One clash + two evidence units = one component: Auto solves it
+    // monolithically and the stats say so.
+    assert_eq!(snapshot.stats.components, 0);
+    assert_eq!(snapshot.stats.conflicting_facts, 1);
+}

@@ -1,0 +1,365 @@
+//! `bench_check` — the CI bench-regression gate.
+//!
+//! Compares the `BENCH_*.json` reports of a bench run (the CI
+//! bench-smoke step) against the baselines committed in the repository
+//! and fails when any tracked median regressed by more than the
+//! configured tolerance. Smoke runs are single-iteration, so the
+//! tolerance is deliberately generous (default 3×) and sub-millisecond
+//! baselines are skipped entirely (default floor 1 ms): the gate exists
+//! to catch order-of-magnitude perf bit-rot per commit, not to replace
+//! a real benchmark run.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check --baseline-dir crates/bench --reports-dir bench-reports \
+//!             [--tolerance 3.0] [--min-ns 1000000]
+//! ```
+//!
+//! Only benchmarks present in *both* a baseline file and the matching
+//! report are compared; a missing report file fails the gate (a bench
+//! binary disappeared), a missing individual benchmark inside an
+//! existing report fails too (a benchmark was renamed or dropped
+//! without updating the baseline).
+//!
+//! The JSON is the criterion shim's flat schema
+//! (`{"bench": ..., "results": [{"name": ..., "median_ns": ...}]}`);
+//! the parser below reads exactly that shape with no dependencies (the
+//! build environment has no registry, so no serde).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One benchmark entry: name and median nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    name: String,
+    median_ns: u64,
+}
+
+/// Extracts the string value following `"key":` at `pos` in `s`.
+fn string_value(s: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let needle = format!("\"{key}\"");
+    let at = s[from..].find(&needle)? + from + needle.len();
+    let colon = s[at..].find(':')? + at + 1;
+    let open = s[colon..].find('"')? + colon + 1;
+    let close = s[open..].find('"')? + open;
+    Some((s[open..close].to_string(), close + 1))
+}
+
+/// Extracts the unsigned integer following `"key":` at `pos` in `s`.
+fn integer_value(s: &str, key: &str, from: usize) -> Option<(u64, usize)> {
+    let needle = format!("\"{key}\"");
+    let at = s[from..].find(&needle)? + from + needle.len();
+    let colon = s[at..].find(':')? + at + 1;
+    let rest = s[colon..].trim_start();
+    let offset = colon + (s[colon..].len() - rest.len());
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    Some((digits.parse().ok()?, offset + digits.len()))
+}
+
+/// Parses the criterion shim's `BENCH_*.json` report: every
+/// `{"name": ..., "median_ns": ...}` pair in order.
+fn parse_report(text: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while let Some((name, after_name)) = string_value(text, "name", pos) {
+        let Some((median_ns, after_median)) = integer_value(text, "median_ns", after_name) else {
+            break;
+        };
+        out.push(Entry { name, median_ns });
+        pos = after_median;
+    }
+    out
+}
+
+fn format_ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+struct Args {
+    baseline_dir: PathBuf,
+    reports_dir: PathBuf,
+    tolerance: f64,
+    min_ns: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline_dir = None;
+    let mut reports_dir = None;
+    let mut tolerance = 3.0f64;
+    let mut min_ns = 1_000_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--baseline-dir" => baseline_dir = Some(PathBuf::from(value("--baseline-dir")?)),
+            "--reports-dir" => reports_dir = Some(PathBuf::from(value("--reports-dir")?)),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            "--min-ns" => {
+                min_ns = value("--min-ns")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-ns: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        baseline_dir: baseline_dir.ok_or("--baseline-dir is required")?,
+        reports_dir: reports_dir.ok_or("--reports-dir is required")?,
+        tolerance,
+        min_ns,
+    })
+}
+
+/// Compares one baseline file against its report; returns the failures.
+fn check_file(baseline_path: &Path, args: &Args, failures: &mut Vec<String>) {
+    let file_name = baseline_path.file_name().unwrap_or_default();
+    let report_path = args.reports_dir.join(file_name);
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => parse_report(&text),
+        Err(e) => {
+            failures.push(format!(
+                "{}: unreadable baseline: {e}",
+                baseline_path.display()
+            ));
+            return;
+        }
+    };
+    let report = match std::fs::read_to_string(&report_path) {
+        Ok(text) => parse_report(&text),
+        Err(_) => {
+            failures.push(format!(
+                "{}: no report produced by the bench run (bench binary removed without \
+                 updating its baseline?)",
+                report_path.display()
+            ));
+            return;
+        }
+    };
+    for base in &baseline {
+        if base.median_ns < args.min_ns {
+            continue; // too fast to measure meaningfully in a smoke run
+        }
+        let Some(current) = report.iter().find(|e| e.name == base.name) else {
+            failures.push(format!(
+                "{}: benchmark disappeared from the report (renamed without updating \
+                 the baseline?)",
+                base.name
+            ));
+            continue;
+        };
+        let ratio = current.median_ns as f64 / base.median_ns as f64;
+        let verdict = if ratio > args.tolerance {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:>9}  {:<60} baseline {:>12}  now {:>12}  ({ratio:.2}x)",
+            base.name,
+            format_ms(base.median_ns),
+            format_ms(current.median_ns),
+        );
+        if ratio > args.tolerance {
+            failures.push(format!(
+                "{}: median {} vs baseline {} ({ratio:.2}x > {:.2}x tolerance)",
+                base.name,
+                format_ms(current.median_ns),
+                format_ms(base.median_ns),
+                args.tolerance
+            ));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut baselines: Vec<PathBuf> = match std::fs::read_dir(&args.baseline_dir) {
+        Ok(dir) => dir
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!(
+                "bench_check: cannot read {}: {e}",
+                args.baseline_dir.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    baselines.sort();
+    if baselines.is_empty() {
+        eprintln!(
+            "bench_check: no BENCH_*.json baselines in {}",
+            args.baseline_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench_check: {} baseline file(s), tolerance {:.2}x, floor {}",
+        baselines.len(),
+        args.tolerance,
+        format_ms(args.min_ns)
+    );
+    let mut failures = Vec::new();
+    for baseline in &baselines {
+        check_file(baseline, &args, &mut failures);
+    }
+    if failures.is_empty() {
+        println!("bench_check: all tracked medians within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_check: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"bench": "streaming_updates", "results": [
+  {"name": "streaming_updates/from_scratch/mln-cpi", "median_ns": 9253598, "min_ns": 8824074, "max_ns": 13090564, "stddev_ns": 1394616, "samples": 10},
+  {"name": "streaming_updates/incremental/mln-cpi", "median_ns": 8417035, "min_ns": 7783941, "max_ns": 9955630, "stddev_ns": 646518, "samples": 10}
+]}"#;
+
+    #[test]
+    fn parses_the_shim_schema() {
+        let entries = parse_report(SAMPLE);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "streaming_updates/from_scratch/mln-cpi");
+        assert_eq!(entries[0].median_ns, 9_253_598);
+        assert_eq!(entries[1].median_ns, 8_417_035);
+    }
+
+    #[test]
+    fn parses_empty_and_garbage() {
+        assert!(parse_report("{}").is_empty());
+        assert!(parse_report("").is_empty());
+        assert!(parse_report("not json at all").is_empty());
+        // A name without a median terminates cleanly.
+        assert!(parse_report(r#"{"name": "x"}"#).is_empty());
+    }
+
+    #[test]
+    fn value_extractors() {
+        let s = r#"{"name": "a/b", "median_ns": 123}"#;
+        let (name, after) = string_value(s, "name", 0).unwrap();
+        assert_eq!(name, "a/b");
+        let (median, _) = integer_value(s, "median_ns", after).unwrap();
+        assert_eq!(median, 123);
+        assert!(integer_value(s, "missing", 0).is_none());
+    }
+
+    #[test]
+    fn end_to_end_gate() {
+        let dir = std::env::temp_dir().join(format!("bench_check_test_{}", std::process::id()));
+        let baselines = dir.join("baselines");
+        let reports = dir.join("reports");
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::create_dir_all(&reports).unwrap();
+        std::fs::write(baselines.join("BENCH_x.json"), SAMPLE).unwrap();
+        // Report: first benchmark 2x slower (within 3x), second 4x (out).
+        let report = SAMPLE
+            .replace("\"median_ns\": 9253598", "\"median_ns\": 18507196")
+            .replace("\"median_ns\": 8417035", "\"median_ns\": 33668140");
+        std::fs::write(reports.join("BENCH_x.json"), report).unwrap();
+        let args = Args {
+            baseline_dir: baselines,
+            reports_dir: reports,
+            tolerance: 3.0,
+            min_ns: 1_000_000,
+        };
+        let mut failures = Vec::new();
+        check_file(
+            &args.baseline_dir.join("BENCH_x.json"),
+            &args,
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("incremental/mln-cpi"), "{failures:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sub_floor_entries_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("bench_check_floor_{}", std::process::id()));
+        let baselines = dir.join("baselines");
+        let reports = dir.join("reports");
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::create_dir_all(&reports).unwrap();
+        let tiny = r#"{"bench": "q", "results": [
+          {"name": "q/stab", "median_ns": 2300, "min_ns": 1, "max_ns": 9, "stddev_ns": 1, "samples": 30}
+        ]}"#;
+        std::fs::write(baselines.join("BENCH_q.json"), tiny).unwrap();
+        // 1000x slower in the report — but under the floor, so ignored.
+        std::fs::write(
+            reports.join("BENCH_q.json"),
+            tiny.replace("\"median_ns\": 2300", "\"median_ns\": 2300000"),
+        )
+        .unwrap();
+        let args = Args {
+            baseline_dir: baselines,
+            reports_dir: reports,
+            tolerance: 3.0,
+            min_ns: 1_000_000,
+        };
+        let mut failures = Vec::new();
+        check_file(
+            &args.baseline_dir.join("BENCH_q.json"),
+            &args,
+            &mut failures,
+        );
+        assert!(failures.is_empty(), "{failures:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_report_file_fails() {
+        let dir = std::env::temp_dir().join(format!("bench_check_miss_{}", std::process::id()));
+        let baselines = dir.join("baselines");
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::create_dir_all(dir.join("reports")).unwrap();
+        std::fs::write(baselines.join("BENCH_gone.json"), SAMPLE).unwrap();
+        let args = Args {
+            baseline_dir: baselines,
+            reports_dir: dir.join("reports"),
+            tolerance: 3.0,
+            min_ns: 1_000_000,
+        };
+        let mut failures = Vec::new();
+        check_file(
+            &args.baseline_dir.join("BENCH_gone.json"),
+            &args,
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("no report"), "{failures:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
