@@ -26,7 +26,9 @@ use std::time::Instant;
 
 use tecore_ground::component::{ComponentView, Partition};
 use tecore_ground::incremental::DeltaStats;
-use tecore_ground::{ComponentMode, GroundConfig, Grounding, MapState, SolveError, SolveOpts};
+use tecore_ground::{
+    ComponentMode, GroundConfig, Grounding, JoinPlanner, MapState, SolveError, SolveOpts,
+};
 use tecore_kg::{Delta, FactId, TemporalFact, UtkGraph};
 use tecore_logic::LogicProgram;
 use tecore_temporal::Interval;
@@ -483,6 +485,17 @@ impl Engine {
     /// dispatch, never the grounding).
     pub fn set_component_mode(&mut self, mode: ComponentMode) {
         self.config.component_mode = mode;
+    }
+
+    /// Switches the grounding join planner. Unlike the other knobs this
+    /// *does* drop the cached incremental state: the chosen plans are
+    /// baked into the materialised grounding, so the next resolve
+    /// re-grounds cold under the new planner.
+    pub fn set_planner(&mut self, planner: JoinPlanner) {
+        if self.config.ground.planner != planner {
+            self.config.ground.planner = planner;
+            self.cache = None;
+        }
     }
 
     /// Inserts a fact (interning as needed); the change feeds the next

@@ -77,7 +77,9 @@ pub use stats::DebugStats;
 // The backend interface itself lives in `tecore-ground` (below the
 // substrate crates); re-exported here because this is where users meet
 // it.
-pub use tecore_ground::{MapSolver, MapState, SolveError, SolveOpts, SolverCaps};
+pub use tecore_ground::{
+    FormulaPlan, JoinPlanner, MapSolver, MapState, SolveError, SolveOpts, SolverCaps,
+};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -91,5 +93,5 @@ pub mod prelude {
     pub use crate::session::Session;
     pub use crate::snapshot::Snapshot;
     pub use crate::stats::DebugStats;
-    pub use tecore_ground::{ComponentMode, MapSolver, MapState, SolverCaps};
+    pub use tecore_ground::{ComponentMode, JoinPlanner, MapSolver, MapState, SolverCaps};
 }

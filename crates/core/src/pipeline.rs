@@ -193,6 +193,7 @@ pub(crate) fn interpret(
         cost: state.cost,
         grounding_time,
         solve_time,
+        plans: grounding.plans.clone(),
     };
     Resolution {
         consistent,

@@ -246,11 +246,18 @@ impl<'a> TemporalQuery<'a> {
         self
     }
 
-    /// Compiles the query into its access path + residual filter and
-    /// returns the lazy match iterator. The scan never allocates per
-    /// candidate.
-    pub fn iter(&self) -> QueryIter<'a> {
+    /// Chooses the access path by comparing estimated candidate counts
+    /// from the expanded graph's live [`tecore_kg::Cardinalities`] —
+    /// real per-predicate fact counts and distinct-subject counts, not
+    /// a fixed heuristic. The residual filter in [`QueryIter`] re-checks
+    /// every constraint, so any candidate-superset path is exact; the
+    /// plan only decides how many candidates get examined.
+    ///
+    /// The estimates never touch the snapshot's interval index, so a
+    /// plan that lands on a hash-index path keeps the index unbuilt.
+    fn plan(&self) -> PathChoice {
         let graph = self.snapshot.expanded();
+        let cards = graph.cardinalities();
         let unmatchable = self.subject == TermFilter::Unmatchable
             || self.predicate == TermFilter::Unmatchable
             || self.object == TermFilter::Unmatchable;
@@ -260,43 +267,153 @@ impl<'a> TemporalQuery<'a> {
             TimeFilter::Window(w) => Some(Some(w)),
             TimeFilter::Allen { set, anchor } => Some(set.candidate_window(anchor)),
         };
-        let scan = if unmatchable || matches!(window, Some(None)) {
-            Scan::Empty
-        } else if let Some(Some(w)) = window {
-            // Time-constrained: the narrowest interval sub-index wins.
-            let index = self.snapshot.index();
-            let sub = match (self.predicate, self.subject) {
-                // Both constrained: scan whichever sub-index is
-                // smaller (a factless term means no match at all).
-                (TermFilter::Is(p), TermFilter::Is(s)) => {
-                    match (index.predicate(p), index.subject(s)) {
-                        (Some(by_p), Some(by_s)) => {
-                            Some(if by_s.len() <= by_p.len() { by_s } else { by_p })
-                        }
-                        _ => None,
-                    }
+        if unmatchable || matches!(window, Some(None)) {
+            return PathChoice::Empty;
+        }
+        // Estimated candidates per subject: only *distinct* subjects are
+        // tracked, so this is the mean extension size.
+        let per_subject =
+            (cards.total_facts() as f64 / (cards.distinct_subjects().max(1)) as f64).max(1.0);
+        if let Some(Some(w)) = window {
+            let mut best: Option<PathChoice> = None;
+            let mut consider = |candidate: PathChoice| {
+                if best.as_ref().is_none_or(|b| candidate.cost() < b.cost()) {
+                    best = Some(candidate);
                 }
-                (TermFilter::Is(p), _) => index.predicate(p),
-                (TermFilter::Any, TermFilter::Is(s)) => index.subject(s),
-                _ => Some(index.all()),
             };
-            match sub {
-                Some(idx) => Scan::Overlap(idx.iter_overlapping(w)),
-                None => Scan::Empty, // term known to the dict, but factless
-            }
-        } else {
-            // Purely symbolic: the graph's hash indexes.
             match (self.subject, self.predicate) {
                 (TermFilter::Is(s), TermFilter::Is(p)) => {
-                    Scan::Ids(graph.subject_predicate_ids(s, p).iter())
+                    consider(PathChoice::SubjectPredicateIds {
+                        s,
+                        p,
+                        est: graph.subject_predicate_ids(s, p).len() as f64,
+                    });
+                    consider(PathChoice::PredicateOverlap {
+                        p,
+                        w,
+                        est: cards.predicate_facts(p) as f64 * WINDOW_SELECTIVITY,
+                    });
+                    consider(PathChoice::SubjectOverlap {
+                        s,
+                        w,
+                        est: per_subject * WINDOW_SELECTIVITY,
+                    });
                 }
-                (_, TermFilter::Is(p)) => Scan::Ids(graph.predicate_ids(p).iter()),
-                (TermFilter::Is(s), _) => match self.snapshot.index().subject(s) {
-                    Some(idx) => Scan::Entries(idx.entries().iter()),
-                    None => Scan::Empty,
-                },
-                _ => Scan::Full(0..graph.arena_len() as u32),
+                (_, TermFilter::Is(p)) => {
+                    consider(PathChoice::PredicateIds {
+                        p,
+                        est: graph.predicate_ids(p).len() as f64,
+                    });
+                    consider(PathChoice::PredicateOverlap {
+                        p,
+                        w,
+                        est: cards.predicate_facts(p) as f64 * WINDOW_SELECTIVITY,
+                    });
+                }
+                (TermFilter::Is(s), _) => {
+                    consider(PathChoice::SubjectOverlap {
+                        s,
+                        w,
+                        est: per_subject * WINDOW_SELECTIVITY,
+                    });
+                }
+                _ => {
+                    consider(PathChoice::AllOverlap {
+                        w,
+                        est: cards.total_facts() as f64 * WINDOW_SELECTIVITY,
+                    });
+                }
             }
+            best.expect("every filter shape has a candidate path")
+        } else {
+            // Purely symbolic: the graph's hash indexes are already the
+            // narrowest exact paths for their filter shapes.
+            match (self.subject, self.predicate) {
+                (TermFilter::Is(s), TermFilter::Is(p)) => PathChoice::SubjectPredicateIds {
+                    s,
+                    p,
+                    est: graph.subject_predicate_ids(s, p).len() as f64,
+                },
+                (_, TermFilter::Is(p)) => PathChoice::PredicateIds {
+                    p,
+                    est: graph.predicate_ids(p).len() as f64,
+                },
+                (TermFilter::Is(s), _) => PathChoice::SubjectEntries {
+                    s,
+                    est: per_subject,
+                },
+                _ => PathChoice::FullScan {
+                    est: graph.arena_len() as f64,
+                },
+            }
+        }
+    }
+
+    /// Renders the chosen access path as a human-readable one-liner —
+    /// `EXPLAIN` for temporal queries. The estimate is the planner's
+    /// candidate count, not the result count (the residual filter
+    /// narrows further).
+    pub fn explain(&self) -> String {
+        let dict = self.snapshot.expanded().dict();
+        let name = |sym: Symbol| dict.resolve(sym).to_string();
+        match self.plan() {
+            PathChoice::Empty => {
+                "empty: unsatisfiable (unknown term or impossible Allen window)".to_string()
+            }
+            PathChoice::SubjectPredicateIds { s, p, est } => format!(
+                "hash index (subject={}, predicate={}), ~{est:.0} candidates",
+                name(s),
+                name(p)
+            ),
+            PathChoice::PredicateIds { p, est } => {
+                format!("hash index (predicate={}), ~{est:.0} candidates", name(p))
+            }
+            PathChoice::SubjectEntries { s, est } => format!(
+                "subject interval sub-index ({}), ~{est:.0} candidates",
+                name(s)
+            ),
+            PathChoice::PredicateOverlap { p, w, est } => format!(
+                "predicate interval sub-index ({}) ∩ window {w}, ~{est:.0} candidates",
+                name(p)
+            ),
+            PathChoice::SubjectOverlap { s, w, est } => format!(
+                "subject interval sub-index ({}) ∩ window {w}, ~{est:.0} candidates",
+                name(s)
+            ),
+            PathChoice::AllOverlap { w, est } => {
+                format!("global interval index ∩ window {w}, ~{est:.0} candidates")
+            }
+            PathChoice::FullScan { est } => format!("full arena scan, ~{est:.0} candidates"),
+        }
+    }
+
+    /// Compiles the query into its access path + residual filter and
+    /// returns the lazy match iterator. The scan never allocates per
+    /// candidate.
+    pub fn iter(&self) -> QueryIter<'a> {
+        let graph = self.snapshot.expanded();
+        let scan = match self.plan() {
+            PathChoice::Empty => Scan::Empty,
+            PathChoice::SubjectPredicateIds { s, p, .. } => {
+                Scan::Ids(graph.subject_predicate_ids(s, p).iter())
+            }
+            PathChoice::PredicateIds { p, .. } => Scan::Ids(graph.predicate_ids(p).iter()),
+            PathChoice::SubjectEntries { s, .. } => match self.snapshot.index().subject(s) {
+                Some(idx) => Scan::Entries(idx.entries().iter()),
+                None => Scan::Empty, // term known to the dict, but factless
+            },
+            PathChoice::PredicateOverlap { p, w, .. } => match self.snapshot.index().predicate(p) {
+                Some(idx) => Scan::Overlap(idx.iter_overlapping(w)),
+                None => Scan::Empty,
+            },
+            PathChoice::SubjectOverlap { s, w, .. } => match self.snapshot.index().subject(s) {
+                Some(idx) => Scan::Overlap(idx.iter_overlapping(w)),
+                None => Scan::Empty,
+            },
+            PathChoice::AllOverlap { w, .. } => {
+                Scan::Overlap(self.snapshot.index().all().iter_overlapping(w))
+            }
+            PathChoice::FullScan { .. } => Scan::Full(0..graph.arena_len() as u32),
         };
         QueryIter {
             graph,
@@ -363,6 +480,50 @@ impl<'a> TemporalQuery<'a> {
     /// club".
     pub fn coalesced_validity(&self) -> TemporalElement {
         TemporalElement::from_intervals(self.iter().map(|(_, f)| f.interval))
+    }
+}
+
+/// Assumed fraction of an interval sub-index intersecting a query
+/// window. Windows are usually much narrower than the data's time hull,
+/// and `iter_overlapping` prunes by binary search, so overlap paths get
+/// a flat discount against full id-list scans.
+const WINDOW_SELECTIVITY: f64 = 0.5;
+
+/// The access path the cost-based planner chose for one query. Every
+/// path yields a candidate *superset* of the result; the residual
+/// filter keeps execution exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PathChoice {
+    /// Statically unsatisfiable (unknown term, impossible Allen window).
+    Empty,
+    /// The `(subject, predicate)` hash index id list.
+    SubjectPredicateIds { s: Symbol, p: Symbol, est: f64 },
+    /// The predicate hash index id list.
+    PredicateIds { p: Symbol, est: f64 },
+    /// The subject interval sub-index, walked without a window.
+    SubjectEntries { s: Symbol, est: f64 },
+    /// The predicate interval sub-index intersected with the window.
+    PredicateOverlap { p: Symbol, w: Interval, est: f64 },
+    /// The subject interval sub-index intersected with the window.
+    SubjectOverlap { s: Symbol, w: Interval, est: f64 },
+    /// The global interval index intersected with the window.
+    AllOverlap { w: Interval, est: f64 },
+    /// Unconstrained arena walk (only when no filter names an index).
+    FullScan { est: f64 },
+}
+
+impl PathChoice {
+    fn cost(&self) -> f64 {
+        match *self {
+            PathChoice::Empty => 0.0,
+            PathChoice::SubjectPredicateIds { est, .. }
+            | PathChoice::PredicateIds { est, .. }
+            | PathChoice::SubjectEntries { est, .. }
+            | PathChoice::PredicateOverlap { est, .. }
+            | PathChoice::SubjectOverlap { est, .. }
+            | PathChoice::AllOverlap { est, .. }
+            | PathChoice::FullScan { est } => est,
+        }
     }
 }
 

@@ -227,6 +227,17 @@ impl Session {
         }
     }
 
+    /// Sets the grounding join planner (cost-based vs syntactic). The
+    /// chosen plans are baked into the materialised grounding, so a
+    /// primed incremental engine re-grounds cold on its next resolve
+    /// (the engine survives, only its grounding cache drops).
+    pub fn set_planner(&mut self, planner: tecore_ground::JoinPlanner) {
+        self.config.ground.planner = planner;
+        if let Some((_, engine)) = &mut self.engine {
+            engine.set_planner(planner);
+        }
+    }
+
     /// Mutable access to the full configuration. Conservatively drops
     /// the incremental engine: the caller may change grounding options.
     pub fn config_mut(&mut self) -> &mut TecoreConfig {

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use tecore_ground::FormulaPlan;
+
 /// Statistics of one conflict-resolution run.
 ///
 /// The demo displays "the maximal consistent subset of the utkg, and
@@ -48,6 +50,10 @@ pub struct DebugStats {
     pub grounding_time: Duration,
     /// Solver wall-clock time.
     pub solve_time: Duration,
+    /// The join plan grounding used per formula: chosen order, whether
+    /// the cost model picked it, and estimated vs observed match
+    /// counts.
+    pub plans: Vec<FormulaPlan>,
 }
 
 impl DebugStats {
@@ -103,6 +109,21 @@ impl fmt::Display for DebugStats {
                 writeln!(f, "  {name:<16} {count}")?;
             }
         }
+        if !self.plans.is_empty() {
+            writeln!(f, "join plans:")?;
+            for plan in &self.plans {
+                let name = plan
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("#{}", plan.formula));
+                let kind = if plan.cost_based { "cost" } else { "syntactic" };
+                writeln!(
+                    f,
+                    "  {name:<16} order {:?} ({kind}, est {:.0}, actual {})",
+                    plan.join_order, plan.estimated_matches, plan.actual_matches
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -134,6 +155,14 @@ mod tests {
             backend: "mln-exact".to_string(),
             feasible: true,
             per_constraint: vec![("c2".into(), 1)],
+            plans: vec![FormulaPlan {
+                formula: 0,
+                name: Some("f1".into()),
+                join_order: vec![1, 0],
+                cost_based: true,
+                estimated_matches: 3.0,
+                actual_matches: 2,
+            }],
             ..DebugStats::default()
         };
         let text = s.to_string();
@@ -141,5 +170,8 @@ mod tests {
         assert!(text.contains("conflicting facts  : 1"));
         assert!(text.contains("c2"));
         assert!(text.contains("mln-exact"));
+        assert!(text.contains("join plans:"));
+        assert!(text.contains("f1"));
+        assert!(text.contains("[1, 0]"));
     }
 }

@@ -1,0 +1,206 @@
+//! Query-planner conformance: whatever access path the cost model
+//! picks, a [`TemporalQuery`] must return exactly the facts a
+//! brute-force scan over the expanded graph returns. The plan only
+//! decides how many candidates get examined; the residual filter keeps
+//! every path exact.
+
+use proptest::prelude::*;
+use tecore_core::resolution::{InferredFact, Resolution};
+use tecore_core::{DebugStats, Snapshot};
+use tecore_kg::{FactId, UtkGraph};
+use tecore_temporal::{AllenRelation, AllenSet, Interval};
+
+/// Builds a snapshot from compact fact tuples
+/// `(subject, predicate, object, start, len, confidence-step)`, routing
+/// a slice of them through the inferred-facts channel so the expanded
+/// graph mixes evidence and inferred statements.
+fn build_snapshot(facts: &[(u8, u8, u8, i8, i8, u8)]) -> Snapshot {
+    let mut graph = UtkGraph::new();
+    let mut inferred = Vec::new();
+    for (i, &(s, p, o, start, len, conf)) in facts.iter().enumerate() {
+        let iv = Interval::new(i64::from(start), i64::from(start) + i64::from(len)).unwrap();
+        let confidence = 0.5 + f64::from(conf) * 0.09;
+        if i % 5 == 4 {
+            inferred.push(InferredFact {
+                subject: format!("subj{s}"),
+                predicate: format!("pred{p}"),
+                object: format!("obj{o}"),
+                interval: iv,
+                confidence,
+            });
+        } else {
+            graph
+                .insert(
+                    &format!("subj{s}"),
+                    &format!("pred{p}"),
+                    &format!("obj{o}"),
+                    iv,
+                    confidence,
+                )
+                .unwrap();
+        }
+    }
+    let resolution = Resolution {
+        consistent: graph,
+        removed: Vec::new(),
+        inferred,
+        conflicts: Vec::new(),
+        stats: DebugStats::default(),
+    };
+    Snapshot::from_resolution(resolution, 1)
+}
+
+/// One random query shape: optional term filters (sometimes naming a
+/// term absent from the snapshot), one of the four time-filter kinds,
+/// and an optional confidence floor.
+#[derive(Debug, Clone)]
+struct QueryShape {
+    subject: Option<u8>,
+    predicate: Option<u8>,
+    object: Option<u8>,
+    /// 0 = none, 1 = at, 2 = overlapping, 3 = allen, 4 = allen-set.
+    time_kind: u8,
+    time_a: i8,
+    time_b: i8,
+    allen: u8,
+    min_conf: bool,
+}
+
+fn arb_shape() -> impl Strategy<Value = QueryShape> {
+    (
+        prop::option::of(0u8..7),
+        prop::option::of(0u8..5),
+        prop::option::of(0u8..6),
+        0u8..5,
+        0i8..20,
+        0i8..6,
+        0u8..6,
+        prop::bool::ANY,
+    )
+        .prop_map(
+            |(subject, predicate, object, time_kind, time_a, time_b, allen, min_conf)| QueryShape {
+                subject,
+                predicate,
+                object,
+                time_kind,
+                time_a,
+                time_b,
+                allen,
+                min_conf,
+            },
+        )
+}
+
+const ALLEN_POOL: [AllenRelation; 6] = [
+    AllenRelation::Before,
+    AllenRelation::After,
+    AllenRelation::During,
+    AllenRelation::Contains,
+    AllenRelation::Overlaps,
+    AllenRelation::Equals,
+];
+
+fn run_conformance(facts: &[(u8, u8, u8, i8, i8, u8)], shape: &QueryShape) {
+    let snap = build_snapshot(facts);
+    let graph = snap.expanded();
+
+    // Build the query through the public API. Index 6 (subjects) / 4
+    // (predicates) / 5 (objects) never occurs in `build_snapshot`'s
+    // pools, so those filters exercise the unmatchable path.
+    let mut q = snap.query();
+    if let Some(s) = shape.subject {
+        q = q.subject(&format!("subj{s}"));
+    }
+    if let Some(p) = shape.predicate {
+        q = q.predicate(&format!("pred{p}"));
+    }
+    if let Some(o) = shape.object {
+        q = q.object(&format!("obj{o}"));
+    }
+    let window = Interval::new(
+        i64::from(shape.time_a),
+        i64::from(shape.time_a) + i64::from(shape.time_b),
+    )
+    .unwrap();
+    let rel = ALLEN_POOL[shape.allen as usize];
+    match shape.time_kind {
+        1 => q = q.at(i64::from(shape.time_a)),
+        2 => q = q.overlapping(window),
+        3 => q = q.allen(rel, window),
+        4 => q = q.allen_set(AllenSet::DISJOINT, window),
+        _ => {}
+    }
+    if shape.min_conf {
+        q = q.min_confidence(0.6);
+    }
+
+    // Brute force: walk the whole arena, re-apply every filter by hand.
+    let dict = graph.dict();
+    let admits_term = |filter: Option<u8>, prefix: &str, sym| match filter {
+        None => true,
+        Some(i) => dict.lookup(&format!("{prefix}{i}")) == Some(sym),
+    };
+    let mut expected: Vec<FactId> = Vec::new();
+    for raw in 0..graph.arena_len() as u32 {
+        let id = FactId(raw);
+        let Some(fact) = graph.fact(id) else {
+            continue;
+        };
+        let time_ok = match shape.time_kind {
+            1 => fact
+                .interval
+                .intersects(Interval::at(i64::from(shape.time_a))),
+            2 => fact.interval.intersects(window),
+            3 => AllenSet::from_relation(rel).holds(fact.interval, window),
+            4 => AllenSet::DISJOINT.holds(fact.interval, window),
+            _ => true,
+        };
+        if admits_term(shape.subject, "subj", fact.subject)
+            && admits_term(shape.predicate, "pred", fact.predicate)
+            && admits_term(shape.object, "obj", fact.object)
+            && time_ok
+            && (!shape.min_conf || fact.confidence.value() >= 0.6)
+        {
+            expected.push(id);
+        }
+    }
+
+    let mut got: Vec<FactId> = q.iter().map(|(id, _)| id).collect();
+    got.sort_unstable_by_key(|id| id.0);
+    expected.sort_unstable_by_key(|id| id.0);
+    assert_eq!(
+        got,
+        expected,
+        "planned path diverged from brute force\nshape: {shape:?}\nplan: {}",
+        q.explain()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any query shape over any snapshot returns exactly the brute-force
+    /// result set, whatever access path the planner picked.
+    #[test]
+    fn planned_query_matches_brute_force(
+        facts in prop::collection::vec((0u8..6, 0u8..4, 0u8..5, 0i8..20, 0i8..5, 0u8..5), 0..40),
+        shape in arb_shape(),
+    ) {
+        run_conformance(&facts, &shape);
+    }
+}
+
+#[test]
+fn explain_names_the_chosen_path() {
+    let snap = build_snapshot(&[(0, 0, 0, 1, 3, 4), (1, 1, 1, 2, 2, 3)]);
+    let symbolic = snap.query().predicate("pred0").explain();
+    assert!(symbolic.contains("hash index"), "got: {symbolic}");
+    let windowed = snap.query().overlapping(Interval::new(1, 2).unwrap());
+    assert!(
+        windowed.explain().contains("interval index"),
+        "got: {}",
+        windowed.explain()
+    );
+    let dead = snap.query().subject("nobody").explain();
+    assert!(dead.contains("unsatisfiable"), "got: {dead}");
+}

@@ -106,6 +106,47 @@ impl WikidataConfig {
     ];
 }
 
+/// Configuration of the skewed-predicate generator — a join-planning
+/// stress workload whose per-predicate fact counts follow a Zipf
+/// distribution (`weight(rank) = 1 / rank^skew`).
+///
+/// The resulting graph is pathological for syntactic join ordering:
+/// one predicate holds most of the facts while the tail predicates are
+/// tiny, so a body written "big atom first" enumerates the dominant
+/// predicate even though starting from a tail atom would bound the
+/// search immediately. The cost-based planner reads the imbalance off
+/// [`tecore_kg::Cardinalities`] and reorders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewedConfig {
+    /// Total number of temporal facts to generate.
+    pub total_facts: usize,
+    /// Number of distinct predicates (`rel0` … `rel{n-1}`, rank order).
+    pub predicates: usize,
+    /// Zipf exponent. `0.0` is uniform; `1.0` is classic Zipf; larger
+    /// values concentrate ever more mass on `rel0`.
+    pub skew: f64,
+    /// Zipf exponent of the *entity* popularity distribution (subjects
+    /// and objects). `0.0` draws entities uniformly; positive values
+    /// create hub entities, so multi-hop joins through the dominant
+    /// predicate fan out super-linearly — the regime where join order
+    /// matters most.
+    pub entity_skew: f64,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for SkewedConfig {
+    fn default() -> Self {
+        SkewedConfig {
+            total_facts: 10_000,
+            predicates: 16,
+            skew: 1.2,
+            entity_skew: 0.5,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,10 @@
 //!   relation mix (`playsFor` > 4M, `memberOf` > 23K, `spouse` > 20K,
 //!   `educatedAt` > 6K, `occupation` > 4.5K), scaled by a single knob
 //!   ([`wikidata`]).
+//! * **Skewed** — a synthetic Zipf-distributed predicate workload
+//!   ([`skewed`]) with a configurable exponent; not from the paper but
+//!   the stress scenario for cost-based join planning (one dominant
+//!   predicate, many tiny ones).
 //!
 //! Ground-truth labels make repair quality measurable: [`noise`]
 //! computes precision/recall of conflict resolution against the
@@ -27,10 +31,12 @@
 pub mod config;
 pub mod football;
 pub mod noise;
+pub mod skewed;
 pub mod standard;
 pub mod wikidata;
 
-pub use config::{FootballConfig, WikidataConfig};
+pub use config::{FootballConfig, SkewedConfig, WikidataConfig};
 pub use football::generate_football;
 pub use noise::{repair_metrics, GeneratedKg, RepairMetrics};
+pub use skewed::generate_skewed;
 pub use wikidata::generate_wikidata;

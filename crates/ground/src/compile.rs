@@ -305,7 +305,7 @@ fn compile_condition(c: &Condition, dict: &mut Dictionary) -> CCondition {
 /// already-bound variables (tie-break: more constants, then source
 /// order). This keeps joins index-backed: a shared variable means the
 /// next lookup can use the subject/object hash indexes.
-fn plan_join_order(body: &[CPattern]) -> Vec<usize> {
+pub(crate) fn plan_join_order(body: &[CPattern]) -> Vec<usize> {
     let n = body.len();
     let mut order = Vec::with_capacity(n);
     let mut used = vec![false; n];
@@ -348,7 +348,7 @@ fn plan_join_order(body: &[CPattern]) -> Vec<usize> {
 
 /// Schedules each condition at the earliest join step after which all
 /// its variables are bound.
-fn schedule_conditions(
+pub(crate) fn schedule_conditions(
     body: &[CPattern],
     join_order: &[usize],
     conditions: &[CCondition],

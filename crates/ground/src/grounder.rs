@@ -17,6 +17,7 @@ use crate::clause::{ClauseOrigin, ClauseStore, ClauseWeight, GroundClause, Lit};
 use crate::compile::{
     CCondition, CConsequent, CPattern, CTerm, CTime, CompiledFormula, CompiledProgram,
 };
+use crate::planner::{self, FormulaPlan, JoinPlanner};
 
 /// Grounding configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +47,15 @@ pub struct GroundConfig {
     /// if set (read once per process), else the machine's available
     /// parallelism. One worker means serial.
     pub parallel_workers: Option<usize>,
+    /// Join-order planner: cost-based over live cardinality statistics
+    /// (default), or the compiler's syntactic heuristic. Either choice
+    /// grounds the same clause multiset; only the enumeration work
+    /// differs.
+    pub planner: JoinPlanner,
+    /// On incremental deltas, re-plan join orders when some predicate's
+    /// fact count has drifted by more than this relative fraction since
+    /// the current plans were chosen (cost-based planner only).
+    pub replan_drift: f64,
 }
 
 impl Default for GroundConfig {
@@ -58,6 +68,8 @@ impl Default for GroundConfig {
             ground_constraints: true,
             parallel: cfg!(feature = "parallel"),
             parallel_workers: None,
+            planner: JoinPlanner::default(),
+            replan_drift: 0.5,
         }
     }
 }
@@ -149,6 +161,14 @@ pub struct Grounding {
     /// explanation) can read it off instead of re-running the match
     /// search.
     pub(crate) eager_constraints: bool,
+    /// The join plan each formula was grounded with (chosen order,
+    /// estimated vs observed match counts) — surfaced via
+    /// `DebugStats::plans`.
+    pub plans: Vec<FormulaPlan>,
+    /// Per-predicate fact counts at plan time; incremental deltas
+    /// re-plan when the live counts drift too far from this
+    /// ([`GroundConfig::replan_drift`]).
+    pub(crate) plan_fingerprint: Vec<(Symbol, usize)>,
 }
 
 impl Grounding {
@@ -210,7 +230,13 @@ pub fn ground(
 ) -> Result<Grounding, LogicError> {
     let start = Instant::now();
     let mut dict = graph.dict().clone();
-    let compiled = CompiledProgram::compile(program, &mut dict)?;
+    let mut compiled = CompiledProgram::compile(program, &mut dict)?;
+    // Re-plan join orders from the graph's live cardinalities before
+    // any matching happens. Any plan grounds the same clause multiset
+    // (the frontier discipline and clause dedup are keyed on body
+    // positions, not join steps), so this only moves work.
+    let mut plans = planner::plan_program(&mut compiled, graph.cardinalities(), config.planner);
+    let plan_fingerprint = planner::fingerprint(graph.cardinalities());
 
     let mut store = AtomStore::new();
     let mut fact_atoms = FxHashMap::with_capacity_and_hasher(graph.len(), Default::default());
@@ -282,8 +308,9 @@ pub fn ground(
             config.parallel_workers,
         );
         let mut pending: Vec<(usize, Vec<AtomId>, Option<HeadKey>)> = Vec::new();
-        for (local, matches) in per_formula {
+        for (cf, (local, matches)) in active.iter().zip(per_formula) {
             stats.body_matches += matches;
+            plans[cf.index].actual_matches += matches;
             pending.extend(local);
         }
         // Apply buffered matches: intern head atoms, emit clauses.
@@ -352,6 +379,8 @@ pub fn ground(
         dep_built: false,
         components: None,
         eager_constraints: config.ground_constraints,
+        plans,
+        plan_fingerprint,
     })
 }
 

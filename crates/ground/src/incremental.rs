@@ -35,6 +35,7 @@ use crate::grounder::{
     collect_match, enumerate_matches, evidence_unit, prior_unit, Frontier, GroundConfig, Grounding,
     HeadKey,
 };
+use crate::planner::{self, JoinPlanner};
 
 /// Statistics of one [`Grounding::apply_delta`] run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -94,6 +95,7 @@ impl Grounding {
             "delta must start at the grounding's epoch"
         );
         self.ensure_dep_index();
+        self.maybe_replan(graph, config);
         let mut stats = DeltaStats {
             facts_added: delta.added.len(),
             facts_removed: delta.removed.len(),
@@ -275,11 +277,13 @@ impl Grounding {
             stats.rounds = rounds;
             let horizon = self.store.len();
             let mut pending: Vec<(usize, Vec<AtomId>, Option<HeadKey>)> = Vec::new();
+            let mut round_matches: Vec<(usize, usize)> = Vec::with_capacity(active.len());
             {
                 let store = &self.store;
                 let alive = |id: AtomId| store.is_alive(id);
                 for &fi in &active {
                     let cf = &self.program.formulas[fi];
+                    let mut matches = 0usize;
                     for pos in 0..cf.body.len() {
                         enumerate_matches(
                             store,
@@ -291,10 +295,17 @@ impl Grounding {
                             },
                             Some(&alive),
                             &mut |chosen, bindings| {
+                                matches += 1;
                                 collect_match(cf, chosen, bindings, store, &mut pending);
                             },
                         );
                     }
+                    round_matches.push((fi, matches));
+                }
+            }
+            for (fi, matches) in round_matches {
+                if let Some(plan) = self.plans.get_mut(fi) {
+                    plan.actual_matches += matches;
                 }
             }
             let mut next: Vec<bool> = Vec::new();
@@ -342,6 +353,34 @@ impl Grounding {
         self.epoch = delta.to_epoch;
         stats.elapsed = start.elapsed();
         stats
+    }
+
+    /// Re-plans the compiled program's join orders when the graph's
+    /// per-predicate fact counts have drifted past
+    /// [`GroundConfig::replan_drift`] since the current plans were
+    /// chosen. Join orders only move work, never change the grounded
+    /// clause multiset, so swapping them mid-materialisation is safe.
+    fn maybe_replan(&mut self, graph: &UtkGraph, config: &GroundConfig) {
+        if config.planner != JoinPlanner::CostBased || graph.cardinalities().is_empty() {
+            return;
+        }
+        let fp = planner::fingerprint(graph.cardinalities());
+        if planner::drift(&self.plan_fingerprint, &fp) <= config.replan_drift {
+            return;
+        }
+        let new_plans =
+            planner::plan_program(&mut self.program, graph.cardinalities(), config.planner);
+        // Keep the observed match counters across re-plans: they report
+        // lifetime work, not per-plan work.
+        for (new, old) in new_plans.iter().zip(&self.plans) {
+            debug_assert_eq!(new.formula, old.formula);
+        }
+        let actuals: Vec<usize> = self.plans.iter().map(|p| p.actual_matches).collect();
+        self.plans = new_plans;
+        for (plan, actual) in self.plans.iter_mut().zip(actuals) {
+            plan.actual_matches = actual;
+        }
+        self.plan_fingerprint = fp;
     }
 
     /// Materialises the atom→clause dependency index and the per-atom

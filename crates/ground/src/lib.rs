@@ -35,6 +35,7 @@ pub mod compile;
 pub mod component;
 pub mod grounder;
 pub mod incremental;
+pub mod planner;
 pub mod solver;
 pub mod violation;
 
@@ -45,6 +46,7 @@ pub use compile::{CompiledFormula, CompiledProgram};
 pub use component::{ComponentIndex, ComponentView, Partition};
 pub use grounder::{ground, GroundConfig, Grounding, GroundingStats};
 pub use incremental::DeltaStats;
+pub use planner::{FormulaPlan, JoinPlanner};
 pub use solver::{
     evaluate_world, ComponentMode, MapSolver, MapState, SolveError, SolveOpts, SolverCaps,
 };

@@ -1,0 +1,215 @@
+//! Planner conformance: cost-based join ordering must be invisible in
+//! the grounding's *results*. For any graph and any program, grounding
+//! under [`JoinPlanner::CostBased`] and [`JoinPlanner::Syntactic`] must
+//! produce the same clause multiset and observe the same number of
+//! complete body matches — planning moves work, never answers.
+
+use proptest::prelude::*;
+use tecore_ground::{
+    ground, AtomId, ClauseOrigin, ClauseWeight, GroundConfig, Grounding, JoinPlanner,
+};
+use tecore_kg::UtkGraph;
+use tecore_logic::LogicProgram;
+use tecore_temporal::Interval;
+
+/// Canonical live-clause multiset (same rendering as the incremental
+/// grounding tests): lits rendered through atom keys so two groundings
+/// with different atom id layouts compare equal.
+fn canonical_clauses(g: &Grounding) -> Vec<String> {
+    let render_atom = |id: AtomId| {
+        let a = g.store.atom(id);
+        format!(
+            "{}|{}|{}|{}",
+            g.dict.resolve(a.subject),
+            g.dict.resolve(a.predicate),
+            g.dict.resolve(a.object),
+            a.interval
+        )
+    };
+    let mut out: Vec<String> = g
+        .clauses
+        .iter()
+        .map(|c| {
+            let mut lits: Vec<String> = c
+                .lits
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{}{}",
+                        if l.positive { "+" } else { "-" },
+                        render_atom(l.atom)
+                    )
+                })
+                .collect();
+            lits.sort();
+            let weight = match c.weight {
+                ClauseWeight::Hard => "hard".to_string(),
+                ClauseWeight::Soft(w) => format!("{w:.9}"),
+            };
+            let origin = match c.origin {
+                ClauseOrigin::Formula(i) => format!("f{i}"),
+                ClauseOrigin::Evidence => "ev".into(),
+                ClauseOrigin::Prior => "pr".into(),
+            };
+            format!("{origin} {weight} {}", lits.join(" ∨ "))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Grounds `src` against `graph` under both planners and asserts the
+/// clause multisets and body-match counts agree.
+fn assert_conformant(graph: &UtkGraph, src: &str) {
+    let program = LogicProgram::parse(src).unwrap();
+    let planned_config = GroundConfig {
+        planner: JoinPlanner::CostBased,
+        ..GroundConfig::default()
+    };
+    let syntactic_config = GroundConfig {
+        planner: JoinPlanner::Syntactic,
+        ..GroundConfig::default()
+    };
+    let planned = ground(graph, &program, &planned_config).unwrap();
+    let syntactic = ground(graph, &program, &syntactic_config).unwrap();
+    assert_eq!(
+        canonical_clauses(&planned),
+        canonical_clauses(&syntactic),
+        "clause multiset must not depend on join order (program: {src})"
+    );
+    // Complete body matches are join-order-invariant too, per formula.
+    for (p, s) in planned.plans.iter().zip(&syntactic.plans) {
+        assert_eq!(
+            p.actual_matches, s.actual_matches,
+            "match count drifted for formula {} (program: {src})",
+            p.formula
+        );
+    }
+}
+
+/// Builds a graph from compact fact tuples
+/// `(subject, predicate, object, start, len, confidence-step)`.
+fn build_graph(facts: &[(u8, u8, u8, i8, i8, u8)]) -> UtkGraph {
+    let mut graph = UtkGraph::new();
+    for &(s, p, o, start, len, conf) in facts {
+        let iv = Interval::new(i64::from(start), i64::from(start) + i64::from(len)).unwrap();
+        graph
+            .insert(
+                &format!("subj{s}"),
+                &format!("pred{p}"),
+                &format!("obj{o}"),
+                iv,
+                0.5 + f64::from(conf) * 0.09,
+            )
+            .unwrap();
+    }
+    graph
+}
+
+fn arb_facts() -> impl Strategy<Value = Vec<(u8, u8, u8, i8, i8, u8)>> {
+    prop::collection::vec((0u8..6, 0u8..4, 0u8..5, 0i8..20, 0i8..5, 0u8..5), 0..20)
+}
+
+/// One random body atom: each slot is a variable or a constant drawn
+/// from the same pools `build_graph` uses, the time slot is a shared
+/// variable or a literal window.
+fn arb_atom() -> impl Strategy<Value = String> {
+    (0u8..8, 0u8..5, 0u8..8, 0u8..5).prop_map(|(s, p, o, t)| {
+        let subject = if s < 4 {
+            format!("a{s}")
+        } else {
+            format!("subj{}", s - 4)
+        };
+        let predicate = if p < 4 {
+            format!("pred{p}")
+        } else {
+            "q".into()
+        };
+        let object = if o < 4 {
+            format!("b{o}")
+        } else {
+            format!("obj{}", o - 4)
+        };
+        let time = if t < 4 {
+            format!("t{t}")
+        } else {
+            "[2,6]".into()
+        };
+        format!("quad({subject}, {predicate}, {object}, {time})")
+    })
+}
+
+/// A fixed program exercising rule chains (derived predicates have no
+/// cardinality entry), join conditions and a hard constraint.
+const CHAIN_PROGRAM: &str = "\
+    f1: quad(x, pred0, y, t) -> quad(x, derivedA, y, t) w = 2.5\n\
+    f2: quad(x, derivedA, y, t) ^ quad(y, pred1, z, t2) -> quad(x, derivedB, z, t2) w = 1.5\n\
+    c1: quad(x, pred2, y, t) ^ quad(x, pred2, z, t2) ^ y != z -> disjoint(t, t2) w = inf\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random graphs, fixed chained program: planned ≡ syntactic.
+    #[test]
+    fn chain_program_is_plan_invariant(facts in arb_facts()) {
+        assert_conformant(&build_graph(&facts), CHAIN_PROGRAM);
+    }
+
+    /// Random graphs AND random constraint bodies (1–3 atoms, mixed
+    /// constants/variables, hard or soft): planned ≡ syntactic.
+    #[test]
+    fn random_bodies_are_plan_invariant(
+        facts in arb_facts(),
+        body in prop::collection::vec(arb_atom(), 1..4),
+        hard in prop::bool::ANY,
+    ) {
+        let weight = if hard { "inf" } else { "0.75" };
+        let src = format!("{} -> false w = {weight}", body.join(" ^ "));
+        assert_conformant(&build_graph(&facts), &src);
+    }
+}
+
+#[test]
+fn empty_predicate_body_grounds_identically() {
+    // "ghost" has no facts: the planner starts there, the syntactic
+    // order may not — either way, zero formula clauses.
+    let graph = build_graph(&[(0, 0, 0, 1, 3, 4), (1, 0, 1, 2, 2, 3), (2, 1, 0, 5, 1, 2)]);
+    let src = "quad(x, pred0, y, t) ^ quad(y, ghost, z, t2) -> false w = inf";
+    assert_conformant(&graph, src);
+    let program = LogicProgram::parse(src).unwrap();
+    let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+    assert!(
+        !g.clauses
+            .iter()
+            .any(|c| matches!(c.origin, ClauseOrigin::Formula(_))),
+        "empty predicate prunes every body match"
+    );
+    assert_eq!(g.plans[0].actual_matches, 0);
+}
+
+#[test]
+fn all_constant_body_grounds_identically() {
+    let graph = build_graph(&[(0, 0, 0, 1, 5, 4), (1, 1, 1, 2, 4, 3)]);
+    // No variables anywhere: every permutation checks the same two
+    // point lookups.
+    assert_conformant(
+        &graph,
+        "quad(subj0, pred0, obj0, [1,6]) ^ quad(subj1, pred1, obj1, [2,6]) -> false w = inf",
+    );
+}
+
+#[test]
+fn cross_product_body_grounds_identically() {
+    // No shared variables: the full cross product of both extensions.
+    let graph = build_graph(&[
+        (0, 0, 0, 1, 3, 4),
+        (1, 0, 1, 2, 2, 3),
+        (2, 1, 0, 5, 1, 2),
+        (3, 1, 2, 6, 2, 1),
+    ]);
+    let src = "quad(a, pred0, b, t) ^ quad(c, pred1, d, t2) -> false w = inf";
+    assert_conformant(&graph, src);
+    let program = LogicProgram::parse(src).unwrap();
+    let g = ground(&graph, &program, &GroundConfig::default()).unwrap();
+    assert_eq!(g.plans[0].actual_matches, 4, "2 × 2 cross product");
+}

@@ -8,6 +8,7 @@ use crate::delta::{Delta, FactChange};
 use crate::dict::{Dictionary, Symbol};
 use crate::error::KgError;
 use crate::fact::{Confidence, FactId, TemporalFact};
+use crate::stats::Cardinalities;
 
 /// An uncertain temporal knowledge graph.
 ///
@@ -44,6 +45,8 @@ pub struct UtkGraph {
     /// Epoch the retained log starts after (changes at epochs
     /// `<= log_start` have been truncated away).
     log_start: u64,
+    /// Live cardinality statistics, maintained by every insert/remove.
+    cards: Cardinalities,
 }
 
 impl UtkGraph {
@@ -118,6 +121,7 @@ impl UtkGraph {
             .entry((fact.predicate, fact.object))
             .or_default()
             .push(id);
+        self.cards.add(&fact);
         self.facts.push(fact);
         self.alive.push(true);
         self.live_count += 1;
@@ -162,9 +166,11 @@ impl UtkGraph {
             Some(slot) if *slot => {
                 *slot = false;
                 self.live_count -= 1;
+                let fact = self.facts[id.index()];
+                self.cards.retract(&fact);
                 self.epoch += 1;
                 self.record(FactChange::Removed(id));
-                Ok(self.facts[id.index()])
+                Ok(fact)
             }
             _ => Err(KgError::UnknownFact(id.0)),
         }
@@ -183,6 +189,13 @@ impl UtkGraph {
     /// every insert and remove).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Live cardinality statistics, maintained incrementally — reading
+    /// them never walks the graph. Cost-based planners key their
+    /// selectivity estimates off this.
+    pub fn cardinalities(&self) -> &Cardinalities {
+        &self.cards
     }
 
     /// The net changes since `epoch`, or `None` when that part of the
@@ -543,6 +556,23 @@ mod tests {
             let scan: std::collections::HashSet<FactId> =
                 g.iter().map(|(id, _)| id).collect();
             prop_assert_eq!(scan.len(), g.len());
+            // Incremental cardinalities agree with a full recount.
+            let cards = g.cardinalities();
+            prop_assert_eq!(cards.total_facts(), g.len());
+            prop_assert_eq!(cards.predicate_count(), g.predicates().len());
+            let live_subjects: std::collections::HashSet<Symbol> =
+                g.iter().map(|(_, f)| f.subject).collect();
+            prop_assert_eq!(cards.distinct_subjects(), live_subjects.len());
+            for p in g.predicates() {
+                let per = cards.predicate(p).unwrap();
+                prop_assert_eq!(per.facts(), g.facts_with_predicate(p).count());
+                let subs: std::collections::HashSet<Symbol> =
+                    g.facts_with_predicate(p).map(|(_, f)| f.subject).collect();
+                let objs: std::collections::HashSet<Symbol> =
+                    g.facts_with_predicate(p).map(|(_, f)| f.object).collect();
+                prop_assert_eq!(per.distinct_subjects(), subs.len());
+                prop_assert_eq!(per.distinct_objects(), objs.len());
+            }
             let mut via_pred = std::collections::HashSet::new();
             for p in g.predicates() {
                 for (id, f) in g.facts_with_predicate(p) {

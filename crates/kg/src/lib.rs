@@ -45,5 +45,5 @@ pub use error::KgError;
 pub use fact::{Confidence, FactId, TemporalFact};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graph::UtkGraph;
-pub use stats::GraphStats;
+pub use stats::{Cardinalities, GraphStats, PredicateCardinality};
 pub use tindex::{GraphTemporalIndex, IntervalIndex, OverlapIter};
