@@ -1,0 +1,151 @@
+//! Concurrent dictionary interning — sharded vs. single-lock.
+//!
+//! ROADMAP item 1 predicts string interning becomes the shared-state
+//! bottleneck once many reader threads resolve query terms at once.
+//! This bench pits the two thread-safe options against each other
+//! under the serving workload's shape:
+//!
+//! * `mutex` — the original single-threaded [`Dictionary`] behind one
+//!   `Mutex`: every intern and lookup serializes.
+//! * `sharded` — [`ShardedDictionary`]: 16 fxhash-addressed shards
+//!   behind `RwLock`s, read locks on the hit path.
+//!
+//! Two scenarios, 4 threads each: `intern` (populating a fresh
+//! dictionary with a shared universe — write-heavy, the worst case for
+//! sharding) and `lookup` (resolving a pre-populated universe — the
+//! read-mostly serving path where shard read-locks shine). On a
+//! single-core host expect parity (the threads time-share); the
+//! speedup materialises with real parallelism, and the correctness
+//! story is carried by the `shard` module's stress test either way.
+
+use std::sync::Mutex;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tecore_kg::{Dictionary, ShardedDictionary};
+
+const THREADS: usize = 4;
+const TERMS: usize = 4_000;
+const LOOKUPS_PER_THREAD: usize = 40_000;
+
+fn universe() -> Vec<String> {
+    (0..TERMS).map(|i| format!("entity/{i}")).collect()
+}
+
+/// Every thread interns the full universe at a thread-specific stride,
+/// so threads constantly collide on terms they race to create.
+fn intern_mutex(terms: &[String]) -> usize {
+    let dict = Mutex::new(Dictionary::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let dict = &dict;
+            scope.spawn(move || {
+                for i in 0..terms.len() {
+                    let term = &terms[(i * (2 * t + 1) + t) % terms.len()];
+                    black_box(dict.lock().unwrap().intern(term));
+                }
+            });
+        }
+    });
+    let len = dict.lock().unwrap().len();
+    assert_eq!(len, TERMS);
+    len
+}
+
+fn intern_sharded(terms: &[String]) -> usize {
+    let dict = ShardedDictionary::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let dict = &dict;
+            scope.spawn(move || {
+                for i in 0..terms.len() {
+                    let term = &terms[(i * (2 * t + 1) + t) % terms.len()];
+                    black_box(dict.intern(term));
+                }
+            });
+        }
+    });
+    assert_eq!(dict.len(), TERMS);
+    dict.len()
+}
+
+fn lookup_mutex(dict: &Mutex<Dictionary>, terms: &[String]) -> usize {
+    let mut hits = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local = 0usize;
+                    for i in 0..LOOKUPS_PER_THREAD {
+                        let term = &terms[(i * (2 * t + 1) + t) % terms.len()];
+                        if black_box(dict.lock().unwrap().lookup(term)).is_some() {
+                            local += 1;
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        hits = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    });
+    assert_eq!(hits, THREADS * LOOKUPS_PER_THREAD);
+    hits
+}
+
+fn lookup_sharded(dict: &ShardedDictionary, terms: &[String]) -> usize {
+    let mut hits = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local = 0usize;
+                    for i in 0..LOOKUPS_PER_THREAD {
+                        let term = &terms[(i * (2 * t + 1) + t) % terms.len()];
+                        if black_box(dict.lookup(term)).is_some() {
+                            local += 1;
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        hits = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    });
+    assert_eq!(hits, THREADS * LOOKUPS_PER_THREAD);
+    hits
+}
+
+fn bench_dict_concurrency(c: &mut Criterion) {
+    let terms = universe();
+    let mut group = c.benchmark_group("dict_concurrency");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements((THREADS * TERMS) as u64));
+    group.bench_function(BenchmarkId::new("intern", "mutex"), |b| {
+        b.iter(|| intern_mutex(&terms))
+    });
+    group.bench_function(BenchmarkId::new("intern", "sharded"), |b| {
+        b.iter(|| intern_sharded(&terms))
+    });
+
+    let mutex_dict = Mutex::new(Dictionary::new());
+    for term in &terms {
+        mutex_dict.lock().unwrap().intern(term);
+    }
+    let sharded_dict = ShardedDictionary::new();
+    for term in &terms {
+        sharded_dict.intern(term);
+    }
+    group.throughput(Throughput::Elements((THREADS * LOOKUPS_PER_THREAD) as u64));
+    group.bench_function(BenchmarkId::new("lookup", "mutex"), |b| {
+        b.iter(|| lookup_mutex(&mutex_dict, &terms))
+    });
+    group.bench_function(BenchmarkId::new("lookup", "sharded"), |b| {
+        b.iter(|| lookup_sharded(&sharded_dict, &terms))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dict_concurrency);
+criterion_main!(benches);

@@ -116,7 +116,21 @@ impl TimelineEntry {
     /// Renders the entry against a dictionary:
     /// `CR coach Chelsea {[2000,2004]}`.
     pub fn describe(&self, dict: &Dictionary) -> String {
-        format!(
+        let mut out = String::new();
+        self.write_describe(dict, &mut out)
+            .expect("writing to a String never fails");
+        out
+    }
+
+    /// [`TimelineEntry::describe`] into a caller-provided buffer, so a
+    /// serving loop rendering many entries reuses one allocation.
+    pub fn write_describe<W: std::fmt::Write>(
+        &self,
+        dict: &Dictionary,
+        out: &mut W,
+    ) -> std::fmt::Result {
+        write!(
+            out,
             "{} {} {} {}",
             dict.resolve(self.subject),
             dict.resolve(self.predicate),

@@ -35,6 +35,7 @@ pub mod fact;
 pub mod fxhash;
 pub mod graph;
 pub mod parser;
+pub mod shard;
 pub mod stats;
 pub mod tindex;
 pub mod writer;
@@ -45,5 +46,6 @@ pub use error::KgError;
 pub use fact::{Confidence, FactId, TemporalFact};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graph::UtkGraph;
+pub use shard::ShardedDictionary;
 pub use stats::{Cardinalities, GraphStats, PredicateCardinality};
 pub use tindex::{GraphTemporalIndex, IntervalIndex, OverlapIter};

@@ -1,0 +1,281 @@
+//! Concurrent string interning: a sharded dictionary.
+//!
+//! [`Dictionary`](crate::Dictionary) is the single-threaded interner
+//! every graph owns; it requires `&mut self` to intern and so cannot be
+//! shared across threads without wrapping the *whole* table in one lock
+//! — exactly the serialization bottleneck a served deployment hits when
+//! many reader threads resolve query terms (or many ingest threads
+//! intern new ones) at once.
+//!
+//! [`ShardedDictionary`] splits the term space into [`SHARDS`]
+//! fxhash-addressed shards, each behind its own `RwLock`. The
+//! read-mostly fast path ([`ShardedDictionary::lookup`],
+//! [`ShardedDictionary::resolve`], and the hit path of
+//! [`ShardedDictionary::intern`]) takes only a *read* lock on one
+//! shard, so threads touching different shards never contend at all
+//! and threads touching the same shard contend only with writers.
+//! Interning a genuinely new term upgrades to a write lock on its one
+//! shard, leaving the other `SHARDS - 1` shards untouched.
+//!
+//! Symbols carry their shard in the low `SHARD_BITS` bits and the
+//! shard-local index above, so [`ShardedDictionary::resolve`] routes
+//! straight to the owning shard without hashing. Symbols from a
+//! `ShardedDictionary` are **not** interchangeable with symbols from a
+//! plain [`Dictionary`](crate::Dictionary): the two assign different
+//! numberings.
+
+use std::hash::Hasher;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::dict::Symbol;
+use crate::fxhash::{FxHashMap, FxHasher};
+
+/// Number of independent shards. A power of two so the shard of a hash
+/// is a mask away; 16 is plenty of spread for tens of reader threads
+/// while keeping the per-dictionary footprint trivial.
+pub const SHARDS: usize = 16;
+
+/// Bits of a [`Symbol`] that address the shard.
+const SHARD_BITS: u32 = SHARDS.trailing_zeros();
+
+/// One shard: a miniature [`Dictionary`](crate::Dictionary) (dense
+/// term table + reverse index sharing each term's single allocation).
+#[derive(Debug, Default)]
+struct Shard {
+    terms: Vec<Arc<str>>,
+    index: FxHashMap<Arc<str>, u32>,
+}
+
+/// A thread-safe, sharded string ↔ [`Symbol`] interner.
+///
+/// ```
+/// use tecore_kg::ShardedDictionary;
+///
+/// let dict = ShardedDictionary::new();
+/// let coach = dict.intern("coach");
+/// assert_eq!(dict.intern("coach"), coach); // idempotent
+/// assert_eq!(dict.lookup("coach"), Some(coach));
+/// assert_eq!(&*dict.resolve(coach).unwrap(), "coach");
+/// ```
+#[derive(Debug, Default)]
+pub struct ShardedDictionary {
+    shards: [RwLock<Shard>; SHARDS],
+}
+
+impl ShardedDictionary {
+    /// Creates an empty sharded dictionary.
+    pub fn new() -> Self {
+        ShardedDictionary::default()
+    }
+
+    /// The shard a term routes to: its fxhash, folded to `SHARD_BITS`.
+    /// The fold XORs the high half in so terms differing only in bits
+    /// above the mask still spread.
+    #[inline]
+    fn shard_of(term: &str) -> usize {
+        let mut h = FxHasher::default();
+        h.write(term.as_bytes());
+        let hash = h.finish();
+        ((hash ^ (hash >> 32)) as usize) & (SHARDS - 1)
+    }
+
+    #[inline]
+    fn read(&self, shard: usize) -> RwLockReadGuard<'_, Shard> {
+        self.shards[shard]
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[inline]
+    fn write(&self, shard: usize) -> RwLockWriteGuard<'_, Shard> {
+        self.shards[shard]
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Packs a shard id and shard-local index into a [`Symbol`].
+    #[inline]
+    fn pack(shard: usize, local: u32) -> Symbol {
+        assert!(
+            local < (u32::MAX >> SHARD_BITS),
+            "sharded dictionary overflow (>{} terms in one shard)",
+            u32::MAX >> SHARD_BITS
+        );
+        Symbol((local << SHARD_BITS) | shard as u32)
+    }
+
+    /// Interns `term`, returning its symbol (existing or fresh).
+    ///
+    /// Read-mostly fast path: a read lock on the term's shard answers
+    /// repeat interns; only a genuinely new term takes the shard's
+    /// write lock (re-checking under it, since another thread may have
+    /// won the race in between).
+    pub fn intern(&self, term: &str) -> Symbol {
+        let shard = Self::shard_of(term);
+        if let Some(&local) = self.read(shard).index.get(term) {
+            return Self::pack(shard, local);
+        }
+        let mut guard = self.write(shard);
+        if let Some(&local) = guard.index.get(term) {
+            return Self::pack(shard, local);
+        }
+        let local = u32::try_from(guard.terms.len()).expect("shard overflow");
+        let sym = Self::pack(shard, local);
+        // One allocation, two owners — same layout as `Dictionary`.
+        let shared: Arc<str> = Arc::from(term);
+        guard.terms.push(Arc::clone(&shared));
+        guard.index.insert(shared, local);
+        sym
+    }
+
+    /// Looks up an already-interned term (read lock on one shard).
+    pub fn lookup(&self, term: &str) -> Option<Symbol> {
+        let shard = Self::shard_of(term);
+        self.read(shard)
+            .index
+            .get(term)
+            .map(|&local| Self::pack(shard, local))
+    }
+
+    /// Resolves a symbol back to its term, or `None` for a symbol this
+    /// dictionary never produced. Returns the term's shared allocation
+    /// (the guard cannot outlive the call, so the `&str` itself can't
+    /// be handed out).
+    pub fn resolve(&self, sym: Symbol) -> Option<Arc<str>> {
+        let shard = (sym.0 as usize) & (SHARDS - 1);
+        let local = (sym.0 >> SHARD_BITS) as usize;
+        self.read(shard).terms.get(local).cloned()
+    }
+
+    /// Number of distinct interned terms (sums the shards; a moment-in-
+    /// time figure under concurrent interning).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .terms
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Barrier;
+
+    #[test]
+    fn intern_is_idempotent_and_roundtrips() {
+        let d = ShardedDictionary::new();
+        let a = d.intern("coach");
+        let b = d.intern("coach");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(&*d.resolve(a).unwrap(), "coach");
+        assert_eq!(d.lookup("coach"), Some(a));
+        assert_eq!(d.lookup("playsFor"), None);
+    }
+
+    #[test]
+    fn distinct_terms_distinct_symbols() {
+        let d = ShardedDictionary::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let term = format!("term-{i}");
+            let sym = d.intern(&term);
+            assert!(seen.insert(sym), "symbol reused for {term}");
+            assert_eq!(&*d.resolve(sym).unwrap(), term.as_str());
+        }
+        assert_eq!(d.len(), 1000);
+    }
+
+    #[test]
+    fn foreign_symbols_resolve_to_none() {
+        let d = ShardedDictionary::new();
+        d.intern("only");
+        // A local index far past any shard's table.
+        assert!(d.resolve(Symbol(0xffff_ff00)).is_none());
+    }
+
+    /// The concurrency contract: many threads interning overlapping
+    /// term sets must agree on every term's symbol, never lose a term,
+    /// and never hand the same symbol to two terms.
+    #[test]
+    fn concurrent_intern_lookup_stress() {
+        const THREADS: usize = 8;
+        const TERMS: usize = 500;
+        let dict = ShardedDictionary::new();
+        let barrier = Barrier::new(THREADS);
+        // Each thread interns the shared universe in a different order,
+        // interleaved with lookups, and records its view.
+        let views: Vec<HashMap<String, Symbol>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let dict = &dict;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let mut view = HashMap::new();
+                        // Stride differently per thread (coprime with
+                        // TERMS so every thread covers the full
+                        // universe) so threads collide on terms at
+                        // different times.
+                        const STRIDES: [usize; 8] = [1, 3, 7, 9, 11, 13, 17, 19];
+                        for i in 0..TERMS {
+                            let k = (i * STRIDES[t % STRIDES.len()] + t) % TERMS;
+                            let term = format!("entity/{k}");
+                            let sym = dict.intern(&term);
+                            // A term interned by anyone is immediately
+                            // visible to lookups.
+                            assert_eq!(dict.lookup(&term), Some(sym));
+                            assert_eq!(&*dict.resolve(sym).unwrap(), term.as_str());
+                            view.insert(term, sym);
+                        }
+                        view
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All threads agree on the symbol of every term.
+        let reference = &views[0];
+        assert_eq!(reference.len(), TERMS);
+        for view in &views[1..] {
+            assert_eq!(view, reference);
+        }
+        // No lost or duplicated terms.
+        assert_eq!(dict.len(), TERMS);
+        let mut symbols: Vec<Symbol> = reference.values().copied().collect();
+        symbols.sort_unstable();
+        symbols.dedup();
+        assert_eq!(symbols.len(), TERMS, "distinct terms share a symbol");
+    }
+
+    /// Read-side calls must agree with the packing used by intern even
+    /// across every shard (regression guard for the shard/index split).
+    #[test]
+    fn all_shards_reachable() {
+        let d = ShardedDictionary::new();
+        let mut shards_hit = std::collections::HashSet::new();
+        for i in 0..256 {
+            let term = format!("spread-{i}");
+            let sym = d.intern(&term);
+            shards_hit.insert((sym.0 as usize) & (SHARDS - 1));
+            assert_eq!(d.lookup(&term), Some(sym));
+        }
+        assert!(
+            shards_hit.len() > SHARDS / 2,
+            "fxhash spread unexpectedly poor: {} shards hit",
+            shards_hit.len()
+        );
+    }
+}

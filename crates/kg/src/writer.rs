@@ -1,7 +1,9 @@
 //! Serialisation of uTKGs back into the text format.
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write};
 
+use crate::dict::Dictionary;
+use crate::fact::TemporalFact;
 use crate::graph::UtkGraph;
 
 /// Serialises the live facts of a graph in the canonical text format,
@@ -10,23 +12,39 @@ use crate::graph::UtkGraph;
 /// The output round-trips through [`crate::parser::parse_graph`].
 pub fn write_graph(graph: &UtkGraph) -> String {
     let mut out = String::with_capacity(graph.len() * 48);
-    for (_, fact) in graph.iter() {
-        let d = graph.dict();
-        write_term(&mut out, d.resolve(fact.subject));
-        out.push(' ');
-        write_term(&mut out, d.resolve(fact.predicate));
-        out.push(' ');
-        write_term(&mut out, d.resolve(fact.object));
-        let _ = write!(
-            out,
-            " [{},{}] {}",
-            fact.interval.start(),
-            fact.interval.end(),
-            fact.confidence.value()
-        );
-        out.push('\n');
-    }
+    write_graph_into(graph, &mut out).expect("writing to a String never fails");
     out
+}
+
+/// [`write_graph`] into a caller-provided buffer: repeated
+/// serialisations (a serving loop, a periodic dump) reuse one
+/// allocation instead of building a fresh `String` per call.
+pub fn write_graph_into<W: Write>(graph: &UtkGraph, out: &mut W) -> fmt::Result {
+    for (_, fact) in graph.iter() {
+        write_fact(out, graph.dict(), fact)?;
+        out.write_char('\n')?;
+    }
+    Ok(())
+}
+
+/// Writes one fact in the canonical text format (no trailing newline)
+/// into a caller-provided buffer. This is the steady-state result
+/// serialisation path: callers that answer many queries keep one
+/// buffer and `clear()` it between responses, so rendering a fact
+/// allocates nothing once the buffer has grown to its working size.
+pub fn write_fact<W: Write>(out: &mut W, dict: &Dictionary, fact: &TemporalFact) -> fmt::Result {
+    write_term(out, dict.resolve(fact.subject))?;
+    out.write_char(' ')?;
+    write_term(out, dict.resolve(fact.predicate))?;
+    out.write_char(' ')?;
+    write_term(out, dict.resolve(fact.object))?;
+    write!(
+        out,
+        " [{},{}] {}",
+        fact.interval.start(),
+        fact.interval.end(),
+        fact.confidence.value()
+    )
 }
 
 fn needs_quoting(term: &str) -> bool {
@@ -36,13 +54,13 @@ fn needs_quoting(term: &str) -> bool {
             .any(|c| c.is_whitespace() || matches!(c, ',' | '(' | ')' | '[' | ']' | '"' | '#'))
 }
 
-fn write_term(out: &mut String, term: &str) {
+fn write_term<W: Write>(out: &mut W, term: &str) -> fmt::Result {
     if needs_quoting(term) {
-        out.push('"');
-        out.push_str(term);
-        out.push('"');
+        out.write_char('"')?;
+        out.write_str(term)?;
+        out.write_char('"')
     } else {
-        out.push_str(term);
+        out.write_str(term)
     }
 }
 

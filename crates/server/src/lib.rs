@@ -1,0 +1,54 @@
+//! # tecore-server
+//!
+//! High-throughput serving for the TeCoRe engine: a dependency-free
+//! (std-only) framed-TCP server answering [`TemporalQuery`]-shaped
+//! requests from the latest published [`Snapshot`] while a single
+//! writer loop batches edits and re-solves incrementally.
+//!
+//! Three layers (see the module docs for the details):
+//!
+//! * [`cell`] — [`SnapshotCell`]: lock-free snapshot publication; a
+//!   reader loads the current snapshot with a couple of atomic ops and
+//!   never blocks on the writer.
+//! * [`server`] — [`Server`]: the acceptor, the thread-per-core reader
+//!   pool with per-connection reusable buffers (the steady-state
+//!   query path allocates nothing), and the single-writer loop that
+//!   drains the edit queue, coalesces a batch per tick, re-solves
+//!   incrementally, and publishes.
+//! * [`proto`] — the line-based wire protocol (`Q`/`COUNT`/`OBJECTS`/
+//!   `TIMELINE` with subject/predicate/object/time clauses, plus
+//!   `INSERT`/`REMOVE`/`EPOCH`/`STATS`/`PING`/`QUIT`) compiled
+//!   straight onto the costed [`TemporalQuery`] planner.
+//!
+//! ```no_run
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//!
+//! use tecore_core::pipeline::Engine;
+//! use tecore_kg::UtkGraph;
+//! use tecore_logic::LogicProgram;
+//! use tecore_server::{Server, ServerConfig};
+//!
+//! let engine = Engine::new(UtkGraph::new(), LogicProgram::new());
+//! let server = Server::start(engine, ServerConfig::default())?;
+//!
+//! let mut conn = TcpStream::connect(server.local_addr())?;
+//! conn.write_all(b"INSERT CR coach Chelsea [2000,2004] 0.9\n")?;
+//! conn.write_all(b"COUNT p=coach at=2003\n")?;
+//! let mut reply = String::new();
+//! BufReader::new(conn).read_line(&mut reply)?;
+//!
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! [`TemporalQuery`]: tecore_core::query::TemporalQuery
+//! [`Snapshot`]: tecore_core::snapshot::Snapshot
+
+pub mod cell;
+pub mod proto;
+pub mod server;
+
+pub use cell::SnapshotCell;
+pub use proto::{Clauses, QueryKind, Request, TimeClause};
+pub use server::{Edit, Server, ServerConfig, ServerStats};

@@ -1,0 +1,430 @@
+//! The line-based wire protocol.
+//!
+//! One request per line, one response per request. Responses to query
+//! commands are framed by a header line carrying the snapshot epoch
+//! and the number of result lines that follow, so a client always
+//! knows how much to read and which publication answered it:
+//!
+//! ```text
+//! request  = ping | epoch | stats | quit | query | insert | remove
+//! ping     = "PING"                         ; → "PONG"
+//! epoch    = "EPOCH"                        ; → "OK epoch=E n=0"
+//! stats    = "STATS"                        ; → header + one "S ..." line
+//! quit     = "QUIT"                         ; → "BYE", connection closes
+//! query    = ("Q" | "COUNT" | "OBJECTS" | "TIMELINE") *clause
+//! clause   = "s=" term | "p=" term | "o=" term
+//!          | "at=" int | "over=" int ".." int
+//!          | "allen=" relation ":" int ".." int
+//!          | "minconf=" float | "limit=" int
+//! term     = bare-term | DQUOTE any-but-dquote DQUOTE
+//! insert   = "INSERT" term term term "[" int "," int "]" float
+//! remove   = "REMOVE" fact-id
+//! ```
+//!
+//! Query responses: `OK epoch=E n=K` then `K` result lines — `F id
+//! subject predicate object [a,b] conf` for `Q`, `O term` for
+//! `OBJECTS`, `T subject predicate object {intervals}` for `TIMELINE`.
+//! `COUNT` carries its answer in the header (`OK epoch=E n=0 count=K`).
+//! Edits are queued, not applied inline: `INSERT`/`REMOVE` answer
+//! `ACK` once enqueued and take effect at the writer loop's next tick.
+//! Malformed requests answer `ERR reason` without closing the
+//! connection.
+//!
+//! Parsing borrows every term straight from the request line
+//! ([`Request`] is lifetime-parametric) and response rendering writes
+//! into a caller-provided buffer, so the steady-state request→response
+//! path allocates nothing.
+
+use std::fmt::{self, Write};
+
+use tecore_core::query::TemporalQuery;
+use tecore_core::snapshot::Snapshot;
+use tecore_kg::writer::write_fact;
+use tecore_kg::FactId;
+use tecore_temporal::{AllenRelation, Interval};
+
+/// Which executor a query command runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `Q` — matching facts, one `F` line each.
+    Facts,
+    /// `COUNT` — match count in the header only.
+    Count,
+    /// `OBJECTS` — distinct objects, one `O` line each.
+    Objects,
+    /// `TIMELINE` — coalesced per-statement timelines, one `T` line each.
+    Timeline,
+}
+
+/// The time constraint of a query, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeClause {
+    /// No temporal constraint.
+    Any,
+    /// `at=t` — validity covers the point.
+    At(i64),
+    /// `over=a..b` — validity overlaps the window.
+    Over(Interval),
+    /// `allen=rel:a..b` — validity stands in `rel` to the anchor.
+    Allen(AllenRelation, Interval),
+}
+
+/// The parsed clauses of a query command; all terms borrow from the
+/// request line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clauses<'a> {
+    /// `s=` constraint.
+    pub subject: Option<&'a str>,
+    /// `p=` constraint.
+    pub predicate: Option<&'a str>,
+    /// `o=` constraint.
+    pub object: Option<&'a str>,
+    /// Temporal constraint.
+    pub time: TimeClause,
+    /// `minconf=` threshold.
+    pub min_confidence: Option<f64>,
+    /// `limit=` cap on result lines (`Q`/`OBJECTS`/`TIMELINE`).
+    pub limit: Option<usize>,
+}
+
+impl Default for Clauses<'_> {
+    fn default() -> Self {
+        Clauses {
+            subject: None,
+            predicate: None,
+            object: None,
+            time: TimeClause::Any,
+            min_confidence: None,
+            limit: None,
+        }
+    }
+}
+
+/// One parsed request; terms borrow from the input line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request<'a> {
+    /// Liveness probe.
+    Ping,
+    /// Current snapshot epoch.
+    Epoch,
+    /// Server counters.
+    Stats,
+    /// Close the connection.
+    Quit,
+    /// A read-only query against the current snapshot.
+    Query(QueryKind, Clauses<'a>),
+    /// Queue a fact insertion.
+    Insert {
+        /// Subject term.
+        subject: &'a str,
+        /// Predicate term.
+        predicate: &'a str,
+        /// Object term.
+        object: &'a str,
+        /// Valid-time interval.
+        interval: Interval,
+        /// Confidence in `(0, 1]`.
+        confidence: f64,
+    },
+    /// Queue a fact removal by the id reported in `F` lines.
+    Remove(FactId),
+}
+
+/// A parse failure; the message is static so erroring allocates
+/// nothing.
+pub type ParseError = &'static str;
+
+/// Splits a request line into whitespace-separated tokens, keeping
+/// double-quoted spans (which may contain spaces) intact.
+struct Tokens<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.rest = self.rest.trim_start();
+        if self.rest.is_empty() {
+            return None;
+        }
+        let bytes = self.rest.as_bytes();
+        let mut in_quotes = false;
+        let mut end = bytes.len();
+        for (i, &b) in bytes.iter().enumerate() {
+            match b {
+                b'"' => in_quotes = !in_quotes,
+                b' ' | b'\t' if !in_quotes => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (token, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Some(token)
+    }
+}
+
+fn tokens(line: &str) -> Tokens<'_> {
+    Tokens { rest: line }
+}
+
+/// Strips one level of surrounding double quotes, if present.
+fn unquote(term: &str) -> &str {
+    term.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .unwrap_or(term)
+}
+
+fn parse_int(s: &str) -> Result<i64, ParseError> {
+    s.parse().map_err(|_| "malformed integer")
+}
+
+fn parse_float(s: &str) -> Result<f64, ParseError> {
+    s.parse().map_err(|_| "malformed float")
+}
+
+fn parse_range(s: &str) -> Result<Interval, ParseError> {
+    let (a, b) = s.split_once("..").ok_or("range wants a..b")?;
+    Interval::new(parse_int(a)?, parse_int(b)?).map_err(|_| "empty interval (a > b)")
+}
+
+fn parse_clauses(line: &str) -> Result<Clauses<'_>, ParseError> {
+    let mut clauses = Clauses::default();
+    for token in tokens(line) {
+        let (key, value) = token.split_once('=').ok_or("clause wants key=value")?;
+        match key {
+            "s" => clauses.subject = Some(unquote(value)),
+            "p" => clauses.predicate = Some(unquote(value)),
+            "o" => clauses.object = Some(unquote(value)),
+            "at" => clauses.time = TimeClause::At(parse_int(value)?),
+            "over" => clauses.time = TimeClause::Over(parse_range(value)?),
+            "allen" => {
+                let (rel, range) = value.split_once(':').ok_or("allen wants rel:a..b")?;
+                let rel = AllenRelation::parse(rel).ok_or("unknown Allen relation")?;
+                clauses.time = TimeClause::Allen(rel, parse_range(range)?);
+            }
+            "minconf" => clauses.min_confidence = Some(parse_float(value)?),
+            "limit" => clauses.limit = Some(value.parse().map_err(|_| "malformed limit")?),
+            _ => return Err("unknown clause key"),
+        }
+    }
+    Ok(clauses)
+}
+
+fn parse_insert(line: &str) -> Result<Request<'_>, ParseError> {
+    let mut parts = tokens(line);
+    let subject = unquote(parts.next().ok_or("INSERT wants s p o [a,b] conf")?);
+    let predicate = unquote(parts.next().ok_or("INSERT wants s p o [a,b] conf")?);
+    let object = unquote(parts.next().ok_or("INSERT wants s p o [a,b] conf")?);
+    let span = parts.next().ok_or("INSERT wants s p o [a,b] conf")?;
+    let conf = parts.next().ok_or("INSERT wants s p o [a,b] conf")?;
+    if parts.next().is_some() {
+        return Err("trailing tokens after INSERT");
+    }
+    let span = span
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("interval wants [a,b]")?;
+    let (a, b) = span.split_once(',').ok_or("interval wants [a,b]")?;
+    let interval =
+        Interval::new(parse_int(a)?, parse_int(b)?).map_err(|_| "empty interval (a > b)")?;
+    let confidence = parse_float(conf)?;
+    Ok(Request::Insert {
+        subject,
+        predicate,
+        object,
+        interval,
+        confidence,
+    })
+}
+
+/// Parses one request line (without its trailing newline).
+pub fn parse(line: &str) -> Result<Request<'_>, ParseError> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once([' ', '\t']) {
+        Some((v, r)) => (v, r),
+        None => (line, ""),
+    };
+    match verb {
+        "PING" => Ok(Request::Ping),
+        "EPOCH" => Ok(Request::Epoch),
+        "STATS" => Ok(Request::Stats),
+        "QUIT" => Ok(Request::Quit),
+        "Q" => Ok(Request::Query(QueryKind::Facts, parse_clauses(rest)?)),
+        "COUNT" => Ok(Request::Query(QueryKind::Count, parse_clauses(rest)?)),
+        "OBJECTS" => Ok(Request::Query(QueryKind::Objects, parse_clauses(rest)?)),
+        "TIMELINE" => Ok(Request::Query(QueryKind::Timeline, parse_clauses(rest)?)),
+        "INSERT" => parse_insert(rest),
+        "REMOVE" => {
+            let id: u32 = rest.trim().parse().map_err(|_| "malformed fact id")?;
+            Ok(Request::Remove(FactId(id)))
+        }
+        "" => Err("empty request"),
+        _ => Err("unknown verb"),
+    }
+}
+
+/// Compiles parsed clauses onto a [`TemporalQuery`] builder.
+fn compile<'a>(snapshot: &'a Snapshot, clauses: &Clauses<'_>) -> TemporalQuery<'a> {
+    let mut q = snapshot.query();
+    if let Some(s) = clauses.subject {
+        q = q.subject(s);
+    }
+    if let Some(p) = clauses.predicate {
+        q = q.predicate(p);
+    }
+    if let Some(o) = clauses.object {
+        q = q.object(o);
+    }
+    match clauses.time {
+        TimeClause::Any => {}
+        TimeClause::At(t) => q = q.at(t),
+        TimeClause::Over(w) => q = q.overlapping(w),
+        TimeClause::Allen(rel, anchor) => q = q.allen(rel, anchor),
+    }
+    if let Some(min) = clauses.min_confidence {
+        q = q.min_confidence(min);
+    }
+    q
+}
+
+/// Executes a query command against `snapshot` and renders the full
+/// response (header + result lines, `\n`-terminated) into `out`.
+///
+/// The `Q`/`COUNT` paths allocate nothing once `out` has grown to its
+/// working size: the plan-and-scan is [`TemporalQuery::iter`] (lazy,
+/// allocation-free) and every fact renders through
+/// [`write_fact`] into the reused buffer. `OBJECTS`/`TIMELINE`
+/// materialise their (sorted/coalesced) result sets and are excluded
+/// from the zero-allocation guarantee.
+pub fn answer_query(
+    snapshot: &Snapshot,
+    kind: QueryKind,
+    clauses: &Clauses<'_>,
+    out: &mut String,
+) -> fmt::Result {
+    let epoch = snapshot.epoch();
+    let dict = snapshot.expanded().dict();
+    let query = compile(snapshot, clauses);
+    let limit = clauses.limit.unwrap_or(usize::MAX);
+    match kind {
+        QueryKind::Count => {
+            writeln!(out, "OK epoch={epoch} n=0 count={}", query.count())?;
+        }
+        QueryKind::Facts => {
+            // Two lazy passes: one to size the frame, one to render.
+            // Still allocation-free, and the snapshot is immutable so
+            // both passes see identical matches.
+            let n = query.iter().count().min(limit);
+            writeln!(out, "OK epoch={epoch} n={n}")?;
+            for (id, fact) in query.iter().take(limit) {
+                write!(out, "F {} ", id.0)?;
+                write_fact(out, dict, fact)?;
+                out.write_char('\n')?;
+            }
+        }
+        QueryKind::Objects => {
+            let objects = query.objects();
+            let n = objects.len().min(limit);
+            writeln!(out, "OK epoch={epoch} n={n}")?;
+            for sym in objects.into_iter().take(limit) {
+                writeln!(out, "O {}", dict.resolve(sym))?;
+            }
+        }
+        QueryKind::Timeline => {
+            let entries = query.timeline();
+            let n = entries.len().min(limit);
+            writeln!(out, "OK epoch={epoch} n={n}")?;
+            for entry in entries.iter().take(limit) {
+                out.write_str("T ")?;
+                entry.write_describe(dict, out)?;
+                out.write_char('\n')?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_commands() {
+        assert_eq!(parse("PING"), Ok(Request::Ping));
+        assert_eq!(parse("  EPOCH  "), Ok(Request::Epoch));
+        assert_eq!(parse("QUIT"), Ok(Request::Quit));
+        assert!(parse("").is_err());
+        assert!(parse("NOPE").is_err());
+    }
+
+    #[test]
+    fn parses_query_clauses() {
+        let req = parse("Q s=CR p=coach at=2003 minconf=0.5 limit=10").unwrap();
+        let Request::Query(QueryKind::Facts, c) = req else {
+            panic!("wrong request: {req:?}");
+        };
+        assert_eq!(c.subject, Some("CR"));
+        assert_eq!(c.predicate, Some("coach"));
+        assert_eq!(c.object, None);
+        assert_eq!(c.time, TimeClause::At(2003));
+        assert_eq!(c.min_confidence, Some(0.5));
+        assert_eq!(c.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_quoted_terms_with_spaces() {
+        let req = parse("COUNT s=\"Claudio Ranieri\" o=\"Leicester City\"").unwrap();
+        let Request::Query(QueryKind::Count, c) = req else {
+            panic!("wrong request: {req:?}");
+        };
+        assert_eq!(c.subject, Some("Claudio Ranieri"));
+        assert_eq!(c.object, Some("Leicester City"));
+    }
+
+    #[test]
+    fn parses_time_windows_and_allen() {
+        let Request::Query(_, c) = parse("OBJECTS over=1990..2000").unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.time, TimeClause::Over(Interval::new(1990, 2000).unwrap()));
+        let Request::Query(_, c) = parse("TIMELINE allen=before:2010..2015").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            c.time,
+            TimeClause::Allen(AllenRelation::Before, Interval::new(2010, 2015).unwrap())
+        );
+        assert!(parse("Q over=2000").is_err());
+        assert!(parse("Q allen=sideways:1..2").is_err());
+        assert!(parse("Q over=9..3").is_err());
+    }
+
+    #[test]
+    fn parses_edits() {
+        let req = parse("INSERT CR coach \"Leicester City\" [2015,2017] 0.7").unwrap();
+        assert_eq!(
+            req,
+            Request::Insert {
+                subject: "CR",
+                predicate: "coach",
+                object: "Leicester City",
+                interval: Interval::new(2015, 2017).unwrap(),
+                confidence: 0.7,
+            }
+        );
+        assert_eq!(parse("REMOVE 42"), Ok(Request::Remove(FactId(42))));
+        assert!(parse("INSERT a b c").is_err());
+        assert!(parse("INSERT a b c 2015,2017 0.7").is_err());
+        assert!(parse("REMOVE many").is_err());
+    }
+
+    #[test]
+    fn unknown_clause_key_is_rejected() {
+        assert!(parse("Q subject=CR").is_err());
+        assert!(parse("Q s").is_err());
+    }
+}

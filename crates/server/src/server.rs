@@ -1,0 +1,502 @@
+//! The served engine: acceptor, reader pool, single-writer loop.
+//!
+//! ```text
+//!            ┌────────────┐   TcpStream    ┌──────────────────┐
+//!  clients ──► acceptor   ├───────────────►│ reader pool (N)  │
+//!            └────────────┘   (channel)    │ reusable buffers │
+//!                                          └───┬──────────▲───┘
+//!                              INSERT/REMOVE   │          │ load()
+//!                                (channel)     │          │
+//!                                          ┌───▼──────────┴───┐
+//!                                          │ writer loop      │
+//!                                          │ drain → coalesce │
+//!                                          │ → resolve → ─────┼─► SnapshotCell
+//!                                          └──────────────────┘     publish()
+//! ```
+//!
+//! Readers answer every query from [`SnapshotCell::load`] — one atomic
+//! hand-off, no engine lock, no writer dependency. The writer loop
+//! owns the [`Engine`] outright: it drains the edit queue each tick,
+//! applies the whole batch to the graph (the change log nets it into
+//! one delta), runs one incremental resolve, and publishes. Queries
+//! racing a publish simply see the previous snapshot — stale by at
+//! most one tick, never torn.
+
+use std::io::{self, BufRead, BufReader, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tecore_core::pipeline::Engine;
+use tecore_core::snapshot::Snapshot;
+use tecore_kg::FactId;
+use tecore_temporal::Interval;
+
+use crate::cell::SnapshotCell;
+use crate::proto::{self, Request};
+
+/// One queued edit, applied by the writer loop at its next tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Insert a fact.
+    Insert {
+        /// Subject term.
+        subject: String,
+        /// Predicate term.
+        predicate: String,
+        /// Object term.
+        object: String,
+        /// Valid-time interval.
+        interval: Interval,
+        /// Confidence in `(0, 1]`.
+        confidence: f64,
+    },
+    /// Tombstone a fact by id.
+    Remove(FactId),
+}
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Reader threads. Defaults to the machine's parallelism.
+    pub readers: usize,
+    /// Writer tick: how long the writer waits for a first edit before
+    /// re-checking shutdown, and the batching window once idle.
+    pub tick: Duration,
+    /// Upper bound on edits coalesced into one resolve.
+    pub max_coalesce: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            readers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            tick: Duration::from_millis(2),
+            max_coalesce: 4096,
+        }
+    }
+}
+
+/// Monotone serving counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Query commands answered (`Q`/`COUNT`/`OBJECTS`/`TIMELINE`).
+    pub queries: AtomicU64,
+    /// Edits applied to the graph by the writer loop.
+    pub edits_applied: AtomicU64,
+    /// Snapshots published (resolves that completed).
+    pub publishes: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+/// A running TeCoRe server. Dropping without [`Server::shutdown`]
+/// aborts the threads ungracefully; call `shutdown` for a drained
+/// stop.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServerStats>,
+    edits: Sender<Edit>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Polling interval for blocking socket reads and channel waits; the
+/// latency floor for noticing a shutdown, not for serving requests.
+const POLL: Duration = Duration::from_millis(25);
+
+impl Server {
+    /// Resolves the engine's current graph (publishing the initial
+    /// snapshot), binds the listener, and spawns the acceptor, the
+    /// reader pool, and the writer loop.
+    pub fn start(mut engine: Engine, config: ServerConfig) -> io::Result<Server> {
+        let initial = engine
+            .resolve_incremental()
+            .map_err(|e| io::Error::other(format!("initial resolve failed: {e}")))?;
+        let cell = Arc::new(SnapshotCell::new(initial));
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let (edit_tx, edit_rx) = mpsc::channel::<Edit>();
+        // Rendezvous-ish connection hand-off: accepted sockets queue
+        // here until a reader thread picks them up.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(64);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut threads = Vec::with_capacity(config.readers + 2);
+
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tecore-accept".to_string())
+                    .spawn(move || accept_loop(listener, conn_tx, shutdown, stats))?,
+            );
+        }
+
+        for i in 0..config.readers.max(1) {
+            let conn_rx = Arc::clone(&conn_rx);
+            let cell = Arc::clone(&cell);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let edit_tx = edit_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tecore-read-{i}"))
+                    .spawn(move || reader_loop(conn_rx, cell, stats, shutdown, edit_tx))?,
+            );
+        }
+
+        {
+            let cell = Arc::clone(&cell);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let tick = config.tick;
+            let max_coalesce = config.max_coalesce.max(1);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("tecore-write".to_string())
+                    .spawn(move || {
+                        writer_loop(engine, edit_rx, cell, stats, shutdown, tick, max_coalesce)
+                    })?,
+            );
+        }
+
+        Ok(Server {
+            addr,
+            shutdown,
+            cell,
+            stats,
+            edits: edit_tx,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current published snapshot (same hand-off the readers use).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.cell.load()
+    }
+
+    /// Live serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Queues an edit exactly as a connection's `INSERT`/`REMOVE`
+    /// would (for embedding the server without a socket client).
+    pub fn queue_edit(&self, edit: Edit) {
+        let _ = self.edits.send(edit);
+    }
+
+    /// Graceful stop: flags shutdown, then joins every thread. Reader
+    /// threads drain the requests already buffered on their
+    /// connections before closing; the writer loop drains the edit
+    /// queue and publishes its final snapshot.
+    pub fn shutdown(self) -> Arc<Snapshot> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+        self.cell.load()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    conn_tx: SyncSender<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Request/response round-trips are small writes in
+                // both directions; leaving Nagle on costs ~40ms per
+                // round-trip against delayed ACKs.
+                let _ = stream.set_nodelay(true);
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let mut pending = stream;
+                // Hand off, shedding to a short retry loop if every
+                // reader is saturated and the queue is full.
+                loop {
+                    match conn_tx.try_send(pending) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            pending = back;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(TrySendError::Disconnected(_)) => return,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn reader_loop(
+    conn_rx: Arc<Mutex<Receiver<TcpStream>>>,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    edits: Sender<Edit>,
+) {
+    // Reused across requests *and* connections: the steady-state
+    // request→response path never allocates once these reach their
+    // working sizes.
+    let mut line = String::with_capacity(256);
+    let mut out = String::with_capacity(4096);
+    loop {
+        let stream = {
+            let guard = conn_rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv_timeout(POLL)
+        };
+        match stream {
+            Ok(stream) => serve_connection(
+                stream, &cell, &stats, &shutdown, &edits, &mut line, &mut out,
+            ),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection until `QUIT`, EOF, socket error, or shutdown.
+/// On shutdown, requests already received (pipelined in the socket
+/// buffer) are still answered before the connection closes.
+fn serve_connection(
+    stream: TcpStream,
+    cell: &SnapshotCell,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    edits: &Sender<Edit>,
+    line: &mut String,
+    out: &mut String,
+) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut draining = false;
+    line.clear();
+    loop {
+        // `read_line` *appends*: a read timeout can land after part of
+        // a line was consumed into `line`, so the buffer is only
+        // cleared once a complete line has been processed — partial
+        // requests survive across timeout polls.
+        match reader.read_line(line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                out.clear();
+                let quit = handle_line(line, cell, stats, edits, out);
+                line.clear();
+                if writer.write_all(out.as_bytes()).is_err() {
+                    return;
+                }
+                if quit {
+                    let _ = writer.flush();
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if draining {
+                    // Shutdown was flagged and the socket has gone
+                    // quiet: every request that reached us is
+                    // answered. Close.
+                    return;
+                }
+                if shutdown.load(Ordering::Relaxed) {
+                    // Switch to drain mode: keep serving whatever is
+                    // already buffered, close on the next quiet poll.
+                    draining = true;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and executes one request line, rendering the response into
+/// `out`. Returns `true` when the connection should close (`QUIT`).
+fn handle_line(
+    line: &str,
+    cell: &SnapshotCell,
+    stats: &ServerStats,
+    edits: &Sender<Edit>,
+    out: &mut String,
+) -> bool {
+    use std::fmt::Write;
+    match proto::parse(line) {
+        Ok(Request::Ping) => out.push_str("PONG\n"),
+        Ok(Request::Quit) => out.push_str("BYE\n"),
+        Ok(Request::Epoch) => {
+            let _ = writeln!(out, "OK epoch={} n=0", cell.load().epoch());
+        }
+        Ok(Request::Stats) => {
+            let _ = writeln!(out, "OK epoch={} n=1", cell.load().epoch());
+            let _ = writeln!(
+                out,
+                "S queries={} edits={} publishes={} connections={}",
+                stats.queries.load(Ordering::Relaxed),
+                stats.edits_applied.load(Ordering::Relaxed),
+                stats.publishes.load(Ordering::Relaxed),
+                stats.connections.load(Ordering::Relaxed),
+            );
+        }
+        Ok(Request::Query(kind, clauses)) => {
+            stats.queries.fetch_add(1, Ordering::Relaxed);
+            let snapshot = cell.load();
+            if proto::answer_query(&snapshot, kind, &clauses, out).is_err() {
+                out.clear();
+                out.push_str("ERR render failed\n");
+            }
+        }
+        Ok(Request::Insert {
+            subject,
+            predicate,
+            object,
+            interval,
+            confidence,
+        }) => {
+            let accepted = edits
+                .send(Edit::Insert {
+                    subject: subject.to_string(),
+                    predicate: predicate.to_string(),
+                    object: object.to_string(),
+                    interval,
+                    confidence,
+                })
+                .is_ok();
+            out.push_str(if accepted {
+                "ACK\n"
+            } else {
+                "ERR writer gone\n"
+            });
+        }
+        Ok(Request::Remove(id)) => {
+            let accepted = edits.send(Edit::Remove(id)).is_ok();
+            out.push_str(if accepted {
+                "ACK\n"
+            } else {
+                "ERR writer gone\n"
+            });
+        }
+        Err(reason) => {
+            let _ = writeln!(out, "ERR {reason}");
+        }
+    }
+    matches!(proto::parse(line), Ok(Request::Quit))
+}
+
+/// The single writer: drains the edit queue, coalesces a batch into
+/// the graph (whose change log nets it into one delta), re-solves
+/// incrementally, publishes. The engine is owned here — readers never
+/// see it.
+fn writer_loop(
+    mut engine: Engine,
+    edits: Receiver<Edit>,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    tick: Duration,
+    max_coalesce: usize,
+) {
+    loop {
+        // Block (bounded by the tick) for the batch's first edit.
+        let first = match edits.recv_timeout(tick.max(Duration::from_millis(1))) {
+            Ok(edit) => Some(edit),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut applied = 0u64;
+        if let Some(edit) = first {
+            applied += apply_edit(&mut engine, edit);
+            // Coalesce everything already queued into the same tick.
+            while applied < max_coalesce as u64 {
+                match edits.try_recv() {
+                    Ok(edit) => applied += apply_edit(&mut engine, edit),
+                    Err(_) => break,
+                }
+            }
+        }
+        if applied > 0 {
+            if let Ok(snapshot) = engine.resolve_incremental() {
+                cell.publish(snapshot);
+                stats.publishes.fetch_add(1, Ordering::Relaxed);
+            }
+            stats.edits_applied.fetch_add(applied, Ordering::Relaxed);
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            // Drain the queue so acknowledged edits are never lost,
+            // publish the final state, and exit.
+            let mut tail = 0u64;
+            while let Ok(edit) = edits.try_recv() {
+                tail += apply_edit(&mut engine, edit);
+            }
+            if tail > 0 {
+                if let Ok(snapshot) = engine.resolve_incremental() {
+                    cell.publish(snapshot);
+                    stats.publishes.fetch_add(1, Ordering::Relaxed);
+                }
+                stats.edits_applied.fetch_add(tail, Ordering::Relaxed);
+            }
+            return;
+        }
+    }
+}
+
+/// Applies one edit to the engine's graph; returns 1 if the graph
+/// changed. A `Remove` of an unknown/already-removed id is a no-op
+/// (the client raced another remove), not an error.
+fn apply_edit(engine: &mut Engine, edit: Edit) -> u64 {
+    match edit {
+        Edit::Insert {
+            subject,
+            predicate,
+            object,
+            interval,
+            confidence,
+        } => engine
+            .insert_fact(&subject, &predicate, &object, interval, confidence)
+            .map(|_| 1)
+            .unwrap_or(0),
+        Edit::Remove(id) => engine.remove_fact(id).map(|_| 1).unwrap_or(0),
+    }
+}

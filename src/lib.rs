@@ -42,6 +42,7 @@ pub use tecore_kg;
 pub use tecore_logic;
 pub use tecore_mln;
 pub use tecore_psl;
+pub use tecore_server;
 pub use tecore_temporal;
 
 /// Convenience re-exports for typical applications.

@@ -25,16 +25,24 @@
 //! The JSON is the criterion shim's flat schema
 //! (`{"bench": ..., "results": [{"name": ..., "median_ns": ...}]}`);
 //! the parser below reads exactly that shape with no dependencies (the
-//! build environment has no registry, so no serde).
+//! build environment has no registry, so no serde). Entries may
+//! additionally carry latency percentiles (`"p50_ns"`, `"p99_ns"` —
+//! the server load generator's schema); when a baseline entry has
+//! them, they are gated exactly like the median, and a report that
+//! *drops* a baselined percentile fails (a latency metric silently
+//! disappearing is itself a regression).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// One benchmark entry: name and median nanoseconds.
+/// One benchmark entry: name, median, and optional latency
+/// percentiles (the load-generator schema).
 #[derive(Debug, Clone, PartialEq)]
 struct Entry {
     name: String,
     median_ns: u64,
+    p50_ns: Option<u64>,
+    p99_ns: Option<u64>,
 }
 
 /// Extracts the string value following `"key":` at `pos` in `s`.
@@ -62,7 +70,12 @@ fn integer_value(s: &str, key: &str, from: usize) -> Option<(u64, usize)> {
 }
 
 /// Parses the criterion shim's `BENCH_*.json` report: every
-/// `{"name": ..., "median_ns": ...}` pair in order.
+/// `{"name": ..., "median_ns": ...}` pair in order, plus the optional
+/// `p50_ns`/`p99_ns` percentile fields of the load-generator schema.
+///
+/// Percentiles are searched only within the entry's own object (the
+/// span from the name to the next `}`), so an entry without them never
+/// steals the fields of the entry after it.
 fn parse_report(text: &str) -> Vec<Entry> {
     let mut out = Vec::new();
     let mut pos = 0usize;
@@ -70,8 +83,18 @@ fn parse_report(text: &str) -> Vec<Entry> {
         let Some((median_ns, after_median)) = integer_value(text, "median_ns", after_name) else {
             break;
         };
-        out.push(Entry { name, median_ns });
-        pos = after_median;
+        let entry_end = text[after_name..]
+            .find('}')
+            .map(|i| after_name + i)
+            .unwrap_or(text.len());
+        let entry_text = &text[after_name..entry_end];
+        out.push(Entry {
+            name,
+            median_ns,
+            p50_ns: integer_value(entry_text, "p50_ns", 0).map(|(v, _)| v),
+            p99_ns: integer_value(entry_text, "p99_ns", 0).map(|(v, _)| v),
+        });
+        pos = after_median.max(entry_end);
     }
     out
 }
@@ -148,9 +171,6 @@ fn check_file(baseline_path: &Path, args: &Args, failures: &mut Vec<String>) {
         }
     };
     for base in &baseline {
-        if base.median_ns < args.min_ns {
-            continue; // too fast to measure meaningfully in a smoke run
-        }
         let Some(current) = report.iter().find(|e| e.name == base.name) else {
             failures.push(format!(
                 "{}: benchmark disappeared from the report (renamed without updating \
@@ -159,26 +179,48 @@ fn check_file(baseline_path: &Path, args: &Args, failures: &mut Vec<String>) {
             ));
             continue;
         };
-        let ratio = current.median_ns as f64 / base.median_ns as f64;
-        let verdict = if ratio > args.tolerance {
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!(
-            "{verdict:>9}  {:<60} baseline {:>12}  now {:>12}  ({ratio:.2}x)",
-            base.name,
-            format_ms(base.median_ns),
-            format_ms(current.median_ns),
-        );
-        if ratio > args.tolerance {
-            failures.push(format!(
-                "{}: median {} vs baseline {} ({ratio:.2}x > {:.2}x tolerance)",
-                base.name,
-                format_ms(current.median_ns),
-                format_ms(base.median_ns),
-                args.tolerance
-            ));
+        // Every metric the baseline tracks is gated; a report that
+        // dropped a baselined percentile fails outright.
+        let metrics: [(&str, u64, Option<u64>); 3] = [
+            ("median", base.median_ns, Some(current.median_ns)),
+            ("p50", base.p50_ns.unwrap_or(0), current.p50_ns),
+            ("p99", base.p99_ns.unwrap_or(0), current.p99_ns),
+        ];
+        for (metric, base_ns, current_ns) in metrics {
+            if base_ns == 0 {
+                continue; // metric not tracked by the baseline
+            }
+            if base_ns < args.min_ns {
+                continue; // too fast to measure meaningfully in a smoke run
+            }
+            let Some(current_ns) = current_ns else {
+                failures.push(format!(
+                    "{} [{metric}]: metric disappeared from the report (schema changed \
+                     without updating the baseline?)",
+                    base.name
+                ));
+                continue;
+            };
+            let ratio = current_ns as f64 / base_ns as f64;
+            let verdict = if ratio > args.tolerance {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            let label = format!("{} [{metric}]", base.name);
+            println!(
+                "{verdict:>9}  {label:<60} baseline {:>12}  now {:>12}  ({ratio:.2}x)",
+                format_ms(base_ns),
+                format_ms(current_ns),
+            );
+            if ratio > args.tolerance {
+                failures.push(format!(
+                    "{label}: {} vs baseline {} ({ratio:.2}x > {:.2}x tolerance)",
+                    format_ms(current_ns),
+                    format_ms(base_ns),
+                    args.tolerance
+                ));
+            }
         }
     }
 }
@@ -336,6 +378,94 @@ mod tests {
             &mut failures,
         );
         assert!(failures.is_empty(), "{failures:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    const PERCENTILE_SAMPLE: &str = r#"{"bench": "server_load", "results": [
+  {"name": "server_load/churn/qps", "median_ns": 5000000, "min_ns": 1, "max_ns": 2, "stddev_ns": 0, "samples": 1},
+  {"name": "server_load/churn/read_latency", "median_ns": 4100000, "p50_ns": 4100000, "p99_ns": 9300000, "samples": 1},
+  {"name": "server_load/idle/read_latency", "median_ns": 3800000, "p50_ns": 3800000, "p99_ns": 7200000, "samples": 1}
+]}"#;
+
+    #[test]
+    fn parses_the_percentile_schema() {
+        let entries = parse_report(PERCENTILE_SAMPLE);
+        assert_eq!(entries.len(), 3);
+        // Old-schema entry: percentiles absent, not borrowed from the
+        // next entry in the file.
+        assert_eq!(entries[0].name, "server_load/churn/qps");
+        assert_eq!(entries[0].p50_ns, None);
+        assert_eq!(entries[0].p99_ns, None);
+        assert_eq!(entries[1].p50_ns, Some(4_100_000));
+        assert_eq!(entries[1].p99_ns, Some(9_300_000));
+        assert_eq!(entries[2].p99_ns, Some(7_200_000));
+        // The plain shim schema still parses with empty percentiles.
+        let old = parse_report(SAMPLE);
+        assert!(old.iter().all(|e| e.p50_ns.is_none() && e.p99_ns.is_none()));
+    }
+
+    #[test]
+    fn p99_regression_is_caught() {
+        let dir = std::env::temp_dir().join(format!("bench_check_p99_{}", std::process::id()));
+        let baselines = dir.join("baselines");
+        let reports = dir.join("reports");
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::create_dir_all(&reports).unwrap();
+        std::fs::write(baselines.join("BENCH_server_load.json"), PERCENTILE_SAMPLE).unwrap();
+        // p99 of the churn phase blows past 3x; medians and p50s stay put.
+        let report = PERCENTILE_SAMPLE.replace("\"p99_ns\": 9300000", "\"p99_ns\": 93000000");
+        std::fs::write(reports.join("BENCH_server_load.json"), report).unwrap();
+        let args = Args {
+            baseline_dir: baselines,
+            reports_dir: reports,
+            tolerance: 3.0,
+            min_ns: 1_000_000,
+        };
+        let mut failures = Vec::new();
+        check_file(
+            &args.baseline_dir.join("BENCH_server_load.json"),
+            &args,
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("churn/read_latency [p99]"),
+            "{failures:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropped_percentile_metric_fails() {
+        let dir = std::env::temp_dir().join(format!("bench_check_drop_{}", std::process::id()));
+        let baselines = dir.join("baselines");
+        let reports = dir.join("reports");
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::create_dir_all(&reports).unwrap();
+        std::fs::write(baselines.join("BENCH_server_load.json"), PERCENTILE_SAMPLE).unwrap();
+        // The report regressed to the old schema: percentiles gone.
+        let report = PERCENTILE_SAMPLE
+            .replace(", \"p50_ns\": 4100000, \"p99_ns\": 9300000", "")
+            .replace(", \"p50_ns\": 3800000, \"p99_ns\": 7200000", "");
+        std::fs::write(reports.join("BENCH_server_load.json"), report).unwrap();
+        let args = Args {
+            baseline_dir: baselines,
+            reports_dir: reports,
+            tolerance: 3.0,
+            min_ns: 1_000_000,
+        };
+        let mut failures = Vec::new();
+        check_file(
+            &args.baseline_dir.join("BENCH_server_load.json"),
+            &args,
+            &mut failures,
+        );
+        // p50 + p99 disappeared on both latency entries.
+        assert_eq!(failures.len(), 4, "{failures:?}");
+        assert!(
+            failures.iter().all(|f| f.contains("metric disappeared")),
+            "{failures:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
