@@ -29,9 +29,10 @@ use tecore_ground::incremental::DeltaStats;
 use tecore_ground::{
     ComponentMode, GroundConfig, Grounding, JoinPlanner, MapState, SolveError, SolveOpts,
 };
-use tecore_kg::{Delta, FactId, TemporalFact, UtkGraph};
+use tecore_kg::{Confidence, Delta, FactId, TemporalFact, UtkGraph};
 use tecore_logic::LogicProgram;
 use tecore_temporal::Interval;
+use tecore_wal::{InsertRecord, RecoveryReport, Wal, WalConfig, WalStats};
 
 use crate::error::TecoreError;
 use crate::pipeline::{check_solver_contract, interpret, SolverHandle, TecoreConfig};
@@ -417,13 +418,37 @@ fn solve_components(
 /// assert_eq!(snapshot.stats.conflicting_facts, 1); // Napoli removed
 /// assert_eq!(snapshot.at(2002).predicate("coach").count(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engine {
     graph: UtkGraph,
     program: LogicProgram,
     config: TecoreConfig,
     cache: Option<EngineState>,
     latest: Option<Arc<Snapshot>>,
+    /// Write-ahead log, when this engine is durable: every
+    /// insert/remove is journaled *before* the graph mutation.
+    wal: Option<Wal>,
+    /// Times the incremental path re-grounded because the change log
+    /// was truncated past the cached epoch (surfaced in
+    /// [`DebugStats::fallback_regrounds`](crate::stats::DebugStats)).
+    fallback_regrounds: u64,
+}
+
+impl Clone for Engine {
+    /// Clones the in-memory engine. The WAL handle is deliberately
+    /// **not** cloned — two engines appending to one log would
+    /// interleave epochs — so the clone is a plain in-memory engine.
+    fn clone(&self) -> Self {
+        Engine {
+            graph: self.graph.clone(),
+            program: self.program.clone(),
+            config: self.config.clone(),
+            cache: self.cache.clone(),
+            latest: self.latest.clone(),
+            wal: None,
+            fallback_regrounds: self.fallback_regrounds,
+        }
+    }
 }
 
 impl Engine {
@@ -440,7 +465,51 @@ impl Engine {
             config,
             cache: None,
             latest: None,
+            wal: None,
+            fallback_regrounds: 0,
         }
+    }
+
+    /// Creates a **durable** engine over a graph that was recovered
+    /// from `wal` (i.e. the pair returned by [`Wal::open`]): every
+    /// subsequent [`Engine::insert_fact`]/[`Engine::remove_fact`] is
+    /// journaled before it is applied.
+    pub fn durable(graph: UtkGraph, program: LogicProgram, config: TecoreConfig, wal: Wal) -> Self {
+        let mut engine = Engine::with_config(graph, program, config);
+        engine.wal = Some(wal);
+        engine
+    }
+
+    /// Opens (or creates) the write-ahead log in `dir` with default
+    /// configurations, recovers the graph it describes, and returns a
+    /// durable engine serving it.
+    pub fn open_durable(
+        dir: impl Into<std::path::PathBuf>,
+        program: LogicProgram,
+    ) -> Result<Self, TecoreError> {
+        Engine::open_durable_with(dir, program, TecoreConfig::default(), WalConfig::default())
+    }
+
+    /// [`Engine::open_durable`] with explicit engine and log
+    /// configurations.
+    pub fn open_durable_with(
+        dir: impl Into<std::path::PathBuf>,
+        program: LogicProgram,
+        config: TecoreConfig,
+        wal_config: WalConfig,
+    ) -> Result<Self, TecoreError> {
+        let (wal, graph) = Wal::open(dir, wal_config)?;
+        Ok(Engine::durable(graph, program, config, wal))
+    }
+
+    /// Makes an in-memory engine durable by attaching a log whose
+    /// recovered state did *not* produce this graph: the graph is
+    /// immediately checkpointed so the log has a durable baseline to
+    /// replay future edits against. The `wal` must be freshly opened
+    /// (its recovered epoch at or below the graph's).
+    pub fn attach_wal(&mut self, wal: Wal) -> Result<(), TecoreError> {
+        self.wal = Some(wal);
+        self.checkpoint()
     }
 
     /// The input graph.
@@ -499,7 +568,10 @@ impl Engine {
     }
 
     /// Inserts a fact (interning as needed); the change feeds the next
-    /// incremental resolve.
+    /// incremental resolve. On a durable engine the edit is journaled
+    /// *before* the graph mutation — a failed journal append leaves
+    /// the graph untouched, so in-memory state never runs ahead of
+    /// what recovery can rebuild.
     pub fn insert_fact(
         &mut self,
         subject: &str,
@@ -508,15 +580,96 @@ impl Engine {
         interval: Interval,
         confidence: f64,
     ) -> Result<FactId, TecoreError> {
+        if let Some(wal) = self.wal.as_mut() {
+            // Validate up front so the log never records an edit the
+            // graph would then reject (which would poison replay).
+            Confidence::new(confidence)?;
+            let id = FactId(self.graph.arena_len() as u32);
+            wal.log_insert(
+                self.graph.epoch() + 1,
+                id,
+                &InsertRecord {
+                    subject,
+                    predicate,
+                    object,
+                    interval,
+                    confidence,
+                },
+            )?;
+        }
         Ok(self
             .graph
             .insert(subject, predicate, object, interval, confidence)?)
     }
 
     /// Removes (tombstones) a fact; the change feeds the next
-    /// incremental resolve.
+    /// incremental resolve. Durable engines journal first, exactly as
+    /// in [`Engine::insert_fact`].
     pub fn remove_fact(&mut self, id: FactId) -> Result<TemporalFact, TecoreError> {
+        if let Some(wal) = self.wal.as_mut() {
+            if !self.graph.is_alive(id) {
+                return Err(tecore_kg::KgError::UnknownFact(id.0).into());
+            }
+            wal.log_remove(self.graph.epoch() + 1, id)?;
+        }
         Ok(self.graph.remove(id)?)
+    }
+
+    /// Is this engine journaling edits to a write-ahead log?
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Log counters, when durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(Wal::stats)
+    }
+
+    /// What recovery found when the log was opened, when durable.
+    pub fn wal_recovery(&self) -> Option<&RecoveryReport> {
+        self.wal.as_ref().map(Wal::recovery)
+    }
+
+    /// Has the log been poisoned by an I/O failure? (Edits are refused
+    /// from then on; a serving layer should degrade to read-only.)
+    pub fn wal_poisoned(&self) -> bool {
+        self.wal.as_ref().is_some_and(Wal::is_poisoned)
+    }
+
+    /// Forces journaled edits to durable storage and returns the
+    /// durable epoch — the `FLUSH` protocol verb. `Ok(0)` on an
+    /// in-memory engine (nothing to flush, nothing durable).
+    pub fn flush_wal(&mut self) -> Result<u64, TecoreError> {
+        match self.wal.as_mut() {
+            Some(wal) => Ok(wal.flush()?),
+            None => Ok(0),
+        }
+    }
+
+    /// Writes a durable checkpoint of the current graph and prunes the
+    /// log behind it. No-op on an in-memory engine.
+    pub fn checkpoint(&mut self) -> Result<(), TecoreError> {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.checkpoint(&self.graph)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints if the log has grown past its configured threshold
+    /// since the last one. Returns whether a checkpoint was taken.
+    pub fn maybe_checkpoint(&mut self) -> Result<bool, TecoreError> {
+        if self.wal.as_ref().is_some_and(Wal::should_checkpoint) {
+            self.checkpoint()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Times the incremental path fell back to a full re-ground on a
+    /// truncated change log (see
+    /// [`DebugStats::fallback_regrounds`](crate::stats::DebugStats)).
+    pub fn fallback_regrounds(&self) -> u64 {
+        self.fallback_regrounds
     }
 
     /// The grounding configuration actually used: the backend's caps
@@ -588,6 +741,7 @@ impl Engine {
         );
         resolution.stats.components = outcome.components;
         resolution.stats.components_solved = outcome.components_solved;
+        resolution.stats.fallback_regrounds = self.fallback_regrounds;
         Ok(resolution)
     }
 
@@ -614,12 +768,20 @@ impl Engine {
                     engine.grounding.stats.elapsed = delta_stats.elapsed;
                     engine
                 }
-                None => EngineState {
+                None => {
                     // The change log no longer reaches back to the
                     // cached epoch: re-ground from scratch.
-                    grounding: translate(&self.graph, &self.program, &caps, &self.config.ground)?,
-                    last_state: None,
-                },
+                    self.fallback_regrounds += 1;
+                    EngineState {
+                        grounding: translate(
+                            &self.graph,
+                            &self.program,
+                            &caps,
+                            &self.config.ground,
+                        )?,
+                        last_state: None,
+                    }
+                }
             },
             None => EngineState {
                 grounding: translate(&self.graph, &self.program, &caps, &self.config.ground)?,
@@ -669,6 +831,7 @@ impl Engine {
         );
         resolution.stats.components = outcome.components;
         resolution.stats.components_solved = outcome.components_solved;
+        resolution.stats.fallback_regrounds = self.fallback_regrounds;
         engine.last_state = Some(state);
         self.cache = Some(engine);
         Ok(self.publish(resolution))
@@ -938,8 +1101,11 @@ mod tests {
             .unwrap();
         let via_log = engine.resolve_incremental().unwrap();
         assert_eq!(via_log.stats.conflicting_facts, 2);
+        assert_eq!(via_log.stats.fallback_regrounds, 0);
+        assert_eq!(engine.fallback_regrounds(), 0);
 
-        // Sever the history: the engine must rebuild, not misbehave.
+        // Sever the history: the engine must rebuild, not misbehave —
+        // and the silent full re-ground must be counted, not silent.
         engine
             .graph_mut()
             .insert("X", "coach", "A", iv(1, 2), 0.9)
@@ -948,6 +1114,12 @@ mod tests {
         engine.graph_mut().truncate_log(epoch);
         let rebuilt = engine.resolve_incremental().unwrap();
         assert_eq!(rebuilt.stats.conflicting_facts, 2);
+        assert_eq!(rebuilt.stats.fallback_regrounds, 1);
+        assert_eq!(engine.fallback_regrounds(), 1);
+
+        // The counter is cumulative, not reset by a clean resolve.
+        let clean = engine.resolve_incremental().unwrap();
+        assert_eq!(clean.stats.fallback_regrounds, 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 use tecore_ground::SolveError;
 use tecore_kg::KgError;
 use tecore_logic::LogicError;
+use tecore_wal::WalError;
 
 /// Errors of the end-to-end pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +19,9 @@ pub enum TecoreError {
     /// A session-level misuse (unknown dataset, no program, unknown
     /// backend name, ...).
     Session(String),
+    /// The durability layer failed (see `tecore_wal::WalError`). The
+    /// in-memory engine is still consistent, but edits were refused.
+    Wal(WalError),
 }
 
 impl fmt::Display for TecoreError {
@@ -27,6 +31,7 @@ impl fmt::Display for TecoreError {
             TecoreError::Kg(e) => write!(f, "knowledge-graph error: {e}"),
             TecoreError::Solve(e) => write!(f, "solver error: {e}"),
             TecoreError::Session(msg) => write!(f, "session error: {msg}"),
+            TecoreError::Wal(e) => write!(f, "wal error: {e}"),
         }
     }
 }
@@ -38,6 +43,7 @@ impl std::error::Error for TecoreError {
             TecoreError::Kg(e) => Some(e),
             TecoreError::Solve(e) => Some(e),
             TecoreError::Session(_) => None,
+            TecoreError::Wal(e) => Some(e),
         }
     }
 }
@@ -57,6 +63,12 @@ impl From<KgError> for TecoreError {
 impl From<SolveError> for TecoreError {
     fn from(e: SolveError) -> Self {
         TecoreError::Solve(e)
+    }
+}
+
+impl From<WalError> for TecoreError {
+    fn from(e: WalError) -> Self {
+        TecoreError::Wal(e)
     }
 }
 

@@ -184,9 +184,11 @@ pub(crate) fn interpret(
         atoms: grounding.num_atoms() - grounding.store.dead_count(),
         clauses: state.active_clauses,
         // Filled in by the engine after interpretation (the solve
-        // driver owns the component accounting).
+        // driver owns the component accounting; the engine owns the
+        // fallback-reground counter).
         components: 0,
         components_solved: 0,
+        fallback_regrounds: 0,
         per_constraint,
         backend: config.backend.name().to_string(),
         feasible: state.feasible,

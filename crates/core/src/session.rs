@@ -67,6 +67,22 @@ impl Session {
         }
     }
 
+    /// Registers a dataset recovered from a write-ahead-log directory
+    /// (latest checkpoint plus replayed tail — see `tecore_wal`) and
+    /// returns the recovered epoch. The session itself stays
+    /// in-memory; pair with [`Engine::open_durable`] when edits must
+    /// keep journaling.
+    pub fn open_durable(
+        &mut self,
+        name: impl Into<String>,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<u64, TecoreError> {
+        let (_wal, graph) = tecore_wal::Wal::open(dir, tecore_wal::WalConfig::default())?;
+        let epoch = graph.epoch();
+        self.add_dataset(name, graph);
+        Ok(epoch)
+    }
+
     /// Lists registered dataset names.
     pub fn dataset_names(&self) -> Vec<&str> {
         self.datasets.iter().map(|(n, _)| n.as_str()).collect()

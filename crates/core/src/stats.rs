@@ -36,6 +36,13 @@ pub struct DebugStats {
     /// were clean and their cached per-component states were spliced.
     /// Equals `components` on a cold solve.
     pub components_solved: usize,
+    /// Times this engine's incremental path fell back to a full
+    /// re-ground because the graph's change log had been truncated
+    /// past the cached epoch (cumulative over the engine's lifetime;
+    /// `0` on the batch path). A non-zero value means some consumer
+    /// truncates the log faster than the engine resolves — correct but
+    /// silently expensive, which is why it is surfaced here.
+    pub fallback_regrounds: u64,
     /// Violated-constraint groundings observed per constraint name.
     pub per_constraint: Vec<(String, usize)>,
     /// Backend identifier (`"mln-exact"`, `"mln-cpi"`, `"psl-admm"`,
@@ -98,6 +105,9 @@ impl fmt::Display for DebugStats {
                 self.components_solved,
                 self.components - self.components_solved
             )?;
+        }
+        if self.fallback_regrounds > 0 {
+            writeln!(f, "fallback regrounds : {}", self.fallback_regrounds)?;
         }
         writeln!(f, "feasible           : {}", self.feasible)?;
         writeln!(f, "map cost           : {:.4}", self.cost)?;

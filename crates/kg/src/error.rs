@@ -21,6 +21,9 @@ pub enum KgError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A checkpoint document that is structurally invalid (bad header,
+    /// out-of-order slots, arena/epoch inconsistency).
+    Checkpoint(String),
 }
 
 impl fmt::Display for KgError {
@@ -33,6 +36,9 @@ impl fmt::Display for KgError {
             KgError::UnknownFact(id) => write!(f, "unknown fact id {id}"),
             KgError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            KgError::Checkpoint(message) => {
+                write!(f, "invalid checkpoint: {message}")
             }
         }
     }

@@ -328,6 +328,73 @@ impl UtkGraph {
         domain
     }
 
+    /// Rebuilds a graph from checkpoint data: live facts keyed by their
+    /// original arena slot, the original arena length, and the epoch at
+    /// which the checkpoint was taken.
+    ///
+    /// Slots absent from `entries` become tombstones (their fact bodies
+    /// are gone — a placeholder fills the arena slot), so surviving ids
+    /// keep their positions and the next insert is assigned
+    /// `FactId(arena_len)` exactly as it would have been in the
+    /// original graph. That id stability is what lets a write-ahead log
+    /// replay `Remove(id)` / `Insert(id)` records recorded *after* the
+    /// checkpoint against the restored graph.
+    ///
+    /// `entries` must be in ascending slot order with every slot below
+    /// `arena_len`, and `epoch` must be at least `arena_len` (every
+    /// insert bumps the epoch, so no real graph violates this).
+    pub(crate) fn restore(
+        arena_len: usize,
+        epoch: u64,
+        entries: impl IntoIterator<Item = (u32, crate::parser::RawFact)>,
+    ) -> Result<UtkGraph, KgError> {
+        if epoch < arena_len as u64 {
+            return Err(KgError::Checkpoint(format!(
+                "epoch {epoch} below arena length {arena_len}"
+            )));
+        }
+        let mut g = UtkGraph::with_capacity(arena_len);
+        for (slot, (s, p, o, interval, confidence)) in entries {
+            let slot = slot as usize;
+            if slot < g.facts.len() || slot >= arena_len {
+                return Err(KgError::Checkpoint(format!(
+                    "slot {slot} out of order or beyond arena length {arena_len}"
+                )));
+            }
+            g.fill_tombstones(slot);
+            let confidence = Confidence::new(confidence)?;
+            let s = g.dict.intern(&s);
+            let p = g.dict.intern(&p);
+            let o = g.dict.intern(&o);
+            g.insert_fact(TemporalFact::new(s, p, o, interval, confidence));
+        }
+        g.fill_tombstones(arena_len);
+        g.epoch = epoch;
+        g.log.clear();
+        g.log_start = epoch;
+        Ok(g)
+    }
+
+    /// Pads the arena with dead placeholder slots up to `upto`
+    /// (restore-only: the placeholders are unindexed and never live).
+    fn fill_tombstones(&mut self, upto: usize) {
+        if self.facts.len() >= upto {
+            return;
+        }
+        let ghost = self.dict.intern("");
+        let fact = TemporalFact::new(
+            ghost,
+            ghost,
+            ghost,
+            Interval::new(0, 0).expect("unit interval is valid"),
+            Confidence::CERTAIN,
+        );
+        while self.facts.len() < upto {
+            self.facts.push(fact);
+            self.alive.push(false);
+        }
+    }
+
     /// Duplicates the graph, retaining only facts for which `keep` holds.
     /// Symbols remain valid (the dictionary is shared by clone).
     pub fn filtered(&self, mut keep: impl FnMut(FactId, &TemporalFact) -> bool) -> UtkGraph {

@@ -46,6 +46,59 @@ pub fn parse_into(input: &str, graph: &mut UtkGraph) -> Result<usize, KgError> {
 /// `(subject, predicate, object, interval, confidence)`.
 pub type RawFact = (String, String, String, Interval, f64);
 
+/// Parses a checkpoint document written by
+/// [`crate::writer::write_checkpoint`]: a
+/// `#tecore-checkpoint v1 epoch=<E> arena=<N>` header followed by
+/// `<slot> s p o [a,b] conf` lines in ascending slot order. The
+/// restored graph reproduces the original's arena layout (missing
+/// slots become tombstones), epoch, and therefore its next
+/// [`crate::fact::FactId`] assignment.
+pub fn parse_checkpoint(input: &str) -> Result<UtkGraph, KgError> {
+    let mut lines = input.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((_, l)) if l.trim().is_empty() => continue,
+            Some((_, l)) => break l.trim(),
+            None => return Err(KgError::Checkpoint("empty checkpoint document".into())),
+        }
+    };
+    let attrs = header
+        .strip_prefix("#tecore-checkpoint v1")
+        .ok_or_else(|| KgError::Checkpoint(format!("bad header `{header}`")))?;
+    let (mut epoch, mut arena) = (None, None);
+    for token in attrs.split_whitespace() {
+        if let Some(v) = token.strip_prefix("epoch=") {
+            epoch = v.parse::<u64>().ok();
+        } else if let Some(v) = token.strip_prefix("arena=") {
+            arena = v.parse::<usize>().ok();
+        }
+    }
+    let (Some(epoch), Some(arena)) = (epoch, arena) else {
+        return Err(KgError::Checkpoint(format!(
+            "header `{header}` needs epoch= and arena="
+        )));
+    };
+    let mut entries = Vec::new();
+    for (lineno, raw) in lines {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| KgError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        let (slot, fact) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err("expected `<slot> s p o [a,b] conf`".into()))?;
+        let slot: u32 = slot
+            .parse()
+            .map_err(|_| err(format!("invalid arena slot `{slot}`")))?;
+        entries.push((slot, parse_fact_line(fact.trim(), lineno + 1)?));
+    }
+    UtkGraph::restore(arena, epoch, entries)
+}
+
 fn strip_comment(line: &str) -> &str {
     // A `#` inside quotes is part of the term.
     let mut in_quotes = false;

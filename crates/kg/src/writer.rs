@@ -27,6 +27,36 @@ pub fn write_graph_into<W: Write>(graph: &UtkGraph, out: &mut W) -> fmt::Result 
     Ok(())
 }
 
+/// Serialises a graph as a **checkpoint**: a header recording the
+/// epoch and arena length, then one `<slot> s p o [a,b] conf` line per
+/// live fact. Unlike [`write_graph`], the output preserves fact ids
+/// and tombstone positions, so a restored graph assigns the same id to
+/// the next insert as the original would — the property a write-ahead
+/// log needs to replay post-checkpoint edits by id.
+///
+/// Round-trips through [`crate::parser::parse_checkpoint`].
+pub fn write_checkpoint(graph: &UtkGraph) -> String {
+    let mut out = String::with_capacity(graph.len() * 52 + 64);
+    write_checkpoint_into(graph, &mut out).expect("writing to a String never fails");
+    out
+}
+
+/// [`write_checkpoint`] into a caller-provided buffer.
+pub fn write_checkpoint_into<W: Write>(graph: &UtkGraph, out: &mut W) -> fmt::Result {
+    writeln!(
+        out,
+        "#tecore-checkpoint v1 epoch={} arena={}",
+        graph.epoch(),
+        graph.arena_len()
+    )?;
+    for (id, fact) in graph.iter() {
+        write!(out, "{} ", id.0)?;
+        write_fact(out, graph.dict(), fact)?;
+        out.write_char('\n')?;
+    }
+    Ok(())
+}
+
 /// Writes one fact in the canonical text format (no trailing newline)
 /// into a caller-provided buffer. This is the steady-state result
 /// serialisation path: callers that answer many queries keep one
@@ -104,6 +134,107 @@ mod tests {
         assert!(text.contains("\"Claudio Ranieri\""));
         let g2 = parse_graph(&text).unwrap();
         assert!(g2.dict().lookup("Claudio Ranieri").is_some());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_ids_and_epoch() {
+        use crate::fact::FactId;
+        use crate::parser::parse_checkpoint;
+
+        let mut g = parse_graph(
+            "(CR, coach, Chelsea, [2000,2004]) 0.9\n\
+             (CR, coach, Leicester, [2015,2017]) 0.7\n\
+             (CR, coach, Napoli, [2001,2003]) 0.6\n",
+        )
+        .unwrap();
+        g.remove(FactId(1)).unwrap();
+        let (arena, epoch, len) = (g.arena_len(), g.epoch(), g.len());
+
+        let text = write_checkpoint(&g);
+        let r = parse_checkpoint(&text).unwrap();
+        assert_eq!(r.arena_len(), arena);
+        assert_eq!(r.epoch(), epoch);
+        assert_eq!(r.len(), len);
+        // Surviving facts keep their slots; the tombstone stays dead.
+        assert!(r.fact(FactId(0)).is_some());
+        assert!(!r.is_alive(FactId(1)));
+        assert_eq!(
+            r.dict().resolve(r.fact(FactId(2)).unwrap().object),
+            "Napoli"
+        );
+        // Id assignment continues where the original would have.
+        let mut r2 = parse_checkpoint(&text).unwrap();
+        let next = r2
+            .insert("x", "y", "z", Interval::new(1, 2).unwrap(), 0.5)
+            .unwrap();
+        assert_eq!(next, FactId(arena as u32));
+        assert_eq!(r2.epoch(), epoch + 1);
+        // The restored log starts at the checkpoint epoch: history
+        // before it is gone, history after it replays.
+        assert!(r2.since(0).is_none() || epoch == 0);
+        assert_eq!(r2.since(epoch).unwrap().added, vec![next]);
+    }
+
+    #[test]
+    fn checkpoint_rejects_malformed_documents() {
+        use crate::parser::parse_checkpoint;
+        // Bad or missing headers.
+        assert!(parse_checkpoint("").is_err());
+        assert!(parse_checkpoint("a b c [1,2] 0.5\n").is_err());
+        assert!(parse_checkpoint("#tecore-checkpoint v2 epoch=1 arena=1\n").is_err());
+        assert!(parse_checkpoint("#tecore-checkpoint v1 epoch=1\n").is_err());
+        // Epoch below arena length is impossible in a real graph.
+        assert!(parse_checkpoint("#tecore-checkpoint v1 epoch=1 arena=5\n").is_err());
+        let header = "#tecore-checkpoint v1 epoch=9 arena=3\n";
+        // Out-of-order and out-of-bounds slots.
+        assert!(
+            parse_checkpoint(&format!("{header}1 a b c [1,2] 0.5\n0 a b d [1,2] 0.5\n")).is_err()
+        );
+        assert!(parse_checkpoint(&format!("{header}3 a b c [1,2] 0.5\n")).is_err());
+        assert!(parse_checkpoint(&format!("{header}x a b c [1,2] 0.5\n")).is_err());
+        // A valid document for contrast.
+        assert!(parse_checkpoint(&format!("{header}1 a b c [1,2] 0.5\n")).is_ok());
+    }
+
+    proptest! {
+        /// checkpoint write ∘ parse reproduces arena layout and facts.
+        #[test]
+        fn checkpoint_roundtrip_property(
+            facts in prop::collection::vec(
+                ("[a-zA-Z0-9 _.:]{1,12}", "[a-z]{1,8}", "[a-zA-Z0-9 ]{1,12}",
+                 -100i64..100, 0i64..50, 1u32..=100),
+                1..30,
+            ),
+            removals in prop::collection::vec(0usize..30, 0..10),
+        ) {
+            use crate::fact::FactId;
+            use crate::parser::parse_checkpoint;
+
+            let mut g = UtkGraph::new();
+            for (s, p, o, start, len, conf) in &facts {
+                g.insert(
+                    s, p, o,
+                    Interval::new(*start, *start + *len).unwrap(),
+                    f64::from(*conf) / 100.0,
+                ).unwrap();
+            }
+            for r in removals {
+                if r < g.arena_len() {
+                    let _ = g.remove(FactId(r as u32));
+                }
+            }
+            let r = parse_checkpoint(&write_checkpoint(&g)).unwrap();
+            prop_assert_eq!(r.arena_len(), g.arena_len());
+            prop_assert_eq!(r.epoch(), g.epoch());
+            prop_assert_eq!(r.len(), g.len());
+            for (id, f) in g.iter() {
+                let rf = r.fact(id).expect("live fact survives");
+                prop_assert_eq!(
+                    f.display(g.dict()).to_string(),
+                    rf.display(r.dict()).to_string()
+                );
+            }
+        }
     }
 
     proptest! {

@@ -6,11 +6,12 @@
 //! knows how much to read and which publication answered it:
 //!
 //! ```text
-//! request  = ping | epoch | stats | quit | query | insert | remove
+//! request  = ping | epoch | stats | quit | flush | query | insert | remove
 //! ping     = "PING"                         ; → "PONG"
 //! epoch    = "EPOCH"                        ; → "OK epoch=E n=0"
 //! stats    = "STATS"                        ; → header + one "S ..." line
 //! quit     = "QUIT"                         ; → "BYE", connection closes
+//! flush    = "FLUSH"                        ; → "OK epoch=E n=0 durable=D"
 //! query    = ("Q" | "COUNT" | "OBJECTS" | "TIMELINE") *clause
 //! clause   = "s=" term | "p=" term | "o=" term
 //!          | "at=" int | "over=" int ".." int
@@ -27,6 +28,10 @@
 //! `COUNT` carries its answer in the header (`OK epoch=E n=0 count=K`).
 //! Edits are queued, not applied inline: `INSERT`/`REMOVE` answer
 //! `ACK` once enqueued and take effect at the writer loop's next tick.
+//! On a durable server the edit is additionally journaled to the
+//! write-ahead log *before* the `ACK` is sent, and `FLUSH` blocks until
+//! every journaled edit is fsynced, reporting the covering durable
+//! epoch (`durable=0` on an in-memory server).
 //! Malformed requests answer `ERR reason` without closing the
 //! connection.
 //!
@@ -111,6 +116,8 @@ pub enum Request<'a> {
     Stats,
     /// Close the connection.
     Quit,
+    /// Force journaled edits to durable storage.
+    Flush,
     /// A read-only query against the current snapshot.
     Query(QueryKind, Clauses<'a>),
     /// Queue a fact insertion.
@@ -253,6 +260,7 @@ pub fn parse(line: &str) -> Result<Request<'_>, ParseError> {
         "EPOCH" => Ok(Request::Epoch),
         "STATS" => Ok(Request::Stats),
         "QUIT" => Ok(Request::Quit),
+        "FLUSH" => Ok(Request::Flush),
         "Q" => Ok(Request::Query(QueryKind::Facts, parse_clauses(rest)?)),
         "COUNT" => Ok(Request::Query(QueryKind::Count, parse_clauses(rest)?)),
         "OBJECTS" => Ok(Request::Query(QueryKind::Objects, parse_clauses(rest)?)),
@@ -357,6 +365,7 @@ mod tests {
         assert_eq!(parse("PING"), Ok(Request::Ping));
         assert_eq!(parse("  EPOCH  "), Ok(Request::Epoch));
         assert_eq!(parse("QUIT"), Ok(Request::Quit));
+        assert_eq!(parse("FLUSH"), Ok(Request::Flush));
         assert!(parse("").is_err());
         assert!(parse("NOPE").is_err());
     }

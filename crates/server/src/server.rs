@@ -58,6 +58,21 @@ pub enum Edit {
     Remove(FactId),
 }
 
+/// Acknowledgement for a durable edit, sent by the writer loop once
+/// the edit has been journaled and applied (or refused).
+type EditAck = SyncSender<Result<(), &'static str>>;
+
+/// One message to the writer loop.
+#[derive(Debug)]
+enum WriterMsg {
+    /// Apply an edit. Durable connections attach an ack channel and
+    /// block until the writer has journaled the edit (journal *before*
+    /// ACK); in-memory connections pass `None` and ACK on enqueue.
+    Edit(Edit, Option<EditAck>),
+    /// Fsync the log and report the durable epoch (`FLUSH`).
+    Flush(SyncSender<Result<u64, &'static str>>),
+}
+
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -96,6 +111,17 @@ pub struct ServerStats {
     pub publishes: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Bytes across live WAL segments (0 on an in-memory server).
+    pub wal_bytes: AtomicU64,
+    /// Live WAL segment files (0 on an in-memory server).
+    pub wal_segments: AtomicU64,
+    /// Epoch of the newest durable checkpoint.
+    pub last_checkpoint_epoch: AtomicU64,
+    /// Highest epoch covered by an fsync.
+    pub durable_epoch: AtomicU64,
+    /// Set when the log device failed: queries keep working, edits
+    /// answer `ERR read-only (wal failed)`.
+    pub read_only: AtomicBool,
 }
 
 /// A running TeCoRe server. Dropping without [`Server::shutdown`]
@@ -104,9 +130,12 @@ pub struct ServerStats {
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Hard-stop flag for [`Server::crash`]: the writer exits without
+    /// draining, flushing, or checkpointing — a simulated power cut.
+    abort: Arc<AtomicBool>,
     cell: Arc<SnapshotCell>,
     stats: Arc<ServerStats>,
-    edits: Sender<Edit>,
+    edits: Sender<WriterMsg>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -119,18 +148,21 @@ impl Server {
     /// snapshot), binds the listener, and spawns the acceptor, the
     /// reader pool, and the writer loop.
     pub fn start(mut engine: Engine, config: ServerConfig) -> io::Result<Server> {
+        let durable = engine.is_durable();
         let initial = engine
             .resolve_incremental()
             .map_err(|e| io::Error::other(format!("initial resolve failed: {e}")))?;
         let cell = Arc::new(SnapshotCell::new(initial));
         let stats = Arc::new(ServerStats::default());
+        publish_wal_stats(&engine, &stats);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let abort = Arc::new(AtomicBool::new(false));
 
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        let (edit_tx, edit_rx) = mpsc::channel::<Edit>();
+        let (edit_tx, edit_rx) = mpsc::channel::<WriterMsg>();
         // Rendezvous-ish connection hand-off: accepted sockets queue
         // here until a reader thread picks them up.
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(64);
@@ -157,7 +189,7 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("tecore-read-{i}"))
-                    .spawn(move || reader_loop(conn_rx, cell, stats, shutdown, edit_tx))?,
+                    .spawn(move || reader_loop(conn_rx, cell, stats, shutdown, edit_tx, durable))?,
             );
         }
 
@@ -165,13 +197,22 @@ impl Server {
             let cell = Arc::clone(&cell);
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
+            let abort = Arc::clone(&abort);
             let tick = config.tick;
             let max_coalesce = config.max_coalesce.max(1);
             threads.push(
                 std::thread::Builder::new()
                     .name("tecore-write".to_string())
                     .spawn(move || {
-                        writer_loop(engine, edit_rx, cell, stats, shutdown, tick, max_coalesce)
+                        let ctx = WriterCtx {
+                            cell,
+                            stats,
+                            shutdown,
+                            abort,
+                            tick,
+                            max_coalesce,
+                        };
+                        writer_loop(engine, edit_rx, &ctx)
                     })?,
             );
         }
@@ -179,6 +220,7 @@ impl Server {
         Ok(Server {
             addr,
             shutdown,
+            abort,
             cell,
             stats,
             edits: edit_tx,
@@ -204,19 +246,49 @@ impl Server {
     /// Queues an edit exactly as a connection's `INSERT`/`REMOVE`
     /// would (for embedding the server without a socket client).
     pub fn queue_edit(&self, edit: Edit) {
-        let _ = self.edits.send(edit);
+        let _ = self.edits.send(WriterMsg::Edit(edit, None));
     }
 
     /// Graceful stop: flags shutdown, then joins every thread. Reader
     /// threads drain the requests already buffered on their
     /// connections before closing; the writer loop drains the edit
-    /// queue and publishes its final snapshot.
+    /// queue, publishes its final snapshot, and (when durable) flushes
+    /// and checkpoints the log.
     pub fn shutdown(self) -> Arc<Snapshot> {
         self.shutdown.store(true, Ordering::SeqCst);
         for handle in self.threads {
             let _ = handle.join();
         }
         self.cell.load()
+    }
+
+    /// Simulated power cut (for crash-recovery tests): threads stop as
+    /// fast as possible, the writer neither drains its queue nor
+    /// flushes/checkpoints the log. Whatever the WAL already holds is
+    /// what recovery will see.
+    pub fn crash(self) {
+        self.abort.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Mirrors the engine's WAL counters (if any) into the serving stats.
+fn publish_wal_stats(engine: &Engine, stats: &ServerStats) {
+    if let Some(w) = engine.wal_stats() {
+        stats.wal_bytes.store(w.bytes, Ordering::Relaxed);
+        stats.wal_segments.store(w.segments, Ordering::Relaxed);
+        stats
+            .last_checkpoint_epoch
+            .store(w.last_checkpoint_epoch, Ordering::Relaxed);
+        stats
+            .durable_epoch
+            .store(w.durable_epoch, Ordering::Relaxed);
+    }
+    if engine.wal_poisoned() {
+        stats.read_only.store(true, Ordering::Relaxed);
     }
 }
 
@@ -264,7 +336,8 @@ fn reader_loop(
     cell: Arc<SnapshotCell>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
-    edits: Sender<Edit>,
+    edits: Sender<WriterMsg>,
+    durable: bool,
 ) {
     // Reused across requests *and* connections: the steady-state
     // request→response path never allocates once these reach their
@@ -280,7 +353,7 @@ fn reader_loop(
         };
         match stream {
             Ok(stream) => serve_connection(
-                stream, &cell, &stats, &shutdown, &edits, &mut line, &mut out,
+                stream, &cell, &stats, &shutdown, &edits, durable, &mut line, &mut out,
             ),
             Err(RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::Relaxed) {
@@ -295,12 +368,14 @@ fn reader_loop(
 /// Serves one connection until `QUIT`, EOF, socket error, or shutdown.
 /// On shutdown, requests already received (pipelined in the socket
 /// buffer) are still answered before the connection closes.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     cell: &SnapshotCell,
     stats: &ServerStats,
     shutdown: &AtomicBool,
-    edits: &Sender<Edit>,
+    edits: &Sender<WriterMsg>,
+    durable: bool,
     line: &mut String,
     out: &mut String,
 ) {
@@ -323,7 +398,7 @@ fn serve_connection(
             Ok(0) => return, // EOF
             Ok(_) => {
                 out.clear();
-                let quit = handle_line(line, cell, stats, edits, out);
+                let quit = handle_line(line, cell, stats, edits, durable, out);
                 line.clear();
                 if writer.write_all(out.as_bytes()).is_err() {
                     return;
@@ -353,13 +428,59 @@ fn serve_connection(
     }
 }
 
+/// How long an edit or flush waits for the writer loop's answer before
+/// reporting it gone. Generous: the writer may be mid-resolve.
+const ACK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Sends an edit to the writer and renders the response. In-memory
+/// servers ACK on enqueue (the historical contract — nothing durable
+/// to wait for); durable servers attach an ack channel and answer only
+/// once the writer has journaled the edit, so every `ACK` names an
+/// edit that `FLUSH` can then make crash-proof.
+fn answer_edit(
+    edit: Edit,
+    stats: &ServerStats,
+    edits: &Sender<WriterMsg>,
+    durable: bool,
+    out: &mut String,
+) {
+    use std::fmt::Write;
+    if !durable {
+        out.push_str(if edits.send(WriterMsg::Edit(edit, None)).is_ok() {
+            "ACK\n"
+        } else {
+            "ERR writer gone\n"
+        });
+        return;
+    }
+    if stats.read_only.load(Ordering::Relaxed) {
+        out.push_str("ERR read-only (wal failed)\n");
+        return;
+    }
+    let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+    if edits.send(WriterMsg::Edit(edit, Some(ack_tx))).is_err() {
+        out.push_str("ERR writer gone\n");
+        return;
+    }
+    match ack_rx.recv_timeout(ACK_TIMEOUT) {
+        Ok(Ok(())) => out.push_str("ACK\n"),
+        Ok(Err(reason)) => {
+            let _ = writeln!(out, "ERR {reason}");
+        }
+        // The writer dropped the ack sender (crash/shutdown race) or
+        // is wedged past the timeout: either way, not acknowledged.
+        Err(_) => out.push_str("ERR writer gone\n"),
+    }
+}
+
 /// Parses and executes one request line, rendering the response into
 /// `out`. Returns `true` when the connection should close (`QUIT`).
 fn handle_line(
     line: &str,
     cell: &SnapshotCell,
     stats: &ServerStats,
-    edits: &Sender<Edit>,
+    edits: &Sender<WriterMsg>,
+    durable: bool,
     out: &mut String,
 ) -> bool {
     use std::fmt::Write;
@@ -373,12 +494,43 @@ fn handle_line(
             let _ = writeln!(out, "OK epoch={} n=1", cell.load().epoch());
             let _ = writeln!(
                 out,
-                "S queries={} edits={} publishes={} connections={}",
+                "S queries={} edits={} publishes={} connections={} \
+                 wal_bytes={} wal_segments={} last_checkpoint_epoch={} \
+                 durable_epoch={} read_only={}",
                 stats.queries.load(Ordering::Relaxed),
                 stats.edits_applied.load(Ordering::Relaxed),
                 stats.publishes.load(Ordering::Relaxed),
                 stats.connections.load(Ordering::Relaxed),
+                stats.wal_bytes.load(Ordering::Relaxed),
+                stats.wal_segments.load(Ordering::Relaxed),
+                stats.last_checkpoint_epoch.load(Ordering::Relaxed),
+                stats.durable_epoch.load(Ordering::Relaxed),
+                stats.read_only.load(Ordering::Relaxed),
             );
+        }
+        Ok(Request::Flush) => {
+            if !durable {
+                let _ = writeln!(out, "OK epoch={} n=0 durable=0", cell.load().epoch());
+            } else {
+                let (tx, rx) = mpsc::sync_channel(1);
+                if edits.send(WriterMsg::Flush(tx)).is_err() {
+                    out.push_str("ERR writer gone\n");
+                } else {
+                    match rx.recv_timeout(ACK_TIMEOUT) {
+                        Ok(Ok(durable_epoch)) => {
+                            let _ = writeln!(
+                                out,
+                                "OK epoch={} n=0 durable={durable_epoch}",
+                                cell.load().epoch()
+                            );
+                        }
+                        Ok(Err(reason)) => {
+                            let _ = writeln!(out, "ERR {reason}");
+                        }
+                        Err(_) => out.push_str("ERR writer gone\n"),
+                    }
+                }
+            }
         }
         Ok(Request::Query(kind, clauses)) => {
             stats.queries.fetch_add(1, Ordering::Relaxed);
@@ -395,28 +547,17 @@ fn handle_line(
             interval,
             confidence,
         }) => {
-            let accepted = edits
-                .send(Edit::Insert {
-                    subject: subject.to_string(),
-                    predicate: predicate.to_string(),
-                    object: object.to_string(),
-                    interval,
-                    confidence,
-                })
-                .is_ok();
-            out.push_str(if accepted {
-                "ACK\n"
-            } else {
-                "ERR writer gone\n"
-            });
+            let edit = Edit::Insert {
+                subject: subject.to_string(),
+                predicate: predicate.to_string(),
+                object: object.to_string(),
+                interval,
+                confidence,
+            };
+            answer_edit(edit, stats, edits, durable, out);
         }
         Ok(Request::Remove(id)) => {
-            let accepted = edits.send(Edit::Remove(id)).is_ok();
-            out.push_str(if accepted {
-                "ACK\n"
-            } else {
-                "ERR writer gone\n"
-            });
+            answer_edit(Edit::Remove(id), stats, edits, durable, out);
         }
         Err(reason) => {
             let _ = writeln!(out, "ERR {reason}");
@@ -425,68 +566,127 @@ fn handle_line(
     matches!(proto::parse(line), Ok(Request::Quit))
 }
 
-/// The single writer: drains the edit queue, coalesces a batch into
-/// the graph (whose change log nets it into one delta), re-solves
-/// incrementally, publishes. The engine is owned here — readers never
-/// see it.
-fn writer_loop(
-    mut engine: Engine,
-    edits: Receiver<Edit>,
+/// Everything the writer loop shares with the rest of the server.
+struct WriterCtx {
     cell: Arc<SnapshotCell>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
+    abort: Arc<AtomicBool>,
     tick: Duration,
     max_coalesce: usize,
-) {
+}
+
+/// The single writer: drains the edit queue, coalesces a batch into
+/// the graph (whose change log nets it into one delta), re-solves
+/// incrementally, publishes. The engine is owned here — readers never
+/// see it. On a durable engine each edit is journaled (inside
+/// `Engine::insert_fact`/`remove_fact`) before its ack is sent, flush
+/// requests fsync in queue order, and a failed log poisons the engine
+/// into read-only serving rather than killing the loop.
+fn writer_loop(mut engine: Engine, edits: Receiver<WriterMsg>, ctx: &WriterCtx) {
     loop {
-        // Block (bounded by the tick) for the batch's first edit.
-        let first = match edits.recv_timeout(tick.max(Duration::from_millis(1))) {
-            Ok(edit) => Some(edit),
+        // Block (bounded by the tick) for the batch's first message.
+        let first = match edits.recv_timeout(ctx.tick.max(Duration::from_millis(1))) {
+            Ok(msg) => Some(msg),
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => return,
         };
         let mut applied = 0u64;
-        if let Some(edit) = first {
-            applied += apply_edit(&mut engine, edit);
+        if let Some(msg) = first {
+            applied += handle_writer_msg(&mut engine, ctx, msg);
             // Coalesce everything already queued into the same tick.
-            while applied < max_coalesce as u64 {
+            while applied < ctx.max_coalesce as u64 {
                 match edits.try_recv() {
-                    Ok(edit) => applied += apply_edit(&mut engine, edit),
+                    Ok(msg) => applied += handle_writer_msg(&mut engine, ctx, msg),
                     Err(_) => break,
                 }
             }
         }
         if applied > 0 {
             if let Ok(snapshot) = engine.resolve_incremental() {
-                cell.publish(snapshot);
-                stats.publishes.fetch_add(1, Ordering::Relaxed);
+                ctx.cell.publish(snapshot);
+                ctx.stats.publishes.fetch_add(1, Ordering::Relaxed);
             }
-            stats.edits_applied.fetch_add(applied, Ordering::Relaxed);
+            ctx.stats
+                .edits_applied
+                .fetch_add(applied, Ordering::Relaxed);
+            // A log grown past its threshold is compacted between
+            // batches, never between a journal append and its ack.
+            if engine.maybe_checkpoint().is_err() {
+                ctx.stats.read_only.store(true, Ordering::Relaxed);
+            }
+            publish_wal_stats(&engine, &ctx.stats);
         }
-        if shutdown.load(Ordering::Relaxed) {
+        if ctx.abort.load(Ordering::Relaxed) {
+            // Simulated power cut: drop queued messages (their ack
+            // senders go with them → clients see "writer gone").
+            return;
+        }
+        if ctx.shutdown.load(Ordering::Relaxed) {
             // Drain the queue so acknowledged edits are never lost,
             // publish the final state, and exit.
             let mut tail = 0u64;
-            while let Ok(edit) = edits.try_recv() {
-                tail += apply_edit(&mut engine, edit);
+            while let Ok(msg) = edits.try_recv() {
+                tail += handle_writer_msg(&mut engine, ctx, msg);
             }
             if tail > 0 {
                 if let Ok(snapshot) = engine.resolve_incremental() {
-                    cell.publish(snapshot);
-                    stats.publishes.fetch_add(1, Ordering::Relaxed);
+                    ctx.cell.publish(snapshot);
+                    ctx.stats.publishes.fetch_add(1, Ordering::Relaxed);
                 }
-                stats.edits_applied.fetch_add(tail, Ordering::Relaxed);
+                ctx.stats.edits_applied.fetch_add(tail, Ordering::Relaxed);
             }
+            // Graceful durable exit: whatever was acked becomes
+            // crash-proof, and a checkpoint makes the next recovery a
+            // plain checkpoint load. Best effort — a dead log device
+            // must not block shutdown.
+            let _ = engine.flush_wal();
+            let _ = engine.checkpoint();
+            publish_wal_stats(&engine, &ctx.stats);
             return;
         }
     }
 }
 
-/// Applies one edit to the engine's graph; returns 1 if the graph
-/// changed. A `Remove` of an unknown/already-removed id is a no-op
-/// (the client raced another remove), not an error.
-fn apply_edit(engine: &mut Engine, edit: Edit) -> u64 {
-    match edit {
+/// Executes one writer message; returns how many graph changes it made.
+fn handle_writer_msg(engine: &mut Engine, ctx: &WriterCtx, msg: WriterMsg) -> u64 {
+    match msg {
+        WriterMsg::Edit(edit, ack) => {
+            if ctx.stats.read_only.load(Ordering::Relaxed) {
+                if let Some(ack) = ack {
+                    let _ = ack.send(Err("read-only (wal failed)"));
+                }
+                return 0;
+            }
+            let (result, changed) = apply_edit(engine, edit);
+            if result.is_err() {
+                ctx.stats.read_only.store(true, Ordering::Relaxed);
+                publish_wal_stats(engine, &ctx.stats);
+            }
+            if let Some(ack) = ack {
+                let _ = ack.send(result);
+            }
+            changed
+        }
+        WriterMsg::Flush(reply) => {
+            let result = engine.flush_wal().map_err(|_| {
+                ctx.stats.read_only.store(true, Ordering::Relaxed);
+                "wal flush failed; server is read-only"
+            });
+            publish_wal_stats(engine, &ctx.stats);
+            let _ = reply.send(result);
+            0
+        }
+    }
+}
+
+/// Applies one edit to the engine's graph; returns the ack to send and
+/// 1 if the graph changed. A `Remove` of an unknown/already-removed id
+/// is a no-op (the client raced another remove), not an error — but a
+/// WAL failure is: the edit was refused *before* touching the graph,
+/// and the server degrades to read-only.
+fn apply_edit(engine: &mut Engine, edit: Edit) -> (Result<(), &'static str>, u64) {
+    let outcome = match edit {
         Edit::Insert {
             subject,
             predicate,
@@ -495,8 +695,14 @@ fn apply_edit(engine: &mut Engine, edit: Edit) -> u64 {
             confidence,
         } => engine
             .insert_fact(&subject, &predicate, &object, interval, confidence)
-            .map(|_| 1)
-            .unwrap_or(0),
-        Edit::Remove(id) => engine.remove_fact(id).map(|_| 1).unwrap_or(0),
+            .map(|_| ()),
+        Edit::Remove(id) => engine.remove_fact(id).map(|_| ()),
+    };
+    match outcome {
+        Ok(()) => (Ok(()), 1),
+        Err(tecore_core::TecoreError::Wal(_)) => (Err("wal write failed; server is read-only"), 0),
+        // Semantic no-op (unknown id, invalid confidence): acknowledged
+        // like the in-memory path, nothing applied, nothing journaled.
+        Err(_) => (Ok(()), 0),
     }
 }

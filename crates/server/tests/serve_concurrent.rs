@@ -295,6 +295,28 @@ fn protocol_round_trips() {
         stats_line.starts_with("S queries=") && stats_line.contains("edits=2"),
         "bad stats line: {stats_line}"
     );
+    // The durability gauges are present but idle on an in-memory
+    // server.
+    for field in [
+        "wal_bytes=0",
+        "wal_segments=0",
+        "last_checkpoint_epoch=0",
+        "durable_epoch=0",
+        "read_only=false",
+    ] {
+        assert!(
+            stats_line.contains(field),
+            "stats line missing {field}: {stats_line}"
+        );
+    }
+
+    // FLUSH on an in-memory server: succeeds, nothing durable.
+    client.send("FLUSH");
+    let flush = client.read_line();
+    assert!(
+        flush.starts_with("OK epoch=") && flush.ends_with("n=0 durable=0"),
+        "bad flush response: {flush}"
+    );
 
     client.send("QUIT");
     assert_eq!(client.read_line(), "BYE");

@@ -1,0 +1,379 @@
+//! The WAL frame codec.
+//!
+//! A frame is `[u32 LE payload-len][u32 LE crc32(payload)][payload]`.
+//! The payload starts with a tag byte (`1` insert, `2` remove, `3`
+//! checkpoint marker) followed by the record fields, all little-endian.
+//! Strings are `u32 LE length + UTF-8 bytes`.
+//!
+//! [`decode`] is deliberately total: *any* malformed prefix — short
+//! header, impossible length, checksum mismatch, bad UTF-8, empty
+//! interval, out-of-range confidence — returns `None`, which recovery
+//! treats as the torn tail of the log. A torn or bit-flipped frame can
+//! therefore never replay as a different valid record; it just ends
+//! the replayable prefix.
+
+use tecore_kg::{Confidence, FactId};
+use tecore_temporal::Interval;
+
+use crate::crc::crc32;
+
+/// Bytes of frame header (`len` + `crc`).
+pub const HEADER: usize = 8;
+
+/// Upper bound on a payload, far beyond any fact edit; lengths above
+/// this are treated as corruption rather than attempted as reads.
+pub const MAX_PAYLOAD: usize = 1 << 24;
+
+const TAG_INSERT: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
+
+/// The string fields of an insert, borrowed from the caller so the
+/// append path does not allocate per edit.
+#[derive(Debug, Clone, Copy)]
+pub struct InsertRecord<'a> {
+    /// Subject term.
+    pub subject: &'a str,
+    /// Predicate term.
+    pub predicate: &'a str,
+    /// Object term.
+    pub object: &'a str,
+    /// Valid-time interval.
+    pub interval: Interval,
+    /// Confidence in `(0, 1]`.
+    pub confidence: f64,
+}
+
+/// A decoded log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A fact insert: `id` is the arena slot the original graph
+    /// assigned, recorded so replay can verify id alignment.
+    Insert {
+        /// Graph epoch *after* the insert.
+        epoch: u64,
+        /// Arena slot assigned to the fact.
+        id: FactId,
+        /// Subject term.
+        subject: String,
+        /// Predicate term.
+        predicate: String,
+        /// Object term.
+        object: String,
+        /// Valid-time interval.
+        interval: Interval,
+        /// Confidence in `(0, 1]`.
+        confidence: f64,
+    },
+    /// A fact removal (tombstone) by arena slot.
+    Remove {
+        /// Graph epoch *after* the removal.
+        epoch: u64,
+        /// Arena slot removed.
+        id: FactId,
+    },
+    /// Marks that a checkpoint covering everything up to `epoch` was
+    /// durably written; replay skips records at or below it.
+    Checkpoint {
+        /// Epoch the checkpoint covers.
+        epoch: u64,
+    },
+}
+
+impl Record {
+    /// The graph epoch this record advances (or covers) the log to.
+    pub fn epoch(&self) -> u64 {
+        match *self {
+            Record::Insert { epoch, .. }
+            | Record::Remove { epoch, .. }
+            | Record::Checkpoint { epoch } => epoch,
+        }
+    }
+}
+
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let base = out.len();
+    out.extend_from_slice(&[0u8; HEADER]);
+    base
+}
+
+fn finish_frame(out: &mut [u8], base: usize) {
+    let payload_len = out.len() - base - HEADER;
+    debug_assert!(payload_len <= MAX_PAYLOAD);
+    let crc = crc32(&out[base + HEADER..]);
+    out[base..base + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[base + 4..base + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends an insert frame to `out`.
+pub fn encode_insert(out: &mut Vec<u8>, epoch: u64, id: FactId, record: &InsertRecord<'_>) {
+    let base = begin_frame(out);
+    out.push(TAG_INSERT);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&id.0.to_le_bytes());
+    out.extend_from_slice(&record.interval.start().value().to_le_bytes());
+    out.extend_from_slice(&record.interval.end().value().to_le_bytes());
+    out.extend_from_slice(&record.confidence.to_le_bytes());
+    put_str(out, record.subject);
+    put_str(out, record.predicate);
+    put_str(out, record.object);
+    finish_frame(out, base);
+}
+
+/// Appends a remove frame to `out`.
+pub fn encode_remove(out: &mut Vec<u8>, epoch: u64, id: FactId) {
+    let base = begin_frame(out);
+    out.push(TAG_REMOVE);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&id.0.to_le_bytes());
+    finish_frame(out, base);
+}
+
+/// Appends a checkpoint-marker frame to `out`.
+pub fn encode_checkpoint(out: &mut Vec<u8>, epoch: u64) {
+    let base = begin_frame(out);
+    out.push(TAG_CHECKPOINT);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    finish_frame(out, base);
+}
+
+/// Byte cursor over a payload; every getter is bounds-checked.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok().map(String::from)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Decodes the first frame of `buf`, returning the record and the
+/// total bytes consumed. `None` means "no valid frame starts here" —
+/// an incomplete, torn, or corrupt prefix.
+pub fn decode(buf: &[u8]) -> Option<(Record, usize)> {
+    let header = buf.get(..HEADER)?;
+    let len = u32::from_le_bytes(header[..4].try_into().ok()?) as usize;
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let crc = u32::from_le_bytes(header[4..8].try_into().ok()?);
+    let payload = buf.get(HEADER..HEADER + len)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let record = match c.u8()? {
+        TAG_INSERT => {
+            let epoch = c.u64()?;
+            let id = FactId(c.u32()?);
+            let start = c.i64()?;
+            let end = c.i64()?;
+            let confidence = c.f64()?;
+            let interval = Interval::new(start, end).ok()?;
+            Confidence::new(confidence).ok()?;
+            let subject = c.string()?;
+            let predicate = c.string()?;
+            let object = c.string()?;
+            Record::Insert {
+                epoch,
+                id,
+                subject,
+                predicate,
+                object,
+                interval,
+                confidence,
+            }
+        }
+        TAG_REMOVE => Record::Remove {
+            epoch: c.u64()?,
+            id: FactId(c.u32()?),
+        },
+        TAG_CHECKPOINT => Record::Checkpoint { epoch: c.u64()? },
+        _ => return None,
+    };
+    // Trailing garbage inside a checksummed payload means the frame
+    // was not produced by this codec: reject it.
+    c.exhausted().then_some((record, HEADER + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(a, b).unwrap()
+    }
+
+    fn sample_frames() -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode_insert(
+            &mut buf,
+            7,
+            FactId(42),
+            &InsertRecord {
+                subject: "Claudio Ranieri",
+                predicate: "coach",
+                object: "Leicester City",
+                interval: iv(2015, 2017),
+                confidence: 0.7,
+            },
+        );
+        encode_remove(&mut buf, 8, FactId(3));
+        encode_checkpoint(&mut buf, 8);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let buf = sample_frames();
+        let (r1, n1) = decode(&buf).unwrap();
+        match &r1 {
+            Record::Insert {
+                epoch,
+                id,
+                subject,
+                object,
+                interval,
+                confidence,
+                ..
+            } => {
+                assert_eq!((*epoch, *id), (7, FactId(42)));
+                assert_eq!(subject, "Claudio Ranieri");
+                assert_eq!(object, "Leicester City");
+                assert_eq!(*interval, iv(2015, 2017));
+                assert!((confidence - 0.7).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (r2, n2) = decode(&buf[n1..]).unwrap();
+        assert_eq!(
+            r2,
+            Record::Remove {
+                epoch: 8,
+                id: FactId(3)
+            }
+        );
+        let (r3, n3) = decode(&buf[n1 + n2..]).unwrap();
+        assert_eq!(r3, Record::Checkpoint { epoch: 8 });
+        assert_eq!(n1 + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let mut buf = Vec::new();
+        encode_insert(
+            &mut buf,
+            1,
+            FactId(0),
+            &InsertRecord {
+                subject: "s",
+                predicate: "p",
+                object: "o",
+                interval: iv(1, 2),
+                confidence: 0.5,
+            },
+        );
+        for cut in 0..buf.len() {
+            assert!(decode(&buf[..cut]).is_none(), "truncated at {cut}");
+        }
+        assert!(decode(&buf).is_some());
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected() {
+        let mut buf = Vec::new();
+        encode_remove(&mut buf, 99, FactId(17));
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                buf[i] ^= 1 << bit;
+                assert!(
+                    decode(&buf).is_none(),
+                    "flip at byte {i} bit {bit} still decoded"
+                );
+                buf[i] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_semantic_garbage_behind_valid_crc() {
+        // A frame whose *checksum* is fine but whose payload encodes an
+        // impossible record must still be rejected.
+        let frame = |payload: &[u8]| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(payload).to_le_bytes());
+            buf.extend_from_slice(payload);
+            buf
+        };
+        // Unknown tag.
+        assert!(decode(&frame(&[9u8])).is_none());
+        // Remove with trailing garbage.
+        let mut payload = vec![TAG_REMOVE];
+        payload.extend_from_slice(&5u64.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(0);
+        assert!(decode(&frame(&payload)).is_none());
+        // Insert with an empty interval.
+        let mut bad = Vec::new();
+        encode_insert(
+            &mut bad,
+            1,
+            FactId(0),
+            &InsertRecord {
+                subject: "s",
+                predicate: "p",
+                object: "o",
+                interval: iv(1, 2),
+                confidence: 0.5,
+            },
+        );
+        // Patch interval end < start and re-checksum.
+        let payload_start = HEADER;
+        bad[payload_start + 21..payload_start + 29].copy_from_slice(&(-5i64).to_le_bytes());
+        let crc = crc32(&bad[HEADER..]);
+        bad[4..8].copy_from_slice(&crc.to_le_bytes());
+        assert!(decode(&bad).is_none(), "empty interval decoded");
+    }
+}

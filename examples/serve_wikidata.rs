@@ -9,6 +9,13 @@
 //!
 //! Run with: `cargo run --release --example serve_wikidata`
 //! (`TECORE_BENCH_SMOKE=1` shortens the load burst for CI.)
+//!
+//! Set `TECORE_WAL_DIR=/path/to/dir` to serve **durably**: edits are
+//! journaled to a write-ahead log before they are acknowledged, and a
+//! restart pointing at the same directory recovers the last
+//! checkpoint plus the replayed log tail instead of regenerating the
+//! workload. The first run against an empty directory seeds the log
+//! with a checkpoint of the generated graph.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -85,7 +92,28 @@ fn main() -> std::io::Result<()> {
         backend,
         ..TecoreConfig::default()
     };
-    let engine = Engine::with_config(generated.graph, wikidata_program(), config);
+    let engine = match std::env::var("TECORE_WAL_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            let io_err = |e: tecore_core::TecoreError| std::io::Error::other(e.to_string());
+            let (wal, graph) = tecore_wal::Wal::open(&dir, tecore_wal::WalConfig::default())
+                .map_err(|e| std::io::Error::other(format!("wal open failed: {e}")))?;
+            println!(
+                "wal: recovered epoch={} ({} facts) from {dir}",
+                graph.epoch(),
+                graph.len()
+            );
+            if graph.epoch() == 0 {
+                // Fresh log: seed it with the generated workload
+                // (attach_wal checkpoints the graph as the baseline).
+                let mut engine = Engine::with_config(generated.graph, wikidata_program(), config);
+                engine.attach_wal(wal).map_err(io_err)?;
+                engine
+            } else {
+                Engine::durable(graph, wikidata_program(), config, wal)
+            }
+        }
+        _ => Engine::with_config(generated.graph, wikidata_program(), config),
+    };
 
     let server = Server::start(
         engine,
@@ -118,6 +146,7 @@ fn main() -> std::io::Result<()> {
         std::thread::sleep(Duration::from_millis(2));
     }
     client.show("COUNT s=Q1 p=spouse o=QServe")?;
+    client.show("FLUSH")?;
     client.show("STATS")?;
 
     // 3. A short load burst: LOAD_CONNECTIONS readers hammering the

@@ -44,6 +44,7 @@ pub use tecore_mln;
 pub use tecore_psl;
 pub use tecore_server;
 pub use tecore_temporal;
+pub use tecore_wal;
 
 /// Convenience re-exports for typical applications.
 pub mod prelude {

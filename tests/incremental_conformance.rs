@@ -280,6 +280,59 @@ fn directed_merge_revive_cascade_sequence() {
     check_sequence(&ops, 1);
 }
 
+/// A truncated change log must force the incremental path onto its
+/// full-reground fallback — and that fallback must (a) produce exactly
+/// the cold-resolve result and (b) be *counted*, not silent: the
+/// resolution's `fallback_regrounds` stat records it.
+#[test]
+fn truncated_log_fallback_matches_cold_resolve_and_is_counted() {
+    let registry = SolverRegistry::with_default_backends();
+    for name in ["mln-exact", "mln-walksat", "mln-cpi", "psl-admm"] {
+        let config = TecoreConfig {
+            backend: registry.resolve(name).expect("registered"),
+            ..TecoreConfig::default()
+        };
+        let mut engine = Engine::with_config(base_graph(), program(), config.clone());
+        let primed = engine.resolve_incremental().expect("prime");
+        assert_eq!(primed.stats.fallback_regrounds, 0, "{name}");
+
+        // Edits the cached grounding never hears about: the log is
+        // truncated past the cached epoch before the next resolve.
+        let mut serial = 0u32;
+        apply_op(
+            &mut engine,
+            &Op::Insert {
+                subject: 2,
+                relation: true,
+                object: 3,
+                start: 2001,
+                len: 4,
+                conf_step: 12,
+            },
+            &mut serial,
+        );
+        apply_op(&mut engine, &Op::Remove { index: 1 }, &mut serial);
+        let epoch = engine.graph().epoch();
+        engine.graph_mut().truncate_log(epoch);
+
+        let incremental = engine.resolve_incremental().expect("fallback resolve");
+        let cold = Engine::with_config(engine.graph().clone(), program(), config.clone())
+            .resolve()
+            .expect("cold resolve");
+        assert_conformant(name, &incremental, &cold);
+        assert_eq!(
+            incremental.stats.fallback_regrounds, 1,
+            "{name}: the silent reground must be counted"
+        );
+        assert_eq!(engine.fallback_regrounds(), 1, "{name}");
+
+        // The next (clean) incremental resolve still reports the
+        // cumulative count without bumping it.
+        let clean = engine.resolve_incremental().expect("clean resolve");
+        assert_eq!(clean.stats.fallback_regrounds, 1, "{name}");
+    }
+}
+
 /// Removing every fact must leave an empty, conflict-free resolution —
 /// and the engine must survive resolving an empty graph.
 #[test]
