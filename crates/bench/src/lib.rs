@@ -5,4 +5,6 @@
 //! paper (see `DESIGN.md` §3 for the experiment index); shared workload
 //! construction lives in [`harness`].
 
+#![forbid(unsafe_code)]
+
 pub mod harness;

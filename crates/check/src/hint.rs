@@ -1,0 +1,19 @@
+//! Instrumented `std::hint`: in a model run, `spin_loop` is a pure
+//! scheduling point (the canonical place for retry loops to let the
+//! scheduler interleave other threads); outside it maps to the real
+//! spin hint.
+
+use crate::report::Event;
+use crate::sched::cur_ctx;
+
+/// Scheduling point inside a model run; `std::hint::spin_loop` outside.
+pub fn spin_loop() {
+    if let Some(ctx) = cur_ctx() {
+        let me = ctx.me;
+        ctx.ctrl.visible(me, |g| {
+            g.push_ev(me, Event::SpinLoop);
+        });
+    } else {
+        std::hint::spin_loop();
+    }
+}

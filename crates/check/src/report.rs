@@ -1,0 +1,404 @@
+//! Execution traces and checker reports.
+//!
+//! Every visible operation a model performs is recorded as an [`Event`].
+//! When an execution fails (assertion, deadlock, step overrun) the event
+//! list is rendered into a human-readable interleaving trace and attached
+//! to the [`Failure`]; passing executions only contribute a hash used to
+//! count distinct interleavings.
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// One visible operation in an execution trace.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Atomic store of `val` at timestamp `ts`.
+    Store {
+        /// Location index (see the trace header for names).
+        loc: usize,
+        /// Value written.
+        val: u64,
+        /// Memory ordering used.
+        ord: Ordering,
+        /// Timestamp assigned to the new store.
+        ts: u64,
+    },
+    /// Atomic load observing the store with timestamp `ts`.
+    Load {
+        /// Location index.
+        loc: usize,
+        /// Value read.
+        val: u64,
+        /// Memory ordering used.
+        ord: Ordering,
+        /// Timestamp of the store that was read.
+        ts: u64,
+        /// Timestamp of the newest store at that moment — `ts < latest`
+        /// means the load observed a stale value.
+        latest: u64,
+    },
+    /// Atomic read-modify-write (`fetch_add`, `swap`, successful CAS, …).
+    Rmw {
+        /// Location index.
+        loc: usize,
+        /// Value read (the latest store).
+        old: u64,
+        /// Value written.
+        new: u64,
+        /// Memory ordering used.
+        ord: Ordering,
+    },
+    /// Failed compare-exchange (acts as a load of the latest store).
+    CasFail {
+        /// Location index.
+        loc: usize,
+        /// Expected value.
+        expected: u64,
+        /// Actual (latest) value.
+        actual: u64,
+    },
+    /// Lock acquired (`write` distinguishes writer vs reader side).
+    LockAcq {
+        /// Lock index.
+        lock: usize,
+        /// True for `Mutex::lock` / `RwLock::write`.
+        write: bool,
+    },
+    /// Lock released.
+    LockRel {
+        /// Lock index.
+        lock: usize,
+        /// True for the writer side.
+        write: bool,
+    },
+    /// `try_lock`/`try_read`/`try_write` that would block.
+    TryLockFail {
+        /// Lock index.
+        lock: usize,
+        /// True for the writer side.
+        write: bool,
+    },
+    /// Channel send (`ok == false`: receiver disconnected).
+    Send {
+        /// Channel index.
+        chan: usize,
+        /// Whether the value was enqueued.
+        ok: bool,
+    },
+    /// Channel receive (`ok == false`: empty/disconnected).
+    Recv {
+        /// Channel index.
+        chan: usize,
+        /// Whether a value was dequeued.
+        ok: bool,
+    },
+    /// New model thread registered.
+    Spawn {
+        /// Thread index of the child.
+        child: usize,
+    },
+    /// Joined a finished model thread.
+    Join {
+        /// Thread index of the joined child.
+        child: usize,
+    },
+    /// `hint::spin_loop()` — a pure yield point.
+    SpinLoop,
+    /// `thread::yield_now()`.
+    Yield,
+    /// Thread finished.
+    Finished,
+    /// Model-authored marker (see [`crate::note`]).
+    Note(&'static str),
+}
+
+/// A recorded event together with the thread that performed it.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceEv {
+    pub thread: usize,
+    pub ev: Event,
+}
+
+/// Why an execution failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure).
+    Panic,
+    /// No runnable thread remained while some were still blocked.
+    Deadlock,
+}
+
+/// A failing execution: what went wrong plus everything needed to
+/// reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Panic or deadlock.
+    pub kind: FailureKind,
+    /// Panic message / deadlock description.
+    pub message: String,
+    /// Rendered interleaving trace (one line per visible operation).
+    pub trace: String,
+    /// Zero-based index of the failing execution within the run.
+    pub execution: u64,
+    /// The decision sequence of the failing execution; feed to
+    /// [`crate::Checker::replay`] to re-run exactly this interleaving.
+    pub schedule: Vec<u32>,
+    /// Per-execution seed (bounded/random mode only); feed to
+    /// `Checker::random(seed, 1)` to replay.
+    pub seed: Option<u64>,
+}
+
+/// Outcome of a [`crate::Checker`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Checker name (for messages).
+    pub name: String,
+    /// Executions performed.
+    pub executions: u64,
+    /// Distinct interleavings observed (by trace hash).
+    pub interleavings: u64,
+    /// Executions cut short by the step budget.
+    pub truncated: u64,
+    /// True when exhaustive DFS ran the decision tree dry (every
+    /// interleaving within the budgets was explored).
+    pub complete: bool,
+    /// The first failing execution, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panic with the rendered trace if the run failed.
+    pub fn assert_pass(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model '{}' failed ({:?}) on execution {}:\n{}\n{}",
+                self.name, f.kind, f.execution, f.message, f.trace
+            );
+        }
+    }
+
+    /// Panic unless the run failed; returns the failure for further
+    /// inspection (mutation tests assert on the trace contents).
+    pub fn assert_failure(&self) -> &Failure {
+        match &self.failure {
+            Some(f) => f,
+            None => panic!(
+                "model '{}' unexpectedly passed ({} executions, {} interleavings)",
+                self.name, self.executions, self.interleavings
+            ),
+        }
+    }
+}
+
+fn ord_str(ord: Ordering) -> &'static str {
+    match ord {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+/// Render the interleaving trace: a header naming every location, lock
+/// and channel, then one line per event.
+pub(crate) fn render_trace(
+    trace: &[TraceEv],
+    threads: &[String],
+    locs: &[String],
+    locks: &[String],
+    chans: &[String],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "interleaving trace ({} events):", trace.len());
+    for te in trace {
+        let who = threads.get(te.thread).map(String::as_str).unwrap_or("?");
+        let name = |v: &[String], i: usize| -> String {
+            v.get(i).cloned().unwrap_or_else(|| format!("#{i}"))
+        };
+        let line = match &te.ev {
+            Event::Store { loc, val, ord, ts } => {
+                format!(
+                    "store   {} <- {} ({}, ts {})",
+                    name(locs, *loc),
+                    val,
+                    ord_str(*ord),
+                    ts
+                )
+            }
+            Event::Load {
+                loc,
+                val,
+                ord,
+                ts,
+                latest,
+            } => {
+                let stale = if ts < latest {
+                    format!("  [stale: ts {ts} < {latest}]")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "load    {} -> {} ({}, ts {}){}",
+                    name(locs, *loc),
+                    val,
+                    ord_str(*ord),
+                    ts,
+                    stale
+                )
+            }
+            Event::Rmw { loc, old, new, ord } => {
+                format!(
+                    "rmw     {}: {} -> {} ({})",
+                    name(locs, *loc),
+                    old,
+                    new,
+                    ord_str(*ord)
+                )
+            }
+            Event::CasFail {
+                loc,
+                expected,
+                actual,
+            } => {
+                format!(
+                    "cas-fail {}: expected {}, saw {}",
+                    name(locs, *loc),
+                    expected,
+                    actual
+                )
+            }
+            Event::LockAcq { lock, write } => {
+                format!(
+                    "{} {}",
+                    if *write { "lock-w  " } else { "lock-r  " },
+                    name(locks, *lock)
+                )
+            }
+            Event::LockRel { lock, write } => {
+                format!(
+                    "{} {}",
+                    if *write { "unlock-w" } else { "unlock-r" },
+                    name(locks, *lock)
+                )
+            }
+            Event::TryLockFail { lock, write } => {
+                format!(
+                    "try-{} {} -> WouldBlock",
+                    if *write { "w" } else { "r" },
+                    name(locks, *lock)
+                )
+            }
+            Event::Send { chan, ok } => {
+                format!(
+                    "send    {}{}",
+                    name(chans, *chan),
+                    if *ok { "" } else { " -> disconnected" }
+                )
+            }
+            Event::Recv { chan, ok } => {
+                format!(
+                    "recv    {}{}",
+                    name(chans, *chan),
+                    if *ok { "" } else { " -> none" }
+                )
+            }
+            Event::Spawn { child } => {
+                format!(
+                    "spawn   t{} '{}'",
+                    child,
+                    threads.get(*child).map(String::as_str).unwrap_or("?")
+                )
+            }
+            Event::Join { child } => format!("join    t{child}"),
+            Event::SpinLoop => "spin_loop".to_string(),
+            Event::Yield => "yield".to_string(),
+            Event::Finished => "finished".to_string(),
+            Event::Note(s) => format!("note    {s}"),
+        };
+        let _ = writeln!(out, "  t{} {:<10}: {}", te.thread, who, line);
+    }
+    out
+}
+
+/// FNV-1a over the shape of the trace — used to count distinct
+/// interleavings across executions.
+pub(crate) fn trace_hash(trace: &[TraceEv]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for te in trace {
+        eat(te.thread as u64);
+        match &te.ev {
+            Event::Store { loc, val, ts, .. } => {
+                eat(1);
+                eat(*loc as u64);
+                eat(*val);
+                eat(*ts);
+            }
+            Event::Load { loc, val, ts, .. } => {
+                eat(2);
+                eat(*loc as u64);
+                eat(*val);
+                eat(*ts);
+            }
+            Event::Rmw { loc, old, new, .. } => {
+                eat(3);
+                eat(*loc as u64);
+                eat(*old);
+                eat(*new);
+            }
+            Event::CasFail { loc, actual, .. } => {
+                eat(4);
+                eat(*loc as u64);
+                eat(*actual);
+            }
+            Event::LockAcq { lock, write } => {
+                eat(5);
+                eat(*lock as u64);
+                eat(*write as u64);
+            }
+            Event::LockRel { lock, write } => {
+                eat(6);
+                eat(*lock as u64);
+                eat(*write as u64);
+            }
+            Event::TryLockFail { lock, write } => {
+                eat(7);
+                eat(*lock as u64);
+                eat(*write as u64);
+            }
+            Event::Send { chan, ok } => {
+                eat(8);
+                eat(*chan as u64);
+                eat(*ok as u64);
+            }
+            Event::Recv { chan, ok } => {
+                eat(9);
+                eat(*chan as u64);
+                eat(*ok as u64);
+            }
+            Event::Spawn { child } => {
+                eat(10);
+                eat(*child as u64);
+            }
+            Event::Join { child } => {
+                eat(11);
+                eat(*child as u64);
+            }
+            Event::SpinLoop => eat(12),
+            Event::Yield => eat(13),
+            Event::Finished => eat(14),
+            Event::Note(s) => {
+                eat(15);
+                eat(s.len() as u64);
+            }
+        }
+    }
+    h
+}

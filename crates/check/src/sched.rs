@@ -1,0 +1,1198 @@
+//! The controlled scheduler and execution explorer.
+//!
+//! One [`Controller`] exists per *execution* (one run of the model
+//! closure). Model threads are real OS threads, but the controller's
+//! mutex + condvar ensure exactly one is ever running model code: every
+//! instrumented operation calls [`Controller::yield_point`], which picks
+//! the next thread to perform a visible operation (a recorded branch),
+//! parks the current thread if it was not chosen, and wakes the chosen
+//! one. Blocking operations ([`Controller::block_on`]) mark the thread
+//! blocked and re-try their operation each time they are rescheduled;
+//! when no runnable thread remains the execution is reported as a
+//! deadlock with its full trace.
+//!
+//! The [`Checker`] drives executions: depth-first over the branch tree
+//! (exhaustive mode), seeded-random (bounded mode), or pinned to a
+//! recorded decision sequence (replay mode).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+use crate::report::{render_trace, trace_hash, Event, Failure, FailureKind, Report, TraceEv};
+
+// ---------------------------------------------------------------------------
+// Views: per-thread / per-message vector clocks over atomic locations.
+// ---------------------------------------------------------------------------
+
+/// A view maps location index -> newest store timestamp known. Missing
+/// entries mean "timestamp 0" (the initial store is always visible).
+pub(crate) type View = Vec<u64>;
+
+pub(crate) fn view_get(v: &View, loc: usize) -> u64 {
+    v.get(loc).copied().unwrap_or(0)
+}
+
+pub(crate) fn view_set(v: &mut View, loc: usize, ts: u64) {
+    if v.len() <= loc {
+        v.resize(loc + 1, 0);
+    }
+    if v[loc] < ts {
+        v[loc] = ts;
+    }
+}
+
+pub(crate) fn view_join(into: &mut View, other: &View) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (i, &ts) in other.iter().enumerate() {
+        if into[i] < ts {
+            into[i] = ts;
+        }
+    }
+}
+
+fn view_single(loc: usize, ts: u64) -> View {
+    let mut v = vec![0; loc + 1];
+    v[loc] = ts;
+    v
+}
+
+fn is_release(ord: StdOrdering) -> bool {
+    matches!(
+        ord,
+        StdOrdering::Release | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+fn is_acquire(ord: StdOrdering) -> bool {
+    matches!(
+        ord,
+        StdOrdering::Acquire | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Execution state.
+// ---------------------------------------------------------------------------
+
+/// One store in a location's history. `msg` is the view a reader joins
+/// when it acquires this store (the writer's full view for release-ish
+/// stores, just the store itself for relaxed ones).
+pub(crate) struct Store {
+    pub(crate) val: u64,
+    pub(crate) msg: View,
+}
+
+pub(crate) struct LocState {
+    pub(crate) name: String,
+    pub(crate) stores: Vec<Store>,
+}
+
+pub(crate) struct LockSt {
+    pub(crate) name: String,
+    pub(crate) writer: Option<usize>,
+    pub(crate) readers: usize,
+    /// Release view: joined by every acquirer, merged on every release.
+    pub(crate) sync: View,
+}
+
+pub(crate) struct ChanSt {
+    pub(crate) name: String,
+    /// One release-view per queued value (value payloads live in the
+    /// channel object itself; both queues move in lockstep under the
+    /// controller's state lock).
+    pub(crate) views: VecDeque<View>,
+    pub(crate) senders: usize,
+    pub(crate) recv_alive: bool,
+    pub(crate) cap: Option<usize>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum BlockedOn {
+    Lock(usize),
+    RLock(usize),
+    WLock(usize),
+    ChanRecv(usize),
+    ChanSend(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(BlockedOn),
+    Finished,
+}
+
+pub(crate) struct ThreadSt {
+    pub(crate) name: String,
+    pub(crate) status: Status,
+    pub(crate) view: View,
+}
+
+/// One recorded scheduling/data decision with `n` alternatives.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Branch {
+    n: u32,
+    chosen: u32,
+}
+
+pub(crate) enum Decider {
+    Dfs { path: Vec<Branch>, pos: usize },
+    Rng(u64),
+    Replay { sched: Vec<u32>, pos: usize },
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadSt>,
+    pub(crate) active: usize,
+    pub(crate) mem: Vec<LocState>,
+    pub(crate) locks: Vec<LockSt>,
+    pub(crate) chans: Vec<ChanSt>,
+    /// SeqCst approximation: per-location floor every SeqCst access
+    /// joins into / reads from.
+    pub(crate) sc: View,
+    pub(crate) trace: Vec<TraceEv>,
+    pub(crate) choices: Vec<u32>,
+    steps: usize,
+    max_steps: usize,
+    pub(crate) truncated: bool,
+    pub(crate) abort: bool,
+    pub(crate) failure: Option<Failure>,
+    pub(crate) decider: Decider,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    execution: u64,
+    exec_seed: Option<u64>,
+}
+
+impl ExecState {
+    fn new(
+        decider: Decider,
+        max_steps: usize,
+        preemption_bound: Option<usize>,
+        execution: u64,
+        exec_seed: Option<u64>,
+    ) -> Self {
+        ExecState {
+            threads: vec![ThreadSt {
+                name: "main".to_string(),
+                status: Status::Runnable,
+                view: Vec::new(),
+            }],
+            active: 0,
+            mem: Vec::new(),
+            locks: Vec::new(),
+            chans: Vec::new(),
+            sc: Vec::new(),
+            trace: Vec::new(),
+            choices: Vec::new(),
+            steps: 0,
+            max_steps,
+            truncated: false,
+            abort: false,
+            failure: None,
+            decider,
+            preemptions: 0,
+            preemption_bound,
+            execution,
+            exec_seed,
+        }
+    }
+
+    pub(crate) fn wake(&mut self, pred: impl Fn(&BlockedOn) -> bool) {
+        for t in &mut self.threads {
+            if let Status::Blocked(b) = &t.status {
+                if pred(b) {
+                    t.status = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn push_ev(&mut self, thread: usize, ev: Event) {
+        self.trace.push(TraceEv { thread, ev });
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            let thread_names: Vec<String> = self.threads.iter().map(|t| t.name.clone()).collect();
+            let loc_names: Vec<String> = self.mem.iter().map(|l| l.name.clone()).collect();
+            let lock_names: Vec<String> = self.locks.iter().map(|l| l.name.clone()).collect();
+            let chan_names: Vec<String> = self.chans.iter().map(|c| c.name.clone()).collect();
+            let trace = render_trace(
+                &self.trace,
+                &thread_names,
+                &loc_names,
+                &lock_names,
+                &chan_names,
+            );
+            self.failure = Some(Failure {
+                kind,
+                message,
+                trace,
+                execution: self.execution,
+                schedule: self.choices.clone(),
+                seed: self.exec_seed,
+            });
+        }
+        self.abort = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context: which controller/execution/thread am I?
+// ---------------------------------------------------------------------------
+
+/// Token panicked with to unwind model threads when an execution aborts.
+pub(crate) struct Abort;
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) ctrl: Arc<Controller>,
+    pub(crate) exec: u64,
+    pub(crate) me: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn cur_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Suppress default panic output for model threads: panics inside a
+/// model are captured, turned into [`Failure`]s and re-rendered with
+/// their interleaving trace, so the default hook would only add noise
+/// (aborting executions unwind via panics as well).
+fn install_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model = CTX.with(|c| c.borrow().is_some());
+            if in_model || info.payload().is::<Abort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn payload_msg(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    if x == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        x
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Controller: one per execution.
+// ---------------------------------------------------------------------------
+
+/// Coordinates the model threads of a single execution. See the module
+/// docs for the scheduling protocol.
+pub(crate) struct Controller {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    /// Mutation sites active for this run (see [`crate::mutation`]).
+    pub(crate) muts: Vec<String>,
+    /// Globally unique execution id; instrumented objects remember the
+    /// id they were created under and fall back to plain `std`
+    /// behaviour when used outside it.
+    pub(crate) exec_id: u64,
+}
+
+fn next_exec_id() -> u64 {
+    static NEXT: StdAtomicU64 = StdAtomicU64::new(1);
+    NEXT.fetch_add(1, StdOrdering::Relaxed)
+}
+
+impl Controller {
+    fn new(state: ExecState, muts: Vec<String>) -> Self {
+        Controller {
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            muts,
+            exec_id: next_exec_id(),
+        }
+    }
+
+    pub(crate) fn st(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait_cv<'a>(&'a self, g: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Draw the next decision among `n` alternatives.
+    pub(crate) fn choose(&self, g: &mut ExecState, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let c = if n == 1 {
+            // Trivial branch: recorded in `choices` (so replay schedules
+            // stay aligned) but never consulted by the decider.
+            if let Decider::Replay { pos, .. } = &mut g.decider {
+                *pos += 1;
+            }
+            0
+        } else {
+            match &mut g.decider {
+                Decider::Dfs { path, pos } => {
+                    let c = if *pos < path.len() {
+                        (path[*pos].chosen as usize).min(n - 1)
+                    } else {
+                        path.push(Branch {
+                            n: n as u32,
+                            chosen: 0,
+                        });
+                        0
+                    };
+                    *pos += 1;
+                    c
+                }
+                Decider::Rng(s) => {
+                    *s = xorshift(*s);
+                    (*s % n as u64) as usize
+                }
+                Decider::Replay { sched, pos } => {
+                    let c = sched.get(*pos).copied().unwrap_or(0) as usize;
+                    *pos += 1;
+                    c.min(n - 1)
+                }
+            }
+        };
+        g.choices.push(c as u32);
+        c
+    }
+
+    /// Pick the next active thread. `me_runnable` is false when the
+    /// caller just blocked or finished. Sets `abort` + a deadlock
+    /// failure when nothing is runnable but threads are still blocked.
+    fn schedule_next(&self, g: &mut ExecState, me: usize, me_runnable: bool) {
+        let run: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if run.is_empty() {
+            if g.threads.iter().all(|t| t.status == Status::Finished) {
+                g.active = usize::MAX;
+                return;
+            }
+            let mut msg = String::from("deadlock: no runnable thread;");
+            for (i, t) in g.threads.iter().enumerate() {
+                if let Status::Blocked(b) = &t.status {
+                    let what = match b {
+                        BlockedOn::Lock(l) => format!("mutex '{}'", g.locks[*l].name),
+                        BlockedOn::RLock(l) => format!("read-lock '{}'", g.locks[*l].name),
+                        BlockedOn::WLock(l) => format!("write-lock '{}'", g.locks[*l].name),
+                        BlockedOn::ChanRecv(c) => format!("recv on '{}'", g.chans[*c].name),
+                        BlockedOn::ChanSend(c) => format!("send on '{}'", g.chans[*c].name),
+                        BlockedOn::Join(t2) => format!("join of t{t2}"),
+                    };
+                    msg.push_str(&format!(" t{} '{}' waits on {};", i, t.name, what));
+                }
+            }
+            g.fail(FailureKind::Deadlock, msg);
+            return;
+        }
+        let opts = match g.preemption_bound {
+            Some(b) if me_runnable && g.preemptions >= b => vec![me],
+            _ => run,
+        };
+        let idx = self.choose(g, opts.len());
+        let next = opts[idx];
+        if me_runnable && next != me {
+            g.preemptions += 1;
+        }
+        g.active = next;
+    }
+
+    fn abort_unwind(&self, g: MutexGuard<'_, ExecState>) -> ! {
+        self.cv.notify_all();
+        drop(g);
+        panic_any(Abort)
+    }
+
+    /// Block until this thread is the active one (or the execution
+    /// aborts, in which case it unwinds).
+    fn wait_active<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            if g.abort {
+                self.abort_unwind(g);
+            }
+            if g.active == me {
+                return g;
+            }
+            g = self.wait_cv(g);
+        }
+    }
+
+    /// The scheduling point before every visible operation: charge a
+    /// step, pick who runs next, park if it is not us.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut g = self.st();
+        if g.abort {
+            self.abort_unwind(g);
+        }
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            g.truncated = true;
+            g.abort = true;
+            self.abort_unwind(g);
+        }
+        self.schedule_next(&mut g, me, true);
+        if g.abort {
+            self.abort_unwind(g);
+        }
+        if g.active != me {
+            self.cv.notify_all();
+            g = self.wait_active(g, me);
+        }
+        drop(g);
+    }
+
+    /// Perform a non-blocking visible operation: yield, then apply `f`
+    /// atomically under the state lock.
+    pub(crate) fn visible<R>(&self, me: usize, f: impl FnOnce(&mut ExecState) -> R) -> R {
+        self.yield_point(me);
+        let mut g = self.st();
+        if g.abort {
+            self.abort_unwind(g);
+        }
+        let r = f(&mut g);
+        self.cv.notify_all();
+        r
+    }
+
+    /// Apply `f` without a scheduling point and without unwinding on
+    /// abort — safe to call from `Drop` impls during unwinding.
+    pub(crate) fn quiet(&self, f: impl FnOnce(&mut ExecState)) {
+        let mut g = self.st();
+        if g.abort {
+            return;
+        }
+        f(&mut g);
+        self.cv.notify_all();
+    }
+
+    /// Perform a blocking operation: retry `try_op` each time this
+    /// thread is scheduled, parking as `on` in between.
+    pub(crate) fn block_on<R>(
+        &self,
+        me: usize,
+        on: BlockedOn,
+        mut try_op: impl FnMut(&mut ExecState) -> Option<R>,
+    ) -> R {
+        self.yield_point(me);
+        let mut g = self.st();
+        loop {
+            if g.abort {
+                self.abort_unwind(g);
+            }
+            if let Some(r) = try_op(&mut g) {
+                self.cv.notify_all();
+                return r;
+            }
+            g.threads[me].status = Status::Blocked(on.clone());
+            self.schedule_next(&mut g, me, false);
+            if g.abort {
+                self.abort_unwind(g);
+            }
+            self.cv.notify_all();
+            g = self.wait_active(g, me);
+        }
+    }
+
+    // -- thread lifecycle ---------------------------------------------------
+
+    /// Register a child thread (visible op on the parent); the child
+    /// inherits the parent's view (spawn is a release edge).
+    pub(crate) fn register_thread(&self, parent: usize, name: String) -> usize {
+        self.visible(parent, |g| {
+            let view = g.threads[parent].view.clone();
+            let id = g.threads.len();
+            g.threads.push(ThreadSt {
+                name,
+                status: Status::Runnable,
+                view,
+            });
+            g.push_ev(parent, Event::Spawn { child: id });
+            id
+        })
+    }
+
+    /// First scheduling of a freshly spawned thread.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let g = self.st();
+        let g = self.wait_active(g, me);
+        drop(g);
+    }
+
+    /// Mark a thread finished, wake its joiners, hand off the schedule.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut g = self.st();
+        g.threads[me].status = Status::Finished;
+        if g.abort {
+            self.cv.notify_all();
+            return;
+        }
+        g.push_ev(me, Event::Finished);
+        g.wake(|b| matches!(b, BlockedOn::Join(t) if *t == me));
+        self.schedule_next(&mut g, me, false);
+        self.cv.notify_all();
+    }
+
+    /// Record a panic unwinding *through* (not out of) a model thread —
+    /// used by `thread::scope` so children can abort before the real
+    /// `std` scope tries to join them. Does not mark the thread
+    /// finished; the payload keeps propagating.
+    pub(crate) fn abort_with_panic(&self, me: usize, p: &(dyn Any + Send)) {
+        let mut g = self.st();
+        if !p.is::<Abort>() {
+            let msg = format!(
+                "thread t{} '{}' panicked: {}",
+                me,
+                g.threads[me].name,
+                payload_msg(p)
+            );
+            g.fail(FailureKind::Panic, msg);
+        }
+        g.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// A thread unwound: either an abort (quietly finish) or a real
+    /// panic (record the failure and abort the execution).
+    pub(crate) fn thread_panicked(&self, me: usize, p: Box<dyn Any + Send>) {
+        let mut g = self.st();
+        if !p.is::<Abort>() {
+            let msg = format!(
+                "thread t{} '{}' panicked: {}",
+                me,
+                g.threads[me].name,
+                payload_msg(p.as_ref())
+            );
+            g.fail(FailureKind::Panic, msg);
+        }
+        g.abort = true;
+        g.threads[me].status = Status::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Model-join: block until `child` finishes, then acquire its view.
+    pub(crate) fn join_thread(&self, me: usize, child: usize) {
+        self.block_on(me, BlockedOn::Join(child), |g| {
+            if g.threads[child].status == Status::Finished {
+                let cv = g.threads[child].view.clone();
+                view_join(&mut g.threads[me].view, &cv);
+                g.push_ev(me, Event::Join { child });
+                Some(())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Wait (on the runner thread) until every model thread finished.
+    fn drive(&self) {
+        let mut g = self.st();
+        loop {
+            if g.threads.iter().all(|t| t.status == Status::Finished) {
+                return;
+            }
+            g = self.wait_cv(g);
+        }
+    }
+
+    // -- atomic memory ------------------------------------------------------
+
+    /// Register an atomic location (not a scheduling point; creation is
+    /// ordinary data flow). The initial store carries the creator's view.
+    pub(crate) fn register_loc(&self, me: usize, name: String, init: u64) -> usize {
+        let mut g = self.st();
+        let loc = g.mem.len();
+        let mut msg = g.threads[me].view.clone();
+        view_set(&mut msg, loc, 0);
+        view_set(&mut g.threads[me].view, loc, 0);
+        g.mem.push(LocState {
+            name,
+            stores: vec![Store { val: init, msg }],
+        });
+        loc
+    }
+
+    pub(crate) fn atomic_store(&self, me: usize, loc: usize, val: u64, ord: StdOrdering) {
+        self.visible(me, |g| {
+            let ts = g.mem[loc].stores.len() as u64;
+            view_set(&mut g.threads[me].view, loc, ts);
+            let msg = if is_release(ord) {
+                g.threads[me].view.clone()
+            } else {
+                view_single(loc, ts)
+            };
+            if ord == StdOrdering::SeqCst {
+                let v = g.threads[me].view.clone();
+                view_join(&mut g.sc, &v);
+            }
+            g.mem[loc].stores.push(Store { val, msg });
+            g.push_ev(me, Event::Store { loc, val, ord, ts });
+        })
+    }
+
+    pub(crate) fn atomic_load(&self, me: usize, loc: usize, ord: StdOrdering) -> u64 {
+        self.visible(me, |g| {
+            let latest = (g.mem[loc].stores.len() - 1) as u64;
+            let mut floor = view_get(&g.threads[me].view, loc);
+            if ord == StdOrdering::SeqCst {
+                floor = floor.max(view_get(&g.sc, loc));
+            }
+            // Candidate stores are those not obsolete under the view;
+            // index 0 = the newest (DFS explores SC-like runs first).
+            let n = (latest - floor + 1) as usize;
+            let k = self.choose(g, n);
+            let ts = latest - k as u64;
+            let (val, msg) = {
+                let s = &g.mem[loc].stores[ts as usize];
+                (
+                    s.val,
+                    if is_acquire(ord) {
+                        Some(s.msg.clone())
+                    } else {
+                        None
+                    },
+                )
+            };
+            view_set(&mut g.threads[me].view, loc, ts);
+            if let Some(m) = msg {
+                view_join(&mut g.threads[me].view, &m);
+            }
+            g.push_ev(
+                me,
+                Event::Load {
+                    loc,
+                    val,
+                    ord,
+                    ts,
+                    latest,
+                },
+            );
+            val
+        })
+    }
+
+    /// Read-modify-write: always reads the latest store (RMW atomicity)
+    /// and extends its release sequence (`msg` carries the previous
+    /// store's view forward).
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        ord: StdOrdering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        self.visible(me, |g| {
+            let ts = g.mem[loc].stores.len() as u64;
+            let (old, mut msg) = {
+                let prev = &g.mem[loc].stores[ts as usize - 1];
+                (prev.val, prev.msg.clone())
+            };
+            if is_acquire(ord) {
+                let m = msg.clone();
+                view_join(&mut g.threads[me].view, &m);
+            }
+            view_set(&mut g.threads[me].view, loc, ts);
+            view_set(&mut msg, loc, ts);
+            if is_release(ord) {
+                let v = g.threads[me].view.clone();
+                view_join(&mut msg, &v);
+            }
+            if ord == StdOrdering::SeqCst {
+                let v = g.threads[me].view.clone();
+                view_join(&mut g.sc, &v);
+            }
+            let new = f(old);
+            g.mem[loc].stores.push(Store { val: new, msg });
+            g.push_ev(me, Event::Rmw { loc, old, new, ord });
+            old
+        })
+    }
+
+    pub(crate) fn atomic_cas(
+        &self,
+        me: usize,
+        loc: usize,
+        current: u64,
+        new: u64,
+        success: StdOrdering,
+        failure: StdOrdering,
+    ) -> Result<u64, u64> {
+        self.visible(me, |g| {
+            let ts = g.mem[loc].stores.len() as u64;
+            let (old, prev_msg) = {
+                let prev = &g.mem[loc].stores[ts as usize - 1];
+                (prev.val, prev.msg.clone())
+            };
+            if old == current {
+                let mut msg = prev_msg;
+                if is_acquire(success) {
+                    let m = msg.clone();
+                    view_join(&mut g.threads[me].view, &m);
+                }
+                view_set(&mut g.threads[me].view, loc, ts);
+                view_set(&mut msg, loc, ts);
+                if is_release(success) {
+                    let v = g.threads[me].view.clone();
+                    view_join(&mut msg, &v);
+                }
+                if success == StdOrdering::SeqCst {
+                    let v = g.threads[me].view.clone();
+                    view_join(&mut g.sc, &v);
+                }
+                g.mem[loc].stores.push(Store { val: new, msg });
+                g.push_ev(
+                    me,
+                    Event::Rmw {
+                        loc,
+                        old,
+                        new,
+                        ord: success,
+                    },
+                );
+                Ok(old)
+            } else {
+                // A failed CAS is a load of the latest store.
+                if is_acquire(failure) {
+                    view_join(&mut g.threads[me].view, &prev_msg);
+                }
+                view_set(&mut g.threads[me].view, loc, ts - 1);
+                g.push_ev(
+                    me,
+                    Event::CasFail {
+                        loc,
+                        expected: current,
+                        actual: old,
+                    },
+                );
+                Err(old)
+            }
+        })
+    }
+
+    // -- locks --------------------------------------------------------------
+
+    pub(crate) fn register_lock(&self, name: String) -> usize {
+        let mut g = self.st();
+        let id = g.locks.len();
+        g.locks.push(LockSt {
+            name,
+            writer: None,
+            readers: 0,
+            sync: Vec::new(),
+        });
+        id
+    }
+
+    pub(crate) fn lock_w(&self, me: usize, lock: usize, mutex: bool) {
+        let on = if mutex {
+            BlockedOn::Lock(lock)
+        } else {
+            BlockedOn::WLock(lock)
+        };
+        self.block_on(me, on, |g| {
+            if g.locks[lock].writer.is_none() && g.locks[lock].readers == 0 {
+                g.locks[lock].writer = Some(me);
+                let s = g.locks[lock].sync.clone();
+                view_join(&mut g.threads[me].view, &s);
+                g.push_ev(me, Event::LockAcq { lock, write: true });
+                Some(())
+            } else {
+                None
+            }
+        })
+    }
+
+    pub(crate) fn try_lock_w(&self, me: usize, lock: usize) -> bool {
+        self.visible(me, |g| {
+            if g.locks[lock].writer.is_none() && g.locks[lock].readers == 0 {
+                g.locks[lock].writer = Some(me);
+                let s = g.locks[lock].sync.clone();
+                view_join(&mut g.threads[me].view, &s);
+                g.push_ev(me, Event::LockAcq { lock, write: true });
+                true
+            } else {
+                g.push_ev(me, Event::TryLockFail { lock, write: true });
+                false
+            }
+        })
+    }
+
+    pub(crate) fn lock_r(&self, me: usize, lock: usize) {
+        self.block_on(me, BlockedOn::RLock(lock), |g| {
+            if g.locks[lock].writer.is_none() {
+                g.locks[lock].readers += 1;
+                let s = g.locks[lock].sync.clone();
+                view_join(&mut g.threads[me].view, &s);
+                g.push_ev(me, Event::LockAcq { lock, write: false });
+                Some(())
+            } else {
+                None
+            }
+        })
+    }
+
+    pub(crate) fn try_lock_r(&self, me: usize, lock: usize) -> bool {
+        self.visible(me, |g| {
+            if g.locks[lock].writer.is_none() {
+                g.locks[lock].readers += 1;
+                let s = g.locks[lock].sync.clone();
+                view_join(&mut g.threads[me].view, &s);
+                g.push_ev(me, Event::LockAcq { lock, write: false });
+                true
+            } else {
+                g.push_ev(me, Event::TryLockFail { lock, write: false });
+                false
+            }
+        })
+    }
+
+    pub(crate) fn unlock(&self, me: usize, lock: usize, write: bool, during_panic: bool) {
+        let apply = move |g: &mut ExecState| {
+            let view = g.threads[me].view.clone();
+            let l = &mut g.locks[lock];
+            if write {
+                l.writer = None;
+            } else {
+                l.readers = l.readers.saturating_sub(1);
+            }
+            view_join(&mut l.sync, &view);
+            g.push_ev(me, Event::LockRel { lock, write });
+            g.wake(|b| {
+                matches!(b,
+                    BlockedOn::Lock(x) | BlockedOn::RLock(x) | BlockedOn::WLock(x) if *x == lock)
+            });
+        };
+        if during_panic {
+            self.quiet(apply);
+        } else {
+            self.visible(me, apply);
+        }
+    }
+
+    // -- channels -----------------------------------------------------------
+
+    pub(crate) fn register_chan(&self, name: String, cap: Option<usize>) -> usize {
+        let mut g = self.st();
+        let id = g.chans.len();
+        g.chans.push(ChanSt {
+            name,
+            views: VecDeque::new(),
+            senders: 1,
+            recv_alive: true,
+            cap,
+        });
+        id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checker: the execution explorer.
+// ---------------------------------------------------------------------------
+
+enum Mode {
+    Exhaustive,
+    Random { seed: u64, executions: u64 },
+    Replay { schedule: Vec<u32> },
+}
+
+/// Configures and runs model executions. See the crate docs for the
+/// exploration strategies; all builders are chainable.
+pub struct Checker {
+    name: String,
+    mode: Mode,
+    max_steps: usize,
+    max_executions: u64,
+    preemption_bound: Option<usize>,
+    muts: Vec<String>,
+}
+
+fn env_mutations() -> Vec<String> {
+    std::env::var("TECORE_CHECK_MUTATE")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+impl Checker {
+    /// Exhaustive DFS checker with default budgets (20k steps per
+    /// execution, 2M executions). Mutation sites listed in the
+    /// `TECORE_CHECK_MUTATE` environment variable are active.
+    pub fn new(name: &str) -> Self {
+        Checker {
+            name: name.to_string(),
+            mode: Mode::Exhaustive,
+            max_steps: 20_000,
+            max_executions: 2_000_000,
+            preemption_bound: None,
+            muts: env_mutations(),
+        }
+    }
+
+    /// Switch to bounded mode: `executions` runs with decisions drawn
+    /// from `seed` (each execution derives its own reported sub-seed).
+    pub fn random(mut self, seed: u64, executions: u64) -> Self {
+        self.mode = Mode::Random { seed, executions };
+        self
+    }
+
+    /// Replay exactly one execution pinned to a recorded decision
+    /// sequence (see [`Failure::schedule`]).
+    pub fn replay(mut self, schedule: Vec<u32>) -> Self {
+        self.mode = Mode::Replay { schedule };
+        self
+    }
+
+    /// Per-execution step budget (exceeding it truncates the execution).
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Cap on the number of executions (exhaustive mode stops early and
+    /// reports `complete == false`).
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// CHESS-style preemption bound: at most `n` involuntary context
+    /// switches per execution (keeps DFS tractable on larger models).
+    pub fn preemptions(mut self, n: usize) -> Self {
+        self.preemption_bound = Some(n);
+        self
+    }
+
+    /// Activate a [`crate::mutation`] site for this run.
+    pub fn mutate(mut self, site: &str) -> Self {
+        self.muts.push(site.to_string());
+        self
+    }
+
+    /// Run the model to completion and return the [`Report`]
+    /// (first failure stops the exploration).
+    pub fn run<F: Fn()>(&self, f: F) -> Report {
+        install_hook();
+        assert!(
+            cur_ctx().is_none(),
+            "tecore-check: nested model runs are not supported"
+        );
+        let mut executions = 0u64;
+        let mut truncated = 0u64;
+        let mut hashes: HashSet<u64> = HashSet::new();
+        let mut failure: Option<Failure> = None;
+        let mut complete = false;
+        let mut path: Vec<Branch> = Vec::new();
+        let mut exec_index = 0u64;
+        loop {
+            let exec_seed = match &self.mode {
+                // Execution 0 uses the seed verbatim so a reported
+                // failure seed replays with `.random(seed, 1)`.
+                Mode::Random { seed, .. } if exec_index == 0 => Some(*seed),
+                Mode::Random { seed, .. } => Some(splitmix(seed ^ splitmix(exec_index))),
+                _ => None,
+            };
+            let decider = match &self.mode {
+                Mode::Exhaustive => Decider::Dfs {
+                    path: std::mem::take(&mut path),
+                    pos: 0,
+                },
+                Mode::Random { .. } => Decider::Rng(exec_seed.unwrap_or(1)),
+                Mode::Replay { schedule } => Decider::Replay {
+                    sched: schedule.clone(),
+                    pos: 0,
+                },
+            };
+            let ctrl = Arc::new(Controller::new(
+                ExecState::new(
+                    decider,
+                    self.max_steps,
+                    self.preemption_bound,
+                    exec_index,
+                    exec_seed,
+                ),
+                self.muts.clone(),
+            ));
+            set_ctx(Some(Ctx {
+                ctrl: Arc::clone(&ctrl),
+                exec: ctrl.exec_id,
+                me: 0,
+            }));
+            let res = catch_unwind(AssertUnwindSafe(&f));
+            match res {
+                Ok(()) => ctrl.finish_thread(0),
+                Err(p) => ctrl.thread_panicked(0, p),
+            }
+            ctrl.drive();
+            set_ctx(None);
+            let mut g = ctrl.st();
+            executions += 1;
+            if g.truncated {
+                truncated += 1;
+            }
+            hashes.insert(trace_hash(&g.trace));
+            if let Some(fl) = g.failure.take() {
+                failure = Some(fl);
+                break;
+            }
+            let stop = match &self.mode {
+                Mode::Exhaustive => {
+                    if let Decider::Dfs { path: p, .. } = &mut g.decider {
+                        path = std::mem::take(p);
+                    }
+                    if !advance(&mut path) {
+                        complete = true;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Mode::Random { executions: n, .. } => exec_index + 1 >= *n,
+                Mode::Replay { .. } => true,
+            };
+            drop(g);
+            if stop || executions >= self.max_executions {
+                break;
+            }
+            exec_index += 1;
+        }
+        Report {
+            name: self.name.clone(),
+            executions,
+            interleavings: hashes.len() as u64,
+            truncated,
+            complete,
+            failure,
+        }
+    }
+
+    /// [`Checker::run`] + [`Report::assert_pass`]; returns the report.
+    pub fn check<F: Fn()>(&self, f: F) -> Report {
+        let r = self.run(f);
+        r.assert_pass();
+        r
+    }
+}
+
+/// Advance the DFS path to the next unexplored branch; false when the
+/// whole tree has been explored.
+fn advance(path: &mut Vec<Branch>) -> bool {
+    while let Some(b) = path.last_mut() {
+        if b.chosen + 1 < b.n {
+            b.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Record a model-authored marker in the interleaving trace (and act as
+/// a scheduling point). No-op outside a model run.
+pub fn note(s: &'static str) {
+    if let Some(ctx) = cur_ctx() {
+        ctx.ctrl.visible(ctx.me, |g| {
+            let me = ctx.me;
+            g.push_ev(me, Event::Note(s));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_advance_enumerates_tree() {
+        // Simulated executions each consume two branches (2 and 3
+        // alternatives); DFS must visit all 6 leaves exactly once.
+        let mut path: Vec<Branch> = Vec::new();
+        let mut leaves = 0;
+        loop {
+            for (pos, n) in [2u32, 3u32].into_iter().enumerate() {
+                if pos >= path.len() {
+                    path.push(Branch { n, chosen: 0 });
+                }
+            }
+            leaves += 1;
+            if !advance(&mut path) {
+                break;
+            }
+        }
+        assert_eq!(leaves, 6);
+    }
+
+    #[test]
+    fn views_join_and_grow() {
+        let mut a = vec![1, 0, 3];
+        view_join(&mut a, &vec![0, 5, 1, 7]);
+        assert_eq!(a, vec![1, 5, 3, 7]);
+        assert_eq!(view_get(&a, 99), 0);
+        view_set(&mut a, 5, 2);
+        assert_eq!(a[5], 2);
+        // view_set never moves a view backwards.
+        view_set(&mut a, 5, 1);
+        assert_eq!(a[5], 2);
+    }
+
+    #[test]
+    fn splitmix_and_xorshift_nonzero() {
+        assert_ne!(splitmix(0), 0);
+        assert_ne!(xorshift(0), 0);
+    }
+}

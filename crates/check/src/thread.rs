@@ -1,0 +1,187 @@
+//! Instrumented `std::thread`: model threads are real OS threads whose
+//! execution is serialized by the controller. `spawn`/`scope` register
+//! the child with the scheduler (a release edge from the parent); joins
+//! block in the scheduler and acquire the child's final view.
+//!
+//! Unlike [`crate::sync`], this module is model-only: spawning outside
+//! a model run panics (ordinary code should use `std::thread`).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::sched::{cur_ctx, set_ctx, Controller, Ctx};
+
+fn run_child<T>(ctrl: Arc<Controller>, exec: u64, me: usize, f: impl FnOnce() -> T) -> Option<T> {
+    set_ctx(Some(Ctx {
+        ctrl: Arc::clone(&ctrl),
+        exec,
+        me,
+    }));
+    let waiter = Arc::clone(&ctrl);
+    let res = catch_unwind(AssertUnwindSafe(move || {
+        waiter.wait_first(me);
+        f()
+    }));
+    let out = match res {
+        Ok(v) => {
+            ctrl.finish_thread(me);
+            Some(v)
+        }
+        Err(p) => {
+            ctrl.thread_panicked(me, p);
+            None
+        }
+    };
+    set_ctx(None);
+    out
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    real: Option<std::thread::JoinHandle<Option<T>>>,
+    id: usize,
+}
+
+impl<T> JoinHandle<T> {
+    /// Join: blocks in the scheduler until the child finishes, then
+    /// returns its result (Err if the child panicked).
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let ctx = cur_ctx().expect("JoinHandle::join outside a model run");
+        ctx.ctrl.join_thread(ctx.me, self.id);
+        match self.real.take().expect("join consumes the handle").join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("model thread panicked") as Box<dyn Any + Send>),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawn a model thread (model-only; panics outside a run).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_named("thread", f)
+}
+
+/// [`spawn`] with a thread name shown in interleaving traces.
+pub fn spawn_named<F, T>(name: &str, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = cur_ctx().expect("tecore_check::thread::spawn outside a model run");
+    let id = ctx.ctrl.register_thread(ctx.me, name.to_string());
+    let ctrl = Arc::clone(&ctx.ctrl);
+    let exec = ctx.exec;
+    let real = std::thread::spawn(move || run_child(ctrl, exec, id, f));
+    JoinHandle {
+        real: Some(real),
+        id,
+    }
+}
+
+/// A scope for spawning model threads that borrow from the enclosing
+/// stack frame; all children are (model- and OS-) joined before
+/// [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Ctx,
+    children: RefCell<Vec<usize>>,
+}
+
+/// Handle to a scoped model thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    real: Option<std::thread::ScopedJoinHandle<'scope, Option<T>>>,
+    id: usize,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Join the scoped thread (see [`JoinHandle::join`]). The scope's
+    /// implicit join of an already-joined child is a no-op.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let ctx = cur_ctx().expect("ScopedJoinHandle::join outside a model run");
+        ctx.ctrl.join_thread(ctx.me, self.id);
+        match self.real.take().expect("join consumes the handle").join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("model thread panicked") as Box<dyn Any + Send>),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped model thread.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.spawn_named("scoped", f)
+    }
+
+    /// [`Scope::spawn`] with a thread name shown in traces.
+    pub fn spawn_named<F, T>(&self, name: &str, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let id = self.ctx.ctrl.register_thread(self.ctx.me, name.to_string());
+        self.children.borrow_mut().push(id);
+        let ctrl = Arc::clone(&self.ctx.ctrl);
+        let exec = self.ctx.exec;
+        let real = self.std.spawn(move || run_child(ctrl, exec, id, f));
+        ScopedJoinHandle {
+            real: Some(real),
+            id,
+        }
+    }
+}
+
+/// Instrumented `std::thread::scope` (model-only).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let ctx = cur_ctx().expect("tecore_check::thread::scope outside a model run");
+    std::thread::scope(|s| {
+        let sc = Scope {
+            std: s,
+            ctx: ctx.clone(),
+            children: RefCell::new(Vec::new()),
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(&sc))) {
+            Ok(r) => {
+                // Model-join every child before the std scope's real
+                // join, so the scheduler drains them first.
+                let children = sc.children.borrow().clone();
+                for id in children {
+                    ctx.ctrl.join_thread(ctx.me, id);
+                }
+                r
+            }
+            Err(p) => {
+                // Abort the execution *before* the std scope joins the
+                // children, or blocked children would never unwind.
+                ctx.ctrl.abort_with_panic(ctx.me, p.as_ref());
+                resume_unwind(p)
+            }
+        }
+    })
+}
+
+/// Scheduling point that does nothing else (maps to
+/// `std::thread::yield_now` outside a model run).
+pub fn yield_now() {
+    if let Some(ctx) = cur_ctx() {
+        let me = ctx.me;
+        ctx.ctrl.visible(me, |g| {
+            g.push_ev(me, crate::report::Event::Yield);
+        });
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,197 @@
+//! Protocol model of `tecore-server`'s `SnapshotCell` publish ring.
+//!
+//! The real cell stores an `Arc<Snapshot>` per ring slot behind an
+//! `RwLock`; here the payload is modelled as two bare atomic halves
+//! (`lo`/`hi`) per slot so the checker can *see* a torn or stale
+//! publication — an `Arc` clone would hide it. The model covers the
+//! window the cell's contract actually promises: the writer never
+//! reuses a slot until `SLOTS` publications later, so within a
+//! `< SLOTS`-publication window every slot is written at most once and
+//! the **release store of `current` is the only thing making the slot
+//! contents visible to readers**. That is precisely the edge the
+//! `cell.publish.release` mutation weakens.
+//!
+//! (Slot *reuse* is protected by the per-slot `RwLock` plus
+//! re-validation, which is exercised against the real `SnapshotCell`
+//! in `crates/server/tests/model_cell.rs`.)
+//!
+//! Invariants checked here, mirroring `cell.rs`'s doc contract:
+//! * **no torn publish** — both payload halves of the slot `current`
+//!   names agree;
+//! * **no stale publish** — the payload equals the publication number
+//!   the packed word names;
+//! * **monotone epochs** — consecutive loads by one reader never go
+//!   backwards.
+
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use tecore_check::sync::atomic::{AtomicU64, Ordering};
+use tecore_check::{mutation, thread, Checker};
+
+/// Ring size. 4 slots and 3 publications keep every slot
+/// single-writer within the modelled window (slot 0 holds the initial
+/// publication and is never overwritten).
+const SLOTS: u64 = 4;
+const SLOT_BITS: u32 = 2;
+
+struct Slot {
+    lo: AtomicU64,
+    hi: AtomicU64,
+}
+
+struct Cell {
+    slots: Vec<Slot>,
+    /// `(pub << SLOT_BITS) | slot`, exactly like `SnapshotCell::current`.
+    current: AtomicU64,
+}
+
+fn pack(p: u64) -> u64 {
+    (p << SLOT_BITS) | (p % SLOTS)
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell {
+            slots: (0..SLOTS)
+                .map(|_| Slot {
+                    lo: AtomicU64::named("slot.lo", 0),
+                    hi: AtomicU64::named("slot.hi", 0),
+                })
+                .collect(),
+            current: AtomicU64::named("current", pack(0)),
+        }
+    }
+
+    /// Publish publication `p`: write both payload halves of the next
+    /// ring slot, then advance `current` with a release store — any
+    /// reader that observes the new word must observe the fully
+    /// written slot.
+    fn publish(&self, p: u64) {
+        let s = (p % SLOTS) as usize;
+        if mutation::reorder("cell.publish.before_payload") {
+            // Mutated order: the word moves before the payload lands.
+            self.current.store(pack(p), Ordering::Release); // ordering: (mutation path)
+            self.slots[s].lo.store(p, Ordering::Relaxed);
+            self.slots[s].hi.store(p, Ordering::Relaxed);
+            return;
+        }
+        self.slots[s].lo.store(p, Ordering::Relaxed);
+        self.slots[s].hi.store(p, Ordering::Relaxed);
+        // ordering: the publish edge — pairs with the Acquire load in
+        // `load`; `cell.publish.release` weakens it to Relaxed.
+        self.current.store(
+            pack(p),
+            mutation::ordering("cell.publish.release", Ordering::Release),
+        );
+    }
+
+    /// Load the current publication and check it is coherent.
+    fn load(&self) -> u64 {
+        // ordering: pairs with the publish release store.
+        let cur = self.current.load(Ordering::Acquire);
+        let (p, s) = (cur >> SLOT_BITS, (cur & (SLOTS - 1)) as usize);
+        let lo = self.slots[s].lo.load(Ordering::Relaxed);
+        let hi = self.slots[s].hi.load(Ordering::Relaxed);
+        assert_eq!(lo, hi, "torn publication {p}: lo {lo} != hi {hi}");
+        assert_eq!(
+            lo, p,
+            "stale slot behind publication {p}: payload reads {lo}"
+        );
+        p
+    }
+}
+
+const PUBLISHES: u64 = 3;
+const SEED: u64 = 0x5EED_CE11;
+
+fn two_readers_one_writer() {
+    let cell = Arc::new(Cell::new());
+    let w = {
+        let cell = Arc::clone(&cell);
+        thread::spawn_named("writer", move || {
+            for p in 1..=PUBLISHES {
+                cell.publish(p);
+            }
+        })
+    };
+    let readers: Vec<_> = (0..2)
+        .map(|i| {
+            let cell = Arc::clone(&cell);
+            thread::spawn_named(if i == 0 { "reader-0" } else { "reader-1" }, move || {
+                let first = cell.load();
+                let second = cell.load();
+                assert!(second >= first, "epoch went backwards: {second} < {first}");
+            })
+        })
+        .collect();
+    w.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+/// The real publish protocol passes a broad randomized exploration,
+/// and the exploration is genuinely broad: at least 10k *distinct*
+/// interleavings of the 2-reader/1-writer model (the issue's
+/// acceptance bar — a checker that only ever sees a handful of
+/// schedules proves nothing).
+#[test]
+fn publish_protocol_holds_across_10k_interleavings() {
+    let report = Checker::new("cell-publish")
+        .random(SEED, 14_000)
+        .check(two_readers_one_writer);
+    assert!(
+        report.interleavings >= 10_000,
+        "expected >= 10k distinct interleavings, explored {}",
+        report.interleavings
+    );
+    assert_eq!(report.truncated, 0, "model has no divergent executions");
+}
+
+/// Mutation kill: weakening the publish store to Relaxed severs the
+/// release edge, and the checker must catch a reader observing the new
+/// word with stale (or torn) payload — with a full trace.
+#[test]
+fn release_to_relaxed_publish_is_killed() {
+    let report = Checker::new("cell-publish-relaxed")
+        .mutate("cell.publish.release")
+        .random(SEED, 4_000)
+        .run(two_readers_one_writer);
+    let failure = report.assert_failure();
+    assert!(
+        failure.message.contains("stale slot") || failure.message.contains("torn publication"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    assert!(
+        failure.trace.contains("current") && failure.trace.contains("slot."),
+        "trace must show the publish and the incoherent read:\n{}",
+        failure.trace
+    );
+    // The reported seed replays the same interleaving deterministically.
+    let seed = failure.seed.expect("bounded failure carries a seed");
+    Checker::new("cell-publish-relaxed-replay")
+        .mutate("cell.publish.release")
+        .random(seed, 1)
+        .run(two_readers_one_writer)
+        .assert_failure();
+}
+
+/// Mutation kill: publishing the word before the payload lands must be
+/// caught even with the release ordering intact (program-order bug,
+/// not an ordering bug).
+#[test]
+fn publish_before_payload_is_killed() {
+    let report = Checker::new("cell-publish-reordered")
+        .mutate("cell.publish.before_payload")
+        .random(SEED, 4_000)
+        .run(two_readers_one_writer);
+    let failure = report.assert_failure();
+    assert!(
+        failure.message.contains("stale slot") || failure.message.contains("torn publication"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}

@@ -1,0 +1,343 @@
+//! Litmus tests for the model checker itself: classic weak-memory
+//! shapes, lock/channel semantics, deadlock detection, and the
+//! replayability guarantees. These validate that the checker *finds*
+//! real relaxed-memory bugs and *excludes* outcomes forbidden by
+//! release/acquire or SeqCst — the foundation the protocol models under
+//! the `model-check` feature build on.
+
+use std::sync::Arc;
+
+use tecore_check::sync::atomic::{AtomicU64, Ordering};
+use tecore_check::sync::{mpsc, Mutex, RwLock};
+use tecore_check::{thread, Checker, FailureKind};
+
+/// Message passing with Release/Acquire: the reader that observes the
+/// flag must observe the data. Exhaustive and must pass.
+#[test]
+fn mp_release_acquire_passes() {
+    let report = Checker::new("mp-ra").check(|| {
+        let data = Arc::new(AtomicU64::named("data", 0));
+        let flag = Arc::new(AtomicU64::named("flag", 0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn_named("writer", move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "MP: stale data behind flag"
+            );
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete, "small model must be exhaustively explored");
+    assert!(report.executions > 1);
+}
+
+/// The same shape fully Relaxed: the checker MUST find the interleaving
+/// where the flag is visible but the data is stale, and the trace must
+/// show the stale load.
+#[test]
+fn mp_relaxed_fails_with_stale_read_in_trace() {
+    let report = Checker::new("mp-relaxed").run(|| {
+        let data = Arc::new(AtomicU64::named("data", 0));
+        let flag = Arc::new(AtomicU64::named("flag", 0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn_named("writer", move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "MP: stale data behind flag"
+            );
+        }
+        t.join().unwrap();
+    });
+    let failure = report.assert_failure();
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("stale data behind flag"),
+        "{}",
+        failure.message
+    );
+    assert!(
+        failure.trace.contains("[stale"),
+        "trace must mark the stale read:\n{}",
+        failure.trace
+    );
+    assert!(
+        failure.trace.contains("data"),
+        "trace names locations:\n{}",
+        failure.trace
+    );
+}
+
+/// Store buffering with SeqCst: `r1 == 0 && r2 == 0` is forbidden (the
+/// checker's SC approximation must exclude it).
+#[test]
+fn sb_seqcst_excludes_both_zero() {
+    Checker::new("sb-sc").check(|| {
+        let x = Arc::new(AtomicU64::named("x", 0));
+        let y = Arc::new(AtomicU64::named("y", 0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn_named("left", move || {
+            // ordering: SB litmus — SeqCst on both sides forbids r1 == r2 == 0.
+            x1.store(1, Ordering::SeqCst);
+            y1.load(Ordering::SeqCst)
+        });
+        let t2 = thread::spawn_named("right", move || {
+            // ordering: SB litmus — SeqCst on both sides forbids r1 == r2 == 0.
+            y2.store(1, Ordering::SeqCst);
+            x2.load(Ordering::SeqCst)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(r1 == 1 || r2 == 1, "SB under SeqCst: both-zero forbidden");
+    });
+}
+
+/// Store buffering fully Relaxed: both-zero IS an allowed outcome and
+/// the checker must find it.
+#[test]
+fn sb_relaxed_finds_both_zero() {
+    let report = Checker::new("sb-relaxed").run(|| {
+        let x = Arc::new(AtomicU64::named("x", 0));
+        let y = Arc::new(AtomicU64::named("y", 0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn_named("left", move || {
+            x1.store(1, Ordering::Relaxed);
+            y1.load(Ordering::Relaxed)
+        });
+        let t2 = thread::spawn_named("right", move || {
+            y2.store(1, Ordering::Relaxed);
+            x2.load(Ordering::Relaxed)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(r1 == 1 || r2 == 1, "SB relaxed: found both-zero");
+    });
+    report.assert_failure();
+}
+
+/// ABBA lock ordering: the checker must report a deadlock naming both
+/// threads, not hang.
+#[test]
+fn abba_deadlock_detected() {
+    let report = Checker::new("abba").run(|| {
+        let a = Arc::new(Mutex::named("A", ()));
+        let b = Arc::new(Mutex::named("B", ()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn_named("ba", move || {
+            let _gb = b2.lock().unwrap();
+            let _ga = a2.lock().unwrap();
+        });
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        t.join().unwrap();
+    });
+    let failure = report.assert_failure();
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("deadlock"), "{}", failure.message);
+    assert!(
+        failure.message.contains('A') && failure.message.contains('B'),
+        "{}",
+        failure.message
+    );
+}
+
+/// Mutex mutual exclusion: a non-atomic read-modify-write under the
+/// lock never loses an update (exhaustive).
+#[test]
+fn mutex_counter_exact() {
+    Checker::new("mutex-counter").check(|| {
+        let c = Arc::new(Mutex::named("counter", 0u64));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn_named("inc", move || {
+            let mut g = c2.lock().unwrap();
+            *g += 1;
+        });
+        {
+            let mut g = c.lock().unwrap();
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*c.lock().unwrap(), 2);
+    });
+}
+
+/// RwLock: a writer updating two fields non-atomically is never
+/// observed half-done by readers.
+#[test]
+fn rwlock_no_torn_reads() {
+    Checker::new("rwlock-torn").check(|| {
+        let pair = Arc::new(RwLock::named("pair", (0u64, 0u64)));
+        let p2 = Arc::clone(&pair);
+        let w = thread::spawn_named("writer", move || {
+            let mut g = p2.write().unwrap();
+            g.0 = 7;
+            g.1 = 7;
+        });
+        {
+            let g = pair.read().unwrap();
+            assert_eq!(g.0, g.1, "reader saw a torn write");
+        }
+        w.join().unwrap();
+    });
+}
+
+/// Channels: FIFO transfer, then disconnect on sender drop.
+#[test]
+fn channel_fifo_and_disconnect() {
+    Checker::new("chan").check(|| {
+        let (tx, rx) = mpsc::channel::<u64>();
+        let t = thread::spawn_named("producer", move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap();
+        assert!(rx.recv().is_err(), "sender gone: recv must disconnect");
+    });
+}
+
+/// A channel send is a release edge: the payload index always finds the
+/// corresponding relaxed store.
+#[test]
+fn channel_send_is_release_edge() {
+    Checker::new("chan-release").check(|| {
+        let data = Arc::new(AtomicU64::named("payload", 0));
+        let (tx, rx) = mpsc::sync_channel::<u64>(1);
+        let d = Arc::clone(&data);
+        let t = thread::spawn_named("producer", move || {
+            d.store(99, Ordering::Relaxed);
+            tx.send(1).unwrap();
+        });
+        if rx.recv().is_ok() {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                99,
+                "send must publish the payload"
+            );
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Scoped threads borrow stack data and are fully joined by the scope.
+#[test]
+fn scoped_threads_borrow_and_join() {
+    Checker::new("scope").check(|| {
+        let total = AtomicU64::named("total", 0);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// Bounded mode: a failure reports a seed, and `.random(seed, 1)`
+/// reproduces exactly the same failing interleaving; `.replay` with the
+/// recorded schedule does too.
+#[test]
+fn bounded_failure_replays_from_seed_and_schedule() {
+    let buggy = || {
+        let data = Arc::new(AtomicU64::named("data", 0));
+        let flag = Arc::new(AtomicU64::named("flag", 0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn_named("writer", move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    };
+    let report = Checker::new("bounded").random(0xC0FFEE, 500).run(buggy);
+    let failure = report.assert_failure();
+    let seed = failure.seed.expect("bounded failures carry a seed");
+    let replayed = Checker::new("bounded-replay").random(seed, 1).run(buggy);
+    let rf = replayed.assert_failure();
+    assert_eq!(
+        rf.schedule, failure.schedule,
+        "seed replay must pin the interleaving"
+    );
+    let pinned = Checker::new("schedule-replay")
+        .replay(failure.schedule.clone())
+        .run(buggy);
+    pinned.assert_failure();
+}
+
+/// The interleaving counter counts distinct traces, and truncation is
+/// surfaced (a model looping at a spin point runs into the step cap
+/// instead of hanging).
+#[test]
+fn interleavings_counted_and_truncation_reported() {
+    let report = Checker::new("count").check(|| {
+        let x = Arc::new(AtomicU64::named("x", 0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn_named("peer", move || {
+            x2.fetch_add(1, Ordering::Relaxed);
+            x2.fetch_add(1, Ordering::Relaxed);
+        });
+        x.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+    });
+    assert!(
+        report.interleavings >= 3,
+        "expected several distinct interleavings, got {}",
+        report.interleavings
+    );
+    assert_eq!(report.truncated, 0);
+
+    let report = Checker::new("truncates").max_steps(50).run(|| {
+        let stop = Arc::new(AtomicU64::named("stop", 0));
+        let s2 = Arc::clone(&stop);
+        let t = thread::spawn_named("spinner", move || {
+            while s2.load(Ordering::Acquire) == 0 {
+                // ordering: test spin loop pairs with the Release store below.
+                tecore_check::hint::spin_loop();
+            }
+        });
+        stop.store(1, Ordering::Release);
+        t.join().unwrap();
+    });
+    assert!(
+        report.failure.is_none(),
+        "spin loop must truncate, not fail"
+    );
+    assert!(
+        report.truncated > 0,
+        "step cap must have truncated some executions"
+    );
+}
+
+/// Outside a model run the primitives fall back to plain std behaviour
+/// (this is what keeps ordinary `--features model-check` tests green).
+#[test]
+fn fallback_mode_outside_model() {
+    let a = AtomicU64::new(5);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 5);
+    assert_eq!(a.load(Ordering::SeqCst), 7);
+    let m = Mutex::new(1u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 2);
+    let rw = RwLock::new(3u32);
+    assert_eq!(*rw.read().unwrap(), 3);
+    assert!(rw.try_write().is_ok());
+    tecore_check::hint::spin_loop();
+}

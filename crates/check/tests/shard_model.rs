@@ -1,0 +1,136 @@
+//! Protocol model of `tecore_kg::ShardedDictionary::intern`'s
+//! linearizability.
+//!
+//! The real interner takes a read lock on the term's shard for the hit
+//! path and upgrades (drop read, take write) for a miss — **re-checking
+//! under the write lock**, because another thread may have interned the
+//! same term between the two locks. That re-check is what makes
+//! concurrent `intern` linearizable: every caller of `intern("x")`
+//! gets the same symbol, ever after.
+//!
+//! The model is two shards of `Vec<&str>` behind instrumented
+//! `RwLock`s, symbols packed `(local << 1) | shard` exactly like
+//! `shard.rs`. The `shard.intern.skip_recheck` mutation drops the
+//! re-check — the classic racy upgrade — and the checker must find the
+//! interleaving where one term gets two symbols.
+
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use tecore_check::sync::RwLock;
+use tecore_check::{mutation, thread, Checker};
+
+const SHARDS: usize = 2;
+
+struct Dict {
+    shards: Vec<RwLock<Vec<&'static str>>>,
+}
+
+fn shard_of(term: &str) -> usize {
+    // Deterministic toy router (first byte), enough to land the
+    // contended term on one shard and a bystander on the other.
+    term.as_bytes().first().copied().unwrap_or(0) as usize % SHARDS
+}
+
+impl Dict {
+    fn new() -> Self {
+        Dict {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::named("shard", Vec::new()))
+                .collect(),
+        }
+    }
+
+    fn pack(shard: usize, local: usize) -> u64 {
+        ((local as u64) << 1) | shard as u64
+    }
+
+    fn intern(&self, term: &'static str) -> u64 {
+        let shard = shard_of(term);
+        if let Some(local) = self.shards[shard]
+            .read()
+            .unwrap()
+            .iter()
+            .position(|t| *t == term)
+        {
+            return Self::pack(shard, local);
+        }
+        let mut guard = self.shards[shard].write().unwrap();
+        if !mutation::reorder("shard.intern.skip_recheck") {
+            // Another thread may have won the race between our read
+            // lock and this write lock.
+            if let Some(local) = guard.iter().position(|t| *t == term) {
+                return Self::pack(shard, local);
+            }
+        }
+        guard.push(term);
+        Self::pack(shard, guard.len() - 1)
+    }
+
+    fn resolve(&self, sym: u64) -> Option<&'static str> {
+        let shard = (sym & 1) as usize;
+        let local = (sym >> 1) as usize;
+        self.shards[shard].read().unwrap().get(local).copied()
+    }
+}
+
+fn concurrent_interns() {
+    let dict = Arc::new(Dict::new());
+    // Two threads race the same term; one also interns a bystander on
+    // the other shard (shards must stay independent).
+    let a = {
+        let dict = Arc::clone(&dict);
+        thread::spawn_named("intern-a", move || dict.intern("alpha"))
+    };
+    let b = {
+        let dict = Arc::clone(&dict);
+        thread::spawn_named("intern-b", move || {
+            let other = dict.intern("beta");
+            (dict.intern("alpha"), other)
+        })
+    };
+    let sym_a = a.join().unwrap();
+    let (sym_b, sym_other) = b.join().unwrap();
+    assert_eq!(
+        sym_a, sym_b,
+        "intern is not linearizable: one term, two symbols"
+    );
+    assert_ne!(sym_a, sym_other, "distinct terms share a symbol");
+    assert_eq!(dict.resolve(sym_a), Some("alpha"));
+    assert_eq!(dict.resolve(sym_other), Some("beta"));
+    // Idempotent ever after (the linearization point is durable).
+    assert_eq!(dict.intern("alpha"), sym_a);
+}
+
+/// Exhaustive under a CHESS-style preemption bound: every schedule
+/// with up to 3 involuntary context switches agrees on one symbol per
+/// term (empirically, lock-upgrade races need 2).
+#[test]
+fn intern_is_linearizable_exhaustively() {
+    let report = Checker::new("shard-intern")
+        .preemptions(3)
+        .check(concurrent_interns);
+    assert!(report.complete, "bounded model small enough to exhaust");
+    assert!(report.executions > 1);
+}
+
+/// Mutation kill: dropping the under-write-lock re-check makes the
+/// upgrade racy and the checker must find the double intern.
+#[test]
+fn skipping_the_write_recheck_is_killed() {
+    let report = Checker::new("shard-intern-racy")
+        .mutate("shard.intern.skip_recheck")
+        .run(concurrent_interns);
+    let failure = report.assert_failure();
+    assert!(
+        failure.message.contains("two symbols"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    assert!(
+        failure.trace.contains("shard"),
+        "trace must show the racing shard locks:\n{}",
+        failure.trace
+    );
+}

@@ -1,0 +1,198 @@
+//! Protocol model of `tecore-wal` poisoning under concurrent
+//! flush/checkpoint with an injected I/O failure.
+//!
+//! The real `Wal` poisons itself on any I/O error: the in-memory state
+//! may be ahead of the durable log, so every later *write* must be
+//! refused (`WalError::Poisoned`) while reads keep working. The server
+//! wraps the WAL in a mutex and runs flushes (from the writer loop)
+//! concurrently with checkpoints (from the compaction path), so the
+//! contract under concurrency is:
+//!
+//! * **poison is sticky** — once any operation fails, no later
+//!   operation reports success;
+//! * **no silent gaps** — an operation that *did* report success
+//!   before the poison is durable: the synced watermark never moves
+//!   backwards and covers every success;
+//! * **no deadlock** — a failure path must not leave the log mutex
+//!   held or a waiter stranded (the checker's deadlock detection
+//!   covers this for free).
+//!
+//! The `wal.flush.forget_poison` mutation models the bug the real
+//! `io_poison` helper prevents: returning the error without setting
+//! the sticky flag, which lets a checkpoint racing the failed flush
+//! succeed on top of a log with a hole in it.
+
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use tecore_check::sync::Mutex;
+use tecore_check::{mutation, thread, Checker};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WalErr {
+    Poisoned,
+    Io,
+}
+
+struct WalState {
+    poisoned: bool,
+    /// Frames appended (in memory, maybe not durable).
+    appended: u64,
+    /// Frames the last successful flush made durable.
+    synced: u64,
+    /// Injected fault: the next fsync fails.
+    fail_next_fsync: bool,
+}
+
+struct Wal {
+    state: Mutex<WalState>,
+}
+
+impl Wal {
+    fn new(fail_next_fsync: bool) -> Self {
+        Wal {
+            state: Mutex::named(
+                "wal",
+                WalState {
+                    poisoned: false,
+                    appended: 0,
+                    synced: 0,
+                    fail_next_fsync,
+                },
+            ),
+        }
+    }
+
+    fn append(&self) -> Result<u64, WalErr> {
+        let mut g = self.state.lock().unwrap();
+        if g.poisoned {
+            return Err(WalErr::Poisoned);
+        }
+        g.appended += 1;
+        Ok(g.appended)
+    }
+
+    fn flush(&self) -> Result<u64, WalErr> {
+        let mut g = self.state.lock().unwrap();
+        if g.poisoned {
+            return Err(WalErr::Poisoned);
+        }
+        if g.fail_next_fsync {
+            g.fail_next_fsync = false;
+            if !mutation::reorder("wal.flush.forget_poison") {
+                // The real `io_poison`: sticky flag set before the
+                // error propagates.
+                g.poisoned = true;
+            }
+            return Err(WalErr::Io);
+        }
+        g.synced = g.appended;
+        Ok(g.synced)
+    }
+
+    /// Checkpoint: flush, then truncate the synced prefix. Success
+    /// promises everything appended so far is durable.
+    fn checkpoint(&self) -> Result<u64, WalErr> {
+        let mut g = self.state.lock().unwrap();
+        if g.poisoned {
+            return Err(WalErr::Poisoned);
+        }
+        if g.fail_next_fsync {
+            g.fail_next_fsync = false;
+            if !mutation::reorder("wal.flush.forget_poison") {
+                g.poisoned = true;
+            }
+            return Err(WalErr::Io);
+        }
+        g.synced = g.appended;
+        Ok(g.synced)
+    }
+
+    fn read_state(&self) -> (bool, u64, u64) {
+        let g = self.state.lock().unwrap();
+        (g.poisoned, g.appended, g.synced)
+    }
+}
+
+/// One writer appending+flushing races one checkpointer, with the
+/// first fsync wired to fail. Whichever side hits the fault must
+/// poison the log so the other side cannot report a durability
+/// success that isn't true.
+fn flush_vs_checkpoint(fail: bool) {
+    let wal = Arc::new(Wal::new(fail));
+    let flusher = {
+        let wal = Arc::clone(&wal);
+        thread::spawn_named("flusher", move || {
+            let mut ok = Vec::new();
+            for _ in 0..2 {
+                if let Ok(n) = wal.append() {
+                    ok.push(n);
+                }
+                let _ = wal.flush();
+            }
+            ok
+        })
+    };
+    let checkpointer = {
+        let wal = Arc::clone(&wal);
+        thread::spawn_named("checkpointer", move || wal.checkpoint())
+    };
+    let _appended_ok = flusher.join().unwrap();
+    let ckpt = checkpointer.join().unwrap();
+    let (poisoned, appended, synced) = wal.read_state();
+    if fail {
+        // Exactly one operation consumed the injected fault, and it
+        // must have left the sticky flag behind.
+        assert!(poisoned, "I/O failure did not poison the log");
+        // Poison is sticky: writes after the fault are refused.
+        assert_eq!(wal.append(), Err(WalErr::Poisoned));
+        assert_eq!(wal.flush(), Err(WalErr::Poisoned));
+        assert_eq!(wal.checkpoint(), Err(WalErr::Poisoned));
+    }
+    // No silent gaps: a checkpoint that reported success covered every
+    // frame appended before its linearization point, and the watermark
+    // is never ahead of the data.
+    if let Ok(n) = ckpt {
+        assert!(!fail || n <= synced, "checkpoint success survived a poison");
+    }
+    assert!(synced <= appended, "sync watermark ahead of the log");
+}
+
+/// Fault-free baseline: flush and checkpoint compose cleanly in every
+/// interleaving and nothing poisons.
+#[test]
+fn clean_flush_checkpoint_exhaustive() {
+    let report = Checker::new("wal-clean").check(|| {
+        flush_vs_checkpoint(false);
+    });
+    assert!(report.complete);
+}
+
+/// Injected fsync failure: every interleaving leaves the log poisoned
+/// and sticky, with no deadlock on the failure path.
+#[test]
+fn injected_failure_always_poisons() {
+    let report = Checker::new("wal-poison").check(|| {
+        flush_vs_checkpoint(true);
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1);
+}
+
+/// Mutation kill: dropping the sticky flag on the error path lets the
+/// race partner keep writing over the gap — the checker must find it.
+#[test]
+fn forgetting_to_poison_is_killed() {
+    let report = Checker::new("wal-poison-forgotten")
+        .mutate("wal.flush.forget_poison")
+        .run(|| {
+            flush_vs_checkpoint(true);
+        });
+    let failure = report.assert_failure();
+    assert!(
+        failure.message.contains("poison"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}

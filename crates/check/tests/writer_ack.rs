@@ -1,0 +1,158 @@
+//! Protocol model of the `tecore-server` writer loop's durability
+//! contract: **an edit is ACKed only after it is in the journal**, and
+//! **a FLUSH ACK means every previously journalled edit is fsynced**.
+//!
+//! The real writer loop drains a channel of client edits, appends each
+//! to the WAL, then writes the ACK back to the client socket; FLUSH
+//! fsyncs before it is acknowledged. Here the journal is an atomic
+//! append counter, the fsync watermark a second atomic, and the
+//! client/writer sockets are model channels, so the checker can place
+//! a "crash" (an observation of the journal) at every interleaving
+//! point between the ACK and the append.
+//!
+//! Invariant, stated from the client's side: the moment an ACK for
+//! edit `i` is received, a crash-and-recover replays a journal prefix
+//! that already contains edit `i` — `journal >= i`. The
+//! `server.ack_before_journal` mutation swaps the append and the ACK
+//! (the classic lost-durability bug) and must be killed with a trace.
+
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use tecore_check::sync::atomic::{AtomicU64, Ordering};
+use tecore_check::sync::mpsc;
+use tecore_check::{mutation, thread, Checker};
+
+const EDITS: u64 = 2;
+
+enum Req {
+    Edit(u64),
+    Flush,
+}
+
+struct Log {
+    /// Number of edits appended to the journal (recovery replays
+    /// exactly this prefix).
+    journal: AtomicU64,
+    /// Number of edits the last fsync made durable.
+    synced: AtomicU64,
+}
+
+fn writer_loop(log: &Log, rx: &mpsc::Receiver<Req>, ack: &mpsc::Sender<u64>) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            Req::Edit(i) => {
+                if mutation::reorder("server.ack_before_journal") {
+                    // Mutated order: the client hears "durable" before
+                    // the journal has the bytes.
+                    ack.send(i).unwrap();
+                    log.journal.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    log.journal.fetch_add(1, Ordering::Relaxed);
+                    // The ACK send is itself a release edge (channel
+                    // sends publish the sender's writes), mirroring the
+                    // socket write happening after the WAL append.
+                    ack.send(i).unwrap();
+                }
+            }
+            Req::Flush => {
+                // fsync: everything journalled so far becomes durable,
+                // then the barrier is acknowledged.
+                let len = log.journal.load(Ordering::Relaxed);
+                if mutation::reorder("server.flush_ack_before_fsync") {
+                    ack.send(u64::MAX).unwrap();
+                    log.synced.store(len, Ordering::Relaxed);
+                } else {
+                    log.synced.store(len, Ordering::Relaxed);
+                    ack.send(u64::MAX).unwrap();
+                }
+            }
+        }
+    }
+}
+
+fn client_session() {
+    let log = Arc::new(Log {
+        journal: AtomicU64::named("journal", 0),
+        synced: AtomicU64::named("synced", 0),
+    });
+    let (req_tx, req_rx) = mpsc::channel::<Req>();
+    let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+    let w = {
+        let log = Arc::clone(&log);
+        thread::spawn_named("writer-loop", move || writer_loop(&log, &req_rx, &ack_tx))
+    };
+    for i in 1..=EDITS {
+        req_tx.send(Req::Edit(i)).unwrap();
+        let acked = ack_rx.recv().unwrap();
+        assert_eq!(acked, i);
+        // "Crash" here: recovery replays the journal prefix, which
+        // must already hold the edit the server just called done.
+        let recovered = log.journal.load(Ordering::Acquire); // ordering: pairs with the ACK release edge.
+        assert!(
+            recovered >= i,
+            "ACKed edit {i} lost: journal holds only {recovered}"
+        );
+    }
+    req_tx.send(Req::Flush).unwrap();
+    assert_eq!(ack_rx.recv().unwrap(), u64::MAX);
+    let synced = log.synced.load(Ordering::Acquire); // ordering: pairs with the FLUSH ACK release edge.
+    assert!(
+        synced >= EDITS,
+        "FLUSH ACKed but only {synced}/{EDITS} edits fsynced"
+    );
+    drop(req_tx);
+    w.join().unwrap();
+}
+
+/// The real ordering is exhaustively correct: every interleaving of
+/// the client and the writer loop preserves journal-before-ACK and
+/// fsync-before-FLUSH-ACK.
+#[test]
+fn ack_durability_holds_exhaustively() {
+    let report = Checker::new("writer-ack").check(client_session);
+    assert!(report.complete, "model small enough to exhaust");
+    assert!(report.executions > 1);
+}
+
+/// Mutation kill: ACKing before the journal append loses an ACKed
+/// edit on crash, and the checker must surface the interleaving.
+#[test]
+fn ack_before_journal_is_killed() {
+    let report = Checker::new("writer-ack-reordered")
+        .mutate("server.ack_before_journal")
+        .run(client_session);
+    let failure = report.assert_failure();
+    assert!(
+        failure.message.contains("lost"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    assert!(
+        failure.trace.contains("journal"),
+        "trace must show the journal staying behind the ACK:\n{}",
+        failure.trace
+    );
+    // The recorded schedule replays the exact losing interleaving.
+    Checker::new("writer-ack-replay")
+        .mutate("server.ack_before_journal")
+        .replay(failure.schedule.clone())
+        .run(client_session)
+        .assert_failure();
+}
+
+/// Mutation kill: acknowledging FLUSH before the fsync breaks the
+/// barrier contract.
+#[test]
+fn flush_ack_before_fsync_is_killed() {
+    let report = Checker::new("writer-flush-reordered")
+        .mutate("server.flush_ack_before_fsync")
+        .run(client_session);
+    let failure = report.assert_failure();
+    assert!(
+        failure.message.contains("fsynced"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}

@@ -47,6 +47,8 @@
 //! assert_eq!(snapshot.at(2002).predicate("coach").count(), 1); // Chelsea
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod backends;
 pub mod engine;

@@ -28,6 +28,8 @@
 //! [`standard`] holds the paper's literal fixtures: the Claudio Ranieri
 //! uTKG of Figure 1 and the rule/constraint sets of Figures 4 and 6.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod football;
 pub mod noise;

@@ -28,6 +28,8 @@
 //! cutting-plane inference (RockIt's key trick): given a candidate
 //! world, produce only the constraint groundings that world violates.
 
+#![forbid(unsafe_code)]
+
 pub mod atoms;
 pub mod bindings;
 pub mod clause;

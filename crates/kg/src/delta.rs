@@ -82,7 +82,7 @@ impl Delta {
         to_epoch: u64,
         changes: impl Iterator<Item = FactChange>,
     ) -> Delta {
-        let mut added: std::collections::HashSet<FactId> = std::collections::HashSet::new();
+        let mut added: crate::fxhash::FxHashSet<FactId> = crate::fxhash::FxHashSet::default();
         let mut removed: Vec<FactId> = Vec::new();
         let mut churned: Vec<FactId> = Vec::new();
         for change in changes {

@@ -14,9 +14,11 @@ use std::hash::{BuildHasherDefault, Hasher};
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` keyed with [`FxHasher`].
+// lint: allow(R2) this is the Fx alias definition itself
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` keyed with [`FxHasher`].
+// lint: allow(R2) this is the Fx alias definition itself
 pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;

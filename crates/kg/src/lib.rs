@@ -28,6 +28,8 @@
 //! * [`stats::GraphStats`] — the summary statistics displayed by the demo
 //!   UI (Figure 8 of the paper).
 
+#![forbid(unsafe_code)]
+
 pub mod delta;
 pub mod dict;
 pub mod error;
@@ -37,6 +39,7 @@ pub mod graph;
 pub mod parser;
 pub mod shard;
 pub mod stats;
+pub mod sync;
 pub mod tindex;
 pub mod writer;
 

@@ -25,10 +25,11 @@
 //! numberings.
 
 use std::hash::Hasher;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 
 use crate::dict::Symbol;
 use crate::fxhash::{FxHashMap, FxHasher};
+use crate::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of independent shards. A power of two so the shard of a hash
 /// is a mask away; 16 is plenty of spread for tens of reader threads

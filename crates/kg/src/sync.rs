@@ -1,0 +1,15 @@
+//! Synchronization primitive facade for the concurrent dictionary.
+//!
+//! A zero-cost re-export of `std` by default; under the `model-check`
+//! feature it swaps in `tecore-check`'s instrumented drop-ins so
+//! [`crate::ShardedDictionary`]'s shard locks become scheduling points
+//! the deterministic model checker controls (see
+//! `crates/kg/tests/model_shard.rs`). Outside a model run the
+//! instrumented types behave exactly like `std`, which keeps the
+//! ordinary test suite green when the feature is enabled.
+
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(feature = "model-check")]
+pub use tecore_check::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -1,0 +1,51 @@
+//! Model-checking the *real* `ShardedDictionary` (not a protocol
+//! model): under the `model-check` feature the shard `RwLock`s route
+//! through `tecore-check`, so the checker drives the production
+//! intern/lookup/resolve code through every (preemption-bounded)
+//! interleaving of two racing interners.
+//!
+//! The linearizability claim from `shard.rs`: concurrent `intern` of
+//! the same term always converges on one symbol (the hit path's read
+//! lock, the miss path's write lock, and the re-check under the write
+//! lock together make the first insert the linearization point), and
+//! symbols stay resolvable ever after. The racy-upgrade mutation this
+//! protects against is killed in `crates/check/tests/shard_model.rs`.
+
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use tecore_check::{thread, Checker};
+use tecore_kg::ShardedDictionary;
+
+#[test]
+fn real_sharded_intern_is_linearizable() {
+    let report = Checker::new("real-sharded-dictionary")
+        .preemptions(2)
+        .check(|| {
+            let dict = Arc::new(ShardedDictionary::new());
+            let a = {
+                let dict = Arc::clone(&dict);
+                thread::spawn_named("intern-a", move || dict.intern("alpha"))
+            };
+            let b = {
+                let dict = Arc::clone(&dict);
+                thread::spawn_named("intern-b", move || {
+                    let beta = dict.intern("beta");
+                    (dict.intern("alpha"), beta)
+                })
+            };
+            let sym_a = a.join().unwrap();
+            let (sym_b, sym_beta) = b.join().unwrap();
+            assert_eq!(sym_a, sym_b, "one term, two symbols");
+            assert_ne!(sym_a, sym_beta, "distinct terms share a symbol");
+            assert_eq!(&*dict.resolve(sym_a).unwrap(), "alpha");
+            assert_eq!(&*dict.resolve(sym_beta).unwrap(), "beta");
+            assert_eq!(dict.lookup("alpha"), Some(sym_a));
+            assert_eq!(dict.len(), 2, "a double intern left a duplicate");
+            // Idempotent ever after.
+            assert_eq!(dict.intern("alpha"), sym_a);
+        });
+    assert!(report.complete, "preemption-bounded DFS must exhaust");
+    assert!(report.executions > 1);
+}

@@ -39,6 +39,8 @@
 //! Everything else (`Chelsea`, `playsFor`, `1951`) is a constant. An
 //! explicit `?name` prefix also introduces a variable.
 
+#![forbid(unsafe_code)]
+
 pub mod atom;
 pub mod builder;
 pub mod error;

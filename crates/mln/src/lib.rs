@@ -26,6 +26,8 @@
 //! * [`marginal`] — a Gibbs sampler for per-atom marginals, backing the
 //!   demo's "remove derived facts below a threshold" feature.
 
+#![forbid(unsafe_code)]
+
 pub mod marginal;
 pub mod preprocess;
 pub mod problem;

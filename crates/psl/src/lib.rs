@@ -22,6 +22,8 @@
 //! hinges, hard clauses → linear constraints) → [`admm::AdmmSolver`] →
 //! [`rounding`] back to a discrete conflict-free world.
 
+#![forbid(unsafe_code)]
+
 pub mod admm;
 pub mod backend;
 pub mod hlmrf;

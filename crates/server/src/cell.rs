@@ -45,8 +45,11 @@
 //! duration of an `Arc::clone`, so in practice the writer's
 //! `try_write` loop succeeds on the first spin.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::AtomicU64 as StatAtomicU64;
+use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{hint, Mutex, RwLock};
 
 use tecore_core::snapshot::Snapshot;
 
@@ -84,6 +87,13 @@ pub struct SnapshotCell {
     /// Serializes publishers (the server has exactly one, but the type
     /// doesn't require it).
     publish_lock: Mutex<()>,
+    /// Observability only (never part of the publication protocol):
+    /// times a reader's `load` had to retry. Plain `std` atomics so the
+    /// counters don't add scheduling points under `model-check`.
+    reader_spins: StatAtomicU64,
+    /// Observability only: times the publisher's `try_write` spun
+    /// waiting out a straggling reader.
+    publish_retries: StatAtomicU64,
 }
 
 impl SnapshotCell {
@@ -96,6 +106,8 @@ impl SnapshotCell {
             slots: std::array::from_fn(|_| RwLock::new(Arc::clone(&initial))),
             current: AtomicU64::new(0),
             publish_lock: Mutex::new(()),
+            reader_spins: StatAtomicU64::new(0),
+            publish_retries: StatAtomicU64::new(0),
         }
     }
 
@@ -105,17 +117,24 @@ impl SnapshotCell {
     /// then reads the *newer* publication.
     pub fn load(&self) -> Arc<Snapshot> {
         loop {
+            // ordering: pairs with the release store in `publish` — a
+            // reader that sees the new word sees the written slot.
             let cur = self.current.load(Ordering::Acquire);
             let slot = (cur & SLOT_MASK) as usize;
             if let Ok(guard) = self.slots[slot].try_read() {
                 // The slot lock is held, so the writer cannot be
                 // mid-overwrite; if `current` still names this slot,
                 // the guarded Arc is exactly that publication.
+                // ordering: re-validation load must observe at least
+                // the word the first load saw (same-location coherence
+                // keeps the packed seq ABA-proof).
                 if self.current.load(Ordering::Acquire) == cur {
                     return Arc::clone(&guard);
                 }
             }
-            std::hint::spin_loop();
+            self.reader_spins
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            hint::spin_loop();
         }
     }
 
@@ -126,7 +145,23 @@ impl SnapshotCell {
 
     /// Number of publications since the cell was created.
     pub fn publications(&self) -> u64 {
+        // ordering: pairs with the release store in `publish` so the
+        // count reflects a fully published snapshot.
         self.current.load(Ordering::Acquire) >> SLOT_BITS
+    }
+
+    /// Times a reader's [`SnapshotCell::load`] retried (`try_read`
+    /// miss or re-validation miss). Observability only; surfaced in
+    /// the server's `STATS` reply.
+    pub fn reader_spins(&self) -> u64 {
+        self.reader_spins.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Times [`SnapshotCell::publish`] spun on `try_write` waiting out
+    /// a straggling reader. Observability only; surfaced in `STATS`.
+    pub fn publish_retries(&self) -> u64 {
+        self.publish_retries
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Publishes `snapshot` as the new current snapshot.
@@ -150,15 +185,22 @@ impl SnapshotCell {
         let mut guard = loop {
             match self.slots[next_slot].try_write() {
                 Ok(guard) => break guard,
-                Err(_) => std::hint::spin_loop(),
+                Err(_) => {
+                    self.publish_retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    hint::spin_loop();
+                }
             }
         };
         *guard = snapshot;
         drop(guard);
-        self.current.store(
-            ((seq + 1) << SLOT_BITS) | next_slot as u64,
-            Ordering::Release,
-        );
+        // ordering: the publish edge — any reader that observes the
+        // new word also observes the fully written slot. The
+        // `cell.publish.release` mutation site weakens this to Relaxed
+        // under the model checker to prove the checker has teeth.
+        let publish = crate::sync::mutation_ordering("cell.publish.release", Ordering::Release);
+        self.current
+            .store(((seq + 1) << SLOT_BITS) | next_slot as u64, publish);
     }
 }
 

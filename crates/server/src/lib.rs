@@ -45,10 +45,13 @@
 //! [`TemporalQuery`]: tecore_core::query::TemporalQuery
 //! [`Snapshot`]: tecore_core::snapshot::Snapshot
 
+#![forbid(unsafe_code)]
+
 pub mod cell;
 pub mod proto;
 pub mod server;
+pub mod sync;
 
 pub use cell::SnapshotCell;
-pub use proto::{Clauses, QueryKind, Request, TimeClause};
+pub use proto::{Clauses, ProtoError, QueryKind, Request, TimeClause};
 pub use server::{Edit, Server, ServerConfig, ServerStats};

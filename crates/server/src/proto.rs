@@ -137,9 +137,77 @@ pub enum Request<'a> {
     Remove(FactId),
 }
 
-/// A parse failure; the message is static so erroring allocates
-/// nothing.
-pub type ParseError = &'static str;
+/// A parse failure. Every variant renders to a static message (see the
+/// [`fmt::Display`] impl), so erroring allocates nothing and the wire
+/// `ERR reason` lines are stable strings clients can match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The request line was blank.
+    EmptyRequest,
+    /// The first token is not a known command verb.
+    UnknownVerb,
+    /// A query clause used a key outside the grammar.
+    UnknownClauseKey,
+    /// A query clause was not of the `key=value` shape.
+    ClauseWantsKeyValue,
+    /// An integer field failed to parse.
+    MalformedInt,
+    /// A float field failed to parse.
+    MalformedFloat,
+    /// The `limit=` value failed to parse as an unsigned integer.
+    MalformedLimit,
+    /// The `REMOVE` argument failed to parse as a fact id.
+    MalformedFactId,
+    /// A range field was missing its `..` separator.
+    RangeWantsDots,
+    /// An interval had its bounds reversed (`a > b`).
+    EmptyInterval,
+    /// An `allen=` clause was missing its `rel:a..b` shape.
+    AllenWantsRelRange,
+    /// The Allen relation name is not one of the thirteen.
+    UnknownAllenRelation,
+    /// An `INSERT` interval was not `[a,b]`-bracketed.
+    IntervalWantsBrackets,
+    /// `INSERT` had too few arguments.
+    InsertArity,
+    /// `INSERT` had extra tokens after the confidence.
+    TrailingTokens,
+}
+
+impl ProtoError {
+    /// The static wire message rendered after `ERR `.
+    pub fn message(self) -> &'static str {
+        match self {
+            ProtoError::EmptyRequest => "empty request",
+            ProtoError::UnknownVerb => "unknown verb",
+            ProtoError::UnknownClauseKey => "unknown clause key",
+            ProtoError::ClauseWantsKeyValue => "clause wants key=value",
+            ProtoError::MalformedInt => "malformed integer",
+            ProtoError::MalformedFloat => "malformed float",
+            ProtoError::MalformedLimit => "malformed limit",
+            ProtoError::MalformedFactId => "malformed fact id",
+            ProtoError::RangeWantsDots => "range wants a..b",
+            ProtoError::EmptyInterval => "empty interval (a > b)",
+            ProtoError::AllenWantsRelRange => "allen wants rel:a..b",
+            ProtoError::UnknownAllenRelation => "unknown Allen relation",
+            ProtoError::IntervalWantsBrackets => "interval wants [a,b]",
+            ProtoError::InsertArity => "INSERT wants s p o [a,b] conf",
+            ProtoError::TrailingTokens => "trailing tokens after INSERT",
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Historical alias for [`ProtoError`] (the parser's error type used to
+/// be a bare `&'static str`).
+pub type ParseError = ProtoError;
 
 /// Splits a request line into whitespace-separated tokens, keeping
 /// double-quoted spans (which may contain spaces) intact.
@@ -186,22 +254,24 @@ fn unquote(term: &str) -> &str {
 }
 
 fn parse_int(s: &str) -> Result<i64, ParseError> {
-    s.parse().map_err(|_| "malformed integer")
+    s.parse().map_err(|_| ProtoError::MalformedInt)
 }
 
 fn parse_float(s: &str) -> Result<f64, ParseError> {
-    s.parse().map_err(|_| "malformed float")
+    s.parse().map_err(|_| ProtoError::MalformedFloat)
 }
 
 fn parse_range(s: &str) -> Result<Interval, ParseError> {
-    let (a, b) = s.split_once("..").ok_or("range wants a..b")?;
-    Interval::new(parse_int(a)?, parse_int(b)?).map_err(|_| "empty interval (a > b)")
+    let (a, b) = s.split_once("..").ok_or(ProtoError::RangeWantsDots)?;
+    Interval::new(parse_int(a)?, parse_int(b)?).map_err(|_| ProtoError::EmptyInterval)
 }
 
 fn parse_clauses(line: &str) -> Result<Clauses<'_>, ParseError> {
     let mut clauses = Clauses::default();
     for token in tokens(line) {
-        let (key, value) = token.split_once('=').ok_or("clause wants key=value")?;
+        let (key, value) = token
+            .split_once('=')
+            .ok_or(ProtoError::ClauseWantsKeyValue)?;
         match key {
             "s" => clauses.subject = Some(unquote(value)),
             "p" => clauses.predicate = Some(unquote(value)),
@@ -209,13 +279,15 @@ fn parse_clauses(line: &str) -> Result<Clauses<'_>, ParseError> {
             "at" => clauses.time = TimeClause::At(parse_int(value)?),
             "over" => clauses.time = TimeClause::Over(parse_range(value)?),
             "allen" => {
-                let (rel, range) = value.split_once(':').ok_or("allen wants rel:a..b")?;
-                let rel = AllenRelation::parse(rel).ok_or("unknown Allen relation")?;
+                let (rel, range) = value
+                    .split_once(':')
+                    .ok_or(ProtoError::AllenWantsRelRange)?;
+                let rel = AllenRelation::parse(rel).ok_or(ProtoError::UnknownAllenRelation)?;
                 clauses.time = TimeClause::Allen(rel, parse_range(range)?);
             }
             "minconf" => clauses.min_confidence = Some(parse_float(value)?),
-            "limit" => clauses.limit = Some(value.parse().map_err(|_| "malformed limit")?),
-            _ => return Err("unknown clause key"),
+            "limit" => clauses.limit = Some(value.parse().map_err(|_| ProtoError::MalformedLimit)?),
+            _ => return Err(ProtoError::UnknownClauseKey),
         }
     }
     Ok(clauses)
@@ -223,21 +295,23 @@ fn parse_clauses(line: &str) -> Result<Clauses<'_>, ParseError> {
 
 fn parse_insert(line: &str) -> Result<Request<'_>, ParseError> {
     let mut parts = tokens(line);
-    let subject = unquote(parts.next().ok_or("INSERT wants s p o [a,b] conf")?);
-    let predicate = unquote(parts.next().ok_or("INSERT wants s p o [a,b] conf")?);
-    let object = unquote(parts.next().ok_or("INSERT wants s p o [a,b] conf")?);
-    let span = parts.next().ok_or("INSERT wants s p o [a,b] conf")?;
-    let conf = parts.next().ok_or("INSERT wants s p o [a,b] conf")?;
+    let subject = unquote(parts.next().ok_or(ProtoError::InsertArity)?);
+    let predicate = unquote(parts.next().ok_or(ProtoError::InsertArity)?);
+    let object = unquote(parts.next().ok_or(ProtoError::InsertArity)?);
+    let span = parts.next().ok_or(ProtoError::InsertArity)?;
+    let conf = parts.next().ok_or(ProtoError::InsertArity)?;
     if parts.next().is_some() {
-        return Err("trailing tokens after INSERT");
+        return Err(ProtoError::TrailingTokens);
     }
     let span = span
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or("interval wants [a,b]")?;
-    let (a, b) = span.split_once(',').ok_or("interval wants [a,b]")?;
+        .ok_or(ProtoError::IntervalWantsBrackets)?;
+    let (a, b) = span
+        .split_once(',')
+        .ok_or(ProtoError::IntervalWantsBrackets)?;
     let interval =
-        Interval::new(parse_int(a)?, parse_int(b)?).map_err(|_| "empty interval (a > b)")?;
+        Interval::new(parse_int(a)?, parse_int(b)?).map_err(|_| ProtoError::EmptyInterval)?;
     let confidence = parse_float(conf)?;
     Ok(Request::Insert {
         subject,
@@ -267,11 +341,14 @@ pub fn parse(line: &str) -> Result<Request<'_>, ParseError> {
         "TIMELINE" => Ok(Request::Query(QueryKind::Timeline, parse_clauses(rest)?)),
         "INSERT" => parse_insert(rest),
         "REMOVE" => {
-            let id: u32 = rest.trim().parse().map_err(|_| "malformed fact id")?;
+            let id: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| ProtoError::MalformedFactId)?;
             Ok(Request::Remove(FactId(id)))
         }
-        "" => Err("empty request"),
-        _ => Err("unknown verb"),
+        "" => Err(ProtoError::EmptyRequest),
+        _ => Err(ProtoError::UnknownVerb),
     }
 }
 

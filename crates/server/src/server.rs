@@ -255,6 +255,10 @@ impl Server {
     /// queue, publishes its final snapshot, and (when durable) flushes
     /// and checkpoints the log.
     pub fn shutdown(self) -> Arc<Snapshot> {
+        // ordering: the shutdown flag is a cross-thread control signal
+        // observed by acceptor, readers, and writer; SeqCst keeps it
+        // totally ordered with the abort flag below (no thread may see
+        // abort without shutdown).
         self.shutdown.store(true, Ordering::SeqCst);
         for handle in self.threads {
             let _ = handle.join();
@@ -267,8 +271,12 @@ impl Server {
     /// flushes/checkpoints the log. Whatever the WAL already holds is
     /// what recovery will see.
     pub fn crash(self) {
+        // ordering: abort must be visible before (or with) shutdown on
+        // every thread — a writer that wakes on shutdown but misses
+        // abort would drain and flush, defeating the simulated power
+        // cut. SeqCst on both stores pins the pair's order globally.
         self.abort.store(true, Ordering::SeqCst);
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst); // ordering: see above — the pair is what matters.
         for handle in self.threads {
             let _ = handle.join();
         }
@@ -317,6 +325,7 @@ fn accept_loop(
                                 return;
                             }
                             pending = back;
+                            // lint: allow(R5) acceptor backpressure: all readers saturated, 1ms retry is the shed policy
                             std::thread::sleep(Duration::from_millis(1));
                         }
                         Err(TrySendError::Disconnected(_)) => return,
@@ -324,8 +333,10 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // lint: allow(R5) nonblocking-listener poll so shutdown is noticed within 1ms
                 std::thread::sleep(Duration::from_millis(1));
             }
+            // lint: allow(R5) transient accept errors back off rather than spin
             Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
     }
@@ -496,7 +507,8 @@ fn handle_line(
                 out,
                 "S queries={} edits={} publishes={} connections={} \
                  wal_bytes={} wal_segments={} last_checkpoint_epoch={} \
-                 durable_epoch={} read_only={}",
+                 durable_epoch={} read_only={} cell_reader_spins={} \
+                 cell_publish_retries={}",
                 stats.queries.load(Ordering::Relaxed),
                 stats.edits_applied.load(Ordering::Relaxed),
                 stats.publishes.load(Ordering::Relaxed),
@@ -506,6 +518,8 @@ fn handle_line(
                 stats.last_checkpoint_epoch.load(Ordering::Relaxed),
                 stats.durable_epoch.load(Ordering::Relaxed),
                 stats.read_only.load(Ordering::Relaxed),
+                cell.reader_spins(),
+                cell.publish_retries(),
             );
         }
         Ok(Request::Flush) => {

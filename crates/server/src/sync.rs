@@ -1,0 +1,53 @@
+//! Synchronization primitive facade for the hot structures.
+//!
+//! By default this is a zero-cost re-export of `std`. Under the
+//! `model-check` feature it swaps in `tecore-check`'s instrumented
+//! drop-ins, so [`crate::cell::SnapshotCell`] (and anything else built
+//! on this module) can run under the deterministic model checker —
+//! every atomic access, lock acquisition, and spin hint becomes a
+//! scheduling point the checker controls. Outside a model run the
+//! instrumented types fall back to their `std` behaviour, which keeps
+//! the ordinary test suite green when the feature is enabled.
+//!
+//! The [`mutation_ordering`] hook tags deliberately-weakenable memory
+//! orderings (see `tecore_check::mutation`): a no-op in production
+//! builds, a mutation site the model-check CI leg can flip to prove
+//! the checker would catch the regression.
+
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::{Mutex, RwLock};
+
+#[cfg(feature = "model-check")]
+pub use tecore_check::sync::{Mutex, RwLock};
+
+/// Atomics: `std::sync::atomic` or the instrumented equivalents.
+pub mod atomic {
+    #[cfg(not(feature = "model-check"))]
+    pub use std::sync::atomic::AtomicU64;
+
+    #[cfg(feature = "model-check")]
+    pub use tecore_check::sync::atomic::AtomicU64;
+
+    pub use std::sync::atomic::Ordering;
+}
+
+/// Spin-loop hint: a real pause instruction, or a model yield point.
+pub mod hint {
+    #[cfg(not(feature = "model-check"))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(feature = "model-check")]
+    pub use tecore_check::hint::spin_loop;
+}
+
+/// Weakenable-ordering mutation site (no-op without `model-check`).
+#[cfg(feature = "model-check")]
+pub fn mutation_ordering(site: &str, ord: atomic::Ordering) -> atomic::Ordering {
+    tecore_check::mutation::ordering(site, ord)
+}
+
+/// Weakenable-ordering mutation site (no-op without `model-check`).
+#[cfg(not(feature = "model-check"))]
+pub fn mutation_ordering(_site: &str, ord: atomic::Ordering) -> atomic::Ordering {
+    ord
+}

@@ -1,0 +1,126 @@
+//! `proto::parse` never panics, whatever bytes arrive on the wire.
+//!
+//! The parser is handed raw client input straight off a TCP stream; a
+//! panic here would take a reader thread down and poison the
+//! connection pool. These tests throw three generations of garbage at
+//! it — uniform byte soup (lossily decoded), protocol-alphabet token
+//! soup (near-miss lines that exercise the deep clause/insert paths),
+//! and directed regressions (overlong lines, interior NULs, truncated
+//! quoted strings) — and assert the only outcomes are `Ok(_)` or a
+//! typed [`ProtoError`].
+//!
+//! Seeds are deterministic: the in-repo proptest shim derives each
+//! test's RNG seed from the test function's name (FNV-1a), so a failure
+//! reported by CI replays locally by just re-running the named test.
+//! `PROPTEST_CASES` scales the case count without changing the
+//! sequence prefix.
+
+use proptest::prelude::*;
+use tecore_server::proto;
+
+/// Drives `parse` and, on success, re-renders nothing: the property is
+/// only "no panic, and errors are typed". Returns the result so
+/// directed tests can also assert the variant.
+fn parse_total(line: &str) -> Result<(), proto::ProtoError> {
+    proto::parse(line).map(|_| ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Uniform byte soup, lossily decoded. Exercises the tokenizer's
+    /// handling of arbitrary UTF-8 (including replacement characters
+    /// from invalid sequences) and control bytes.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(0u8..=255, 0..128)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_total(&line);
+    }
+
+    /// Token soup over the protocol's own alphabet: verbs, clause keys,
+    /// digits, quotes, brackets, dots and separators. Random
+    /// recombinations of these reach far deeper into `parse_clauses`
+    /// and `parse_insert` than uniform bytes do.
+    // The shim's class parser treats `]` as end-of-class, so the two
+    // soup strategies generate `(`/`)` and map them to `[`/`]`.
+    #[test]
+    fn protocol_alphabet_soup_never_panics(
+        line in "[QCOUNTINSERTROVEPIGFLUSHspoatverlnmcfid=\"(){},.:0-9 -]{0,96}"
+            .prop_map(|s: String| s.replace('(', "[").replace(')', "]")),
+    ) {
+        let _ = parse_total(&line);
+    }
+
+    /// Structured near-misses: a known verb with arbitrary clause-ish
+    /// tail tokens, quoted or not, sometimes truncated mid-quote.
+    #[test]
+    fn verbed_garbage_never_panics(
+        verb in 0usize..8,
+        tail in "[a-z=\"0-9.(), ]{0,64}"
+            .prop_map(|s: String| s.replace('(', "[").replace(')', "]")),
+        chop in 0usize..64,
+    ) {
+        let verbs = ["Q", "COUNT", "OBJECTS", "TIMELINE", "INSERT", "REMOVE", "FLUSH", "STATS"];
+        let mut line = format!("{} {}", verbs[verb], tail);
+        // Truncate at an arbitrary char boundary to model a client that
+        // died mid-line.
+        if let Some((idx, _)) = line.char_indices().nth(chop) {
+            line.truncate(idx);
+        }
+        let _ = parse_total(&line);
+    }
+}
+
+#[test]
+fn overlong_lines_are_rejected_not_fatal() {
+    // Far past any internal buffer expectation; term parsing borrows,
+    // so this also checks no quadratic blowup panics (capacity, etc.).
+    let long = "Q s=".to_string() + &"x".repeat(1 << 20);
+    assert!(parse_total(&long).is_ok(), "one giant term is still a term");
+    let many = "Q ".to_string() + &"s=a ".repeat(200_000);
+    assert!(parse_total(&many).is_ok(), "many clauses still parse");
+    let junk = "\u{7f}".repeat(1 << 20);
+    assert_eq!(parse_total(&junk), Err(proto::ProtoError::UnknownVerb));
+}
+
+#[test]
+fn interior_nuls_never_panic() {
+    for line in [
+        "\0",
+        "PING\0",
+        "Q s=\0",
+        "Q \0=v",
+        "INSERT a\0b c d [1,2] 0.5",
+        "REMOVE \0",
+        "\0\0\0\0\0\0\0\0",
+    ] {
+        let _ = parse_total(line);
+    }
+    // A NUL inside a quoted term is data, not structure.
+    match proto::parse("COUNT s=\"a\0b\"") {
+        Ok(proto::Request::Query(_, c)) => assert_eq!(c.subject, Some("a\0b")),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_quoted_strings_never_panic() {
+    // An unterminated quote swallows the rest of the line into one
+    // token; every prefix of a valid quoted request must stay total.
+    let full = "INSERT \"Claudio Ranieri\" coach \"Leicester City\" [2015,2017] 0.7";
+    for (idx, _) in full.char_indices() {
+        let _ = parse_total(&full[..idx]);
+    }
+    let _ = parse_total(full);
+    // Directed shapes around the quote handling itself.
+    for line in [
+        "Q s=\"",
+        "Q s=\"abc",
+        "Q s=\"abc\" p=\"",
+        "COUNT o=\"\"\"",
+        "INSERT \"a b",
+        "INSERT \"\" \"\" \"\" [1,2] 0.5",
+    ] {
+        let _ = parse_total(line);
+    }
+}

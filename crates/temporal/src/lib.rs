@@ -42,6 +42,8 @@
 //! assert!(!AllenSet::DISJOINT.holds(chelsea, napoli));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod allen;
 pub mod coalesce;
 pub mod compose;

@@ -38,7 +38,11 @@ impl FailPlan {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PlanState> {
-        self.state.lock().expect("fail plan poisoned")
+        // A panicked holder can't corrupt the plan (plain counters), so
+        // recover rather than propagate the poison.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Fail the `n`th append with an I/O error (nothing written).

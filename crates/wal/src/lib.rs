@@ -39,6 +39,8 @@
 //! points, which is how the "crash at every byte offset, then
 //! recover" property tests drive the log.
 
+#![forbid(unsafe_code)]
+
 pub mod crc;
 #[cfg(feature = "failpoints")]
 pub mod failpoint;

@@ -427,7 +427,10 @@ impl Wal {
                 Err(e) => return Err(self.io_poison(e)),
             }
         }
-        let segment = self.segments.last_mut().expect("active segment exists");
+        let segment = self
+            .segments
+            .last_mut()
+            .ok_or_else(|| WalError::Corrupt("internal: no active segment after append".into()))?;
         segment.bytes += len;
         self.bytes_since_checkpoint += len;
         self.appended_epoch = epoch;
@@ -552,7 +555,10 @@ impl Wal {
         // data (the checkpoint is durable), but a broken device still
         // poisons via roll()/append_frame().
         self.roll()?;
-        let active = self.segments.pop().expect("roll pushed the active segment");
+        let active = self
+            .segments
+            .pop()
+            .ok_or_else(|| WalError::Corrupt("internal: roll left no active segment".into()))?;
         for sealed in self.segments.drain(..) {
             let _ = self.storage.remove(&sealed.name);
         }

@@ -35,6 +35,8 @@
 //! assert_eq!(coached.len(), 1); // Chelsea (the Napoli clash is repaired)
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tecore_core;
 pub use tecore_datagen;
 pub use tecore_ground;

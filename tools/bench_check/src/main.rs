@@ -32,6 +32,8 @@
 //! *drops* a baselined percentile fails (a latency metric silently
 //! disappearing is itself a regression).
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

@@ -1,0 +1,280 @@
+//! Minimal token-level lexer for the lint rules.
+//!
+//! Produces identifier/number/punctuation tokens with line numbers,
+//! collects comment text per line (for `// ordering:` rationales and
+//! `// lint: allow(..)` escapes), and strips string/char literals so
+//! their contents can never trigger a rule. `::` is fused into one
+//! token; everything else is single-char punctuation.
+
+/// One source token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (identifier, number, or punctuation).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexed source: tokens plus per-line comment text.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// `(line, comment-text)` for every `//` and `/* */` comment
+    /// (block comments recorded at their starting line).
+    pub comments: Vec<(u32, String)>,
+}
+
+impl Lexed {
+    /// All comment text attached to `line`.
+    pub fn comment_on(&self, line: u32) -> impl Iterator<Item = &str> {
+        self.comments
+            .iter()
+            .filter(move |(l, _)| *l == line)
+            .map(|(_, c)| c.as_str())
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src`. Unterminated literals/comments end the scan gracefully —
+/// the linter must never panic on weird-but-compiling source.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push((line, b[start..j].iter().collect()));
+            i = j;
+            continue;
+        }
+        // Block comment (nested, as in Rust).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let cline = line;
+            let start = i + 2;
+            let mut j = start;
+            let mut depth = 1;
+            while j < n && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push((cline, b[start..end].iter().collect()));
+            i = j;
+            continue;
+        }
+        // Raw / byte string starts: r"..", r#".."#, b"..", br#".."#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i + 1;
+            if c == 'b' && j < n && b[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n
+                && b[j] == '"'
+                && (hashes > 0 || b[i + 1] == '"' || (c == 'b' && b[i + 1] == 'r'))
+            {
+                // Consume to closing quote followed by `hashes` #s.
+                j += 1;
+                while j < n {
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    if b[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+                // Byte char literal b'x'.
+                let mut j = i + 2;
+                if j < n && b[j] == '\\' {
+                    j += 1;
+                }
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+            // Fall through: ordinary identifier starting with r/b.
+        }
+        // Ordinary string.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // '\n', '\'', '\u{..}' …
+                let mut j = i + 2;
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' {
+                // 'x'
+                i += 3;
+                continue;
+            }
+            // Lifetime: skip the quote, let the identifier lex normally.
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (is_ident_cont(b[j]) || b[j] == '.') {
+                // Stop at `..` (range) so `0..n` lexes as 0, ., ., n-ish.
+                if b[j] == '.' && j + 1 < n && b[j + 1] == '.' {
+                    break;
+                }
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Fuse `::` into a single token; all other punctuation is
+        // single-char.
+        if c == ':' && i + 1 < n && b[i + 1] == ':' {
+            out.toks.push(Tok {
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.toks.push(Tok {
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let l = lex("let x = \"unsafe HashMap\"; // ordering: because\nfoo");
+        let t: Vec<_> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, ["let", "x", "=", ";", "foo"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].1.contains("ordering:"));
+        assert_eq!(l.toks.last().map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        assert_eq!(
+            texts("fn f<'a>(s: &'a str) { r#\"unsafe \" inner\"#; }"),
+            ["fn", "f", "<", "a", ">", "(", "s", ":", "&", "a", "str", ")", "{", ";", "}"]
+        );
+    }
+
+    #[test]
+    fn char_literal_not_lifetime() {
+        assert_eq!(
+            texts("let c = 'x'; let nl = '\\n';"),
+            ["let", "c", "=", ";", "let", "nl", "=", ";"]
+        );
+    }
+
+    #[test]
+    fn double_colon_fused() {
+        assert_eq!(texts("a::b: c"), ["a", "::", "b", ":", "c"]);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        assert_eq!(texts("a /* x /* y */ z */ b"), ["a", "b"]);
+    }
+}

@@ -1,0 +1,414 @@
+//! The lint rules.
+//!
+//! | rule | invariant | scope |
+//! |------|-----------|-------|
+//! | R1 | no `unsafe` | every non-shim `src/` tree |
+//! | R2 | no default-hasher `HashMap`/`HashSet` (use `FxHashMap`/`FxHashSet`) | hot crates: kg, ground, mln, psl, server, wal |
+//! | R3 | no `.unwrap()` / `.expect()` / `panic!` in non-test code | server, wal |
+//! | R4 | every `Ordering::{Acquire,Release,AcqRel,SeqCst}` argument carries a `// ordering:` rationale (same line or the comment block above) | every non-shim `src/` tree |
+//! | R5 | no `std::thread::sleep` | library crates (`crates/*/src`) |
+//!
+//! `#[cfg(test)]` / `#[test]` regions are exempt from every rule. A
+//! finding can be suppressed with `// lint: allow(Rn) <reason>` on the
+//! same line or the line above; suppressed findings are still counted
+//! and reported in the summary so escapes stay visible.
+
+use crate::lexer::{lex, Lexed};
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id: "R1" … "R5".
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+    /// True when a `// lint: allow(..)` escape covers it.
+    pub allowed: bool,
+}
+
+struct Scope {
+    r1: bool,
+    r2: bool,
+    r3: bool,
+    r4: bool,
+    r5: bool,
+}
+
+const HOT_CRATES: [&str; 6] = ["kg", "ground", "mln", "psl", "server", "wal"];
+
+/// Which rules apply to a repo-relative path. Only `src/` trees are
+/// linted at all — tests, benches and examples are free to unwrap.
+fn scope_for(path: &str) -> Scope {
+    let p = path.replace('\\', "/");
+    let shim = p.starts_with("crates/shims/");
+    let in_src = p.contains("/src/") || p.starts_with("src/");
+    if shim || !in_src {
+        return Scope {
+            r1: false,
+            r2: false,
+            r3: false,
+            r4: false,
+            r5: false,
+        };
+    }
+    let crate_name = p
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    Scope {
+        r1: true,
+        r2: HOT_CRATES.contains(&crate_name),
+        r3: crate_name == "server" || crate_name == "wal",
+        r4: true,
+        r5: p.starts_with("crates/"),
+    }
+}
+
+/// Mark the token indices covered by `#[cfg(test)]` / `#[test]` items
+/// (attribute through the end of the following braced item or `;`).
+fn test_regions(l: &Lexed) -> Vec<bool> {
+    let t = &l.toks;
+    let mut in_test = vec![false; t.len()];
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].text == "#" && i + 1 < t.len() && t[i + 1].text == "[" {
+            // Collect the attribute token span.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let attr_start = j;
+            while j < t.len() && depth > 0 {
+                match t[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr = &t[attr_start..j.saturating_sub(1)];
+            let is_test_attr = (attr.len() == 1 && attr[0].text == "test")
+                || attr.windows(4).any(|w| {
+                    w[0].text == "cfg"
+                        && w[1].text == "("
+                        && w[2].text == "test"
+                        && (w[3].text == ")" || w[3].text == ",")
+                });
+            if is_test_attr {
+                // Skip to the end of the annotated item: first `;`
+                // before any brace, or the matching `}` otherwise.
+                let mut k = j;
+                let mut bdepth = 0usize;
+                let mut entered = false;
+                while k < t.len() {
+                    match t[k].text.as_str() {
+                        ";" if !entered => {
+                            k += 1;
+                            break;
+                        }
+                        "{" => {
+                            entered = true;
+                            bdepth += 1;
+                        }
+                        "}" => {
+                            bdepth = bdepth.saturating_sub(1);
+                            if entered && bdepth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                for flag in in_test.iter_mut().take(k).skip(i) {
+                    *flag = true;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Is `needle` in a comment on `line` or in the contiguous block of
+/// comment-bearing lines directly above it? (A rationale is often a
+/// multi-line comment whose marker sits on its first line.)
+fn has_comment(l: &Lexed, line: u32, needle: &str) -> bool {
+    if l.comment_on(line).any(|c| c.contains(needle)) {
+        return true;
+    }
+    let mut ln = line.saturating_sub(1);
+    while ln > 0 {
+        let mut any = false;
+        for c in l.comment_on(ln) {
+            any = true;
+            if c.contains(needle) {
+                return true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        ln -= 1;
+    }
+    false
+}
+
+fn is_allowed(l: &Lexed, line: u32, rule: &str) -> bool {
+    let tag = format!("lint: allow({rule})");
+    has_comment(l, line, &tag)
+}
+
+/// Lint one source file; `rel_path` (repo-relative, `/`-separated)
+/// selects which rules apply.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let scope = scope_for(rel_path);
+    let l = lex(src);
+    let t = &l.toks;
+    let in_test = test_regions(&l);
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, msg: String| {
+        let allowed = is_allowed(&l, line, rule);
+        out.push(Finding {
+            rule,
+            line,
+            msg,
+            allowed,
+        });
+    };
+    const STRONG: [&str; 4] = ["Acquire", "Release", "AcqRel", "SeqCst"];
+    for i in 0..t.len() {
+        if in_test[i] {
+            continue;
+        }
+        let tx = t[i].text.as_str();
+        let line = t[i].line;
+        if scope.r1 && tx == "unsafe" {
+            push("R1", line, "`unsafe` outside crates/shims".to_string());
+        }
+        if scope.r2 && (tx == "HashMap" || tx == "HashSet") {
+            push(
+                "R2",
+                line,
+                format!("default-hasher `{tx}` in a hot crate — use `Fx{tx}` (tecore_kg::fxhash)"),
+            );
+        }
+        if scope.r3 {
+            let next = t.get(i + 1).map(|t| t.text.as_str());
+            let prev = i
+                .checked_sub(1)
+                .and_then(|p| t.get(p))
+                .map(|t| t.text.as_str());
+            if (tx == "unwrap" || tx == "expect") && prev == Some(".") && next == Some("(") {
+                push(
+                    "R3",
+                    line,
+                    format!("`.{tx}()` on a non-test server/wal path — return a typed error"),
+                );
+            }
+            if tx == "panic" && next == Some("!") {
+                push(
+                    "R3",
+                    line,
+                    "`panic!` on a non-test server/wal path".to_string(),
+                );
+            }
+        }
+        if scope.r4
+            && tx == "Ordering"
+            && t.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+            && t.get(i + 2).map(|t| STRONG.contains(&t.text.as_str())) == Some(true)
+        {
+            // Argument position only: `load(Ordering::Acquire)` or a
+            // middle argument — not match arms / comparisons.
+            let prev = i
+                .checked_sub(1)
+                .and_then(|p| t.get(p))
+                .map(|t| t.text.as_str());
+            let next = t.get(i + 3).map(|t| t.text.as_str());
+            let arg_pos =
+                matches!(prev, Some("(") | Some(",")) && matches!(next, Some(")") | Some(","));
+            if arg_pos && !has_comment(&l, line, "ordering:") {
+                push(
+                    "R4",
+                    line,
+                    format!(
+                        "`Ordering::{}` without a `// ordering:` rationale (same line or the comment block above)",
+                        t[i + 2].text
+                    ),
+                );
+            }
+        }
+        if scope.r5
+            && tx == "thread"
+            && t.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+            && t.get(i + 2).map(|t| t.text.as_str()) == Some("sleep")
+        {
+            push("R5", line, "`thread::sleep` in a library crate".to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        check_source(path, src)
+    }
+
+    fn active(path: &str, src: &str) -> Vec<Finding> {
+        findings(path, src)
+            .into_iter()
+            .filter(|f| !f.allowed)
+            .collect()
+    }
+
+    #[test]
+    fn r1_fires_on_unsafe() {
+        let f = active(
+            "crates/core/src/lib.rs",
+            "fn f() { unsafe { std::hint::unreachable_unchecked() } }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "R1");
+        // Shims are exempt.
+        assert!(active("crates/shims/rand/src/lib.rs", "unsafe fn g() {}").is_empty());
+        // Test regions are exempt.
+        assert!(active(
+            "crates/core/src/lib.rs",
+            "#[cfg(test)]\nmod t { fn f() { unsafe {} } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r2_fires_on_default_hashers_in_hot_crates() {
+        let f = active("crates/kg/src/graph.rs", "use std::collections::HashMap;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "R2");
+        let f = active(
+            "crates/wal/src/wal.rs",
+            "let s: HashSet<u32> = HashSet::new();",
+        );
+        assert_eq!(f.len(), 2);
+        // Cold crates may use default hashers.
+        assert!(active("crates/logic/src/lib.rs", "use std::collections::HashMap;").is_empty());
+        // FxHashMap is one token and never matches.
+        assert!(active("crates/kg/src/graph.rs", "let m = FxHashMap::default();").is_empty());
+    }
+
+    #[test]
+    fn r3_fires_on_panicking_paths() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g() { panic!(\"boom\") }\nfn h(x: Option<u32>) { x.expect(\"msg\"); }";
+        let f = active("crates/server/src/proto.rs", src);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|f| f.rule == "R3"));
+        // Out of scope: kg may unwrap.
+        assert!(active(
+            "crates/kg/src/shard.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }"
+        )
+        .is_empty());
+        // Tests may unwrap even in server.
+        assert!(active(
+            "crates/wal/src/wal.rs",
+            "#[cfg(test)]\nmod t { #[test] fn u() { None::<u32>.unwrap(); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r4_requires_ordering_rationale() {
+        let f = active(
+            "crates/server/src/cell.rs",
+            "let v = a.load(Ordering::Acquire);",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "R4");
+        // Same-line rationale.
+        assert!(active(
+            "crates/server/src/cell.rs",
+            "let v = a.load(Ordering::Acquire); // ordering: pairs with publish Release"
+        )
+        .is_empty());
+        // Line-above rationale.
+        assert!(active(
+            "crates/server/src/cell.rs",
+            "// ordering: pairs with publish Release\nlet v = a.load(Ordering::Acquire);"
+        )
+        .is_empty());
+        // Multi-line rationale: the marker may open the comment block.
+        assert!(active(
+            "crates/server/src/cell.rs",
+            "// ordering: pairs with the publish release store so a\n// reader that sees the word sees the slot\nlet v = a.load(Ordering::Acquire);"
+        )
+        .is_empty());
+        // A code line breaks the block.
+        let f = active(
+            "crates/server/src/cell.rs",
+            "// ordering: about the line below only\nlet w = b.store(1, Ordering::Release);\nlet v = a.load(Ordering::Acquire);",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        // Relaxed needs no rationale.
+        assert!(active("crates/server/src/cell.rs", "a.load(Ordering::Relaxed);").is_empty());
+        // Match arms / comparisons are not argument positions.
+        assert!(active(
+            "crates/server/src/cell.rs",
+            "match o { Ordering::Acquire => 1, Ordering::SeqCst => 2, _ => 0 };"
+        )
+        .is_empty());
+        // Middle-argument position still fires.
+        let f = active(
+            "crates/server/src/cell.rs",
+            "a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed);",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn r5_fires_on_sleep_in_library_crates() {
+        let f = active("crates/core/src/engine.rs", "std::thread::sleep(d);");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "R5");
+        // Tools are exempt (not under crates/).
+        assert!(active("tools/bench_check/src/main.rs", "std::thread::sleep(d);").is_empty());
+    }
+
+    #[test]
+    fn allow_escape_suppresses_but_is_reported() {
+        let src =
+            "// lint: allow(R5) acceptor poll loop has no std alternative\nstd::thread::sleep(d);";
+        let all = findings("crates/server/src/server.rs", src);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].allowed);
+        // The escape names the rule: allowing R5 does not allow R3.
+        let src = "// lint: allow(R5)\nx.unwrap();";
+        let all = findings("crates/server/src/server.rs", src);
+        assert_eq!(all.len(), 1);
+        assert!(!all[0].allowed);
+    }
+
+    #[test]
+    fn strings_never_trigger_rules() {
+        assert!(active(
+            "crates/server/src/proto.rs",
+            "let s = \"unsafe panic! HashMap thread::sleep\";"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = active(
+            "crates/server/src/lib.rs",
+            "#[cfg(not(test))]\nfn f() { x.unwrap(); }",
+        );
+        assert_eq!(f.len(), 1);
+    }
+}
