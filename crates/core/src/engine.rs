@@ -29,11 +29,12 @@ use tecore_ground::incremental::DeltaStats;
 use tecore_ground::{
     ComponentMode, GroundConfig, Grounding, JoinPlanner, MapState, SolveError, SolveOpts,
 };
-use tecore_kg::{Confidence, Delta, FactId, TemporalFact, UtkGraph};
+use tecore_kg::{Delta, FactId, TemporalFact, UtkGraph};
 use tecore_logic::LogicProgram;
 use tecore_temporal::Interval;
 use tecore_wal::{InsertRecord, RecoveryReport, Wal, WalConfig, WalStats};
 
+use crate::batch::{self, ApplyReport, EditBatch, EditOutcome, PlannedOp};
 use crate::error::TecoreError;
 use crate::pipeline::{check_solver_contract, interpret, SolverHandle, TecoreConfig};
 use crate::resolution::Resolution;
@@ -567,11 +568,70 @@ impl Engine {
         }
     }
 
+    /// Applies an [`EditBatch`] — the unified edit surface every other
+    /// mutation path (per-fact methods, [`Session`](crate::Session)
+    /// edits, the server writer loop, the stream window admitter) now
+    /// routes through.
+    ///
+    /// Ops apply **sequentially, in builder order**, each validated
+    /// against the graph state its predecessors left: `apply(batch)`
+    /// is observationally identical to issuing the same ops through
+    /// the per-fact methods one at a time. The whole batch lands in
+    /// consecutive epochs of the change log, so the next
+    /// [`Engine::resolve_incremental`] consumes it as **one netted
+    /// delta** — one grounding sync, one warm-started solve.
+    ///
+    /// On a durable engine each op is journaled *before* its graph
+    /// mutation (one consecutive WAL entry group per batch; a
+    /// semantically rejected op is never journaled). A journal append
+    /// failure marks the op [`EditOutcome::Failed`], skips the rest of
+    /// the batch, and leaves the applied prefix consistent — exactly
+    /// what recovery will rebuild.
+    ///
+    /// The call itself is infallible; per-op results (minted ids,
+    /// replaced facts, rejections) are in the returned
+    /// [`ApplyReport`]. Use [`ApplyReport::into_result`] to treat any
+    /// rejection as a batch error.
+    pub fn apply(&mut self, batch: &EditBatch) -> ApplyReport {
+        let mut report = ApplyReport {
+            outcomes: Vec::with_capacity(batch.len()),
+        };
+        let mut wal_dead = false;
+        for op in batch.ops() {
+            if wal_dead {
+                report.outcomes.push(EditOutcome::Skipped);
+                continue;
+            }
+            let planned = match batch::plan_op(&self.graph, op) {
+                Ok(planned) => planned,
+                Err(e) => {
+                    report.outcomes.push(EditOutcome::Rejected(e));
+                    continue;
+                }
+            };
+            if let Some(wal) = self.wal.as_mut() {
+                if let Err(e) = journal_planned(wal, &self.graph, &planned) {
+                    wal_dead = true;
+                    report.outcomes.push(EditOutcome::Failed(e));
+                    continue;
+                }
+            }
+            report
+                .outcomes
+                .push(batch::execute_op(&mut self.graph, planned));
+        }
+        report
+    }
+
     /// Inserts a fact (interning as needed); the change feeds the next
     /// incremental resolve. On a durable engine the edit is journaled
     /// *before* the graph mutation — a failed journal append leaves
     /// the graph untouched, so in-memory state never runs ahead of
     /// what recovery can rebuild.
+    ///
+    /// Thin wrapper over [`Engine::apply`] with a one-op batch, kept
+    /// for convenience and compatibility; prefer building an
+    /// [`EditBatch`] when issuing more than one edit per resolve.
     pub fn insert_fact(
         &mut self,
         subject: &str,
@@ -580,39 +640,32 @@ impl Engine {
         interval: Interval,
         confidence: f64,
     ) -> Result<FactId, TecoreError> {
-        if let Some(wal) = self.wal.as_mut() {
-            // Validate up front so the log never records an edit the
-            // graph would then reject (which would poison replay).
-            Confidence::new(confidence)?;
-            let id = FactId(self.graph.arena_len() as u32);
-            wal.log_insert(
-                self.graph.epoch() + 1,
-                id,
-                &InsertRecord {
-                    subject,
-                    predicate,
-                    object,
-                    interval,
-                    confidence,
-                },
-            )?;
+        let batch = EditBatch::new().insert(subject, predicate, object, interval, confidence);
+        match self.apply(&batch).outcomes.pop() {
+            Some(EditOutcome::Inserted(id)) => Ok(id),
+            Some(EditOutcome::Rejected(e) | EditOutcome::Failed(e)) => Err(e),
+            _ => Err(TecoreError::Session(
+                "single-op batch produced no outcome".into(),
+            )),
         }
-        Ok(self
-            .graph
-            .insert(subject, predicate, object, interval, confidence)?)
     }
 
     /// Removes (tombstones) a fact; the change feeds the next
     /// incremental resolve. Durable engines journal first, exactly as
     /// in [`Engine::insert_fact`].
+    ///
+    /// Thin wrapper over [`Engine::apply`] with a one-op batch, kept
+    /// for convenience and compatibility; prefer building an
+    /// [`EditBatch`] when issuing more than one edit per resolve.
     pub fn remove_fact(&mut self, id: FactId) -> Result<TemporalFact, TecoreError> {
-        if let Some(wal) = self.wal.as_mut() {
-            if !self.graph.is_alive(id) {
-                return Err(tecore_kg::KgError::UnknownFact(id.0).into());
-            }
-            wal.log_remove(self.graph.epoch() + 1, id)?;
+        let batch = EditBatch::new().remove(id);
+        match self.apply(&batch).outcomes.pop() {
+            Some(EditOutcome::Removed(fact)) => Ok(fact),
+            Some(EditOutcome::Rejected(e) | EditOutcome::Failed(e)) => Err(e),
+            _ => Err(TecoreError::Session(
+                "single-op batch produced no outcome".into(),
+            )),
         }
-        Ok(self.graph.remove(id)?)
     }
 
     /// Is this engine journaling edits to a write-ahead log?
@@ -836,6 +889,68 @@ impl Engine {
         self.cache = Some(engine);
         Ok(self.publish(resolution))
     }
+}
+
+/// Journals one planned (pre-validated) op to the write-ahead log,
+/// *before* the graph mutation. Epochs are assigned exactly as the
+/// subsequent execution will bump them (`graph.epoch() + 1` per
+/// mutation, upserts journaling each removal then the insert), and
+/// insert ids are the arena positions the graph is about to mint — so
+/// a replayed log rebuilds byte-identical state.
+fn journal_planned(
+    wal: &mut Wal,
+    graph: &UtkGraph,
+    planned: &PlannedOp<'_>,
+) -> Result<(), TecoreError> {
+    let epoch = graph.epoch();
+    match planned {
+        PlannedOp::Insert {
+            subject,
+            predicate,
+            object,
+            interval,
+            confidence,
+        } => {
+            let id = FactId(graph.arena_len() as u32);
+            wal.log_insert(
+                epoch + 1,
+                id,
+                &InsertRecord {
+                    subject,
+                    predicate,
+                    object,
+                    interval: *interval,
+                    confidence: *confidence,
+                },
+            )?;
+        }
+        PlannedOp::Remove(id) => wal.log_remove(epoch + 1, *id)?,
+        PlannedOp::Upsert {
+            doomed,
+            subject,
+            predicate,
+            object,
+            interval,
+            confidence,
+        } => {
+            for (i, id) in doomed.iter().enumerate() {
+                wal.log_remove(epoch + 1 + i as u64, *id)?;
+            }
+            let id = FactId(graph.arena_len() as u32);
+            wal.log_insert(
+                epoch + 1 + doomed.len() as u64,
+                id,
+                &InsertRecord {
+                    subject,
+                    predicate,
+                    object,
+                    interval: *interval,
+                    confidence: *confidence,
+                },
+            )?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@
 
 pub mod advisor;
 pub mod backends;
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod explain;
@@ -66,6 +67,7 @@ pub mod translate;
 
 pub use advisor::{suggest_constraints, AdvisorConfig, SuggestedConstraint};
 pub use backends::{Backend, SolverHandle};
+pub use batch::{ApplyReport, EditBatch, EditOp, EditOutcome};
 pub use engine::Engine;
 pub use error::TecoreError;
 pub use explain::ConflictExplanation;
@@ -86,6 +88,7 @@ pub use tecore_ground::{
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::backends::{Backend, SolverHandle};
+    pub use crate::batch::{ApplyReport, EditBatch, EditOp, EditOutcome};
     pub use crate::engine::Engine;
     pub use crate::error::TecoreError;
     pub use crate::pipeline::{ConfidenceMode, Tecore, TecoreConfig};

@@ -16,6 +16,7 @@ use tecore_temporal::Interval;
 
 use std::sync::Arc;
 
+use crate::batch::{self, ApplyReport, EditBatch, EditOutcome};
 use crate::engine::Engine;
 use crate::error::TecoreError;
 use crate::pipeline::TecoreConfig;
@@ -293,10 +294,47 @@ impl Session {
         Ok(())
     }
 
+    /// Applies an [`EditBatch`] to the selected dataset, mirroring it
+    /// into the primed incremental engine (if any), so the next
+    /// [`Session::resolve_incremental`] re-solves in time proportional
+    /// to the batch — one netted delta, one warm-started solve.
+    ///
+    /// Errors only when no dataset is selected; per-op results
+    /// (including semantic rejections) are in the returned
+    /// [`ApplyReport`].
+    pub fn apply(&mut self, edits: &EditBatch) -> Result<ApplyReport, TecoreError> {
+        let idx = self.selected_index()?;
+        let report = batch::apply_to_graph(&mut self.datasets[idx].1, edits);
+        if let Some((engine_idx, engine)) = &mut self.engine {
+            if *engine_idx == idx {
+                let mirrored = engine.apply(edits);
+                let lockstep = report.outcomes.len() == mirrored.outcomes.len()
+                    && report
+                        .outcomes
+                        .iter()
+                        .zip(&mirrored.outcomes)
+                        .all(|(a, b)| outcomes_in_lockstep(a, b));
+                if !lockstep {
+                    // The engine's copy drifted from the dataset (a
+                    // mutation path that bypassed the mirroring). Drop
+                    // it: the next resolve_incremental re-primes from
+                    // the dataset instead of serving stale results.
+                    debug_assert!(lockstep, "engine graph in lock-step with dataset");
+                    self.engine = None;
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// Inserts a fact into the selected dataset. The edit is mirrored
     /// into the primed incremental engine (if any), so the next
     /// [`Session::resolve_incremental`] re-solves in time proportional
     /// to the edit.
+    ///
+    /// Thin wrapper over [`Session::apply`] with a one-op batch, kept
+    /// for convenience and compatibility; prefer building an
+    /// [`EditBatch`] when issuing more than one edit per resolve.
     pub fn insert_fact(
         &mut self,
         subject: &str,
@@ -305,42 +343,31 @@ impl Session {
         interval: Interval,
         confidence: f64,
     ) -> Result<FactId, TecoreError> {
-        let idx = self.selected_index()?;
-        let id = self.datasets[idx]
-            .1
-            .insert(subject, predicate, object, interval, confidence)?;
-        if let Some((engine_idx, engine)) = &mut self.engine {
-            if *engine_idx == idx {
-                let mirrored =
-                    engine.insert_fact(subject, predicate, object, interval, confidence)?;
-                if mirrored != id {
-                    // The engine's copy drifted from the dataset (a
-                    // mutation path that bypassed the mirroring). Drop
-                    // it: the next resolve_incremental re-primes from
-                    // the dataset instead of serving stale results.
-                    debug_assert_eq!(mirrored, id, "engine graph in lock-step with dataset");
-                    self.engine = None;
-                }
-            }
+        let edits = EditBatch::new().insert(subject, predicate, object, interval, confidence);
+        match self.apply(&edits)?.outcomes.pop() {
+            Some(EditOutcome::Inserted(id)) => Ok(id),
+            Some(EditOutcome::Rejected(e) | EditOutcome::Failed(e)) => Err(e),
+            _ => Err(TecoreError::Session(
+                "single-op batch produced no outcome".into(),
+            )),
         }
-        Ok(id)
     }
 
     /// Removes a fact from the selected dataset, mirroring the edit
     /// into the primed incremental engine (if any).
+    ///
+    /// Thin wrapper over [`Session::apply`] with a one-op batch, kept
+    /// for convenience and compatibility; prefer building an
+    /// [`EditBatch`] when issuing more than one edit per resolve.
     pub fn remove_fact(&mut self, id: FactId) -> Result<TemporalFact, TecoreError> {
-        let idx = self.selected_index()?;
-        let removed = self.datasets[idx].1.remove(id)?;
-        if let Some((engine_idx, engine)) = &mut self.engine {
-            if *engine_idx == idx && engine.remove_fact(id).is_err() {
-                // Same drift guard as insert_fact: a fact the dataset
-                // held but the engine copy didn't means the copies
-                // diverged — re-prime rather than go stale.
-                debug_assert!(false, "engine graph in lock-step with dataset");
-                self.engine = None;
-            }
+        let edits = EditBatch::new().remove(id);
+        match self.apply(&edits)?.outcomes.pop() {
+            Some(EditOutcome::Removed(fact)) => Ok(fact),
+            Some(EditOutcome::Rejected(e) | EditOutcome::Failed(e)) => Err(e),
+            _ => Err(TecoreError::Session(
+                "single-op batch produced no outcome".into(),
+            )),
         }
-        Ok(removed)
     }
 
     /// Runs conflict resolution incrementally on the selected dataset.
@@ -363,6 +390,27 @@ impl Session {
         }
         let (_, engine) = self.engine.as_mut().expect("engine just primed");
         engine.resolve_incremental()
+    }
+}
+
+/// Do a dataset-side and an engine-side outcome describe the same
+/// state change? (The drift guard for [`Session::apply`]'s mirroring:
+/// identical operation order on identical graphs must mint identical
+/// ids.)
+fn outcomes_in_lockstep(a: &EditOutcome, b: &EditOutcome) -> bool {
+    match (a, b) {
+        (EditOutcome::Inserted(x), EditOutcome::Inserted(y)) => x == y,
+        (EditOutcome::Removed(_), EditOutcome::Removed(_)) => true,
+        (
+            EditOutcome::Upserted {
+                id: x, removed: rx, ..
+            },
+            EditOutcome::Upserted {
+                id: y, removed: ry, ..
+            },
+        ) => x == y && rx.len() == ry.len(),
+        (EditOutcome::Rejected(_), EditOutcome::Rejected(_)) => true,
+        _ => false,
     }
 }
 

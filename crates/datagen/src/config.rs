@@ -106,6 +106,60 @@ impl WikidataConfig {
     ];
 }
 
+/// Configuration of the timestamped event-stream generator
+/// (see [`crate::stream::generate_stream`]).
+///
+/// The generator emits `playsFor` assertion events over the
+/// Wikidata-like entity universe in **arrival order**, with event
+/// times running behind arrival by a bounded random jitter — the
+/// realistic "slightly out-of-order" stream that exercises watermark
+/// lateness. A configurable fraction of events is re-emitted verbatim
+/// (duplicates) and another fraction is crafted to overlap an earlier
+/// spell of the same person (conflicts for the disjointness
+/// constraint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Total events to emit (including duplicates and conflicts).
+    pub events: usize,
+    /// Size of the person universe (`Q0` … `Q{people-1}`).
+    pub people: usize,
+    /// Size of the club universe (`Team0` … `Team{clubs-1}`).
+    pub clubs: usize,
+    /// Mean events per event-time unit (the arrival clock advances by
+    /// ~`1/rate` per event).
+    pub rate: f64,
+    /// Maximum out-of-order displacement: each event's time lags the
+    /// arrival clock by a uniform draw from `0..=jitter`.
+    pub jitter: i64,
+    /// Fraction of events that are exact re-emissions of an earlier
+    /// event (stream duplicates).
+    pub duplicate_ratio: f64,
+    /// Fraction of events whose validity interval overlaps an earlier
+    /// spell of the same person with a different club — conflicts
+    /// under the paper's disjointness constraint.
+    pub conflict_ratio: f64,
+    /// Event time of the first arrival.
+    pub start_time: i64,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            events: 10_000,
+            people: 500,
+            clubs: 50,
+            rate: 10.0,
+            jitter: 3,
+            duplicate_ratio: 0.02,
+            conflict_ratio: 0.10,
+            start_time: 0,
+            seed: 0x0057_AEA4,
+        }
+    }
+}
+
 /// Configuration of the skewed-predicate generator — a join-planning
 /// stress workload whose per-predicate fact counts follow a Zipf
 /// distribution (`weight(rank) = 1 / rank^skew`).

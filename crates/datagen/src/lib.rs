@@ -16,6 +16,11 @@
 //!   relation mix (`playsFor` > 4M, `memberOf` > 23K, `spouse` > 20K,
 //!   `educatedAt` > 6K, `occupation` > 4.5K), scaled by a single knob
 //!   ([`wikidata`]).
+//! * **Stream** — a timestamped event stream over the Wikidata-like
+//!   universe ([`stream`]): arrival-ordered `playsFor` assertions with
+//!   bounded out-of-order jitter, injected duplicates and injected
+//!   conflicts, for driving `tecore-stream` windows and the streaming
+//!   benchmarks.
 //! * **Skewed** — a synthetic Zipf-distributed predicate workload
 //!   ([`skewed`]) with a configurable exponent; not from the paper but
 //!   the stress scenario for cost-based join planning (one dominant
@@ -35,10 +40,12 @@ pub mod football;
 pub mod noise;
 pub mod skewed;
 pub mod standard;
+pub mod stream;
 pub mod wikidata;
 
-pub use config::{FootballConfig, SkewedConfig, WikidataConfig};
+pub use config::{FootballConfig, SkewedConfig, StreamConfig, WikidataConfig};
 pub use football::generate_football;
 pub use noise::{repair_metrics, GeneratedKg, RepairMetrics};
 pub use skewed::generate_skewed;
+pub use stream::generate_stream;
 pub use wikidata::generate_wikidata;

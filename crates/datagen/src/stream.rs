@@ -1,0 +1,195 @@
+//! The timestamped event-stream generator.
+//!
+//! Produces a deterministic sequence of [`StreamEvent`]s in **arrival
+//! order** for driving `tecore-stream` sessions and the streaming
+//! benchmarks: `playsFor` spell assertions over the Wikidata-like
+//! person/club universe, with
+//!
+//! - a configurable mean arrival **rate** (the arrival clock advances
+//!   by `~1/rate` event-time units per event),
+//! - bounded out-of-order **jitter** (each event's time lags the
+//!   arrival clock by a uniform draw, so the stream is almost — but
+//!   not quite — time-ordered, the regime watermark lateness exists
+//!   for),
+//! - injected **duplicates** (verbatim re-emissions of earlier events,
+//!   exercising the session's suppression), and
+//! - injected **conflicts** (spells overlapping an earlier spell of
+//!   the same person with a different club, feeding the disjointness
+//!   constraint fresh work every window).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tecore_kg::StreamEvent;
+use tecore_temporal::Interval;
+
+use crate::config::StreamConfig;
+
+/// Generates a labelled event stream in arrival order.
+pub fn generate_stream(config: &StreamConfig) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let people = config.people.max(1);
+    let clubs = config.clubs.max(2);
+    let step = if config.rate > 0.0 {
+        1.0 / config.rate
+    } else {
+        1.0
+    };
+
+    let mut events: Vec<StreamEvent> = Vec::with_capacity(config.events);
+    // Per-person latest ground-truth spell, for conflict crafting, and
+    // the next free start year so clean spells never self-conflict.
+    let mut last_spell: Vec<Option<(Interval, usize)>> = vec![None; people];
+    let mut next_year: Vec<i64> = (0..people).map(|_| rng.random_range(1980..=2000)).collect();
+
+    let mut clock = config.start_time as f64;
+    for _ in 0..config.events {
+        clock += step * rng.random_range(0.5..1.5);
+        let jitter = if config.jitter > 0 {
+            rng.random_range(0..=config.jitter)
+        } else {
+            0
+        };
+        let time = (clock as i64 - jitter).max(config.start_time);
+
+        let roll: f64 = rng.random_range(0.0..1.0);
+        if roll < config.duplicate_ratio && !events.is_empty() {
+            // Verbatim re-emission of a *recent* event (its original
+            // event time travels with it, so the twin usually still
+            // sits in the same window and exercises suppression).
+            let tail = events.len().min(32);
+            let source = events.len() - 1 - rng.random_range(0..tail);
+            events.push(events[source].clone());
+            continue;
+        }
+        let person = rng.random_range(0..people);
+        let name = format!("Q{person}");
+        let conflict = roll < config.duplicate_ratio + config.conflict_ratio;
+        let (iv, club) = match (conflict, last_spell[person]) {
+            (true, Some((spell, held))) => {
+                // Overlap the person's previous spell with a different
+                // club: guaranteed disjointness violation.
+                let rival = (held + 1 + rng.random_range(0..clubs - 1)) % clubs;
+                (spell, rival)
+            }
+            _ => {
+                let start = next_year[person];
+                let len = rng.random_range(1..=6);
+                let iv = Interval::new(start, start + len).expect("len >= 1");
+                next_year[person] = start + len + rng.random_range(2..=4);
+                let club = rng.random_range(0..clubs);
+                last_spell[person] = Some((iv, club));
+                (iv, club)
+            }
+        };
+        let conf = if conflict {
+            rng.random_range(0.3..=0.7)
+        } else {
+            rng.random_range(0.6..=0.99)
+        };
+        events.push(StreamEvent::new(
+            time,
+            name,
+            "playsFor",
+            format!("Team{club}"),
+            iv,
+            conf,
+        ));
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> StreamConfig {
+        StreamConfig {
+            events: 2_000,
+            people: 50,
+            clubs: 10,
+            rate: 5.0,
+            jitter: 4,
+            duplicate_ratio: 0.05,
+            conflict_ratio: 0.15,
+            start_time: 0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_stream(&small()), generate_stream(&small()));
+    }
+
+    #[test]
+    fn count_and_arrival_order_roughly_time_ordered() {
+        let cfg = small();
+        let events = generate_stream(&cfg);
+        assert_eq!(events.len(), cfg.events);
+        // First occurrences lag the monotone arrival clock by at most
+        // the jitter, so any inversion between consecutive originals
+        // is bounded. (Duplicates carry their source's older time and
+        // are excluded.)
+        let mut originals: Vec<&StreamEvent> = Vec::new();
+        for e in &events {
+            if !originals.iter().any(|p| **p == *e) {
+                originals.push(e);
+            }
+        }
+        for pair in originals.windows(2) {
+            assert!(
+                pair[1].time >= pair[0].time - cfg.jitter,
+                "inversion beyond jitter: {} then {}",
+                pair[0].time,
+                pair[1].time
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_present() {
+        let events = generate_stream(&small());
+        let dups = events
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| events[..*i].contains(e))
+            .count();
+        assert!(dups > 0, "expected injected duplicates");
+    }
+
+    #[test]
+    fn conflicts_present() {
+        let events = generate_stream(&small());
+        // A conflict reuses an earlier spell of the same person with a
+        // different club: look for same-subject interval collisions.
+        let overlaps = events
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                events[..*i].iter().any(|p| {
+                    p.subject == e.subject
+                        && p.object != e.object
+                        && p.interval.intersects(e.interval)
+                })
+            })
+            .count();
+        assert!(overlaps > 0, "expected injected conflicts");
+    }
+
+    #[test]
+    fn zero_noise_stream_is_clean() {
+        let cfg = StreamConfig {
+            duplicate_ratio: 0.0,
+            conflict_ratio: 0.0,
+            events: 500,
+            ..small()
+        };
+        let events = generate_stream(&cfg);
+        let dups = events
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| events[..*i].contains(e))
+            .count();
+        assert_eq!(dups, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Timestamped stream events — the wire unit of the streaming layer.
+//!
+//! A [`StreamEvent`] is a temporal fact assertion stamped with an
+//! **event time**: the instant (in the same discrete time domain as
+//! valid-time intervals) at which the assertion was produced by its
+//! source. Event time is what windows are defined over; it is distinct
+//! from the fact's valid-time `interval` (a sensor may assert *now*
+//! that a spell held *last year*).
+//!
+//! The type lives in `tecore-kg` rather than the stream crate so the
+//! workload generators (`tecore-datagen`) can emit event feeds without
+//! depending on the engine stack.
+
+use tecore_temporal::Interval;
+
+/// One timestamped fact assertion flowing through a stream.
+///
+/// Owns its terms: events cross thread and queue boundaries (feed →
+/// writer loop → window admitter), so borrowing from a source buffer is
+/// not an option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEvent {
+    /// Event time: when the assertion was produced. Windows and
+    /// watermarks are defined over this, not over `interval`.
+    pub time: i64,
+    /// Subject term.
+    pub subject: String,
+    /// Predicate term.
+    pub predicate: String,
+    /// Object term.
+    pub object: String,
+    /// Valid-time interval of the asserted fact.
+    pub interval: Interval,
+    /// Confidence in `(0, 1]`.
+    pub confidence: f64,
+}
+
+impl StreamEvent {
+    /// Builds an event from unowned terms (the common literal-heavy
+    /// call shape in tests and generators).
+    pub fn new(
+        time: i64,
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+        interval: Interval,
+        confidence: f64,
+    ) -> Self {
+        StreamEvent {
+            time,
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+            interval,
+            confidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_construction_and_equality() {
+        let iv = Interval::new(2000, 2004).unwrap();
+        let a = StreamEvent::new(17, "CR", "coach", "Chelsea", iv, 0.9);
+        let b = StreamEvent::new(17, "CR", "coach", "Chelsea", iv, 0.9);
+        assert_eq!(a, b);
+        assert_ne!(a, StreamEvent::new(18, "CR", "coach", "Chelsea", iv, 0.9));
+        assert_eq!(a.time, 17);
+        assert_eq!(a.interval, iv);
+    }
+}

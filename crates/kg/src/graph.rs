@@ -260,6 +260,24 @@ impl UtkGraph {
         self.index_iter(self.by_subject_predicate.get(&(s, p)))
     }
 
+    /// Ids of live facts asserting the statement `(subject, predicate,
+    /// object)`, regardless of interval or confidence — the upsert
+    /// target set. Unknown terms yield an empty list (nothing to
+    /// replace) without interning them.
+    pub fn statement_ids(&self, subject: &str, predicate: &str, object: &str) -> Vec<FactId> {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.lookup(subject),
+            self.dict.lookup(predicate),
+            self.dict.lookup(object),
+        ) else {
+            return Vec::new();
+        };
+        self.facts_with_subject_predicate(s, p)
+            .filter(|(_, f)| f.object == o)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
     /// Live facts with the given predicate and object.
     pub fn facts_with_predicate_object(
         &self,

@@ -33,6 +33,7 @@
 pub mod delta;
 pub mod dict;
 pub mod error;
+pub mod event;
 pub mod fact;
 pub mod fxhash;
 pub mod graph;
@@ -46,6 +47,7 @@ pub mod writer;
 pub use delta::{Delta, FactChange};
 pub use dict::{Dictionary, Symbol};
 pub use error::KgError;
+pub use event::StreamEvent;
 pub use fact::{Confidence, FactId, TemporalFact};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graph::UtkGraph;

@@ -54,4 +54,4 @@ pub mod sync;
 
 pub use cell::SnapshotCell;
 pub use proto::{Clauses, ProtoError, QueryKind, Request, TimeClause};
-pub use server::{Edit, Server, ServerConfig, ServerStats};
+pub use server::{Edit, Server, ServerConfig, ServerStats, StreamServing};

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! request  = ping | epoch | stats | quit | flush | query | insert | remove
+//!          | feed | sub | unsub
 //! ping     = "PING"                         ; → "PONG"
 //! epoch    = "EPOCH"                        ; → "OK epoch=E n=0"
 //! stats    = "STATS"                        ; → header + one "S ..." line
@@ -20,7 +21,30 @@
 //! term     = bare-term | DQUOTE any-but-dquote DQUOTE
 //! insert   = "INSERT" term term term "[" int "," int "]" float
 //! remove   = "REMOVE" fact-id
+//! feed     = "FEED" int term term term "[" int "," int "]" float
+//! sub      = "SUB" *clause                  ; → "OK epoch=E n=0 sub=I"
+//! unsub    = "UNSUB" int                    ; → "OK epoch=E n=0"
 //! ```
+//!
+//! `FEED`/`SUB`/`UNSUB` are the streaming verbs, valid only on a server
+//! started with a window configuration (`ERR not a streaming server`
+//! otherwise). `FEED t s p o [a,b] conf` offers a timestamped event
+//! (`t` is *event time*, in the window's units) and answers `ACK` once
+//! the writer has accepted it — late and duplicate events are counted
+//! and dropped, still `ACK`ed (the stream contract: offering is not a
+//! promise of admission). `SUB` registers the connection for continuous
+//! query answers: after every fired window the server pushes an
+//! unsolicited frame
+//!
+//! ```text
+//! W sub=I window=a..b epoch=E total=T n=K
+//! F id subject predicate object [a,b] conf     ; × K
+//! ```
+//!
+//! where `a..b` is the window's half-open event-time range, `T` the
+//! full match count and `K` the rendered lines (capped by `limit=`).
+//! Clients must therefore be prepared to interleave `W` frames with
+//! their own responses on a subscribed connection.
 //!
 //! Query responses: `OK epoch=E n=K` then `K` result lines — `F id
 //! subject predicate object [a,b] conf` for `Q`, `O term` for
@@ -135,6 +159,26 @@ pub enum Request<'a> {
     },
     /// Queue a fact removal by the id reported in `F` lines.
     Remove(FactId),
+    /// Offer a timestamped stream event (streaming servers only).
+    Feed {
+        /// Event time, in the stream window's time units.
+        time: i64,
+        /// Subject term.
+        subject: &'a str,
+        /// Predicate term.
+        predicate: &'a str,
+        /// Object term.
+        object: &'a str,
+        /// Valid-time interval of the asserted fact.
+        interval: Interval,
+        /// Confidence in `(0, 1]`.
+        confidence: f64,
+    },
+    /// Register a continuous query on this connection (streaming
+    /// servers only).
+    Sub(Clauses<'a>),
+    /// Drop a continuous query by the id `SUB` returned.
+    Unsub(u64),
 }
 
 /// A parse failure. Every variant renders to a static message (see the
@@ -172,6 +216,10 @@ pub enum ProtoError {
     InsertArity,
     /// `INSERT` had extra tokens after the confidence.
     TrailingTokens,
+    /// `FEED` was missing its leading event time.
+    FeedWantsTime,
+    /// The `UNSUB` argument failed to parse as a subscription id.
+    MalformedSubId,
 }
 
 impl ProtoError {
@@ -193,6 +241,8 @@ impl ProtoError {
             ProtoError::IntervalWantsBrackets => "interval wants [a,b]",
             ProtoError::InsertArity => "INSERT wants s p o [a,b] conf",
             ProtoError::TrailingTokens => "trailing tokens after INSERT",
+            ProtoError::FeedWantsTime => "FEED wants t s p o [a,b] conf",
+            ProtoError::MalformedSubId => "malformed subscription id",
         }
     }
 }
@@ -322,6 +372,33 @@ fn parse_insert(line: &str) -> Result<Request<'_>, ParseError> {
     })
 }
 
+fn parse_feed(line: &str) -> Result<Request<'_>, ParseError> {
+    // `FEED <t> <insert-shape>`: split the leading event time, then
+    // reuse the INSERT grammar for the fact itself.
+    let line = line.trim_start();
+    let (time, rest) = line
+        .split_once([' ', '\t'])
+        .ok_or(ProtoError::FeedWantsTime)?;
+    let time = parse_int(time)?;
+    match parse_insert(rest)? {
+        Request::Insert {
+            subject,
+            predicate,
+            object,
+            interval,
+            confidence,
+        } => Ok(Request::Feed {
+            time,
+            subject,
+            predicate,
+            object,
+            interval,
+            confidence,
+        }),
+        _ => Err(ProtoError::InsertArity),
+    }
+}
+
 /// Parses one request line (without its trailing newline).
 pub fn parse(line: &str) -> Result<Request<'_>, ParseError> {
     let line = line.trim();
@@ -340,6 +417,15 @@ pub fn parse(line: &str) -> Result<Request<'_>, ParseError> {
         "OBJECTS" => Ok(Request::Query(QueryKind::Objects, parse_clauses(rest)?)),
         "TIMELINE" => Ok(Request::Query(QueryKind::Timeline, parse_clauses(rest)?)),
         "INSERT" => parse_insert(rest),
+        "FEED" => parse_feed(rest),
+        "SUB" => Ok(Request::Sub(parse_clauses(rest)?)),
+        "UNSUB" => {
+            let id: u64 = rest
+                .trim()
+                .parse()
+                .map_err(|_| ProtoError::MalformedSubId)?;
+            Ok(Request::Unsub(id))
+        }
         "REMOVE" => {
             let id: u32 = rest
                 .trim()
@@ -350,6 +436,35 @@ pub fn parse(line: &str) -> Result<Request<'_>, ParseError> {
         "" => Err(ProtoError::EmptyRequest),
         _ => Err(ProtoError::UnknownVerb),
     }
+}
+
+/// Converts borrowed query clauses into an owned continuous-query spec
+/// (the `SUB` registration path: the spec outlives the request line and
+/// is re-compiled against every fired window's snapshot).
+pub fn clauses_to_spec(clauses: &Clauses<'_>) -> tecore_stream::QuerySpec {
+    let mut spec = tecore_stream::QuerySpec::new();
+    if let Some(s) = clauses.subject {
+        spec = spec.subject(s);
+    }
+    if let Some(p) = clauses.predicate {
+        spec = spec.predicate(p);
+    }
+    if let Some(o) = clauses.object {
+        spec = spec.object(o);
+    }
+    spec = match clauses.time {
+        TimeClause::Any => spec,
+        TimeClause::At(t) => spec.at(t),
+        TimeClause::Over(w) => spec.overlapping(w),
+        TimeClause::Allen(rel, anchor) => spec.allen(rel, anchor),
+    };
+    if let Some(min) = clauses.min_confidence {
+        spec = spec.min_confidence(min);
+    }
+    if let Some(limit) = clauses.limit {
+        spec = spec.limit(limit);
+    }
+    spec
 }
 
 /// Compiles parsed clauses onto a [`TemporalQuery`] builder.
@@ -512,5 +627,30 @@ mod tests {
     fn unknown_clause_key_is_rejected() {
         assert!(parse("Q subject=CR").is_err());
         assert!(parse("Q s").is_err());
+    }
+
+    #[test]
+    fn parses_streaming_verbs() {
+        let req = parse("FEED 17 CR coach \"Leicester City\" [2015,2017] 0.7").unwrap();
+        assert_eq!(
+            req,
+            Request::Feed {
+                time: 17,
+                subject: "CR",
+                predicate: "coach",
+                object: "Leicester City",
+                interval: Interval::new(2015, 2017).unwrap(),
+                confidence: 0.7,
+            }
+        );
+        let Request::Sub(c) = parse("SUB p=coach minconf=0.5 limit=3").unwrap() else {
+            panic!("wrong request");
+        };
+        assert_eq!(c.predicate, Some("coach"));
+        assert_eq!(c.limit, Some(3));
+        assert_eq!(parse("UNSUB 4"), Ok(Request::Unsub(4)));
+        assert!(parse("FEED CR coach X [1,2] 0.5").is_err());
+        assert!(parse("FEED 17 CR coach").is_err());
+        assert!(parse("UNSUB many").is_err());
     }
 }

@@ -32,7 +32,10 @@ use std::time::Duration;
 
 use tecore_core::pipeline::Engine;
 use tecore_core::snapshot::Snapshot;
-use tecore_kg::FactId;
+use tecore_core::{EditBatch, EditOutcome};
+use tecore_kg::writer::write_fact;
+use tecore_kg::{FactId, StreamEvent};
+use tecore_stream::{QuerySpec, StreamError, StreamSession, WindowFire, WindowSpec};
 use tecore_temporal::Interval;
 
 use crate::cell::SnapshotCell;
@@ -69,8 +72,24 @@ enum WriterMsg {
     /// block until the writer has journaled the edit (journal *before*
     /// ACK); in-memory connections pass `None` and ACK on enqueue.
     Edit(Edit, Option<EditAck>),
+    /// Offer a timestamped event to the stream session (`FEED`). The
+    /// ack confirms the writer *processed* the offer — admission into
+    /// the graph (and, on a durable server, journaling) happens at the
+    /// window fire the event falls into, not at the ack.
+    Feed(StreamEvent, Option<EditAck>),
     /// Fsync the log and report the durable epoch (`FLUSH`).
     Flush(SyncSender<Result<u64, &'static str>>),
+}
+
+/// Streaming configuration: passing one to [`ServerConfig::stream`]
+/// turns the writer loop into a window-driven stream processor and
+/// enables the `FEED`/`SUB`/`UNSUB` verbs.
+#[derive(Debug, Clone)]
+pub struct StreamServing {
+    /// Window shape for admitted events.
+    pub window: WindowSpec,
+    /// Allowed lateness behind the stream head, in event-time units.
+    pub lateness: i64,
 }
 
 /// Tuning knobs for [`Server::start`].
@@ -85,6 +104,8 @@ pub struct ServerConfig {
     pub tick: Duration,
     /// Upper bound on edits coalesced into one resolve.
     pub max_coalesce: usize,
+    /// Streaming windows: `Some` enables `FEED`/`SUB`/`UNSUB`.
+    pub stream: Option<StreamServing>,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +117,7 @@ impl Default for ServerConfig {
                 .unwrap_or(2),
             tick: Duration::from_millis(2),
             max_coalesce: 4096,
+            stream: None,
         }
     }
 }
@@ -122,6 +144,130 @@ pub struct ServerStats {
     /// Set when the log device failed: queries keep working, edits
     /// answer `ERR read-only (wal failed)`.
     pub read_only: AtomicBool,
+    /// Stream windows fired (streaming servers only).
+    pub stream_windows: AtomicU64,
+    /// Stream events admitted into the graph.
+    pub stream_events_admitted: AtomicU64,
+    /// Stream facts expired (slid out of the window).
+    pub stream_events_expired: AtomicU64,
+    /// Wall-clock re-solve latency of the most recent window fire, in
+    /// milliseconds (the serving lag a subscriber observes).
+    pub stream_lag_ms: AtomicU64,
+}
+
+/// The engine the writer loop owns: bare, or wrapped in a streaming
+/// session when the server was started with a window configuration.
+enum EngineHost {
+    Plain(Box<Engine>),
+    Stream(Box<StreamSession>),
+}
+
+impl EngineHost {
+    fn engine(&self) -> &Engine {
+        match self {
+            EngineHost::Plain(e) => e,
+            EngineHost::Stream(s) => s.engine(),
+        }
+    }
+
+    fn engine_mut(&mut self) -> &mut Engine {
+        match self {
+            EngineHost::Plain(e) => e,
+            EngineHost::Stream(s) => s.engine_mut(),
+        }
+    }
+}
+
+/// One registered continuous query: the owned spec plus the write half
+/// of the subscribing connection.
+struct Subscription {
+    id: u64,
+    spec: QuerySpec,
+    conn: Arc<Mutex<TcpStream>>,
+}
+
+/// The live subscription set, shared between reader threads (register /
+/// unregister) and the writer loop (deliver after each window fire).
+#[derive(Default)]
+pub(crate) struct SubRegistry {
+    subs: Mutex<Vec<Subscription>>,
+    next: AtomicU64,
+}
+
+impl SubRegistry {
+    fn register(&self, spec: QuerySpec, conn: Arc<Mutex<TcpStream>>) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut subs = self
+            .subs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        subs.push(Subscription { id, spec, conn });
+        id
+    }
+
+    fn unregister(&self, id: u64) -> bool {
+        let mut subs = self
+            .subs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        subs.len() != before
+    }
+
+    /// Evaluates every subscription against a fired window and pushes
+    /// the `W` frames. A subscriber whose socket errors is dropped (the
+    /// connection is gone or wedged; its reader thread cleans up too).
+    fn deliver(&self, fire: &WindowFire) {
+        let mut subs = self
+            .subs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if subs.is_empty() {
+            return;
+        }
+        let mut frame = String::with_capacity(256);
+        subs.retain(|sub| {
+            frame.clear();
+            if render_window_frame(&mut frame, sub, fire).is_err() {
+                return true; // rendering failed; keep the sub, skip the frame
+            }
+            let mut conn = sub
+                .conn
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            conn.write_all(frame.as_bytes()).is_ok()
+        });
+    }
+}
+
+/// Renders one `W` frame (header + `F` lines) for a subscription.
+fn render_window_frame(
+    out: &mut String,
+    sub: &Subscription,
+    fire: &WindowFire,
+) -> std::fmt::Result {
+    use std::fmt::Write;
+    let result = sub
+        .spec
+        .evaluate(&fire.snapshot, fire.stats.start, fire.stats.end);
+    writeln!(
+        out,
+        "W sub={} window={}..{} epoch={} total={} n={}",
+        sub.id,
+        result.start,
+        result.end,
+        result.epoch,
+        result.total,
+        result.matches.len()
+    )?;
+    let dict = fire.snapshot.expanded().dict();
+    for (id, fact) in &result.matches {
+        write!(out, "F {} ", id.0)?;
+        write_fact(out, dict, fact)?;
+        out.push('\n');
+    }
+    Ok(())
 }
 
 /// A running TeCoRe server. Dropping without [`Server::shutdown`]
@@ -152,9 +298,17 @@ impl Server {
         let initial = engine
             .resolve_incremental()
             .map_err(|e| io::Error::other(format!("initial resolve failed: {e}")))?;
+        let host = match &config.stream {
+            Some(s) => EngineHost::Stream(Box::new(StreamSession::with_lateness(
+                engine, s.window, s.lateness,
+            ))),
+            None => EngineHost::Plain(Box::new(engine)),
+        };
+        let streaming = matches!(host, EngineHost::Stream(_));
+        let subs = Arc::new(SubRegistry::default());
         let cell = Arc::new(SnapshotCell::new(initial));
         let stats = Arc::new(ServerStats::default());
-        publish_wal_stats(&engine, &stats);
+        publish_wal_stats(host.engine(), &stats);
         let shutdown = Arc::new(AtomicBool::new(false));
         let abort = Arc::new(AtomicBool::new(false));
 
@@ -186,10 +340,22 @@ impl Server {
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
             let edit_tx = edit_tx.clone();
+            let subs = Arc::clone(&subs);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("tecore-read-{i}"))
-                    .spawn(move || reader_loop(conn_rx, cell, stats, shutdown, edit_tx, durable))?,
+                    .spawn(move || {
+                        let ctx = ReaderCtx {
+                            cell,
+                            stats,
+                            shutdown,
+                            edits: edit_tx,
+                            subs,
+                            durable,
+                            streaming,
+                        };
+                        reader_loop(conn_rx, &ctx)
+                    })?,
             );
         }
 
@@ -198,6 +364,7 @@ impl Server {
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
             let abort = Arc::clone(&abort);
+            let subs = Arc::clone(&subs);
             let tick = config.tick;
             let max_coalesce = config.max_coalesce.max(1);
             threads.push(
@@ -209,10 +376,11 @@ impl Server {
                             stats,
                             shutdown,
                             abort,
+                            subs,
                             tick,
                             max_coalesce,
                         };
-                        writer_loop(engine, edit_rx, &ctx)
+                        writer_loop(host, edit_rx, &ctx)
                     })?,
             );
         }
@@ -342,14 +510,18 @@ fn accept_loop(
     }
 }
 
-fn reader_loop(
-    conn_rx: Arc<Mutex<Receiver<TcpStream>>>,
+/// Everything a reader thread shares with the rest of the server.
+struct ReaderCtx {
     cell: Arc<SnapshotCell>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     edits: Sender<WriterMsg>,
+    subs: Arc<SubRegistry>,
     durable: bool,
-) {
+    streaming: bool,
+}
+
+fn reader_loop(conn_rx: Arc<Mutex<Receiver<TcpStream>>>, ctx: &ReaderCtx) {
     // Reused across requests *and* connections: the steady-state
     // request→response path never allocates once these reach their
     // working sizes.
@@ -363,11 +535,9 @@ fn reader_loop(
             guard.recv_timeout(POLL)
         };
         match stream {
-            Ok(stream) => serve_connection(
-                stream, &cell, &stats, &shutdown, &edits, durable, &mut line, &mut out,
-            ),
+            Ok(stream) => serve_connection(stream, ctx, &mut line, &mut out),
             Err(RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::Relaxed) {
+                if ctx.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
             }
@@ -379,45 +549,46 @@ fn reader_loop(
 /// Serves one connection until `QUIT`, EOF, socket error, or shutdown.
 /// On shutdown, requests already received (pipelined in the socket
 /// buffer) are still answered before the connection closes.
-#[allow(clippy::too_many_arguments)]
-fn serve_connection(
-    stream: TcpStream,
-    cell: &SnapshotCell,
-    stats: &ServerStats,
-    shutdown: &AtomicBool,
-    edits: &Sender<WriterMsg>,
-    durable: bool,
-    line: &mut String,
-    out: &mut String,
-) {
+///
+/// The write half is shared behind a mutex with the writer loop's
+/// window-frame delivery, so a subscribed connection's responses and
+/// its unsolicited `W` frames interleave at line granularity, never
+/// mid-frame. Any subscriptions the connection registered are dropped
+/// when it closes.
+fn serve_connection(stream: TcpStream, ctx: &ReaderCtx, line: &mut String, out: &mut String) {
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     let mut draining = false;
+    let mut my_subs: Vec<u64> = Vec::new();
     line.clear();
     loop {
         // `read_line` *appends*: a read timeout can land after part of
         // a line was consumed into `line`, so the buffer is only
         // cleared once a complete line has been processed — partial
         // requests survive across timeout polls.
-        match reader.read_line(line) {
-            Ok(0) => return, // EOF
+        let done = match reader.read_line(line) {
+            Ok(0) => true, // EOF
             Ok(_) => {
                 out.clear();
-                let quit = handle_line(line, cell, stats, edits, durable, out);
+                let quit = handle_line(line, ctx, &writer, &mut my_subs, out);
                 line.clear();
-                if writer.write_all(out.as_bytes()).is_err() {
-                    return;
-                }
-                if quit {
-                    let _ = writer.flush();
-                    return;
-                }
+                let write_failed = {
+                    let mut w = writer
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let failed = w.write_all(out.as_bytes()).is_err();
+                    if quit && !failed {
+                        let _ = w.flush();
+                    }
+                    failed
+                };
+                write_failed || quit
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -426,15 +597,24 @@ fn serve_connection(
                     // Shutdown was flagged and the socket has gone
                     // quiet: every request that reached us is
                     // answered. Close.
-                    return;
-                }
-                if shutdown.load(Ordering::Relaxed) {
-                    // Switch to drain mode: keep serving whatever is
-                    // already buffered, close on the next quiet poll.
-                    draining = true;
+                    true
+                } else {
+                    if ctx.shutdown.load(Ordering::Relaxed) {
+                        // Switch to drain mode: keep serving whatever
+                        // is already buffered, close on the next quiet
+                        // poll.
+                        draining = true;
+                    }
+                    false
                 }
             }
-            Err(_) => return,
+            Err(_) => true,
+        };
+        if done {
+            for id in my_subs {
+                ctx.subs.unregister(id);
+            }
+            return;
         }
     }
 }
@@ -443,33 +623,37 @@ fn serve_connection(
 /// reporting it gone. Generous: the writer may be mid-resolve.
 const ACK_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Sends an edit to the writer and renders the response. In-memory
-/// servers ACK on enqueue (the historical contract — nothing durable
-/// to wait for); durable servers attach an ack channel and answer only
-/// once the writer has journaled the edit, so every `ACK` names an
-/// edit that `FLUSH` can then make crash-proof.
-fn answer_edit(
-    edit: Edit,
-    stats: &ServerStats,
-    edits: &Sender<WriterMsg>,
-    durable: bool,
-    out: &mut String,
-) {
+/// Sends an edit (or stream event) to the writer and renders the
+/// response. In-memory servers ACK on enqueue (the historical contract
+/// — nothing durable to wait for); durable servers attach an ack
+/// channel and answer only once the writer has journaled the edit, so
+/// every `ACK` names an edit that `FLUSH` can then make crash-proof.
+/// A `FEED` always waits for the writer regardless of durability: its
+/// ack confirms the offer was processed, and any window it fired has
+/// already pushed its `W` frames — the frame-before-ack ordering
+/// subscribers rely on. (The event itself journals at its window
+/// fire.)
+fn answer_edit(msg: WriterMsg, ctx: &ReaderCtx, out: &mut String) {
     use std::fmt::Write;
-    if !durable {
-        out.push_str(if edits.send(WriterMsg::Edit(edit, None)).is_ok() {
+    let attach = |msg: WriterMsg, ack: Option<EditAck>| match msg {
+        WriterMsg::Edit(edit, _) => WriterMsg::Edit(edit, ack),
+        WriterMsg::Feed(event, _) => WriterMsg::Feed(event, ack),
+        other => other,
+    };
+    if !ctx.durable && !matches!(msg, WriterMsg::Feed(..)) {
+        out.push_str(if ctx.edits.send(attach(msg, None)).is_ok() {
             "ACK\n"
         } else {
             "ERR writer gone\n"
         });
         return;
     }
-    if stats.read_only.load(Ordering::Relaxed) {
+    if ctx.stats.read_only.load(Ordering::Relaxed) {
         out.push_str("ERR read-only (wal failed)\n");
         return;
     }
     let (ack_tx, ack_rx) = mpsc::sync_channel(1);
-    if edits.send(WriterMsg::Edit(edit, Some(ack_tx))).is_err() {
+    if ctx.edits.send(attach(msg, Some(ack_tx))).is_err() {
         out.push_str("ERR writer gone\n");
         return;
     }
@@ -488,13 +672,13 @@ fn answer_edit(
 /// `out`. Returns `true` when the connection should close (`QUIT`).
 fn handle_line(
     line: &str,
-    cell: &SnapshotCell,
-    stats: &ServerStats,
-    edits: &Sender<WriterMsg>,
-    durable: bool,
+    ctx: &ReaderCtx,
+    conn: &Arc<Mutex<TcpStream>>,
+    my_subs: &mut Vec<u64>,
     out: &mut String,
 ) -> bool {
     use std::fmt::Write;
+    let (cell, stats) = (&ctx.cell, &ctx.stats);
     match proto::parse(line) {
         Ok(Request::Ping) => out.push_str("PONG\n"),
         Ok(Request::Quit) => out.push_str("BYE\n"),
@@ -508,7 +692,9 @@ fn handle_line(
                 "S queries={} edits={} publishes={} connections={} \
                  wal_bytes={} wal_segments={} last_checkpoint_epoch={} \
                  durable_epoch={} read_only={} cell_reader_spins={} \
-                 cell_publish_retries={}",
+                 cell_publish_retries={} stream_windows={} \
+                 stream_events_admitted={} stream_events_expired={} \
+                 stream_lag_ms={}",
                 stats.queries.load(Ordering::Relaxed),
                 stats.edits_applied.load(Ordering::Relaxed),
                 stats.publishes.load(Ordering::Relaxed),
@@ -520,14 +706,18 @@ fn handle_line(
                 stats.read_only.load(Ordering::Relaxed),
                 cell.reader_spins(),
                 cell.publish_retries(),
+                stats.stream_windows.load(Ordering::Relaxed),
+                stats.stream_events_admitted.load(Ordering::Relaxed),
+                stats.stream_events_expired.load(Ordering::Relaxed),
+                stats.stream_lag_ms.load(Ordering::Relaxed),
             );
         }
         Ok(Request::Flush) => {
-            if !durable {
+            if !ctx.durable {
                 let _ = writeln!(out, "OK epoch={} n=0 durable=0", cell.load().epoch());
             } else {
                 let (tx, rx) = mpsc::sync_channel(1);
-                if edits.send(WriterMsg::Flush(tx)).is_err() {
+                if ctx.edits.send(WriterMsg::Flush(tx)).is_err() {
                     out.push_str("ERR writer gone\n");
                 } else {
                     match rx.recv_timeout(ACK_TIMEOUT) {
@@ -568,10 +758,46 @@ fn handle_line(
                 interval,
                 confidence,
             };
-            answer_edit(edit, stats, edits, durable, out);
+            answer_edit(WriterMsg::Edit(edit, None), ctx, out);
         }
         Ok(Request::Remove(id)) => {
-            answer_edit(Edit::Remove(id), stats, edits, durable, out);
+            answer_edit(WriterMsg::Edit(Edit::Remove(id), None), ctx, out);
+        }
+        Ok(Request::Feed {
+            time,
+            subject,
+            predicate,
+            object,
+            interval,
+            confidence,
+        }) => {
+            if !ctx.streaming {
+                out.push_str("ERR not a streaming server\n");
+            } else {
+                let event =
+                    StreamEvent::new(time, subject, predicate, object, interval, confidence);
+                answer_edit(WriterMsg::Feed(event, None), ctx, out);
+            }
+        }
+        Ok(Request::Sub(clauses)) => {
+            if !ctx.streaming {
+                out.push_str("ERR not a streaming server\n");
+            } else {
+                let spec = proto::clauses_to_spec(&clauses);
+                let id = ctx.subs.register(spec, Arc::clone(conn));
+                my_subs.push(id);
+                let _ = writeln!(out, "OK epoch={} n=0 sub={id}", cell.load().epoch());
+            }
+        }
+        Ok(Request::Unsub(id)) => {
+            if !ctx.streaming {
+                out.push_str("ERR not a streaming server\n");
+            } else if ctx.subs.unregister(id) {
+                my_subs.retain(|&mine| mine != id);
+                let _ = writeln!(out, "OK epoch={} n=0", cell.load().epoch());
+            } else {
+                out.push_str("ERR unknown subscription\n");
+            }
         }
         Err(reason) => {
             let _ = writeln!(out, "ERR {reason}");
@@ -586,18 +812,96 @@ struct WriterCtx {
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     abort: Arc<AtomicBool>,
+    subs: Arc<SubRegistry>,
     tick: Duration,
     max_coalesce: usize,
 }
 
-/// The single writer: drains the edit queue, coalesces a batch into
-/// the graph (whose change log nets it into one delta), re-solves
-/// incrementally, publishes. The engine is owned here — readers never
-/// see it. On a durable engine each edit is journaled (inside
-/// `Engine::insert_fact`/`remove_fact`) before its ack is sent, flush
-/// requests fsync in queue order, and a failed log poisons the engine
-/// into read-only serving rather than killing the loop.
-fn writer_loop(mut engine: Engine, edits: Receiver<WriterMsg>, ctx: &WriterCtx) {
+/// Edits accumulated within one tick, flushed as a single
+/// [`EditBatch`] — one netted delta, one WAL journal group, one
+/// incremental re-solve — with each op's ack answered from its
+/// [`EditOutcome`].
+#[derive(Default)]
+struct PendingBatch {
+    batch: EditBatch,
+    acks: Vec<Option<EditAck>>,
+}
+
+impl PendingBatch {
+    fn push(&mut self, edit: Edit, ack: Option<EditAck>) {
+        match edit {
+            Edit::Insert {
+                subject,
+                predicate,
+                object,
+                interval,
+                confidence,
+            } => self.batch.push(tecore_core::EditOp::Insert {
+                subject,
+                predicate,
+                object,
+                interval,
+                confidence,
+            }),
+            Edit::Remove(id) => self.batch.push(tecore_core::EditOp::Remove(id)),
+        }
+        self.acks.push(ack);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// Applies the accumulated batch and answers every ack; returns how
+    /// many ops changed the graph. A `Rejected` op (unknown id, invalid
+    /// confidence — the client raced another remove or sent junk) is a
+    /// semantic no-op and still acks `Ok`, matching the historical
+    /// per-edit contract; a `Failed`/`Skipped` op names a WAL refusal
+    /// and degrades the server to read-only.
+    fn flush(&mut self, host: &mut EngineHost, ctx: &WriterCtx) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let report = host.engine_mut().apply(&self.batch);
+        let mut applied = 0u64;
+        for (outcome, ack) in report.outcomes.iter().zip(self.acks.drain(..)) {
+            let result = match outcome {
+                EditOutcome::Inserted(_)
+                | EditOutcome::Removed(_)
+                | EditOutcome::Upserted { .. } => {
+                    applied += 1;
+                    Ok(())
+                }
+                EditOutcome::Rejected(_) => Ok(()),
+                EditOutcome::Failed(_) => Err("wal write failed; server is read-only"),
+                EditOutcome::Skipped => Err("read-only (wal failed)"),
+            };
+            if result.is_err() {
+                ctx.stats.read_only.store(true, Ordering::Relaxed);
+            }
+            if let Some(ack) = ack {
+                let _ = ack.send(result);
+            }
+        }
+        if ctx.stats.read_only.load(Ordering::Relaxed) {
+            publish_wal_stats(host.engine(), &ctx.stats);
+        }
+        self.batch = EditBatch::new();
+        applied
+    }
+}
+
+/// The single writer: drains the edit queue, coalesces consecutive
+/// edits into one [`EditBatch`] (one netted delta, one journal group),
+/// re-solves incrementally, publishes. The engine is owned here —
+/// readers never see it. On a durable engine the batch is journaled
+/// (inside `Engine::apply`) before its acks are sent, flush requests
+/// fsync in queue order, and a failed log poisons the engine into
+/// read-only serving rather than killing the loop. On a streaming
+/// server the host is a [`StreamSession`]: `FEED` messages go through
+/// the watermark machinery and every fired window publishes its
+/// snapshot and pushes `W` frames at subscribers.
+fn writer_loop(mut host: EngineHost, edits: Receiver<WriterMsg>, ctx: &WriterCtx) {
     loop {
         // Block (bounded by the tick) for the batch's first message.
         let first = match edits.recv_timeout(ctx.tick.max(Duration::from_millis(1))) {
@@ -607,17 +911,22 @@ fn writer_loop(mut engine: Engine, edits: Receiver<WriterMsg>, ctx: &WriterCtx) 
         };
         let mut applied = 0u64;
         if let Some(msg) = first {
-            applied += handle_writer_msg(&mut engine, ctx, msg);
-            // Coalesce everything already queued into the same tick.
-            while applied < ctx.max_coalesce as u64 {
-                match edits.try_recv() {
-                    Ok(msg) => applied += handle_writer_msg(&mut engine, ctx, msg),
-                    Err(_) => break,
-                }
+            let mut pending = PendingBatch::default();
+            let mut handled = 1usize;
+            let mut next = Some(msg);
+            while let Some(msg) = next {
+                consume_writer_msg(&mut host, ctx, msg, &mut pending, &mut applied);
+                next = if handled < ctx.max_coalesce {
+                    handled += 1;
+                    edits.try_recv().ok()
+                } else {
+                    None
+                };
             }
+            applied += pending.flush(&mut host, ctx);
         }
         if applied > 0 {
-            if let Ok(snapshot) = engine.resolve_incremental() {
+            if let Ok(snapshot) = host.engine_mut().resolve_incremental() {
                 ctx.cell.publish(snapshot);
                 ctx.stats.publishes.fetch_add(1, Ordering::Relaxed);
             }
@@ -626,10 +935,10 @@ fn writer_loop(mut engine: Engine, edits: Receiver<WriterMsg>, ctx: &WriterCtx) 
                 .fetch_add(applied, Ordering::Relaxed);
             // A log grown past its threshold is compacted between
             // batches, never between a journal append and its ack.
-            if engine.maybe_checkpoint().is_err() {
+            if host.engine_mut().maybe_checkpoint().is_err() {
                 ctx.stats.read_only.store(true, Ordering::Relaxed);
             }
-            publish_wal_stats(&engine, &ctx.stats);
+            publish_wal_stats(host.engine(), &ctx.stats);
         }
         if ctx.abort.load(Ordering::Relaxed) {
             // Simulated power cut: drop queued messages (their ack
@@ -640,11 +949,13 @@ fn writer_loop(mut engine: Engine, edits: Receiver<WriterMsg>, ctx: &WriterCtx) 
             // Drain the queue so acknowledged edits are never lost,
             // publish the final state, and exit.
             let mut tail = 0u64;
+            let mut pending = PendingBatch::default();
             while let Ok(msg) = edits.try_recv() {
-                tail += handle_writer_msg(&mut engine, ctx, msg);
+                consume_writer_msg(&mut host, ctx, msg, &mut pending, &mut tail);
             }
+            tail += pending.flush(&mut host, ctx);
             if tail > 0 {
-                if let Ok(snapshot) = engine.resolve_incremental() {
+                if let Ok(snapshot) = host.engine_mut().resolve_incremental() {
                     ctx.cell.publish(snapshot);
                     ctx.stats.publishes.fetch_add(1, Ordering::Relaxed);
                 }
@@ -654,69 +965,107 @@ fn writer_loop(mut engine: Engine, edits: Receiver<WriterMsg>, ctx: &WriterCtx) 
             // crash-proof, and a checkpoint makes the next recovery a
             // plain checkpoint load. Best effort — a dead log device
             // must not block shutdown.
-            let _ = engine.flush_wal();
-            let _ = engine.checkpoint();
-            publish_wal_stats(&engine, &ctx.stats);
+            let _ = host.engine_mut().flush_wal();
+            let _ = host.engine_mut().checkpoint();
+            publish_wal_stats(host.engine(), &ctx.stats);
             return;
         }
     }
 }
 
-/// Executes one writer message; returns how many graph changes it made.
-fn handle_writer_msg(engine: &mut Engine, ctx: &WriterCtx, msg: WriterMsg) -> u64 {
+/// Routes one writer message: edits accumulate into the pending batch;
+/// feeds and flushes are ordering barriers — the pending batch is
+/// applied first so the WAL and the graph see every edit in queue
+/// order.
+fn consume_writer_msg(
+    host: &mut EngineHost,
+    ctx: &WriterCtx,
+    msg: WriterMsg,
+    pending: &mut PendingBatch,
+    applied: &mut u64,
+) {
     match msg {
         WriterMsg::Edit(edit, ack) => {
             if ctx.stats.read_only.load(Ordering::Relaxed) {
                 if let Some(ack) = ack {
                     let _ = ack.send(Err("read-only (wal failed)"));
                 }
-                return 0;
+                return;
             }
-            let (result, changed) = apply_edit(engine, edit);
-            if result.is_err() {
-                ctx.stats.read_only.store(true, Ordering::Relaxed);
-                publish_wal_stats(engine, &ctx.stats);
-            }
-            if let Some(ack) = ack {
-                let _ = ack.send(result);
-            }
-            changed
+            pending.push(edit, ack);
+        }
+        WriterMsg::Feed(event, ack) => {
+            *applied += pending.flush(host, ctx);
+            handle_feed(host, ctx, event, ack);
         }
         WriterMsg::Flush(reply) => {
-            let result = engine.flush_wal().map_err(|_| {
+            *applied += pending.flush(host, ctx);
+            let result = host.engine_mut().flush_wal().map_err(|_| {
                 ctx.stats.read_only.store(true, Ordering::Relaxed);
                 "wal flush failed; server is read-only"
             });
-            publish_wal_stats(engine, &ctx.stats);
+            publish_wal_stats(host.engine(), &ctx.stats);
             let _ = reply.send(result);
-            0
         }
     }
 }
 
-/// Applies one edit to the engine's graph; returns the ack to send and
-/// 1 if the graph changed. A `Remove` of an unknown/already-removed id
-/// is a no-op (the client raced another remove), not an error — but a
-/// WAL failure is: the edit was refused *before* touching the graph,
-/// and the server degrades to read-only.
-fn apply_edit(engine: &mut Engine, edit: Edit) -> (Result<(), &'static str>, u64) {
-    let outcome = match edit {
-        Edit::Insert {
-            subject,
-            predicate,
-            object,
-            interval,
-            confidence,
-        } => engine
-            .insert_fact(&subject, &predicate, &object, interval, confidence)
-            .map(|_| ()),
-        Edit::Remove(id) => engine.remove_fact(id).map(|_| ()),
+/// Offers one event to the stream session and publishes whatever
+/// windows the watermark advance fired. Late/duplicate/invalid events
+/// are counted by the session and still ack `Ok` (offering is not a
+/// promise of admission); only a WAL refusal errors, degrading the
+/// server to read-only.
+fn handle_feed(host: &mut EngineHost, ctx: &WriterCtx, event: StreamEvent, ack: Option<EditAck>) {
+    let EngineHost::Stream(session) = host else {
+        if let Some(ack) = ack {
+            let _ = ack.send(Err("not a streaming server"));
+        }
+        return;
     };
-    match outcome {
-        Ok(()) => (Ok(()), 1),
-        Err(tecore_core::TecoreError::Wal(_)) => (Err("wal write failed; server is read-only"), 0),
-        // Semantic no-op (unknown id, invalid confidence): acknowledged
-        // like the in-memory path, nothing applied, nothing journaled.
-        Err(_) => (Ok(()), 0),
+    if ctx.stats.read_only.load(Ordering::Relaxed) {
+        if let Some(ack) = ack {
+            let _ = ack.send(Err("read-only (wal failed)"));
+        }
+        return;
+    }
+    let result = match session.push(event) {
+        Ok(fires) => {
+            publish_fires(session, ctx, &fires);
+            Ok(())
+        }
+        Err(StreamError::Engine(tecore_core::TecoreError::Wal(_))) => {
+            ctx.stats.read_only.store(true, Ordering::Relaxed);
+            publish_wal_stats(session.engine(), &ctx.stats);
+            Err("wal write failed; server is read-only")
+        }
+        // Semantic no-op (invalid confidence): acknowledged, nothing
+        // admitted, nothing journaled.
+        Err(_) => Ok(()),
+    };
+    if let Some(ack) = ack {
+        let _ = ack.send(result);
+    }
+}
+
+/// Publishes fired windows: snapshot hand-off, stream counters, and
+/// `W` frames at every subscriber.
+fn publish_fires(session: &StreamSession, ctx: &WriterCtx, fires: &[WindowFire]) {
+    for fire in fires {
+        ctx.cell.publish(Arc::clone(&fire.snapshot));
+        ctx.stats.publishes.fetch_add(1, Ordering::Relaxed);
+        ctx.stats.stream_windows.fetch_add(1, Ordering::Relaxed);
+        ctx.stats
+            .stream_events_admitted
+            .fetch_add(fire.stats.admitted as u64, Ordering::Relaxed);
+        ctx.stats
+            .stream_events_expired
+            .fetch_add(fire.stats.expired as u64, Ordering::Relaxed);
+        ctx.stats
+            .stream_lag_ms
+            .store(fire.stats.resolve_micros / 1000, Ordering::Relaxed);
+        ctx.subs.deliver(fire);
+    }
+    if !fires.is_empty() {
+        publish_wal_stats(session.engine(), &ctx.stats);
     }
 }

@@ -1,0 +1,164 @@
+//! Window geometry: sliding and tumbling event-time windows.
+//!
+//! Following the RSP (RDF Stream Processing) convention, windows are
+//! **boundary-aligned**: a window *ends* at every multiple of `slide`
+//! and covers the half-open event-time range `[end - width, end)`. A
+//! tumbling window is the degenerate sliding window with
+//! `slide == width` — consecutive windows partition the timeline. With
+//! `slide < width` consecutive windows overlap and every event belongs
+//! to `width / slide` windows; the stream session materialises only the
+//! *newest* window at each boundary, admitting events as they enter and
+//! expiring them once they fall behind `end - width`.
+
+use std::error::Error;
+use std::fmt;
+
+use tecore_core::TecoreError;
+
+/// Errors surfaced by the streaming layer.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Window geometry rejected at construction.
+    Window(&'static str),
+    /// The underlying engine failed (grounding, solver or WAL).
+    Engine(TecoreError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Window(msg) => write!(f, "invalid window: {msg}"),
+            StreamError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl Error for StreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StreamError::Window(_) => None,
+            StreamError::Engine(e) => Some(e),
+        }
+    }
+}
+
+impl From<TecoreError> for StreamError {
+    fn from(e: TecoreError) -> Self {
+        StreamError::Engine(e)
+    }
+}
+
+/// An event-time window shape: `width` time points re-evaluated every
+/// `slide` time points.
+///
+/// Both parameters are in the stream's event-time unit (the same
+/// discrete domain as fact validity intervals). Invariants enforced by
+/// construction: `width >= 1`, `1 <= slide <= width` — a slide larger
+/// than the width would drop events falling in the gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowSpec {
+    width: i64,
+    slide: i64,
+}
+
+impl WindowSpec {
+    /// A sliding window: `width` points wide, re-evaluated every
+    /// `slide` points.
+    pub fn sliding(width: i64, slide: i64) -> Result<Self, StreamError> {
+        if width < 1 {
+            return Err(StreamError::Window("width must be >= 1"));
+        }
+        if slide < 1 {
+            return Err(StreamError::Window("slide must be >= 1"));
+        }
+        if slide > width {
+            return Err(StreamError::Window(
+                "slide must be <= width (larger slides drop events in the gaps)",
+            ));
+        }
+        Ok(WindowSpec { width, slide })
+    }
+
+    /// A tumbling window: consecutive `width`-point windows partition
+    /// the timeline (`slide == width`).
+    pub fn tumbling(width: i64) -> Result<Self, StreamError> {
+        Self::sliding(width, width)
+    }
+
+    /// Window width in time points.
+    #[inline]
+    pub fn width(self) -> i64 {
+        self.width
+    }
+
+    /// Slide (re-evaluation period) in time points.
+    #[inline]
+    pub fn slide(self) -> i64 {
+        self.slide
+    }
+
+    /// Is this a tumbling window (`slide == width`)?
+    #[inline]
+    pub fn is_tumbling(self) -> bool {
+        self.slide == self.width
+    }
+
+    /// End of the earliest window containing an event at `t`: the
+    /// smallest multiple of `slide` strictly greater than `t`.
+    /// (Euclidean division keeps boundaries aligned for negative event
+    /// times.)
+    #[inline]
+    pub fn first_end_after(self, t: i64) -> i64 {
+        t.div_euclid(self.slide) * self.slide + self.slide
+    }
+
+    /// Start of the window ending at `end` (the window covers the
+    /// half-open range `[start, end)`).
+    #[inline]
+    pub fn start_of(self, end: i64) -> i64 {
+        end - self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(WindowSpec::sliding(10, 2).is_ok());
+        assert!(WindowSpec::tumbling(1).is_ok());
+        assert!(matches!(
+            WindowSpec::sliding(0, 1),
+            Err(StreamError::Window(_))
+        ));
+        assert!(matches!(
+            WindowSpec::sliding(10, 0),
+            Err(StreamError::Window(_))
+        ));
+        assert!(matches!(
+            WindowSpec::sliding(5, 6),
+            Err(StreamError::Window(_))
+        ));
+    }
+
+    #[test]
+    fn tumbling_is_tumbling() {
+        let w = WindowSpec::tumbling(10).expect("valid");
+        assert!(w.is_tumbling());
+        assert_eq!((w.width(), w.slide()), (10, 10));
+        assert!(!WindowSpec::sliding(10, 5).expect("valid").is_tumbling());
+    }
+
+    #[test]
+    fn boundary_math() {
+        let w = WindowSpec::sliding(10, 2).expect("valid");
+        // Boundaries are multiples of slide, strictly after t.
+        assert_eq!(w.first_end_after(0), 2);
+        assert_eq!(w.first_end_after(1), 2);
+        assert_eq!(w.first_end_after(2), 4);
+        assert_eq!(w.first_end_after(-1), 0);
+        assert_eq!(w.first_end_after(-3), -2);
+        assert_eq!(w.start_of(10), 0);
+    }
+}
